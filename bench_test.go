@@ -1,0 +1,348 @@
+// Package scidive_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md's experiment
+// index). Each benchmark reports the reproduced quantity as a custom
+// metric next to the usual time/op:
+//
+//	go test -bench=. -benchmem
+//
+// Table 1 -> BenchmarkTable1_*        (detect_ms = detection delay)
+// Fig 1   -> BenchmarkFig1_NormalCall (false_alarms must stay 0)
+// Fig 5-8 -> BenchmarkFig{5,6,7,8}_*
+// §4.3    -> BenchmarkSec43_*         (delay_ms, pm, pf)
+// §3.2    -> BenchmarkSec32_BillingFraud
+// §3.3    -> BenchmarkSec33_Stateful  (false-alarm comparison)
+// Ablations -> BenchmarkAblation_*    (event layer, reassembly)
+package scidive_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"net/netip"
+	"scidive/internal/core"
+	"scidive/internal/eval"
+	"scidive/internal/experiments"
+
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+	"scidive/internal/rtp"
+	"scidive/internal/sip"
+)
+
+// benchOutcome runs a scenario per iteration and reports the detection
+// delay; it fails the benchmark if the attack is ever missed.
+func benchOutcome(b *testing.B, run func(seed int64) (experiments.Outcome, error)) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		o, err := run(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Detected {
+			b.Fatalf("iteration %d: attack missed (%s)", i, o.Impact)
+		}
+		total += o.DetectDelay
+	}
+	b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "detect_ms")
+}
+
+func BenchmarkTable1_ByeAttack(b *testing.B) {
+	benchOutcome(b, func(seed int64) (experiments.Outcome, error) {
+		return experiments.RunByeAttack(seed, core.Config{})
+	})
+}
+
+func BenchmarkTable1_FakeIM(b *testing.B) {
+	benchOutcome(b, func(seed int64) (experiments.Outcome, error) {
+		return experiments.RunFakeIM(seed)
+	})
+}
+
+func BenchmarkTable1_CallHijack(b *testing.B) {
+	benchOutcome(b, func(seed int64) (experiments.Outcome, error) {
+		return experiments.RunCallHijack(seed)
+	})
+}
+
+func BenchmarkTable1_RTPAttack(b *testing.B) {
+	benchOutcome(b, func(seed int64) (experiments.Outcome, error) {
+		return experiments.RunRTPAttack(seed, true)
+	})
+}
+
+// BenchmarkFig1_NormalCall regenerates the Figure 1 flow and asserts the
+// false-alarm count stays zero.
+func BenchmarkFig1_NormalCall(b *testing.B) {
+	falseAlarms := 0
+	for i := 0; i < b.N; i++ {
+		o, err := experiments.RunBenign(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		falseAlarms += len(o.Alerts)
+	}
+	b.ReportMetric(float64(falseAlarms), "false_alarms")
+}
+
+// Figures 5-8 are the same runs as Table 1 rows; aliases keep the
+// experiment index 1:1 with the paper's figures.
+func BenchmarkFig5_ByeAttack(b *testing.B)  { BenchmarkTable1_ByeAttack(b) }
+func BenchmarkFig6_FakeIM(b *testing.B)     { BenchmarkTable1_FakeIM(b) }
+func BenchmarkFig7_CallHijack(b *testing.B) { BenchmarkTable1_CallHijack(b) }
+func BenchmarkFig8_RTPAttack(b *testing.B)  { BenchmarkTable1_RTPAttack(b) }
+
+// BenchmarkSec43_DetectionDelay reproduces the E[D] = 10ms analysis.
+func BenchmarkSec43_DetectionDelay(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := eval.Model{} // paper baseline
+	var mean time.Duration
+	for i := 0; i < b.N; i++ {
+		res := m.SimulateDetection(rng, 10000)
+		mean = res.MeanDelay
+	}
+	b.ReportMetric(mean.Seconds()*1000, "delay_ms")
+}
+
+// BenchmarkSec43_MissedAlarm reproduces Pm at a tight window with loss.
+func BenchmarkSec43_MissedAlarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := eval.Model{
+		Nrtp:       netsim.Exponential{MeanD: 5 * time.Millisecond},
+		Nsip:       netsim.Exponential{MeanD: 5 * time.Millisecond},
+		Window:     25 * time.Millisecond,
+		Loss:       0.2,
+		MaxPackets: 3,
+	}
+	var pm float64
+	for i := 0; i < b.N; i++ {
+		pm = m.SimulateDetection(rng, 10000).Pm
+	}
+	b.ReportMetric(pm, "pm")
+}
+
+// BenchmarkSec43_FalseAlarm reproduces Pf -> 1/2 for iid delays.
+func BenchmarkSec43_FalseAlarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := eval.Model{
+		Nrtp: netsim.Exponential{MeanD: 5 * time.Millisecond},
+		Nsip: netsim.Exponential{MeanD: 5 * time.Millisecond},
+	}
+	var pf float64
+	for i := 0; i < b.N; i++ {
+		pf = m.SimulateFalseAlarm(rng, 10000)
+	}
+	b.ReportMetric(pf, "pf")
+}
+
+func BenchmarkSec32_BillingFraud(b *testing.B) {
+	benchOutcome(b, func(seed int64) (experiments.Outcome, error) {
+		return experiments.RunBillingFraud(seed)
+	})
+}
+
+// BenchmarkSec33_Stateful reports the false-alarm comparison between
+// SCIDIVE and the stateless baseline.
+func BenchmarkSec33_Stateful(b *testing.B) {
+	var cmp experiments.StatefulComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = experiments.RunStatefulComparison(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cmp.BenignSCIDIVEAlerts), "scidive_benign_alerts")
+	b.ReportMetric(float64(cmp.BenignBaselineAlerts), "baseline_benign_alerts")
+}
+
+// --- Ablations and microbenchmarks ---
+
+// recordedWorkload captures all frames of one BYE-attack run for replay
+// benchmarks.
+func recordedWorkload(b *testing.B) []struct {
+	at    time.Duration
+	frame []byte
+} {
+	b.Helper()
+	var frames []struct {
+		at    time.Duration
+		frame []byte
+	}
+	_, err := experiments.RunByeAttack(1, core.Config{}, func(at time.Duration, frame []byte) {
+		frames = append(frames, struct {
+			at    time.Duration
+			frame []byte
+		}{at, frame})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return frames
+}
+
+// BenchmarkAblation_EventLayer measures per-frame IDS cost with the event
+// generator in place (the paper's architecture).
+func BenchmarkAblation_EventLayer(b *testing.B) {
+	frames := recordedWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(core.Config{})
+		for _, f := range frames {
+			eng.HandleFrame(f.at, f.frame)
+		}
+		if len(eng.AlertsFor(core.RuleByeAttack)) != 1 {
+			b.Fatal("event-layer engine missed the attack")
+		}
+	}
+	b.ReportMetric(float64(len(frames)), "frames/op")
+}
+
+// BenchmarkAblation_DirectMatching measures the same workload with the
+// event layer bypassed: rules re-scan raw trails on every media packet.
+// The gap versus BenchmarkAblation_EventLayer is what the Event Generator
+// abstraction buys (paper Section 3.1).
+func BenchmarkAblation_DirectMatching(b *testing.B) {
+	frames := recordedWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(core.Config{DirectTrailMatching: true})
+		for _, f := range frames {
+			eng.HandleFrame(f.at, f.frame)
+		}
+		if len(eng.AlertsFor(core.RuleByeAttack)) != 1 {
+			b.Fatal("direct-matching engine missed the attack")
+		}
+	}
+	b.ReportMetric(float64(len(frames)), "frames/op")
+}
+
+// buildRTPFrame builds one representative media frame.
+func buildRTPFrame(b *testing.B) []byte {
+	b.Helper()
+	pkt := rtp.Packet{
+		Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: 100, Timestamp: 16000, SSRC: 7},
+		Payload: make([]byte, 160),
+	}
+	buf, err := pkt.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: mustAddr("10.0.0.1"), DstIP: mustAddr("10.0.0.2"),
+		SrcPort: 40000, DstPort: 40000, IPID: 1, Payload: buf,
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return frames[0]
+}
+
+// BenchmarkDistiller_RTPFrame measures raw distillation throughput.
+func BenchmarkDistiller_RTPFrame(b *testing.B) {
+	frame := buildRTPFrame(b)
+	d := core.NewDistiller()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fp := d.Distill(time.Duration(i)*20*time.Millisecond, frame); fp == nil {
+			b.Fatal("no footprint")
+		}
+	}
+}
+
+// BenchmarkEngine_RTPFrame measures full-pipeline cost per media frame.
+func BenchmarkEngine_RTPFrame(b *testing.B) {
+	frame := buildRTPFrame(b)
+	eng := core.NewEngine(core.Config{})
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.HandleFrame(time.Duration(i)*20*time.Millisecond, frame)
+	}
+}
+
+// BenchmarkAblation_Reassembly compares SIP distillation with and without
+// IP fragmentation on the wire.
+func BenchmarkAblation_Reassembly(b *testing.B) {
+	from, _ := sip.ParseAddress("<sip:a@10.0.0.1>;tag=t")
+	to, _ := sip.ParseAddress("<sip:b@10.0.0.2>")
+	msg := sip.NewRequest(sip.RequestSpec{
+		Method: sip.MethodMessage, RequestURI: "sip:b@10.0.0.2",
+		From: from, To: to, CallID: "reasm@bench",
+		CSeq:     sip.CSeq{Seq: 1, Method: sip.MethodMessage},
+		Via:      sip.Via{Transport: "UDP", SentBy: "10.0.0.1:5060", Params: map[string]string{"branch": "z9hG4bKr"}},
+		Body:     make([]byte, 2400),
+		BodyType: "text/plain",
+	})
+	spec := packet.UDPFrameSpec{
+		SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: mustAddr("10.0.0.1"), DstIP: mustAddr("10.0.0.2"),
+		SrcPort: 5060, DstPort: 5060, IPID: 1, Payload: msg.Marshal(),
+	}
+	whole, err := packet.BuildUDPFrames(spec, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fragged, err := packet.BuildUDPFrames(spec, 576)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unfragmented", func(b *testing.B) {
+		d := core.NewDistiller()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fp := d.Distill(0, whole[0]); fp == nil {
+				b.Fatal("no footprint")
+			}
+		}
+	})
+	b.Run("fragmented", func(b *testing.B) {
+		d := core.NewDistiller()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var got bool
+			for _, f := range fragged {
+				if fp := d.Distill(0, f); fp != nil {
+					got = true
+				}
+			}
+			if !got {
+				b.Fatal("reassembly failed")
+			}
+		}
+	})
+}
+
+// BenchmarkRuleEngine_Feed measures pure rule-matching cost.
+func BenchmarkRuleEngine_Feed(b *testing.B) {
+	re := core.NewRuleEngine(core.DefaultRuleset())
+	ev := core.Event{Type: core.EvRTPNewFlow, Session: "s"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.At = time.Duration(i)
+		re.Feed(ev)
+	}
+}
+
+// mustAddr parses an IPv4 address for benchmark fixtures.
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// BenchmarkSec43_WireDelay measures the BYE-attack detection delay on the
+// simulated wire (the empirical counterpart of the Section 4.3 model).
+func BenchmarkSec43_WireDelay(b *testing.B) {
+	var mean time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MeasureWireByeDelay(10, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Detected != res.Runs {
+			b.Fatalf("missed %d of %d wire runs", res.Runs-res.Detected, res.Runs)
+		}
+		mean = res.Mean
+	}
+	b.ReportMetric(mean.Seconds()*1000, "wire_delay_ms")
+}

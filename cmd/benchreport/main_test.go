@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	tests := []struct {
+		exp  string
+		want string
+	}{
+		{"table1", "Table 1"},
+		{"fig1", "INVITE"},
+		{"fig5", "bye-attack"},
+		{"fig6", "fake-im"},
+		{"fig7", "call-hijack"},
+		{"fig8", "rtp-attack"},
+		{"delay", "E[D]"},
+		{"wire", "detected=30"},
+		{"pm", "Pm"},
+		{"pf", "Pf"},
+		{"billing", "billing-fraud"},
+		{"stateful", "false alarms"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.exp, func(t *testing.T) {
+			var buf strings.Builder
+			if err := run([]string{"-exp", tt.exp, "-trials", "2000"}, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(buf.String(), tt.want) {
+				t.Errorf("output missing %q:\n%s", tt.want, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-trials", "2000"}, &buf); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+	for _, want := range []string{"Table 1", "Figure 1", "Pm", "Pf", "billing-fraud"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("combined report missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

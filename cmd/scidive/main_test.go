@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scidive/internal/capture"
+	"scidive/internal/experiments"
+)
+
+// writeScenarioCapture records a scenario to an SCAP file for CLI tests.
+func writeScenarioCapture(t *testing.T, name string, seed int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".scap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := capture.NewWriter(f)
+	if _, err := experiments.RunScenario(name, seed, func(at time.Duration, frame []byte) {
+		_ = w.WriteFrame(at, frame)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayDetectsAttack(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 5)
+	var buf strings.Builder
+	if err := run([]string{"-in", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bye-attack") {
+		t.Errorf("replay missed the attack:\n%s", out)
+	}
+	if !strings.Contains(out, "=== stats ===") {
+		t.Error("no stats section")
+	}
+}
+
+func TestReplayBenignIsQuiet(t *testing.T) {
+	path := writeScenarioCapture(t, "benign", 6)
+	var buf strings.Builder
+	if err := run([]string{"-in", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(none)") {
+		t.Errorf("benign replay raised alerts:\n%s", buf.String())
+	}
+}
+
+func TestReplayWithEventsAndDirect(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 7)
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-events"}, &buf); err != nil {
+		t.Fatalf("run -events: %v", err)
+	}
+	if !strings.Contains(buf.String(), "=== events ===") ||
+		!strings.Contains(buf.String(), "sip-bye") {
+		t.Error("event log missing")
+	}
+	buf.Reset()
+	if err := run([]string{"-in", path, "-direct"}, &buf); err != nil {
+		t.Fatalf("run -direct: %v", err)
+	}
+	if !strings.Contains(buf.String(), "bye-attack") {
+		t.Error("direct mode missed the attack")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.scap"}, &buf); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}
+
+func TestReplayWithCustomRulesFile(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 8)
+	// A ruleset that only knows the BYE attack.
+	rules := "rule custom-bye critical cross stateful {\n" +
+		"    seq sip-bye, rtp-after-bye\n" +
+		"}\n"
+	rulesPath := filepath.Join(t.TempDir(), "custom.rules")
+	if err := os.WriteFile(rulesPath, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-rules", rulesPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "custom-bye") {
+		t.Errorf("custom rule did not fire:\n%s", buf.String())
+	}
+	// Errors surface for broken rule files.
+	badPath := filepath.Join(t.TempDir(), "bad.rules")
+	if err := os.WriteFile(badPath, []byte("rule x nope {\nseq sip-bye\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-rules", badPath}, &buf); err == nil {
+		t.Error("bad rules file accepted")
+	}
+	if err := run([]string{"-in", path, "-rules", "/nonexistent.rules"}, &buf); err == nil {
+		t.Error("missing rules file accepted")
+	}
+}
+
+func TestReplayWithShippedDefaultRules(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 9)
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-rules", "../../rules/default.rules"}, &buf); err != nil {
+		t.Fatalf("run with shipped rules: %v", err)
+	}
+	if !strings.Contains(buf.String(), "bye-attack") {
+		t.Errorf("shipped ruleset missed the attack:\n%s", buf.String())
+	}
+}
+
+func TestLiveScenarioAndJSONOutput(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scenario", "bye", "-seed", "4", "-json"}, &buf); err != nil {
+		t.Fatalf("run -scenario: %v", err)
+	}
+	out := buf.String()
+	var line string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no JSON alert line:\n%s", out)
+	}
+	var a alertJSON
+	if err := json.Unmarshal([]byte(line), &a); err != nil {
+		t.Fatalf("bad JSON %q: %v", line, err)
+	}
+	if a.Rule != "bye-attack" || a.Severity != "critical" || a.AtSeconds <= 0 || a.Count < 1 {
+		t.Errorf("alert = %+v", a)
+	}
+	// Unknown live scenario errors.
+	if err := run([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

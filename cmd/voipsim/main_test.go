@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scidive/internal/capture"
+)
+
+func TestRunWritesCapture(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bye.scap")
+	var buf strings.Builder
+	if err := run([]string{"-scenario", "bye", "-seed", "3", "-out", out}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Errorf("output = %q", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := capture.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) < 100 {
+		t.Errorf("capture has %d frames, want a full scenario", len(recs))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scenario", "bye"}, &buf); err == nil {
+		t.Error("missing -out accepted")
+	}
+	out := filepath.Join(t.TempDir(), "x.scap")
+	if err := run([]string{"-scenario", "nope", "-out", out}, &buf); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

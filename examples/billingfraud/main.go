@@ -1,0 +1,66 @@
+// Billingfraud demonstrates the paper's Section 3.2 synthetic scenario:
+// the attacker sends a carefully crafted INVITE through the proxy that
+// impersonates alice, the proxy bills alice for the attacker's call to
+// bob, and SCIDIVE's three-event cross-protocol rule (malformed SIP +
+// unmatched accounting transaction + media away from the caller's
+// registered location) raises a single correlated alarm.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/core"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+func main() {
+	tb, err := scenario.New(scenario.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := core.NewEngine(core.Config{}, core.WithEventLog())
+	ids.AttachTap(tb.Net)
+
+	if err := tb.RegisterAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice and bob registered; attacker prepares the crafted INVITE")
+
+	fraud := attack.NewBillingFraud(
+		tb.Attacker,
+		tb.Proxy.Addr(),
+		sip.URI{User: "alice", Host: scenario.AddrProxy.String()},
+		sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+		40600,
+	)
+	tb.Sim.Schedule(0, func() {
+		if err := fraud.Launch(5 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	})
+	tb.Run(8 * time.Second)
+
+	fmt.Printf("fraud call established: %v; attacker sent %d media packets\n",
+		fraud.Established, fraud.RTPSent)
+	fmt.Println("\naccounting records (who gets billed):")
+	for _, r := range tb.Acct.Records() {
+		fmt.Printf("  call %s: %s -> %s, from IP %v, duration %v\n",
+			r.CallID, r.From, r.To, r.FromIP, r.Duration())
+	}
+
+	fmt.Println("\nthe three correlated events behind the alarm:")
+	for _, ev := range ids.Events() {
+		switch ev.Type {
+		case core.EvSIPBadFormat, core.EvAcctUnmatched, core.EvRTPUnmatchedMedia:
+			fmt.Println(" ", ev)
+		}
+	}
+	fmt.Println("\nalerts:")
+	for _, a := range ids.Alerts() {
+		fmt.Println(" ", a)
+	}
+}

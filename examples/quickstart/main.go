@@ -1,0 +1,65 @@
+// Quickstart: build the simulated VoIP testbed, deploy a SCIDIVE engine
+// on the hub tap, run a normal call, and show that benign traffic raises
+// no alarms while the engine's trails fill with correlated SIP, RTP, and
+// accounting footprints.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/scenario"
+)
+
+func main() {
+	// 1. Assemble the paper's Figure 4 testbed: two softphones, a SIP
+	//    proxy/registrar, an accounting service, and a hub everything
+	//    hangs off.
+	tb, err := scenario.New(scenario.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Deploy SCIDIVE: the engine taps the hub like an IDS appliance.
+	ids := core.NewEngine(core.Config{}, core.WithEventLog())
+	ids.AttachTap(tb.Net)
+
+	// 3. Drive a normal day: register, call, talk for 10 seconds, hang up.
+	if err := tb.RegisterAll(); err != nil {
+		log.Fatal(err)
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb.Run(10 * time.Second)
+	tb.Sim.Schedule(0, func() {
+		if err := tb.Alice.Hangup(call); err != nil {
+			log.Fatal(err)
+		}
+	})
+	tb.Run(2 * time.Second)
+
+	// 4. Inspect what the IDS saw.
+	st := ids.Stats()
+	fmt.Printf("frames observed:      %d\n", st.Frames)
+	fmt.Printf("footprints distilled: %d\n", st.Footprints)
+	fmt.Printf("events generated:     %d\n", st.Events)
+	fmt.Printf("sessions tracked:     %d (%d trails)\n", ids.Trails().Sessions(), ids.Trails().Trails())
+	fmt.Printf("alerts raised:        %d  <- zero: benign traffic\n", len(ids.Alerts()))
+
+	fmt.Println("\nfirst few events:")
+	for i, ev := range ids.Events() {
+		if i == 8 {
+			break
+		}
+		fmt.Println(" ", ev)
+	}
+
+	fmt.Printf("\ncall quality at bob: %d RTP received, jitter %v, playout %+v\n",
+		tb.Bob.ActiveCallOrLast().RTPReceived,
+		tb.Bob.ActiveCallOrLast().Jitter(),
+		tb.Bob.ActiveCallOrLast().BufferStats())
+}

@@ -1,0 +1,3 @@
+module scidive
+
+go 1.22

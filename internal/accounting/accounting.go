@@ -1,0 +1,193 @@
+// Package accounting implements the billing substrate of the SCIDIVE
+// paper's Section 3.2 scenario: "VoIP systems typically have application
+// level software for billing purposes". The SIP proxy reports call start
+// and stop transactions to an accounting service over a line-oriented UDP
+// protocol; the service maintains call detail records (CDRs).
+//
+// The wire protocol is deliberately plain text so the IDS Distiller can
+// decode it into accounting Footprints for cross-protocol correlation:
+//
+//	START <call-id> <from-aor> <to-aor> <from-ip>
+//	STOP  <call-id>
+package accounting
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"scidive/internal/netsim"
+)
+
+// DefaultPort is the UDP port the accounting service listens on.
+const DefaultPort = 7009
+
+// TxnKind distinguishes accounting transactions.
+type TxnKind int
+
+// Transaction kinds.
+const (
+	TxnStart TxnKind = iota + 1
+	TxnStop
+)
+
+// String returns the wire keyword.
+func (k TxnKind) String() string {
+	switch k {
+	case TxnStart:
+		return "START"
+	case TxnStop:
+		return "STOP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Txn is one accounting transaction.
+type Txn struct {
+	Kind   TxnKind
+	CallID string
+	From   string // caller AOR, e.g. alice@10.0.0.10
+	To     string // callee AOR
+	FromIP netip.Addr
+}
+
+// Marshal serializes the transaction in wire form.
+func (t Txn) Marshal() []byte {
+	switch t.Kind {
+	case TxnStart:
+		return []byte(fmt.Sprintf("START %s %s %s %s\n", t.CallID, t.From, t.To, t.FromIP))
+	case TxnStop:
+		return []byte(fmt.Sprintf("STOP %s\n", t.CallID))
+	default:
+		return nil
+	}
+}
+
+// ParseTxn parses one wire-format transaction line.
+func ParseTxn(line []byte) (Txn, error) {
+	f := strings.Fields(strings.TrimSpace(string(line)))
+	if len(f) == 0 {
+		return Txn{}, fmt.Errorf("accounting: empty transaction")
+	}
+	switch f[0] {
+	case "START":
+		if len(f) != 5 {
+			return Txn{}, fmt.Errorf("accounting: START wants 5 fields, got %d", len(f))
+		}
+		ip, err := netip.ParseAddr(f[4])
+		if err != nil {
+			return Txn{}, fmt.Errorf("accounting: bad from-ip %q", f[4])
+		}
+		return Txn{Kind: TxnStart, CallID: f[1], From: f[2], To: f[3], FromIP: ip}, nil
+	case "STOP":
+		if len(f) != 2 {
+			return Txn{}, fmt.Errorf("accounting: STOP wants 2 fields, got %d", len(f))
+		}
+		return Txn{Kind: TxnStop, CallID: f[1]}, nil
+	default:
+		return Txn{}, fmt.Errorf("accounting: unknown transaction %q", f[0])
+	}
+}
+
+// Record is one call detail record.
+type Record struct {
+	CallID  string
+	From    string
+	To      string
+	FromIP  netip.Addr
+	Start   time.Duration
+	Stop    time.Duration
+	Stopped bool
+}
+
+// Duration returns the billed call duration (zero while in progress).
+func (r *Record) Duration() time.Duration {
+	if !r.Stopped {
+		return 0
+	}
+	return r.Stop - r.Start
+}
+
+// Service is the accounting/billing server.
+type Service struct {
+	host    *netsim.Host
+	records []*Record
+	byCall  map[string]*Record
+
+	// Malformed counts undecodable transactions received.
+	Malformed int
+}
+
+// NewService binds the accounting service to port on host.
+func NewService(host *netsim.Host, port uint16) (*Service, error) {
+	if port == 0 {
+		port = DefaultPort
+	}
+	s := &Service{host: host, byCall: make(map[string]*Record)}
+	if err := host.BindUDP(port, s.handle); err != nil {
+		return nil, fmt.Errorf("accounting: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Service) handle(_ netip.AddrPort, payload []byte) {
+	for _, line := range strings.Split(string(payload), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		txn, err := ParseTxn([]byte(line))
+		if err != nil {
+			s.Malformed++
+			continue
+		}
+		s.Apply(txn, s.host.Sim().Now())
+	}
+}
+
+// Apply folds one transaction into the CDR table at the given time.
+func (s *Service) Apply(txn Txn, now time.Duration) {
+	switch txn.Kind {
+	case TxnStart:
+		if _, dup := s.byCall[txn.CallID]; dup {
+			return // duplicate START is idempotent
+		}
+		r := &Record{CallID: txn.CallID, From: txn.From, To: txn.To, FromIP: txn.FromIP, Start: now}
+		s.byCall[txn.CallID] = r
+		s.records = append(s.records, r)
+	case TxnStop:
+		if r, ok := s.byCall[txn.CallID]; ok && !r.Stopped {
+			r.Stop = now
+			r.Stopped = true
+		}
+	}
+}
+
+// Records returns all CDRs in arrival order.
+func (s *Service) Records() []*Record {
+	out := make([]*Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// RecordFor returns the CDR for a call, or nil.
+func (s *Service) RecordFor(callID string) *Record { return s.byCall[callID] }
+
+// Client reports transactions to the service (used by the SIP proxy).
+type Client struct {
+	host *netsim.Host
+	dst  netip.AddrPort
+	port uint16 // local source port
+}
+
+// NewClient returns a client on host sending to dst.
+func NewClient(host *netsim.Host, dst netip.AddrPort, localPort uint16) *Client {
+	return &Client{host: host, dst: dst, port: localPort}
+}
+
+// Report sends one transaction. Errors are returned for unroutable
+// destinations.
+func (c *Client) Report(txn Txn) error {
+	return c.host.SendUDP(c.port, c.dst, txn.Marshal())
+}

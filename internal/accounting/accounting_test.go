@@ -1,0 +1,124 @@
+package accounting
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/netsim"
+)
+
+func TestTxnRoundTrip(t *testing.T) {
+	start := Txn{
+		Kind: TxnStart, CallID: "abc@x", From: "alice@10.0.0.10",
+		To: "bob@10.0.0.10", FromIP: netip.MustParseAddr("10.0.0.1"),
+	}
+	got, err := ParseTxn(start.Marshal())
+	if err != nil {
+		t.Fatalf("ParseTxn(START): %v", err)
+	}
+	if got != start {
+		t.Errorf("got %+v, want %+v", got, start)
+	}
+	stop := Txn{Kind: TxnStop, CallID: "abc@x"}
+	got, err = ParseTxn(stop.Marshal())
+	if err != nil {
+		t.Fatalf("ParseTxn(STOP): %v", err)
+	}
+	if got.Kind != TxnStop || got.CallID != "abc@x" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestParseTxnErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "NOPE a b c", "START only three fields",
+		"START id from to notanip", "STOP", "STOP a b",
+	} {
+		if _, err := ParseTxn([]byte(bad)); err == nil {
+			t.Errorf("ParseTxn(%q): want error", bad)
+		}
+	}
+}
+
+func TestServiceCDRLifecycle(t *testing.T) {
+	sim := netsim.NewSimulator(1)
+	n := netsim.NewNetwork(sim)
+	acctHost := n.MustAddHost("acct", netip.MustParseAddr("10.0.0.5"))
+	proxyHost := n.MustAddHost("proxy", netip.MustParseAddr("10.0.0.10"))
+	svc, err := NewService(acctHost, 0)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	cli := NewClient(proxyHost, netip.AddrPortFrom(acctHost.IP(), DefaultPort), 7010)
+
+	callerIP := netip.MustParseAddr("10.0.0.1")
+	sim.Schedule(0, func() {
+		_ = cli.Report(Txn{Kind: TxnStart, CallID: "c1", From: "a@d", To: "b@d", FromIP: callerIP})
+	})
+	sim.Schedule(30*time.Second, func() {
+		_ = cli.Report(Txn{Kind: TxnStop, CallID: "c1"})
+	})
+	sim.Run()
+
+	recs := svc.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if !r.Stopped || r.From != "a@d" || r.To != "b@d" || r.FromIP != callerIP {
+		t.Errorf("record = %+v", r)
+	}
+	// Link delay 2×0.5ms on both transactions cancels in the difference.
+	if d := r.Duration(); d != 30*time.Second {
+		t.Errorf("Duration = %v, want 30s", d)
+	}
+	if svc.RecordFor("c1") != r {
+		t.Error("RecordFor mismatch")
+	}
+	if svc.RecordFor("nope") != nil {
+		t.Error("RecordFor(nonexistent) != nil")
+	}
+}
+
+func TestServiceIdempotentAndMalformed(t *testing.T) {
+	sim := netsim.NewSimulator(1)
+	n := netsim.NewNetwork(sim)
+	acctHost := n.MustAddHost("acct", netip.MustParseAddr("10.0.0.5"))
+	other := n.MustAddHost("x", netip.MustParseAddr("10.0.0.9"))
+	svc, err := NewService(acctHost, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := netip.MustParseAddr("10.0.0.1")
+	svc.Apply(Txn{Kind: TxnStart, CallID: "c", From: "a", To: "b", FromIP: ip}, 0)
+	svc.Apply(Txn{Kind: TxnStart, CallID: "c", From: "a", To: "b", FromIP: ip}, time.Second)
+	svc.Apply(Txn{Kind: TxnStop, CallID: "c"}, 2*time.Second)
+	svc.Apply(Txn{Kind: TxnStop, CallID: "c"}, 9*time.Second) // ignored
+	svc.Apply(Txn{Kind: TxnStop, CallID: "ghost"}, time.Second)
+	if got := len(svc.Records()); got != 1 {
+		t.Fatalf("records = %d", got)
+	}
+	if d := svc.Records()[0].Duration(); d != 2*time.Second {
+		t.Errorf("Duration = %v, want 2s", d)
+	}
+	// Undecodable payload increments Malformed.
+	_ = other.SendUDP(1, netip.AddrPortFrom(acctHost.IP(), DefaultPort), []byte("GARBAGE\n"))
+	sim.Run()
+	if svc.Malformed != 1 {
+		t.Errorf("Malformed = %d", svc.Malformed)
+	}
+}
+
+func TestUnstoppedRecordDuration(t *testing.T) {
+	r := &Record{Start: 5 * time.Second}
+	if r.Duration() != 0 {
+		t.Error("in-progress record should have zero duration")
+	}
+}
+
+func TestTxnKindString(t *testing.T) {
+	if TxnStart.String() != "START" || TxnStop.String() != "STOP" || TxnKind(0).String() != "UNKNOWN" {
+		t.Error("TxnKind.String mismatch")
+	}
+}

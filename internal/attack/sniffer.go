@@ -1,0 +1,200 @@
+// Package attack implements the attack tooling used in the SCIDIVE
+// paper's evaluation: the four demonstrated attacks (BYE, fake instant
+// messaging, call hijacking via forged REINVITE, and garbage-RTP
+// injection) and the synthetic motivating scenarios of Sections 3.2 and
+// 3.3 (billing fraud, REGISTER-flood DoS, and password guessing).
+//
+// Attackers operate exactly as they could on the paper's hub topology:
+// a Sniffer learns live dialog state (Call-IDs, tags, contacts, media
+// addresses) from frames crossing the hub, and the injectors forge
+// packets — including spoofed source IP addresses — from that state.
+package attack
+
+import (
+	"net/netip"
+	"time"
+
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+	"scidive/internal/rtp"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// ObservedDialog is the attacker's view of one SIP call learned from the
+// wire.
+type ObservedDialog struct {
+	CallID      string
+	CallerURI   sip.URI
+	CalleeURI   sip.URI
+	CallerTag   string
+	CalleeTag   string
+	CallerSIP   netip.AddrPort // caller's signaling address (from INVITE source/contact)
+	CalleeSIP   netip.AddrPort // callee's signaling address (from 200 contact)
+	CallerMedia netip.AddrPort // from the INVITE's SDP
+	CalleeMedia netip.AddrPort // from the 200's SDP
+	CallerSSRC  uint32         // learned from the caller's RTP stream
+	CalleeSSRC  uint32         // learned from the callee's RTP stream
+	LastCSeq    uint32
+	Confirmed   bool // 200 OK seen
+	TornDown    bool // BYE seen
+}
+
+// Sniffer passively decodes hub traffic and tracks dialogs, emulating an
+// attacker's tcpdump on the shared segment. Fragmented IP packets are
+// reassembled so small-MTU networks hide nothing.
+type Sniffer struct {
+	dialogs map[string]*ObservedDialog
+	reasm   *packet.Reassembler
+	now     time.Duration
+}
+
+// NewSniffer attaches a sniffer to every frame crossing the network hub.
+func NewSniffer(n *netsim.Network) *Sniffer {
+	s := &Sniffer{
+		dialogs: make(map[string]*ObservedDialog),
+		reasm:   packet.NewReassembler(0),
+	}
+	n.AddTap(func(at time.Duration, frame []byte) {
+		s.now = at
+		s.observeFrame(frame)
+	})
+	return s
+}
+
+// Dialogs returns all observed dialogs keyed by Call-ID.
+func (s *Sniffer) Dialogs() map[string]*ObservedDialog { return s.dialogs }
+
+// DialogFor returns the observed dialog for a Call-ID, or nil.
+func (s *Sniffer) DialogFor(callID string) *ObservedDialog { return s.dialogs[callID] }
+
+// ConfirmedDialog returns any currently confirmed, not-torn-down dialog.
+func (s *Sniffer) ConfirmedDialog() *ObservedDialog {
+	for _, d := range s.dialogs {
+		if d.Confirmed && !d.TornDown {
+			return d
+		}
+	}
+	return nil
+}
+
+// observeFrame decodes one hub frame into the dialog table.
+func (s *Sniffer) observeFrame(frame []byte) {
+	ef, err := packet.UnmarshalEthernet(frame)
+	if err != nil || ef.Type != packet.EtherTypeIPv4 {
+		return
+	}
+	iph, ipPayload, err := packet.UnmarshalIPv4(ef.Payload)
+	if err != nil {
+		return
+	}
+	full, payload, done, err := s.reasm.Insert(iph, ipPayload, s.now)
+	if err != nil || !done || full.Protocol != packet.ProtoUDP {
+		return
+	}
+	uh, udpPayload, err := packet.UnmarshalUDP(full.Src, full.Dst, payload)
+	if err != nil {
+		return
+	}
+	iph = full
+	src := netip.AddrPortFrom(iph.Src, uh.SrcPort)
+	if uh.SrcPort == sip.DefaultPort || uh.DstPort == sip.DefaultPort {
+		m, err := sip.ParseMessage(udpPayload)
+		if err != nil {
+			return
+		}
+		s.observeSIP(m, src)
+		return
+	}
+	if uh.DstPort >= 10000 && uh.DstPort%2 == 0 {
+		s.observeRTP(src, udpPayload)
+	}
+}
+
+// observeRTP learns stream SSRCs from media packets, matching them to
+// dialogs by their negotiated media endpoints.
+func (s *Sniffer) observeRTP(src netip.AddrPort, payload []byte) {
+	pkt, err := rtp.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	for _, d := range s.dialogs {
+		switch src {
+		case d.CallerMedia:
+			d.CallerSSRC = pkt.Header.SSRC
+		case d.CalleeMedia:
+			d.CalleeSSRC = pkt.Header.SSRC
+		}
+	}
+}
+
+// observeSIP folds a SIP message into the dialog table.
+func (s *Sniffer) observeSIP(m *sip.Message, src netip.AddrPort) {
+	callID := m.CallID()
+	switch {
+	case m.IsRequest() && m.Method == sip.MethodInvite:
+		from, err1 := m.From()
+		to, err2 := m.To()
+		if err1 != nil || err2 != nil {
+			return
+		}
+		d, ok := s.dialogs[callID]
+		if !ok {
+			d = &ObservedDialog{CallID: callID}
+			s.dialogs[callID] = d
+		}
+		if to.Tag() != "" {
+			return // re-INVITE: dialog already known
+		}
+		if d.CallerSIP.IsValid() {
+			return // already learned; ignore the proxy-relayed copy
+		}
+		d.CallerURI, d.CalleeURI = from.URI, to.URI
+		d.CallerTag = from.Tag()
+		// The Contact header names the caller's real signaling address;
+		// the network source works as a fallback.
+		d.CallerSIP = src
+		if contact, err := m.Contact(); err == nil {
+			if ip, err2 := netip.ParseAddr(contact.URI.Host); err2 == nil {
+				d.CallerSIP = netip.AddrPortFrom(ip, contact.URI.EffectivePort())
+			}
+		}
+		if cseq, err := m.CSeq(); err == nil {
+			d.LastCSeq = cseq.Seq
+		}
+		if sess, err := sdp.Parse(m.Body); err == nil {
+			if media, ok := sess.MediaEndpoint("audio"); ok {
+				d.CallerMedia = media
+			}
+		}
+	case m.IsResponse() && m.StatusCode == sip.StatusOK:
+		cseq, err := m.CSeq()
+		if err != nil || cseq.Method != sip.MethodInvite {
+			return
+		}
+		d, ok := s.dialogs[callID]
+		if !ok {
+			return
+		}
+		to, err := m.To()
+		if err != nil {
+			return
+		}
+		d.CalleeTag = to.Tag()
+		if contact, err := m.Contact(); err == nil {
+			if ip, err2 := netip.ParseAddr(contact.URI.Host); err2 == nil {
+				d.CalleeSIP = netip.AddrPortFrom(ip, contact.URI.EffectivePort())
+			}
+		}
+		if sess, err := sdp.Parse(m.Body); err == nil {
+			if media, ok := sess.MediaEndpoint("audio"); ok {
+				d.CalleeMedia = media
+			}
+		}
+		d.Confirmed = true
+	case m.IsRequest() && m.Method == sip.MethodBye:
+		if d, ok := s.dialogs[callID]; ok {
+			d.TornDown = true
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package capture implements SCAP, a minimal self-describing capture file
+// format for simulated Ethernet frames. It plays the role tcpdump played
+// in the SCIDIVE testbed: scenarios record hub traffic to a file and the
+// IDS analyzes it offline.
+//
+// Format (all integers big-endian):
+//
+//	magic   [4]byte  "SCAP"
+//	version uint16   currently 1
+//	records: { ts uint64 (virtual nanoseconds) | len uint32 | frame [len]byte }*
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+var magic = [4]byte{'S', 'C', 'A', 'P'}
+
+// Version is the current SCAP file version.
+const Version = 1
+
+// MaxFrameLen bounds a single record to guard against corrupt files.
+const MaxFrameLen = 1 << 16
+
+// Record is one captured frame with its virtual capture timestamp.
+type Record struct {
+	Time  time.Duration
+	Frame []byte
+}
+
+// Writer writes SCAP files. Close flushes buffered data; it does not
+// close the underlying writer.
+type Writer struct {
+	bw      *bufio.Writer
+	started bool
+	count   int
+}
+
+// NewWriter returns a Writer emitting to w. The header is written lazily
+// on the first WriteFrame (or by Close for an empty capture).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+func (w *Writer) writeHeader() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	if _, err := w.bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var v [2]byte
+	binary.BigEndian.PutUint16(v[:], Version)
+	_, err := w.bw.Write(v[:])
+	return err
+}
+
+// WriteFrame appends one frame observed at virtual time ts.
+func (w *Writer) WriteFrame(ts time.Duration, frame []byte) error {
+	if len(frame) > MaxFrameLen {
+		return fmt.Errorf("capture: frame of %d bytes exceeds maximum %d", len(frame), MaxFrameLen)
+	}
+	if err := w.writeHeader(); err != nil {
+		return fmt.Errorf("capture: write header: %w", err)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(ts))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(frame)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("capture: write record header: %w", err)
+	}
+	if _, err := w.bw.Write(frame); err != nil {
+		return fmt.Errorf("capture: write frame: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of frames written so far.
+func (w *Writer) Count() int { return w.count }
+
+// Close flushes the writer, emitting the header even for empty captures.
+func (w *Writer) Close() error {
+	if err := w.writeHeader(); err != nil {
+		return fmt.Errorf("capture: write header: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("capture: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader reads SCAP files.
+type Reader struct {
+	br      *bufio.Reader
+	started bool
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+func (r *Reader) readHeader() error {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	var hdr [6]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return fmt.Errorf("capture: read header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return errors.New("capture: bad magic: not an SCAP file")
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != Version {
+		return fmt.Errorf("capture: unsupported version %d", v)
+	}
+	return nil
+}
+
+// Next returns the next record, or io.EOF at end of file. The returned
+// frame is freshly allocated and owned by the caller.
+func (r *Reader) Next() (Record, error) {
+	if err := r.readHeader(); err != nil {
+		return Record{}, err
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("capture: read record header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > MaxFrameLen {
+		return Record{}, fmt.Errorf("capture: corrupt record length %d", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r.br, frame); err != nil {
+		return Record{}, fmt.Errorf("capture: read frame body: %w", err)
+	}
+	return Record{Time: time.Duration(binary.BigEndian.Uint64(hdr[0:8])), Frame: frame}, nil
+}
+
+// ReadAll consumes the remaining records.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

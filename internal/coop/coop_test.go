@@ -1,0 +1,171 @@
+package coop_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/coop"
+	"scidive/internal/core"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+// coopBed deploys cooperating detectors on both clients.
+func coopBed(t *testing.T, seed int64) (*scenario.Testbed, *coop.Detector, *coop.Detector) {
+	t.Helper()
+	tb, err := scenario.New(scenario.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostA := tb.Net.HostByIP(scenario.AddrClientA)
+	hostB := tb.Net.HostByIP(scenario.AddrClientB)
+	da, err := coop.NewDetector(coop.Config{
+		Host: hostA, User: "alice",
+		Peers: []netip.AddrPort{netip.AddrPortFrom(scenario.AddrClientB, coop.DefaultPort)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := coop.NewDetector(coop.Config{
+		Host: hostB, User: "bob",
+		Peers: []netip.AddrPort{netip.AddrPortFrom(scenario.AddrClientA, coop.DefaultPort)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, da, db
+}
+
+func TestBenignIMNoCooperativeAlert(t *testing.T) {
+	tb, da, db := coopBed(t, 1)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tb.Sim.Schedule(0, func() { tb.Bob.SendIM("alice", "hello") })
+		tb.Run(2 * time.Second)
+	}
+	if got := da.Alerts(); len(got) != 0 {
+		t.Errorf("alice's detector raised cooperative alerts on benign IMs: %v", got)
+	}
+	if got := db.Alerts(); len(got) != 0 {
+		t.Errorf("bob's detector raised cooperative alerts: %v", got)
+	}
+	// The exchange itself happened: bob's detector vouched for each IM.
+	if db.ControlSent == 0 || len(da.PeerEvents()) == 0 {
+		t.Errorf("no event exchange occurred: sent=%d received=%d", db.ControlSent, len(da.PeerEvents()))
+	}
+}
+
+func TestSpoofedFakeIMEvadesLocalButNotCooperative(t *testing.T) {
+	tb, da, _ := coopBed(t, 2)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Establish bob's legitimate IM pattern first (he messages alice once,
+	// relayed by the proxy).
+	tb.Sim.Schedule(0, func() { tb.Bob.SendIM("alice", "really bob") })
+	tb.Run(2 * time.Second)
+
+	// The strong attack: forged From AND spoofed source IP = bob's own
+	// address, sent directly to alice.
+	tb.Sim.Schedule(0, func() {
+		err := tb.Attacker.FakeIMSpoofed(
+			netip.AddrPortFrom(scenario.AddrClientA, sip.DefaultPort),
+			sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+			netip.AddrPortFrom(scenario.AddrClientB, sip.DefaultPort),
+			"wire the money",
+		)
+		if err != nil {
+			t.Errorf("FakeIMSpoofed: %v", err)
+		}
+	})
+	tb.Run(2 * time.Second)
+
+	// The victim accepted the message (the attack works at the app layer).
+	if got := len(tb.Alice.Messages()); got != 2 {
+		t.Fatalf("alice has %d IMs, want 2", got)
+	}
+	// The paper's concession: the local endpoint rule is blind here,
+	// because the source IP matches bob's usual address... but note the
+	// legit IM arrived via the proxy, so the local rule may still fire on
+	// the path difference. The decisive checks are cooperative:
+	coopAlerts := da.AlertsFor(coop.RuleCoopFakeIM)
+	if len(coopAlerts) != 1 {
+		t.Fatalf("cooperative fake-im alerts = %d, want 1: %v", len(coopAlerts), da.Alerts())
+	}
+}
+
+func TestSelfSpoofDetection(t *testing.T) {
+	tb, _, db := coopBed(t, 3)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A forged frame with bob's source address arrives at bob's own NIC
+	// (the hub broadcasts everything): bob's detector knows it never sent
+	// it.
+	tb.Sim.Schedule(0, func() {
+		_ = tb.Attacker.FakeIMSpoofed(
+			netip.AddrPortFrom(scenario.AddrClientB, sip.DefaultPort),
+			sip.URI{User: "alice", Host: scenario.AddrProxy.String()},
+			netip.AddrPortFrom(scenario.AddrClientB, sip.DefaultPort), // spoof bob to bob
+			"echo test",
+		)
+	})
+	tb.Run(time.Second)
+	if got := db.AlertsFor(coop.RuleCoopSelfSpoof); len(got) != 1 {
+		t.Errorf("self-spoof alerts = %d, want 1: %v", len(got), db.Alerts())
+	}
+}
+
+func TestEndpointDetectorStillRunsLocalRules(t *testing.T) {
+	// The wrapped engine keeps full SCIDIVE capability on the endpoint's
+	// own traffic: a BYE attack against alice is caught by alice's
+	// detector without any hub appliance.
+	tb, da, _ := coopBed(t, 4)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.EstablishCall(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(2 * time.Second)
+	d := tb.Sniffer.ConfirmedDialog()
+	if d == nil {
+		t.Fatal("no sniffed dialog")
+	}
+	tb.Sim.Schedule(0, func() { _ = tb.Attacker.ForgedBye(d, true) })
+	tb.Run(2 * time.Second)
+	if got := da.Engine().AlertsFor(core.RuleByeAttack); len(got) != 1 {
+		t.Errorf("endpoint detector bye-attack alerts = %d, want 1", len(got))
+	}
+}
+
+func TestControlTrafficOverheadBounded(t *testing.T) {
+	// Section 6 worries about "overwhelming the system with control
+	// messages": the exchange sends one message per observed outgoing IM,
+	// not per packet.
+	tb, da, db := coopBed(t, 5)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.EstablishCall(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10 * time.Second) // ~1000 RTP packets
+	tb.Sim.Schedule(0, func() { tb.Bob.SendIM("alice", "one message") })
+	tb.Run(time.Second)
+	if db.ControlSent != 1 {
+		t.Errorf("bob's detector sent %d control messages, want 1", db.ControlSent)
+	}
+	if da.ControlRecv != 1 {
+		t.Errorf("alice's detector received %d control messages, want 1", da.ControlRecv)
+	}
+}
+
+func TestDetectorConfigValidation(t *testing.T) {
+	if _, err := coop.NewDetector(coop.Config{}); err == nil {
+		t.Error("NewDetector with nil host: want error")
+	}
+}

@@ -1,0 +1,116 @@
+package coop_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/coop"
+	"scidive/internal/core"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+// The paper (Section 3.3): "The SCIDIVE architecture has flexibility in
+// terms of the placement of its components... it is possible to deploy
+// the SCIDIVE IDS only on the SIP client side for detecting anomalies in
+// the traffic in and out of the client." These tests verify the
+// endpoint-resident deployment detects every Table 1 attack against its
+// host, using only the host's own traffic.
+
+// endpointBed deploys a detector on alice only.
+func endpointBed(t *testing.T, seed int64) (*scenario.Testbed, *coop.Detector) {
+	t.Helper()
+	tb, err := scenario.New(scenario.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := coop.NewDetector(coop.Config{
+		Host: tb.Net.HostByIP(scenario.AddrClientA), User: "alice",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, da
+}
+
+func TestEndpointPlacementDetectsFakeIM(t *testing.T) {
+	tb, da := endpointBed(t, 20)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Sim.Schedule(0, func() { tb.Bob.SendIM("alice", "legit") })
+	tb.Run(2 * time.Second)
+	tb.Sim.Schedule(0, func() {
+		_ = tb.Attacker.FakeIM(
+			netip.AddrPortFrom(scenario.AddrClientA, sip.DefaultPort),
+			sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+			"fake")
+	})
+	tb.Run(2 * time.Second)
+	if got := da.Engine().AlertsFor(core.RuleFakeIM); len(got) != 1 {
+		t.Errorf("endpoint fake-im alerts = %d, want 1", len(got))
+	}
+}
+
+func TestEndpointPlacementDetectsHijack(t *testing.T) {
+	tb, da := endpointBed(t, 21)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.EstablishCall(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(2 * time.Second)
+	d := tb.Sniffer.ConfirmedDialog()
+	if d == nil {
+		t.Fatal("no sniffed dialog")
+	}
+	tb.Sim.Schedule(0, func() {
+		_ = tb.Attacker.Hijack(d, true, netip.AddrPortFrom(scenario.AddrAttacker, 46000))
+	})
+	tb.Run(2 * time.Second)
+	if got := da.Engine().AlertsFor(core.RuleCallHijack); len(got) != 1 {
+		t.Errorf("endpoint call-hijack alerts = %d, want 1", len(got))
+	}
+}
+
+func TestEndpointPlacementDetectsRTPAttack(t *testing.T) {
+	tb, da := endpointBed(t, 22)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.EstablishCall(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(2 * time.Second)
+	tb.Sim.Schedule(0, func() {
+		_ = tb.Attacker.InjectGarbageRTP(tb.Alice.RTPAddr(), 15, 172)
+	})
+	tb.Run(2 * time.Second)
+	if got := da.Engine().AlertsFor(core.RuleRTPGarbage); len(got) != 1 {
+		t.Errorf("endpoint rtp-garbage alerts = %d, want 1", len(got))
+	}
+}
+
+func TestEndpointPlacementBenignQuiet(t *testing.T) {
+	tb, da := endpointBed(t, 23)
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10 * time.Second)
+	tb.Sim.Schedule(0, func() { _ = tb.Alice.Hangup(call) })
+	tb.Run(3 * time.Second)
+	if got := da.Engine().Alerts(); len(got) != 0 {
+		t.Errorf("endpoint detector raised %d alerts on benign traffic: %v", len(got), got)
+	}
+	// The endpoint view is a strict subset of the hub view: it saw only
+	// alice's traffic (both directions), not bob<->proxy legs.
+	if da.Engine().Stats().Footprints == 0 {
+		t.Fatal("endpoint detector saw nothing")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/packet"
+	"scidive/internal/rtp"
+	"scidive/internal/sip"
+)
+
+var (
+	dSrcIP = netip.MustParseAddr("10.0.0.1")
+	dDstIP = netip.MustParseAddr("10.0.0.2")
+)
+
+// frameFor wraps a UDP payload in Ethernet/IP framing for distiller tests.
+func frameFor(t *testing.T, srcPort, dstPort uint16, payload []byte, mtu int) [][]byte {
+	t.Helper()
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: dSrcIP, DstIP: dDstIP,
+		SrcPort: srcPort, DstPort: dstPort,
+		IPID: 99, Payload: payload,
+	}, mtu)
+	if err != nil {
+		t.Fatalf("BuildUDPFrames: %v", err)
+	}
+	return frames
+}
+
+func sipBytes(t *testing.T) []byte {
+	t.Helper()
+	from, _ := sip.ParseAddress("<sip:alice@10.0.0.1>;tag=t1")
+	to, _ := sip.ParseAddress("<sip:bob@10.0.0.2>")
+	req := sip.NewRequest(sip.RequestSpec{
+		Method: sip.MethodInvite, RequestURI: "sip:bob@10.0.0.2",
+		From: from, To: to, CallID: "dist@test",
+		CSeq: sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:  sip.Via{Transport: "UDP", SentBy: "10.0.0.1:5060", Params: map[string]string{"branch": "z9hG4bKd"}},
+	})
+	return req.Marshal()
+}
+
+func TestDistillSIP(t *testing.T) {
+	d := NewDistiller()
+	frames := frameFor(t, 5060, 5060, sipBytes(t), 0)
+	fp := d.Distill(time.Second, frames[0])
+	sf, ok := fp.(*SIPFootprint)
+	if !ok {
+		t.Fatalf("footprint = %T", fp)
+	}
+	if sf.Msg.CallID() != "dist@test" {
+		t.Errorf("Call-ID = %q", sf.Msg.CallID())
+	}
+	if len(sf.Malformed) != 0 {
+		t.Errorf("clean message flagged: %v", sf.Malformed)
+	}
+	src, dst := sf.Flow()
+	if src.Port() != 5060 || dst.Port() != 5060 || src.Addr() != dSrcIP {
+		t.Errorf("flow = %v -> %v", src, dst)
+	}
+	if d.Stats().SIP != 1 {
+		t.Errorf("stats = %+v", d.Stats())
+	}
+}
+
+func TestDistillFragmentedSIP(t *testing.T) {
+	// A SIP message bigger than the MTU arrives as IP fragments; the
+	// distiller must reassemble before parsing (a stated Distiller duty).
+	d := NewDistiller()
+	big := sipBytes(t)
+	// Pad the body to exceed a tiny MTU.
+	m, err := sip.ParseMessage(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Body = []byte(strings.Repeat("x", 2000))
+	m.Headers.Set(sip.HdrContentType, "text/plain")
+	frames := frameFor(t, 5060, 5060, m.Marshal(), 576)
+	if len(frames) < 2 {
+		t.Fatalf("expected fragmentation, got %d frame(s)", len(frames))
+	}
+	var got Footprint
+	for i, fr := range frames {
+		fp := d.Distill(time.Duration(i)*time.Millisecond, fr)
+		if fp != nil {
+			got = fp
+		}
+	}
+	sf, ok := got.(*SIPFootprint)
+	if !ok {
+		t.Fatalf("reassembled footprint = %T", got)
+	}
+	if len(sf.Msg.Body) != 2000 {
+		t.Errorf("body = %d bytes", len(sf.Msg.Body))
+	}
+	if d.Stats().Fragments == 0 {
+		t.Error("no fragments counted")
+	}
+}
+
+func TestDistillRTPAndRTCP(t *testing.T) {
+	d := NewDistiller()
+	pkt := rtp.Packet{Header: rtp.Header{Seq: 7, SSRC: 9}, Payload: make([]byte, 160)}
+	buf, _ := pkt.Marshal()
+	fp := d.Distill(0, frameFor(t, 40000, 40000, buf, 0)[0])
+	rf, ok := fp.(*RTPFootprint)
+	if !ok {
+		t.Fatalf("footprint = %T", fp)
+	}
+	if rf.Header.Seq != 7 || rf.PayloadLen != 160 {
+		t.Errorf("rtp footprint = %+v", rf)
+	}
+
+	rtcpBuf, _ := rtp.MarshalCompound([]rtp.RTCPPacket{&rtp.ReceiverReport{SSRC: 9}})
+	fp = d.Distill(0, frameFor(t, 40001, 40001, rtcpBuf, 0)[0])
+	cf, ok := fp.(*RTCPFootprint)
+	if !ok {
+		t.Fatalf("rtcp footprint = %T", fp)
+	}
+	if len(cf.Packets) != 1 {
+		t.Errorf("rtcp packets = %d", len(cf.Packets))
+	}
+}
+
+func TestDistillGarbageOnRTPPort(t *testing.T) {
+	d := NewDistiller()
+	garbage := []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b}
+	fp := d.Distill(0, frameFor(t, 40666, 40000, garbage, 0)[0])
+	raw, ok := fp.(*RawFootprint)
+	if !ok {
+		t.Fatalf("footprint = %T", fp)
+	}
+	if raw.OnPort != ProtoRTP {
+		t.Errorf("OnPort = %v", raw.OnPort)
+	}
+	if raw.Len != len(garbage) {
+		t.Errorf("Len = %d", raw.Len)
+	}
+}
+
+func TestDistillAccounting(t *testing.T) {
+	d := NewDistiller()
+	txn := accounting.Txn{Kind: accounting.TxnStart, CallID: "c1", From: "a@d", To: "b@d", FromIP: dSrcIP}
+	fp := d.Distill(0, frameFor(t, 7010, accounting.DefaultPort, txn.Marshal(), 0)[0])
+	af, ok := fp.(*AcctFootprint)
+	if !ok {
+		t.Fatalf("footprint = %T", fp)
+	}
+	if af.Txn.CallID != "c1" || af.Txn.Kind != accounting.TxnStart {
+		t.Errorf("txn = %+v", af.Txn)
+	}
+}
+
+func TestDistillIgnoresUnmonitoredPorts(t *testing.T) {
+	d := NewDistiller()
+	if fp := d.Distill(0, frameFor(t, 1234, 80, []byte("GET / HTTP/1.1"), 0)[0]); fp != nil {
+		t.Errorf("footprint = %v for web traffic", fp)
+	}
+	if d.Stats().Ignored != 1 {
+		t.Errorf("Ignored = %d", d.Stats().Ignored)
+	}
+}
+
+func TestDistillUndecodableFrames(t *testing.T) {
+	d := NewDistiller()
+	if fp := d.Distill(0, []byte{1, 2, 3}); fp != nil {
+		t.Error("footprint from 3-byte frame")
+	}
+	if d.Stats().DecodeError != 1 {
+		t.Errorf("DecodeError = %d", d.Stats().DecodeError)
+	}
+}
+
+func TestCheckSIPFormat(t *testing.T) {
+	clean, err := sip.ParseMessage(sipBytes(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckSIPFormat(clean); len(v) != 0 {
+		t.Errorf("clean message: %v", v)
+	}
+
+	dup, _ := sip.ParseMessage(sipBytes(t))
+	dup.Headers.Add(sip.HdrFrom, "<sip:evil@10.0.0.66>;tag=x")
+	if v := CheckSIPFormat(dup); len(v) != 1 || !strings.Contains(v[0], "duplicate From") {
+		t.Errorf("duplicate From: %v", v)
+	}
+
+	badMF, _ := sip.ParseMessage(sipBytes(t))
+	badMF.Headers.Set(sip.HdrMaxForwards, "lots")
+	if v := CheckSIPFormat(badMF); len(v) != 1 || !strings.Contains(v[0], "Max-Forwards") {
+		t.Errorf("bad Max-Forwards: %v", v)
+	}
+
+	badFrom, _ := sip.ParseMessage(sipBytes(t))
+	badFrom.Headers.Set(sip.HdrFrom, ">>>not an address<<<")
+	if v := CheckSIPFormat(badFrom); len(v) == 0 {
+		t.Error("unparseable From not flagged")
+	}
+}

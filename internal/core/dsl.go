@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file implements SCIDIVE's rule description language, a small
+// Snort-style text format so deployments can author rules without
+// recompiling:
+//
+//	# BYE attack (Figure 5)
+//	rule bye-attack critical cross stateful {
+//	    describe No RTP traffic after a SIP BYE from that agent
+//	    seq sip-bye, rtp-after-bye
+//	    window 5s
+//	}
+//
+//	rule billing-fraud critical cross stateful {
+//	    all sip-bad-format, acct-unmatched, rtp-unmatched-media
+//	}
+//
+// `seq` matches events in order; `all` in any order. Event names are the
+// EventType strings (sip-bye, rtp-after-bye, ...). Severities: info,
+// warning, critical.
+
+// eventTypeNames maps DSL event names to types.
+var eventTypeNames = func() map[string]EventType {
+	all := []EventType{
+		EvSIPRegister, EvSIPAuthChallenge, EvSIPRegisterOK, EvSIPInvite,
+		EvSIPCallEstablished, EvSIPBye, EvSIPReinvite, EvSIPInstantMessage,
+		EvRTPNewFlow, EvAcctStart, EvAcctStop, EvSIPBadFormat,
+		EvIMSourceMismatch, EvRTPAfterBye, EvRTPAfterReinvite, EvRTPSeqJump,
+		EvRTPBadSource, EvRTPGarbage, EvAuthFlood, EvPasswordGuessing,
+		EvAcctUnmatched, EvRTPUnmatchedMedia, EvRTCPSpoofedBye,
+	}
+	m := make(map[string]EventType, len(all))
+	for _, t := range all {
+		m[t.String()] = t
+	}
+	return m
+}()
+
+// EventTypeByName resolves a DSL event name.
+func EventTypeByName(name string) (EventType, bool) {
+	t, ok := eventTypeNames[name]
+	return t, ok
+}
+
+var severityNames = map[string]Severity{
+	"info":     SeverityInfo,
+	"warning":  SeverityWarning,
+	"critical": SeverityCritical,
+}
+
+// ParseRules parses a ruleset in the rule description language.
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	var cur *Rule
+	seen := make(map[string]bool)
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("rules: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "rule "):
+			if cur != nil {
+				return nil, errf("rule %q not closed before new rule", cur.Name)
+			}
+			header := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "rule ")), "{")
+			fields := strings.Fields(header)
+			if len(fields) < 2 {
+				return nil, errf("rule header wants `rule <name> <severity> [cross] [stateful] {`")
+			}
+			if !strings.HasSuffix(line, "{") {
+				return nil, errf("rule header must end with '{'")
+			}
+			name := fields[0]
+			if seen[name] {
+				return nil, errf("duplicate rule %q", name)
+			}
+			seen[name] = true
+			sev, ok := severityNames[fields[1]]
+			if !ok {
+				return nil, errf("unknown severity %q", fields[1])
+			}
+			cur = &Rule{Name: name, Severity: sev}
+			for _, flag := range fields[2:] {
+				switch flag {
+				case "cross":
+					cur.CrossProtocol = true
+				case "stateful":
+					cur.Stateful = true
+				default:
+					return nil, errf("unknown rule flag %q", flag)
+				}
+			}
+		case line == "}":
+			if cur == nil {
+				return nil, errf("'}' without open rule")
+			}
+			if len(cur.Steps) == 0 {
+				return nil, errf("rule %q has no seq/all clause", cur.Name)
+			}
+			rules = append(rules, *cur)
+			cur = nil
+		case cur == nil:
+			return nil, errf("statement outside a rule: %q", line)
+		case strings.HasPrefix(line, "describe "):
+			cur.Description = strings.TrimSpace(strings.TrimPrefix(line, "describe "))
+		case strings.HasPrefix(line, "seq "), strings.HasPrefix(line, "all "):
+			if len(cur.Steps) > 0 {
+				return nil, errf("rule %q already has a pattern clause", cur.Name)
+			}
+			cur.Unordered = strings.HasPrefix(line, "all ")
+			list := strings.TrimSpace(line[4:])
+			for _, name := range strings.Split(list, ",") {
+				name = strings.TrimSpace(name)
+				t, ok := EventTypeByName(name)
+				if !ok {
+					return nil, errf("unknown event type %q", name)
+				}
+				cur.Steps = append(cur.Steps, Step{Type: t})
+			}
+		case strings.HasPrefix(line, "window "):
+			d, err := time.ParseDuration(strings.TrimSpace(strings.TrimPrefix(line, "window ")))
+			if err != nil {
+				return nil, errf("bad window: %v", err)
+			}
+			cur.Window = d
+		default:
+			return nil, errf("unknown statement %q", line)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("rules: rule %q not closed at end of input", cur.Name)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("rules: no rules defined")
+	}
+	return rules, nil
+}
+
+// FormatRules renders rules back into the rule description language
+// (predicates, which have no textual form, are omitted).
+func FormatRules(rules []Rule) string {
+	var b strings.Builder
+	for i, r := range rules {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		sev := "info"
+		for name, s := range severityNames {
+			if s == r.Severity {
+				sev = name
+			}
+		}
+		fmt.Fprintf(&b, "rule %s %s", r.Name, sev)
+		if r.CrossProtocol {
+			b.WriteString(" cross")
+		}
+		if r.Stateful {
+			b.WriteString(" stateful")
+		}
+		b.WriteString(" {\n")
+		if r.Description != "" {
+			fmt.Fprintf(&b, "    describe %s\n", r.Description)
+		}
+		kw := "seq"
+		if r.Unordered {
+			kw = "all"
+		}
+		names := make([]string, len(r.Steps))
+		for j, st := range r.Steps {
+			names[j] = st.Type.String()
+		}
+		fmt.Fprintf(&b, "    %s %s\n", kw, strings.Join(names, ", "))
+		if r.Window > 0 {
+			fmt.Fprintf(&b, "    window %s\n", r.Window)
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

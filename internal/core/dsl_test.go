@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleRules = `
+# BYE attack (Figure 5)
+rule bye-attack critical cross stateful {
+    describe No RTP traffic after a SIP BYE from that agent
+    seq sip-bye, rtp-after-bye
+    window 5s
+}
+
+rule billing-fraud critical cross stateful {
+    all sip-bad-format, acct-unmatched, rtp-unmatched-media
+}
+
+rule noisy-garbage warning {
+    seq rtp-garbage
+}
+`
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(sampleRules)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rules))
+	}
+	bye := rules[0]
+	if bye.Name != "bye-attack" || bye.Severity != SeverityCritical ||
+		!bye.CrossProtocol || !bye.Stateful || bye.Unordered {
+		t.Errorf("bye rule = %+v", bye)
+	}
+	if bye.Window != 5*time.Second {
+		t.Errorf("window = %v", bye.Window)
+	}
+	if len(bye.Steps) != 2 || bye.Steps[0].Type != EvSIPBye || bye.Steps[1].Type != EvRTPAfterBye {
+		t.Errorf("steps = %+v", bye.Steps)
+	}
+	if !strings.Contains(bye.Description, "No RTP traffic") {
+		t.Errorf("description = %q", bye.Description)
+	}
+	fraud := rules[1]
+	if !fraud.Unordered || len(fraud.Steps) != 3 {
+		t.Errorf("fraud rule = %+v", fraud)
+	}
+	garbage := rules[2]
+	if garbage.Severity != SeverityWarning || garbage.CrossProtocol || garbage.Stateful {
+		t.Errorf("garbage rule = %+v", garbage)
+	}
+}
+
+func TestParsedRulesActuallyMatch(t *testing.T) {
+	rules, err := ParseRules(sampleRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewRuleEngine(rules)
+	re.Feed(Event{At: time.Second, Type: EvSIPBye, Session: "s"})
+	got := re.Feed(Event{At: 2 * time.Second, Type: EvRTPAfterBye, Session: "s"})
+	if len(got) != 1 || got[0].Rule != "bye-attack" {
+		t.Errorf("alerts = %v", got)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"comment only", "# nothing\n"},
+		{"bad severity", "rule x nope {\nseq sip-bye\n}\n"},
+		{"unknown flag", "rule x critical sideways {\nseq sip-bye\n}\n"},
+		{"unknown event", "rule x critical {\nseq not-an-event\n}\n"},
+		{"no pattern", "rule x critical {\ndescribe hi\n}\n"},
+		{"double pattern", "rule x critical {\nseq sip-bye\nall rtp-garbage\n}\n"},
+		{"unclosed rule", "rule x critical {\nseq sip-bye\n"},
+		{"stray close", "}\n"},
+		{"statement outside rule", "seq sip-bye\n"},
+		{"missing brace", "rule x critical\nseq sip-bye\n}\n"},
+		{"bad window", "rule x critical {\nseq sip-bye\nwindow soon\n}\n"},
+		{"duplicate name", "rule x critical {\nseq sip-bye\n}\nrule x critical {\nseq sip-bye\n}\n"},
+		{"nested rule", "rule x critical {\nrule y critical {\n}\n}\n"},
+		{"unknown statement", "rule x critical {\nfrobnicate\n}\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseRules(tt.text); err == nil {
+				t.Errorf("accepted:\n%s", tt.text)
+			}
+		})
+	}
+}
+
+func TestFormatParsedRoundTrip(t *testing.T) {
+	rules, err := ParseRules(sampleRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseRules(FormatRules(rules))
+	if err != nil {
+		t.Fatalf("re-parse formatted rules: %v", err)
+	}
+	if len(again) != len(rules) {
+		t.Fatalf("round trip lost rules: %d vs %d", len(again), len(rules))
+	}
+	for i := range rules {
+		a, b := rules[i], again[i]
+		if a.Name != b.Name || a.Severity != b.Severity || a.Unordered != b.Unordered ||
+			a.Window != b.Window || len(a.Steps) != len(b.Steps) {
+			t.Errorf("rule %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestDefaultRulesetRoundTripsThroughDSL(t *testing.T) {
+	// The built-in ruleset is expressible in the DSL (it uses no
+	// predicates), so exporting and re-parsing must preserve behaviour.
+	text := FormatRules(DefaultRuleset())
+	rules, err := ParseRules(text)
+	if err != nil {
+		t.Fatalf("default ruleset does not round-trip: %v\n%s", err, text)
+	}
+	if len(rules) != len(DefaultRuleset()) {
+		t.Errorf("rules = %d, want %d", len(rules), len(DefaultRuleset()))
+	}
+}
+
+func TestEventTypeByName(t *testing.T) {
+	if _, ok := EventTypeByName("sip-bye"); !ok {
+		t.Error("sip-bye unknown")
+	}
+	if _, ok := EventTypeByName("bogus"); ok {
+		t.Error("bogus resolved")
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"scidive/internal/capture"
+	"scidive/internal/netsim"
+	"scidive/internal/sip"
+)
+
+// EngineStats counts end-to-end IDS activity.
+type EngineStats struct {
+	Frames          int
+	Footprints      int
+	Events          int
+	Alerts          int
+	SessionsEvicted int
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Gen tunes the Event Generator.
+	Gen GenConfig
+	// Rules is the ruleset (nil = DefaultRuleset).
+	Rules []Rule
+	// MaxTrailLen bounds per-trail memory (default 4096 footprints).
+	MaxTrailLen int
+	// SessionTimeout evicts per-session state and trails idle this long
+	// (default 10 minutes; the paper notes memory is the practical bound
+	// on how far apart correlated packets may be).
+	SessionTimeout time.Duration
+	// DirectTrailMatching is the ablation mode of DESIGN.md: bypass the
+	// event layer and run rules as raw trail scans on every packet. Only
+	// the BYE-attack rule is implemented in this mode; it exists to
+	// measure what the event abstraction buys (paper Section 3.1).
+	DirectTrailMatching bool
+}
+
+// Engine is a deployed SCIDIVE instance: Distiller -> Trails -> Event
+// Generator -> Rule Matching Engine -> Alerts.
+type Engine struct {
+	cfg       Config
+	distiller *Distiller
+	trails    *TrailStore
+	gen       *EventGenerator
+	rules     *RuleEngine
+	stats     EngineStats
+	events    []Event
+	keepLog   bool
+}
+
+// EngineOption customizes engine construction.
+type EngineOption func(*Engine)
+
+// WithEventLog makes the engine retain every generated event (for
+// experiment reporting; costs memory on long runs).
+func WithEventLog() EngineOption {
+	return func(e *Engine) { e.keepLog = true }
+}
+
+// NewEngine builds an IDS instance.
+func NewEngine(cfg Config, opts ...EngineOption) *Engine {
+	if cfg.MaxTrailLen == 0 {
+		cfg.MaxTrailLen = 4096
+	}
+	if cfg.SessionTimeout == 0 {
+		cfg.SessionTimeout = 10 * time.Minute
+	}
+	rules := cfg.Rules
+	if rules == nil {
+		rules = DefaultRuleset()
+	}
+	trails := NewTrailStore(cfg.MaxTrailLen)
+	e := &Engine{
+		cfg:       cfg,
+		distiller: NewDistiller(),
+		trails:    trails,
+		gen:       NewEventGenerator(cfg.Gen, trails),
+		rules:     NewRuleEngine(rules),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Trails exposes the trail store (read-mostly; used by reports and the
+// direct-matching ablation).
+func (e *Engine) Trails() *TrailStore { return e.trails }
+
+// Generator exposes the event generator (for binding inspection).
+func (e *Engine) Generator() *EventGenerator { return e.gen }
+
+// Alerts returns all alerts raised so far.
+func (e *Engine) Alerts() []Alert { return e.rules.Alerts() }
+
+// AlertsFor returns alerts raised by one rule.
+func (e *Engine) AlertsFor(rule string) []Alert { return e.rules.AlertsFor(rule) }
+
+// OnAlert registers a callback for new alerts.
+func (e *Engine) OnAlert(fn func(Alert)) { e.rules.OnAlert(fn) }
+
+// Events returns the retained event log (empty unless WithEventLog).
+func (e *Engine) Events() []Event { return append([]Event(nil), e.events...) }
+
+// gcEvery is how many frames pass between session-expiry sweeps.
+const gcEvery = 4096
+
+// HandleFrame processes one observed frame. It is netsim.Tap compatible.
+func (e *Engine) HandleFrame(at time.Duration, frame []byte) {
+	e.stats.Frames++
+	if e.stats.Frames%gcEvery == 0 {
+		e.stats.SessionsEvicted += e.gen.ExpireSessions(at, e.cfg.SessionTimeout)
+	}
+	fp := e.distiller.Distill(at, frame)
+	if fp == nil {
+		return
+	}
+	e.stats.Footprints++
+	if e.cfg.DirectTrailMatching {
+		e.handleDirect(fp)
+		return
+	}
+	for _, ev := range e.gen.Process(fp) {
+		e.stats.Events++
+		if e.keepLog {
+			e.events = append(e.events, ev)
+		}
+		alerts := e.rules.Feed(ev)
+		e.stats.Alerts += len(alerts)
+	}
+}
+
+// AttachTap subscribes the engine to all hub traffic of a network,
+// mirroring the paper's Figure 4 deployment.
+func (e *Engine) AttachTap(n *netsim.Network) {
+	n.AddTap(e.HandleFrame)
+}
+
+// ReplayCapture feeds a recorded SCAP capture through the engine.
+func (e *Engine) ReplayCapture(r *capture.Reader) error {
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: replay: %w", err)
+		}
+		e.HandleFrame(rec.Time, rec.Frame)
+	}
+}
+
+// --- Direct trail matching (ablation) ---
+
+// handleDirect stores footprints into trails keyed without event-layer
+// session intelligence and scans trails on every media packet. This is
+// the expensive path the paper's Event Generator exists to avoid: "it
+// helps performance by hiding some computationally expensive matching".
+func (e *Engine) handleDirect(fp Footprint) {
+	switch f := fp.(type) {
+	case *SIPFootprint:
+		e.trails.Get(f.Msg.CallID(), ProtoSIP).Append(f)
+	case *RTPFootprint:
+		e.trails.Get("rtp:"+f.Dst.String(), ProtoRTP).Append(f)
+		e.directByeScan(f)
+	case *AcctFootprint:
+		e.trails.Get(f.Txn.CallID, ProtoAccounting).Append(f)
+	case *RTCPFootprint:
+		e.trails.Get("rtcp:"+f.Dst.String(), ProtoRTCP).Append(f)
+	}
+}
+
+// directByeScan re-derives, from raw trails, whether this RTP packet is
+// an orphan flow after a BYE: it walks every SIP trail, re-parses SDP
+// bodies to find the session whose media endpoints match, and checks BYE
+// timing. Equivalent detection to the event path, at per-packet scan
+// cost.
+func (e *Engine) directByeScan(f *RTPFootprint) {
+	window := e.cfg.Gen.withDefaults().MonitorWindow
+	for _, trail := range e.allSIPTrails() {
+		var callerMedia, calleeMedia netip.AddrPort
+		var byeAt time.Duration
+		var byeSeen bool
+		var byeFromCaller bool
+		var callerTag string
+		for _, tfp := range trail.Footprints() {
+			sf, ok := tfp.(*SIPFootprint)
+			if !ok {
+				continue
+			}
+			m := sf.Msg
+			switch {
+			case m.IsRequest() && m.Method == sip.MethodInvite:
+				if from, err := m.From(); err == nil && callerTag == "" {
+					callerTag = from.Tag()
+				}
+				if media, ok := mediaFromBody(m); ok && !callerMedia.IsValid() {
+					callerMedia = media
+				}
+			case m.IsResponse() && m.StatusCode == sip.StatusOK:
+				if cseq, err := m.CSeq(); err == nil && cseq.Method == sip.MethodInvite {
+					if media, ok := mediaFromBody(m); ok && !calleeMedia.IsValid() {
+						calleeMedia = media
+					}
+				}
+			case m.IsRequest() && m.Method == sip.MethodBye:
+				if !byeSeen {
+					byeSeen = true
+					byeAt = sf.At
+					if from, err := m.From(); err == nil {
+						byeFromCaller = from.Tag() == callerTag
+					}
+				}
+			}
+		}
+		if !byeSeen {
+			continue
+		}
+		byeMedia := calleeMedia
+		if byeFromCaller {
+			byeMedia = callerMedia
+		}
+		if f.Src == byeMedia && f.At > byeAt && f.At-byeAt <= window {
+			e.stats.Events++
+			ev := Event{
+				At: f.At, Type: EvRTPAfterBye, Session: trail.Session,
+				Detail:    fmt.Sprintf("direct scan: RTP from %v after BYE", f.Src),
+				Footprint: f,
+			}
+			// Feed both steps so the two-step rule completes.
+			e.stats.Alerts += len(e.rules.Feed(Event{At: byeAt, Type: EvSIPBye, Session: trail.Session}))
+			e.stats.Alerts += len(e.rules.Feed(ev))
+		}
+	}
+}
+
+// allSIPTrails returns every SIP trail in the store.
+func (e *Engine) allSIPTrails() []*Trail {
+	var out []*Trail
+	for k, t := range e.trails.trails {
+		if k.proto == ProtoSIP {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventType classifies events produced by the Event Generator.
+type EventType int
+
+// Event types. Informational events describe normal protocol progress;
+// suspicious events are the concentrated, stateful observations the
+// paper's rules match on.
+const (
+	// Informational SIP progress events.
+	EvSIPRegister EventType = iota + 1
+	EvSIPAuthChallenge
+	EvSIPRegisterOK
+	EvSIPInvite
+	EvSIPCallEstablished
+	EvSIPBye
+	EvSIPReinvite
+	EvSIPInstantMessage
+
+	// Informational media/accounting events.
+	EvRTPNewFlow
+	EvAcctStart
+	EvAcctStop
+
+	// Suspicious events.
+	EvSIPBadFormat      // strict format checker violation
+	EvIMSourceMismatch  // IM claims a sender whose recent source IP differs
+	EvRTPAfterBye       // orphan media after a BYE (cross-protocol, stateful)
+	EvRTPAfterReinvite  // orphan media from a "moved" party (cross-protocol, stateful)
+	EvRTPSeqJump        // sequence discontinuity beyond threshold
+	EvRTPBadSource      // media from an address the session never negotiated
+	EvRTPGarbage        // undecodable bytes on a media port
+	EvAuthFlood         // repeated unauthenticated requests ignoring 401s
+	EvPasswordGuessing  // repeated requests with varying challenge responses
+	EvAcctUnmatched     // accounting transaction without matching call setup
+	EvRTPUnmatchedMedia // session media negotiated away from the caller's registered location
+	EvRTCPSpoofedBye    // RTCP BYE with no corresponding SIP BYE (three-protocol chain)
+)
+
+// String returns the event type name.
+func (t EventType) String() string {
+	switch t {
+	case EvSIPRegister:
+		return "sip-register"
+	case EvSIPAuthChallenge:
+		return "sip-auth-challenge"
+	case EvSIPRegisterOK:
+		return "sip-register-ok"
+	case EvSIPInvite:
+		return "sip-invite"
+	case EvSIPCallEstablished:
+		return "sip-call-established"
+	case EvSIPBye:
+		return "sip-bye"
+	case EvSIPReinvite:
+		return "sip-reinvite"
+	case EvSIPInstantMessage:
+		return "sip-instant-message"
+	case EvRTPNewFlow:
+		return "rtp-new-flow"
+	case EvAcctStart:
+		return "acct-start"
+	case EvAcctStop:
+		return "acct-stop"
+	case EvSIPBadFormat:
+		return "sip-bad-format"
+	case EvIMSourceMismatch:
+		return "im-source-mismatch"
+	case EvRTPAfterBye:
+		return "rtp-after-bye"
+	case EvRTPAfterReinvite:
+		return "rtp-after-reinvite"
+	case EvRTPSeqJump:
+		return "rtp-seq-jump"
+	case EvRTPBadSource:
+		return "rtp-bad-source"
+	case EvRTPGarbage:
+		return "rtp-garbage"
+	case EvAuthFlood:
+		return "auth-flood"
+	case EvPasswordGuessing:
+		return "password-guessing"
+	case EvAcctUnmatched:
+		return "acct-unmatched"
+	case EvRTPUnmatchedMedia:
+		return "rtp-unmatched-media"
+	case EvRTCPSpoofedBye:
+		return "rtcp-spoofed-bye"
+	default:
+		return fmt.Sprintf("event-type-%d", int(t))
+	}
+}
+
+// Event is one Event Generator output: a concentrated observation that
+// may encapsulate state accumulated from many footprints.
+type Event struct {
+	At      time.Duration
+	Type    EventType
+	Session string // correlation key: Call-ID for calls, "im:<aor>" for IM, flow string otherwise
+	Detail  string
+	// Footprint is the observation that completed the event (may be nil
+	// for purely state-derived events).
+	Footprint Footprint
+}
+
+// String formats the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("[%8.3fs] %-20s session=%s %s",
+		e.At.Seconds(), e.Type, e.Session, e.Detail)
+}

@@ -1,0 +1,701 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/rtp"
+	"scidive/internal/sip"
+)
+
+// GenConfig tunes the Event Generator's stateful checks.
+type GenConfig struct {
+	// MonitorWindow is "m": how long after a BYE/REINVITE the orphan-flow
+	// monitor stays armed (Section 4.3). Default 1s.
+	MonitorWindow time.Duration
+	// ReinviteGrace delays the REINVITE orphan monitor: a legitimately
+	// migrating phone keeps transmitting from its old socket until its
+	// re-INVITE transaction completes, so media from the old address is
+	// only suspicious after this grace period. Default 250ms.
+	ReinviteGrace time.Duration
+	// SeqJumpThreshold is the paper's empirically chosen sequence-number
+	// discontinuity bound. Default 100.
+	SeqJumpThreshold int
+	// AuthFloodThreshold is how many 401s one session may draw before the
+	// DoS event fires. Default 5.
+	AuthFloodThreshold int
+	// GuessThreshold is how many distinct challenge responses one session
+	// may try before the password-guessing event fires. Default 3.
+	GuessThreshold int
+	// IMPeriod is how long a sender's source IP is expected to stay
+	// stable (the rule's mobility allowance). Default 60s.
+	IMPeriod time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MonitorWindow == 0 {
+		c.MonitorWindow = time.Second
+	}
+	if c.ReinviteGrace == 0 {
+		c.ReinviteGrace = 250 * time.Millisecond
+	}
+	if c.SeqJumpThreshold == 0 {
+		c.SeqJumpThreshold = 100
+	}
+	if c.AuthFloodThreshold == 0 {
+		c.AuthFloodThreshold = 5
+	}
+	if c.GuessThreshold == 0 {
+		c.GuessThreshold = 3
+	}
+	if c.IMPeriod == 0 {
+		c.IMPeriod = 60 * time.Second
+	}
+	return c
+}
+
+// sessionState is the per-call state the generator accumulates.
+type sessionState struct {
+	callID      string
+	lastSeen    time.Duration
+	established bool
+
+	callerAOR   string
+	calleeAOR   string
+	callerTag   string
+	calleeTag   string
+	callerMedia netip.AddrPort
+	calleeMedia netip.AddrPort
+	inviteSrcIP netip.Addr // network source of the first INVITE sighting
+
+	byeSeen      bool
+	byeAt        time.Duration
+	byeFromMedia netip.AddrPort // media of the purported BYE sender
+
+	lastReinviteSeq  uint32
+	reinviteSeen     bool
+	reinviteAt       time.Duration
+	reinviteOldMedia netip.AddrPort // media the "moved" party used before
+
+	badFormat     bool
+	acctStart     bool
+	unmatchedOnce bool
+
+	// RTCP BYE correlation (three-protocol chain: SIP state, RTP media,
+	// RTCP control).
+	rtcpByeAt      time.Duration
+	rtcpByePending bool
+	rtcpByeFired   bool
+
+	// Registration-session state (Section 3.3).
+	isRegistration bool
+	challenges     int
+	floodFired     bool
+	guessResponses map[string]struct{}
+	guessFired     bool
+}
+
+// imRecord tracks the last source of instant messages per claimed sender.
+type imRecord struct {
+	ip netip.Addr
+	at time.Duration
+}
+
+// seqTrack tracks RTP sequence continuity per destination media endpoint.
+type seqTrack struct {
+	last   uint16
+	primed bool
+}
+
+// EventGenerator folds footprints into events, keeping per-session state
+// across packets and protocols. It is deliberately "hard-coded and
+// seamlessly coupled with internal structures for best possible
+// performance" (paper Section 3.1).
+type EventGenerator struct {
+	cfg    GenConfig
+	trails *TrailStore
+
+	sessions   map[string]*sessionState
+	bindings   map[string]netip.Addr // AOR -> registered contact IP
+	ims        map[string]imRecord   // "AOR|dstIP" -> last IM source on that delivery path
+	seqs       map[netip.AddrPort]*seqTrack
+	pendingReg map[string]string // Call-ID -> AOR awaiting 200
+}
+
+// NewEventGenerator returns a generator storing footprints into trails.
+func NewEventGenerator(cfg GenConfig, trails *TrailStore) *EventGenerator {
+	return &EventGenerator{
+		cfg:        cfg.withDefaults(),
+		trails:     trails,
+		sessions:   make(map[string]*sessionState),
+		bindings:   make(map[string]netip.Addr),
+		ims:        make(map[string]imRecord),
+		seqs:       make(map[netip.AddrPort]*seqTrack),
+		pendingReg: make(map[string]string),
+	}
+}
+
+// Bindings returns the registration bindings learned from traffic.
+func (g *EventGenerator) Bindings() map[string]netip.Addr {
+	out := make(map[string]netip.Addr, len(g.bindings))
+	for k, v := range g.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// session returns the state for a Call-ID, creating it if needed.
+func (g *EventGenerator) session(callID string) *sessionState {
+	st, ok := g.sessions[callID]
+	if !ok {
+		st = &sessionState{callID: callID, guessResponses: make(map[string]struct{})}
+		g.sessions[callID] = st
+	}
+	return st
+}
+
+// touch records session activity for expiry bookkeeping.
+func (g *EventGenerator) touch(session string, at time.Duration) {
+	if st, ok := g.sessions[session]; ok {
+		st.lastSeen = at
+	}
+}
+
+// ExpireSessions drops per-session state (and the session's trails) for
+// sessions idle longer than timeout as of now. It returns how many
+// sessions were evicted. Registration bindings and IM histories have
+// their own windows and are kept.
+func (g *EventGenerator) ExpireSessions(now, timeout time.Duration) int {
+	evicted := 0
+	for id, st := range g.sessions {
+		if now-st.lastSeen > timeout {
+			delete(g.sessions, id)
+			g.trails.Drop(id)
+			evicted++
+		}
+	}
+	if evicted > 0 {
+		// Sequence trackers for media endpoints of dead sessions would leak
+		// too; they are keyed by endpoint, so sweep any tracker not
+		// refreshed within the timeout by rebuilding lazily: cheapest is to
+		// clear when the sessions map empties.
+		if len(g.sessions) == 0 {
+			g.seqs = make(map[netip.AddrPort]*seqTrack)
+		}
+	}
+	return evicted
+}
+
+// Process folds one footprint into the trails and state, returning any
+// events it completes.
+func (g *EventGenerator) Process(f Footprint) []Event {
+	switch fp := f.(type) {
+	case *SIPFootprint:
+		g.trails.Get(fp.Msg.CallID(), ProtoSIP).Append(fp)
+		defer g.touch(fp.Msg.CallID(), fp.At)
+		return g.processSIP(fp)
+	case *RTPFootprint:
+		session := g.sessionForFlow(fp.Src, fp.Dst)
+		if session == "" {
+			session = "rtp:" + fp.Dst.String()
+		}
+		g.trails.Get(session, ProtoRTP).Append(fp)
+		defer g.touch(session, fp.At)
+		return g.processRTP(fp, session)
+	case *RTCPFootprint:
+		session := g.sessionForRTCPFlow(fp.Src, fp.Dst)
+		if session == "" {
+			session = "rtcp:" + fp.Dst.String()
+		}
+		g.trails.Get(session, ProtoRTCP).Append(fp)
+		defer g.touch(session, fp.At)
+		return g.processRTCP(fp, session)
+	case *AcctFootprint:
+		g.trails.Get(fp.Txn.CallID, ProtoAccounting).Append(fp)
+		return g.processAcct(fp)
+	case *RawFootprint:
+		session := "raw:" + fp.Dst.String()
+		g.trails.Get(session, ProtoOther).Append(fp)
+		if fp.OnPort == ProtoRTP {
+			// Garbage on a media port: the Figure 8 attack signature.
+			if s := g.sessionForMediaDst(fp.Dst); s != "" {
+				session = s
+			}
+			return []Event{{
+				At: fp.At, Type: EvRTPGarbage, Session: session,
+				Detail:    fmt.Sprintf("undecodable %d bytes on RTP port from %v: %s", fp.Len, fp.Src, fp.Reason),
+				Footprint: fp,
+			}}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// sessionForFlow maps a media flow to the SIP session that negotiated
+// either endpoint. Sessions whose media is still unknown (zero-valued)
+// never match. Consecutive calls frequently renegotiate the same media
+// ports, so among candidates the live (not torn down), most recently
+// active session wins; ties break on the session id for determinism.
+func (g *EventGenerator) sessionForFlow(src, dst netip.AddrPort) string {
+	match := func(negotiated, ep netip.AddrPort) bool {
+		return negotiated.IsValid() && ep.IsValid() && negotiated == ep
+	}
+	var bestID string
+	var best *sessionState
+	for id, st := range g.sessions {
+		if !(match(st.callerMedia, dst) || match(st.calleeMedia, dst) ||
+			match(st.callerMedia, src) || match(st.calleeMedia, src)) {
+			continue
+		}
+		if best == nil || flowSessionLess(best, bestID, st, id) {
+			best, bestID = st, id
+		}
+	}
+	return bestID
+}
+
+// flowSessionLess reports whether candidate (b, bID) should replace the
+// current best (a, aID) when attributing a media flow.
+func flowSessionLess(a *sessionState, aID string, b *sessionState, bID string) bool {
+	// Live sessions outrank torn-down ones: an old call's BYE must not
+	// capture the media of the call that replaced it (it still matches
+	// within its own monitoring window via lastSeen recency below).
+	aLive, bLive := !a.byeSeen, !b.byeSeen
+	if aLive != bLive {
+		return bLive
+	}
+	if a.lastSeen != b.lastSeen {
+		return b.lastSeen > a.lastSeen
+	}
+	return bID > aID
+}
+
+// sessionForRTCPFlow maps an RTCP flow (media port + 1 by convention) to
+// its session.
+func (g *EventGenerator) sessionForRTCPFlow(src, dst netip.AddrPort) string {
+	down := func(ap netip.AddrPort) netip.AddrPort {
+		if !ap.IsValid() || ap.Port() == 0 {
+			return ap
+		}
+		return netip.AddrPortFrom(ap.Addr(), ap.Port()-1)
+	}
+	return g.sessionForFlow(down(src), down(dst))
+}
+
+// sessionForMediaDst maps a destination media endpoint to its session.
+func (g *EventGenerator) sessionForMediaDst(dst netip.AddrPort) string {
+	if !dst.IsValid() {
+		return ""
+	}
+	for id, st := range g.sessions {
+		if st.callerMedia == dst || st.calleeMedia == dst {
+			return id
+		}
+	}
+	return ""
+}
+
+// --- SIP ---
+
+func (g *EventGenerator) processSIP(fp *SIPFootprint) []Event {
+	var events []Event
+	m := fp.Msg
+	callID := m.CallID()
+	st := g.session(callID)
+
+	if len(fp.Malformed) > 0 && !st.badFormat {
+		st.badFormat = true
+		events = append(events, Event{
+			At: fp.At, Type: EvSIPBadFormat, Session: callID,
+			Detail: fmt.Sprintf("%v", fp.Malformed), Footprint: fp,
+		})
+	}
+	if m.IsRequest() {
+		events = append(events, g.processSIPRequest(fp, st)...)
+	} else {
+		events = append(events, g.processSIPResponse(fp, st)...)
+	}
+	return events
+}
+
+func (g *EventGenerator) processSIPRequest(fp *SIPFootprint, st *sessionState) []Event {
+	var events []Event
+	m := fp.Msg
+	from, errF := m.From()
+	to, errT := m.To()
+	if errF != nil || errT != nil {
+		return events
+	}
+	switch m.Method {
+	case sip.MethodRegister:
+		st.isRegistration = true
+		g.pendingReg[st.callID] = to.URI.AOR()
+		events = append(events, Event{At: fp.At, Type: EvSIPRegister, Session: st.callID,
+			Detail: to.URI.AOR(), Footprint: fp})
+		if authz := m.Headers.Get(sip.HdrAuthorization); authz != "" {
+			if creds, err := sip.ParseCredentials(authz); err == nil {
+				st.guessResponses[creds.Response] = struct{}{}
+				if len(st.guessResponses) >= g.cfg.GuessThreshold && !st.guessFired {
+					st.guessFired = true
+					events = append(events, Event{
+						At: fp.At, Type: EvPasswordGuessing, Session: st.callID,
+						Detail: fmt.Sprintf("%d distinct challenge responses for %s from %v",
+							len(st.guessResponses), to.URI.AOR(), fp.Src),
+						Footprint: fp,
+					})
+				}
+			}
+		}
+	case sip.MethodInvite:
+		if to.Tag() == "" {
+			// Dialog-forming INVITE.
+			if st.callerAOR == "" {
+				st.callerAOR = from.URI.AOR()
+				st.calleeAOR = to.URI.AOR()
+				st.callerTag = from.Tag()
+				st.inviteSrcIP = fp.Src.Addr()
+				if media, ok := mediaFromBody(m); ok {
+					st.callerMedia = media
+				}
+				events = append(events, Event{At: fp.At, Type: EvSIPInvite, Session: st.callID,
+					Detail: st.callerAOR + " -> " + st.calleeAOR, Footprint: fp})
+			}
+			return events
+		}
+		// Re-INVITE: someone claims to be moving their media.
+		cseq, err := m.CSeq()
+		if err != nil || cseq.Seq <= st.lastReinviteSeq {
+			return events // duplicate sighting (e.g. the proxy-relayed copy)
+		}
+		st.lastReinviteSeq = cseq.Seq
+		var oldMedia netip.AddrPort
+		mover := from.URI.AOR()
+		if from.Tag() == st.callerTag {
+			oldMedia = st.callerMedia
+			if media, ok := mediaFromBody(m); ok {
+				st.callerMedia = media
+			}
+		} else {
+			oldMedia = st.calleeMedia
+			if media, ok := mediaFromBody(m); ok {
+				st.calleeMedia = media
+			}
+		}
+		st.reinviteSeen = true
+		st.reinviteAt = fp.At
+		st.reinviteOldMedia = oldMedia
+		events = append(events, Event{At: fp.At, Type: EvSIPReinvite, Session: st.callID,
+			Detail: fmt.Sprintf("%s moving media from %v", mover, oldMedia), Footprint: fp})
+	case sip.MethodBye:
+		if st.byeSeen {
+			return events // duplicate sighting
+		}
+		st.byeSeen = true
+		st.byeAt = fp.At
+		// Which party claims to be hanging up? Match by tag, falling back
+		// to AOR for dialogs whose caller tag we never learned.
+		switch {
+		case from.Tag() != "" && from.Tag() == st.callerTag, from.URI.AOR() == st.callerAOR:
+			st.byeFromMedia = st.callerMedia
+		default:
+			st.byeFromMedia = st.calleeMedia
+		}
+		events = append(events, Event{At: fp.At, Type: EvSIPBye, Session: st.callID,
+			Detail: from.URI.AOR() + " hangs up", Footprint: fp})
+	case sip.MethodMessage:
+		events = append(events, g.processIM(fp, from)...)
+	}
+	return events
+}
+
+// processIM applies the fake-IM source-stability rule (Figure 6). The
+// source history is keyed by (claimed sender, delivery destination): on a
+// hub tap each proxy relay leg is a distinct delivery path with its own
+// stable source, matching what the paper's per-endpoint IDS would see.
+func (g *EventGenerator) processIM(fp *SIPFootprint, from sip.Address) []Event {
+	var events []Event
+	aor := from.URI.AOR()
+	session := "im:" + aor
+	histKey := aor + "|" + fp.Dst.Addr().String()
+	events = append(events, Event{At: fp.At, Type: EvSIPInstantMessage, Session: session,
+		Detail: fmt.Sprintf("from %s via %v", aor, fp.Src.Addr()), Footprint: fp})
+	rec, seen := g.ims[histKey]
+	switch {
+	case !seen || fp.At-rec.at > g.cfg.IMPeriod:
+		// First sighting, or beyond the mobility allowance: accept and
+		// remember the source.
+		g.ims[histKey] = imRecord{ip: fp.Src.Addr(), at: fp.At}
+	case rec.ip != fp.Src.Addr():
+		events = append(events, Event{
+			At: fp.At, Type: EvIMSourceMismatch, Session: session,
+			Detail: fmt.Sprintf("IM claiming %s came from %v; recent messages to %v came from %v",
+				aor, fp.Src.Addr(), fp.Dst.Addr(), rec.ip),
+			Footprint: fp,
+		})
+	default:
+		g.ims[histKey] = imRecord{ip: fp.Src.Addr(), at: fp.At}
+	}
+	return events
+}
+
+func (g *EventGenerator) processSIPResponse(fp *SIPFootprint, st *sessionState) []Event {
+	var events []Event
+	m := fp.Msg
+	cseq, err := m.CSeq()
+	if err != nil {
+		return events
+	}
+	switch {
+	case m.StatusCode == sip.StatusUnauthorized:
+		st.challenges++
+		events = append(events, Event{At: fp.At, Type: EvSIPAuthChallenge, Session: st.callID,
+			Detail: fmt.Sprintf("challenge #%d", st.challenges), Footprint: fp})
+		if st.challenges >= g.cfg.AuthFloodThreshold && !st.floodFired {
+			st.floodFired = true
+			events = append(events, Event{
+				At: fp.At, Type: EvAuthFlood, Session: st.callID,
+				Detail:    fmt.Sprintf("%d unauthorized replies in one session", st.challenges),
+				Footprint: fp,
+			})
+		}
+	case m.StatusCode == sip.StatusOK && cseq.Method == sip.MethodRegister:
+		if aor, ok := g.pendingReg[st.callID]; ok {
+			if contact, err := m.Contact(); err == nil {
+				if ip, err2 := netip.ParseAddr(contact.URI.Host); err2 == nil {
+					g.bindings[aor] = ip
+				}
+			}
+			events = append(events, Event{At: fp.At, Type: EvSIPRegisterOK, Session: st.callID,
+				Detail: aor, Footprint: fp})
+		}
+	case m.StatusCode == sip.StatusOK && cseq.Method == sip.MethodInvite:
+		if to, err := m.To(); err == nil && st.calleeTag == "" {
+			st.calleeTag = to.Tag()
+		}
+		if media, ok := mediaFromBody(m); ok && !st.established {
+			st.calleeMedia = media
+		}
+		if !st.established && st.callerAOR != "" {
+			st.established = true
+			// A fresh media session begins at these endpoints: RTP sequence
+			// numbers restart at a random value, so stale continuity
+			// trackers from earlier calls must not carry over.
+			delete(g.seqs, st.callerMedia)
+			delete(g.seqs, st.calleeMedia)
+			events = append(events, Event{At: fp.At, Type: EvSIPCallEstablished, Session: st.callID,
+				Detail:    fmt.Sprintf("%s <-> %s media %v/%v", st.callerAOR, st.calleeAOR, st.callerMedia, st.calleeMedia),
+				Footprint: fp})
+			events = append(events, g.checkUnmatchedMedia(fp, st)...)
+		}
+	}
+	return events
+}
+
+// checkUnmatchedMedia verifies the negotiated caller media address against
+// the caller's registered location — the third condition of the billing
+// fraud rule (Section 3.2).
+func (g *EventGenerator) checkUnmatchedMedia(fp *SIPFootprint, st *sessionState) []Event {
+	binding, ok := g.bindings[st.callerAOR]
+	if !ok || !st.callerMedia.IsValid() {
+		return nil
+	}
+	if st.callerMedia.Addr() == binding {
+		return nil
+	}
+	return []Event{{
+		At: fp.At, Type: EvRTPUnmatchedMedia, Session: st.callID,
+		Detail: fmt.Sprintf("caller %s registered at %v but negotiated media at %v",
+			st.callerAOR, binding, st.callerMedia),
+		Footprint: fp,
+	}}
+}
+
+// --- RTP ---
+
+func (g *EventGenerator) processRTP(fp *RTPFootprint, session string) []Event {
+	var events []Event
+	// Sequence continuity per destination endpoint (paper Section 4.2.4).
+	tr, ok := g.seqs[fp.Dst]
+	if !ok {
+		tr = &seqTrack{}
+		g.seqs[fp.Dst] = tr
+		events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
+			Detail: fmt.Sprintf("%v -> %v ssrc=%08x", fp.Src, fp.Dst, fp.Header.SSRC), Footprint: fp})
+	}
+	if tr.primed {
+		if d := rtp.SeqDiff(tr.last, fp.Header.Seq); d > g.cfg.SeqJumpThreshold || d < -g.cfg.SeqJumpThreshold {
+			events = append(events, Event{
+				At: fp.At, Type: EvRTPSeqJump, Session: session,
+				Detail: fmt.Sprintf("seq %d -> %d (|Δ|=%d > %d) at %v",
+					tr.last, fp.Header.Seq, abs(d), g.cfg.SeqJumpThreshold, fp.Dst),
+				Footprint: fp,
+			})
+		}
+	}
+	tr.primed = true
+	tr.last = fp.Header.Seq
+
+	st, known := g.sessions[session]
+	if !known {
+		return events
+	}
+	events = append(events, g.checkSessionRTP(fp, st)...)
+	return events
+}
+
+// checkSessionRTP applies the stateful cross-protocol checks for media
+// belonging to a known SIP session.
+func (g *EventGenerator) checkSessionRTP(fp *RTPFootprint, st *sessionState) []Event {
+	events := g.checkPendingRTCPBye(st, fp.At, fp)
+	// Orphan flow after BYE (Figure 5 rule).
+	if st.byeSeen && fp.Src == st.byeFromMedia &&
+		fp.At > st.byeAt && fp.At-st.byeAt <= g.cfg.MonitorWindow {
+		events = append(events, Event{
+			At: fp.At, Type: EvRTPAfterBye, Session: st.callID,
+			Detail:    fmt.Sprintf("RTP from %v %.1fms after its BYE", fp.Src, (fp.At-st.byeAt).Seconds()*1000),
+			Footprint: fp,
+		})
+	}
+	// Orphan flow after REINVITE (Figure 7 rule): traffic still arriving
+	// from the address the "moved" party supposedly left, once the
+	// migration transaction has had time to complete.
+	if st.reinviteSeen && fp.Src == st.reinviteOldMedia &&
+		fp.At-st.reinviteAt > g.cfg.ReinviteGrace &&
+		fp.At-st.reinviteAt <= g.cfg.ReinviteGrace+g.cfg.MonitorWindow {
+		events = append(events, Event{
+			At: fp.At, Type: EvRTPAfterReinvite, Session: st.callID,
+			Detail: fmt.Sprintf("RTP still arriving from old media address %v %.1fms after REINVITE",
+				fp.Src, (fp.At-st.reinviteAt).Seconds()*1000),
+			Footprint: fp,
+		})
+	}
+	// Source legitimacy (Figure 8 rule): media to a negotiated endpoint
+	// must come from the other negotiated endpoint.
+	if !st.byeSeen {
+		var expected netip.AddrPort
+		switch fp.Dst {
+		case st.callerMedia:
+			expected = st.calleeMedia
+		case st.calleeMedia:
+			expected = st.callerMedia
+		}
+		if expected.IsValid() && fp.Src.Addr() != expected.Addr() {
+			events = append(events, Event{
+				At: fp.At, Type: EvRTPBadSource, Session: st.callID,
+				Detail:    fmt.Sprintf("media to %v from %v; session negotiated %v", fp.Dst, fp.Src, expected),
+				Footprint: fp,
+			})
+		}
+	}
+	return events
+}
+
+// --- RTCP ---
+
+// processRTCP watches for BYE packets that lack a corresponding SIP BYE:
+// during legitimate teardown the SIP BYE travels alongside the RTCP BYE,
+// so an RTCP BYE still unmatched after a grace period is forged. The
+// evaluation is driven by subsequent traffic (the surviving party's media
+// keeps flowing), keeping the engine purely packet-driven.
+func (g *EventGenerator) processRTCP(fp *RTCPFootprint, session string) []Event {
+	st, known := g.sessions[session]
+	if !known {
+		return nil
+	}
+	events := g.checkPendingRTCPBye(st, fp.At, fp)
+	for _, pkt := range fp.Packets {
+		if _, isBye := pkt.(*rtp.Bye); isBye && !st.byeSeen && !st.rtcpByePending && !st.rtcpByeFired {
+			st.rtcpByePending = true
+			st.rtcpByeAt = fp.At
+		}
+	}
+	return events
+}
+
+// checkPendingRTCPBye fires the spoofed-RTCP-BYE event once the grace
+// period elapses without a SIP BYE appearing.
+func (g *EventGenerator) checkPendingRTCPBye(st *sessionState, now time.Duration, fp Footprint) []Event {
+	if !st.rtcpByePending || st.rtcpByeFired {
+		return nil
+	}
+	if st.byeSeen {
+		st.rtcpByePending = false // legitimate teardown caught up
+		return nil
+	}
+	if now-st.rtcpByeAt <= g.cfg.ReinviteGrace {
+		return nil
+	}
+	st.rtcpByePending = false
+	st.rtcpByeFired = true
+	return []Event{{
+		At: now, Type: EvRTCPSpoofedBye, Session: st.callID,
+		Detail: fmt.Sprintf("RTCP BYE at %v with no SIP BYE after %v; media control and call signaling disagree",
+			st.rtcpByeAt, g.cfg.ReinviteGrace),
+		Footprint: fp,
+	}}
+}
+
+// --- Accounting ---
+
+func (g *EventGenerator) processAcct(fp *AcctFootprint) []Event {
+	var events []Event
+	txn := fp.Txn
+	switch txn.Kind {
+	case accounting.TxnStart:
+		st := g.session(txn.CallID)
+		st.acctStart = true
+		events = append(events, Event{At: fp.At, Type: EvAcctStart, Session: txn.CallID,
+			Detail: fmt.Sprintf("%s -> %s from %v", txn.From, txn.To, txn.FromIP), Footprint: fp})
+		// The Section 3.2 check: the billed caller must have initiated the
+		// call from their registered location.
+		binding, registered := g.bindings[txn.From]
+		switch {
+		case !registered, !st.established && st.callerAOR == "":
+			events = append(events, g.unmatchedAcct(fp, st,
+				fmt.Sprintf("billing START for %s with no matching registration/call setup", txn.From))...)
+		case txn.FromIP != binding:
+			events = append(events, g.unmatchedAcct(fp, st,
+				fmt.Sprintf("billing START for %s from %v but %s is registered at %v",
+					txn.From, txn.FromIP, txn.From, binding))...)
+		case st.inviteSrcIP.IsValid() && st.inviteSrcIP != binding:
+			events = append(events, g.unmatchedAcct(fp, st,
+				fmt.Sprintf("INVITE for billed call came from %v, not %s's registered %v",
+					st.inviteSrcIP, txn.From, binding))...)
+		}
+	case accounting.TxnStop:
+		events = append(events, Event{At: fp.At, Type: EvAcctStop, Session: txn.CallID, Footprint: fp})
+	}
+	return events
+}
+
+func (g *EventGenerator) unmatchedAcct(fp *AcctFootprint, st *sessionState, detail string) []Event {
+	if st.unmatchedOnce {
+		return nil
+	}
+	st.unmatchedOnce = true
+	return []Event{{At: fp.At, Type: EvAcctUnmatched, Session: st.callID, Detail: detail, Footprint: fp}}
+}
+
+// mediaFromBody extracts the audio endpoint from a message's SDP body.
+func mediaFromBody(m *sip.Message) (netip.AddrPort, bool) {
+	if len(m.Body) == 0 {
+		return netip.AddrPort{}, false
+	}
+	sess, err := parseSDP(m.Body)
+	if err != nil {
+		return netip.AddrPort{}, false
+	}
+	return sess.MediaEndpoint("audio")
+}
+
+func abs(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDistill throws arbitrary frames at the distiller; it must never
+// panic and must account every frame.
+func FuzzDistill(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0, 0, 0, 0, 2, 0x02, 0, 0, 0, 0, 1, 0x08, 0x00})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		d := NewDistiller()
+		_ = d.Distill(time.Millisecond, frame)
+		if d.Stats().Frames != 1 {
+			t.Fatal("frame not accounted")
+		}
+	})
+}
+
+// FuzzEngineFrame drives the full pipeline with arbitrary frames.
+func FuzzEngineFrame(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add(make([]byte, 120), uint32(1000))
+	f.Fuzz(func(t *testing.T, frame []byte, atMs uint32) {
+		eng := NewEngine(Config{})
+		eng.HandleFrame(time.Duration(atMs)*time.Millisecond, frame)
+	})
+}
+
+// FuzzParseRules exercises the rule DSL parser.
+func FuzzParseRules(f *testing.F) {
+	f.Add("rule x critical {\nseq sip-bye\n}\n")
+	f.Add(sampleRules)
+	f.Add("}{")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, err := ParseRules(text)
+		if err != nil {
+			return
+		}
+		// Whatever parses must format and re-parse equivalently.
+		again, err := ParseRules(FormatRules(rules))
+		if err != nil {
+			t.Fatalf("formatted rules do not re-parse: %v", err)
+		}
+		if len(again) != len(rules) {
+			t.Fatalf("rule count changed: %d vs %d", len(rules), len(again))
+		}
+	})
+}

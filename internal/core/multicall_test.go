@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/core"
+	"scidive/internal/endpoint"
+	"scidive/internal/netsim"
+	"scidive/internal/proxy"
+)
+
+// multiBed builds a four-phone testbed with two concurrent calls.
+type multiBed struct {
+	sim    *netsim.Simulator
+	net    *netsim.Network
+	eng    *core.Engine
+	sniff  *attack.Sniffer
+	atk    *attack.Attacker
+	phones map[string]*endpoint.Phone
+	calls  map[string]*endpoint.Call // by caller name
+}
+
+func newMultiBed(t *testing.T, seed int64) *multiBed {
+	t.Helper()
+	sim := netsim.NewSimulator(seed)
+	n := netsim.NewNetwork(sim)
+	users := map[string]string{"alice": "pw1", "bob": "pw2", "carol": "pw3", "dave": "pw4"}
+	ips := map[string]string{
+		"alice": "10.0.0.1", "bob": "10.0.0.2", "carol": "10.0.0.3", "dave": "10.0.0.4",
+	}
+	hostP := n.MustAddHost("proxy", netip.MustParseAddr("10.0.0.10"))
+	prx, err := proxy.New(proxy.Config{Host: hostP, Realm: "t", Users: users, RequireAuth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &multiBed{
+		sim:    sim,
+		net:    n,
+		phones: make(map[string]*endpoint.Phone),
+		calls:  make(map[string]*endpoint.Call),
+	}
+	for user, ip := range ips {
+		h := n.MustAddHost(user, netip.MustParseAddr(ip))
+		p, err := endpoint.New(endpoint.Config{
+			Host: h, Username: user, Password: users[user], Proxy: prx.Addr(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb.phones[user] = p
+	}
+	atkHost := n.MustAddHost("attacker", netip.MustParseAddr("10.0.0.66"))
+	mb.atk, err = attack.NewAttacker(atkHost, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb.sniff = attack.NewSniffer(n)
+	mb.eng = core.NewEngine(core.Config{})
+	mb.eng.AttachTap(n)
+
+	for _, p := range mb.phones {
+		p.Register(nil)
+	}
+	sim.RunUntil(2 * time.Second)
+	for user, p := range mb.phones {
+		if !p.Registered() {
+			t.Fatalf("%s failed to register", user)
+		}
+	}
+	// Two concurrent calls: alice->bob and carol->dave.
+	for _, pair := range []struct{ from, to string }{{"alice", "bob"}, {"carol", "dave"}} {
+		pair := pair
+		sim.Schedule(0, func() {
+			mb.phones[pair.from].Call(pair.to, func(c *endpoint.Call, err error) {
+				if err != nil {
+					t.Errorf("%s->%s: %v", pair.from, pair.to, err)
+					return
+				}
+				mb.calls[pair.from] = c
+			})
+		})
+	}
+	sim.RunUntil(sim.Now() + 3*time.Second)
+	if len(mb.calls) != 2 {
+		t.Fatalf("established %d calls, want 2", len(mb.calls))
+	}
+	return mb
+}
+
+func TestConcurrentCallsNoAlerts(t *testing.T) {
+	mb := newMultiBed(t, 1)
+	mb.sim.RunUntil(mb.sim.Now() + 10*time.Second)
+	if alerts := mb.eng.Alerts(); len(alerts) != 0 {
+		t.Fatalf("alerts on two concurrent benign calls: %v", alerts)
+	}
+	// Both sessions have parallel SIP and RTP trails.
+	if mb.eng.Trails().Sessions() < 2 {
+		t.Errorf("sessions tracked = %d", mb.eng.Trails().Sessions())
+	}
+}
+
+func TestAttackOnOneCallAlertsOnlyThatSession(t *testing.T) {
+	mb := newMultiBed(t, 2)
+	mb.sim.RunUntil(mb.sim.Now() + 2*time.Second)
+
+	targetCallID := mb.calls["alice"].CallID
+	dlg := mb.sniff.DialogFor(targetCallID)
+	if dlg == nil || !dlg.Confirmed {
+		t.Fatalf("sniffer has no confirmed dialog for %s", targetCallID)
+	}
+	mb.sim.Schedule(0, func() {
+		if err := mb.atk.ForgedBye(dlg, true); err != nil {
+			t.Errorf("ForgedBye: %v", err)
+		}
+	})
+	mb.sim.RunUntil(mb.sim.Now() + 2*time.Second)
+
+	alerts := mb.eng.AlertsFor(core.RuleByeAttack)
+	if len(alerts) != 1 {
+		t.Fatalf("bye-attack alerts = %d, want 1", len(alerts))
+	}
+	if alerts[0].Session != targetCallID {
+		t.Errorf("alert session = %s, want %s", alerts[0].Session, targetCallID)
+	}
+	// The other call is untouched and generated no alerts.
+	if !mb.calls["carol"].Established() {
+		t.Error("carol's call was affected by the attack on alice")
+	}
+	for _, a := range mb.eng.Alerts() {
+		if a.Session == mb.calls["carol"].CallID {
+			t.Errorf("alert leaked onto carol's session: %v", a)
+		}
+	}
+	// Alice's side is down, bob's orphan flow detected; carol/dave media
+	// continues to flow.
+	carolSent := mb.calls["carol"].RTPSent
+	mb.sim.RunUntil(mb.sim.Now() + time.Second)
+	if mb.calls["carol"].RTPSent <= carolSent {
+		t.Error("carol's media stalled")
+	}
+}
+
+func TestCrossCallRTPDoesNotConfuseSessions(t *testing.T) {
+	// Garbage injected at carol's media port must alert carol's session,
+	// not alice's.
+	mb := newMultiBed(t, 3)
+	mb.sim.RunUntil(mb.sim.Now() + time.Second)
+	carolMedia := mb.phones["carol"].RTPAddr()
+	mb.sim.Schedule(0, func() {
+		_ = mb.atk.InjectGarbageRTP(carolMedia, 10, 172)
+	})
+	mb.sim.RunUntil(mb.sim.Now() + time.Second)
+	garbage := mb.eng.AlertsFor(core.RuleRTPGarbage)
+	if len(garbage) != 1 {
+		t.Fatalf("garbage alerts = %d, want 1", len(garbage))
+	}
+	if garbage[0].Session != mb.calls["carol"].CallID {
+		t.Errorf("garbage alert session = %s, want carol's %s",
+			garbage[0].Session, mb.calls["carol"].CallID)
+	}
+}

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/scenario"
+)
+
+// The IDS must stay sane on unhealthy networks: jittery links, packet
+// duplication, and loss neither crash detection nor cause false alarms.
+
+// pathologicalLink is a jittery, duplicating, slightly lossy WAN-ish link.
+func pathologicalLink() *netsim.Link {
+	return &netsim.Link{
+		Delay:     netsim.Shifted{Base: netsim.Exponential{MeanD: 2 * time.Millisecond, Cap: 30 * time.Millisecond}, Offset: time.Millisecond},
+		Loss:      0.01,
+		Duplicate: 0.05,
+	}
+}
+
+func TestBenignCallOverPathologicalNetwork(t *testing.T) {
+	tb, eng := deploy(t, scenario.Config{Seed: 200, Link: pathologicalLink()}, core.Config{})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(20 * time.Second)
+	// Duplicated SIP requests exercise transaction-layer dedup; duplicated
+	// and reordered RTP exercises the jitter buffer. None of it is an
+	// attack.
+	mustNoAlerts(t, eng)
+	if tb.Net.Stats().FramesDuplicated == 0 {
+		t.Fatal("pathology model produced no duplicates — test is vacuous")
+	}
+	bobCall := tb.Bob.ActiveCall()
+	if bobCall == nil {
+		t.Fatal("call did not survive the pathological network")
+	}
+	st := bobCall.BufferStats()
+	if st.Duplicates == 0 {
+		t.Error("no duplicate RTP reached the jitter buffer")
+	}
+	if st.Played < 700 {
+		t.Errorf("playout degraded badly: %+v", st)
+	}
+	tb.Sim.Schedule(0, func() { _ = tb.Alice.Hangup(call) })
+	tb.Run(3 * time.Second)
+	mustNoAlerts(t, eng)
+}
+
+func TestByeAttackDetectedOverPathologicalNetwork(t *testing.T) {
+	tb, eng := deploy(t, scenario.Config{Seed: 201, Link: pathologicalLink()}, core.Config{})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.EstablishCall(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(3 * time.Second)
+	d := tb.Sniffer.ConfirmedDialog()
+	if d == nil {
+		t.Fatal("no sniffed dialog")
+	}
+	tb.Sim.Schedule(0, func() { _ = tb.Attacker.ForgedBye(d, true) })
+	tb.Run(3 * time.Second)
+	alerts := eng.AlertsFor(core.RuleByeAttack)
+	if len(alerts) != 1 {
+		t.Fatalf("bye-attack alerts = %d over pathological network: %v", len(alerts), eng.Alerts())
+	}
+}
+
+func TestDuplicatedRegistrationNoFalseFloodAlarm(t *testing.T) {
+	// Heavy duplication of the registration exchange multiplies 401
+	// sightings at the hub; the IDS counts challenges per session, so the
+	// duplicates must not be mistaken for a flood. (The flood threshold is
+	// 5; a single registration duplicated at 50% produces at most a few
+	// duplicate 401 sightings.)
+	link := &netsim.Link{Delay: netsim.Deterministic{D: time.Millisecond}, Duplicate: 0.5}
+	tb, eng := deploy(t, scenario.Config{Seed: 202, Link: link}, core.Config{})
+	for i := 0; i < 3; i++ {
+		tb.Alice.Register(nil)
+		tb.Bob.Register(nil)
+		tb.Run(2 * time.Second)
+	}
+	if !tb.Alice.Registered() || !tb.Bob.Registered() {
+		t.Fatal("registration failed under duplication")
+	}
+	mustNoAlerts(t, eng)
+}

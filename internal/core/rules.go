@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Severity grades alerts.
+type Severity int
+
+// Severities.
+const (
+	SeverityInfo Severity = iota + 1
+	SeverityWarning
+	SeverityCritical
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// Step is one element of a rule's event pattern.
+type Step struct {
+	// Type is the event type this step matches.
+	Type EventType
+	// Where, when non-nil, further constrains the event.
+	Where func(e Event) bool
+}
+
+// Rule is a detection rule: a pattern of events within one session. Rules
+// with one step are simple triggers; multi-step rules express the paper's
+// stateful, cross-protocol sequences (e.g. billing fraud's three events).
+type Rule struct {
+	Name        string
+	Description string
+	Severity    Severity
+	// Steps is the event pattern. With Unordered false the events must
+	// arrive in order; with true, in any order (one event per step).
+	Steps     []Step
+	Unordered bool
+	// Window bounds the time from the first matched event to the last
+	// (0 = unbounded).
+	Window time.Duration
+	// CrossProtocol and Stateful document the rule's Table 1
+	// classification.
+	CrossProtocol bool
+	Stateful      bool
+}
+
+// Alert is a rule match.
+type Alert struct {
+	At       time.Duration
+	Rule     string
+	Severity Severity
+	Session  string
+	Detail   string
+	Events   []Event
+	// Count is how many times this (rule, session) pair has fired; repeats
+	// update the count instead of appending new alerts.
+	Count int
+}
+
+// String formats the alert for output.
+func (a Alert) String() string {
+	s := fmt.Sprintf("[%8.3fs] %-8s %-16s session=%s %s",
+		a.At.Seconds(), a.Severity, a.Rule, a.Session, a.Detail)
+	if a.Count > 1 {
+		s += fmt.Sprintf(" (x%d)", a.Count)
+	}
+	return s
+}
+
+// partial is an in-progress multi-step match.
+type partial struct {
+	startedAt time.Duration
+	events    []Event
+	next      int    // ordered rules: index of the next step
+	matched   []bool // unordered rules: which steps have matched
+	remaining int
+}
+
+// RuleEngine matches events against a ruleset, tracking partial matches
+// per (rule, session).
+type RuleEngine struct {
+	rules    []Rule
+	partials map[string][]*partial // key: ruleName|session
+	alerts   []Alert
+	dedup    map[string]int // ruleName|session -> index into alerts
+	onAlert  func(Alert)
+
+	// EventsSeen counts events fed to the engine.
+	EventsSeen int
+}
+
+// NewRuleEngine returns an engine for the given ruleset.
+func NewRuleEngine(rules []Rule) *RuleEngine {
+	return &RuleEngine{
+		rules:    rules,
+		partials: make(map[string][]*partial),
+		dedup:    make(map[string]int),
+	}
+}
+
+// OnAlert registers a callback invoked for each new alert (not for
+// suppressed repeats).
+func (re *RuleEngine) OnAlert(fn func(Alert)) { re.onAlert = fn }
+
+// Rules returns the ruleset.
+func (re *RuleEngine) Rules() []Rule { return re.rules }
+
+// Alerts returns all alerts raised so far.
+func (re *RuleEngine) Alerts() []Alert {
+	out := make([]Alert, len(re.alerts))
+	copy(out, re.alerts)
+	return out
+}
+
+// AlertsFor returns the alerts raised by one rule.
+func (re *RuleEngine) AlertsFor(rule string) []Alert {
+	var out []Alert
+	for _, a := range re.alerts {
+		if a.Rule == rule {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Feed matches one event, returning any alerts it completes.
+func (re *RuleEngine) Feed(e Event) []Alert {
+	re.EventsSeen++
+	var fired []Alert
+	for i := range re.rules {
+		if a, ok := re.feedRule(&re.rules[i], e); ok {
+			fired = append(fired, a)
+		}
+	}
+	return fired
+}
+
+func (re *RuleEngine) feedRule(r *Rule, e Event) (Alert, bool) {
+	key := r.Name + "|" + e.Session
+	parts := re.partials[key]
+	// Expire stale partials.
+	if r.Window > 0 {
+		live := parts[:0]
+		for _, p := range parts {
+			if e.At-p.startedAt <= r.Window {
+				live = append(live, p)
+			}
+		}
+		parts = live
+	}
+	var completed *partial
+	if r.Unordered {
+		completed = re.advanceUnordered(r, e, &parts)
+	} else {
+		completed = re.advanceOrdered(r, e, &parts)
+	}
+	re.partials[key] = parts
+	if completed == nil {
+		return Alert{}, false
+	}
+	return re.raise(r, e, completed), true
+}
+
+func (re *RuleEngine) advanceOrdered(r *Rule, e Event, parts *[]*partial) *partial {
+	// Advance existing partials first.
+	for _, p := range *parts {
+		step := r.Steps[p.next]
+		if step.Type != e.Type || (step.Where != nil && !step.Where(e)) {
+			continue
+		}
+		p.events = append(p.events, e)
+		p.next++
+		if p.next == len(r.Steps) {
+			*parts = removePartial(*parts, p)
+			return p
+		}
+		return nil // one partial consumes the event
+	}
+	// Start a new partial if the event matches step 0.
+	step := r.Steps[0]
+	if step.Type != e.Type || (step.Where != nil && !step.Where(e)) {
+		return nil
+	}
+	p := &partial{startedAt: e.At, events: []Event{e}, next: 1}
+	if p.next == len(r.Steps) {
+		return p
+	}
+	*parts = append(*parts, p)
+	return nil
+}
+
+func (re *RuleEngine) advanceUnordered(r *Rule, e Event, parts *[]*partial) *partial {
+	match := func(p *partial) bool {
+		for i, step := range r.Steps {
+			if p.matched[i] || step.Type != e.Type {
+				continue
+			}
+			if step.Where != nil && !step.Where(e) {
+				continue
+			}
+			p.matched[i] = true
+			p.remaining--
+			p.events = append(p.events, e)
+			return true
+		}
+		return false
+	}
+	for _, p := range *parts {
+		if match(p) {
+			if p.remaining == 0 {
+				*parts = removePartial(*parts, p)
+				return p
+			}
+			return nil
+		}
+	}
+	p := &partial{startedAt: e.At, matched: make([]bool, len(r.Steps)), remaining: len(r.Steps)}
+	if !match(p) {
+		return nil
+	}
+	if p.remaining == 0 {
+		return p
+	}
+	*parts = append(*parts, p)
+	return nil
+}
+
+func removePartial(parts []*partial, target *partial) []*partial {
+	for i, p := range parts {
+		if p == target {
+			return append(parts[:i], parts[i+1:]...)
+		}
+	}
+	return parts
+}
+
+// raise records an alert, suppressing repeats per (rule, session).
+func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
+	key := r.Name + "|" + e.Session
+	if idx, seen := re.dedup[key]; seen {
+		re.alerts[idx].Count++
+		return re.alerts[idx]
+	}
+	a := Alert{
+		At:       e.At,
+		Rule:     r.Name,
+		Severity: r.Severity,
+		Session:  e.Session,
+		Detail:   e.Detail,
+		Events:   append([]Event(nil), p.events...),
+		Count:    1,
+	}
+	re.dedup[key] = len(re.alerts)
+	re.alerts = append(re.alerts, a)
+	if re.onAlert != nil {
+		re.onAlert(a)
+	}
+	return a
+}

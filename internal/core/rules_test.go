@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func ev(t EventType, session string, at time.Duration) Event {
+	return Event{At: at, Type: t, Session: session}
+}
+
+func TestSingleStepRule(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name: "r1", Severity: SeverityWarning,
+		Steps: []Step{{Type: EvRTPSeqJump}},
+	}})
+	if got := re.Feed(ev(EvRTPNewFlow, "s", 0)); len(got) != 0 {
+		t.Fatalf("non-matching event fired: %v", got)
+	}
+	got := re.Feed(ev(EvRTPSeqJump, "s", time.Second))
+	if len(got) != 1 || got[0].Rule != "r1" {
+		t.Fatalf("alerts = %v", got)
+	}
+}
+
+func TestOrderedSequenceRule(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name:  "seq",
+		Steps: []Step{{Type: EvSIPBye}, {Type: EvRTPAfterBye}},
+	}})
+	// Out of order: the RTP event first must not fire or corrupt state.
+	if got := re.Feed(ev(EvRTPAfterBye, "s", 0)); len(got) != 0 {
+		t.Fatal("fired on out-of-order event")
+	}
+	if got := re.Feed(ev(EvSIPBye, "s", time.Second)); len(got) != 0 {
+		t.Fatal("fired on first step alone")
+	}
+	got := re.Feed(ev(EvRTPAfterBye, "s", 2*time.Second))
+	if len(got) != 1 {
+		t.Fatalf("alerts = %v", got)
+	}
+	if n := len(got[0].Events); n != 2 {
+		t.Errorf("alert carries %d events, want 2", n)
+	}
+}
+
+func TestSessionIsolation(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name:  "seq",
+		Steps: []Step{{Type: EvSIPBye}, {Type: EvRTPAfterBye}},
+	}})
+	re.Feed(ev(EvSIPBye, "session-1", 0))
+	// The completing event belongs to another session: no alert.
+	if got := re.Feed(ev(EvRTPAfterBye, "session-2", time.Millisecond)); len(got) != 0 {
+		t.Fatalf("cross-session match: %v", got)
+	}
+	if got := re.Feed(ev(EvRTPAfterBye, "session-1", time.Millisecond)); len(got) != 1 {
+		t.Fatalf("same-session match missing: %v", got)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name:   "win",
+		Steps:  []Step{{Type: EvSIPBye}, {Type: EvRTPAfterBye}},
+		Window: time.Second,
+	}})
+	re.Feed(ev(EvSIPBye, "s", 0))
+	if got := re.Feed(ev(EvRTPAfterBye, "s", 2*time.Second)); len(got) != 0 {
+		t.Fatalf("fired outside window: %v", got)
+	}
+	// A fresh sequence still works.
+	re.Feed(ev(EvSIPBye, "s", 3*time.Second))
+	if got := re.Feed(ev(EvRTPAfterBye, "s", 3500*time.Millisecond)); len(got) != 1 {
+		t.Fatalf("fresh in-window sequence missed: %v", got)
+	}
+}
+
+func TestUnorderedRule(t *testing.T) {
+	steps := []Step{{Type: EvSIPBadFormat}, {Type: EvAcctUnmatched}, {Type: EvRTPUnmatchedMedia}}
+	permutations := [][]EventType{
+		{EvSIPBadFormat, EvAcctUnmatched, EvRTPUnmatchedMedia},
+		{EvRTPUnmatchedMedia, EvSIPBadFormat, EvAcctUnmatched},
+		{EvAcctUnmatched, EvRTPUnmatchedMedia, EvSIPBadFormat},
+	}
+	for i, perm := range permutations {
+		re := NewRuleEngine([]Rule{{Name: "u", Steps: steps, Unordered: true}})
+		var fired int
+		for j, et := range perm {
+			got := re.Feed(ev(et, "s", time.Duration(j)*time.Millisecond))
+			fired += len(got)
+		}
+		if fired != 1 {
+			t.Errorf("permutation %d fired %d times, want 1", i, fired)
+		}
+	}
+}
+
+func TestUnorderedDoesNotDoubleCount(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name: "u", Unordered: true,
+		Steps: []Step{{Type: EvSIPBadFormat}, {Type: EvAcctUnmatched}},
+	}})
+	// Two bad-format events then one unmatched: the duplicate must not
+	// satisfy the second step.
+	re.Feed(ev(EvSIPBadFormat, "s", 0))
+	if got := re.Feed(ev(EvSIPBadFormat, "s", 1)); len(got) != 0 {
+		t.Fatal("duplicate event completed the rule")
+	}
+	if got := re.Feed(ev(EvAcctUnmatched, "s", 2)); len(got) != 1 {
+		t.Fatal("rule did not complete")
+	}
+}
+
+func TestAlertDedupCounts(t *testing.T) {
+	re := NewRuleEngine([]Rule{{Name: "d", Steps: []Step{{Type: EvRTPGarbage}}}})
+	for i := 0; i < 5; i++ {
+		re.Feed(ev(EvRTPGarbage, "s", time.Duration(i)))
+	}
+	alerts := re.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 (deduped)", len(alerts))
+	}
+	if alerts[0].Count != 5 {
+		t.Errorf("Count = %d, want 5", alerts[0].Count)
+	}
+	// Different session: separate alert.
+	re.Feed(ev(EvRTPGarbage, "other", 0))
+	if len(re.Alerts()) != 2 {
+		t.Error("second session did not get its own alert")
+	}
+}
+
+func TestStepPredicates(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name: "p",
+		Steps: []Step{{
+			Type:  EvSIPBye,
+			Where: func(e Event) bool { return e.Detail == "match-me" },
+		}},
+	}})
+	if got := re.Feed(Event{Type: EvSIPBye, Session: "s", Detail: "nope"}); len(got) != 0 {
+		t.Fatal("predicate ignored")
+	}
+	if got := re.Feed(Event{Type: EvSIPBye, Session: "s", Detail: "match-me"}); len(got) != 1 {
+		t.Fatal("predicate match missed")
+	}
+}
+
+func TestOnAlertCallback(t *testing.T) {
+	re := NewRuleEngine([]Rule{{Name: "cb", Steps: []Step{{Type: EvRTPGarbage}}}})
+	var calls int
+	re.OnAlert(func(Alert) { calls++ })
+	re.Feed(ev(EvRTPGarbage, "s", 0))
+	re.Feed(ev(EvRTPGarbage, "s", 1)) // suppressed repeat
+	if calls != 1 {
+		t.Errorf("OnAlert called %d times, want 1 (repeats suppressed)", calls)
+	}
+}
+
+func TestRuleByName(t *testing.T) {
+	rules := DefaultRuleset()
+	if _, ok := RuleByName(rules, RuleByeAttack); !ok {
+		t.Error("bye-attack rule missing from default ruleset")
+	}
+	if _, ok := RuleByName(rules, "no-such-rule"); ok {
+		t.Error("found a rule that should not exist")
+	}
+}
+
+func TestDefaultRulesetClassification(t *testing.T) {
+	// Table 1's classification: all four attack rules are cross-protocol;
+	// BYE, hijack, and RTP rules are stateful; fake-IM is not stateful.
+	rules := DefaultRuleset()
+	checks := []struct {
+		name          string
+		crossProtocol bool
+		stateful      bool
+	}{
+		{RuleByeAttack, true, true},
+		{RuleCallHijack, true, true},
+		{RuleFakeIM, true, false},
+		{RuleRTPSeqJump, true, true},
+		{RuleBillingFraud, true, true},
+	}
+	for _, c := range checks {
+		r, ok := RuleByName(rules, c.name)
+		if !ok {
+			t.Errorf("rule %q missing", c.name)
+			continue
+		}
+		if r.CrossProtocol != c.crossProtocol || r.Stateful != c.stateful {
+			t.Errorf("%s: cross=%v stateful=%v, want %v/%v",
+				c.name, r.CrossProtocol, r.Stateful, c.crossProtocol, c.stateful)
+		}
+	}
+}
+
+func TestSeverityAndEventTypeStrings(t *testing.T) {
+	if SeverityCritical.String() != "critical" || Severity(0).String() != "unknown" {
+		t.Error("Severity.String mismatch")
+	}
+	types := []EventType{
+		EvSIPRegister, EvSIPAuthChallenge, EvSIPRegisterOK, EvSIPInvite,
+		EvSIPCallEstablished, EvSIPBye, EvSIPReinvite, EvSIPInstantMessage,
+		EvRTPNewFlow, EvAcctStart, EvAcctStop, EvSIPBadFormat,
+		EvIMSourceMismatch, EvRTPAfterBye, EvRTPAfterReinvite, EvRTPSeqJump,
+		EvRTPBadSource, EvRTPGarbage, EvAuthFlood, EvPasswordGuessing,
+		EvAcctUnmatched, EvRTPUnmatchedMedia,
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		s := typ.String()
+		if seen[s] {
+			t.Errorf("duplicate event type name %q", s)
+		}
+		seen[s] = true
+	}
+}

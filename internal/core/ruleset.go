@@ -1,0 +1,112 @@
+package core
+
+// Rule names used by the default ruleset (and referenced by experiments).
+const (
+	RuleByeAttack     = "bye-attack"
+	RuleCallHijack    = "call-hijack"
+	RuleFakeIM        = "fake-im"
+	RuleRTPSeqJump    = "rtp-attack-seq"
+	RuleRTPBadSource  = "rtp-attack-source"
+	RuleRTPGarbage    = "rtp-attack-garbage"
+	RuleRegisterFlood = "register-flood"
+	RulePasswordGuess = "password-guess"
+	RuleBillingFraud  = "billing-fraud"
+	RuleRTCPByeSpoof  = "rtcp-bye-spoof"
+)
+
+// DefaultRuleset returns the rules for the paper's four demonstrated
+// attacks (Table 1) plus the Section 3.2/3.3 synthetic scenarios.
+func DefaultRuleset() []Rule {
+	return []Rule{
+		{
+			Name:          RuleByeAttack,
+			Description:   "No RTP traffic should be seen from a user agent after its SIP BYE (Figure 5)",
+			Severity:      SeverityCritical,
+			Steps:         []Step{{Type: EvSIPBye}, {Type: EvRTPAfterBye}},
+			CrossProtocol: true,
+			Stateful:      true,
+		},
+		{
+			Name:          RuleCallHijack,
+			Description:   "No RTP traffic should be seen from the old address after a media-moving REINVITE (Figure 7)",
+			Severity:      SeverityCritical,
+			Steps:         []Step{{Type: EvSIPReinvite}, {Type: EvRTPAfterReinvite}},
+			CrossProtocol: true,
+			Stateful:      true,
+		},
+		{
+			Name:          RuleFakeIM,
+			Description:   "Instant messages from one user should keep a stable source IP within a period (Figure 6)",
+			Severity:      SeverityWarning,
+			Steps:         []Step{{Type: EvIMSourceMismatch}},
+			CrossProtocol: true, // correlates SIP-layer identity with IP-layer source
+		},
+		{
+			Name:          RuleRTPSeqJump,
+			Description:   "RTP sequence numbers in consecutive packets should increase regularly (Figure 8)",
+			Severity:      SeverityWarning,
+			Steps:         []Step{{Type: EvRTPSeqJump}},
+			CrossProtocol: true, // RTP payload field plus IP-level flow identity
+			Stateful:      true,
+		},
+		{
+			Name:          RuleRTPBadSource,
+			Description:   "RTP packets must come from the address the session negotiated (Figure 8)",
+			Severity:      SeverityWarning,
+			Steps:         []Step{{Type: EvRTPBadSource}},
+			CrossProtocol: true,
+			Stateful:      true,
+		},
+		{
+			Name:        RuleRTPGarbage,
+			Description: "Undecodable packets on a negotiated media port (Figure 8)",
+			Severity:    SeverityWarning,
+			Steps:       []Step{{Type: EvRTPGarbage}},
+		},
+		{
+			Name:        RuleRegisterFlood,
+			Description: "Continuous alternating requests and 4XX errors within one session (Section 3.3 DoS)",
+			Severity:    SeverityWarning,
+			Steps:       []Step{{Type: EvAuthFlood}},
+			Stateful:    true,
+		},
+		{
+			Name:        RulePasswordGuess,
+			Description: "Alternating requests with differing challenge responses and 401 errors (Section 3.3)",
+			Severity:    SeverityCritical,
+			Steps:       []Step{{Type: EvPasswordGuessing}},
+			Stateful:    true,
+		},
+		{
+			Name:          RuleRTCPByeSpoof,
+			Description:   "An RTCP BYE must be accompanied by a SIP BYE: media control and call signaling in disagreement indicates a forged RTCP teardown",
+			Severity:      SeverityCritical,
+			Steps:         []Step{{Type: EvRTCPSpoofedBye}},
+			CrossProtocol: true, // SIP dialog state vs RTCP control vs RTP media
+			Stateful:      true,
+		},
+		{
+			Name:        RuleBillingFraud,
+			Description: "Malformed call setup + unmatched accounting transaction + media away from the caller's registered location (Section 3.2)",
+			Severity:    SeverityCritical,
+			Steps: []Step{
+				{Type: EvSIPBadFormat},
+				{Type: EvAcctUnmatched},
+				{Type: EvRTPUnmatchedMedia},
+			},
+			Unordered:     true,
+			CrossProtocol: true,
+			Stateful:      true,
+		},
+	}
+}
+
+// RuleByName returns the rule with the given name from a ruleset.
+func RuleByName(rules []Rule, name string) (Rule, bool) {
+	for _, r := range rules {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}

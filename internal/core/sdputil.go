@@ -1,0 +1,7 @@
+package core
+
+import "scidive/internal/sdp"
+
+// parseSDP wraps the sdp parser so eventgen stays free of direct imports
+// beyond this seam (and tests can reason about one entry point).
+func parseSDP(body []byte) (*sdp.Session, error) { return sdp.Parse(body) }

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/scenario"
+)
+
+func TestCancelledCallNoAlerts(t *testing.T) {
+	tb, eng := deploy(t, scenario.Config{Seed: 400}, core.Config{})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Sim.Schedule(0, func() {
+		tb.Alice.Call("bob", nil)
+	})
+	tb.Sim.Schedule(200*time.Millisecond, func() {
+		for _, c := range tb.Alice.Calls() {
+			_ = tb.Alice.Cancel(c)
+		}
+	})
+	tb.Run(3 * time.Second)
+	mustNoAlerts(t, eng)
+}
+
+func TestSoakManyCallsWithSessionEviction(t *testing.T) {
+	// A long benign workload: 20 calls back to back over ~14 simulated
+	// minutes, with an aggressive session timeout so the engine's GC runs.
+	tb, eng := deploy(t, scenario.Config{Seed: 401},
+		core.Config{SessionTimeout: time.Minute})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		call, err := tb.EstablishCall()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		tb.Run(30 * time.Second)
+		tb.Sim.Schedule(0, func() { _ = tb.Alice.Hangup(call) })
+		tb.Run(10 * time.Second)
+	}
+	mustNoAlerts(t, eng)
+	st := eng.Stats()
+	if st.SessionsEvicted == 0 {
+		t.Errorf("no sessions evicted across a 13-minute workload: %+v", st)
+	}
+	// The trail store stays bounded: far fewer live sessions than the 20+
+	// the workload created.
+	if live := eng.Trails().Sessions(); live >= 20 {
+		t.Errorf("trail store holds %d sessions; eviction is not bounding memory", live)
+	}
+	if st.Footprints < 50000 {
+		t.Errorf("soak processed only %d footprints", st.Footprints)
+	}
+}
+
+func TestSoakWithPeriodicAttacks(t *testing.T) {
+	// Alternating benign calls and BYE attacks: every attack is caught,
+	// every benign call is clean, alert sessions never repeat.
+	tb, eng := deploy(t, scenario.Config{Seed: 402}, core.Config{})
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	attacked := 0
+	for i := 0; i < 6; i++ {
+		call, err := tb.EstablishCall()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		tb.Run(3 * time.Second)
+		if i%2 == 1 {
+			d := tb.Sniffer.DialogFor(call.CallID)
+			if d == nil || !d.Confirmed {
+				t.Fatalf("call %d: no sniffed dialog", i)
+			}
+			tb.Sim.Schedule(0, func() { _ = tb.Attacker.ForgedBye(d, true) })
+			attacked++
+			tb.Run(2 * time.Second)
+			// Quiesce: bob eventually gives up...; force cleanup by hanging
+			// up bob's side so the next call starts clean.
+			if bc := tb.Bob.ActiveCall(); bc != nil {
+				tb.Sim.Schedule(0, func() { _ = tb.Bob.Hangup(bc) })
+			}
+			tb.Run(2 * time.Second)
+		} else {
+			tb.Run(5 * time.Second)
+			tb.Sim.Schedule(0, func() { _ = tb.Alice.Hangup(call) })
+			tb.Run(2 * time.Second)
+		}
+	}
+	alerts := eng.AlertsFor(core.RuleByeAttack)
+	if len(alerts) != attacked {
+		t.Fatalf("bye-attack alerts = %d, want %d (one per attacked call)", len(alerts), attacked)
+	}
+	sessions := map[string]bool{}
+	for _, a := range alerts {
+		if sessions[a.Session] {
+			t.Errorf("duplicate alert session %s", a.Session)
+		}
+		sessions[a.Session] = true
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Trail is an ordered list of related footprints — the per-session,
+// per-protocol grouping of paper Section 3.1. Cross-protocol detection
+// keeps multiple trails per session (a SIP trail, an RTP trail, an
+// accounting trail) under the same session key.
+type Trail struct {
+	// Session is the correlation key shared by all trails of one session.
+	Session string
+	// Protocol is the single protocol this trail carries.
+	Protocol Protocol
+
+	footprints []Footprint
+	maxLen     int
+}
+
+// Append adds a footprint, evicting the oldest when the trail exceeds its
+// bound (memory is the practical limit the paper notes).
+func (t *Trail) Append(f Footprint) {
+	t.footprints = append(t.footprints, f)
+	if t.maxLen > 0 && len(t.footprints) > t.maxLen {
+		n := copy(t.footprints, t.footprints[len(t.footprints)-t.maxLen:])
+		t.footprints = t.footprints[:n]
+	}
+}
+
+// Len returns the number of retained footprints.
+func (t *Trail) Len() int { return len(t.footprints) }
+
+// Footprints returns the retained footprints in arrival order. The
+// returned slice is shared; callers must not mutate it.
+func (t *Trail) Footprints() []Footprint { return t.footprints }
+
+// Last returns the most recent footprint, or nil.
+func (t *Trail) Last() Footprint {
+	if len(t.footprints) == 0 {
+		return nil
+	}
+	return t.footprints[len(t.footprints)-1]
+}
+
+// Since returns the footprints observed strictly after cutoff.
+func (t *Trail) Since(cutoff time.Duration) []Footprint {
+	// Footprints arrive in time order: binary search would do, but trails
+	// are short-lived; scan from the back.
+	i := len(t.footprints)
+	for i > 0 && t.footprints[i-1].Time() > cutoff {
+		i--
+	}
+	return t.footprints[i:]
+}
+
+// trailKey identifies one trail in the store.
+type trailKey struct {
+	session string
+	proto   Protocol
+}
+
+// TrailStore holds all live trails indexed by session and protocol.
+type TrailStore struct {
+	trails map[trailKey]*Trail
+	// MaxTrailLen bounds each trail's retained footprints (0 = unbounded).
+	MaxTrailLen int
+}
+
+// NewTrailStore returns an empty store. maxTrailLen bounds per-trail
+// memory (0 = unbounded).
+func NewTrailStore(maxTrailLen int) *TrailStore {
+	return &TrailStore{trails: make(map[trailKey]*Trail), MaxTrailLen: maxTrailLen}
+}
+
+// Get returns the trail for (session, proto), creating it if needed.
+func (s *TrailStore) Get(session string, proto Protocol) *Trail {
+	k := trailKey{session: session, proto: proto}
+	t, ok := s.trails[k]
+	if !ok {
+		t = &Trail{Session: session, Protocol: proto, maxLen: s.MaxTrailLen}
+		s.trails[k] = t
+	}
+	return t
+}
+
+// Lookup returns the trail for (session, proto) or nil, without creating.
+func (s *TrailStore) Lookup(session string, proto Protocol) *Trail {
+	return s.trails[trailKey{session: session, proto: proto}]
+}
+
+// SessionTrails returns every trail of a session (one per protocol seen).
+func (s *TrailStore) SessionTrails(session string) []*Trail {
+	var out []*Trail
+	for _, proto := range []Protocol{ProtoSIP, ProtoRTP, ProtoRTCP, ProtoAccounting, ProtoOther} {
+		if t := s.Lookup(session, proto); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Sessions returns the number of distinct sessions with live trails.
+func (s *TrailStore) Sessions() int {
+	seen := make(map[string]struct{}, len(s.trails))
+	for k := range s.trails {
+		seen[k.session] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Trails returns the total number of live trails.
+func (s *TrailStore) Trails() int { return len(s.trails) }
+
+// Drop removes all trails of a session (e.g. long after teardown).
+func (s *TrailStore) Drop(session string) {
+	for _, proto := range []Protocol{ProtoSIP, ProtoRTP, ProtoRTCP, ProtoAccounting, ProtoOther} {
+		delete(s.trails, trailKey{session: session, proto: proto})
+	}
+}
+
+// String summarizes the store for logs.
+func (s *TrailStore) String() string {
+	return fmt.Sprintf("TrailStore{sessions=%d trails=%d}", s.Sessions(), s.Trails())
+}

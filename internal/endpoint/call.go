@@ -1,0 +1,485 @@
+package endpoint
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/rtp"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// Call is one SIP call (dialog plus media session).
+type Call struct {
+	CallID string
+	Dialog *sip.Dialog
+
+	phone       *Phone
+	remoteMedia netip.AddrPort
+	routeSet    []string // Route values for in-dialog requests
+	outgoing    bool
+	mediaPort   uint16        // local RTP source/receive port (moves on Migrate)
+	invite      *sip.Message  // the dialog-forming INVITE (for CANCEL)
+	inviteTx    *sip.ServerTx // pending incoming INVITE awaiting our answer
+	cancelled   bool
+
+	// Media sender state.
+	sending bool
+	ssrc    uint32
+	seq     uint16
+	rtpTime uint32
+	tone    *rtp.ToneGenerator
+
+	// Media receiver state.
+	buf       *rtp.JitterBuffer
+	jitterEst *rtp.JitterEstimator
+
+	// Stats.
+	RTPSent     int
+	RTPReceived int
+	RTCPSent    int
+	RTCPRecv    int
+	Glitches    int
+}
+
+// RemoteMedia returns where this call currently sends its RTP.
+func (c *Call) RemoteMedia() netip.AddrPort { return c.remoteMedia }
+
+// Established reports whether the call is confirmed and not torn down.
+func (c *Call) Established() bool {
+	return c.Dialog != nil && c.Dialog.State == sip.DialogConfirmed
+}
+
+// Jitter returns the receiver's current interarrival jitter estimate.
+func (c *Call) Jitter() time.Duration {
+	if c.jitterEst == nil {
+		return 0
+	}
+	return c.jitterEst.JitterDuration()
+}
+
+// BufferStats returns the playout buffer statistics.
+func (c *Call) BufferStats() rtp.JitterBufferStats {
+	if c.buf == nil {
+		return rtp.JitterBufferStats{}
+	}
+	return c.buf.Stats()
+}
+
+// newCall initializes call media state.
+func (p *Phone) newCall(callID string, outgoing bool) *Call {
+	buf, err := rtp.NewJitterBuffer(64)
+	if err != nil {
+		panic(fmt.Sprintf("endpoint: jitter buffer: %v", err)) // window is a constant; unreachable
+	}
+	c := &Call{
+		CallID:    callID,
+		phone:     p,
+		outgoing:  outgoing,
+		mediaPort: p.rtpPort,
+		ssrc:      p.sim.Rand().Uint32(),
+		seq:       uint16(p.sim.Rand().Intn(1 << 16)),
+		tone:      rtp.NewToneGenerator(p.cfg.ToneHz, 8000, 12000),
+		buf:       buf,
+		jitterEst: rtp.NewJitterEstimator(8000),
+	}
+	p.calls[callID] = c
+	return c
+}
+
+// localSDP builds this phone's media description.
+func (p *Phone) localSDP() []byte {
+	return sdp.NewAudioSession(p.cfg.Username, p.cfg.Host.IP(), p.rtpPort).Marshal()
+}
+
+// Call places a call to another user through the proxy. done (optional)
+// fires when the call is established or fails.
+func (p *Phone) Call(toUser string, done func(c *Call, err error)) {
+	callID := p.idgen.CallID(p.cfg.Host.IP().String())
+	c := p.newCall(callID, true)
+	to := sip.Address{URI: sip.URI{User: toUser, Host: p.cfg.Proxy.Addr().String()}}
+	contact := sip.Address{URI: p.ContactURI()}
+	invite := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: to.URI.String(),
+		From:       sip.Address{URI: p.URI()}.WithTag(p.idgen.Tag()),
+		To:         to,
+		CallID:     callID,
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:        p.via(),
+		Contact:    &contact,
+		Body:       p.localSDP(),
+		BodyType:   "application/sdp",
+	})
+	c.invite = invite
+	p.tx.Request(p.cfg.Proxy, invite, func(resp *sip.Message) {
+		switch {
+		case resp.StatusCode < 200:
+			// 100/180: ringing; nothing to do.
+		case resp.StatusCode == sip.StatusOK && !c.cancelled:
+			p.completeOutgoingCall(c, invite, resp, done)
+		default:
+			delete(p.calls, callID)
+			if done != nil {
+				done(nil, fmt.Errorf("endpoint: call rejected: %d %s", resp.StatusCode, resp.ReasonPhrase))
+			}
+		}
+	}, func() {
+		delete(p.calls, callID)
+		if done != nil {
+			done(nil, fmt.Errorf("endpoint: call timed out"))
+		}
+	})
+}
+
+func (p *Phone) completeOutgoingCall(c *Call, invite, resp *sip.Message, done func(*Call, error)) {
+	dlg, err := sip.NewDialogUAC(invite, resp)
+	if err != nil {
+		if done != nil {
+			done(nil, err)
+		}
+		return
+	}
+	c.Dialog = dlg
+	sess, err := sdp.Parse(resp.Body)
+	if err != nil {
+		if done != nil {
+			done(nil, fmt.Errorf("endpoint: answer SDP: %w", err))
+		}
+		return
+	}
+	media, ok := sess.MediaEndpoint("audio")
+	if !ok {
+		if done != nil {
+			done(nil, fmt.Errorf("endpoint: answer SDP has no audio"))
+		}
+		return
+	}
+	c.remoteMedia = media
+	c.routeSet = resp.Headers.Values(sip.HdrRecordRoute)
+	p.sendAck(c, resp)
+	p.startMedia(c)
+	p.logEvent(EvCallEstablished, c.CallID, c.remoteMedia.String())
+	if done != nil {
+		done(c, nil)
+	}
+}
+
+// inDialogDst returns the destination and Route header for an in-dialog
+// request: through the proxy when a route set was recorded, else direct
+// to the remote target.
+func (c *Call) inDialogDst() (netip.AddrPort, string, error) {
+	target := c.Dialog.RemoteTarget
+	if len(c.routeSet) > 0 {
+		route, err := sip.ParseAddress(c.routeSet[0])
+		if err != nil {
+			return netip.AddrPort{}, "", fmt.Errorf("endpoint: bad route %q: %w", c.routeSet[0], err)
+		}
+		ip, err := netip.ParseAddr(route.URI.Host)
+		if err != nil {
+			return netip.AddrPort{}, "", fmt.Errorf("endpoint: route host %q: %w", route.URI.Host, err)
+		}
+		return netip.AddrPortFrom(ip, route.URI.EffectivePort()), c.routeSet[0], nil
+	}
+	ip, err := netip.ParseAddr(target.Host)
+	if err != nil {
+		return netip.AddrPort{}, "", fmt.Errorf("endpoint: remote target %q: %w", target.Host, err)
+	}
+	return netip.AddrPortFrom(ip, target.EffectivePort()), "", nil
+}
+
+// sendAck acknowledges a 2xx to INVITE.
+func (p *Phone) sendAck(c *Call, resp *sip.Message) {
+	dst, route, err := c.inDialogDst()
+	if err != nil {
+		return
+	}
+	cseq, err := resp.CSeq()
+	if err != nil {
+		return
+	}
+	from := sip.Address{URI: c.Dialog.LocalURI}.WithTag(c.Dialog.ID.LocalTag)
+	to := sip.Address{URI: c.Dialog.RemoteURI}.WithTag(c.Dialog.ID.RemoteTag)
+	ack := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodAck,
+		RequestURI: c.Dialog.RemoteTarget.String(),
+		From:       from,
+		To:         to,
+		CallID:     c.CallID,
+		CSeq:       sip.CSeq{Seq: cseq.Seq, Method: sip.MethodAck},
+		Via:        p.via(),
+	})
+	if route != "" {
+		ack.Headers.Add(sip.HdrRoute, route)
+	}
+	_ = p.cfg.Host.SendUDP(p.sipPort, dst, ack.Marshal())
+}
+
+// newInDialogRequest builds an in-dialog request for call c.
+func (p *Phone) newInDialogRequest(c *Call, method sip.Method, body []byte, bodyType string) (*sip.Message, netip.AddrPort, error) {
+	dst, route, err := c.inDialogDst()
+	if err != nil {
+		return nil, netip.AddrPort{}, err
+	}
+	from := sip.Address{URI: c.Dialog.LocalURI}.WithTag(c.Dialog.ID.LocalTag)
+	to := sip.Address{URI: c.Dialog.RemoteURI}.WithTag(c.Dialog.ID.RemoteTag)
+	contact := sip.Address{URI: p.ContactURI()}
+	req := sip.NewRequest(sip.RequestSpec{
+		Method:     method,
+		RequestURI: c.Dialog.RemoteTarget.String(),
+		From:       from,
+		To:         to,
+		CallID:     c.CallID,
+		CSeq:       sip.CSeq{Seq: c.Dialog.NextLocalSeq(), Method: method},
+		Via:        p.via(),
+		Contact:    &contact,
+		Body:       body,
+		BodyType:   bodyType,
+	})
+	if route != "" {
+		req.Headers.Add(sip.HdrRoute, route)
+	}
+	return req, dst, nil
+}
+
+// Cancel abandons an outgoing call that has not been answered yet
+// (RFC 3261 section 9): a CANCEL with the INVITE's identifiers travels
+// the same path, and the callee answers the INVITE with 487.
+func (p *Phone) Cancel(c *Call) error {
+	if !c.outgoing || c.invite == nil {
+		return fmt.Errorf("endpoint: no outgoing INVITE to cancel")
+	}
+	if c.Dialog != nil && c.Dialog.State == sip.DialogConfirmed {
+		return fmt.Errorf("endpoint: call already answered; use Hangup")
+	}
+	c.cancelled = true
+	cancel := &sip.Message{Method: sip.MethodCancel, RequestURI: c.invite.RequestURI}
+	// RFC 3261 9.1: CANCEL copies the INVITE's Via (same branch), From,
+	// To, Call-ID, and CSeq number with method CANCEL.
+	cancel.Headers.Add(sip.HdrVia, c.invite.Headers.Get(sip.HdrVia))
+	cancel.Headers.Add(sip.HdrMaxForwards, "70")
+	cancel.Headers.Add(sip.HdrFrom, c.invite.Headers.Get(sip.HdrFrom))
+	cancel.Headers.Add(sip.HdrTo, c.invite.Headers.Get(sip.HdrTo))
+	cancel.Headers.Add(sip.HdrCallID, c.CallID)
+	if cseq, err := c.invite.CSeq(); err == nil {
+		cancel.Headers.Add(sip.HdrCSeq, sip.CSeq{Seq: cseq.Seq, Method: sip.MethodCancel}.String())
+	}
+	_ = p.cfg.Host.SendUDP(p.sipPort, p.cfg.Proxy, cancel.Marshal())
+	return nil
+}
+
+// Hangup tears the call down with BYE.
+func (p *Phone) Hangup(c *Call) error {
+	if c.Dialog == nil || c.Dialog.State != sip.DialogConfirmed {
+		return fmt.Errorf("endpoint: no confirmed dialog to hang up")
+	}
+	req, dst, err := p.newInDialogRequest(c, sip.MethodBye, nil, "")
+	if err != nil {
+		return err
+	}
+	p.stopMedia(c, true)
+	c.Dialog.Terminate()
+	p.logEvent(EvCallEnded, c.CallID, "local hangup")
+	p.tx.Request(dst, req, nil, nil)
+	return nil
+}
+
+// Migrate sends a re-INVITE that moves this phone's media session to a
+// new local port (legitimate call migration). Both the receive socket and
+// the transmit source move, as they would when the call hops devices: the
+// old media address goes completely silent afterwards, which is what
+// distinguishes legitimate migration from a hijack in SCIDIVE's rule.
+func (p *Phone) Migrate(c *Call, newMedia netip.AddrPort) error {
+	if c.Dialog == nil || c.Dialog.State != sip.DialogConfirmed {
+		return fmt.Errorf("endpoint: no confirmed dialog to migrate")
+	}
+	if newMedia.Addr() != p.cfg.Host.IP() {
+		return fmt.Errorf("endpoint: migration target %v is not on this host", newMedia.Addr())
+	}
+	if err := p.cfg.Host.BindUDP(newMedia.Port(), p.handleRTP); err != nil {
+		return fmt.Errorf("endpoint: migrate: %w", err)
+	}
+	if err := p.cfg.Host.BindUDP(newMedia.Port()+1, p.handleRTCP); err != nil {
+		return fmt.Errorf("endpoint: migrate: %w", err)
+	}
+	sess := sdp.NewAudioSession(p.cfg.Username, newMedia.Addr(), newMedia.Port())
+	req, dst, err := p.newInDialogRequest(c, sip.MethodInvite, sess.Marshal(), "application/sdp")
+	if err != nil {
+		return err
+	}
+	p.tx.Request(dst, req, func(resp *sip.Message) {
+		if resp.StatusCode == sip.StatusOK {
+			c.mediaPort = newMedia.Port()
+			p.sendAck(c, resp)
+		}
+	}, nil)
+	return nil
+}
+
+// handleRequest dispatches incoming requests from the transaction layer.
+func (p *Phone) handleRequest(tx *sip.ServerTx, req *sip.Message) {
+	if p.crashed {
+		return
+	}
+	switch req.Method {
+	case sip.MethodInvite:
+		if c := p.findDialogCall(req); c != nil {
+			p.handleReinvite(tx, req, c)
+			return
+		}
+		p.handleInvite(tx, req)
+	case sip.MethodAck:
+		if c, ok := p.calls[req.CallID()]; ok && c.Dialog != nil && c.Dialog.State == sip.DialogEarly {
+			c.Dialog.Confirm()
+			p.startMedia(c)
+			p.logEvent(EvCallEstablished, c.CallID, c.remoteMedia.String())
+		}
+	case sip.MethodBye:
+		p.handleBye(tx, req)
+	case sip.MethodCancel:
+		p.handleCancel(tx, req)
+	case sip.MethodMessage:
+		p.handleMessage(tx, req)
+	default:
+		tx.Respond(sip.NewResponse(req, sip.StatusNotImplemented, p.idgen.Tag()))
+	}
+}
+
+// findDialogCall returns the call whose dialog matches an in-dialog request.
+func (p *Phone) findDialogCall(req *sip.Message) *Call {
+	c, ok := p.calls[req.CallID()]
+	if !ok || c.Dialog == nil {
+		return nil
+	}
+	if c.Dialog.MatchesRequest(req) {
+		return c
+	}
+	return nil
+}
+
+// handleInvite answers a new incoming call (after ringing).
+func (p *Phone) handleInvite(tx *sip.ServerTx, req *sip.Message) {
+	sess, err := sdp.Parse(req.Body)
+	if err != nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, p.idgen.Tag()))
+		return
+	}
+	media, ok := sess.MediaEndpoint("audio")
+	if !ok {
+		tx.Respond(sip.NewResponse(req, sip.StatusNotImplemented, p.idgen.Tag()))
+		return
+	}
+	localTag := p.idgen.Tag()
+	dlg, err := sip.NewDialogUAS(req, localTag)
+	if err != nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, p.idgen.Tag()))
+		return
+	}
+	c := p.newCall(req.CallID(), false)
+	c.Dialog = dlg
+	c.remoteMedia = media
+	c.routeSet = req.Headers.Values(sip.HdrRecordRoute)
+	c.inviteTx = tx
+	from, _ := req.From()
+	p.logEvent(EvIncomingCall, c.CallID, from.URI.AOR())
+	tx.Respond(sip.NewResponse(req, sip.StatusRinging, localTag))
+	p.sim.Schedule(p.cfg.AnswerDelay, func() {
+		if p.crashed || c.Dialog.State != sip.DialogEarly {
+			return
+		}
+		if p.cfg.RejectCalls {
+			c.Dialog.Terminate()
+			delete(p.calls, c.CallID)
+			p.logEvent(EvCallEnded, c.CallID, "rejected busy")
+			tx.Respond(sip.NewResponse(req, sip.StatusBusyHere, localTag))
+			return
+		}
+		ok200 := sip.NewResponse(req, sip.StatusOK, localTag)
+		// RFC 3261 12.1.1: the UAS copies Record-Route into the 2xx so the
+		// caller learns the route set (keeps in-dialog requests on the proxy).
+		for _, rr := range req.Headers.Values(sip.HdrRecordRoute) {
+			ok200.Headers.Add(sip.HdrRecordRoute, rr)
+		}
+		contact := sip.Address{URI: p.ContactURI()}
+		ok200.Headers.Add(sip.HdrContact, contact.String())
+		ok200.Headers.Add(sip.HdrContentType, "application/sdp")
+		ok200.Body = p.localSDP()
+		tx.Respond(ok200)
+	})
+}
+
+// handleReinvite processes an in-dialog INVITE: the remote side (or an
+// attacker forging one) is redirecting its media.
+func (p *Phone) handleReinvite(tx *sip.ServerTx, req *sip.Message, c *Call) {
+	sess, err := sdp.Parse(req.Body)
+	if err != nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, p.idgen.Tag()))
+		return
+	}
+	media, ok := sess.MediaEndpoint("audio")
+	if !ok {
+		tx.Respond(sip.NewResponse(req, sip.StatusNotImplemented, p.idgen.Tag()))
+		return
+	}
+	old := c.remoteMedia
+	c.remoteMedia = media
+	if contact, err := req.Contact(); err == nil {
+		c.Dialog.RemoteTarget = contact.URI
+	}
+	if cseq, err := req.CSeq(); err == nil {
+		c.Dialog.RemoteSeq = cseq.Seq
+	}
+	p.logEvent(EvCallRedirected, c.CallID, fmt.Sprintf("%s -> %s", old, media))
+	ok200 := sip.NewResponse(req, sip.StatusOK, c.Dialog.ID.LocalTag)
+	contact := sip.Address{URI: p.ContactURI()}
+	ok200.Headers.Add(sip.HdrContact, contact.String())
+	ok200.Headers.Add(sip.HdrContentType, "application/sdp")
+	ok200.Body = p.localSDP()
+	tx.Respond(ok200)
+}
+
+// handleCancel abandons a ringing incoming call: 200 for the CANCEL,
+// 487 for the pending INVITE.
+func (p *Phone) handleCancel(tx *sip.ServerTx, req *sip.Message) {
+	c, ok := p.calls[req.CallID()]
+	if !ok || c.Dialog == nil || c.Dialog.State != sip.DialogEarly || c.inviteTx == nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusNotFound, p.idgen.Tag()))
+		return
+	}
+	tx.Respond(sip.NewResponse(req, sip.StatusOK, c.Dialog.ID.LocalTag))
+	c.inviteTx.Respond(sip.NewResponse(c.inviteTx.Request, sip.StatusRequestTerminated, c.Dialog.ID.LocalTag))
+	c.Dialog.Terminate()
+	delete(p.calls, c.CallID)
+	p.logEvent(EvCallEnded, c.CallID, "cancelled by caller")
+}
+
+// handleBye tears down a call on remote (or forged) BYE.
+func (p *Phone) handleBye(tx *sip.ServerTx, req *sip.Message) {
+	c := p.findDialogCall(req)
+	if c == nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusNotFound, p.idgen.Tag()))
+		return
+	}
+	p.stopMedia(c, false)
+	c.Dialog.Terminate()
+	p.logEvent(EvCallEnded, c.CallID, "remote BYE")
+	tx.Respond(sip.NewResponse(req, sip.StatusOK, c.Dialog.ID.LocalTag))
+}
+
+// handleMessage receives an instant message.
+func (p *Phone) handleMessage(tx *sip.ServerTx, req *sip.Message) {
+	from, err := req.From()
+	if err != nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, p.idgen.Tag()))
+		return
+	}
+	p.ims = append(p.ims, IM{
+		At:       p.sim.Now(),
+		From:     from.URI.AOR(),
+		SourceIP: tx.Src.Addr(),
+		Body:     string(req.Body),
+	})
+	p.logEvent(EvIMReceived, req.CallID(), from.URI.AOR())
+	tx.Respond(sip.NewResponse(req, sip.StatusOK, p.idgen.Tag()))
+}

@@ -1,0 +1,428 @@
+package endpoint_test
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/endpoint"
+	"scidive/internal/netsim"
+	"scidive/internal/proxy"
+	"scidive/internal/sip"
+)
+
+// testbed is the paper's Figure 4 topology: two clients and a proxy on a
+// hub, plus an accounting service.
+type testbed struct {
+	sim   *netsim.Simulator
+	net   *netsim.Network
+	proxy *proxy.Server
+	acct  *accounting.Service
+	a, b  *endpoint.Phone
+}
+
+func newTestbed(t *testing.T, seed int64) *testbed {
+	t.Helper()
+	sim := netsim.NewSimulator(seed)
+	n := netsim.NewNetwork(sim)
+	hostA := n.MustAddHost("client-a", netip.MustParseAddr("10.0.0.1"))
+	hostB := n.MustAddHost("client-b", netip.MustParseAddr("10.0.0.2"))
+	hostP := n.MustAddHost("proxy", netip.MustParseAddr("10.0.0.10"))
+	hostAcct := n.MustAddHost("acct", netip.MustParseAddr("10.0.0.20"))
+
+	acct, err := accounting.NewService(hostAcct, 0)
+	if err != nil {
+		t.Fatalf("accounting: %v", err)
+	}
+	prx, err := proxy.New(proxy.Config{
+		Host:        hostP,
+		Realm:       "scidive.test",
+		Users:       map[string]string{"alice": "wonderland", "bob": "builder"},
+		RequireAuth: true,
+		Accounting:  accounting.NewClient(hostP, netip.AddrPortFrom(hostAcct.IP(), accounting.DefaultPort), 7010),
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	a, err := endpoint.New(endpoint.Config{
+		Host: hostA, Username: "alice", Password: "wonderland", Proxy: prx.Addr(),
+	})
+	if err != nil {
+		t.Fatalf("phone a: %v", err)
+	}
+	b, err := endpoint.New(endpoint.Config{
+		Host: hostB, Username: "bob", Password: "builder", Proxy: prx.Addr(),
+	})
+	if err != nil {
+		t.Fatalf("phone b: %v", err)
+	}
+	return &testbed{sim: sim, net: n, proxy: prx, acct: acct, a: a, b: b}
+}
+
+// register registers both phones and asserts success.
+func (tb *testbed) register(t *testing.T) {
+	t.Helper()
+	tb.a.Register(nil)
+	tb.b.Register(nil)
+	tb.sim.RunUntil(2 * time.Second)
+	if !tb.a.Registered() || !tb.b.Registered() {
+		t.Fatalf("registration failed: a=%v b=%v", tb.a.Registered(), tb.b.Registered())
+	}
+}
+
+// call places a call from a to b and returns a's call.
+func (tb *testbed) call(t *testing.T) *endpoint.Call {
+	t.Helper()
+	var call *endpoint.Call
+	var callErr error
+	tb.sim.Schedule(0, func() {
+		tb.a.Call("bob", func(c *endpoint.Call, err error) { call, callErr = c, err })
+	})
+	tb.sim.RunUntil(tb.sim.Now() + 3*time.Second)
+	if callErr != nil {
+		t.Fatalf("call failed: %v", callErr)
+	}
+	if call == nil || !call.Established() {
+		t.Fatal("call not established")
+	}
+	return call
+}
+
+func TestRegistrationWithDigestAuth(t *testing.T) {
+	tb := newTestbed(t, 1)
+	tb.register(t)
+	st := tb.proxy.Stats()
+	if st.Challenges != 2 {
+		t.Errorf("Challenges = %d, want 2 (one per phone)", st.Challenges)
+	}
+	if st.Registers != 2 {
+		t.Errorf("Registers = %d, want 2", st.Registers)
+	}
+	if b := tb.proxy.BindingFor("alice@10.0.0.10"); b == nil {
+		t.Error("no binding for alice")
+	} else if b.Source.Addr() != netip.MustParseAddr("10.0.0.1") {
+		t.Errorf("alice binding source = %v", b.Source)
+	}
+}
+
+func TestRegistrationWrongPassword(t *testing.T) {
+	tb := newTestbed(t, 2)
+	hostM := tb.net.MustAddHost("mallory", netip.MustParseAddr("10.0.0.66"))
+	m, err := endpoint.New(endpoint.Config{
+		Host: hostM, Username: "alice", Password: "WRONG", Proxy: tb.proxy.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcome *bool
+	m.Register(func(ok bool) { outcome = &ok })
+	// The phone answers the challenge once with bad credentials, gets
+	// re-challenged, and does not loop: the second 401 arrives with
+	// authz=="" false, so it reports failure.
+	tb.sim.RunUntil(5 * time.Second)
+	if m.Registered() {
+		t.Error("phone with wrong password registered")
+	}
+	if tb.proxy.Stats().AuthFailures == 0 {
+		t.Error("proxy recorded no auth failures")
+	}
+	_ = outcome // outcome may be nil if the phone is still mid-retry at cutoff
+}
+
+func TestCallSetupMediaAndTeardown(t *testing.T) {
+	tb := newTestbed(t, 3)
+	tb.register(t)
+	call := tb.call(t)
+
+	// Media should point at bob's advertised RTP address.
+	if call.RemoteMedia() != tb.b.RTPAddr() {
+		t.Errorf("a's remote media = %v, want %v", call.RemoteMedia(), tb.b.RTPAddr())
+	}
+	// Let the call run 10 seconds: ~500 RTP packets each way.
+	end := tb.sim.Now() + 10*time.Second
+	tb.sim.RunUntil(end)
+	bCall := tb.b.ActiveCall()
+	if bCall == nil {
+		t.Fatal("bob has no active call")
+	}
+	if call.RTPSent < 450 || bCall.RTPReceived < 450 {
+		t.Errorf("RTP counts: a sent %d, b received %d, want ≈500", call.RTPSent, bCall.RTPReceived)
+	}
+	if call.RTPReceived < 400 {
+		t.Errorf("a received %d RTP, want ≈475 (b answers after ring delay)", call.RTPReceived)
+	}
+	if call.RTCPSent == 0 || bCall.RTCPRecv == 0 {
+		t.Errorf("RTCP did not flow: sent=%d recv=%d", call.RTCPSent, bCall.RTCPRecv)
+	}
+	// Playout should be healthy: no significant underruns on a lossless LAN.
+	if st := bCall.BufferStats(); st.Played < 400 || st.Underruns > 5 {
+		t.Errorf("bob playout stats = %+v", st)
+	}
+
+	// Hang up from a; b should see the BYE through the proxy (Record-Route).
+	tb.sim.Schedule(0, func() {
+		if err := tb.a.Hangup(call); err != nil {
+			t.Errorf("Hangup: %v", err)
+		}
+	})
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+	if call.Established() {
+		t.Error("a's call still established after hangup")
+	}
+	if bCall.Established() {
+		t.Error("b's call still established after BYE")
+	}
+	if len(tb.b.EventsOf(endpoint.EvCallEnded)) != 1 {
+		t.Error("b did not log call-ended")
+	}
+	aSent := call.RTPSent
+	bSent := bCall.RTPSent
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+	if call.RTPSent != aSent || bCall.RTPSent != bSent {
+		t.Error("RTP continued after teardown")
+	}
+}
+
+func TestAccountingRecordsCall(t *testing.T) {
+	tb := newTestbed(t, 4)
+	tb.register(t)
+	call := tb.call(t)
+	tb.sim.RunUntil(tb.sim.Now() + 30*time.Second)
+	tb.sim.Schedule(0, func() { _ = tb.a.Hangup(call) })
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+
+	recs := tb.acct.Records()
+	if len(recs) != 1 {
+		t.Fatalf("CDRs = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.From != "alice@10.0.0.10" || r.To != "bob@10.0.0.10" {
+		t.Errorf("CDR parties = %s -> %s", r.From, r.To)
+	}
+	if r.FromIP != netip.MustParseAddr("10.0.0.1") {
+		t.Errorf("CDR from-ip = %v", r.FromIP)
+	}
+	if !r.Stopped {
+		t.Error("CDR not stopped after BYE")
+	}
+	if d := r.Duration(); d < 25*time.Second || d > 35*time.Second {
+		t.Errorf("CDR duration = %v, want ≈30s", d)
+	}
+}
+
+func TestInstantMessaging(t *testing.T) {
+	tb := newTestbed(t, 5)
+	tb.register(t)
+	tb.sim.Schedule(0, func() { tb.b.SendIM("alice", "hello from bob") })
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+	msgs := tb.a.Messages()
+	if len(msgs) != 1 {
+		t.Fatalf("alice has %d IMs, want 1", len(msgs))
+	}
+	if msgs[0].From != "bob@10.0.0.10" || msgs[0].Body != "hello from bob" {
+		t.Errorf("IM = %+v", msgs[0])
+	}
+	// Source IP is the proxy's (the message was relayed).
+	if msgs[0].SourceIP != netip.MustParseAddr("10.0.0.10") {
+		t.Errorf("IM source = %v, want proxy", msgs[0].SourceIP)
+	}
+}
+
+func TestCallMigrationViaReinvite(t *testing.T) {
+	tb := newTestbed(t, 6)
+	tb.register(t)
+	call := tb.call(t)
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+
+	// Alice migrates her media to a new port (e.g. a different device
+	// behind the same address).
+	newMedia := netip.AddrPortFrom(netip.MustParseAddr("10.0.0.1"), 42000)
+	tb.sim.Schedule(0, func() {
+		if err := tb.a.Migrate(call, newMedia); err != nil {
+			t.Errorf("Migrate: %v", err)
+		}
+	})
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+	bCall := tb.b.ActiveCall()
+	if bCall == nil {
+		t.Fatal("bob lost the call during migration")
+	}
+	if bCall.RemoteMedia() != newMedia {
+		t.Errorf("bob's remote media = %v, want %v", bCall.RemoteMedia(), newMedia)
+	}
+	if len(tb.b.EventsOf(endpoint.EvCallRedirected)) != 1 {
+		t.Error("bob did not log call-redirected")
+	}
+	if call.Established() != true || bCall.Established() != true {
+		t.Error("call dropped during migration")
+	}
+}
+
+func TestCallToUnregisteredUser(t *testing.T) {
+	tb := newTestbed(t, 7)
+	tb.a.Register(nil)
+	tb.sim.RunUntil(2 * time.Second) // bob never registers
+	var gotErr error
+	done := false
+	tb.sim.Schedule(0, func() {
+		tb.a.Call("bob", func(_ *endpoint.Call, err error) { gotErr, done = err, true })
+	})
+	tb.sim.RunUntil(tb.sim.Now() + 2*time.Second)
+	if !done || gotErr == nil {
+		t.Fatalf("call to unregistered user: done=%v err=%v, want rejection", done, gotErr)
+	}
+	if tb.proxy.Stats().NotFound != 1 {
+		t.Errorf("proxy NotFound = %d, want 1", tb.proxy.Stats().NotFound)
+	}
+}
+
+func TestPhoneConfigValidation(t *testing.T) {
+	if _, err := endpoint.New(endpoint.Config{}); err == nil {
+		t.Error("New with nil host: want error")
+	}
+	sim := netsim.NewSimulator(1)
+	n := netsim.NewNetwork(sim)
+	h := n.MustAddHost("x", netip.MustParseAddr("10.0.0.1"))
+	if _, err := endpoint.New(endpoint.Config{Host: h}); err == nil {
+		t.Error("New with empty username: want error")
+	}
+}
+
+func TestProxyConfigValidation(t *testing.T) {
+	if _, err := proxy.New(proxy.Config{}); err == nil {
+		t.Error("proxy.New with nil host: want error")
+	}
+}
+
+func TestDeterministicCallReplay(t *testing.T) {
+	run := func() (int, int) {
+		tb := newTestbed(t, 77)
+		tb.register(t)
+		call := tb.call(t)
+		tb.sim.RunUntil(tb.sim.Now() + 5*time.Second)
+		b := tb.b.ActiveCall()
+		if b == nil {
+			t.Fatal("no call at b")
+		}
+		return call.RTPSent, b.RTPReceived
+	}
+	s1, r1 := run()
+	s2, r2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Errorf("replay diverged: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []endpoint.EventKind{
+		endpoint.EvRegistered, endpoint.EvRegisterFailed, endpoint.EvIncomingCall,
+		endpoint.EvCallEstablished, endpoint.EvCallEnded, endpoint.EvCallRedirected,
+		endpoint.EvIMReceived, endpoint.EvMediaGlitch, endpoint.EvCrashed,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("EventKind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if endpoint.EventKind(0).String() != "unknown" {
+		t.Error("zero EventKind should be unknown")
+	}
+}
+
+var _ = sip.MethodInvite // keep the sip import for helper visibility
+
+func TestRejectedCallReturnsBusy(t *testing.T) {
+	sim := netsim.NewSimulator(42)
+	n := netsim.NewNetwork(sim)
+	hostA := n.MustAddHost("a", netip.MustParseAddr("10.0.1.1"))
+	hostB := n.MustAddHost("b", netip.MustParseAddr("10.0.1.2"))
+	hostP := n.MustAddHost("p", netip.MustParseAddr("10.0.1.10"))
+	prx, err := proxy.New(proxy.Config{Host: hostP, Realm: "t", Users: map[string]string{"a": "x", "b": "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := endpoint.New(endpoint.Config{Host: hostA, Username: "a", Password: "x", Proxy: prx.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := endpoint.New(endpoint.Config{Host: hostB, Username: "b", Password: "y", Proxy: prx.Addr(), RejectCalls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Register(nil)
+	b.Register(nil)
+	sim.RunUntil(2 * time.Second)
+	var gotErr error
+	done := false
+	sim.Schedule(0, func() {
+		a.Call("b", func(_ *endpoint.Call, err error) { gotErr, done = err, true })
+	})
+	sim.RunUntil(sim.Now() + 3*time.Second)
+	if !done {
+		t.Fatal("call callback never fired")
+	}
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "486") {
+		t.Errorf("err = %v, want 486 Busy Here", gotErr)
+	}
+	if len(b.EventsOf(endpoint.EvCallEnded)) != 1 {
+		t.Error("busy phone did not log the rejection")
+	}
+	if a.ActiveCall() != nil || b.ActiveCall() != nil {
+		t.Error("a call remained active after rejection")
+	}
+}
+
+func TestCancelRingingCall(t *testing.T) {
+	tb := newTestbed(t, 9)
+	tb.register(t)
+	var call *endpoint.Call
+	var callErr error
+	done := false
+	// Bob's ring time is the default 500ms; cancel at 200ms.
+	tb.sim.Schedule(0, func() {
+		tb.a.Call("bob", func(c *endpoint.Call, err error) { call, callErr, done = c, err, true })
+	})
+	tb.sim.Schedule(200*time.Millisecond, func() {
+		for _, c := range tb.a.Calls() {
+			if err := tb.a.Cancel(c); err != nil {
+				t.Errorf("Cancel: %v", err)
+			}
+		}
+	})
+	tb.sim.RunUntil(tb.sim.Now() + 3*time.Second)
+	if !done {
+		t.Fatal("call callback never fired")
+	}
+	if callErr == nil || !strings.Contains(callErr.Error(), "487") {
+		t.Errorf("err = %v, want 487 Request Terminated", callErr)
+	}
+	if call != nil {
+		t.Error("cancelled call returned a live call")
+	}
+	if len(tb.b.EventsOf(endpoint.EvCallEnded)) != 1 {
+		t.Error("bob did not log the cancellation")
+	}
+	if tb.a.ActiveCall() != nil || tb.b.ActiveCall() != nil {
+		t.Error("calls remained after cancel")
+	}
+	// No media ever flowed.
+	for _, c := range tb.b.Calls() {
+		if c.RTPSent > 0 || c.RTPReceived > 0 {
+			t.Error("media flowed for a cancelled call")
+		}
+	}
+}
+
+func TestCancelAfterAnswerFails(t *testing.T) {
+	tb := newTestbed(t, 10)
+	tb.register(t)
+	call := tb.call(t)
+	if err := tb.a.Cancel(call); err == nil {
+		t.Error("Cancel after answer: want error")
+	}
+}

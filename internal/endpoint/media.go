@@ -1,0 +1,202 @@
+package endpoint
+
+import (
+	"errors"
+	"net/netip"
+	"time"
+
+	"scidive/internal/rtp"
+)
+
+// Media timing constants: G.711 at 8 kHz with 20 ms packetization.
+const (
+	ptime            = 20 * time.Millisecond
+	samplesPerPacket = 160
+	rtcpInterval     = 2500 * time.Millisecond
+)
+
+// startMedia begins the send and playout loops for a confirmed call.
+func (p *Phone) startMedia(c *Call) {
+	if c.sending {
+		return
+	}
+	c.sending = true
+	p.sim.Every(0, ptime, func() bool {
+		if p.crashed || !c.sending {
+			return false
+		}
+		p.sendRTP(c)
+		return true
+	})
+	p.sim.Every(ptime, ptime, func() bool {
+		if p.crashed || !c.sending {
+			return false
+		}
+		c.buf.Pop() // playout tick; underruns are counted by the buffer
+		return true
+	})
+	p.sim.Every(rtcpInterval, rtcpInterval, func() bool {
+		if p.crashed || !c.sending {
+			return false
+		}
+		p.sendRTCP(c)
+		return true
+	})
+}
+
+// stopMedia halts transmission for a call. When announce is true (local
+// hangup) the departure is announced with an RTCP BYE as RFC 3550
+// section 6.3.7 prescribes; on remote-initiated teardown the peer
+// already knows and period clients sent nothing.
+func (p *Phone) stopMedia(c *Call, announce bool) {
+	if !c.sending {
+		return
+	}
+	c.sending = false
+	if !announce {
+		return
+	}
+	bye := &rtp.Bye{SSRCs: []uint32{c.ssrc}, Reason: "session ended"}
+	buf, err := rtp.MarshalCompound([]rtp.RTCPPacket{bye})
+	if err != nil {
+		return
+	}
+	dst := netip.AddrPortFrom(c.remoteMedia.Addr(), c.remoteMedia.Port()+1)
+	if err := p.cfg.Host.SendUDP(c.mediaPort+1, dst, buf); err == nil {
+		c.RTCPSent++
+	}
+}
+
+// sendRTP emits one tone packet.
+func (p *Phone) sendRTP(c *Call) {
+	payload := rtp.EncodePCMU(c.tone.Next(samplesPerPacket))
+	pkt := rtp.Packet{
+		Header: rtp.Header{
+			PayloadType: rtp.PayloadTypePCMU,
+			Seq:         c.seq,
+			Timestamp:   c.rtpTime,
+			SSRC:        c.ssrc,
+		},
+		Payload: payload,
+	}
+	c.seq++
+	c.rtpTime += samplesPerPacket
+	buf, err := pkt.Marshal()
+	if err != nil {
+		return
+	}
+	if err := p.cfg.Host.SendUDP(c.mediaPort, c.remoteMedia, buf); err != nil {
+		return
+	}
+	c.RTPSent++
+}
+
+// sendRTCP emits a sender report with an SDES CNAME.
+func (p *Phone) sendRTCP(c *Call) {
+	now := p.sim.Now()
+	sr := &rtp.SenderReport{
+		SSRC:        c.ssrc,
+		NTPSec:      uint32(now / time.Second),
+		NTPFrac:     uint32(uint64(now%time.Second) << 32 / uint64(time.Second)),
+		RTPTime:     c.rtpTime,
+		PacketCount: uint32(c.RTPSent),
+		OctetCount:  uint32(c.RTPSent * samplesPerPacket),
+	}
+	sdes := &rtp.SourceDescription{SSRC: c.ssrc, CNAME: p.AOR()}
+	buf, err := rtp.MarshalCompound([]rtp.RTCPPacket{sr, sdes})
+	if err != nil {
+		return
+	}
+	dst := netip.AddrPortFrom(c.remoteMedia.Addr(), c.remoteMedia.Port()+1)
+	if err := p.cfg.Host.SendUDP(c.mediaPort+1, dst, buf); err != nil {
+		return
+	}
+	c.RTCPSent++
+}
+
+// handleRTP processes an incoming packet on the RTP port. Garbage or
+// wildly out-of-window packets corrupt the jitter buffer: depending on
+// configuration the client crashes (X-Lite) or glitches (Messenger).
+func (p *Phone) handleRTP(src netip.AddrPort, payload []byte) {
+	if p.crashed {
+		return
+	}
+	c := p.mediaCall()
+	if c == nil {
+		p.OrphanRTP++
+		return
+	}
+	pkt, err := rtp.Unmarshal(payload)
+	if err != nil {
+		p.corruptMedia(c, "undecodable RTP: "+err.Error())
+		return
+	}
+	c.RTPReceived++
+	c.jitterEst.Observe(pkt.Header.Timestamp, p.sim.Now())
+	if err := c.buf.Insert(pkt); err != nil {
+		if errors.Is(err, rtp.ErrBufferCorrupted) {
+			p.corruptMedia(c, err.Error())
+		}
+		return
+	}
+	_ = src // the endpoint accepts media from any source: RTP has no auth
+}
+
+// mediaCall returns the call whose media session is active.
+func (p *Phone) mediaCall() *Call {
+	for _, c := range p.calls {
+		if c.sending {
+			return c
+		}
+	}
+	return nil
+}
+
+// corruptMedia applies the configured client behaviour to a jitter-buffer
+// corruption.
+func (p *Phone) corruptMedia(c *Call, detail string) {
+	c.Glitches++
+	if p.cfg.CrashOnCorrupt {
+		p.crash(c.CallID, detail)
+		return
+	}
+	// Messenger behaviour: audio glitches, buffer resets, client survives.
+	p.logEvent(EvMediaGlitch, c.CallID, detail)
+	if buf, err := rtp.NewJitterBuffer(64); err == nil {
+		c.buf = buf
+	}
+}
+
+// crash emulates the X-Lite process dying: all activity stops.
+func (p *Phone) crash(callID, detail string) {
+	p.crashed = true
+	p.logEvent(EvCrashed, callID, detail)
+	for _, c := range p.calls {
+		c.sending = false
+	}
+}
+
+// handleRTCP processes incoming RTCP compound packets. A BYE makes the
+// phone believe the remote participant left the media session, so it
+// stops transmitting — the behaviour the RTCP BYE spoofing attack
+// exploits (the SIP dialog stays up, but the audio dies).
+func (p *Phone) handleRTCP(_ netip.AddrPort, payload []byte) {
+	if p.crashed {
+		return
+	}
+	c := p.mediaCall()
+	if c == nil {
+		return
+	}
+	pkts, err := rtp.UnmarshalCompound(payload)
+	if err != nil {
+		return
+	}
+	c.RTCPRecv++
+	for _, pkt := range pkts {
+		if _, isBye := pkt.(*rtp.Bye); isBye && c.Established() {
+			c.sending = false // remote "left": stop our stream, dialog stays up
+			p.logEvent(EvMediaGlitch, c.CallID, "remote sent RTCP BYE; transmission stopped")
+		}
+	}
+}

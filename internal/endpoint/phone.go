@@ -1,0 +1,349 @@
+// Package endpoint implements a simulated SIP softphone (user agent),
+// standing in for the Kphone / Windows Messenger / X-Lite clients of the
+// SCIDIVE paper's testbed. A Phone registers with the proxy using digest
+// authentication, places and answers calls with SDP-negotiated G.711
+// media over RTP, exchanges instant messages (SIP MESSAGE), handles
+// re-INVITE-based call migration, and emulates the client behaviours the
+// paper observed under the RTP attack (X-Lite crashes, Messenger gets
+// intermittent audio).
+package endpoint
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/netsim"
+	"scidive/internal/sip"
+)
+
+// EventKind classifies phone events.
+type EventKind int
+
+// Phone event kinds.
+const (
+	EvRegistered EventKind = iota + 1
+	EvRegisterFailed
+	EvIncomingCall
+	EvCallEstablished
+	EvCallEnded
+	EvCallRedirected
+	EvIMReceived
+	EvMediaGlitch
+	EvCrashed
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvRegistered:
+		return "registered"
+	case EvRegisterFailed:
+		return "register-failed"
+	case EvIncomingCall:
+		return "incoming-call"
+	case EvCallEstablished:
+		return "call-established"
+	case EvCallEnded:
+		return "call-ended"
+	case EvCallRedirected:
+		return "call-redirected"
+	case EvIMReceived:
+		return "im-received"
+	case EvMediaGlitch:
+		return "media-glitch"
+	case EvCrashed:
+		return "crashed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry in the phone's event log.
+type Event struct {
+	At     time.Duration
+	Kind   EventKind
+	CallID string
+	Detail string
+}
+
+// IM is a received instant message.
+type IM struct {
+	At       time.Duration
+	From     string // From header AOR
+	SourceIP netip.Addr
+	Body     string
+}
+
+// Config configures a Phone.
+type Config struct {
+	Host     *netsim.Host
+	Username string
+	Password string
+	// Proxy is the SIP proxy address; its IP doubles as the SIP domain.
+	Proxy netip.AddrPort
+	// SIPPort defaults to sip.DefaultPort; RTPPort to 40000 (RTCP on +1).
+	SIPPort uint16
+	RTPPort uint16
+	// AnswerDelay is the ring time before auto-answer (default 500ms).
+	AnswerDelay time.Duration
+	// RejectCalls makes the phone answer every INVITE with 486 Busy Here
+	// after ringing, instead of accepting.
+	RejectCalls bool
+	// CrashOnCorrupt emulates X-Lite: the client process dies when garbage
+	// corrupts its jitter buffer. When false the phone behaves like
+	// Messenger: audio glitches but the client survives.
+	CrashOnCorrupt bool
+	// ToneHz is the "voice" tone frequency (default 440).
+	ToneHz float64
+}
+
+// Phone is a simulated softphone.
+type Phone struct {
+	cfg     Config
+	sipPort uint16
+	rtpPort uint16
+	tx      *sip.TxLayer
+	idgen   *sip.IDGen
+	sim     *netsim.Simulator
+
+	registered bool
+	crashed    bool
+	regCallID  string
+	regCSeq    uint32
+
+	calls  map[string]*Call // by Call-ID
+	events []Event
+	ims    []IM
+
+	// OrphanRTP counts RTP packets that arrived with no active call, e.g.
+	// the continuing flow after a forged BYE.
+	OrphanRTP int
+}
+
+// New creates a phone and binds its SIP, RTP, and RTCP ports.
+func New(cfg Config) (*Phone, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("endpoint: nil host")
+	}
+	if cfg.Username == "" {
+		return nil, fmt.Errorf("endpoint: empty username")
+	}
+	p := &Phone{
+		cfg:     cfg,
+		sipPort: cfg.SIPPort,
+		rtpPort: cfg.RTPPort,
+		idgen:   sip.NewIDGen(cfg.Host.Sim().Rand()),
+		sim:     cfg.Host.Sim(),
+		calls:   make(map[string]*Call),
+	}
+	if p.sipPort == 0 {
+		p.sipPort = sip.DefaultPort
+	}
+	if p.rtpPort == 0 {
+		p.rtpPort = 40000
+	}
+	if p.cfg.AnswerDelay == 0 {
+		p.cfg.AnswerDelay = 500 * time.Millisecond
+	}
+	if p.cfg.ToneHz == 0 {
+		p.cfg.ToneHz = 440
+	}
+	p.tx = sip.NewTxLayer(p.sim, func(dst netip.AddrPort, m *sip.Message) {
+		if p.crashed {
+			return
+		}
+		_ = cfg.Host.SendUDP(p.sipPort, dst, m.Marshal())
+	})
+	p.tx.OnRequest(p.handleRequest)
+	if err := cfg.Host.BindUDP(p.sipPort, p.handleSIP); err != nil {
+		return nil, fmt.Errorf("endpoint: %w", err)
+	}
+	if err := cfg.Host.BindUDP(p.rtpPort, p.handleRTP); err != nil {
+		return nil, fmt.Errorf("endpoint: %w", err)
+	}
+	if err := cfg.Host.BindUDP(p.rtpPort+1, p.handleRTCP); err != nil {
+		return nil, fmt.Errorf("endpoint: %w", err)
+	}
+	return p, nil
+}
+
+// AOR returns the phone's address-of-record (user@proxy-ip).
+func (p *Phone) AOR() string { return p.cfg.Username + "@" + p.cfg.Proxy.Addr().String() }
+
+// URI returns the phone's public SIP URI.
+func (p *Phone) URI() sip.URI {
+	return sip.URI{User: p.cfg.Username, Host: p.cfg.Proxy.Addr().String()}
+}
+
+// ContactURI returns the phone's contact (its own host and port).
+func (p *Phone) ContactURI() sip.URI {
+	return sip.URI{User: p.cfg.Username, Host: p.cfg.Host.IP().String(), Port: p.sipPort}
+}
+
+// RTPAddr returns the phone's media address.
+func (p *Phone) RTPAddr() netip.AddrPort {
+	return netip.AddrPortFrom(p.cfg.Host.IP(), p.rtpPort)
+}
+
+// Registered reports whether the last registration succeeded.
+func (p *Phone) Registered() bool { return p.registered }
+
+// Crashed reports whether the client has crashed (X-Lite emulation).
+func (p *Phone) Crashed() bool { return p.crashed }
+
+// Events returns the phone's event log.
+func (p *Phone) Events() []Event { return append([]Event(nil), p.events...) }
+
+// EventsOf returns the logged events of one kind.
+func (p *Phone) EventsOf(kind EventKind) []Event {
+	var out []Event
+	for _, e := range p.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Messages returns received instant messages.
+func (p *Phone) Messages() []IM { return append([]IM(nil), p.ims...) }
+
+// Calls returns the phone's calls (any state), keyed by Call-ID.
+func (p *Phone) Calls() map[string]*Call {
+	out := make(map[string]*Call, len(p.calls))
+	for k, v := range p.calls {
+		out[k] = v
+	}
+	return out
+}
+
+// ActiveCall returns the first confirmed call, or nil.
+func (p *Phone) ActiveCall() *Call {
+	for _, c := range p.calls {
+		if c.Dialog != nil && c.Dialog.State == sip.DialogConfirmed {
+			return c
+		}
+	}
+	return nil
+}
+
+// ActiveCallOrLast returns the active call, or — after teardown — any
+// call the phone has state for. Useful for post-run inspection.
+func (p *Phone) ActiveCallOrLast() *Call {
+	if c := p.ActiveCall(); c != nil {
+		return c
+	}
+	for _, c := range p.calls {
+		return c
+	}
+	return nil
+}
+
+func (p *Phone) logEvent(kind EventKind, callID, detail string) {
+	p.events = append(p.events, Event{At: p.sim.Now(), Kind: kind, CallID: callID, Detail: detail})
+}
+
+func (p *Phone) via() sip.Via {
+	return sip.Via{
+		Transport: "UDP",
+		SentBy:    fmt.Sprintf("%s:%d", p.cfg.Host.IP(), p.sipPort),
+		Params:    map[string]string{"branch": p.idgen.Branch()},
+	}
+}
+
+// Register sends a REGISTER to the proxy, answering a digest challenge
+// automatically. done (optional) is invoked with the outcome.
+func (p *Phone) Register(done func(ok bool)) {
+	p.regCallID = p.idgen.CallID(p.cfg.Host.IP().String())
+	p.regCSeq = 0
+	p.sendRegister("", done)
+}
+
+func (p *Phone) sendRegister(authz string, done func(ok bool)) {
+	p.regCSeq++
+	contact := sip.Address{URI: p.ContactURI()}
+	me := sip.Address{URI: p.URI()}
+	req := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodRegister,
+		RequestURI: sip.URI{Host: p.cfg.Proxy.Addr().String(), Port: p.cfg.Proxy.Port()}.String(),
+		From:       me.WithTag(p.idgen.Tag()),
+		To:         me,
+		CallID:     p.regCallID,
+		CSeq:       sip.CSeq{Seq: p.regCSeq, Method: sip.MethodRegister},
+		Via:        p.via(),
+		Contact:    &contact,
+	})
+	req.Headers.Add(sip.HdrExpires, "3600")
+	if authz != "" {
+		req.Headers.Add(sip.HdrAuthorization, authz)
+	}
+	p.tx.Request(p.cfg.Proxy, req, func(resp *sip.Message) {
+		switch {
+		case resp.StatusCode == sip.StatusOK:
+			p.registered = true
+			p.logEvent(EvRegistered, p.regCallID, p.AOR())
+			if done != nil {
+				done(true)
+			}
+		case resp.StatusCode == sip.StatusUnauthorized && authz == "":
+			chal, err := sip.ParseChallenge(resp.Headers.Get(sip.HdrWWWAuth))
+			if err != nil {
+				p.logEvent(EvRegisterFailed, p.regCallID, "bad challenge")
+				if done != nil {
+					done(false)
+				}
+				return
+			}
+			uri := sip.URI{Host: p.cfg.Proxy.Addr().String(), Port: p.cfg.Proxy.Port()}.String()
+			creds := sip.Credentials{
+				Username: p.cfg.Username,
+				Realm:    chal.Realm,
+				Nonce:    chal.Nonce,
+				URI:      uri,
+				Response: sip.DigestResponse(p.cfg.Username, chal.Realm, p.cfg.Password, chal.Nonce, sip.MethodRegister, uri),
+			}
+			p.sendRegister(creds.String(), done)
+		case resp.StatusCode >= 300:
+			p.logEvent(EvRegisterFailed, p.regCallID, resp.ReasonPhrase)
+			if done != nil {
+				done(false)
+			}
+		}
+	}, func() {
+		p.logEvent(EvRegisterFailed, p.regCallID, "timeout")
+		if done != nil {
+			done(false)
+		}
+	})
+}
+
+// SendIM sends an instant message (SIP MESSAGE) to another user via the
+// proxy.
+func (p *Phone) SendIM(toUser, text string) {
+	to := sip.Address{URI: sip.URI{User: toUser, Host: p.cfg.Proxy.Addr().String()}}
+	req := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodMessage,
+		RequestURI: to.URI.String(),
+		From:       sip.Address{URI: p.URI()}.WithTag(p.idgen.Tag()),
+		To:         to,
+		CallID:     p.idgen.CallID(p.cfg.Host.IP().String()),
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodMessage},
+		Via:        p.via(),
+		Body:       []byte(text),
+		BodyType:   "text/plain",
+	})
+	p.tx.Request(p.cfg.Proxy, req, nil, nil)
+}
+
+// handleSIP is the raw UDP handler for the SIP port.
+func (p *Phone) handleSIP(src netip.AddrPort, payload []byte) {
+	if p.crashed {
+		return
+	}
+	m, err := sip.ParseMessage(payload)
+	if err != nil {
+		return
+	}
+	p.tx.HandleMessage(src, m)
+}

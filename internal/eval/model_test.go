@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"scidive/internal/netsim"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestAnalyticExpectedDelayPaperBaseline(t *testing.T) {
+	// The paper's headline: uniform Gsip over (0, 20ms) and identical
+	// network delays give E[D] = 10 ms.
+	m := Model{} // all defaults
+	got := m.ExpectedDelayAnalytic()
+	if got != 10*time.Millisecond {
+		t.Errorf("E[D] = %v, want 10ms", got)
+	}
+}
+
+func TestAnalyticDelayWithAsymmetricDelays(t *testing.T) {
+	m := Model{
+		Nrtp: netsim.Deterministic{D: 5 * time.Millisecond},
+		Nsip: netsim.Deterministic{D: 2 * time.Millisecond},
+	}
+	// 20 + 5 − 10 − 2 = 13 ms.
+	if got := m.ExpectedDelayAnalytic(); got != 13*time.Millisecond {
+		t.Errorf("E[D] = %v, want 13ms", got)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Model
+	}{
+		{"paper baseline", Model{}},
+		{"uniform delays", Model{
+			Nrtp: netsim.Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond},
+			Nsip: netsim.Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond},
+		}},
+		{"exponential delays", Model{
+			Nrtp: netsim.Exponential{MeanD: 3 * time.Millisecond},
+			Nsip: netsim.Exponential{MeanD: 3 * time.Millisecond},
+		}},
+	}
+	for i, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := tt.m.SimulateDetection(rng(1), 100000)
+			if res.Missed != 0 {
+				t.Errorf("missed %d with ample window", res.Missed)
+			}
+			want := tt.m.ExpectedDelayAnalytic()
+			diff := math.Abs(float64(res.MeanDelay - want))
+			if i == 0 {
+				// Deterministic network delays: the closed form is exact.
+				if diff > float64(300*time.Microsecond) {
+					t.Errorf("Monte Carlo E[D] = %v, analytic %v", res.MeanDelay, want)
+				}
+				return
+			}
+			// Stochastic delays: the closed form ignores that the SIP message
+			// can overtake the first packet, so the true delay is biased
+			// upward but stays close.
+			if res.MeanDelay < want {
+				t.Errorf("Monte Carlo E[D] = %v below analytic lower bound %v", res.MeanDelay, want)
+			}
+			if diff > 0.25*float64(want) {
+				t.Errorf("Monte Carlo E[D] = %v deviates more than 25%% from analytic %v", res.MeanDelay, want)
+			}
+		})
+	}
+}
+
+func TestDelayPercentilesOrdered(t *testing.T) {
+	m := Model{Nrtp: netsim.Exponential{MeanD: 5 * time.Millisecond}}
+	res := m.SimulateDetection(rng(2), 20000)
+	if res.P50Delay > res.P95Delay {
+		t.Errorf("p50 %v > p95 %v", res.P50Delay, res.P95Delay)
+	}
+	if res.MeanDelay <= 0 {
+		t.Error("non-positive mean delay")
+	}
+}
+
+func TestMissProbabilityGrowsWithLoss(t *testing.T) {
+	base := Model{Window: 30 * time.Millisecond, MaxPackets: 1}
+	var prev float64 = -1
+	for _, loss := range []float64{0, 0.2, 0.5, 0.8} {
+		m := base
+		m.Loss = loss
+		res := m.SimulateDetection(rng(3), 50000)
+		if res.Pm < prev {
+			t.Errorf("Pm(%v) = %v decreased below %v", loss, res.Pm, prev)
+		}
+		// With exactly one packet and no delays, Pm ≈ loss.
+		if math.Abs(res.Pm-loss) > 0.02 {
+			t.Errorf("Pm = %v, want ≈%v", res.Pm, loss)
+		}
+		prev = res.Pm
+	}
+}
+
+func TestMissProbabilityShrinksWithWindow(t *testing.T) {
+	// Heavy-tailed RTP delay: small windows miss, large windows catch.
+	var prev float64 = 2
+	for _, w := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		m := Model{
+			Nrtp:   netsim.Exponential{MeanD: 30 * time.Millisecond},
+			Window: w,
+		}
+		res := m.SimulateDetection(rng(4), 20000)
+		if res.Pm > prev {
+			t.Errorf("Pm(window=%v) = %v increased above %v", w, res.Pm, prev)
+		}
+		prev = res.Pm
+	}
+	if prev > 0.01 {
+		t.Errorf("Pm with 1s window = %v, want ≈0", prev)
+	}
+}
+
+func TestFalseAlarmIIDConvergesToHalf(t *testing.T) {
+	m := Model{
+		Nrtp: netsim.Exponential{MeanD: 5 * time.Millisecond},
+		Nsip: netsim.Exponential{MeanD: 5 * time.Millisecond},
+	}
+	pf := m.SimulateFalseAlarm(rng(5), 200000)
+	if math.Abs(pf-FalseAlarmAnalyticIID) > 0.01 {
+		t.Errorf("Pf = %v, want ≈%v for iid delays", pf, FalseAlarmAnalyticIID)
+	}
+}
+
+func TestFalseAlarmZeroForDeterministicDelays(t *testing.T) {
+	// Identical deterministic delays: the BYE can never overtake the last
+	// RTP packet, so no false alarms.
+	m := Model{
+		Nrtp: netsim.Deterministic{D: 2 * time.Millisecond},
+		Nsip: netsim.Deterministic{D: 2 * time.Millisecond},
+	}
+	if pf := m.SimulateFalseAlarm(rng(6), 10000); pf != 0 {
+		t.Errorf("Pf = %v, want 0", pf)
+	}
+}
+
+func TestFalseAlarmDropsWhenSIPSlower(t *testing.T) {
+	// SIP via a slow path (e.g. proxy detour): overtaking becomes rare.
+	m := Model{
+		Nrtp: netsim.Deterministic{D: 2 * time.Millisecond},
+		Nsip: netsim.Shifted{Base: netsim.Exponential{MeanD: time.Millisecond}, Offset: 5 * time.Millisecond},
+	}
+	if pf := m.SimulateFalseAlarm(rng(7), 50000); pf > 0.01 {
+		t.Errorf("Pf = %v, want ≈0 when SIP is strictly slower", pf)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Model{}.SimulateDetection(rng(8), 100)
+	if s := res.String(); s == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestTrialOvertakenPacketNotOrphan(t *testing.T) {
+	// If the SIP message arrives after an RTP packet, that packet must not
+	// count as the orphan (it predates the teardown at the victim).
+	m := Model{
+		Gsip: netsim.Deterministic{D: 19 * time.Millisecond},
+		Nsip: netsim.Deterministic{D: 10 * time.Millisecond}, // Tsip = 29ms
+		Nrtp: netsim.Deterministic{D: 1 * time.Millisecond},  // k=1 at 21ms (before), k=2 at 41ms
+	}
+	res := m.SimulateDetection(rng(9), 1000)
+	want := 12 * time.Millisecond // 41 − 29
+	if res.MeanDelay != want {
+		t.Errorf("delay = %v, want %v (first packet overtaken)", res.MeanDelay, want)
+	}
+}

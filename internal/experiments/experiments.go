@@ -1,0 +1,363 @@
+// Package experiments reproduces the SCIDIVE paper's evaluation artifacts
+// (Table 1, the Figure 1 message exchange, the Figure 5-8 attack
+// demonstrations, and the Section 4.3 delay/miss/false-alarm analysis) as
+// runnable experiments over the simulated testbed. The benchreport
+// command, the repository benchmarks, and EXPERIMENTS.md are all driven
+// by these functions.
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/core"
+	"scidive/internal/endpoint"
+	"scidive/internal/netsim"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+// Outcome is the result of one attack-scenario run with the IDS deployed.
+type Outcome struct {
+	Name        string
+	RulesFired  []string
+	Detected    bool
+	DetectDelay time.Duration // alert time − attack launch time
+	Impact      string        // what happened to the victim
+	Alerts      []core.Alert
+	Stats       core.EngineStats
+}
+
+// String formats the outcome as a report line.
+func (o Outcome) String() string {
+	status := "MISSED"
+	if o.Detected {
+		status = fmt.Sprintf("DETECTED in %.1fms via %s",
+			o.DetectDelay.Seconds()*1000, strings.Join(o.RulesFired, ","))
+	}
+	return fmt.Sprintf("%-18s %s; impact: %s", o.Name, status, o.Impact)
+}
+
+// deployed bundles a testbed with a tapped engine.
+type deployed struct {
+	tb  *scenario.Testbed
+	eng *core.Engine
+}
+
+func deploy(seed int64, scfg scenario.Config, ecfg core.Config, taps ...netsim.Tap) (*deployed, error) {
+	scfg.Seed = seed
+	tb, err := scenario.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(ecfg)
+	eng.AttachTap(tb.Net)
+	for _, tap := range taps {
+		tb.Net.AddTap(tap)
+	}
+	return &deployed{tb: tb, eng: eng}, nil
+}
+
+// outcome collects rule firings after a run.
+func (d *deployed) outcome(name string, attackAt time.Duration, impact string) Outcome {
+	o := Outcome{Name: name, Impact: impact, Alerts: d.eng.Alerts(), Stats: d.eng.Stats()}
+	seen := map[string]bool{}
+	for _, a := range o.Alerts {
+		if a.At >= attackAt && !seen[a.Rule] {
+			seen[a.Rule] = true
+			o.RulesFired = append(o.RulesFired, a.Rule)
+			if !o.Detected || a.At-attackAt < o.DetectDelay {
+				o.Detected = true
+				o.DetectDelay = a.At - attackAt
+			}
+		}
+	}
+	return o
+}
+
+// RunBenign runs registration + a 30s call + teardown and reports any
+// (false) alarms.
+func RunBenign(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	call, err := d.tb.EstablishCall()
+	if err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(30 * time.Second)
+	d.tb.Sim.Schedule(0, func() { _ = d.tb.Alice.Hangup(call) })
+	d.tb.Run(3 * time.Second)
+	o := d.outcome("benign-call", 0, "normal call completed")
+	o.Detected = len(o.Alerts) > 0 // any alert on benign traffic is a false alarm
+	return o, nil
+}
+
+// RunByeAttack reproduces Figure 5.
+func RunByeAttack(seed int64, ecfg core.Config, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, ecfg, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	aliceCall, err := d.tb.EstablishCall()
+	if err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	dlg := d.tb.Sniffer.ConfirmedDialog()
+	if dlg == nil {
+		return Outcome{}, fmt.Errorf("experiments: sniffer learned no dialog")
+	}
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(0, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = d.tb.Attacker.ForgedBye(dlg, true)
+	})
+	d.tb.Run(3 * time.Second)
+	impact := "call survived"
+	if !aliceCall.Established() {
+		impact = fmt.Sprintf("victim torn down; %d orphan RTP packets arrived", d.tb.Alice.OrphanRTP)
+	}
+	return d.outcome("bye-attack", attackAt, impact), nil
+}
+
+// RunFakeIM reproduces Figure 6.
+func RunFakeIM(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Sim.Schedule(0, func() { d.tb.Bob.SendIM("alice", "lunch at noon?") })
+	d.tb.Run(2 * time.Second)
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(0, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = d.tb.Attacker.FakeIM(
+			netip.AddrPortFrom(scenario.AddrClientA, sip.DefaultPort),
+			sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+			"please wire $5k to acct 12345",
+		)
+	})
+	d.tb.Run(2 * time.Second)
+	impact := fmt.Sprintf("victim accepted %d instant messages claiming to be bob", len(d.tb.Alice.Messages()))
+	return d.outcome("fake-im", attackAt, impact), nil
+}
+
+// RunCallHijack reproduces Figure 7.
+func RunCallHijack(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	aliceCall, err := d.tb.EstablishCall()
+	if err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	dlg := d.tb.Sniffer.ConfirmedDialog()
+	if dlg == nil {
+		return Outcome{}, fmt.Errorf("experiments: sniffer learned no dialog")
+	}
+	sink := netip.AddrPortFrom(scenario.AddrAttacker, 46000)
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(0, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = d.tb.Attacker.Hijack(dlg, true, sink)
+	})
+	d.tb.Run(3 * time.Second)
+	impact := "media unaffected"
+	if aliceCall.RemoteMedia() == sink {
+		impact = "victim's outgoing audio redirected to the attacker (callee hears silence)"
+	}
+	return d.outcome("call-hijack", attackAt, impact), nil
+}
+
+// RunRTPAttack reproduces Figure 8. crashVictim selects the X-Lite-like
+// (true) or Messenger-like (false) client behaviour the paper observed.
+func RunRTPAttack(seed int64, crashVictim bool, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{CrashOnCorrupt: crashVictim}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	aliceCall, err := d.tb.EstablishCall()
+	if err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(0, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = d.tb.Attacker.InjectGarbageRTP(d.tb.Alice.RTPAddr(), 20, 172)
+	})
+	d.tb.Run(2 * time.Second)
+	var impact string
+	switch {
+	case d.tb.Alice.Crashed():
+		impact = "client crashed (X-Lite behaviour)"
+	case aliceCall.Glitches > 0:
+		impact = fmt.Sprintf("intermittent audio: %d jitter-buffer corruptions (Messenger behaviour)", aliceCall.Glitches)
+	default:
+		impact = "no observable impact"
+	}
+	return d.outcome("rtp-attack", attackAt, impact), nil
+}
+
+// RunRegisterFlood reproduces the Section 3.3 DoS scenario.
+func RunRegisterFlood(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	aor := sip.URI{User: "mallory", Host: scenario.AddrProxy.String()}
+	attackAt := d.tb.Sim.Now()
+	d.tb.Attacker.RegisterFlood(d.tb.Proxy.Addr(), aor, 40, attack.FixedInterval(100*time.Millisecond))
+	d.tb.Run(8 * time.Second)
+	impact := fmt.Sprintf("proxy served %d challenges to the flood", d.tb.Proxy.Stats().Challenges)
+	return d.outcome("register-flood", attackAt, impact), nil
+}
+
+// RunPasswordGuess reproduces the Section 3.3 brute-force scenario.
+func RunPasswordGuess(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	aor := sip.URI{User: "alice", Host: scenario.AddrProxy.String()}
+	guesses := []string{"123456", "password", "letmein", "alice1", "qwerty", "secret"}
+	attackAt := d.tb.Sim.Now()
+	d.tb.Attacker.PasswordGuess(d.tb.Proxy.Addr(), aor, "scidive.test", guesses, attack.FixedInterval(200*time.Millisecond))
+	d.tb.Run(5 * time.Second)
+	impact := fmt.Sprintf("%d wrong credentials rejected", d.tb.Proxy.Stats().AuthFailures)
+	return d.outcome("password-guess", attackAt, impact), nil
+}
+
+// RunBillingFraud reproduces the Section 3.2 scenario.
+func RunBillingFraud(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	fraud := attack.NewBillingFraud(
+		d.tb.Attacker,
+		d.tb.Proxy.Addr(),
+		sip.URI{User: "alice", Host: scenario.AddrProxy.String()},
+		sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+		40600,
+	)
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(0, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = fraud.Launch(5 * time.Second)
+	})
+	d.tb.Run(8 * time.Second)
+	impact := "fraud call failed"
+	if fraud.Established {
+		impact = "attacker's call billed to the victim"
+		if recs := d.tb.Acct.Records(); len(recs) == 1 {
+			impact = fmt.Sprintf("CDR bills %s for the attacker's %d media packets", recs[0].From, fraud.RTPSent)
+		}
+	}
+	return d.outcome("billing-fraud", attackAt, impact), nil
+}
+
+// PhoneEventSummary renders a phone's event log (for example programs).
+func PhoneEventSummary(p *endpoint.Phone) string {
+	var b strings.Builder
+	for _, e := range p.Events() {
+		fmt.Fprintf(&b, "  [%8.3fs] %-16s %s\n", e.At.Seconds(), e.Kind, e.Detail)
+	}
+	return b.String()
+}
+
+// ScenarioNames lists the scenarios runnable via RunScenario.
+func ScenarioNames() []string {
+	return []string{"benign", "bye", "fakeim", "hijack", "rtp", "rtp-crash", "flood", "guess", "billing", "rtcpbye"}
+}
+
+// RunScenario dispatches a named scenario, attaching taps (e.g. a capture
+// writer) to the hub before any traffic flows.
+func RunScenario(name string, seed int64, taps ...netsim.Tap) (Outcome, error) {
+	switch name {
+	case "benign":
+		return RunBenign(seed, taps...)
+	case "bye":
+		return RunByeAttack(seed, core.Config{}, taps...)
+	case "fakeim":
+		return RunFakeIM(seed, taps...)
+	case "hijack":
+		return RunCallHijack(seed, taps...)
+	case "rtp":
+		return RunRTPAttack(seed, false, taps...)
+	case "rtp-crash":
+		return RunRTPAttack(seed, true, taps...)
+	case "flood":
+		return RunRegisterFlood(seed, taps...)
+	case "guess":
+		return RunPasswordGuess(seed, taps...)
+	case "billing":
+		return RunBillingFraud(seed, taps...)
+	case "rtcpbye":
+		return RunRTCPByeSpoof(seed, taps...)
+	default:
+		return Outcome{}, fmt.Errorf("experiments: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+}
+
+// RunRTCPByeSpoof runs the extension attack: a forged RTCP BYE silences
+// the victim's stream while the SIP dialog stays up (three-protocol
+// chain: SIP state x RTP media x RTCP control).
+func RunRTCPByeSpoof(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	aliceCall, err := d.tb.EstablishCall()
+	if err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	dlg := d.tb.Sniffer.ConfirmedDialog()
+	if dlg == nil || dlg.CalleeSSRC == 0 {
+		return Outcome{}, fmt.Errorf("experiments: sniffer lacks dialog/SSRC state")
+	}
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(0, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = d.tb.Attacker.SpoofedRTCPBye(dlg, true)
+	})
+	d.tb.Run(2 * time.Second)
+	// Probe: if alice's transmit counter is frozen while the dialog is
+	// still confirmed, the attack silenced her.
+	sentBefore := aliceCall.RTPSent
+	d.tb.Run(time.Second)
+	impact := "no impact"
+	if aliceCall.Established() && aliceCall.RTPSent == sentBefore {
+		impact = "victim silenced (media stopped, SIP dialog still up)"
+	}
+	return d.outcome("rtcp-bye-spoof", attackAt, impact), nil
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scidive/internal/core"
+)
+
+func TestBenignRunIsClean(t *testing.T) {
+	o, err := RunBenign(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Detected || len(o.Alerts) != 0 {
+		t.Errorf("benign run raised alerts: %v", o.Alerts)
+	}
+}
+
+func TestTable1AllAttacksDetected(t *testing.T) {
+	rows, err := Table1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows, want 4", len(rows))
+	}
+	wantRules := map[string]string{
+		"Bye attack":             core.RuleByeAttack,
+		"Fake Instant Messaging": core.RuleFakeIM,
+		"Call Hijacking":         core.RuleCallHijack,
+		"RTP Attack":             core.RuleRTPGarbage,
+	}
+	for _, r := range rows {
+		if !r.Outcome.Detected {
+			t.Errorf("%s: not detected (%s)", r.Attack, r.Outcome.Impact)
+			continue
+		}
+		want := wantRules[r.Attack]
+		found := false
+		for _, rule := range r.Outcome.RulesFired {
+			if rule == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: fired %v, want %s among them", r.Attack, r.Outcome.RulesFired, want)
+		}
+		if r.Outcome.DetectDelay < 0 || r.Outcome.DetectDelay > time.Second {
+			t.Errorf("%s: detection delay %v out of range", r.Attack, r.Outcome.DetectDelay)
+		}
+	}
+	text := FormatTable1(rows)
+	for _, want := range []string{"Bye attack", "RTP Attack", "DETECTED", "in "} {
+		if !strings.Contains(text, want) && !strings.Contains(text, "in ") {
+			t.Errorf("formatted table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFig1LadderShowsCallFlow(t *testing.T) {
+	ladder, err := Fig1Ladder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 1 sequence: INVITE, 180 Ringing, 200 OK, ACK,
+	// BYE, 200 — in order.
+	wantInOrder := []string{"REGISTER", "401", "INVITE", "180 Ringing", "200 OK", "ACK", "BYE"}
+	pos := 0
+	for _, want := range wantInOrder {
+		idx := strings.Index(ladder[pos:], want)
+		if idx < 0 {
+			t.Fatalf("ladder missing %q after position %d:\n%s", want, pos, ladder)
+		}
+		pos += idx
+	}
+	if !strings.Contains(ladder, "Alice") || !strings.Contains(ladder, "Proxy") {
+		t.Error("ladder missing participant names")
+	}
+}
+
+func TestRunRTPAttackBothClientBehaviours(t *testing.T) {
+	crash, err := RunRTPAttack(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(crash.Impact, "crashed") {
+		t.Errorf("X-Lite run impact = %q", crash.Impact)
+	}
+	glitch, err := RunRTPAttack(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(glitch.Impact, "intermittent") {
+		t.Errorf("Messenger run impact = %q", glitch.Impact)
+	}
+	if !crash.Detected || !glitch.Detected {
+		t.Error("RTP attack undetected in one of the behaviours")
+	}
+}
+
+func TestSyntheticScenarioOutcomes(t *testing.T) {
+	flood, err := RunRegisterFlood(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flood.Detected || flood.RulesFired[0] != core.RuleRegisterFlood {
+		t.Errorf("flood outcome = %+v", flood)
+	}
+	guess, err := RunPasswordGuess(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guess.Detected {
+		t.Errorf("guess outcome = %+v", guess)
+	}
+	fraud, err := RunBillingFraud(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fraud.Detected {
+		t.Errorf("fraud outcome = %+v", fraud)
+	}
+	foundBilling := false
+	for _, r := range fraud.RulesFired {
+		if r == core.RuleBillingFraud {
+			foundBilling = true
+		}
+	}
+	if !foundBilling {
+		t.Errorf("fraud fired %v, want billing-fraud", fraud.RulesFired)
+	}
+}
+
+func TestDelaySweepShape(t *testing.T) {
+	rows := DelaySweep(7, 20000)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ideal LAN: E[D] = 10ms exactly, measured matches.
+	ideal := rows[0]
+	if ideal.Analytic != 10*time.Millisecond {
+		t.Errorf("ideal analytic = %v", ideal.Analytic)
+	}
+	if d := ideal.Measured.MeanDelay - ideal.Analytic; d < -300*time.Microsecond || d > 300*time.Microsecond {
+		t.Errorf("ideal measured = %v", ideal.Measured.MeanDelay)
+	}
+	// WAN case has a larger mean than the LAN cases.
+	if rows[4].Measured.MeanDelay <= rows[0].Measured.MeanDelay {
+		t.Error("WAN delay not larger than LAN delay")
+	}
+	if s := FormatDelaySweep(rows); !strings.Contains(s, "10.00ms") {
+		t.Errorf("formatted sweep missing analytic value:\n%s", s)
+	}
+}
+
+func TestPmSweepMonotonicity(t *testing.T) {
+	rows := PmSweep(8, 10000)
+	// Within one loss level, Pm must not increase with the window.
+	byLoss := map[float64][]PmRow{}
+	for _, r := range rows {
+		byLoss[r.Loss] = append(byLoss[r.Loss], r)
+	}
+	for loss, rs := range byLoss {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Window > rs[i-1].Window && rs[i].Pm > rs[i-1].Pm+0.01 {
+				t.Errorf("loss=%v: Pm grew with window: %v", loss, rs)
+			}
+		}
+	}
+	// Zero loss + widest window: essentially no misses.
+	for _, r := range rows {
+		if r.Loss == 0 && r.Window == 500*time.Millisecond && r.Pm > 0.001 {
+			t.Errorf("Pm = %v at zero loss, 500ms window", r.Pm)
+		}
+	}
+	if s := FormatPmSweep(rows); !strings.Contains(s, "Pm") {
+		t.Error("bad Pm format")
+	}
+}
+
+func TestPfSweepShape(t *testing.T) {
+	rows := PfSweep(9, 50000)
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.Pf
+	}
+	if pf := byLabel["iid exponential 5ms"]; pf < 0.45 || pf > 0.55 {
+		t.Errorf("iid Pf = %v, want ≈0.5", pf)
+	}
+	if pf := byLabel["deterministic equal"]; pf != 0 {
+		t.Errorf("deterministic Pf = %v", pf)
+	}
+	if pf := byLabel["SIP slower by 5ms"]; pf > 0.01 {
+		t.Errorf("slow-SIP Pf = %v", pf)
+	}
+	if pf := byLabel["SIP faster by 5ms"]; pf < 0.95 {
+		t.Errorf("fast-SIP Pf = %v", pf)
+	}
+	if s := FormatPfSweep(rows); !strings.Contains(s, "Pf") {
+		t.Error("bad Pf format")
+	}
+}
+
+func TestStatefulComparisonShape(t *testing.T) {
+	cmp, err := RunStatefulComparison(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.BenignSCIDIVEAlerts != 0 {
+		t.Errorf("SCIDIVE benign alerts = %d", cmp.BenignSCIDIVEAlerts)
+	}
+	if cmp.BenignBaselineAlerts == 0 {
+		t.Error("baseline raised no benign false alarms — comparison premise broken")
+	}
+	if cmp.FloodSCIDIVEAlerts != 1 {
+		t.Errorf("SCIDIVE flood alerts = %d, want 1 (deduped)", cmp.FloodSCIDIVEAlerts)
+	}
+	if cmp.FloodBaselineAlerts == 0 {
+		t.Error("baseline missed the flood")
+	}
+	if s := FormatStatefulComparison(cmp); !strings.Contains(s, "false alarms") {
+		t.Error("bad comparison format")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := Outcome{Name: "x", Detected: true, DetectDelay: 12 * time.Millisecond, RulesFired: []string{"r"}, Impact: "i"}
+	if s := o.String(); !strings.Contains(s, "DETECTED") || !strings.Contains(s, "12.0ms") {
+		t.Errorf("Outcome.String = %q", s)
+	}
+	o.Detected = false
+	if s := o.String(); !strings.Contains(s, "MISSED") {
+		t.Errorf("Outcome.String = %q", s)
+	}
+}
+
+func TestRTCPByeSpoofExtension(t *testing.T) {
+	o, err := RunRTCPByeSpoof(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected {
+		t.Fatalf("rtcp bye spoof missed: %+v", o)
+	}
+	found := false
+	for _, r := range o.RulesFired {
+		if r == core.RuleRTCPByeSpoof {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fired %v, want rtcp-bye-spoof", o.RulesFired)
+	}
+	if !strings.Contains(o.Impact, "silenced") {
+		t.Errorf("impact = %q", o.Impact)
+	}
+}

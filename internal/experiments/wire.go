@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/scenario"
+)
+
+// WireDelayResult is a wire-level measurement of BYE-attack detection
+// delay, the empirical counterpart of the Section 4.3 model.
+type WireDelayResult struct {
+	Runs     int
+	Detected int
+	Mean     time.Duration
+	Min      time.Duration
+	Max      time.Duration
+}
+
+// String formats the result.
+func (r WireDelayResult) String() string {
+	return fmt.Sprintf("runs=%d detected=%d mean=%.2fms min=%.2fms max=%.2fms",
+		r.Runs, r.Detected, r.Mean.Seconds()*1000, r.Min.Seconds()*1000, r.Max.Seconds()*1000)
+}
+
+// MeasureWireByeDelay runs the BYE attack n times with different seeds on
+// links with the given characteristics and measures detection delay on
+// the wire (alert timestamp minus attack launch). Across seeds the attack
+// lands at varying phases of the 20 ms RTP cycle, so the sample
+// approximates the model's uniform Gsip; with symmetric link delays the
+// model predicts a mean of ≈ half the RTP period.
+func MeasureWireByeDelay(n int, link *netsim.Link) (WireDelayResult, error) {
+	res := WireDelayResult{Runs: n, Min: time.Hour}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		cfg := core.Config{}
+		o, err := runByeWithLink(int64(i+1), cfg, link)
+		if err != nil {
+			return res, err
+		}
+		if !o.Detected {
+			continue
+		}
+		res.Detected++
+		sum += o.DetectDelay
+		if o.DetectDelay < res.Min {
+			res.Min = o.DetectDelay
+		}
+		if o.DetectDelay > res.Max {
+			res.Max = o.DetectDelay
+		}
+	}
+	if res.Detected > 0 {
+		res.Mean = sum / time.Duration(res.Detected)
+	}
+	return res, nil
+}
+
+// runByeWithLink is RunByeAttack with custom client link characteristics
+// and a randomized attack phase within one RTP period.
+func runByeWithLink(seed int64, ecfg core.Config, link *netsim.Link) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{Link: link}, ecfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	if _, err := d.tb.EstablishCall(); err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	dlg := d.tb.Sniffer.ConfirmedDialog()
+	if dlg == nil {
+		return Outcome{}, fmt.Errorf("experiments: sniffer learned no dialog")
+	}
+	// Launch at a random phase within the RTP period, matching the
+	// model's Gsip ~ U(0, 20ms).
+	phase := time.Duration(d.tb.Sim.Rand().Int63n(int64(20 * time.Millisecond)))
+	var attackAt time.Duration
+	d.tb.Sim.Schedule(phase, func() {
+		attackAt = d.tb.Sim.Now()
+		_ = d.tb.Attacker.ForgedBye(dlg, true)
+	})
+	d.tb.Run(3 * time.Second)
+	return d.outcome("bye-attack-wire", attackAt, ""), nil
+}

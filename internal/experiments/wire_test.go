@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"scidive/internal/netsim"
+)
+
+func TestWireDelayMatchesModelPrediction(t *testing.T) {
+	// Symmetric links: the Section 4.3 model predicts mean detection delay
+	// ≈ RTPperiod/2 = 10 ms (network delay terms cancel in expectation
+	// when Nrtp and Nsip are identically distributed).
+	res, err := MeasureWireByeDelay(30, nil) // default 0.5 ms LAN links
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected != res.Runs {
+		t.Fatalf("detected %d of %d wire runs", res.Detected, res.Runs)
+	}
+	if res.Mean < 6*time.Millisecond || res.Mean > 14*time.Millisecond {
+		t.Errorf("wire mean delay = %v, model predicts ≈10ms", res.Mean)
+	}
+	// No single detection should exceed one RTP period plus network slack.
+	if res.Max > 25*time.Millisecond {
+		t.Errorf("wire max delay = %v", res.Max)
+	}
+}
+
+func TestWireDelayGrowsWithRTPPathDelay(t *testing.T) {
+	// Slower client links increase the RTP packet's transit (Nrtp) while
+	// the attacker's BYE keeps its fast path — wait: the forged BYE also
+	// traverses the victim's downlink, but the orphan RTP crosses two slow
+	// client links vs the BYE's one. Net effect: mean delay grows.
+	fast, err := MeasureWireByeDelay(15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := MeasureWireByeDelay(15, &netsim.Link{
+		Delay: netsim.Deterministic{D: 8 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Detected != slow.Runs {
+		t.Fatalf("slow-link runs detected %d of %d", slow.Detected, slow.Runs)
+	}
+	if slow.Mean <= fast.Mean {
+		t.Errorf("slow-link mean %v not above fast-link mean %v", slow.Mean, fast.Mean)
+	}
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func BenchmarkSimulatorScheduleRun(b *testing.B) {
+	s := NewSimulator(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkUDPDeliveryThroughHub(b *testing.B) {
+	sim := NewSimulator(1)
+	n := NewNetwork(sim)
+	src := n.MustAddHost("src", netip.MustParseAddr("10.0.0.1"))
+	dst := n.MustAddHost("dst", netip.MustParseAddr("10.0.0.2"))
+	n.MustAddHost("bystander", netip.MustParseAddr("10.0.0.3"))
+	delivered := 0
+	if err := dst.BindUDP(9, func(netip.AddrPort, []byte) { delivered++ }); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 172)
+	target := netip.AddrPortFrom(dst.IP(), 9)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.SendUDP(9, target, payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution of time durations, used for link delays and for
+// the Section 4.3 evaluation model (attack-message generation offsets and
+// per-packet network delays).
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) time.Duration
+	// Mean returns the distribution's expected value.
+	Mean() time.Duration
+}
+
+// Deterministic is a point mass: every sample equals D.
+type Deterministic struct{ D time.Duration }
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*rand.Rand) time.Duration { return d.D }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() time.Duration { return d.D }
+
+// Uniform is the continuous uniform distribution on [Min, Max).
+type Uniform struct{ Min, Max time.Duration }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Min + u.Max) / 2 }
+
+// Exponential is the exponential distribution with the given mean,
+// truncated at Cap when Cap > 0 (resampling would bias the mean, so
+// samples are clamped; pick Cap many multiples of the mean to keep the
+// bias negligible).
+type Exponential struct {
+	MeanD time.Duration
+	Cap   time.Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(e.MeanD) * rng.ExpFloat64())
+	if e.Cap > 0 && d > e.Cap {
+		d = e.Cap
+	}
+	return d
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.MeanD }
+
+// Shifted adds a fixed Offset to every sample of Base, modelling a
+// propagation floor plus a random queueing component.
+type Shifted struct {
+	Base   Dist
+	Offset time.Duration
+}
+
+// Sample implements Dist.
+func (s Shifted) Sample(rng *rand.Rand) time.Duration { return s.Offset + s.Base.Sample(rng) }
+
+// Mean implements Dist.
+func (s Shifted) Mean() time.Duration { return s.Offset + s.Base.Mean() }
+
+// Normal is the normal distribution with the given mean and standard
+// deviation, truncated below at zero (delays cannot be negative).
+type Normal struct {
+	MeanD time.Duration
+	Std   time.Duration
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(n.MeanD) + float64(n.Std)*rng.NormFloat64())
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Mean implements Dist. For small Std relative to MeanD the truncation
+// bias is negligible; the nominal mean is returned.
+func (n Normal) Mean() time.Duration { return n.MeanD }
+
+// Quantile estimators and moments used by the evaluation harness.
+
+// EstimateMean draws n samples from d and returns their average.
+func EstimateMean(d Dist, rng *rand.Rand, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	return time.Duration(math.Round(sum / float64(n)))
+}
+
+var (
+	_ Dist = Deterministic{}
+	_ Dist = Uniform{}
+	_ Dist = Exponential{}
+	_ Dist = Shifted{}
+	_ Dist = Normal{}
+)

@@ -1,0 +1,11 @@
+// Package netsim provides a deterministic discrete-event network
+// simulator that stands in for the hub-based LAN testbed of the SCIDIVE
+// paper (Figure 4). Hosts attach to a shared hub through links with
+// configurable delay distributions and loss probabilities; every frame
+// that crosses the hub is mirrored to registered taps, which is how the
+// end-point IDS observes traffic exactly as it would on a real hub.
+//
+// Time is virtual: all activity is driven by a single event queue ordered
+// by timestamp (FIFO among equal timestamps), and randomness comes from a
+// seeded generator, so simulations are exactly reproducible.
+package netsim

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"scidive/internal/packet"
+)
+
+// UDPHandler receives the payload of a UDP datagram addressed to a bound
+// port. src is the (possibly spoofed) source of the datagram as it
+// appeared on the wire. The payload aliases the frame buffer; handlers
+// that retain it must copy.
+type UDPHandler func(src netip.AddrPort, payload []byte)
+
+// Host is a simulated machine on the LAN: one NIC, an IPv4 stack with
+// fragment reassembly, and a UDP port table.
+type Host struct {
+	name     string
+	ip       netip.Addr
+	mac      packet.MAC
+	link     Link
+	net      *Network
+	handlers map[uint16]UDPHandler
+	reasm    *packet.Reassembler
+	ipid     uint16
+	promisc  func(frame []byte)
+	txTap    func(frame []byte)
+
+	// RxFrames counts frames accepted by the NIC filter.
+	RxFrames int
+}
+
+// Name returns the host's configured name.
+func (h *Host) Name() string { return h.name }
+
+// IP returns the host's IPv4 address.
+func (h *Host) IP() netip.Addr { return h.ip }
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() packet.MAC { return h.mac }
+
+// SetLink replaces the host's link characteristics.
+func (h *Host) SetLink(l Link) {
+	if l.Delay == nil {
+		l.Delay = DefaultLink.Delay
+	}
+	h.link = l
+}
+
+// Link returns the host's current link characteristics.
+func (h *Host) Link() Link { return h.link }
+
+// Sim returns the simulator driving this host's network.
+func (h *Host) Sim() *Simulator { return h.net.sim }
+
+// BindUDP registers fn as the handler for datagrams to the given port.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) error {
+	if _, dup := h.handlers[port]; dup {
+		return fmt.Errorf("netsim: host %s: port %d already bound", h.name, port)
+	}
+	h.handlers[port] = fn
+	return nil
+}
+
+// UnbindUDP removes the handler for port, if any.
+func (h *Host) UnbindUDP(port uint16) { delete(h.handlers, port) }
+
+// SetPromiscuous installs a callback for every frame the NIC sees,
+// regardless of destination filtering (nil disables). Used by host-local
+// IDS deployments. Note that a host never receives its own transmissions
+// back from the hub; use SetTransmitTap to observe outgoing frames.
+func (h *Host) SetPromiscuous(fn func(frame []byte)) { h.promisc = fn }
+
+// SetTransmitTap installs a callback invoked for every frame this host
+// puts on the wire (nil disables). Together with SetPromiscuous this
+// gives a host-resident IDS the full bidirectional view a real NIC
+// capture provides.
+func (h *Host) SetTransmitTap(fn func(frame []byte)) { h.txTap = fn }
+
+// SendUDP sends payload from srcPort to dst, performing framing and IP
+// fragmentation as needed.
+func (h *Host) SendUDP(srcPort uint16, dst netip.AddrPort, payload []byte) error {
+	dstMAC, ok := h.net.MACOf(dst.Addr())
+	if !ok {
+		return fmt.Errorf("netsim: host %s: no route to %v", h.name, dst.Addr())
+	}
+	h.ipid++
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: h.mac, DstMAC: dstMAC,
+		SrcIP: h.ip, DstIP: dst.Addr(),
+		SrcPort: srcPort, DstPort: dst.Port(),
+		IPID:    h.ipid,
+		Payload: payload,
+	}, h.net.mtu)
+	if err != nil {
+		return fmt.Errorf("netsim: host %s send: %w", h.name, err)
+	}
+	for _, f := range frames {
+		h.net.transmit(h, f)
+	}
+	return nil
+}
+
+// SendRawFrames injects pre-built Ethernet frames onto the wire verbatim.
+// Attack tooling uses this to emit frames with forged source addresses.
+func (h *Host) SendRawFrames(frames ...[]byte) {
+	for _, f := range frames {
+		h.net.transmit(h, f)
+	}
+}
+
+// NextIPID returns a fresh IP identification value from this host's
+// counter, for callers that build frames manually.
+func (h *Host) NextIPID() uint16 {
+	h.ipid++
+	return h.ipid
+}
+
+// receive processes one frame arriving at the NIC.
+func (h *Host) receive(frame []byte) {
+	if h.promisc != nil {
+		h.promisc(frame)
+	}
+	ef, err := packet.UnmarshalEthernet(frame)
+	if err != nil {
+		return
+	}
+	if ef.Dst != h.mac && !ef.Dst.IsBroadcast() {
+		h.net.stats.FramesFiltered++
+		return
+	}
+	h.RxFrames++
+	if ef.Type != packet.EtherTypeIPv4 {
+		return
+	}
+	iph, ipp, err := packet.UnmarshalIPv4(ef.Payload)
+	if err != nil {
+		return
+	}
+	if iph.Dst != h.ip {
+		return
+	}
+	full, payload, done, err := h.reasm.Insert(iph, ipp, h.net.sim.Now())
+	if err != nil || !done {
+		return
+	}
+	if full.Protocol != packet.ProtoUDP {
+		return
+	}
+	uh, up, err := packet.UnmarshalUDP(full.Src, full.Dst, payload)
+	if err != nil {
+		return
+	}
+	fn, ok := h.handlers[uh.DstPort]
+	if !ok {
+		return
+	}
+	fn(netip.AddrPortFrom(full.Src, uh.SrcPort), up)
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/packet"
+)
+
+// Link models one host's attachment to the hub: a delay distribution, a
+// loss probability, and a duplication probability, applied independently
+// in each direction and for each traversal.
+type Link struct {
+	Delay Dist
+	Loss  float64 // probability in [0,1] that a traversal drops the frame
+	// Duplicate is the probability a delivered frame arrives twice (the
+	// second copy with an independently sampled delay).
+	Duplicate float64
+}
+
+// DefaultLink is a fast LAN link: 0.5 ms deterministic delay, no loss.
+var DefaultLink = Link{Delay: Deterministic{D: 500 * time.Microsecond}}
+
+// Tap observes every frame that reaches the hub, timestamped with hub
+// arrival time. This models the IDS machine plugged into the hub
+// (paper Figure 4).
+type Tap func(at time.Duration, frame []byte)
+
+// Stats counts network activity.
+type Stats struct {
+	FramesSent       int // frames handed to the hub by hosts
+	FramesDelivered  int // frame deliveries to host NICs (one per receiver)
+	FramesLost       int // traversals dropped by the loss model
+	FramesFiltered   int // deliveries discarded by NIC destination filtering
+	FramesDuplicated int // extra deliveries injected by the duplication model
+}
+
+// Network is a hub-based LAN of simulated hosts.
+type Network struct {
+	sim    *Simulator
+	mtu    int
+	hosts  []*Host
+	byIP   map[netip.Addr]*Host
+	taps   []Tap
+	stats  Stats
+	nextID byte
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithMTU sets the Ethernet payload MTU (default packet.DefaultMTU).
+func WithMTU(mtu int) NetworkOption {
+	return func(n *Network) { n.mtu = mtu }
+}
+
+// NewNetwork creates an empty hub-based network driven by sim.
+func NewNetwork(sim *Simulator, opts ...NetworkOption) *Network {
+	n := &Network{
+		sim:  sim,
+		mtu:  packet.DefaultMTU,
+		byIP: make(map[netip.Addr]*Host),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// MTU returns the network's Ethernet payload MTU.
+func (n *Network) MTU() int { return n.mtu }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// AddHost attaches a host with the given name and IPv4 address using
+// DefaultLink. The MAC address is assigned automatically.
+func (n *Network) AddHost(name string, ip netip.Addr) (*Host, error) {
+	if !ip.Is4() {
+		return nil, fmt.Errorf("netsim: host %q: address %v is not IPv4", name, ip)
+	}
+	if _, dup := n.byIP[ip]; dup {
+		return nil, fmt.Errorf("netsim: duplicate host address %v", ip)
+	}
+	n.nextID++
+	h := &Host{
+		name:     name,
+		ip:       ip,
+		mac:      packet.MAC{0x02, 0, 0, 0, 0, n.nextID},
+		link:     DefaultLink,
+		net:      n,
+		handlers: make(map[uint16]UDPHandler),
+		reasm:    packet.NewReassembler(0),
+	}
+	n.hosts = append(n.hosts, h)
+	n.byIP[ip] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost that panics on error, for test and scenario setup.
+func (n *Network) MustAddHost(name string, ip netip.Addr) *Host {
+	h, err := n.AddHost(name, ip)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// HostByIP returns the host bound to ip, or nil.
+func (n *Network) HostByIP(ip netip.Addr) *Host { return n.byIP[ip] }
+
+// MACOf resolves the MAC address for an IP on this LAN (a static ARP
+// table; the simulation does not model ARP traffic).
+func (n *Network) MACOf(ip netip.Addr) (packet.MAC, bool) {
+	h, ok := n.byIP[ip]
+	if !ok {
+		return packet.MAC{}, false
+	}
+	return h.mac, true
+}
+
+// AddTap registers a promiscuous observer of all hub traffic.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// transmit carries a frame from src across its uplink to the hub, then
+// fans it out to every other host across their downlinks. Taps observe
+// the frame at hub arrival time.
+func (n *Network) transmit(src *Host, frame []byte) {
+	n.stats.FramesSent++
+	if src.txTap != nil {
+		src.txTap(frame)
+	}
+	if n.drop(src.link) {
+		n.stats.FramesLost++
+		return
+	}
+	up := src.link.Delay.Sample(n.sim.rng)
+	n.sim.Schedule(up, func() {
+		at := n.sim.Now()
+		for _, t := range n.taps {
+			t(at, frame)
+		}
+		for _, dst := range n.hosts {
+			if dst == src {
+				continue
+			}
+			if n.drop(dst.link) {
+				n.stats.FramesLost++
+				continue
+			}
+			dst := dst
+			n.sim.Schedule(dst.link.Delay.Sample(n.sim.rng), func() {
+				n.stats.FramesDelivered++
+				dst.receive(frame)
+			})
+			if dst.link.Duplicate > 0 && n.sim.rng.Float64() < dst.link.Duplicate {
+				n.stats.FramesDuplicated++
+				n.sim.Schedule(dst.link.Delay.Sample(n.sim.rng), func() {
+					n.stats.FramesDelivered++
+					dst.receive(frame)
+				})
+			}
+		}
+	})
+}
+
+// drop samples the loss model of a link traversal.
+func (n *Network) drop(l Link) bool {
+	return l.Loss > 0 && n.sim.rng.Float64() < l.Loss
+}

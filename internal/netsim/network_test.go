@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/packet"
+)
+
+func twoHosts(t *testing.T, seed int64) (*Simulator, *Network, *Host, *Host) {
+	t.Helper()
+	sim := NewSimulator(seed)
+	n := NewNetwork(sim)
+	a := n.MustAddHost("a", netip.MustParseAddr("10.0.0.1"))
+	b := n.MustAddHost("b", netip.MustParseAddr("10.0.0.2"))
+	return sim, n, a, b
+}
+
+func TestUDPDelivery(t *testing.T) {
+	sim, _, a, b := twoHosts(t, 1)
+	var got []byte
+	var from netip.AddrPort
+	var at time.Duration
+	if err := b.BindUDP(5060, func(src netip.AddrPort, p []byte) {
+		from = src
+		got = append([]byte(nil), p...)
+		at = sim.Now()
+	}); err != nil {
+		t.Fatalf("BindUDP: %v", err)
+	}
+	if err := a.SendUDP(5060, netip.AddrPortFrom(b.IP(), 5060), []byte("hello voip")); err != nil {
+		t.Fatalf("SendUDP: %v", err)
+	}
+	sim.Run()
+	if !bytes.Equal(got, []byte("hello voip")) {
+		t.Fatalf("payload = %q, want %q", got, "hello voip")
+	}
+	if from.Addr() != a.IP() || from.Port() != 5060 {
+		t.Errorf("from = %v, want %v:5060", from, a.IP())
+	}
+	// Two DefaultLink traversals at 0.5 ms each.
+	if at != time.Millisecond {
+		t.Errorf("delivery time = %v, want 1ms", at)
+	}
+}
+
+func TestUDPFragmentedDelivery(t *testing.T) {
+	sim, _, a, b := twoHosts(t, 1)
+	payload := bytes.Repeat([]byte("0123456789"), 500) // 5000 bytes → 4 fragments
+	var got []byte
+	if err := b.BindUDP(4000, func(_ netip.AddrPort, p []byte) {
+		got = append([]byte(nil), p...)
+	}); err != nil {
+		t.Fatalf("BindUDP: %v", err)
+	}
+	if err := a.SendUDP(4000, netip.AddrPortFrom(b.IP(), 4000), payload); err != nil {
+		t.Fatalf("SendUDP: %v", err)
+	}
+	sim.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fragmented payload not reassembled: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestNICFiltering(t *testing.T) {
+	sim, n, a, b := twoHosts(t, 1)
+	c := n.MustAddHost("c", netip.MustParseAddr("10.0.0.3"))
+	delivered := map[string]bool{}
+	for _, h := range []*Host{b, c} {
+		h := h
+		if err := h.BindUDP(9, func(netip.AddrPort, []byte) { delivered[h.Name()] = true }); err != nil {
+			t.Fatalf("BindUDP: %v", err)
+		}
+	}
+	if err := a.SendUDP(9, netip.AddrPortFrom(b.IP(), 9), []byte("x")); err != nil {
+		t.Fatalf("SendUDP: %v", err)
+	}
+	sim.Run()
+	if !delivered["b"] || delivered["c"] {
+		t.Errorf("delivered = %v, want only b", delivered)
+	}
+	if n.Stats().FramesFiltered == 0 {
+		t.Error("expected NIC filtering at host c on a hub network")
+	}
+}
+
+func TestHubTapSeesAllTraffic(t *testing.T) {
+	sim, n, a, b := twoHosts(t, 1)
+	var tapped int
+	n.AddTap(func(at time.Duration, frame []byte) {
+		tapped++
+		if _, err := packet.UnmarshalEthernet(frame); err != nil {
+			t.Errorf("tap got undecodable frame: %v", err)
+		}
+	})
+	_ = b.BindUDP(7, func(netip.AddrPort, []byte) {})
+	for i := 0; i < 5; i++ {
+		if err := a.SendUDP(7, netip.AddrPortFrom(b.IP(), 7), []byte("ping")); err != nil {
+			t.Fatalf("SendUDP: %v", err)
+		}
+	}
+	sim.Run()
+	if tapped != 5 {
+		t.Errorf("tap saw %d frames, want 5", tapped)
+	}
+}
+
+func TestLinkLossDropsFrames(t *testing.T) {
+	sim, n, a, b := twoHosts(t, 42)
+	a.SetLink(Link{Delay: Deterministic{D: time.Millisecond}, Loss: 0.5})
+	received := 0
+	_ = b.BindUDP(7, func(netip.AddrPort, []byte) { received++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		if err := a.SendUDP(7, netip.AddrPortFrom(b.IP(), 7), []byte("p")); err != nil {
+			t.Fatalf("SendUDP: %v", err)
+		}
+	}
+	sim.Run()
+	if received < 350 || received > 650 {
+		t.Errorf("received %d/%d with 50%% uplink loss, want ≈500", received, sent)
+	}
+	if n.Stats().FramesLost != sent-received {
+		t.Errorf("FramesLost = %d, want %d", n.Stats().FramesLost, sent-received)
+	}
+}
+
+func TestSpoofedRawFrames(t *testing.T) {
+	sim, n, a, b := twoHosts(t, 1)
+	atk := n.MustAddHost("attacker", netip.MustParseAddr("10.0.0.66"))
+	var from netip.AddrPort
+	_ = b.BindUDP(5060, func(src netip.AddrPort, _ []byte) { from = src })
+	bMAC, _ := n.MACOf(b.IP())
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: atk.MAC(), DstMAC: bMAC,
+		SrcIP: a.IP(), DstIP: b.IP(), // spoofed source: pretend to be a
+		SrcPort: 5060, DstPort: 5060,
+		IPID:    atk.NextIPID(),
+		Payload: []byte("BYE sip:b SIP/2.0\r\n"),
+	}, n.MTU())
+	if err != nil {
+		t.Fatalf("BuildUDPFrames: %v", err)
+	}
+	atk.SendRawFrames(frames...)
+	sim.Run()
+	if from.Addr() != a.IP() {
+		t.Errorf("victim saw source %v, want spoofed %v", from.Addr(), a.IP())
+	}
+}
+
+func TestDuplicateHostAndPortErrors(t *testing.T) {
+	_, n, a, _ := twoHosts(t, 1)
+	if _, err := n.AddHost("dup", netip.MustParseAddr("10.0.0.1")); err == nil {
+		t.Error("AddHost with duplicate IP: want error")
+	}
+	if _, err := n.AddHost("v6", netip.MustParseAddr("::1")); err == nil {
+		t.Error("AddHost with IPv6: want error")
+	}
+	if err := a.BindUDP(5060, func(netip.AddrPort, []byte) {}); err != nil {
+		t.Fatalf("BindUDP: %v", err)
+	}
+	if err := a.BindUDP(5060, func(netip.AddrPort, []byte) {}); err == nil {
+		t.Error("double BindUDP: want error")
+	}
+	if err := a.SendUDP(1, netip.MustParseAddrPort("10.9.9.9:1"), nil); err == nil {
+		t.Error("SendUDP to unknown host: want error")
+	}
+}
+
+func TestPromiscuousMode(t *testing.T) {
+	sim, n, a, b := twoHosts(t, 1)
+	ids := n.MustAddHost("ids", netip.MustParseAddr("10.0.0.100"))
+	seen := 0
+	ids.SetPromiscuous(func([]byte) { seen++ })
+	_ = b.BindUDP(7, func(netip.AddrPort, []byte) {})
+	_ = a.SendUDP(7, netip.AddrPortFrom(b.IP(), 7), []byte("x"))
+	sim.Run()
+	if seen != 1 {
+		t.Errorf("promiscuous host saw %d frames, want 1", seen)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]time.Duration, Stats) {
+		sim, n, a, b := twoHosts(t, 99)
+		a.SetLink(Link{Delay: Uniform{Min: time.Millisecond, Max: 10 * time.Millisecond}, Loss: 0.2})
+		var times []time.Duration
+		_ = b.BindUDP(7, func(netip.AddrPort, []byte) { times = append(times, sim.Now()) })
+		for i := 0; i < 50; i++ {
+			_ = a.SendUDP(7, netip.AddrPortFrom(b.IP(), 7), []byte("d"))
+		}
+		sim.Run()
+		return times, n.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if len(t1) != len(t2) || s1 != s2 {
+		t.Fatalf("replay diverged: %d/%d deliveries, stats %+v vs %+v", len(t1), len(t2), s1, s2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestTransmitTapSeesOutgoingFrames(t *testing.T) {
+	sim, _, a, b := twoHosts(t, 1)
+	var txFrames, rxFrames int
+	a.SetTransmitTap(func([]byte) { txFrames++ })
+	a.SetPromiscuous(func([]byte) { rxFrames++ })
+	_ = b.BindUDP(7, func(netip.AddrPort, []byte) {})
+	_ = a.SendUDP(7, netip.AddrPortFrom(b.IP(), 7), []byte("out"))
+	_ = b.SendUDP(7, netip.AddrPortFrom(a.IP(), 7), []byte("in"))
+	sim.Run()
+	if txFrames != 1 {
+		t.Errorf("tx tap saw %d frames, want 1 (own transmission)", txFrames)
+	}
+	// The promiscuous receive path sees only the inbound frame: hosts never
+	// hear their own transmissions echoed from the hub.
+	if rxFrames != 1 {
+		t.Errorf("rx tap saw %d frames, want 1 (inbound only)", rxFrames)
+	}
+}
+
+func TestDuplicationModel(t *testing.T) {
+	sim, n, a, b := twoHosts(t, 5)
+	b.SetLink(Link{Delay: Deterministic{D: time.Millisecond}, Duplicate: 1.0})
+	received := 0
+	_ = b.BindUDP(7, func(netip.AddrPort, []byte) { received++ })
+	for i := 0; i < 10; i++ {
+		_ = a.SendUDP(7, netip.AddrPortFrom(b.IP(), 7), []byte("d"))
+	}
+	sim.Run()
+	if received != 20 {
+		t.Errorf("received %d datagrams with 100%% duplication, want 20", received)
+	}
+	if n.Stats().FramesDuplicated != 10 {
+		t.Errorf("FramesDuplicated = %d, want 10", n.Stats().FramesDuplicated)
+	}
+}

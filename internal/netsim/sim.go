@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event scheduler with a virtual
+// clock. It is not safe for concurrent use; all simulated components run
+// inside its event loop.
+type Simulator struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewSimulator returns a simulator whose randomness is derived from seed.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (zero at simulation start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Every runs fn at start and then every period until fn returns false.
+func (s *Simulator) Every(start, period time.Duration, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.Schedule(period, tick)
+		}
+	}
+	s.Schedule(start, tick)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 || s.stopped {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called, returning
+// the number of events executed.
+func (s *Simulator) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. It returns the number of events executed.
+func (s *Simulator) RunUntil(deadline time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 && !s.stopped && s.queue[0].at <= deadline {
+		s.Step()
+		n++
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}
+
+// Stop halts Run/RunUntil after the current event. Further Step calls do
+// nothing until Resume.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Resume clears a Stop.
+func (s *Simulator) Resume() { s.stopped = false }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }

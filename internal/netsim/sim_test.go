@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run() executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSimulatorFIFOAtSameTime(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSimulatorNestedScheduling(t *testing.T) {
+	s := NewSimulator(1)
+	var fired []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != 2*time.Millisecond {
+		t.Errorf("fired at %v, want [1ms 2ms]", fired)
+	}
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	s := NewSimulator(1)
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() { ran++ })
+	}
+	if n := s.RunUntil(3 * time.Second); n != 3 {
+		t.Errorf("RunUntil executed %d events, want 3", n)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	// RunUntil past the queue advances the clock to the deadline.
+	s.RunUntil(10 * time.Second)
+	if s.Now() != 10*time.Second || ran != 5 {
+		t.Errorf("Now()=%v ran=%d, want 10s and 5", s.Now(), ran)
+	}
+}
+
+func TestSimulatorStopResume(t *testing.T) {
+	s := NewSimulator(1)
+	ran := 0
+	s.Schedule(time.Millisecond, func() { ran++; s.Stop() })
+	s.Schedule(2*time.Millisecond, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events before stop, want 1", ran)
+	}
+	s.Resume()
+	s.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestSimulatorEvery(t *testing.T) {
+	s := NewSimulator(1)
+	ticks := 0
+	s.Every(0, 20*time.Millisecond, func() bool {
+		ticks++
+		return ticks < 5
+	})
+	s.Run()
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	if s.Now() != 80*time.Millisecond {
+		t.Errorf("Now() = %v, want 80ms", s.Now())
+	}
+}
+
+func TestSimulatorPastScheduleClamps(t *testing.T) {
+	s := NewSimulator(1)
+	s.Schedule(10*time.Millisecond, func() {
+		s.ScheduleAt(0, func() {
+			if s.Now() != 10*time.Millisecond {
+				t.Errorf("past-scheduled event ran at %v, want clamped to 10ms", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestDistributions(t *testing.T) {
+	s := NewSimulator(7)
+	rng := s.Rand()
+	tests := []struct {
+		name    string
+		d       Dist
+		wantMin time.Duration
+		wantMax time.Duration
+	}{
+		{"deterministic", Deterministic{D: 3 * time.Millisecond}, 3 * time.Millisecond, 3 * time.Millisecond},
+		{"uniform", Uniform{Min: time.Millisecond, Max: 5 * time.Millisecond}, time.Millisecond, 5 * time.Millisecond},
+		{"exponential capped", Exponential{MeanD: time.Millisecond, Cap: 10 * time.Millisecond}, 0, 10 * time.Millisecond},
+		{"shifted", Shifted{Base: Uniform{Max: time.Millisecond}, Offset: 2 * time.Millisecond}, 2 * time.Millisecond, 3 * time.Millisecond},
+		{"normal nonneg", Normal{MeanD: time.Millisecond, Std: 2 * time.Millisecond}, 0, time.Hour},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i := 0; i < 1000; i++ {
+				v := tt.d.Sample(rng)
+				if v < tt.wantMin || v > tt.wantMax {
+					t.Fatalf("sample %v outside [%v, %v]", v, tt.wantMin, tt.wantMax)
+				}
+			}
+		})
+	}
+}
+
+func TestUniformMeanConvergence(t *testing.T) {
+	s := NewSimulator(3)
+	u := Uniform{Min: 0, Max: 20 * time.Millisecond}
+	got := EstimateMean(u, s.Rand(), 200000)
+	want := 10 * time.Millisecond
+	if diff := got - want; diff < -200*time.Microsecond || diff > 200*time.Microsecond {
+		t.Errorf("estimated mean %v, want %v ± 0.2ms", got, want)
+	}
+}
+
+func TestExponentialMeanConvergence(t *testing.T) {
+	s := NewSimulator(3)
+	e := Exponential{MeanD: 5 * time.Millisecond}
+	got := EstimateMean(e, s.Rand(), 200000)
+	want := 5 * time.Millisecond
+	if diff := got - want; diff < -200*time.Microsecond || diff > 200*time.Microsecond {
+		t.Errorf("estimated mean %v, want %v ± 0.2ms", got, want)
+	}
+}

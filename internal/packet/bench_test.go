@@ -1,0 +1,87 @@
+package packet
+
+import "testing"
+
+func BenchmarkBuildUDPFrames(b *testing.B) {
+	spec := UDPFrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: testSrcIP, DstIP: testDstIP,
+		SrcPort: 5060, DstPort: 5060,
+		Payload: make([]byte, 500),
+	}
+	b.SetBytes(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.IPID = uint16(i)
+		if _, err := BuildUDPFrames(spec, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeStack(b *testing.B) {
+	spec := UDPFrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: testSrcIP, DstIP: testDstIP,
+		SrcPort: 40000, DstPort: 40000,
+		IPID: 1, Payload: make([]byte, 172),
+	}
+	frames, err := BuildUDPFrames(spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := frames[0]
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef, err := UnmarshalEthernet(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iph, ipp, err := UnmarshalIPv4(ef.Payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := UnmarshalUDP(iph.Src, iph.Dst, ipp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReassembleFourFragments(b *testing.B) {
+	h := IPv4Header{ID: 1, TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	payload := make([]byte, 2000)
+	pkts, err := FragmentIPv4(&h, payload, 576)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type frag struct {
+		h IPv4Header
+		p []byte
+	}
+	frags := make([]frag, len(pkts))
+	for i, pkt := range pkts {
+		gh, gp, err := UnmarshalIPv4(pkt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frags[i] = frag{gh, gp}
+	}
+	r := NewReassembler(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var done bool
+		for _, f := range frags {
+			fh := f.h
+			fh.ID = uint16(i) // fresh stream per iteration
+			_, _, d, err := r.Insert(fh, f.p, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = done || d
+		}
+		if !done {
+			b.Fatal("reassembly incomplete")
+		}
+	}
+}

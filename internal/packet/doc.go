@@ -1,0 +1,9 @@
+// Package packet implements the wire formats SCIDIVE's Distiller decodes:
+// Ethernet II framing, IPv4 (including fragmentation and reassembly), and
+// UDP. The encoders produce byte-exact headers with valid checksums; the
+// decoders validate structure and, where applicable, checksums.
+//
+// Decoding is zero-copy: returned payload slices alias the input buffer.
+// Callers that retain payloads beyond the lifetime of the input (for
+// example, to store them in a Trail) must copy them.
+package packet

@@ -1,0 +1,83 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String returns the canonical colon-separated hex form, e.g. "02:00:00:00:00:01".
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// EtherType identifies the protocol carried in an Ethernet frame.
+type EtherType uint16
+
+// EtherType values used in this codebase.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// String returns a human-readable name for the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	default:
+		return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+	}
+}
+
+// EthernetHeaderLen is the length of an Ethernet II header in bytes.
+const EthernetHeaderLen = 14
+
+// EthernetFrame is a decoded Ethernet II frame.
+type EthernetFrame struct {
+	Dst     MAC
+	Src     MAC
+	Type    EtherType
+	Payload []byte
+}
+
+// ErrTruncated reports that a buffer is too short to contain the
+// structure being decoded.
+var ErrTruncated = errors.New("packet: truncated")
+
+// MarshalEthernet serializes the frame. The payload is appended verbatim;
+// no minimum-frame padding or FCS is added (the simulated network does
+// not model them).
+func MarshalEthernet(f *EthernetFrame) []byte {
+	buf := make([]byte, EthernetHeaderLen+len(f.Payload))
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], uint16(f.Type))
+	copy(buf[EthernetHeaderLen:], f.Payload)
+	return buf
+}
+
+// UnmarshalEthernet decodes an Ethernet II frame. The returned Payload
+// aliases buf.
+func UnmarshalEthernet(buf []byte) (EthernetFrame, error) {
+	if len(buf) < EthernetHeaderLen {
+		return EthernetFrame{}, fmt.Errorf("ethernet header: %w (%d bytes)", ErrTruncated, len(buf))
+	}
+	var f EthernetFrame
+	copy(f.Dst[:], buf[0:6])
+	copy(f.Src[:], buf[6:12])
+	f.Type = EtherType(binary.BigEndian.Uint16(buf[12:14]))
+	f.Payload = buf[EthernetHeaderLen:]
+	return f, nil
+}

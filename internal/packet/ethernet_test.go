@@ -1,0 +1,96 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	tests := []struct {
+		name  string
+		frame EthernetFrame
+	}{
+		{
+			name: "ipv4 with payload",
+			frame: EthernetFrame{
+				Dst:     MAC{0x02, 0, 0, 0, 0, 2},
+				Src:     MAC{0x02, 0, 0, 0, 0, 1},
+				Type:    EtherTypeIPv4,
+				Payload: []byte("hello"),
+			},
+		},
+		{
+			name: "broadcast empty payload",
+			frame: EthernetFrame{
+				Dst:  BroadcastMAC,
+				Src:  MAC{0x02, 0, 0, 0, 0, 9},
+				Type: EtherTypeARP,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			buf := MarshalEthernet(&tt.frame)
+			got, err := UnmarshalEthernet(buf)
+			if err != nil {
+				t.Fatalf("UnmarshalEthernet: %v", err)
+			}
+			if got.Dst != tt.frame.Dst || got.Src != tt.frame.Src || got.Type != tt.frame.Type {
+				t.Errorf("header mismatch: got %+v want %+v", got, tt.frame)
+			}
+			if !bytes.Equal(got.Payload, tt.frame.Payload) {
+				t.Errorf("payload mismatch: got %q want %q", got.Payload, tt.frame.Payload)
+			}
+		})
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	for _, n := range []int{0, 1, 13} {
+		if _, err := UnmarshalEthernet(make([]byte, n)); err == nil {
+			t.Errorf("UnmarshalEthernet(%d bytes): want error, got nil", n)
+		}
+	}
+}
+
+func TestEthernetRoundTripProperty(t *testing.T) {
+	f := func(dst, src [6]byte, typ uint16, payload []byte) bool {
+		in := EthernetFrame{Dst: MAC(dst), Src: MAC(src), Type: EtherType(typ), Payload: payload}
+		out, err := UnmarshalEthernet(MarshalEthernet(&in))
+		return err == nil && out.Dst == in.Dst && out.Src == in.Src &&
+			out.Type == in.Type && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0xab, 0x00, 0x01, 0xff, 0x10}
+	if got, want := m.String(), "02:ab:00:01:ff:10"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if !BroadcastMAC.IsBroadcast() {
+		t.Error("BroadcastMAC.IsBroadcast() = false")
+	}
+	if m.IsBroadcast() {
+		t.Error("unicast MAC reported as broadcast")
+	}
+}
+
+func TestEtherTypeString(t *testing.T) {
+	tests := []struct {
+		t    EtherType
+		want string
+	}{
+		{EtherTypeIPv4, "IPv4"},
+		{EtherTypeARP, "ARP"},
+		{EtherType(0x86dd), "EtherType(0x86dd)"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("EtherType(%#x).String() = %q, want %q", uint16(tt.t), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// DefaultMTU is the Ethernet payload MTU used by the simulated network.
+const DefaultMTU = 1500
+
+// UDPFrameSpec describes one UDP datagram to be wrapped in IPv4 and
+// Ethernet framing.
+type UDPFrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     netip.Addr
+	SrcPort, DstPort uint16
+	IPID             uint16
+	TTL              uint8 // 0 means 64
+	Payload          []byte
+}
+
+// BuildUDPFrames encodes payload as UDP/IPv4/Ethernet, fragmenting at the
+// IP layer when the datagram exceeds mtu (0 means DefaultMTU). It returns
+// one serialized Ethernet frame per IP packet.
+func BuildUDPFrames(spec UDPFrameSpec, mtu int) ([][]byte, error) {
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	dgram, err := MarshalUDP(spec.SrcIP, spec.DstIP, spec.SrcPort, spec.DstPort, spec.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("build udp frames: %w", err)
+	}
+	iph := IPv4Header{
+		ID:       spec.IPID,
+		TTL:      ttl,
+		Protocol: ProtoUDP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+	}
+	pkts, err := FragmentIPv4(&iph, dgram, mtu)
+	if err != nil {
+		return nil, fmt.Errorf("build udp frames: %w", err)
+	}
+	frames := make([][]byte, 0, len(pkts))
+	for _, p := range pkts {
+		frames = append(frames, MarshalEthernet(&EthernetFrame{
+			Dst:     spec.DstMAC,
+			Src:     spec.SrcMAC,
+			Type:    EtherTypeIPv4,
+			Payload: p,
+		}))
+	}
+	return frames, nil
+}

@@ -1,0 +1,177 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	testSrcIP = netip.MustParseAddr("10.0.0.1")
+	testDstIP = netip.MustParseAddr("10.0.0.2")
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4Header{
+		TOS:      0x10,
+		ID:       0x1234,
+		Flags:    FlagDF,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      testSrcIP,
+		Dst:      testDstIP,
+	}
+	payload := []byte("the quick brown fox")
+	buf, err := MarshalIPv4(&h, payload)
+	if err != nil {
+		t.Fatalf("MarshalIPv4: %v", err)
+	}
+	gh, gp, err := UnmarshalIPv4(buf)
+	if err != nil {
+		t.Fatalf("UnmarshalIPv4: %v", err)
+	}
+	if gh.Src != h.Src || gh.Dst != h.Dst || gh.ID != h.ID || gh.TOS != h.TOS ||
+		gh.TTL != h.TTL || gh.Protocol != h.Protocol || gh.Flags != h.Flags {
+		t.Errorf("header mismatch: got %+v want %+v", gh, h)
+	}
+	if !bytes.Equal(gp, payload) {
+		t.Errorf("payload mismatch: got %q want %q", gp, payload)
+	}
+	if int(gh.TotalLen) != IPv4HeaderLen+len(payload) {
+		t.Errorf("TotalLen = %d, want %d", gh.TotalLen, IPv4HeaderLen+len(payload))
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	h := IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	buf, err := MarshalIPv4(&h, []byte("x"))
+	if err != nil {
+		t.Fatalf("MarshalIPv4: %v", err)
+	}
+	buf[8]++ // corrupt TTL without fixing checksum
+	if _, _, err := UnmarshalIPv4(buf); err == nil {
+		t.Error("UnmarshalIPv4 accepted corrupted header")
+	}
+}
+
+func TestIPv4Errors(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		if _, _, err := UnmarshalIPv4(make([]byte, 10)); err == nil {
+			t.Error("want error for short buffer")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		h := IPv4Header{TTL: 1, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+		buf, _ := MarshalIPv4(&h, nil)
+		buf[0] = 6<<4 | 5
+		if _, _, err := UnmarshalIPv4(buf); err == nil {
+			t.Error("want error for version 6")
+		}
+	})
+	t.Run("non-ipv4 addr", func(t *testing.T) {
+		h := IPv4Header{Src: netip.MustParseAddr("::1"), Dst: testDstIP}
+		if _, err := MarshalIPv4(&h, nil); err == nil {
+			t.Error("want error for IPv6 source")
+		}
+	})
+	t.Run("oversize payload", func(t *testing.T) {
+		h := IPv4Header{TTL: 1, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+		if _, err := MarshalIPv4(&h, make([]byte, 0x10000)); err == nil {
+			t.Error("want error for 64KiB+ payload")
+		}
+	})
+}
+
+func TestFragmentIPv4SingleFits(t *testing.T) {
+	h := IPv4Header{ID: 7, TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	pkts, err := FragmentIPv4(&h, make([]byte, 100), 1500)
+	if err != nil {
+		t.Fatalf("FragmentIPv4: %v", err)
+	}
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets, want 1", len(pkts))
+	}
+	gh, _, err := UnmarshalIPv4(pkts[0])
+	if err != nil {
+		t.Fatalf("UnmarshalIPv4: %v", err)
+	}
+	if gh.MoreFragments() || gh.FragOffset != 0 {
+		t.Errorf("unfragmented packet has MF=%v off=%d", gh.MoreFragments(), gh.FragOffset)
+	}
+}
+
+func TestFragmentIPv4Splits(t *testing.T) {
+	h := IPv4Header{ID: 9, TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	const mtu = 576
+	pkts, err := FragmentIPv4(&h, payload, mtu)
+	if err != nil {
+		t.Fatalf("FragmentIPv4: %v", err)
+	}
+	if len(pkts) < 2 {
+		t.Fatalf("got %d packets, want >= 2", len(pkts))
+	}
+	var rebuilt []byte
+	for i, p := range pkts {
+		if len(p) > mtu {
+			t.Errorf("fragment %d is %d bytes, exceeds mtu %d", i, len(p), mtu)
+		}
+		gh, gp, err := UnmarshalIPv4(p)
+		if err != nil {
+			t.Fatalf("fragment %d: %v", i, err)
+		}
+		last := i == len(pkts)-1
+		if gh.MoreFragments() == last {
+			t.Errorf("fragment %d: MF=%v, want %v", i, gh.MoreFragments(), !last)
+		}
+		if int(gh.FragOffset)*8 != len(rebuilt) {
+			t.Errorf("fragment %d: offset %d, want %d", i, int(gh.FragOffset)*8, len(rebuilt))
+		}
+		rebuilt = append(rebuilt, gp...)
+	}
+	if !bytes.Equal(rebuilt, payload) {
+		t.Error("concatenated fragments do not equal original payload")
+	}
+}
+
+func TestFragmentIPv4DFError(t *testing.T) {
+	h := IPv4Header{Flags: FlagDF, TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	if _, err := FragmentIPv4(&h, make([]byte, 3000), 576); err == nil {
+		t.Error("want error fragmenting with DF set")
+	}
+}
+
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos, ttl uint8, id uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		h := IPv4Header{TOS: tos, TTL: ttl, ID: id, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+		buf, err := MarshalIPv4(&h, payload)
+		if err != nil {
+			return false
+		}
+		gh, gp, err := UnmarshalIPv4(buf)
+		return err == nil && gh.TOS == tos && gh.TTL == ttl && gh.ID == id && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksum16(t *testing.T) {
+	// Example from RFC 1071 section 3: verifying a packet including its
+	// checksum yields zero.
+	h := IPv4Header{TTL: 17, Protocol: ProtoTCP, Src: testSrcIP, Dst: testDstIP}
+	buf, err := MarshalIPv4(&h, nil)
+	if err != nil {
+		t.Fatalf("MarshalIPv4: %v", err)
+	}
+	if got := checksum16(buf[:IPv4HeaderLen]); got != 0 {
+		t.Errorf("checksum over header incl. checksum = %#x, want 0", got)
+	}
+}

@@ -1,0 +1,114 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// fragKey identifies a fragment stream per RFC 791: source, destination,
+// protocol, and identification.
+type fragKey struct {
+	src, dst netip.Addr
+	proto    uint8
+	id       uint16
+}
+
+// fragBuf accumulates the fragments of one packet.
+type fragBuf struct {
+	data     []byte // reassembled payload, grown as fragments arrive
+	have     []bool // per-8-byte-unit coverage map
+	totalLen int    // payload length, known once the last fragment arrives (-1 until then)
+	first    time.Duration
+}
+
+// Reassembler reassembles fragmented IPv4 packets. It is keyed on
+// (src, dst, protocol, ID) and evicts incomplete packets that exceed the
+// configured timeout. Time is supplied by the caller (the simulation's
+// virtual clock) rather than read from the wall clock.
+//
+// The zero value is not ready for use; call NewReassembler.
+type Reassembler struct {
+	timeout time.Duration
+	bufs    map[fragKey]*fragBuf
+}
+
+// DefaultReassemblyTimeout is how long an incomplete packet is retained.
+const DefaultReassemblyTimeout = 30 * time.Second
+
+// NewReassembler returns a Reassembler that discards incomplete packets
+// older than timeout. A non-positive timeout uses DefaultReassemblyTimeout.
+func NewReassembler(timeout time.Duration) *Reassembler {
+	if timeout <= 0 {
+		timeout = DefaultReassemblyTimeout
+	}
+	return &Reassembler{timeout: timeout, bufs: make(map[fragKey]*fragBuf)}
+}
+
+// Pending returns the number of incomplete packets currently buffered.
+func (r *Reassembler) Pending() int { return len(r.bufs) }
+
+// Insert adds one IPv4 packet (possibly a fragment) observed at the given
+// virtual time. If the packet is unfragmented, or completes a fragment
+// set, Insert returns the header and full payload with done=true. The
+// returned payload is owned by the caller for fragmented packets but
+// aliases payload for unfragmented ones.
+func (r *Reassembler) Insert(h IPv4Header, payload []byte, now time.Duration) (IPv4Header, []byte, bool, error) {
+	r.Expire(now)
+	if h.FragOffset == 0 && !h.MoreFragments() {
+		return h, payload, true, nil
+	}
+	if h.FragOffset != 0 && len(payload)%8 != 0 && h.MoreFragments() {
+		return IPv4Header{}, nil, false, fmt.Errorf("ipv4 reassembly: non-final fragment payload %d not a multiple of 8", len(payload))
+	}
+	key := fragKey{src: h.Src, dst: h.Dst, proto: h.Protocol, id: h.ID}
+	fb, ok := r.bufs[key]
+	if !ok {
+		fb = &fragBuf{totalLen: -1, first: now}
+		r.bufs[key] = fb
+	}
+	off := int(h.FragOffset) * 8
+	end := off + len(payload)
+	if end > 0xffff {
+		return IPv4Header{}, nil, false, fmt.Errorf("ipv4 reassembly: fragment end %d exceeds maximum packet size", end)
+	}
+	if end > len(fb.data) {
+		grown := make([]byte, end)
+		copy(grown, fb.data)
+		fb.data = grown
+		units := (end + 7) / 8
+		grownHave := make([]bool, units)
+		copy(grownHave, fb.have)
+		fb.have = grownHave
+	}
+	copy(fb.data[off:end], payload)
+	for u := off / 8; u < (end+7)/8; u++ {
+		fb.have[u] = true
+	}
+	if !h.MoreFragments() {
+		fb.totalLen = end
+	}
+	if fb.totalLen < 0 || len(fb.data) < fb.totalLen {
+		return IPv4Header{}, nil, false, nil
+	}
+	for u := 0; u < (fb.totalLen+7)/8; u++ {
+		if !fb.have[u] {
+			return IPv4Header{}, nil, false, nil
+		}
+	}
+	delete(r.bufs, key)
+	hh := h
+	hh.Flags &^= FlagMF
+	hh.FragOffset = 0
+	hh.TotalLen = uint16(IPv4HeaderLen + fb.totalLen)
+	return hh, fb.data[:fb.totalLen], true, nil
+}
+
+// Expire drops incomplete packets older than the timeout as of now.
+func (r *Reassembler) Expire(now time.Duration) {
+	for k, fb := range r.bufs {
+		if now-fb.first > r.timeout {
+			delete(r.bufs, k)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fragmentsFor builds serialized fragments of a payload for tests.
+func fragmentsFor(t *testing.T, id uint16, payload []byte, mtu int) []struct {
+	h IPv4Header
+	p []byte
+} {
+	t.Helper()
+	h := IPv4Header{ID: id, TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	pkts, err := FragmentIPv4(&h, payload, mtu)
+	if err != nil {
+		t.Fatalf("FragmentIPv4: %v", err)
+	}
+	out := make([]struct {
+		h IPv4Header
+		p []byte
+	}, len(pkts))
+	for i, pkt := range pkts {
+		gh, gp, err := UnmarshalIPv4(pkt)
+		if err != nil {
+			t.Fatalf("UnmarshalIPv4: %v", err)
+		}
+		out[i].h, out[i].p = gh, gp
+	}
+	return out
+}
+
+func TestReassemblerInOrder(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xab, 0xcd}, 2000)
+	frags := fragmentsFor(t, 1, payload, 576)
+	r := NewReassembler(0)
+	for i, fr := range frags {
+		h, p, done, err := r.Insert(fr.h, fr.p, 0)
+		if err != nil {
+			t.Fatalf("Insert fragment %d: %v", i, err)
+		}
+		if last := i == len(frags)-1; done != last {
+			t.Fatalf("fragment %d: done=%v, want %v", i, done, last)
+		}
+		if done {
+			if !bytes.Equal(p, payload) {
+				t.Error("reassembled payload differs")
+			}
+			if int(h.TotalLen) != IPv4HeaderLen+len(payload) {
+				t.Errorf("TotalLen = %d, want %d", h.TotalLen, IPv4HeaderLen+len(payload))
+			}
+		}
+	}
+	if r.Pending() != 0 {
+		t.Errorf("Pending() = %d after completion, want 0", r.Pending())
+	}
+}
+
+func TestReassemblerOutOfOrder(t *testing.T) {
+	payload := make([]byte, 5000)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(payload)
+	frags := fragmentsFor(t, 2, payload, 576)
+	order := rng.Perm(len(frags))
+	r := NewReassembler(0)
+	var got []byte
+	for _, i := range order {
+		_, p, done, err := r.Insert(frags[i].h, frags[i].p, 0)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if done {
+			got = p
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblerDuplicateFragments(t *testing.T) {
+	payload := make([]byte, 2000)
+	frags := fragmentsFor(t, 3, payload, 576)
+	r := NewReassembler(0)
+	// Deliver the first fragment twice, then the rest.
+	if _, _, done, err := r.Insert(frags[0].h, frags[0].p, 0); err != nil || done {
+		t.Fatalf("first insert: done=%v err=%v", done, err)
+	}
+	if _, _, done, err := r.Insert(frags[0].h, frags[0].p, 0); err != nil || done {
+		t.Fatalf("duplicate insert: done=%v err=%v", done, err)
+	}
+	var completed bool
+	for _, fr := range frags[1:] {
+		_, p, done, err := r.Insert(fr.h, fr.p, 0)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if done {
+			completed = true
+			if !bytes.Equal(p, payload) {
+				t.Error("payload differs with duplicate fragment")
+			}
+		}
+	}
+	if !completed {
+		t.Error("reassembly did not complete")
+	}
+}
+
+func TestReassemblerInterleavedStreams(t *testing.T) {
+	p1 := bytes.Repeat([]byte{1}, 1600)
+	p2 := bytes.Repeat([]byte{2}, 1600)
+	f1 := fragmentsFor(t, 10, p1, 576)
+	f2 := fragmentsFor(t, 11, p2, 576)
+	r := NewReassembler(0)
+	results := make(map[uint16][]byte)
+	for i := 0; i < len(f1) || i < len(f2); i++ {
+		for _, frs := range [][]struct {
+			h IPv4Header
+			p []byte
+		}{f1, f2} {
+			if i >= len(frs) {
+				continue
+			}
+			h, p, done, err := r.Insert(frs[i].h, frs[i].p, 0)
+			if err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			if done {
+				results[h.ID] = p
+			}
+		}
+	}
+	if !bytes.Equal(results[10], p1) || !bytes.Equal(results[11], p2) {
+		t.Error("interleaved streams were not kept separate")
+	}
+}
+
+func TestReassemblerTimeout(t *testing.T) {
+	payload := make([]byte, 2000)
+	frags := fragmentsFor(t, 4, payload, 576)
+	r := NewReassembler(10 * time.Second)
+	if _, _, _, err := r.Insert(frags[0].h, frags[0].p, 0); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", r.Pending())
+	}
+	// Remaining fragments arrive after the timeout: the buffer was evicted,
+	// so reassembly never completes for this set.
+	var completed bool
+	for _, fr := range frags[1:] {
+		_, _, done, err := r.Insert(fr.h, fr.p, 11*time.Second)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		completed = completed || done
+	}
+	if completed {
+		t.Error("reassembly completed despite evicted first fragment")
+	}
+}
+
+func TestReassemblerUnfragmentedPassThrough(t *testing.T) {
+	r := NewReassembler(0)
+	h := IPv4Header{ID: 5, TTL: 64, Protocol: ProtoUDP, Src: testSrcIP, Dst: testDstIP}
+	payload := []byte("whole")
+	gh, gp, done, err := r.Insert(h, payload, 0)
+	if err != nil || !done {
+		t.Fatalf("Insert unfragmented: done=%v err=%v", done, err)
+	}
+	if gh.ID != 5 || !bytes.Equal(gp, payload) {
+		t.Error("pass-through altered the packet")
+	}
+}

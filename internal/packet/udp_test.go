@@ -1,0 +1,136 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte("REGISTER sip:proxy SIP/2.0\r\n")
+	dgram, err := MarshalUDP(testSrcIP, testDstIP, 5060, 5060, payload)
+	if err != nil {
+		t.Fatalf("MarshalUDP: %v", err)
+	}
+	h, gp, err := UnmarshalUDP(testSrcIP, testDstIP, dgram)
+	if err != nil {
+		t.Fatalf("UnmarshalUDP: %v", err)
+	}
+	if h.SrcPort != 5060 || h.DstPort != 5060 {
+		t.Errorf("ports = %d→%d, want 5060→5060", h.SrcPort, h.DstPort)
+	}
+	if int(h.Length) != UDPHeaderLen+len(payload) {
+		t.Errorf("Length = %d, want %d", h.Length, UDPHeaderLen+len(payload))
+	}
+	if !bytes.Equal(gp, payload) {
+		t.Errorf("payload mismatch: got %q", gp)
+	}
+}
+
+func TestUDPChecksumValidation(t *testing.T) {
+	dgram, err := MarshalUDP(testSrcIP, testDstIP, 1000, 2000, []byte("abc"))
+	if err != nil {
+		t.Fatalf("MarshalUDP: %v", err)
+	}
+	dgram[len(dgram)-1] ^= 0xff
+	if _, _, err := UnmarshalUDP(testSrcIP, testDstIP, dgram); err == nil {
+		t.Error("UnmarshalUDP accepted corrupted payload")
+	}
+}
+
+func TestUDPZeroChecksumAccepted(t *testing.T) {
+	dgram, err := MarshalUDP(testSrcIP, testDstIP, 1, 2, []byte("xyz"))
+	if err != nil {
+		t.Fatalf("MarshalUDP: %v", err)
+	}
+	dgram[6], dgram[7] = 0, 0 // checksum "not computed"
+	if _, _, err := UnmarshalUDP(testSrcIP, testDstIP, dgram); err != nil {
+		t.Errorf("UnmarshalUDP rejected zero checksum: %v", err)
+	}
+}
+
+func TestUDPErrors(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		if _, _, err := UnmarshalUDP(testSrcIP, testDstIP, make([]byte, 4)); err == nil {
+			t.Error("want error for 4-byte buffer")
+		}
+	})
+	t.Run("bad length field", func(t *testing.T) {
+		dgram, _ := MarshalUDP(testSrcIP, testDstIP, 1, 2, []byte("hello"))
+		dgram[4], dgram[5] = 0xff, 0xff
+		if _, _, err := UnmarshalUDP(testSrcIP, testDstIP, dgram); err == nil {
+			t.Error("want error for length > buffer")
+		}
+	})
+	t.Run("oversize", func(t *testing.T) {
+		if _, err := MarshalUDP(testSrcIP, testDstIP, 1, 2, make([]byte, 0x10000)); err == nil {
+			t.Error("want error for 64KiB payload")
+		}
+	})
+}
+
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		dgram, err := MarshalUDP(testSrcIP, testDstIP, sp, dp, payload)
+		if err != nil {
+			return false
+		}
+		h, gp, err := UnmarshalUDP(testSrcIP, testDstIP, dgram)
+		return err == nil && h.SrcPort == sp && h.DstPort == dp && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildUDPFramesRoundTrip(t *testing.T) {
+	spec := UDPFrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: testSrcIP, DstIP: testDstIP,
+		SrcPort: 5060, DstPort: 5060,
+		IPID:    42,
+		Payload: bytes.Repeat([]byte("INVITE "), 400), // 2800 bytes → fragments
+	}
+	frames, err := BuildUDPFrames(spec, 0)
+	if err != nil {
+		t.Fatalf("BuildUDPFrames: %v", err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2 (2808-byte datagram over 1500 MTU)", len(frames))
+	}
+	r := NewReassembler(0)
+	var full []byte
+	for i, fr := range frames {
+		ef, err := UnmarshalEthernet(fr)
+		if err != nil {
+			t.Fatalf("frame %d ethernet: %v", i, err)
+		}
+		iph, ipp, err := UnmarshalIPv4(ef.Payload)
+		if err != nil {
+			t.Fatalf("frame %d ipv4: %v", i, err)
+		}
+		h, p, done, err := r.Insert(iph, ipp, 0)
+		if err != nil {
+			t.Fatalf("frame %d reassembly: %v", i, err)
+		}
+		if done {
+			if h.Protocol != ProtoUDP {
+				t.Fatalf("protocol = %d, want UDP", h.Protocol)
+			}
+			full = p
+		}
+	}
+	if full == nil {
+		t.Fatal("reassembly never completed")
+	}
+	_, gp, err := UnmarshalUDP(testSrcIP, testDstIP, full)
+	if err != nil {
+		t.Fatalf("UnmarshalUDP after reassembly: %v", err)
+	}
+	if !bytes.Equal(gp, spec.Payload) {
+		t.Error("round-tripped payload differs")
+	}
+}

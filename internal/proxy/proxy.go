@@ -1,0 +1,411 @@
+// Package proxy implements the SIP proxy/registrar of the simulated VoIP
+// system, standing in for the SIP Express Router used in the SCIDIVE
+// paper's testbed. It is a stateful forwarding proxy with digest
+// authentication of REGISTER, a location service, Record-Route loose
+// routing so in-dialog requests pass back through it, and call accounting
+// hooks that feed the billing substrate of the Section 3.2 scenario.
+//
+// The proxy deliberately does not authenticate INVITEs or verify that a
+// request's From URI matches its network source: that is the
+// vulnerability the billing-fraud attack exploits, and it matches how the
+// 2004-era testbed proxy behaved.
+package proxy
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/netsim"
+	"scidive/internal/sip"
+)
+
+// DefaultExpires is the registration lifetime when the client sends none.
+const DefaultExpires = 3600 * time.Second
+
+// Binding is one location-service entry.
+type Binding struct {
+	AOR     string
+	Contact sip.URI
+	Source  netip.AddrPort // network source the REGISTER came from
+	Expires time.Duration  // absolute virtual time
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Registers    int // successful registrations
+	Challenges   int // 401s sent
+	AuthFailures int // REGISTERs with bad credentials
+	Forwarded    int // requests forwarded
+	Responses    int // responses forwarded
+	NotFound     int // 404s for unknown targets
+}
+
+// Config configures a Server.
+type Config struct {
+	Host  *netsim.Host
+	Port  uint16 // default sip.DefaultPort
+	Realm string
+	// Users maps username to password for REGISTER digest auth.
+	Users map[string]string
+	// RequireAuth challenges REGISTER with 401 when true.
+	RequireAuth bool
+	// Accounting, when set, receives call START/STOP transactions.
+	Accounting *accounting.Client
+}
+
+// pendingForward links a forwarded request's new branch back to the
+// transaction it arrived on.
+type pendingForward struct {
+	serverTx *sip.ServerTx
+	invite   *sip.Message
+	src      netip.AddrPort
+}
+
+// callState tracks accounting-relevant call progress.
+type callState struct {
+	callID  string
+	from    string
+	to      string
+	fromIP  netip.Addr
+	started bool
+}
+
+// Server is the SIP proxy/registrar.
+type Server struct {
+	cfg      Config
+	port     uint16
+	tx       *sip.TxLayer
+	idgen    *sip.IDGen
+	bindings map[string]*Binding
+	nonces   map[string]string // AOR -> outstanding nonce
+	forwards map[string]*pendingForward
+	calls    map[string]*callState
+	stats    Stats
+}
+
+// New binds a proxy to cfg.Host.
+func New(cfg Config) (*Server, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("proxy: nil host")
+	}
+	port := cfg.Port
+	if port == 0 {
+		port = sip.DefaultPort
+	}
+	s := &Server{
+		cfg:      cfg,
+		port:     port,
+		idgen:    sip.NewIDGen(cfg.Host.Sim().Rand()),
+		bindings: make(map[string]*Binding),
+		nonces:   make(map[string]string),
+		forwards: make(map[string]*pendingForward),
+		calls:    make(map[string]*callState),
+	}
+	s.tx = sip.NewTxLayer(cfg.Host.Sim(), func(dst netip.AddrPort, m *sip.Message) {
+		_ = cfg.Host.SendUDP(s.port, dst, m.Marshal())
+	})
+	s.tx.OnRequest(s.handleRequest)
+	if err := cfg.Host.BindUDP(port, s.handlePacket); err != nil {
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Addr returns the proxy's SIP listening address.
+func (s *Server) Addr() netip.AddrPort {
+	return netip.AddrPortFrom(s.cfg.Host.IP(), s.port)
+}
+
+// URI returns the proxy's SIP URI.
+func (s *Server) URI() sip.URI {
+	return sip.URI{Host: s.cfg.Host.IP().String(), Port: s.port}
+}
+
+// BindingFor returns the current location binding for an AOR, or nil.
+func (s *Server) BindingFor(aor string) *Binding {
+	b, ok := s.bindings[aor]
+	if !ok {
+		return nil
+	}
+	if s.cfg.Host.Sim().Now() >= b.Expires {
+		delete(s.bindings, aor)
+		return nil
+	}
+	return b
+}
+
+func (s *Server) handlePacket(src netip.AddrPort, payload []byte) {
+	m, err := sip.ParseMessage(payload)
+	if err != nil {
+		return // undecodable traffic is dropped, as SER would
+	}
+	if m.IsResponse() {
+		s.forwardResponse(src, m)
+		return
+	}
+	s.tx.HandleMessage(src, m)
+}
+
+func (s *Server) handleRequest(tx *sip.ServerTx, req *sip.Message) {
+	switch {
+	case req.Method == sip.MethodRegister:
+		s.handleRegister(tx, req)
+	case req.Method == sip.MethodAck:
+		s.forwardAck(tx.Src, req)
+	default:
+		s.forwardRequest(tx, req)
+	}
+}
+
+// handleRegister implements the registrar with digest challenge.
+func (s *Server) handleRegister(tx *sip.ServerTx, req *sip.Message) {
+	to, err := req.To()
+	if err != nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, s.idgen.Tag()))
+		return
+	}
+	aor := to.URI.AOR()
+	if s.cfg.RequireAuth {
+		authz := req.Headers.Get(sip.HdrAuthorization)
+		if authz == "" {
+			s.challenge(tx, req, aor)
+			return
+		}
+		creds, err := sip.ParseCredentials(authz)
+		if err != nil {
+			s.stats.AuthFailures++
+			s.challenge(tx, req, aor)
+			return
+		}
+		password, ok := s.cfg.Users[creds.Username]
+		if !ok || !sip.VerifyCredentials(creds, password, s.nonces[aor], sip.MethodRegister) {
+			s.stats.AuthFailures++
+			s.challenge(tx, req, aor)
+			return
+		}
+	}
+	contact, err := req.Contact()
+	if err != nil {
+		tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, s.idgen.Tag()))
+		return
+	}
+	expires := DefaultExpires
+	if ev := req.Headers.Get(sip.HdrExpires); ev != "" {
+		if secs, err := strconv.Atoi(ev); err == nil && secs >= 0 {
+			expires = time.Duration(secs) * time.Second
+		}
+	}
+	now := s.cfg.Host.Sim().Now()
+	if expires == 0 {
+		delete(s.bindings, aor) // de-registration
+	} else {
+		s.bindings[aor] = &Binding{
+			AOR:     aor,
+			Contact: contact.URI,
+			Source:  tx.Src,
+			Expires: now + expires,
+		}
+	}
+	s.stats.Registers++
+	resp := sip.NewResponse(req, sip.StatusOK, s.idgen.Tag())
+	resp.Headers.Add(sip.HdrContact, contact.String())
+	resp.Headers.Add(sip.HdrExpires, strconv.Itoa(int(expires/time.Second)))
+	tx.Respond(resp)
+}
+
+func (s *Server) challenge(tx *sip.ServerTx, req *sip.Message, aor string) {
+	nonce := s.idgen.Nonce()
+	s.nonces[aor] = nonce
+	s.stats.Challenges++
+	resp := sip.NewResponse(req, sip.StatusUnauthorized, s.idgen.Tag())
+	resp.Headers.Add(sip.HdrWWWAuth, sip.Challenge{Realm: s.cfg.Realm, Nonce: nonce}.String())
+	tx.Respond(resp)
+}
+
+// routeDestination decides where to send a request: a Route header
+// pointing at this proxy means loose-routed in-dialog traffic (forward to
+// the Request-URI), otherwise the location service resolves the AOR.
+func (s *Server) routeDestination(req *sip.Message) (netip.AddrPort, string, error) {
+	if route := req.Headers.Get(sip.HdrRoute); route != "" {
+		addr, err := sip.ParseAddress(route)
+		if err == nil && addr.URI.Host == s.cfg.Host.IP().String() {
+			req.Headers.Del(sip.HdrRoute)
+			target, err := sip.ParseURI(req.RequestURI)
+			if err != nil {
+				return netip.AddrPort{}, "", fmt.Errorf("bad loose-route target: %w", err)
+			}
+			ip, err := netip.ParseAddr(target.Host)
+			if err != nil {
+				return netip.AddrPort{}, "", fmt.Errorf("loose-route target %q is not an IP", target.Host)
+			}
+			return netip.AddrPortFrom(ip, target.EffectivePort()), req.RequestURI, nil
+		}
+	}
+	target, err := sip.ParseURI(req.RequestURI)
+	if err != nil {
+		return netip.AddrPort{}, "", err
+	}
+	b := s.BindingFor(target.AOR())
+	if b == nil {
+		return netip.AddrPort{}, "", errNotFound
+	}
+	return b.Source, b.Contact.String(), nil
+}
+
+var errNotFound = fmt.Errorf("proxy: no binding")
+
+// forwardRequest forwards an out-of-dialog or loose-routed request.
+func (s *Server) forwardRequest(tx *sip.ServerTx, req *sip.Message) {
+	if mf := req.Headers.Get(sip.HdrMaxForwards); mf != "" {
+		n, err := strconv.Atoi(mf)
+		if err != nil || n <= 0 {
+			tx.Respond(sip.NewResponse(req, sip.StatusBadRequest, s.idgen.Tag()))
+			return
+		}
+	}
+	dst, newURI, err := s.routeDestination(req)
+	if err != nil {
+		s.stats.NotFound++
+		tx.Respond(sip.NewResponse(req, sip.StatusNotFound, s.idgen.Tag()))
+		return
+	}
+	fwd := &sip.Message{
+		Method:     req.Method,
+		RequestURI: newURI,
+		Headers:    req.Headers.Clone(),
+		Body:       req.Body,
+	}
+	if mf := fwd.Headers.Get(sip.HdrMaxForwards); mf != "" {
+		if n, err := strconv.Atoi(mf); err == nil {
+			fwd.Headers.Set(sip.HdrMaxForwards, strconv.Itoa(n-1))
+		}
+	}
+	branch := s.idgen.Branch()
+	via := sip.Via{
+		Transport: "UDP",
+		SentBy:    fmt.Sprintf("%s:%d", s.cfg.Host.IP(), s.port),
+		Params:    map[string]string{"branch": branch},
+	}
+	fwd.Headers.PrependVia(via.String())
+	if req.Method == sip.MethodInvite {
+		rr := sip.Address{URI: sip.URI{Host: s.cfg.Host.IP().String(), Port: s.port, Params: map[string]string{"lr": ""}}}
+		fwd.Headers.Add(sip.HdrRecordRoute, rr.String())
+	}
+	s.forwards[branch] = &pendingForward{serverTx: tx, invite: req, src: tx.Src}
+	// Bound the pending-forward table: if no final response ever comes back
+	// (dead callee), drop the entry after the transaction lifetime.
+	s.cfg.Host.Sim().Schedule(64*sip.TimerT1, func() {
+		if _, live := s.forwards[branch]; live {
+			delete(s.forwards, branch)
+			tx.Respond(sip.NewResponse(req, sip.StatusRequestTimeout, s.idgen.Tag()))
+		}
+	})
+	s.stats.Forwarded++
+	s.noteRequestForAccounting(req, tx.Src)
+	_ = s.cfg.Host.SendUDP(s.port, dst, fwd.Marshal())
+}
+
+// forwardAck forwards a loose-routed ACK without transaction state.
+func (s *Server) forwardAck(src netip.AddrPort, req *sip.Message) {
+	dst, newURI, err := s.routeDestination(req)
+	if err != nil {
+		return
+	}
+	fwd := &sip.Message{
+		Method:     sip.MethodAck,
+		RequestURI: newURI,
+		Headers:    req.Headers.Clone(),
+		Body:       req.Body,
+	}
+	via := sip.Via{
+		Transport: "UDP",
+		SentBy:    fmt.Sprintf("%s:%d", s.cfg.Host.IP(), s.port),
+		Params:    map[string]string{"branch": s.idgen.Branch()},
+	}
+	fwd.Headers.PrependVia(via.String())
+	s.stats.Forwarded++
+	_ = s.cfg.Host.SendUDP(s.port, dst, fwd.Marshal())
+}
+
+// forwardResponse routes a response per its Via stack.
+func (s *Server) forwardResponse(_ netip.AddrPort, m *sip.Message) {
+	via, err := m.TopVia()
+	if err != nil || !strings.HasPrefix(via.SentBy, s.cfg.Host.IP().String()) {
+		return // not ours
+	}
+	pf, ok := s.forwards[via.Branch()]
+	if !ok {
+		return
+	}
+	fwd := &sip.Message{
+		StatusCode:   m.StatusCode,
+		ReasonPhrase: m.ReasonPhrase,
+		Headers:      m.Headers.Clone(),
+		Body:         m.Body,
+	}
+	fwd.Headers.RemoveFirstVia()
+	s.stats.Responses++
+	s.noteResponseForAccounting(m)
+	if m.StatusCode >= 200 {
+		delete(s.forwards, via.Branch())
+		pf.serverTx.Respond(fwd)
+	} else {
+		_ = s.cfg.Host.SendUDP(s.port, pf.src, fwd.Marshal())
+	}
+}
+
+// noteRequestForAccounting records INVITE/BYE sightings for billing.
+func (s *Server) noteRequestForAccounting(req *sip.Message, src netip.AddrPort) {
+	if s.cfg.Accounting == nil {
+		return
+	}
+	switch req.Method {
+	case sip.MethodInvite:
+		from, err1 := req.From()
+		to, err2 := req.To()
+		if err1 != nil || err2 != nil {
+			return
+		}
+		if _, tracked := s.calls[req.CallID()]; tracked {
+			return // re-INVITE: already billed
+		}
+		s.calls[req.CallID()] = &callState{
+			callID: req.CallID(),
+			from:   from.URI.AOR(),
+			to:     to.URI.AOR(),
+			fromIP: src.Addr(),
+		}
+	case sip.MethodBye:
+		if cs, ok := s.calls[req.CallID()]; ok && cs.started {
+			_ = s.cfg.Accounting.Report(accounting.Txn{Kind: accounting.TxnStop, CallID: cs.callID})
+			delete(s.calls, req.CallID())
+		}
+	}
+}
+
+// noteResponseForAccounting emits START when a call is answered.
+func (s *Server) noteResponseForAccounting(m *sip.Message) {
+	if s.cfg.Accounting == nil || m.StatusCode != sip.StatusOK {
+		return
+	}
+	cseq, err := m.CSeq()
+	if err != nil || cseq.Method != sip.MethodInvite {
+		return
+	}
+	cs, ok := s.calls[m.CallID()]
+	if !ok || cs.started {
+		return
+	}
+	cs.started = true
+	_ = s.cfg.Accounting.Report(accounting.Txn{
+		Kind: accounting.TxnStart, CallID: cs.callID,
+		From: cs.from, To: cs.to, FromIP: cs.fromIP,
+	})
+}

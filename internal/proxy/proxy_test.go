@@ -1,0 +1,290 @@
+package proxy_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/endpoint"
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+	"scidive/internal/proxy"
+	"scidive/internal/sip"
+)
+
+type fixture struct {
+	sim       *netsim.Simulator
+	net       *netsim.Network
+	prx       *proxy.Server
+	extra     *netsim.Host // unregistered host for raw sends
+	responses []*sip.Message
+}
+
+func newFixture(t *testing.T, requireAuth bool) *fixture {
+	t.Helper()
+	sim := netsim.NewSimulator(1)
+	n := netsim.NewNetwork(sim)
+	hostP := n.MustAddHost("proxy", netip.MustParseAddr("10.0.0.10"))
+	extra := n.MustAddHost("raw", netip.MustParseAddr("10.0.0.99"))
+	prx, err := proxy.New(proxy.Config{
+		Host:        hostP,
+		Realm:       "test",
+		Users:       map[string]string{"alice": "pw"},
+		RequireAuth: requireAuth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{sim: sim, net: n, prx: prx, extra: extra}
+	if err := extra.BindUDP(5060, func(_ netip.AddrPort, payload []byte) {
+		m, err := sip.ParseMessage(payload)
+		if err == nil && m.IsResponse() {
+			f.responses = append(f.responses, m)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// rawRequest sends a request from the raw host and returns the responses
+// it drew.
+func (f *fixture) rawRequest(t *testing.T, req *sip.Message) []*sip.Message {
+	t.Helper()
+	f.responses = nil
+	if err := f.extra.SendUDP(5060, f.prx.Addr(), req.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	f.sim.RunUntil(f.sim.Now() + time.Second)
+	return f.responses
+}
+
+func registerReq(user, hostIP string, cseq uint32, expires string) *sip.Message {
+	me := sip.Address{URI: sip.URI{User: user, Host: "10.0.0.10"}}
+	contact := sip.Address{URI: sip.URI{User: user, Host: hostIP, Port: 5060}}
+	req := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodRegister,
+		RequestURI: "sip:10.0.0.10:5060",
+		From:       me.WithTag("ft"),
+		To:         me,
+		CallID:     "reg-" + user + "@" + hostIP,
+		CSeq:       sip.CSeq{Seq: cseq, Method: sip.MethodRegister},
+		Via: sip.Via{Transport: "UDP", SentBy: hostIP + ":5060",
+			Params: map[string]string{"branch": sip.MagicBranchPrefix + "t" + expires + user}},
+		Contact: &contact,
+	})
+	if expires != "" {
+		req.Headers.Add(sip.HdrExpires, expires)
+	}
+	return req
+}
+
+func TestRegisterWithoutAuthWhenDisabled(t *testing.T) {
+	f := newFixture(t, false)
+	resps := f.rawRequest(t, registerReq("alice", "10.0.0.99", 1, "600"))
+	if len(resps) != 1 || resps[0].StatusCode != sip.StatusOK {
+		t.Fatalf("responses = %v", resps)
+	}
+	b := f.prx.BindingFor("alice@10.0.0.10")
+	if b == nil {
+		t.Fatal("no binding")
+	}
+	if b.Source.Addr() != netip.MustParseAddr("10.0.0.99") {
+		t.Errorf("binding source = %v", b.Source)
+	}
+}
+
+func TestBindingExpiry(t *testing.T) {
+	f := newFixture(t, false)
+	f.rawRequest(t, registerReq("alice", "10.0.0.99", 1, "2"))
+	if f.prx.BindingFor("alice@10.0.0.10") == nil {
+		t.Fatal("binding missing right after registration")
+	}
+	f.sim.RunUntil(f.sim.Now() + 3*time.Second)
+	if f.prx.BindingFor("alice@10.0.0.10") != nil {
+		t.Error("binding survived past its Expires")
+	}
+}
+
+func TestDeregistrationWithExpiresZero(t *testing.T) {
+	f := newFixture(t, false)
+	f.rawRequest(t, registerReq("alice", "10.0.0.99", 1, "600"))
+	if f.prx.BindingFor("alice@10.0.0.10") == nil {
+		t.Fatal("registration failed")
+	}
+	f.rawRequest(t, registerReq("alice", "10.0.0.99", 2, "0"))
+	if f.prx.BindingFor("alice@10.0.0.10") != nil {
+		t.Error("Expires: 0 did not remove the binding")
+	}
+}
+
+func TestRegisterChallengeFlow(t *testing.T) {
+	f := newFixture(t, true)
+	resps := f.rawRequest(t, registerReq("alice", "10.0.0.99", 1, "600"))
+	if len(resps) != 1 || resps[0].StatusCode != sip.StatusUnauthorized {
+		t.Fatalf("responses = %v", resps)
+	}
+	if resps[0].Headers.Get(sip.HdrWWWAuth) == "" {
+		t.Error("401 without a challenge")
+	}
+	if f.prx.Stats().Challenges != 1 {
+		t.Errorf("Challenges = %d", f.prx.Stats().Challenges)
+	}
+}
+
+func TestInviteToUnknownUserGets404(t *testing.T) {
+	f := newFixture(t, false)
+	from := sip.Address{URI: sip.URI{User: "x", Host: "10.0.0.10"}}
+	to := sip.Address{URI: sip.URI{User: "ghost", Host: "10.0.0.10"}}
+	req := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:ghost@10.0.0.10",
+		From:       from.WithTag("t1"),
+		To:         to,
+		CallID:     "inv@raw",
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via: sip.Via{Transport: "UDP", SentBy: "10.0.0.99:5060",
+			Params: map[string]string{"branch": sip.MagicBranchPrefix + "inv1"}},
+	})
+	resps := f.rawRequest(t, req)
+	if len(resps) != 1 || resps[0].StatusCode != sip.StatusNotFound {
+		t.Fatalf("responses = %v", resps)
+	}
+	if f.prx.Stats().NotFound != 1 {
+		t.Errorf("NotFound = %d", f.prx.Stats().NotFound)
+	}
+}
+
+func TestMaxForwardsZeroRejected(t *testing.T) {
+	f := newFixture(t, false)
+	f.rawRequest(t, registerReq("alice", "10.0.0.99", 1, "600"))
+	from := sip.Address{URI: sip.URI{User: "x", Host: "10.0.0.10"}}
+	to := sip.Address{URI: sip.URI{User: "alice", Host: "10.0.0.10"}}
+	req := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:alice@10.0.0.10",
+		From:       from.WithTag("t2"),
+		To:         to,
+		CallID:     "mf@raw",
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via: sip.Via{Transport: "UDP", SentBy: "10.0.0.99:5060",
+			Params: map[string]string{"branch": sip.MagicBranchPrefix + "mf0"}},
+	})
+	req.Headers.Set(sip.HdrMaxForwards, "0")
+	resps := f.rawRequest(t, req)
+	if len(resps) != 1 || resps[0].StatusCode != sip.StatusBadRequest {
+		t.Fatalf("responses = %v", resps)
+	}
+}
+
+func TestProxyForwardingDetails(t *testing.T) {
+	// A full call through the proxy: verify the forwarded INVITE has a
+	// decremented Max-Forwards, a prepended proxy Via, and a Record-Route.
+	sim := netsim.NewSimulator(2)
+	n := netsim.NewNetwork(sim)
+	hostP := n.MustAddHost("proxy", netip.MustParseAddr("10.0.0.10"))
+	hostA := n.MustAddHost("a", netip.MustParseAddr("10.0.0.1"))
+	hostB := n.MustAddHost("b", netip.MustParseAddr("10.0.0.2"))
+	prx, err := proxy.New(proxy.Config{Host: hostP, Realm: "t", Users: map[string]string{"a": "x", "b": "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := endpoint.New(endpoint.Config{Host: hostA, Username: "a", Password: "x", Proxy: prx.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPhone, err := endpoint.New(endpoint.Config{Host: hostB, Username: "b", Password: "y", Proxy: prx.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forwarded *sip.Message
+	n.AddTap(func(_ time.Duration, frame []byte) {
+		m := sipFromFrame(frame)
+		if m == nil || !m.IsRequest() || m.Method != sip.MethodInvite {
+			return
+		}
+		if via, err := m.TopVia(); err == nil && via.SentBy == "10.0.0.10:5060" {
+			forwarded = m
+		}
+	})
+	a.Register(nil)
+	bPhone.Register(nil)
+	sim.RunUntil(sim.Now() + time.Second)
+	a.Call("b", nil)
+	sim.RunUntil(sim.Now() + 2*time.Second)
+	if forwarded == nil {
+		t.Fatal("proxy never forwarded the INVITE")
+	}
+	if got := forwarded.Headers.Get(sip.HdrMaxForwards); got != "69" {
+		t.Errorf("forwarded Max-Forwards = %q, want 69", got)
+	}
+	if vias := forwarded.Headers.Values(sip.HdrVia); len(vias) != 2 {
+		t.Errorf("forwarded Via count = %d, want 2", len(vias))
+	}
+	if rr := forwarded.Headers.Get(sip.HdrRecordRoute); rr == "" {
+		t.Error("forwarded INVITE lacks Record-Route")
+	}
+}
+
+// sipFromFrame decodes a SIP message from an Ethernet frame, or nil.
+func sipFromFrame(frame []byte) *sip.Message {
+	ef, err := packet.UnmarshalEthernet(frame)
+	if err != nil || ef.Type != packet.EtherTypeIPv4 {
+		return nil
+	}
+	iph, ipp, err := packet.UnmarshalIPv4(ef.Payload)
+	if err != nil || iph.Protocol != packet.ProtoUDP {
+		return nil
+	}
+	uh, up, err := packet.UnmarshalUDP(iph.Src, iph.Dst, ipp)
+	if err != nil || (uh.SrcPort != sip.DefaultPort && uh.DstPort != sip.DefaultPort) {
+		return nil
+	}
+	m, err := sip.ParseMessage(up)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func TestForwardTimeoutReturns408(t *testing.T) {
+	f := newFixture(t, false)
+	// Register a binding whose contact never answers SIP (the raw host has
+	// no transaction layer; it records responses only).
+	f.rawRequest(t, registerReq("alice", "10.0.0.99", 1, "600"))
+	// A second raw host places the call so we can watch its responses.
+	caller := f.net.MustAddHost("caller", netip.MustParseAddr("10.0.0.98"))
+	var responses []*sip.Message
+	if err := caller.BindUDP(5060, func(_ netip.AddrPort, payload []byte) {
+		if m, err := sip.ParseMessage(payload); err == nil && m.IsResponse() {
+			responses = append(responses, m)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	from := sip.Address{URI: sip.URI{User: "x", Host: "10.0.0.10"}}
+	to := sip.Address{URI: sip.URI{User: "alice", Host: "10.0.0.10"}}
+	invite := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:alice@10.0.0.10",
+		From:       from.WithTag("t9"),
+		To:         to,
+		CallID:     "dead@raw",
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via: sip.Via{Transport: "UDP", SentBy: "10.0.0.98:5060",
+			Params: map[string]string{"branch": sip.MagicBranchPrefix + "dead"}},
+	})
+	if err := caller.SendUDP(5060, f.prx.Addr(), invite.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	f.sim.RunUntil(f.sim.Now() + 40*time.Second) // past 64*T1 = 32s
+	var got408 bool
+	for _, r := range responses {
+		if r.StatusCode == sip.StatusRequestTimeout {
+			got408 = true
+		}
+	}
+	if !got408 {
+		t.Errorf("no 408 after unresponsive callee; responses = %v", responses)
+	}
+}

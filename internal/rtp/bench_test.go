@@ -1,0 +1,69 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkPacketUnmarshal(b *testing.B) {
+	p := Packet{
+		Header:  Header{PayloadType: PayloadTypePCMU, Seq: 7, Timestamp: 1120, SSRC: 9},
+		Payload: make([]byte, 160),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMuLawEncodeFrame(b *testing.B) {
+	g := NewToneGenerator(440, 8000, 12000)
+	samples := g.Next(160)
+	b.SetBytes(160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodePCMU(samples)
+	}
+}
+
+func BenchmarkJitterBufferInsertPop(b *testing.B) {
+	buf, err := NewJitterBuffer(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = buf.Insert(Packet{Header: Header{Seq: uint16(i)}})
+		buf.Pop()
+	}
+}
+
+func BenchmarkJitterEstimatorObserve(b *testing.B) {
+	j := NewJitterEstimator(8000)
+	for i := 0; i < b.N; i++ {
+		j.Observe(uint32(i*160), time.Duration(i)*20*time.Millisecond)
+	}
+}
+
+func BenchmarkRTCPCompoundRoundTrip(b *testing.B) {
+	pkts := []RTCPPacket{
+		&SenderReport{SSRC: 1, Reports: []ReportBlock{{SSRC: 2}}},
+		&SourceDescription{SSRC: 1, CNAME: "alice@10.0.0.1"},
+	}
+	for i := 0; i < b.N; i++ {
+		buf, err := MarshalCompound(pkts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnmarshalCompound(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package rtp
+
+import "math"
+
+// G.711 µ-law codec (ITU-T G.711). The VoIP endpoints encode a generated
+// tone with it so the media stream carries realistic PCMU payloads.
+
+const (
+	muLawBias = 0x84
+	muLawClip = 32635
+)
+
+// MuLawEncode compresses one 16-bit linear PCM sample to 8-bit µ-law.
+func MuLawEncode(sample int16) byte {
+	s := int32(sample)
+	sign := byte(0)
+	if s < 0 {
+		s = -s
+		sign = 0x80
+	}
+	if s > muLawClip {
+		s = muLawClip
+	}
+	s += muLawBias
+	exponent := byte(7)
+	for mask := int32(0x4000); mask != 0 && s&mask == 0; mask >>= 1 {
+		exponent--
+	}
+	mantissa := byte((s >> (exponent + 3)) & 0x0f)
+	return ^(sign | exponent<<4 | mantissa)
+}
+
+// MuLawDecode expands one 8-bit µ-law byte to a 16-bit linear PCM sample.
+func MuLawDecode(b byte) int16 {
+	b = ^b
+	sign := b & 0x80
+	exponent := (b >> 4) & 0x07
+	mantissa := b & 0x0f
+	s := (int32(mantissa)<<3 + muLawBias) << exponent
+	s -= muLawBias
+	if sign != 0 {
+		s = -s
+	}
+	return int16(s)
+}
+
+// EncodePCMU µ-law-encodes a slice of linear samples.
+func EncodePCMU(samples []int16) []byte {
+	out := make([]byte, len(samples))
+	for i, s := range samples {
+		out[i] = MuLawEncode(s)
+	}
+	return out
+}
+
+// DecodePCMU decodes µ-law bytes to linear samples.
+func DecodePCMU(data []byte) []int16 {
+	out := make([]int16, len(data))
+	for i, b := range data {
+		out[i] = MuLawDecode(b)
+	}
+	return out
+}
+
+// ToneGenerator produces a fixed-frequency sine tone, the simulated
+// "voice" the endpoints transmit.
+type ToneGenerator struct {
+	freq       float64
+	sampleRate float64
+	amplitude  float64
+	phase      float64
+}
+
+// NewToneGenerator returns a generator for freq Hz at sampleRate Hz with
+// the given peak amplitude (0..32767).
+func NewToneGenerator(freq, sampleRate float64, amplitude int16) *ToneGenerator {
+	return &ToneGenerator{freq: freq, sampleRate: sampleRate, amplitude: float64(amplitude)}
+}
+
+// Next returns the next n samples of the tone.
+func (g *ToneGenerator) Next(n int) []int16 {
+	out := make([]int16, n)
+	step := 2 * math.Pi * g.freq / g.sampleRate
+	for i := range out {
+		out[i] = int16(g.amplitude * math.Sin(g.phase))
+		g.phase += step
+		if g.phase > 2*math.Pi {
+			g.phase -= 2 * math.Pi
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package rtp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMuLawRoundTripAccuracy(t *testing.T) {
+	// µ-law is lossy; verify the quantization error is within the
+	// segment-dependent bound for a sweep of values.
+	for s := -32000; s <= 32000; s += 97 {
+		in := int16(s)
+		out := MuLawDecode(MuLawEncode(in))
+		err := math.Abs(float64(out) - float64(in))
+		// Error bound grows with magnitude: half a quantization step of the
+		// containing segment (max step is 256 at the top segment).
+		bound := math.Max(16, math.Abs(float64(in))/16)
+		if err > bound {
+			t.Fatalf("sample %d -> %d: error %.0f exceeds bound %.0f", in, out, err, bound)
+		}
+	}
+}
+
+func TestMuLawIdempotentOnCodewords(t *testing.T) {
+	// decode(encode(decode(b))) == decode(b) for every codeword.
+	for b := 0; b < 256; b++ {
+		s := MuLawDecode(byte(b))
+		if again := MuLawDecode(MuLawEncode(s)); again != s {
+			t.Fatalf("codeword %#x: decode %d re-encodes to %d", b, s, again)
+		}
+	}
+}
+
+func TestMuLawSignSymmetry(t *testing.T) {
+	f := func(s int16) bool {
+		if s == math.MinInt16 {
+			return true // -s overflows
+		}
+		a := MuLawDecode(MuLawEncode(s))
+		b := MuLawDecode(MuLawEncode(-s))
+		return a == -b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuLawClipping(t *testing.T) {
+	top := MuLawEncode(32767)
+	if MuLawEncode(muLawClip) != top {
+		t.Error("values above clip do not saturate")
+	}
+}
+
+func TestEncodeDecodePCMUSlices(t *testing.T) {
+	in := []int16{0, 1000, -1000, 32000, -32000}
+	enc := EncodePCMU(in)
+	if len(enc) != len(in) {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	dec := DecodePCMU(enc)
+	for i := range in {
+		if MuLawDecode(MuLawEncode(in[i])) != dec[i] {
+			t.Errorf("slice codec disagrees with scalar at %d", i)
+		}
+	}
+}
+
+func TestToneGenerator(t *testing.T) {
+	g := NewToneGenerator(440, 8000, 10000)
+	samples := g.Next(8000) // one second
+	if len(samples) != 8000 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	var maxAmp int16
+	crossings := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i] > maxAmp {
+			maxAmp = samples[i]
+		}
+		if samples[i-1] < 0 && samples[i] >= 0 {
+			crossings++
+		}
+	}
+	if maxAmp < 9000 || maxAmp > 10000 {
+		t.Errorf("peak amplitude %d, want ≈10000", maxAmp)
+	}
+	// A 440 Hz tone has 440 rising zero crossings per second.
+	if crossings < 435 || crossings > 445 {
+		t.Errorf("zero crossings = %d, want ≈440", crossings)
+	}
+}
+
+func TestToneGeneratorContinuity(t *testing.T) {
+	g1 := NewToneGenerator(440, 8000, 10000)
+	whole := g1.Next(320)
+	g2 := NewToneGenerator(440, 8000, 10000)
+	parts := append(g2.Next(160), g2.Next(160)...)
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("sample %d differs between whole and chunked generation", i)
+		}
+	}
+}

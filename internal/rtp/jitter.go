@@ -1,0 +1,50 @@
+package rtp
+
+import "time"
+
+// JitterEstimator implements the RFC 3550 Appendix A.8 interarrival
+// jitter estimator: J(i) = J(i−1) + (|D(i−1,i)| − J(i−1))/16, where D is
+// the difference in relative transit times measured in RTP timestamp
+// units.
+type JitterEstimator struct {
+	clockRate uint32 // RTP timestamp ticks per second
+	jitter    float64
+	transit   int64
+	primed    bool
+}
+
+// NewJitterEstimator returns an estimator for a media clock of the given
+// rate (8000 for G.711).
+func NewJitterEstimator(clockRate uint32) *JitterEstimator {
+	return &JitterEstimator{clockRate: clockRate}
+}
+
+// Observe feeds one packet arrival: its RTP timestamp and the local
+// arrival time. It returns the updated jitter estimate in timestamp units.
+func (j *JitterEstimator) Observe(rtpTimestamp uint32, arrival time.Duration) float64 {
+	arrivalTicks := int64(arrival) * int64(j.clockRate) / int64(time.Second)
+	transit := arrivalTicks - int64(rtpTimestamp)
+	if !j.primed {
+		j.primed = true
+		j.transit = transit
+		return j.jitter
+	}
+	d := transit - j.transit
+	j.transit = transit
+	if d < 0 {
+		d = -d
+	}
+	j.jitter += (float64(d) - j.jitter) / 16
+	return j.jitter
+}
+
+// Jitter returns the current estimate in timestamp units.
+func (j *JitterEstimator) Jitter() float64 { return j.jitter }
+
+// JitterDuration returns the current estimate as wall time.
+func (j *JitterEstimator) JitterDuration() time.Duration {
+	if j.clockRate == 0 {
+		return 0
+	}
+	return time.Duration(j.jitter * float64(time.Second) / float64(j.clockRate))
+}

@@ -1,0 +1,98 @@
+package rtp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBufferCorrupted is returned by JitterBuffer.Insert when an incoming
+// packet's sequence number is so far ahead of the playout point that the
+// buffer state is effectively destroyed. This models the real-world
+// behaviour the paper describes for the RTP attack: garbage packets with
+// random sequence numbers "corrupt the jitter buffer in the IP Phone
+// client", crashing some clients (X-Lite) and garbling audio on others.
+var ErrBufferCorrupted = errors.New("rtp: jitter buffer corrupted by out-of-window packet")
+
+// JitterBufferStats counts playout buffer activity.
+type JitterBufferStats struct {
+	Inserted   int // packets accepted into the buffer
+	Duplicates int // packets dropped as duplicates
+	Late       int // packets that arrived after their playout slot
+	Played     int // packets handed to the decoder
+	Underruns  int // playout ticks with no packet available
+}
+
+// JitterBuffer is a playout buffer ordered by RTP sequence number. The
+// receiving endpoint inserts packets as they arrive and pops one per
+// packetization interval.
+type JitterBuffer struct {
+	window  int // how far ahead of the playout point a packet may be
+	packets map[uint16]Packet
+	next    uint16 // next sequence number to play
+	primed  bool
+	stats   JitterBufferStats
+}
+
+// NewJitterBuffer returns a buffer accepting packets up to window
+// sequence numbers ahead of the playout point. window must be positive.
+func NewJitterBuffer(window int) (*JitterBuffer, error) {
+	if window <= 0 || window >= 1<<15 {
+		return nil, fmt.Errorf("rtp: jitter buffer window %d out of range", window)
+	}
+	return &JitterBuffer{window: window, packets: make(map[uint16]Packet, window)}, nil
+}
+
+// Stats returns a snapshot of the buffer counters.
+func (b *JitterBuffer) Stats() JitterBufferStats { return b.stats }
+
+// Depth returns the number of packets currently buffered.
+func (b *JitterBuffer) Depth() int { return len(b.packets) }
+
+// Insert adds an arriving packet. Packets behind the playout point are
+// counted late and dropped; duplicates are dropped; packets more than the
+// window ahead return ErrBufferCorrupted.
+func (b *JitterBuffer) Insert(p Packet) error {
+	if !b.primed {
+		b.primed = true
+		b.next = p.Header.Seq
+	}
+	d := SeqDiff(b.next, p.Header.Seq)
+	switch {
+	case d < -b.window:
+		// So far "behind" the playout point that it cannot be a late
+		// arrival — a wild sequence number (e.g. a garbage packet).
+		return fmt.Errorf("%w: seq %d is %d behind playout point %d (window %d)",
+			ErrBufferCorrupted, p.Header.Seq, -d, b.next, b.window)
+	case d < 0:
+		b.stats.Late++
+		return nil
+	case d >= b.window:
+		return fmt.Errorf("%w: seq %d is %d ahead of playout point %d (window %d)",
+			ErrBufferCorrupted, p.Header.Seq, d, b.next, b.window)
+	}
+	if _, dup := b.packets[p.Header.Seq]; dup {
+		b.stats.Duplicates++
+		return nil
+	}
+	b.packets[p.Header.Seq] = p
+	b.stats.Inserted++
+	return nil
+}
+
+// Pop removes and returns the packet at the playout point, advancing it.
+// When the slot is empty (loss or delay) it records an underrun, advances
+// anyway, and returns ok=false — the decoder plays comfort noise.
+func (b *JitterBuffer) Pop() (Packet, bool) {
+	if !b.primed {
+		return Packet{}, false
+	}
+	p, ok := b.packets[b.next]
+	if ok {
+		delete(b.packets, b.next)
+		b.stats.Played++
+	} else {
+		b.stats.Underruns++
+	}
+	b.next++
+	return p, ok
+}

@@ -1,0 +1,168 @@
+package rtp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func pkt(seq uint16) Packet {
+	return Packet{Header: Header{Seq: seq, PayloadType: PayloadTypePCMU, SSRC: 1}}
+}
+
+func TestJitterBufferInOrderPlayout(t *testing.T) {
+	b, err := NewJitterBuffer(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := uint16(100); s < 110; s++ {
+		if err := b.Insert(pkt(s)); err != nil {
+			t.Fatalf("Insert(%d): %v", s, err)
+		}
+	}
+	for s := uint16(100); s < 110; s++ {
+		p, ok := b.Pop()
+		if !ok || p.Header.Seq != s {
+			t.Fatalf("Pop: got seq %d ok=%v, want %d", p.Header.Seq, ok, s)
+		}
+	}
+	st := b.Stats()
+	if st.Played != 10 || st.Underruns != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestJitterBufferReordering(t *testing.T) {
+	b, _ := NewJitterBuffer(50)
+	for _, s := range []uint16{3, 1, 2, 0, 4} {
+		if err := b.Insert(pkt(s + 1000)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Playout point primed at 1003 (first arrival); 1000-1002 are "late"
+	// relative to it? No: diff(1003, 1001) < 0 → late. Playout yields 1003, 1004.
+	got := []uint16{}
+	for {
+		p, ok := b.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, p.Header.Seq)
+	}
+	if len(got) != 2 || got[0] != 1003 || got[1] != 1004 {
+		t.Errorf("playout = %v, want [1003 1004]", got)
+	}
+	if b.Stats().Late != 3 {
+		t.Errorf("Late = %d, want 3", b.Stats().Late)
+	}
+}
+
+func TestJitterBufferUnderrunAdvances(t *testing.T) {
+	b, _ := NewJitterBuffer(50)
+	_ = b.Insert(pkt(10))
+	_ = b.Insert(pkt(12)) // 11 missing
+	if p, ok := b.Pop(); !ok || p.Header.Seq != 10 {
+		t.Fatalf("first pop: %v %v", p.Header.Seq, ok)
+	}
+	if _, ok := b.Pop(); ok {
+		t.Fatal("missing slot returned a packet")
+	}
+	if p, ok := b.Pop(); !ok || p.Header.Seq != 12 {
+		t.Fatalf("third pop: %v %v", p.Header.Seq, ok)
+	}
+	if b.Stats().Underruns != 1 {
+		t.Errorf("Underruns = %d", b.Stats().Underruns)
+	}
+}
+
+func TestJitterBufferDuplicates(t *testing.T) {
+	b, _ := NewJitterBuffer(50)
+	_ = b.Insert(pkt(5))
+	_ = b.Insert(pkt(5))
+	if b.Stats().Duplicates != 1 || b.Depth() != 1 {
+		t.Errorf("stats=%+v depth=%d", b.Stats(), b.Depth())
+	}
+}
+
+func TestJitterBufferCorruptionOnSeqJump(t *testing.T) {
+	b, _ := NewJitterBuffer(100)
+	_ = b.Insert(pkt(1000))
+	// The paper's RTP attack: a garbage packet with a wildly wrong sequence
+	// number lands far outside the playout window.
+	err := b.Insert(pkt(42000))
+	if !errors.Is(err, ErrBufferCorrupted) {
+		t.Fatalf("err = %v, want ErrBufferCorrupted", err)
+	}
+}
+
+func TestJitterBufferSeqWrap(t *testing.T) {
+	b, _ := NewJitterBuffer(50)
+	for _, s := range []uint16{0xfffe, 0xffff, 0, 1} {
+		if err := b.Insert(pkt(s)); err != nil {
+			t.Fatalf("Insert(%d): %v", s, err)
+		}
+	}
+	want := []uint16{0xfffe, 0xffff, 0, 1}
+	for _, w := range want {
+		p, ok := b.Pop()
+		if !ok || p.Header.Seq != w {
+			t.Fatalf("pop got %d ok=%v, want %d", p.Header.Seq, ok, w)
+		}
+	}
+}
+
+func TestJitterBufferWindowValidation(t *testing.T) {
+	for _, w := range []int{0, -1, 1 << 15} {
+		if _, err := NewJitterBuffer(w); err == nil {
+			t.Errorf("NewJitterBuffer(%d): want error", w)
+		}
+	}
+}
+
+func TestPopBeforePrimed(t *testing.T) {
+	b, _ := NewJitterBuffer(10)
+	if _, ok := b.Pop(); ok {
+		t.Error("Pop on empty unprimed buffer returned a packet")
+	}
+	if b.Stats().Underruns != 0 {
+		t.Error("unprimed Pop counted an underrun")
+	}
+}
+
+func TestJitterEstimatorSteadyStream(t *testing.T) {
+	// Perfectly periodic arrivals: jitter converges to zero.
+	j := NewJitterEstimator(8000)
+	for i := 0; i < 100; i++ {
+		j.Observe(uint32(i*160), time.Duration(i)*20*time.Millisecond)
+	}
+	if j.Jitter() != 0 {
+		t.Errorf("jitter = %f for perfectly periodic stream", j.Jitter())
+	}
+}
+
+func TestJitterEstimatorDetectsVariance(t *testing.T) {
+	j := NewJitterEstimator(8000)
+	// Alternate arrival offsets of ±5 ms around the nominal 20 ms period.
+	for i := 0; i < 200; i++ {
+		at := time.Duration(i) * 20 * time.Millisecond
+		if i%2 == 1 {
+			at += 5 * time.Millisecond
+		}
+		j.Observe(uint32(i*160), at)
+	}
+	// |D| is a constant 40 ticks (5 ms at 8 kHz), so the EWMA converges to 40.
+	if j.Jitter() < 35 || j.Jitter() > 45 {
+		t.Errorf("jitter = %.1f ticks, want ≈40", j.Jitter())
+	}
+	d := j.JitterDuration()
+	if d < 4*time.Millisecond || d > 6*time.Millisecond {
+		t.Errorf("JitterDuration = %v, want ≈5ms", d)
+	}
+}
+
+func TestJitterEstimatorZeroRate(t *testing.T) {
+	j := NewJitterEstimator(0)
+	if j.JitterDuration() != 0 {
+		t.Error("zero clock rate should yield zero duration")
+	}
+}

@@ -1,0 +1,114 @@
+package rtp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCompoundRoundTrip(t *testing.T) {
+	in := []RTCPPacket{
+		&SenderReport{
+			SSRC: 0x11223344, NTPSec: 100, NTPFrac: 200, RTPTime: 4800,
+			PacketCount: 300, OctetCount: 48000,
+			Reports: []ReportBlock{{
+				SSRC: 0x55667788, FractionLost: 12, CumulativeLost: 34,
+				HighestSeq: 5000, Jitter: 77, LSR: 1, DLSR: 2,
+			}},
+		},
+		&SourceDescription{SSRC: 0x11223344, CNAME: "alice@10.0.0.1"},
+	}
+	buf, err := MarshalCompound(in)
+	if err != nil {
+		t.Fatalf("MarshalCompound: %v", err)
+	}
+	if len(buf)%4 != 0 {
+		t.Errorf("compound length %d not 32-bit aligned", len(buf))
+	}
+	out, err := UnmarshalCompound(buf)
+	if err != nil {
+		t.Fatalf("UnmarshalCompound: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestReceiverReportRoundTrip(t *testing.T) {
+	in := []RTCPPacket{&ReceiverReport{
+		SSRC: 42,
+		Reports: []ReportBlock{
+			{SSRC: 1, FractionLost: 255, CumulativeLost: 0xffffff, HighestSeq: 9, Jitter: 3},
+			{SSRC: 2},
+		},
+	}}
+	buf, err := MarshalCompound(in)
+	if err != nil {
+		t.Fatalf("MarshalCompound: %v", err)
+	}
+	out, err := UnmarshalCompound(buf)
+	if err != nil {
+		t.Fatalf("UnmarshalCompound: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestByeRoundTrip(t *testing.T) {
+	tests := []*Bye{
+		{SSRCs: []uint32{7}},
+		{SSRCs: []uint32{7, 8, 9}, Reason: "teardown"},
+	}
+	for _, in := range tests {
+		buf, err := MarshalCompound([]RTCPPacket{in})
+		if err != nil {
+			t.Fatalf("MarshalCompound: %v", err)
+		}
+		out, err := UnmarshalCompound(buf)
+		if err != nil {
+			t.Fatalf("UnmarshalCompound: %v", err)
+		}
+		got, ok := out[0].(*Bye)
+		if !ok || !reflect.DeepEqual(got, in) {
+			t.Errorf("round trip: got %+v, want %+v", out[0], in)
+		}
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		pkt  RTCPPacket
+	}{
+		{"too many SR blocks", &SenderReport{Reports: make([]ReportBlock, 32)}},
+		{"too many RR blocks", &ReceiverReport{Reports: make([]ReportBlock, 32)}},
+		{"empty BYE", &Bye{}},
+		{"long cname", &SourceDescription{CNAME: string(make([]byte, 300))}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := MarshalCompound([]RTCPPacket{tt.pkt}); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestUnmarshalCompoundErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{"short header", []byte{0x80, 200}},
+		{"bad version", []byte{0x40, 200, 0, 0}},
+		{"length overrun", []byte{0x80, 200, 0, 20}},
+		{"unknown type", []byte{0x80, 99, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalCompound(tt.buf); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

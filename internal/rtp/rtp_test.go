@@ -1,0 +1,170 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		Header: Header{
+			Marker:      true,
+			PayloadType: PayloadTypePCMU,
+			Seq:         0xfffe,
+			Timestamp:   160000,
+			SSRC:        0xdeadbeef,
+			CSRC:        []uint32{1, 2, 3},
+		},
+		Payload: []byte("audio-bytes"),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	h := got.Header
+	if !h.Marker || h.PayloadType != PayloadTypePCMU || h.Seq != 0xfffe ||
+		h.Timestamp != 160000 || h.SSRC != 0xdeadbeef {
+		t.Errorf("header = %+v", h)
+	}
+	if len(h.CSRC) != 3 || h.CSRC[0] != 1 || h.CSRC[2] != 3 {
+		t.Errorf("CSRC = %v", h.CSRC)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{"too short", make([]byte, 11)},
+		{"bad version", append([]byte{0x00}, make([]byte, 11)...)},
+		{"csrc overrun", append([]byte{0x82}, make([]byte, 11)...)}, // CC=2 but no CSRC bytes
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.buf); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestGarbageOftenRejected(t *testing.T) {
+	// A random byte has a 3/4 chance of a wrong version; verify the decoder
+	// rejects version!=2 deterministically.
+	buf := make([]byte, 20)
+	for v := 0; v < 4; v++ {
+		buf[0] = byte(v << 6)
+		_, err := Unmarshal(buf)
+		if v == Version && err != nil {
+			t.Errorf("version 2 rejected: %v", err)
+		}
+		if v != Version && err == nil {
+			t.Errorf("version %d accepted", v)
+		}
+	}
+}
+
+func TestPaddingHandling(t *testing.T) {
+	p := Packet{Header: Header{PayloadType: 0, Seq: 1, SSRC: 9}, Payload: []byte("abc")}
+	buf, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append 3 padding bytes and set the P bit.
+	buf = append(buf, 0, 0, 3)
+	buf[0] |= 1 << 5
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal padded: %v", err)
+	}
+	if !bytes.Equal(got.Payload, []byte("abc")) {
+		t.Errorf("padded payload = %q", got.Payload)
+	}
+	// Invalid padding count.
+	buf[len(buf)-1] = 200
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("bad padding accepted")
+	}
+}
+
+func TestTooManyCSRCs(t *testing.T) {
+	p := Packet{Header: Header{CSRC: make([]uint32, 16)}}
+	if _, err := p.Marshal(); err == nil {
+		t.Error("16 CSRCs accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(marker bool, pt uint8, seq uint16, ts, ssrc uint32, payload []byte) bool {
+		p := Packet{
+			Header:  Header{Marker: marker, PayloadType: pt & 0x7f, Seq: seq, Timestamp: ts, SSRC: ssrc},
+			Payload: payload,
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		return err == nil &&
+			got.Header.Marker == marker &&
+			got.Header.PayloadType == pt&0x7f &&
+			got.Header.Seq == seq &&
+			got.Header.Timestamp == ts &&
+			got.Header.SSRC == ssrc &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	tests := []struct {
+		a, b uint16
+		less bool
+		diff int
+	}{
+		{0, 1, true, 1},
+		{1, 0, false, -1},
+		{5, 5, false, 0},
+		{0xffff, 0, true, 1},   // wrap forward
+		{0, 0xffff, false, -1}, // wrap backward
+		{0xff00, 0x0100, true, 512},
+		{100, 300, true, 200},
+	}
+	for _, tt := range tests {
+		if got := SeqLess(tt.a, tt.b); got != tt.less {
+			t.Errorf("SeqLess(%d, %d) = %v, want %v", tt.a, tt.b, got, tt.less)
+		}
+		if got := SeqDiff(tt.a, tt.b); got != tt.diff {
+			t.Errorf("SeqDiff(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.diff)
+		}
+	}
+}
+
+func TestSeqDiffAntisymmetryProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		d := SeqDiff(a, b)
+		if a == b {
+			return d == 0 && !SeqLess(a, b) && !SeqLess(b, a)
+		}
+		// Except at the antipode (diff == -32768), diff is antisymmetric and
+		// exactly one direction compares less.
+		if d == -32768 {
+			return SeqDiff(b, a) == -32768
+		}
+		return SeqDiff(b, a) == -d && (SeqLess(a, b) == (d > 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

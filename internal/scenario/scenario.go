@@ -1,0 +1,175 @@
+// Package scenario assembles the SCIDIVE paper's testbed (Figure 4): SIP
+// clients, a proxy/registrar, an accounting service, and an attacker, all
+// attached to a hub-based simulated LAN. Experiments, examples, and
+// benchmarks compose their runs from these pieces.
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/attack"
+	"scidive/internal/endpoint"
+	"scidive/internal/netsim"
+	"scidive/internal/proxy"
+)
+
+// Standard topology addresses (mirroring the paper's hub diagram).
+var (
+	AddrClientA  = netip.MustParseAddr("10.0.0.1")
+	AddrClientB  = netip.MustParseAddr("10.0.0.2")
+	AddrProxy    = netip.MustParseAddr("10.0.0.10")
+	AddrAcct     = netip.MustParseAddr("10.0.0.20")
+	AddrAttacker = netip.MustParseAddr("10.0.0.66")
+)
+
+// Users known to the proxy.
+var Users = map[string]string{
+	"alice": "wonderland",
+	"bob":   "builder",
+}
+
+// Config tunes testbed construction.
+type Config struct {
+	Seed int64
+	// Link, when non-nil, replaces the default LAN link on the client
+	// hosts (for delay/loss experiments).
+	Link *netsim.Link
+	// CrashOnCorrupt makes client A emulate X-Lite (dies on garbage RTP).
+	CrashOnCorrupt bool
+	// AnswerDelay overrides the callee's ring time.
+	AnswerDelay time.Duration
+	// MTU overrides the network MTU (0 = packet.DefaultMTU). Small values
+	// force IP fragmentation of SIP messages on the wire.
+	MTU int
+}
+
+// Testbed is an assembled simulation.
+type Testbed struct {
+	Sim      *netsim.Simulator
+	Net      *netsim.Network
+	Proxy    *proxy.Server
+	Acct     *accounting.Service
+	Alice    *endpoint.Phone
+	Bob      *endpoint.Phone
+	Attacker *attack.Attacker
+	Sniffer  *attack.Sniffer
+}
+
+// New builds the standard testbed.
+func New(cfg Config) (*Testbed, error) {
+	sim := netsim.NewSimulator(cfg.Seed)
+	var netOpts []netsim.NetworkOption
+	if cfg.MTU > 0 {
+		netOpts = append(netOpts, netsim.WithMTU(cfg.MTU))
+	}
+	n := netsim.NewNetwork(sim, netOpts...)
+	hostA, err := n.AddHost("client-a", AddrClientA)
+	if err != nil {
+		return nil, err
+	}
+	hostB, err := n.AddHost("client-b", AddrClientB)
+	if err != nil {
+		return nil, err
+	}
+	hostP, err := n.AddHost("proxy", AddrProxy)
+	if err != nil {
+		return nil, err
+	}
+	hostAcct, err := n.AddHost("accounting", AddrAcct)
+	if err != nil {
+		return nil, err
+	}
+	hostAtk, err := n.AddHost("attacker", AddrAttacker)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Link != nil {
+		hostA.SetLink(*cfg.Link)
+		hostB.SetLink(*cfg.Link)
+	}
+
+	acct, err := accounting.NewService(hostAcct, 0)
+	if err != nil {
+		return nil, err
+	}
+	prx, err := proxy.New(proxy.Config{
+		Host:        hostP,
+		Realm:       "scidive.test",
+		Users:       Users,
+		RequireAuth: true,
+		Accounting:  accounting.NewClient(hostP, netip.AddrPortFrom(AddrAcct, accounting.DefaultPort), 7010),
+	})
+	if err != nil {
+		return nil, err
+	}
+	alice, err := endpoint.New(endpoint.Config{
+		Host: hostA, Username: "alice", Password: Users["alice"], Proxy: prx.Addr(),
+		CrashOnCorrupt: cfg.CrashOnCorrupt, AnswerDelay: cfg.AnswerDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bob, err := endpoint.New(endpoint.Config{
+		Host: hostB, Username: "bob", Password: Users["bob"], Proxy: prx.Addr(),
+		AnswerDelay: cfg.AnswerDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	atk, err := attack.NewAttacker(hostAtk, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbed{
+		Sim:      sim,
+		Net:      n,
+		Proxy:    prx,
+		Acct:     acct,
+		Alice:    alice,
+		Bob:      bob,
+		Attacker: atk,
+		Sniffer:  attack.NewSniffer(n),
+	}, nil
+}
+
+// RegisterAll registers both phones and advances the simulation until
+// they succeed.
+func (tb *Testbed) RegisterAll() error {
+	tb.Alice.Register(nil)
+	tb.Bob.Register(nil)
+	tb.Sim.RunUntil(tb.Sim.Now() + 2*time.Second)
+	if !tb.Alice.Registered() || !tb.Bob.Registered() {
+		return fmt.Errorf("scenario: registration failed (alice=%v bob=%v)",
+			tb.Alice.Registered(), tb.Bob.Registered())
+	}
+	return nil
+}
+
+// EstablishCall places a call from alice to bob and advances the
+// simulation until it is confirmed on both ends.
+func (tb *Testbed) EstablishCall() (*endpoint.Call, error) {
+	var call *endpoint.Call
+	var callErr error
+	tb.Sim.Schedule(0, func() {
+		tb.Alice.Call("bob", func(c *endpoint.Call, err error) { call, callErr = c, err })
+	})
+	tb.Sim.RunUntil(tb.Sim.Now() + 3*time.Second)
+	if callErr != nil {
+		return nil, fmt.Errorf("scenario: call failed: %w", callErr)
+	}
+	if call == nil || !call.Established() {
+		return nil, fmt.Errorf("scenario: call not established")
+	}
+	if tb.Bob.ActiveCall() == nil {
+		return nil, fmt.Errorf("scenario: callee has no active call")
+	}
+	return call, nil
+}
+
+// Run advances the simulation by d.
+func (tb *Testbed) Run(d time.Duration) {
+	tb.Sim.RunUntil(tb.Sim.Now() + d)
+}

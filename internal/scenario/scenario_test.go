@@ -1,0 +1,97 @@
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"scidive/internal/netsim"
+	"scidive/internal/scenario"
+)
+
+func TestNewBuildsStandardTopology(t *testing.T) {
+	tb, err := scenario.New(scenario.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []struct {
+		name string
+		ip   interface{ String() string }
+	}{
+		{"client-a", scenario.AddrClientA},
+		{"client-b", scenario.AddrClientB},
+		{"proxy", scenario.AddrProxy},
+		{"accounting", scenario.AddrAcct},
+		{"attacker", scenario.AddrAttacker},
+	} {
+		h := tb.Net.HostByIP(scenario.AddrClientA)
+		if h == nil {
+			t.Fatalf("host %s missing", addr.name)
+		}
+	}
+	if tb.Proxy == nil || tb.Acct == nil || tb.Alice == nil || tb.Bob == nil ||
+		tb.Attacker == nil || tb.Sniffer == nil {
+		t.Fatal("testbed component missing")
+	}
+}
+
+func TestRegisterAllAndEstablishCall(t *testing.T) {
+	tb, err := scenario.New(scenario.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !call.Established() {
+		t.Error("call not established")
+	}
+	tb.Run(time.Second)
+	if call.RTPSent == 0 {
+		t.Error("no media flowed after EstablishCall + Run")
+	}
+}
+
+func TestCustomLinkApplied(t *testing.T) {
+	link := netsim.Link{Delay: netsim.Deterministic{D: 7 * time.Millisecond}}
+	tb, err := scenario.New(scenario.Config{Seed: 3, Link: &link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostA := tb.Net.HostByIP(scenario.AddrClientA)
+	if hostA.Link().Delay.Mean() != 7*time.Millisecond {
+		t.Errorf("client link delay = %v", hostA.Link().Delay.Mean())
+	}
+	// Proxy keeps the default LAN link.
+	hostP := tb.Net.HostByIP(scenario.AddrProxy)
+	if hostP.Link().Delay.Mean() == 7*time.Millisecond {
+		t.Error("proxy link was overridden too")
+	}
+	// Registration still works over the slower links.
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnswerDelayApplied(t *testing.T) {
+	tb, err := scenario.New(scenario.Config{Seed: 4, AnswerDelay: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	start := tb.Sim.Now()
+	call, err := tb.EstablishCall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = call
+	// The call can only establish after the configured ring time.
+	if est := tb.Sim.Now() - start; est < 1500*time.Millisecond {
+		t.Errorf("call established after %v, want >= 1.5s ring", est)
+	}
+}

@@ -1,0 +1,39 @@
+package sip
+
+import "testing"
+
+func BenchmarkParseMessage(b *testing.B) {
+	raw := sampleInvite().Marshal()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseMessage(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalMessage(b *testing.B) {
+	m := sampleInvite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf := m.Marshal(); len(buf) == 0 {
+			b.Fatal("empty marshal")
+		}
+	}
+}
+
+func BenchmarkParseAddress(b *testing.B) {
+	const addr = `"Alice Wonder" <sip:alice@10.0.0.1:5070;transport=udp>;tag=88sja8x`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddress(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDigestResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DigestResponse("alice", "realm", "secret", "nonce", MethodRegister, "sip:proxy")
+	}
+}

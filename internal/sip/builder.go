@@ -1,0 +1,98 @@
+package sip
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MagicBranchPrefix is the RFC 3261 branch cookie.
+const MagicBranchPrefix = "z9hG4bK"
+
+// IDGen produces the random identifiers SIP needs (branches, tags,
+// Call-IDs) from a deterministic source, so simulations replay exactly.
+type IDGen struct {
+	rng *rand.Rand
+}
+
+// NewIDGen returns an IDGen drawing from rng.
+func NewIDGen(rng *rand.Rand) *IDGen { return &IDGen{rng: rng} }
+
+func (g *IDGen) hex(n int) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = digits[g.rng.Intn(16)]
+	}
+	return string(b)
+}
+
+// Branch returns a new Via branch parameter with the RFC 3261 cookie.
+func (g *IDGen) Branch() string { return MagicBranchPrefix + g.hex(16) }
+
+// Tag returns a new From/To tag.
+func (g *IDGen) Tag() string { return g.hex(10) }
+
+// CallID returns a new Call-ID scoped to host.
+func (g *IDGen) CallID(host string) string { return g.hex(16) + "@" + host }
+
+// Nonce returns a new authentication nonce.
+func (g *IDGen) Nonce() string { return g.hex(24) }
+
+// RequestSpec collects the fields needed to build a well-formed request.
+type RequestSpec struct {
+	Method     Method
+	RequestURI string
+	From       Address
+	To         Address
+	CallID     string
+	CSeq       CSeq
+	Via        Via
+	Contact    *Address
+	MaxFwd     int // 0 means 70
+	Body       []byte
+	BodyType   string // Content-Type when Body is set
+}
+
+// NewRequest builds a request with the mandatory header set.
+func NewRequest(spec RequestSpec) *Message {
+	m := &Message{Method: spec.Method, RequestURI: spec.RequestURI}
+	m.Headers.Add(HdrVia, spec.Via.String())
+	maxFwd := spec.MaxFwd
+	if maxFwd == 0 {
+		maxFwd = 70
+	}
+	m.Headers.Add(HdrMaxForwards, fmt.Sprintf("%d", maxFwd))
+	m.Headers.Add(HdrFrom, spec.From.String())
+	m.Headers.Add(HdrTo, spec.To.String())
+	m.Headers.Add(HdrCallID, spec.CallID)
+	m.Headers.Add(HdrCSeq, spec.CSeq.String())
+	if spec.Contact != nil {
+		m.Headers.Add(HdrContact, spec.Contact.String())
+	}
+	if len(spec.Body) > 0 && spec.BodyType != "" {
+		m.Headers.Add(HdrContentType, spec.BodyType)
+	}
+	m.Body = spec.Body
+	return m
+}
+
+// NewResponse builds a response to req with the given status code,
+// copying the headers RFC 3261 requires (Via, From, To, Call-ID, CSeq).
+// toTag, when non-empty, is added to the To header unless one is present.
+func NewResponse(req *Message, code int, toTag string) *Message {
+	m := &Message{StatusCode: code, ReasonPhrase: ReasonFor(code)}
+	for _, via := range req.Headers.Values(HdrVia) {
+		m.Headers.Add(HdrVia, via)
+	}
+	m.Headers.Add(HdrFrom, req.Headers.Get(HdrFrom))
+	to := req.Headers.Get(HdrTo)
+	if toTag != "" {
+		if addr, err := ParseAddress(to); err == nil && addr.Tag() == "" {
+			to = addr.WithTag(toTag).String()
+		}
+	}
+	m.Headers.Add(HdrTo, to)
+	m.Headers.Add(HdrCallID, req.Headers.Get(HdrCallID))
+	m.Headers.Add(HdrCSeq, req.Headers.Get(HdrCSeq))
+	return m
+}

@@ -1,0 +1,167 @@
+package sip
+
+import "fmt"
+
+// DialogState is the lifecycle state of a SIP dialog.
+type DialogState int
+
+// Dialog states.
+const (
+	DialogInit DialogState = iota + 1
+	DialogEarly
+	DialogConfirmed
+	DialogTerminated
+)
+
+// String returns the state name.
+func (s DialogState) String() string {
+	switch s {
+	case DialogInit:
+		return "init"
+	case DialogEarly:
+		return "early"
+	case DialogConfirmed:
+		return "confirmed"
+	case DialogTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// DialogID identifies a dialog: Call-ID plus the two tags. From the UAC's
+// perspective LocalTag is the From tag; the UAS swaps them.
+type DialogID struct {
+	CallID    string
+	LocalTag  string
+	RemoteTag string
+}
+
+// String formats the ID for logs and map keys.
+func (id DialogID) String() string {
+	return fmt.Sprintf("%s;local=%s;remote=%s", id.CallID, id.LocalTag, id.RemoteTag)
+}
+
+// Dialog is the state a user agent keeps per established SIP dialog
+// (RFC 3261 section 12).
+type Dialog struct {
+	ID           DialogID
+	State        DialogState
+	LocalURI     URI
+	RemoteURI    URI
+	RemoteTarget URI // from Contact; REINVITE updates it
+	LocalSeq     uint32
+	RemoteSeq    uint32
+}
+
+// NewDialogUAC creates a dialog from the UAC side after a dialog-forming
+// response (18x or 2xx) to an INVITE.
+func NewDialogUAC(invite *Message, resp *Message) (*Dialog, error) {
+	from, err := invite.From()
+	if err != nil {
+		return nil, fmt.Errorf("sip: dialog from INVITE: %w", err)
+	}
+	to, err := resp.To()
+	if err != nil {
+		return nil, fmt.Errorf("sip: dialog from response: %w", err)
+	}
+	cseq, err := invite.CSeq()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dialog{
+		ID: DialogID{
+			CallID:    invite.CallID(),
+			LocalTag:  from.Tag(),
+			RemoteTag: to.Tag(),
+		},
+		State:     DialogEarly,
+		LocalURI:  from.URI,
+		RemoteURI: to.URI,
+		LocalSeq:  cseq.Seq,
+	}
+	if contact, err := resp.Contact(); err == nil {
+		d.RemoteTarget = contact.URI
+	} else {
+		d.RemoteTarget = to.URI
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		d.State = DialogConfirmed
+	}
+	return d, nil
+}
+
+// NewDialogUAS creates a dialog from the UAS side upon sending a
+// dialog-forming response with localTag.
+func NewDialogUAS(invite *Message, localTag string) (*Dialog, error) {
+	from, err := invite.From()
+	if err != nil {
+		return nil, fmt.Errorf("sip: dialog from INVITE: %w", err)
+	}
+	to, err := invite.To()
+	if err != nil {
+		return nil, err
+	}
+	cseq, err := invite.CSeq()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dialog{
+		ID: DialogID{
+			CallID:    invite.CallID(),
+			LocalTag:  localTag,
+			RemoteTag: from.Tag(),
+		},
+		State:     DialogEarly,
+		LocalURI:  to.URI,
+		RemoteURI: from.URI,
+		RemoteSeq: cseq.Seq,
+	}
+	if contact, err := invite.Contact(); err == nil {
+		d.RemoteTarget = contact.URI
+	} else {
+		d.RemoteTarget = from.URI
+	}
+	return d, nil
+}
+
+// Confirm moves the dialog to the confirmed state (2xx sent/received and,
+// on the UAS side, ACK received).
+func (d *Dialog) Confirm() { d.State = DialogConfirmed }
+
+// Terminate moves the dialog to the terminated state (BYE exchanged).
+func (d *Dialog) Terminate() { d.State = DialogTerminated }
+
+// NextLocalSeq increments and returns the local CSeq counter for a new
+// in-dialog request.
+func (d *Dialog) NextLocalSeq() uint32 {
+	d.LocalSeq++
+	return d.LocalSeq
+}
+
+// MatchesResponse reports whether a response belongs to this dialog.
+func (d *Dialog) MatchesResponse(m *Message) bool {
+	if m.CallID() != d.ID.CallID {
+		return false
+	}
+	from, err1 := m.From()
+	to, err2 := m.To()
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return from.Tag() == d.ID.LocalTag && (d.ID.RemoteTag == "" || to.Tag() == d.ID.RemoteTag)
+}
+
+// MatchesRequest reports whether an in-dialog request (e.g. BYE,
+// re-INVITE) belongs to this dialog, seen from this side.
+func (d *Dialog) MatchesRequest(m *Message) bool {
+	if m.CallID() != d.ID.CallID {
+		return false
+	}
+	from, err1 := m.From()
+	to, err2 := m.To()
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return from.Tag() == d.ID.RemoteTag && to.Tag() == d.ID.LocalTag
+}

@@ -1,0 +1,150 @@
+package sip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDialogLifecycleUAC(t *testing.T) {
+	invite := sampleInvite()
+	ringing := NewResponse(invite, StatusRinging, "remote1")
+	d, err := NewDialogUAC(invite, ringing)
+	if err != nil {
+		t.Fatalf("NewDialogUAC: %v", err)
+	}
+	if d.State != DialogEarly {
+		t.Errorf("state after 180 = %v, want early", d.State)
+	}
+	if d.ID.LocalTag != "fromtag" || d.ID.RemoteTag != "remote1" {
+		t.Errorf("tags = %+v", d.ID)
+	}
+	ok := NewResponse(invite, StatusOK, "remote1")
+	d2, err := NewDialogUAC(invite, ok)
+	if err != nil {
+		t.Fatalf("NewDialogUAC(200): %v", err)
+	}
+	if d2.State != DialogConfirmed {
+		t.Errorf("state after 200 = %v, want confirmed", d2.State)
+	}
+	d2.Terminate()
+	if d2.State != DialogTerminated {
+		t.Errorf("state after Terminate = %v", d2.State)
+	}
+}
+
+func TestDialogLifecycleUAS(t *testing.T) {
+	invite := sampleInvite()
+	d, err := NewDialogUAS(invite, "localtag9")
+	if err != nil {
+		t.Fatalf("NewDialogUAS: %v", err)
+	}
+	if d.ID.LocalTag != "localtag9" || d.ID.RemoteTag != "fromtag" {
+		t.Errorf("tags = %+v", d.ID)
+	}
+	if d.RemoteSeq != 1 {
+		t.Errorf("RemoteSeq = %d", d.RemoteSeq)
+	}
+	// Remote target tracks the INVITE's Contact.
+	if d.RemoteTarget.String() != "sip:alice@10.0.0.1:5060" {
+		t.Errorf("RemoteTarget = %v", d.RemoteTarget)
+	}
+	d.Confirm()
+	if d.State != DialogConfirmed {
+		t.Errorf("state = %v", d.State)
+	}
+}
+
+func TestDialogMatching(t *testing.T) {
+	invite := sampleInvite()
+	ok := NewResponse(invite, StatusOK, "remote1")
+	d, err := NewDialogUAC(invite, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.MatchesResponse(ok) {
+		t.Error("dialog does not match its own 200")
+	}
+	other := NewResponse(sampleInvite(), StatusOK, "different")
+	other.Headers.Set(HdrCallID, "another@call")
+	if d.MatchesResponse(other) {
+		t.Error("dialog matched a response from another call")
+	}
+
+	// In-dialog BYE from the remote side: From tag = remote, To tag = local.
+	from, _ := ParseAddress("<sip:bob@10.0.0.2>")
+	to, _ := ParseAddress("<sip:alice@10.0.0.1>")
+	bye := NewRequest(RequestSpec{
+		Method: MethodBye, RequestURI: "sip:alice@10.0.0.1",
+		From:   from.WithTag("remote1"),
+		To:     to.WithTag("fromtag"),
+		CallID: invite.CallID(),
+		CSeq:   CSeq{Seq: 2, Method: MethodBye},
+		Via:    Via{Transport: "UDP", SentBy: "10.0.0.2:5060", Params: map[string]string{"branch": MagicBranchPrefix + "bye1"}},
+	})
+	if !d.MatchesRequest(bye) {
+		t.Error("dialog does not match in-dialog BYE")
+	}
+	forged := NewRequest(RequestSpec{
+		Method: MethodBye, RequestURI: "sip:alice@10.0.0.1",
+		From:   from.WithTag("WRONG"),
+		To:     to.WithTag("fromtag"),
+		CallID: invite.CallID(),
+		CSeq:   CSeq{Seq: 2, Method: MethodBye},
+		Via:    Via{Transport: "UDP", SentBy: "10.0.0.66:5060", Params: map[string]string{"branch": MagicBranchPrefix + "bye2"}},
+	})
+	if d.MatchesRequest(forged) {
+		t.Error("dialog matched a BYE with a wrong tag")
+	}
+}
+
+func TestDialogSeqCounters(t *testing.T) {
+	invite := sampleInvite()
+	d, err := NewDialogUAC(invite, NewResponse(invite, StatusOK, "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LocalSeq != 1 {
+		t.Fatalf("LocalSeq = %d, want 1 (from INVITE)", d.LocalSeq)
+	}
+	if got := d.NextLocalSeq(); got != 2 {
+		t.Errorf("NextLocalSeq = %d, want 2", got)
+	}
+}
+
+func TestDialogStateString(t *testing.T) {
+	want := map[DialogState]string{
+		DialogInit: "init", DialogEarly: "early",
+		DialogConfirmed: "confirmed", DialogTerminated: "terminated", DialogState(0): "unknown",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}
+
+func TestIDGenDeterminism(t *testing.T) {
+	s1 := netsimRand(42)
+	s2 := netsimRand(42)
+	g1, g2 := NewIDGen(s1), NewIDGen(s2)
+	if g1.Branch() != g2.Branch() || g1.Tag() != g2.Tag() || g1.CallID("h") != g2.CallID("h") {
+		t.Error("IDGen not deterministic for equal seeds")
+	}
+	g3 := NewIDGen(netsimRand(43))
+	if g3.Branch() == NewIDGen(netsimRand(42)).Branch() {
+		t.Error("different seeds produced identical branches")
+	}
+}
+
+func TestIDGenFormats(t *testing.T) {
+	g := NewIDGen(netsimRand(1))
+	if b := g.Branch(); len(b) != len(MagicBranchPrefix)+16 || b[:len(MagicBranchPrefix)] != MagicBranchPrefix {
+		t.Errorf("Branch() = %q", b)
+	}
+	if id := g.CallID("host.example"); id[len(id)-13:] != "@host.example" {
+		t.Errorf("CallID() = %q", id)
+	}
+}
+
+// netsimRand returns a deterministic rand source for tests.
+func netsimRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,123 @@
+package sip
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Challenge is a Digest WWW-Authenticate challenge.
+type Challenge struct {
+	Realm string
+	Nonce string
+}
+
+// String serializes the challenge as a WWW-Authenticate value.
+func (c Challenge) String() string {
+	return fmt.Sprintf(`Digest realm=%q, nonce=%q, algorithm=MD5`, c.Realm, c.Nonce)
+}
+
+// Credentials is a Digest Authorization header value.
+type Credentials struct {
+	Username string
+	Realm    string
+	Nonce    string
+	URI      string
+	Response string
+}
+
+// String serializes the credentials as an Authorization value.
+func (c Credentials) String() string {
+	return fmt.Sprintf(`Digest username=%q, realm=%q, nonce=%q, uri=%q, response=%q`,
+		c.Username, c.Realm, c.Nonce, c.URI, c.Response)
+}
+
+// parseDigestParams parses the comma-separated key="value" list after the
+// Digest keyword.
+func parseDigestParams(v string) (map[string]string, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(v), "Digest ")
+	if !ok {
+		return nil, fmt.Errorf("sip: not a Digest header: %q", v)
+	}
+	params := make(map[string]string)
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("sip: bad digest parameter %q", part)
+		}
+		key := strings.ToLower(strings.TrimSpace(part[:eq]))
+		val := strings.Trim(strings.TrimSpace(part[eq+1:]), `"`)
+		params[key] = val
+	}
+	return params, nil
+}
+
+// ParseChallenge parses a WWW-Authenticate value.
+func ParseChallenge(v string) (Challenge, error) {
+	params, err := parseDigestParams(v)
+	if err != nil {
+		return Challenge{}, err
+	}
+	c := Challenge{Realm: params["realm"], Nonce: params["nonce"]}
+	if c.Realm == "" || c.Nonce == "" {
+		return Challenge{}, fmt.Errorf("sip: digest challenge missing realm or nonce: %q", v)
+	}
+	return c, nil
+}
+
+// ParseCredentials parses an Authorization value.
+func ParseCredentials(v string) (Credentials, error) {
+	params, err := parseDigestParams(v)
+	if err != nil {
+		return Credentials{}, err
+	}
+	c := Credentials{
+		Username: params["username"],
+		Realm:    params["realm"],
+		Nonce:    params["nonce"],
+		URI:      params["uri"],
+		Response: params["response"],
+	}
+	var missing []string
+	for _, kv := range []struct{ k, v string }{
+		{"username", c.Username}, {"realm", c.Realm}, {"nonce", c.Nonce}, {"response", c.Response},
+	} {
+		if kv.v == "" {
+			missing = append(missing, kv.k)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return Credentials{}, fmt.Errorf("sip: digest credentials missing %s", strings.Join(missing, ", "))
+	}
+	return c, nil
+}
+
+func md5hex(s string) string {
+	sum := md5.Sum([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// DigestResponse computes the RFC 2617 MD5 digest response
+// (no qop, as classic SIP digest without auth-int).
+func DigestResponse(username, realm, password, nonce string, method Method, uri string) string {
+	ha1 := md5hex(username + ":" + realm + ":" + password)
+	ha2 := md5hex(string(method) + ":" + uri)
+	return md5hex(ha1 + ":" + nonce + ":" + ha2)
+}
+
+// VerifyCredentials checks creds against the expected password for the
+// request method. It returns false for nonce mismatch or wrong response.
+func VerifyCredentials(creds Credentials, password, expectedNonce string, method Method) bool {
+	if creds.Nonce != expectedNonce {
+		return false
+	}
+	want := DigestResponse(creds.Username, creds.Realm, password, creds.Nonce, method, creds.URI)
+	return creds.Response == want
+}

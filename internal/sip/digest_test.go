@@ -1,0 +1,104 @@
+package sip
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChallengeRoundTrip(t *testing.T) {
+	c := Challenge{Realm: "scidive.test", Nonce: "abc123"}
+	got, err := ParseChallenge(c.String())
+	if err != nil {
+		t.Fatalf("ParseChallenge: %v", err)
+	}
+	if got != c {
+		t.Errorf("got %+v, want %+v", got, c)
+	}
+}
+
+func TestCredentialsRoundTrip(t *testing.T) {
+	c := Credentials{
+		Username: "alice", Realm: "scidive.test", Nonce: "n1",
+		URI: "sip:proxy", Response: "deadbeef",
+	}
+	got, err := ParseCredentials(c.String())
+	if err != nil {
+		t.Fatalf("ParseCredentials: %v", err)
+	}
+	if got != c {
+		t.Errorf("got %+v, want %+v", got, c)
+	}
+}
+
+func TestParseDigestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		fn   func(string) error
+	}{
+		{"challenge not digest", "Basic realm=x", func(s string) error { _, err := ParseChallenge(s); return err }},
+		{"challenge missing nonce", `Digest realm="r"`, func(s string) error { _, err := ParseChallenge(s); return err }},
+		{"challenge bad param", `Digest realm`, func(s string) error { _, err := ParseChallenge(s); return err }},
+		{"creds missing response", `Digest username="u", realm="r", nonce="n"`, func(s string) error { _, err := ParseCredentials(s); return err }},
+		{"creds not digest", `Bearer token`, func(s string) error { _, err := ParseCredentials(s); return err }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.fn(tt.in); err == nil {
+				t.Errorf("accepted %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestDigestResponseKnownVector(t *testing.T) {
+	// RFC 2617 section 3.5 example, adapted: verify the algorithm shape by
+	// computing both sides identically and checking determinism plus
+	// sensitivity to each input.
+	base := DigestResponse("alice", "realm", "secret", "nonce1", MethodRegister, "sip:proxy")
+	if len(base) != 32 || strings.ToLower(base) != base {
+		t.Errorf("digest %q is not lowercase 32-hex", base)
+	}
+	if again := DigestResponse("alice", "realm", "secret", "nonce1", MethodRegister, "sip:proxy"); again != base {
+		t.Error("digest not deterministic")
+	}
+	variants := []string{
+		DigestResponse("bob", "realm", "secret", "nonce1", MethodRegister, "sip:proxy"),
+		DigestResponse("alice", "other", "secret", "nonce1", MethodRegister, "sip:proxy"),
+		DigestResponse("alice", "realm", "wrong", "nonce1", MethodRegister, "sip:proxy"),
+		DigestResponse("alice", "realm", "secret", "nonce2", MethodRegister, "sip:proxy"),
+		DigestResponse("alice", "realm", "secret", "nonce1", MethodInvite, "sip:proxy"),
+		DigestResponse("alice", "realm", "secret", "nonce1", MethodRegister, "sip:other"),
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d did not change the digest", i)
+		}
+	}
+}
+
+func TestVerifyCredentials(t *testing.T) {
+	const (
+		user, realm, pass = "alice", "scidive.test", "wonderland"
+		nonce             = "server-nonce"
+		uri               = "sip:registrar"
+	)
+	good := Credentials{
+		Username: user, Realm: realm, Nonce: nonce, URI: uri,
+		Response: DigestResponse(user, realm, pass, nonce, MethodRegister, uri),
+	}
+	if !VerifyCredentials(good, pass, nonce, MethodRegister) {
+		t.Error("valid credentials rejected")
+	}
+	if VerifyCredentials(good, "wrongpass", nonce, MethodRegister) {
+		t.Error("wrong password accepted")
+	}
+	if VerifyCredentials(good, pass, "stale-nonce", MethodRegister) {
+		t.Error("stale nonce accepted")
+	}
+	bad := good
+	bad.Response = strings.Repeat("0", 32)
+	if VerifyCredentials(bad, pass, nonce, MethodRegister) {
+		t.Error("forged response accepted")
+	}
+}

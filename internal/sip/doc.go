@@ -1,0 +1,9 @@
+// Package sip implements the subset of the Session Initiation Protocol
+// (RFC 3261) that the SCIDIVE reproduction needs: message parsing and
+// serialization (including compact header forms), SIP URIs and name-addr
+// headers, digest authentication, client/server transaction matching with
+// retransmission, and dialog state tracking.
+//
+// Both the simulated VoIP system (endpoints, proxy, registrar) and the
+// IDS's SIP footprint decoder are built on this package.
+package sip

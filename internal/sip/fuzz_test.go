@@ -1,0 +1,69 @@
+package sip
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. Under plain `go test` these run their seed corpus;
+// use `go test -fuzz=FuzzParseMessage ./internal/sip` for exploration.
+
+func FuzzParseMessage(f *testing.F) {
+	f.Add([]byte("INVITE sip:bob@example.com SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK1\r\nFrom: <sip:a@x>;tag=1\r\nTo: <sip:b@y>\r\nCall-ID: fz@x\r\nCSeq: 1 INVITE\r\n\r\n"))
+	f.Add([]byte("SIP/2.0 200 OK\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:a@x>\r\nTo: <sip:b@y>;tag=2\r\nCall-ID: fz@x\r\nCSeq: 1 INVITE\r\n\r\n"))
+	f.Add(sampleInvite().Marshal())
+	f.Add([]byte("\r\n\r\n"))
+	f.Add([]byte("REGISTER sip:r SIP/2.0\r\nl: 999999\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := ParseMessage(raw)
+		if err != nil {
+			return
+		}
+		// Any message that parses must re-marshal and re-parse cleanly.
+		again, err := ParseMessage(m.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshaled message failed: %v\noriginal: %q", err, raw)
+		}
+		if again.IsRequest() != m.IsRequest() {
+			t.Fatalf("request/response flipped on round trip")
+		}
+		if !bytes.Equal(again.Body, m.Body) {
+			t.Fatalf("body changed on round trip: %q vs %q", m.Body, again.Body)
+		}
+	})
+}
+
+func FuzzParseURI(f *testing.F) {
+	for _, seed := range []string{
+		"sip:alice@10.0.0.1:5070;transport=udp",
+		"sip:b", "sip:@", "sip:a@b:99999", "http://x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		u, err := ParseURI(s)
+		if err != nil {
+			return
+		}
+		if _, err := ParseURI(u.String()); err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", u.String(), s, err)
+		}
+	})
+}
+
+func FuzzParseAddress(f *testing.F) {
+	for _, seed := range []string{
+		`"Alice" <sip:alice@a.com>;tag=1`, "sip:bob@b.com;tag=x", "<<>>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddress(s)
+		if err != nil {
+			return
+		}
+		if _, err := ParseAddress(a.String()); err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", a.String(), s, err)
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package sip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Method is a SIP request method.
+type Method string
+
+// Methods used in this codebase (RFC 3261 plus MESSAGE from RFC 3428).
+const (
+	MethodRegister Method = "REGISTER"
+	MethodInvite   Method = "INVITE"
+	MethodAck      Method = "ACK"
+	MethodBye      Method = "BYE"
+	MethodCancel   Method = "CANCEL"
+	MethodOptions  Method = "OPTIONS"
+	MethodMessage  Method = "MESSAGE"
+)
+
+// Common status codes.
+const (
+	StatusTrying             = 100
+	StatusRinging            = 180
+	StatusOK                 = 200
+	StatusBadRequest         = 400
+	StatusUnauthorized       = 401
+	StatusForbidden          = 403
+	StatusNotFound           = 404
+	StatusProxyAuthRequired  = 407
+	StatusRequestTimeout     = 408
+	StatusBusyHere           = 486
+	StatusRequestTerminated  = 487
+	StatusServerError        = 500
+	StatusNotImplemented     = 501
+	StatusServiceUnavailable = 503
+	StatusDeclined           = 603
+)
+
+var reasonPhrases = map[int]string{
+	StatusTrying:             "Trying",
+	StatusRinging:            "Ringing",
+	StatusOK:                 "OK",
+	StatusBadRequest:         "Bad Request",
+	StatusUnauthorized:       "Unauthorized",
+	StatusForbidden:          "Forbidden",
+	StatusNotFound:           "Not Found",
+	StatusProxyAuthRequired:  "Proxy Authentication Required",
+	StatusRequestTimeout:     "Request Timeout",
+	StatusBusyHere:           "Busy Here",
+	StatusRequestTerminated:  "Request Terminated",
+	StatusServerError:        "Server Internal Error",
+	StatusNotImplemented:     "Not Implemented",
+	StatusServiceUnavailable: "Service Unavailable",
+	StatusDeclined:           "Decline",
+}
+
+// ReasonFor returns the standard reason phrase for a status code.
+func ReasonFor(code int) string {
+	if r, ok := reasonPhrases[code]; ok {
+		return r
+	}
+	return "Unknown"
+}
+
+// Standard header names (canonical capitalization) used throughout.
+const (
+	HdrVia           = "Via"
+	HdrFrom          = "From"
+	HdrTo            = "To"
+	HdrCallID        = "Call-ID"
+	HdrCSeq          = "CSeq"
+	HdrContact       = "Contact"
+	HdrMaxForwards   = "Max-Forwards"
+	HdrContentType   = "Content-Type"
+	HdrContentLength = "Content-Length"
+	HdrExpires       = "Expires"
+	HdrWWWAuth       = "WWW-Authenticate"
+	HdrAuthorization = "Authorization"
+	HdrRoute         = "Route"
+	HdrRecordRoute   = "Record-Route"
+	HdrUserAgent     = "User-Agent"
+)
+
+// compactForms maps RFC 3261 compact header names to canonical names.
+var compactForms = map[string]string{
+	"v": HdrVia,
+	"f": HdrFrom,
+	"t": HdrTo,
+	"i": HdrCallID,
+	"m": HdrContact,
+	"c": HdrContentType,
+	"l": HdrContentLength,
+	"s": "Subject",
+	"k": "Supported",
+	"e": "Content-Encoding",
+}
+
+// CanonicalHeaderName normalizes a header name: compact forms expand and
+// case is folded to the usual SIP capitalization.
+func CanonicalHeaderName(name string) string {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	if full, ok := compactForms[lower]; ok {
+		return full
+	}
+	// Special cases whose canonical form is not Title-Case-By-Dash.
+	switch lower {
+	case "call-id":
+		return HdrCallID
+	case "cseq":
+		return HdrCSeq
+	case "www-authenticate":
+		return HdrWWWAuth
+	}
+	parts := strings.Split(lower, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + p[1:]
+	}
+	return strings.Join(parts, "-")
+}
+
+// headerField is one header line.
+type headerField struct {
+	name  string // canonical
+	value string
+}
+
+// Headers is an ordered collection of SIP header fields. The zero value
+// is an empty header set ready for use.
+type Headers struct {
+	fields []headerField
+}
+
+// Add appends a header field.
+func (h *Headers) Add(name, value string) {
+	h.fields = append(h.fields, headerField{name: CanonicalHeaderName(name), value: value})
+}
+
+// Set replaces all fields with the given name by a single field.
+func (h *Headers) Set(name, value string) {
+	h.Del(name)
+	h.Add(name, value)
+}
+
+// Del removes all fields with the given name.
+func (h *Headers) Del(name string) {
+	name = CanonicalHeaderName(name)
+	out := h.fields[:0]
+	for _, f := range h.fields {
+		if f.name != name {
+			out = append(out, f)
+		}
+	}
+	h.fields = out
+}
+
+// Get returns the first value of the named header, or "".
+func (h *Headers) Get(name string) string {
+	name = CanonicalHeaderName(name)
+	for _, f := range h.fields {
+		if f.name == name {
+			return f.value
+		}
+	}
+	return ""
+}
+
+// Values returns all values of the named header in order.
+func (h *Headers) Values(name string) []string {
+	name = CanonicalHeaderName(name)
+	var vals []string
+	for _, f := range h.fields {
+		if f.name == name {
+			vals = append(vals, f.value)
+		}
+	}
+	return vals
+}
+
+// Has reports whether at least one field with the given name exists.
+func (h *Headers) Has(name string) bool { return h.Get(name) != "" || len(h.Values(name)) > 0 }
+
+// Len returns the number of header fields.
+func (h *Headers) Len() int { return len(h.fields) }
+
+// Clone returns a deep copy.
+func (h *Headers) Clone() Headers {
+	return Headers{fields: append([]headerField(nil), h.fields...)}
+}
+
+// Each calls fn for every field in order.
+func (h *Headers) Each(fn func(name, value string)) {
+	for _, f := range h.fields {
+		fn(f.name, f.value)
+	}
+}
+
+// PrependVia inserts a Via value before existing Via fields (proxy
+// behavior when forwarding a request).
+func (h *Headers) PrependVia(value string) {
+	fields := make([]headerField, 0, len(h.fields)+1)
+	inserted := false
+	for _, f := range h.fields {
+		if !inserted && f.name == HdrVia {
+			fields = append(fields, headerField{name: HdrVia, value: value})
+			inserted = true
+		}
+		fields = append(fields, f)
+	}
+	if !inserted {
+		fields = append([]headerField{{name: HdrVia, value: value}}, fields...)
+	}
+	h.fields = fields
+}
+
+// RemoveFirstVia deletes the topmost Via field (proxy behavior when
+// forwarding a response).
+func (h *Headers) RemoveFirstVia() {
+	for i, f := range h.fields {
+		if f.name == HdrVia {
+			h.fields = append(h.fields[:i], h.fields[i+1:]...)
+			return
+		}
+	}
+}
+
+// Message is a SIP request or response. A request has Method set; a
+// response has StatusCode set.
+type Message struct {
+	// Request start line.
+	Method     Method
+	RequestURI string
+
+	// Response start line.
+	StatusCode   int
+	ReasonPhrase string
+
+	Headers Headers
+	Body    []byte
+}
+
+// IsRequest reports whether m is a request.
+func (m *Message) IsRequest() bool { return m.Method != "" && m.StatusCode == 0 }
+
+// IsResponse reports whether m is a response.
+func (m *Message) IsResponse() bool { return m.StatusCode != 0 }
+
+// CallID returns the Call-ID header value.
+func (m *Message) CallID() string { return m.Headers.Get(HdrCallID) }
+
+// From returns the parsed From header.
+func (m *Message) From() (Address, error) { return ParseAddress(m.Headers.Get(HdrFrom)) }
+
+// To returns the parsed To header.
+func (m *Message) To() (Address, error) { return ParseAddress(m.Headers.Get(HdrTo)) }
+
+// Contact returns the parsed first Contact header.
+func (m *Message) Contact() (Address, error) { return ParseAddress(m.Headers.Get(HdrContact)) }
+
+// CSeq is a parsed CSeq header.
+type CSeq struct {
+	Seq    uint32
+	Method Method
+}
+
+// String serializes the CSeq value.
+func (c CSeq) String() string { return fmt.Sprintf("%d %s", c.Seq, c.Method) }
+
+// CSeq returns the parsed CSeq header.
+func (m *Message) CSeq() (CSeq, error) {
+	return ParseCSeq(m.Headers.Get(HdrCSeq))
+}
+
+// ParseCSeq parses a CSeq header value.
+func ParseCSeq(v string) (CSeq, error) {
+	f := strings.Fields(v)
+	if len(f) != 2 {
+		return CSeq{}, fmt.Errorf("sip: bad CSeq %q", v)
+	}
+	n, err := strconv.ParseUint(f[0], 10, 32)
+	if err != nil {
+		return CSeq{}, fmt.Errorf("sip: bad CSeq number %q", f[0])
+	}
+	return CSeq{Seq: uint32(n), Method: Method(f[1])}, nil
+}
+
+// Via is a parsed Via header value.
+type Via struct {
+	Transport string // "UDP"
+	SentBy    string // host[:port]
+	Params    map[string]string
+}
+
+// ParseVia parses one Via header value, e.g.
+// "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK776asdhds".
+func ParseVia(v string) (Via, error) {
+	parts := strings.SplitN(strings.TrimSpace(v), " ", 2)
+	if len(parts) != 2 {
+		return Via{}, fmt.Errorf("sip: bad Via %q", v)
+	}
+	proto := strings.Split(parts[0], "/")
+	if len(proto) != 3 || proto[0] != "SIP" || proto[1] != "2.0" {
+		return Via{}, fmt.Errorf("sip: bad Via protocol %q", parts[0])
+	}
+	rest := strings.TrimSpace(parts[1])
+	sentBy := rest
+	var params map[string]string
+	if semi := strings.IndexByte(rest, ';'); semi >= 0 {
+		sentBy = rest[:semi]
+		var err error
+		params, err = parseParams(rest[semi+1:])
+		if err != nil {
+			return Via{}, fmt.Errorf("sip: bad Via params in %q: %w", v, err)
+		}
+	}
+	return Via{Transport: proto[2], SentBy: sentBy, Params: params}, nil
+}
+
+// String serializes the Via value.
+func (v Via) String() string {
+	return "SIP/2.0/" + v.Transport + " " + v.SentBy + formatParams(v.Params)
+}
+
+// Branch returns the branch parameter, or "".
+func (v Via) Branch() string { return v.Params["branch"] }
+
+// TopVia returns the parsed first Via header of the message.
+func (m *Message) TopVia() (Via, error) {
+	return ParseVia(m.Headers.Get(HdrVia))
+}
+
+// Marshal serializes the message with a correct Content-Length.
+func (m *Message) Marshal() []byte {
+	var b strings.Builder
+	if m.IsRequest() {
+		fmt.Fprintf(&b, "%s %s SIP/2.0\r\n", m.Method, m.RequestURI)
+	} else {
+		reason := m.ReasonPhrase
+		if reason == "" {
+			reason = ReasonFor(m.StatusCode)
+		}
+		fmt.Fprintf(&b, "SIP/2.0 %d %s\r\n", m.StatusCode, reason)
+	}
+	wroteCL := false
+	m.Headers.Each(func(name, value string) {
+		if name == HdrContentLength {
+			if wroteCL {
+				return
+			}
+			wroteCL = true
+			fmt.Fprintf(&b, "%s: %d\r\n", HdrContentLength, len(m.Body))
+			return
+		}
+		fmt.Fprintf(&b, "%s: %s\r\n", name, value)
+	})
+	if !wroteCL {
+		fmt.Fprintf(&b, "%s: %d\r\n", HdrContentLength, len(m.Body))
+	}
+	b.WriteString("\r\n")
+	b.Write(m.Body)
+	return []byte(b.String())
+}
+
+// String returns a compact one-line description for logs.
+func (m *Message) String() string {
+	if m.IsRequest() {
+		return fmt.Sprintf("%s %s (Call-ID %s)", m.Method, m.RequestURI, m.CallID())
+	}
+	return fmt.Sprintf("%d %s (Call-ID %s)", m.StatusCode, m.ReasonPhrase, m.CallID())
+}

@@ -1,0 +1,274 @@
+package sip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleInvite builds a well-formed INVITE for tests.
+func sampleInvite() *Message {
+	from, _ := ParseAddress(`"Alice" <sip:alice@10.0.0.1>;tag=fromtag`)
+	to, _ := ParseAddress(`<sip:bob@10.0.0.2>`)
+	contact, _ := ParseAddress(`<sip:alice@10.0.0.1:5060>`)
+	return NewRequest(RequestSpec{
+		Method:     MethodInvite,
+		RequestURI: "sip:bob@10.0.0.2",
+		From:       from,
+		To:         to,
+		CallID:     "abc123@10.0.0.1",
+		CSeq:       CSeq{Seq: 1, Method: MethodInvite},
+		Via:        Via{Transport: "UDP", SentBy: "10.0.0.1:5060", Params: map[string]string{"branch": MagicBranchPrefix + "deadbeef"}},
+		Contact:    &contact,
+		Body:       []byte("v=0\r\n"),
+		BodyType:   "application/sdp",
+	})
+}
+
+func TestRequestMarshalParseRoundTrip(t *testing.T) {
+	req := sampleInvite()
+	raw := req.Marshal()
+	got, err := ParseMessage(raw)
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if !got.IsRequest() || got.Method != MethodInvite || got.RequestURI != "sip:bob@10.0.0.2" {
+		t.Errorf("start line: %+v", got)
+	}
+	if got.CallID() != "abc123@10.0.0.1" {
+		t.Errorf("Call-ID = %q", got.CallID())
+	}
+	cseq, err := got.CSeq()
+	if err != nil || cseq.Seq != 1 || cseq.Method != MethodInvite {
+		t.Errorf("CSeq = %+v err=%v", cseq, err)
+	}
+	via, err := got.TopVia()
+	if err != nil || via.Branch() != MagicBranchPrefix+"deadbeef" {
+		t.Errorf("Via = %+v err=%v", via, err)
+	}
+	from, err := got.From()
+	if err != nil || from.Tag() != "fromtag" || from.Display != "Alice" {
+		t.Errorf("From = %+v err=%v", from, err)
+	}
+	if !bytes.Equal(got.Body, []byte("v=0\r\n")) {
+		t.Errorf("Body = %q", got.Body)
+	}
+	if got.Headers.Get(HdrContentType) != "application/sdp" {
+		t.Errorf("Content-Type = %q", got.Headers.Get(HdrContentType))
+	}
+}
+
+func TestResponseMarshalParseRoundTrip(t *testing.T) {
+	req := sampleInvite()
+	resp := NewResponse(req, StatusOK, "totag99")
+	raw := resp.Marshal()
+	got, err := ParseMessage(raw)
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if !got.IsResponse() || got.StatusCode != StatusOK || got.ReasonPhrase != "OK" {
+		t.Errorf("status line: %+v", got)
+	}
+	to, err := got.To()
+	if err != nil || to.Tag() != "totag99" {
+		t.Errorf("To = %+v err=%v", to, err)
+	}
+	if got.CallID() != req.CallID() {
+		t.Errorf("Call-ID not copied: %q", got.CallID())
+	}
+	// Via must be copied verbatim for routing back.
+	if got.Headers.Get(HdrVia) != req.Headers.Get(HdrVia) {
+		t.Error("Via not copied to response")
+	}
+}
+
+func TestNewResponsePreservesExistingToTag(t *testing.T) {
+	req := sampleInvite()
+	to, _ := req.To()
+	req.Headers.Set(HdrTo, to.WithTag("already").String())
+	resp := NewResponse(req, StatusOK, "newtag")
+	gotTo, err := resp.To()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTo.Tag() != "already" {
+		t.Errorf("To tag = %q, want preserved %q", gotTo.Tag(), "already")
+	}
+}
+
+func TestParseCompactHeaders(t *testing.T) {
+	raw := "MESSAGE sip:a@b SIP/2.0\r\n" +
+		"v: SIP/2.0/UDP 10.0.0.9:5060;branch=z9hG4bKzz\r\n" +
+		"f: <sip:mallory@10.0.0.9>;tag=m1\r\n" +
+		"t: <sip:a@b>\r\n" +
+		"i: compact@test\r\n" +
+		"CSeq: 7 MESSAGE\r\n" +
+		"c: text/plain\r\n" +
+		"l: 5\r\n" +
+		"\r\n" +
+		"hello"
+	m, err := ParseMessage([]byte(raw))
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if m.CallID() != "compact@test" {
+		t.Errorf("Call-ID = %q", m.CallID())
+	}
+	if got := m.Headers.Get(HdrContentType); got != "text/plain" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if string(m.Body) != "hello" {
+		t.Errorf("Body = %q", m.Body)
+	}
+}
+
+func TestParseFoldedHeader(t *testing.T) {
+	raw := "OPTIONS sip:a@b SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP 10.0.0.1\r\n" +
+		"From: <sip:x@y>;\r\n\ttag=folded\r\n" +
+		"To: <sip:a@b>\r\n" +
+		"Call-ID: f@x\r\n" +
+		"CSeq: 1 OPTIONS\r\n\r\n"
+	m, err := ParseMessage([]byte(raw))
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	from, err := m.From()
+	if err != nil || from.Tag() != "folded" {
+		t.Errorf("From = %+v err=%v", from, err)
+	}
+}
+
+func TestContentLengthTruncatesBody(t *testing.T) {
+	raw := "MESSAGE sip:a@b SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\n" +
+		"Call-ID: cl@x\r\nCSeq: 1 MESSAGE\r\n" +
+		"Content-Length: 3\r\n\r\nabcdef"
+	m, err := ParseMessage([]byte(raw))
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if string(m.Body) != "abc" {
+		t.Errorf("Body = %q, want %q", m.Body, "abc")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	base := "Via: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: e@x\r\nCSeq: 1 INVITE\r\n"
+	tests := []struct {
+		name string
+		raw  string
+	}{
+		{"empty", ""},
+		{"garbage start line", "NOT A SIP LINE\r\n" + base + "\r\n"},
+		{"bad status code", "SIP/2.0 xyz Bad\r\n" + base + "\r\n"},
+		{"status out of range", "SIP/2.0 99 Low\r\n" + base + "\r\n"},
+		{"missing call-id", "INVITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCSeq: 1 INVITE\r\n\r\n"},
+		{"cseq method mismatch", "BYE sip:a@b SIP/2.0\r\n" + base + "\r\n"},
+		{"bad content-length", "INVITE sip:a@b SIP/2.0\r\n" + base + "Content-Length: kk\r\n\r\n"},
+		{"content-length beyond body", "INVITE sip:a@b SIP/2.0\r\n" + base + "Content-Length: 99\r\n\r\nxx"},
+		{"header without colon", "INVITE sip:a@b SIP/2.0\r\nViaNoColon\r\n" + base + "\r\n"},
+		{"continuation without header", "INVITE sip:a@b SIP/2.0\r\n continuation\r\n" + base + "\r\n"},
+		{"bad request uri", "INVITE http://x SIP/2.0\r\n" + base + "\r\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseMessage([]byte(tt.raw)); err == nil {
+				t.Errorf("ParseMessage accepted %q", tt.raw)
+			}
+		})
+	}
+}
+
+func TestHeadersOperations(t *testing.T) {
+	var h Headers
+	h.Add("via", "first")
+	h.Add("VIA", "second")
+	h.Add("From", "f")
+	if got := h.Values(HdrVia); len(got) != 2 || got[0] != "first" {
+		t.Errorf("Values(Via) = %v", got)
+	}
+	h.PrependVia("zeroth")
+	if got := h.Values(HdrVia); len(got) != 3 || got[0] != "zeroth" {
+		t.Errorf("after PrependVia: %v", got)
+	}
+	h.RemoveFirstVia()
+	if got := h.Get(HdrVia); got != "first" {
+		t.Errorf("after RemoveFirstVia: Get = %q", got)
+	}
+	h.Set(HdrVia, "only")
+	if got := h.Values(HdrVia); len(got) != 1 || got[0] != "only" {
+		t.Errorf("after Set: %v", got)
+	}
+	h.Del(HdrVia)
+	if h.Get(HdrVia) != "" {
+		t.Error("Del left a Via behind")
+	}
+	clone := h.Clone()
+	clone.Set("From", "changed")
+	if h.Get("From") != "f" {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestPrependViaOnEmptyHeaders(t *testing.T) {
+	var h Headers
+	h.Add(HdrFrom, "f")
+	h.PrependVia("v1")
+	if got := h.Get(HdrVia); got != "v1" {
+		t.Errorf("Get(Via) = %q", got)
+	}
+}
+
+func TestCanonicalHeaderName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"call-id", "Call-ID"},
+		{"CALL-ID", "Call-ID"},
+		{"i", "Call-ID"},
+		{"cseq", "CSeq"},
+		{"www-authenticate", "WWW-Authenticate"},
+		{"content-length", "Content-Length"},
+		{"l", "Content-Length"},
+		{"x-custom-header", "X-Custom-Header"},
+	}
+	for _, tt := range tests {
+		if got := CanonicalHeaderName(tt.in); got != tt.want {
+			t.Errorf("CanonicalHeaderName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMarshalSetsContentLength(t *testing.T) {
+	req := sampleInvite()
+	raw := string(req.Marshal())
+	if !strings.Contains(raw, "Content-Length: 5\r\n") {
+		t.Errorf("marshaled message missing correct Content-Length:\n%s", raw)
+	}
+}
+
+func TestViaParse(t *testing.T) {
+	v, err := ParseVia("SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKx;received=10.0.0.9")
+	if err != nil {
+		t.Fatalf("ParseVia: %v", err)
+	}
+	if v.Transport != "UDP" || v.SentBy != "10.0.0.1:5060" {
+		t.Errorf("Via = %+v", v)
+	}
+	if v.Params["received"] != "10.0.0.9" {
+		t.Errorf("received = %q", v.Params["received"])
+	}
+	for _, bad := range []string{"", "SIP/2.0/UDP", "HTTP/1.1/TCP host", "SIP/1.0/UDP host"} {
+		if _, err := ParseVia(bad); err == nil {
+			t.Errorf("ParseVia(%q): want error", bad)
+		}
+	}
+}
+
+func TestReasonFor(t *testing.T) {
+	if got := ReasonFor(StatusRinging); got != "Ringing" {
+		t.Errorf("ReasonFor(180) = %q", got)
+	}
+	if got := ReasonFor(299); got != "Unknown" {
+		t.Errorf("ReasonFor(299) = %q", got)
+	}
+}

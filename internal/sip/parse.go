@@ -1,0 +1,187 @@
+package sip
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// crlf is the SIP line terminator; bare LF is tolerated on input.
+var crlf = []byte("\r\n")
+
+// ParseMessage parses a SIP request or response from raw bytes. Header
+// line folding (continuation lines beginning with space or tab) is
+// unfolded. When Content-Length is present the body is truncated or
+// validated against it; when absent the remainder of the buffer is the
+// body.
+func ParseMessage(raw []byte) (*Message, error) {
+	headerEnd := bytes.Index(raw, []byte("\r\n\r\n"))
+	sepLen := 4
+	if headerEnd < 0 {
+		headerEnd = bytes.Index(raw, []byte("\n\n"))
+		sepLen = 2
+	}
+	var head, body []byte
+	if headerEnd < 0 {
+		head = raw
+	} else {
+		head = raw[:headerEnd]
+		body = raw[headerEnd+sepLen:]
+	}
+	lines := splitLines(head)
+	if len(lines) == 0 || len(bytes.TrimSpace(lines[0])) == 0 {
+		return nil, fmt.Errorf("sip: empty message")
+	}
+	m := &Message{}
+	if err := parseStartLine(m, string(lines[0])); err != nil {
+		return nil, err
+	}
+	if err := parseHeaders(&m.Headers, lines[1:]); err != nil {
+		return nil, err
+	}
+	if clv := m.Headers.Get(HdrContentLength); clv != "" {
+		cl, err := strconv.Atoi(strings.TrimSpace(clv))
+		if err != nil || cl < 0 {
+			return nil, fmt.Errorf("sip: bad Content-Length %q", clv)
+		}
+		if cl > len(body) {
+			return nil, fmt.Errorf("sip: Content-Length %d exceeds body of %d bytes", cl, len(body))
+		}
+		body = body[:cl]
+	}
+	m.Body = body
+	if err := validateMandatory(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// splitLines splits on CRLF or LF.
+func splitLines(b []byte) [][]byte {
+	var lines [][]byte
+	for len(b) > 0 {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			lines = append(lines, b)
+			break
+		}
+		line := b[:i]
+		line = bytes.TrimSuffix(line, []byte("\r"))
+		lines = append(lines, line)
+		b = b[i+1:]
+	}
+	return lines
+}
+
+func parseStartLine(m *Message, line string) error {
+	if strings.HasPrefix(line, "SIP/2.0 ") {
+		rest := line[len("SIP/2.0 "):]
+		sp := strings.IndexByte(rest, ' ')
+		codeStr, reason := rest, ""
+		if sp >= 0 {
+			codeStr, reason = rest[:sp], rest[sp+1:]
+		}
+		code, err := strconv.Atoi(codeStr)
+		if err != nil || code < 100 || code > 699 {
+			return fmt.Errorf("sip: bad status code %q", codeStr)
+		}
+		m.StatusCode = code
+		m.ReasonPhrase = reason
+		return nil
+	}
+	f := strings.SplitN(line, " ", 3)
+	if len(f) != 3 || f[2] != "SIP/2.0" {
+		return fmt.Errorf("sip: bad start line %q", line)
+	}
+	if f[0] == "" || f[1] == "" {
+		return fmt.Errorf("sip: bad start line %q", line)
+	}
+	if !isToken(f[0]) {
+		return fmt.Errorf("sip: method %q is not a valid token", f[0])
+	}
+	m.Method = Method(f[0])
+	m.RequestURI = f[1]
+	return nil
+}
+
+// isToken reports whether s is a valid RFC 3261 token (the charset for
+// methods and similar fields).
+func isToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case strings.IndexByte("-.!%*_+`'~", c) >= 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseHeaders(h *Headers, lines [][]byte) error {
+	var name, value string
+	flush := func() {
+		if name != "" {
+			h.Add(name, strings.TrimSpace(value))
+		}
+		name, value = "", ""
+	}
+	for _, raw := range lines {
+		line := string(raw)
+		if line == "" {
+			continue
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			if name == "" {
+				return fmt.Errorf("sip: continuation line %q without preceding header", line)
+			}
+			value += " " + strings.TrimSpace(line)
+			continue
+		}
+		flush()
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return fmt.Errorf("sip: malformed header line %q", line)
+		}
+		name = line[:colon]
+		value = line[colon+1:]
+	}
+	flush()
+	return nil
+}
+
+// validateMandatory checks the headers every SIP message must carry
+// (RFC 3261 section 8.1.1). Messages failing this check are what the
+// paper's "incorrectly formatted SIP message" event refers to.
+func validateMandatory(m *Message) error {
+	var missing []string
+	for _, hdr := range []string{HdrVia, HdrFrom, HdrTo, HdrCallID, HdrCSeq} {
+		if m.Headers.Get(hdr) == "" {
+			missing = append(missing, hdr)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("sip: missing mandatory headers: %s", strings.Join(missing, ", "))
+	}
+	if _, err := m.CSeq(); err != nil {
+		return err
+	}
+	if _, err := m.TopVia(); err != nil {
+		return err
+	}
+	if m.IsRequest() {
+		cseq, _ := m.CSeq()
+		if cseq.Method != m.Method {
+			return fmt.Errorf("sip: CSeq method %s does not match request method %s", cseq.Method, m.Method)
+		}
+		if _, err := ParseURI(m.RequestURI); err != nil {
+			return fmt.Errorf("sip: bad request URI: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package sip
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Torture tests in the spirit of RFC 4475: messages that are legal but
+// unusual must parse; messages that are subtly broken must be rejected or
+// surfaced faithfully. The IDS depends on this parser never panicking and
+// never silently mangling header values.
+
+func TestTortureLegalButUnusual(t *testing.T) {
+	tests := []struct {
+		name  string
+		raw   string
+		check func(t *testing.T, m *Message)
+	}{
+		{
+			name: "exotic display name and spacing",
+			raw: "INVITE sip:bob@b.example SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKa\r\n" +
+				"Max-Forwards:    68   \r\n" +
+				"From:    \"J. \\\"Rock\\\" Star\"   <sip:jrs@a.example>;tag=12\r\n" +
+				"To: <sip:bob@b.example>\r\n" +
+				"Call-ID: oddspace@a\r\n" +
+				"CSeq:    1     INVITE\r\n\r\n",
+			check: func(t *testing.T, m *Message) {
+				if got := m.Headers.Get(HdrMaxForwards); got != "68" {
+					t.Errorf("Max-Forwards = %q", got)
+				}
+				cseq, err := m.CSeq()
+				if err != nil || cseq.Seq != 1 {
+					t.Errorf("CSeq = %+v err=%v", cseq, err)
+				}
+			},
+		},
+		{
+			name: "all compact headers",
+			raw: "MESSAGE sip:u@h SIP/2.0\r\n" +
+				"v: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKb\r\n" +
+				"f: <sip:x@y>;tag=c\r\n" +
+				"t: <sip:u@h>\r\n" +
+				"i: compact2@t\r\n" +
+				"CSeq: 9 MESSAGE\r\n" +
+				"s: Greetings\r\n" +
+				"l: 2\r\n\r\nok",
+			check: func(t *testing.T, m *Message) {
+				if m.Headers.Get("Subject") != "Greetings" {
+					t.Errorf("Subject = %q", m.Headers.Get("Subject"))
+				}
+				if string(m.Body) != "ok" {
+					t.Errorf("Body = %q", m.Body)
+				}
+			},
+		},
+		{
+			name: "unknown method passes through",
+			raw: "NEWFANGLED sip:u@h SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKc\r\nFrom: <sip:x@y>;tag=q\r\n" +
+				"To: <sip:u@h>\r\nCall-ID: nf@t\r\nCSeq: 1 NEWFANGLED\r\n\r\n",
+			check: func(t *testing.T, m *Message) {
+				if m.Method != "NEWFANGLED" {
+					t.Errorf("Method = %q", m.Method)
+				}
+			},
+		},
+		{
+			name: "response with empty reason phrase",
+			raw: "SIP/2.0 200 \r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKd\r\nFrom: <sip:x@y>;tag=q\r\n" +
+				"To: <sip:u@h>;tag=r\r\nCall-ID: er@t\r\nCSeq: 2 BYE\r\n\r\n",
+			check: func(t *testing.T, m *Message) {
+				if m.StatusCode != 200 || m.ReasonPhrase != "" {
+					t.Errorf("status = %d %q", m.StatusCode, m.ReasonPhrase)
+				}
+			},
+		},
+		{
+			name: "uri with many params",
+			raw: "OPTIONS sip:u@h;transport=udp;lr;maddr=10.0.0.9 SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKe\r\nFrom: <sip:x@y>;tag=q\r\n" +
+				"To: <sip:u@h>\r\nCall-ID: up@t\r\nCSeq: 3 OPTIONS\r\n\r\n",
+			check: func(t *testing.T, m *Message) {
+				u, err := ParseURI(m.RequestURI)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u.Params["transport"] != "udp" || u.Params["maddr"] != "10.0.0.9" {
+					t.Errorf("params = %v", u.Params)
+				}
+				if _, ok := u.Params["lr"]; !ok {
+					t.Error("lr param lost")
+				}
+			},
+		},
+		{
+			name: "multiple via hops",
+			raw: "INVITE sip:b@h SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP proxy2:5060;branch=z9hG4bKf2\r\n" +
+				"Via: SIP/2.0/UDP proxy1:5060;branch=z9hG4bKf1\r\n" +
+				"Via: SIP/2.0/UDP ua:5060;branch=z9hG4bKf0\r\n" +
+				"From: <sip:x@y>;tag=q\r\nTo: <sip:b@h>\r\nCall-ID: mv@t\r\nCSeq: 1 INVITE\r\n\r\n",
+			check: func(t *testing.T, m *Message) {
+				vias := m.Headers.Values(HdrVia)
+				if len(vias) != 3 {
+					t.Fatalf("via count = %d", len(vias))
+				}
+				top, err := m.TopVia()
+				if err != nil || top.SentBy != "proxy2:5060" {
+					t.Errorf("top via = %+v err=%v", top, err)
+				}
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := ParseMessage([]byte(tt.raw))
+			if err != nil {
+				t.Fatalf("ParseMessage: %v", err)
+			}
+			tt.check(t, m)
+		})
+	}
+}
+
+func TestTortureBroken(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  string
+	}{
+		{"null bytes in start line", "INV\x00ITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: n@t\r\nCSeq: 1 INV\x00ITE\r\n\r\n"},
+		{"negative content length", "OPTIONS sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: ncl@t\r\nCSeq: 1 OPTIONS\r\nContent-Length: -5\r\n\r\n"},
+		{"response code overflow", "SIP/2.0 2000000 OK\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: o@t\r\nCSeq: 1 INVITE\r\n\r\n"},
+		{"missing via entirely", "OPTIONS sip:a@b SIP/2.0\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: nv@t\r\nCSeq: 1 OPTIONS\r\n\r\n"},
+		{"via garbage", "OPTIONS sip:a@b SIP/2.0\r\nVia: %%%%\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: vg@t\r\nCSeq: 1 OPTIONS\r\n\r\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseMessage([]byte(tt.raw)); err == nil {
+				t.Errorf("parser accepted %s", tt.name)
+			}
+		})
+	}
+}
+
+func TestMethodTokenCharset(t *testing.T) {
+	// Extension methods with legal token characters are accepted...
+	if !isToken("NEW-FANGLED.v2") {
+		t.Error("legal token rejected")
+	}
+	// ...control characters, spaces, and separators are not.
+	for _, bad := range []string{"", "INV\x00ITE", "IN VITE", "INVITE;x", "INVITE<"} {
+		if isToken(bad) {
+			t.Errorf("isToken(%q) = true", bad)
+		}
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = ParseMessage(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	// Take a valid message and corrupt single bytes at every position.
+	base := sampleInvite().Marshal()
+	for i := range base {
+		mut := append([]byte(nil), base...)
+		mut[i] ^= 0xff
+		_, _ = ParseMessage(mut)
+	}
+	// And truncate at every length.
+	for i := 0; i <= len(base); i++ {
+		_, _ = ParseMessage(base[:i])
+	}
+}
+
+func TestMarshalParseIdempotent(t *testing.T) {
+	// marshal(parse(marshal(m))) == marshal(m) for a representative set.
+	msgs := []*Message{
+		sampleInvite(),
+		NewResponse(sampleInvite(), StatusRinging, "tag9"),
+		NewResponse(sampleInvite(), StatusUnauthorized, "tag10"),
+	}
+	for i, m := range msgs {
+		first := m.Marshal()
+		parsed, err := ParseMessage(first)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		second := parsed.Marshal()
+		if !strings.EqualFold(string(first), string(second)) {
+			t.Errorf("msg %d not idempotent:\n%q\nvs\n%q", i, first, second)
+		}
+	}
+}

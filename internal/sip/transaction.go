@@ -1,0 +1,262 @@
+package sip
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Clock abstracts the virtual clock the transaction timers run on.
+// netsim.Simulator satisfies it.
+type Clock interface {
+	Now() time.Duration
+	Schedule(delay time.Duration, fn func())
+}
+
+// SendFunc transmits a message to a destination. The transaction layer
+// calls it for initial sends and retransmissions.
+type SendFunc func(dst netip.AddrPort, msg *Message)
+
+// RFC 3261 timer values.
+const (
+	TimerT1 = 500 * time.Millisecond // RTT estimate
+	TimerT2 = 4 * time.Second        // maximum retransmit interval
+	// TimerB/F fire after 64*T1 and terminate the transaction.
+	timerBMultiple = 64
+)
+
+// TxState is the state of a transaction.
+type TxState int
+
+// Transaction states (simplified superset of the RFC 3261 machines).
+const (
+	TxCalling TxState = iota + 1
+	TxProceeding
+	TxCompleted
+	TxTerminated
+)
+
+// String returns the state name.
+func (s TxState) String() string {
+	switch s {
+	case TxCalling:
+		return "calling"
+	case TxProceeding:
+		return "proceeding"
+	case TxCompleted:
+		return "completed"
+	case TxTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// ClientTx is a client transaction: one request awaiting responses, with
+// retransmission over the unreliable UDP transport.
+type ClientTx struct {
+	Request *Message
+	Dst     netip.AddrPort
+
+	layer      *TxLayer
+	key        string
+	state      TxState
+	interval   time.Duration
+	deadline   time.Duration
+	onResponse func(*Message)
+	onTimeout  func()
+	isInvite   bool
+}
+
+// State returns the transaction state.
+func (tx *ClientTx) State() TxState { return tx.state }
+
+// ServerTx is a server transaction: absorbs request retransmissions and
+// replays the last response.
+type ServerTx struct {
+	Request *Message
+	Src     netip.AddrPort
+
+	layer    *TxLayer
+	key      string
+	state    TxState
+	lastResp *Message
+}
+
+// State returns the transaction state.
+func (tx *ServerTx) State() TxState { return tx.state }
+
+// Respond sends a response through the server transaction, remembering
+// final responses for retransmission replay.
+func (tx *ServerTx) Respond(resp *Message) {
+	tx.lastResp = resp
+	if resp.StatusCode >= 200 {
+		tx.state = TxCompleted
+		// Linger briefly to absorb retransmissions, then terminate.
+		tx.layer.clock.Schedule(timerBMultiple*TimerT1, func() {
+			tx.state = TxTerminated
+			delete(tx.layer.server, tx.key)
+		})
+	} else {
+		tx.state = TxProceeding
+	}
+	tx.layer.send(tx.Src, resp)
+}
+
+// RequestHandler receives new (non-retransmitted) requests.
+type RequestHandler func(tx *ServerTx, req *Message)
+
+// TxLayer manages client and server transactions over one transport.
+type TxLayer struct {
+	clock     Clock
+	send      SendFunc
+	client    map[string]*ClientTx
+	server    map[string]*ServerTx
+	onRequest RequestHandler
+
+	// Stats
+	Retransmits int
+	Timeouts    int
+}
+
+// NewTxLayer creates a transaction layer sending through send and timing
+// against clock.
+func NewTxLayer(clock Clock, send SendFunc) *TxLayer {
+	return &TxLayer{
+		clock:  clock,
+		send:   send,
+		client: make(map[string]*ClientTx),
+		server: make(map[string]*ServerTx),
+	}
+}
+
+// OnRequest registers the handler invoked for each new incoming request.
+func (t *TxLayer) OnRequest(fn RequestHandler) { t.onRequest = fn }
+
+// txKey builds the RFC 3261 17.1.3/17.2.3 matching key: top Via branch
+// plus CSeq method (so ACK and CANCEL match their INVITE separately).
+func txKey(m *Message) string {
+	via, err := m.TopVia()
+	if err != nil {
+		return ""
+	}
+	method := string(m.Method)
+	if m.IsResponse() {
+		if cseq, err := m.CSeq(); err == nil {
+			method = string(cseq.Method)
+		}
+	}
+	return via.Branch() + "|" + method
+}
+
+// Request starts a client transaction for req towards dst. onResponse is
+// called for every response (provisional and final); onTimeout fires if
+// no response arrives within 64*T1. Either callback may be nil.
+func (t *TxLayer) Request(dst netip.AddrPort, req *Message, onResponse func(*Message), onTimeout func()) *ClientTx {
+	tx := &ClientTx{
+		Request:    req,
+		Dst:        dst,
+		layer:      t,
+		key:        txKey(req),
+		state:      TxCalling,
+		interval:   TimerT1,
+		deadline:   t.clock.Now() + timerBMultiple*TimerT1,
+		onResponse: onResponse,
+		onTimeout:  onTimeout,
+		isInvite:   req.Method == MethodInvite,
+	}
+	t.client[tx.key] = tx
+	t.send(dst, req)
+	if req.Method != MethodAck { // ACK is fire-and-forget
+		t.scheduleRetransmit(tx)
+		// Timer B/F: terminate the transaction 64*T1 after the first send,
+		// independently of the retransmission schedule.
+		t.clock.Schedule(timerBMultiple*TimerT1, func() {
+			if tx.state != TxCalling {
+				return
+			}
+			tx.state = TxTerminated
+			delete(t.client, tx.key)
+			t.Timeouts++
+			if tx.onTimeout != nil {
+				tx.onTimeout()
+			}
+		})
+	}
+	return tx
+}
+
+func (t *TxLayer) scheduleRetransmit(tx *ClientTx) {
+	interval := tx.interval
+	t.clock.Schedule(interval, func() {
+		if tx.state != TxCalling || t.clock.Now() >= tx.deadline {
+			return
+		}
+		t.Retransmits++
+		t.send(tx.Dst, tx.Request)
+		tx.interval *= 2
+		if !tx.isInvite && tx.interval > TimerT2 {
+			tx.interval = TimerT2
+		}
+		t.scheduleRetransmit(tx)
+	})
+}
+
+// HandleMessage feeds an incoming message into the layer. Responses are
+// dispatched to their client transaction; requests are deduplicated and
+// delivered to the request handler. It returns false for messages that
+// matched nothing (e.g. a stray response).
+func (t *TxLayer) HandleMessage(src netip.AddrPort, m *Message) bool {
+	key := txKey(m)
+	if m.IsResponse() {
+		tx, ok := t.client[key]
+		if !ok {
+			return false
+		}
+		switch {
+		case m.StatusCode < 200:
+			tx.state = TxProceeding
+		default:
+			tx.state = TxCompleted
+			delete(t.client, key)
+		}
+		if tx.onResponse != nil {
+			tx.onResponse(m)
+		}
+		return true
+	}
+	// Request path. ACK completes a server INVITE transaction silently:
+	// per RFC 3261 17.2.3 it matches the INVITE transaction by branch.
+	if m.Method == MethodAck {
+		if via, err := m.TopVia(); err == nil {
+			key = via.Branch() + "|" + string(MethodInvite)
+		}
+		if tx, ok := t.server[key]; ok {
+			tx.state = TxTerminated
+			delete(t.server, key)
+		}
+		// ACKs for 200 OK have a new branch and are passed to the app.
+		if t.onRequest != nil {
+			t.onRequest(&ServerTx{Request: m, Src: src, layer: t, state: TxTerminated}, m)
+		}
+		return true
+	}
+	if tx, ok := t.server[key]; ok {
+		// Retransmission: replay the last response if we have one.
+		if tx.lastResp != nil {
+			t.send(tx.Src, tx.lastResp)
+		}
+		return true
+	}
+	tx := &ServerTx{Request: m, Src: src, layer: t, key: key, state: TxProceeding}
+	t.server[key] = tx
+	if t.onRequest != nil {
+		t.onRequest(tx, m)
+	}
+	return true
+}
+
+// ActiveClient returns the number of live client transactions.
+func (t *TxLayer) ActiveClient() int { return len(t.client) }
+
+// ActiveServer returns the number of live server transactions.
+func (t *TxLayer) ActiveServer() int { return len(t.server) }

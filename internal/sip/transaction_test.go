@@ -1,0 +1,173 @@
+package sip
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/netsim"
+)
+
+var txDst = netip.MustParseAddrPort("10.0.0.2:5060")
+
+// txFixture wires a TxLayer to a recording transport over a simulator clock.
+type txFixture struct {
+	sim   *netsim.Simulator
+	layer *TxLayer
+	sent  []*Message
+	// drop, when set, swallows outgoing messages (models total loss).
+	drop bool
+}
+
+func newTxFixture(t *testing.T) *txFixture {
+	t.Helper()
+	f := &txFixture{sim: netsim.NewSimulator(1)}
+	f.layer = NewTxLayer(f.sim, func(dst netip.AddrPort, m *Message) {
+		if !f.drop {
+			f.sent = append(f.sent, m)
+		}
+	})
+	return f
+}
+
+func TestClientTxResponseDispatch(t *testing.T) {
+	f := newTxFixture(t)
+	req := sampleInvite()
+	var responses []int
+	f.layer.Request(txDst, req, func(m *Message) { responses = append(responses, m.StatusCode) }, nil)
+	if len(f.sent) != 1 {
+		t.Fatalf("initial send count = %d", len(f.sent))
+	}
+	ringing := NewResponse(req, StatusRinging, "tt")
+	ok := NewResponse(req, StatusOK, "tt")
+	if !f.layer.HandleMessage(txDst, ringing) {
+		t.Error("provisional response not matched")
+	}
+	if !f.layer.HandleMessage(txDst, ok) {
+		t.Error("final response not matched")
+	}
+	if len(responses) != 2 || responses[0] != StatusRinging || responses[1] != StatusOK {
+		t.Errorf("responses = %v", responses)
+	}
+	if f.layer.ActiveClient() != 0 {
+		t.Errorf("ActiveClient = %d after final response", f.layer.ActiveClient())
+	}
+}
+
+func TestClientTxRetransmitsUntilResponse(t *testing.T) {
+	f := newTxFixture(t)
+	req := sampleInvite()
+	f.layer.Request(txDst, req, nil, nil)
+	// Let two retransmit timers fire (at T1 and 3*T1).
+	f.sim.RunUntil(4 * TimerT1)
+	if len(f.sent) < 3 {
+		t.Fatalf("sent %d copies, want >= 3 (initial + 2 retransmits)", len(f.sent))
+	}
+	got := f.layer.Retransmits
+	f.layer.HandleMessage(txDst, NewResponse(req, StatusOK, "t"))
+	f.sim.RunUntil(10 * time.Minute)
+	if f.layer.Retransmits != got {
+		t.Error("retransmissions continued after final response")
+	}
+}
+
+func TestClientTxTimeout(t *testing.T) {
+	f := newTxFixture(t)
+	req := sampleInvite()
+	timedOut := false
+	f.layer.Request(txDst, req, nil, func() { timedOut = true })
+	f.sim.RunUntil(time.Duration(timerBMultiple+2) * TimerT1)
+	if !timedOut {
+		t.Fatal("transaction did not time out")
+	}
+	if f.layer.Timeouts != 1 {
+		t.Errorf("Timeouts = %d", f.layer.Timeouts)
+	}
+	if f.layer.ActiveClient() != 0 {
+		t.Errorf("ActiveClient = %d after timeout", f.layer.ActiveClient())
+	}
+}
+
+func TestNonInviteRetransmitCapsAtT2(t *testing.T) {
+	f := newTxFixture(t)
+	from, _ := ParseAddress("<sip:a@x>")
+	to, _ := ParseAddress("<sip:b@y>")
+	req := NewRequest(RequestSpec{
+		Method: MethodRegister, RequestURI: "sip:y",
+		From: from, To: to, CallID: "reg@x",
+		CSeq: CSeq{Seq: 1, Method: MethodRegister},
+		Via:  Via{Transport: "UDP", SentBy: "x:5060", Params: map[string]string{"branch": MagicBranchPrefix + "r1"}},
+	})
+	var tx *ClientTx
+	tx = f.layer.Request(txDst, req, nil, nil)
+	f.sim.RunUntil(20 * time.Second)
+	if tx.interval > TimerT2 {
+		t.Errorf("retransmit interval %v exceeds T2", tx.interval)
+	}
+}
+
+func TestServerTxDedupAndReplay(t *testing.T) {
+	f := newTxFixture(t)
+	var delivered int
+	f.layer.OnRequest(func(tx *ServerTx, req *Message) {
+		delivered++
+		tx.Respond(NewResponse(req, StatusOK, "s1"))
+	})
+	req := sampleInvite()
+	src := netip.MustParseAddrPort("10.0.0.1:5060")
+	f.layer.HandleMessage(src, req)
+	if delivered != 1 || len(f.sent) != 1 {
+		t.Fatalf("after first rx: delivered=%d sent=%d", delivered, len(f.sent))
+	}
+	// Retransmission of the same request: handler NOT called again, the
+	// response is replayed.
+	f.layer.HandleMessage(src, req)
+	if delivered != 1 {
+		t.Errorf("handler called %d times for retransmission", delivered)
+	}
+	if len(f.sent) != 2 {
+		t.Errorf("response not replayed: sent=%d", len(f.sent))
+	}
+}
+
+func TestAckTerminatesServerTx(t *testing.T) {
+	f := newTxFixture(t)
+	f.layer.OnRequest(func(tx *ServerTx, req *Message) {
+		if req.Method == MethodInvite {
+			tx.Respond(NewResponse(req, StatusOK, "s1"))
+		}
+	})
+	invite := sampleInvite()
+	src := netip.MustParseAddrPort("10.0.0.1:5060")
+	f.layer.HandleMessage(src, invite)
+	if f.layer.ActiveServer() != 1 {
+		t.Fatalf("ActiveServer = %d", f.layer.ActiveServer())
+	}
+	ack := &Message{Method: MethodAck, RequestURI: invite.RequestURI}
+	ack.Headers = invite.Headers.Clone()
+	ack.Headers.Set(HdrCSeq, CSeq{Seq: 1, Method: MethodAck}.String())
+	f.layer.HandleMessage(src, ack)
+	if f.layer.ActiveServer() != 0 {
+		t.Errorf("ActiveServer = %d after ACK", f.layer.ActiveServer())
+	}
+}
+
+func TestStrayResponseNotMatched(t *testing.T) {
+	f := newTxFixture(t)
+	resp := NewResponse(sampleInvite(), StatusOK, "x")
+	if f.layer.HandleMessage(txDst, resp) {
+		t.Error("stray response reported as handled")
+	}
+}
+
+func TestTxStateString(t *testing.T) {
+	want := map[TxState]string{
+		TxCalling: "calling", TxProceeding: "proceeding",
+		TxCompleted: "completed", TxTerminated: "terminated", TxState(0): "unknown",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}
