@@ -330,6 +330,62 @@ func BenchmarkRuleEngine_Feed(b *testing.B) {
 // mustAddr parses an IPv4 address for benchmark fixtures.
 func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
 
+// --- Sharded engine scaling (see DESIGN.md "Scaling") ---
+
+// mixedCalls/mixedRounds size the shared scaling workload: enough
+// concurrent sessions that per-packet attribution dominates.
+const (
+	mixedCalls  = 256
+	mixedRounds = 24
+)
+
+// checkMixedAlerts asserts the exact expected outcome on the mixed
+// workload: one bye-attack alert per call and no false alarms.
+func checkMixedAlerts(tb testing.TB, alerts []core.Alert) {
+	tb.Helper()
+	if len(alerts) != mixedCalls {
+		tb.Fatalf("got %d alerts, want %d", len(alerts), mixedCalls)
+	}
+	for _, a := range alerts {
+		if a.Rule != core.RuleByeAttack {
+			tb.Fatalf("false alarm: %v", a)
+		}
+	}
+}
+
+// BenchmarkSerial_MixedCalls is the single-engine baseline for the
+// BenchmarkSharded_* family, on the identical workload.
+func BenchmarkSerial_MixedCalls(b *testing.B) {
+	recs := experiments.MixedCallWorkload(mixedCalls, mixedRounds, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(core.Config{})
+		for _, r := range recs {
+			eng.HandleFrame(r.Time, r.Frame)
+		}
+		checkMixedAlerts(b, eng.Alerts())
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+}
+
+func benchSharded(b *testing.B, shards int) {
+	recs := experiments.MixedCallWorkload(mixedCalls, mixedRounds, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewShardedEngine(core.Config{}, shards)
+		for _, r := range recs {
+			eng.HandleFrame(r.Time, r.Frame)
+		}
+		eng.Close() // drain; alerts must be complete afterwards
+		checkMixedAlerts(b, eng.Alerts())
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+}
+
+func BenchmarkSharded_1(b *testing.B) { benchSharded(b, 1) }
+func BenchmarkSharded_2(b *testing.B) { benchSharded(b, 2) }
+func BenchmarkSharded_8(b *testing.B) { benchSharded(b, 8) }
+
 // BenchmarkSec43_WireDelay measures the BYE-attack detection delay on the
 // simulated wire (the empirical counterpart of the Section 4.3 model).
 func BenchmarkSec43_WireDelay(b *testing.B) {

@@ -27,21 +27,22 @@ func main() {
 	}
 }
 
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig7", "fig8", "delay", "wire", "pm", "pf", "billing", "stateful"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig7", "fig8", "delay", "wire", "pm", "pf", "billing", "stateful", "sharded"}
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to regenerate (all, table1, fig1, fig5..fig8, delay, pm, pf, billing, stateful)")
+	exp := fs.String("exp", "all", "experiment to regenerate (all, table1, fig1, fig5..fig8, delay, pm, pf, billing, stateful, sharded)")
 	seed := fs.Int64("seed", 1, "simulation random seed")
 	trials := fs.Int("trials", 100000, "Monte Carlo trials for the Section 4.3 analysis")
+	jsonPath := fs.String("json", "", "for -exp sharded: also write the scaling numbers to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *exp != "all" {
-		return runOne(*exp, *seed, *trials, out)
+		return runOne(*exp, *seed, *trials, *jsonPath, out)
 	}
 	for _, name := range order {
-		if err := runOne(name, *seed, *trials, out); err != nil {
+		if err := runOne(name, *seed, *trials, *jsonPath, out); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintln(out)
@@ -49,7 +50,7 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func runOne(name string, seed int64, trials int, out io.Writer) error {
+func runOne(name string, seed int64, trials int, jsonPath string, out io.Writer) error {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1(seed)
@@ -96,6 +97,8 @@ func runOne(name string, seed int64, trials int, out io.Writer) error {
 		return printOutcome(out, "Section 3.2 (Billing fraud)", func() (experiments.Outcome, error) {
 			return experiments.RunBillingFraud(seed)
 		})
+	case "sharded":
+		return runSharded(out, jsonPath)
 	case "stateful":
 		cmp, err := experiments.RunStatefulComparison(seed)
 		if err != nil {

@@ -22,6 +22,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"pf", "Pf"},
 		{"billing", "billing-fraud"},
 		{"stateful", "false alarms"},
+		{"sharded", "frames/sec"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.exp, func(t *testing.T) {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"scidive/internal/capture"
+	"scidive/internal/core"
+	"scidive/internal/experiments"
+)
+
+// Sharded-engine scaling check: replay one mixed-call workload through the
+// serial engine and through ShardedEngine at 1, 2 and 8 shards, verify
+// every run raises exactly the expected alerts, and fail (non-zero exit)
+// if 8 shards deliver less than minShardedSpeedup x the serial
+// frames-per-second. BENCH_sharded.json in the repo root records the
+// numbers from the first run of this check.
+
+const (
+	shardedCalls  = 256
+	shardedRounds = 24
+	// minShardedSpeedup is the regression gate for BenchmarkSharded_8
+	// versus the serial baseline on the same workload.
+	minShardedSpeedup = 2.0
+	// shardedReps: each configuration is timed this many times and the
+	// best run is kept, shedding scheduler noise.
+	shardedReps = 3
+)
+
+// ShardedReport is the JSON shape of BENCH_sharded.json.
+type ShardedReport struct {
+	Calls      int                `json:"calls"`
+	Rounds     int                `json:"rtp_rounds"`
+	Frames     int                `json:"frames"`
+	Alerts     int                `json:"alerts_per_run"`
+	SerialFPS  float64            `json:"serial_fps"`
+	ShardedFPS map[string]float64 `json:"sharded_fps"`
+	Speedup8   float64            `json:"speedup_8_shards"`
+}
+
+func checkShardedAlerts(alerts []core.Alert) error {
+	if len(alerts) != shardedCalls {
+		return fmt.Errorf("got %d alerts, want %d", len(alerts), shardedCalls)
+	}
+	for _, a := range alerts {
+		if a.Rule != core.RuleByeAttack {
+			return fmt.Errorf("false alarm: %v", a)
+		}
+	}
+	return nil
+}
+
+// bestFPS times fn over the workload shardedReps times and returns the
+// highest frames-per-second observed. fn must return the run's alerts.
+func bestFPS(recs []capture.Record, fn func() ([]core.Alert, error)) (float64, error) {
+	var best float64
+	for r := 0; r < shardedReps; r++ {
+		start := time.Now()
+		alerts, err := fn()
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if err := checkShardedAlerts(alerts); err != nil {
+			return 0, err
+		}
+		if fps := float64(len(recs)) / elapsed.Seconds(); fps > best {
+			best = fps
+		}
+	}
+	return best, nil
+}
+
+func measureSharded() (ShardedReport, error) {
+	recs := experiments.MixedCallWorkload(shardedCalls, shardedRounds, 1)
+	rep := ShardedReport{
+		Calls: shardedCalls, Rounds: shardedRounds, Frames: len(recs),
+		Alerts: shardedCalls, ShardedFPS: map[string]float64{},
+	}
+	var err error
+	rep.SerialFPS, err = bestFPS(recs, func() ([]core.Alert, error) {
+		eng := core.NewEngine(core.Config{})
+		for _, r := range recs {
+			eng.HandleFrame(r.Time, r.Frame)
+		}
+		return eng.Alerts(), nil
+	})
+	if err != nil {
+		return rep, fmt.Errorf("serial: %w", err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		fps, err := bestFPS(recs, func() ([]core.Alert, error) {
+			eng := core.NewShardedEngine(core.Config{}, shards)
+			for _, r := range recs {
+				eng.HandleFrame(r.Time, r.Frame)
+			}
+			eng.Close()
+			return eng.Alerts(), nil
+		})
+		if err != nil {
+			return rep, fmt.Errorf("sharded-%d: %w", shards, err)
+		}
+		rep.ShardedFPS[fmt.Sprint(shards)] = fps
+	}
+	rep.Speedup8 = rep.ShardedFPS["8"] / rep.SerialFPS
+	return rep, nil
+}
+
+func runSharded(out io.Writer, jsonPath string) error {
+	rep, err := measureSharded()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Sharded engine scaling (%d concurrent calls, %d frames, %d bye-attacks expected):\n",
+		rep.Calls, rep.Frames, rep.Alerts)
+	fmt.Fprintf(out, "  serial      %10.0f frames/sec\n", rep.SerialFPS)
+	for _, s := range []string{"1", "2", "8"} {
+		fmt.Fprintf(out, "  %2s shard(s) %10.0f frames/sec (%.2fx)\n", s, rep.ShardedFPS[s], rep.ShardedFPS[s]/rep.SerialFPS)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n", jsonPath)
+	}
+	if rep.Speedup8 < minShardedSpeedup {
+		return fmt.Errorf("sharded speedup regression: 8 shards ran %.2fx serial, gate is %.1fx",
+			rep.Speedup8, minShardedSpeedup)
+	}
+	return nil
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	scidive -in bye.scap [-events] [-window 1s] [-direct] [-rules FILE] [-json]
+//	scidive -in bye.scap [-events] [-window 1s] [-direct] [-rules FILE] [-json] [-shards N]
 //	scidive -scenario bye [-seed 7]
 package main
 
@@ -14,12 +14,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"scidive/internal/capture"
 	"scidive/internal/core"
 	"scidive/internal/experiments"
 )
+
+// idsEngine is the surface shared by the serial Engine and the
+// ShardedEngine; the CLI drives either through it.
+type idsEngine interface {
+	HandleFrame(at time.Duration, frame []byte)
+	ReplayCapture(r *capture.Reader) error
+	Alerts() []core.Alert
+	Events() []core.Event
+	Stats() core.EngineStats
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -38,12 +49,16 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit alerts as JSON lines instead of text")
 	scenarioName := fs.String("scenario", "", "run a live simulated scenario instead of reading a capture")
 	seed := fs.Int64("seed", 1, "seed for -scenario runs")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "detection worker shards; 1 runs the serial engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *inPath == "" && *scenarioName == "" {
 		fs.Usage()
 		return fmt.Errorf("-in or -scenario is required")
+	}
+	if *direct && *shards > 1 {
+		return fmt.Errorf("-direct is a serial-engine ablation; use -shards 1")
 	}
 	var rules []core.Rule
 	if *rulesPath != "" {
@@ -70,11 +85,23 @@ func run(args []string, out io.Writer) error {
 	if *showEvents {
 		opts = append(opts, core.WithEventLog())
 	}
-	eng := core.NewEngine(core.Config{
+	cfg := core.Config{
 		Gen:                 core.GenConfig{MonitorWindow: *window},
 		Rules:               rules,
 		DirectTrailMatching: *direct,
-	}, opts...)
+	}
+	var eng idsEngine
+	var sessionCount func() (sessions, trails int)
+	if *shards > 1 {
+		sharded := core.NewShardedEngine(cfg, *shards, opts...)
+		defer sharded.Close()
+		sessionCount = sharded.TrailCounts
+		eng = sharded
+	} else {
+		serial := core.NewEngine(cfg, opts...)
+		sessionCount = func() (int, int) { return serial.Trails().Sessions(), serial.Trails().Trails() }
+		eng = serial
+	}
 	if *scenarioName != "" {
 		outcome, err := experiments.RunScenario(*scenarioName, *seed, eng.HandleFrame)
 		if err != nil {
@@ -116,9 +143,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	st := eng.Stats()
+	sessions, trails := sessionCount()
 	fmt.Fprintf(out, "=== stats ===\nframes=%d footprints=%d events=%d alerts=%d sessions=%d trails=%d\n",
-		st.Frames, st.Footprints, st.Events, st.Alerts,
-		eng.Trails().Sessions(), eng.Trails().Trails())
+		st.Frames, st.Footprints, st.Events, st.Alerts, sessions, trails)
 	return nil
 }
 

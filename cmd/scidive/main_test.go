@@ -78,6 +78,30 @@ func TestReplayWithEventsAndDirect(t *testing.T) {
 	}
 }
 
+func TestReplaySharded(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 5)
+	var serial, sharded strings.Builder
+	if err := run([]string{"-in", path, "-shards", "1", "-events"}, &serial); err != nil {
+		t.Fatalf("run serial: %v", err)
+	}
+	if err := run([]string{"-in", path, "-shards", "4", "-events"}, &sharded); err != nil {
+		t.Fatalf("run -shards 4: %v", err)
+	}
+	// The sharded engine must be output-identical to the serial one.
+	if serial.String() != sharded.String() {
+		t.Errorf("sharded output diverged from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+			serial.String(), sharded.String())
+	}
+	if !strings.Contains(sharded.String(), "bye-attack") {
+		t.Error("sharded replay missed the attack")
+	}
+	// The direct-matching ablation has no sharded mode.
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-direct", "-shards", "4"}, &buf); err == nil {
+		t.Error("-direct with -shards 4 accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf strings.Builder
 	if err := run(nil, &buf); err == nil {

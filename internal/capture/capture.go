@@ -149,6 +149,26 @@ func (r *Reader) Next() (Record, error) {
 	return Record{Time: time.Duration(binary.BigEndian.Uint64(hdr[0:8])), Frame: frame}, nil
 }
 
+// FrameFunc consumes one captured frame. It is the feed signature shared
+// by netsim taps and both IDS engines (Engine.HandleFrame and
+// ShardedEngine.HandleFrame satisfy it).
+type FrameFunc func(at time.Duration, frame []byte)
+
+// Replay streams every remaining record of r into fn in capture order.
+// It returns nil at clean end-of-file.
+func Replay(r *Reader, fn FrameFunc) error {
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(rec.Time, rec.Frame)
+	}
+}
+
 // ReadAll consumes the remaining records.
 func (r *Reader) ReadAll() ([]Record, error) {
 	var recs []Record

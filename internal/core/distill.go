@@ -36,11 +36,16 @@ type Distiller struct {
 	mediaPortFloor uint16
 }
 
+// defaultMediaPortFloor is the lowest UDP port treated as media traffic.
+// The sharded router's port classification must match the distiller's, so
+// both read this constant.
+const defaultMediaPortFloor = 10000
+
 // NewDistiller returns a Distiller with a fresh reassembly buffer.
 func NewDistiller() *Distiller {
 	return &Distiller{
 		reasm:          packet.NewReassembler(0),
-		mediaPortFloor: 10000,
+		mediaPortFloor: defaultMediaPortFloor,
 	}
 }
 

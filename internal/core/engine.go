@@ -1,9 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"net/netip"
 	"time"
 
@@ -146,16 +144,10 @@ func (e *Engine) AttachTap(n *netsim.Network) {
 
 // ReplayCapture feeds a recorded SCAP capture through the engine.
 func (e *Engine) ReplayCapture(r *capture.Reader) error {
-	for {
-		rec, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("core: replay: %w", err)
-		}
-		e.HandleFrame(rec.Time, rec.Frame)
+	if err := capture.Replay(r, e.HandleFrame); err != nil {
+		return fmt.Errorf("core: replay: %w", err)
 	}
+	return nil
 }
 
 // --- Direct trail matching (ablation) ---

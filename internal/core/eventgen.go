@@ -57,47 +57,6 @@ func (c GenConfig) withDefaults() GenConfig {
 	return c
 }
 
-// sessionState is the per-call state the generator accumulates.
-type sessionState struct {
-	callID      string
-	lastSeen    time.Duration
-	established bool
-
-	callerAOR   string
-	calleeAOR   string
-	callerTag   string
-	calleeTag   string
-	callerMedia netip.AddrPort
-	calleeMedia netip.AddrPort
-	inviteSrcIP netip.Addr // network source of the first INVITE sighting
-
-	byeSeen      bool
-	byeAt        time.Duration
-	byeFromMedia netip.AddrPort // media of the purported BYE sender
-
-	lastReinviteSeq  uint32
-	reinviteSeen     bool
-	reinviteAt       time.Duration
-	reinviteOldMedia netip.AddrPort // media the "moved" party used before
-
-	badFormat     bool
-	acctStart     bool
-	unmatchedOnce bool
-
-	// RTCP BYE correlation (three-protocol chain: SIP state, RTP media,
-	// RTCP control).
-	rtcpByeAt      time.Duration
-	rtcpByePending bool
-	rtcpByeFired   bool
-
-	// Registration-session state (Section 3.3).
-	isRegistration bool
-	challenges     int
-	floodFired     bool
-	guessResponses map[string]struct{}
-	guessFired     bool
-}
-
 // imRecord tracks the last source of instant messages per claimed sender.
 type imRecord struct {
 	ip netip.Addr
@@ -114,27 +73,38 @@ type seqTrack struct {
 // across packets and protocols. It is deliberately "hard-coded and
 // seamlessly coupled with internal structures for best possible
 // performance" (paper Section 3.1).
+//
+// Per-session state lives in the sessionIndex (shared machinery with the
+// sharded router); cross-session state (bindings, IM histories, sequence
+// trackers) lives here and is either consulted directly (serial engine)
+// or superseded by RouteHints (sharded engine).
 type EventGenerator struct {
 	cfg    GenConfig
 	trails *TrailStore
+	idx    *sessionIndex
 
+	// sessions and pendingReg alias the maps inside idx; they are kept as
+	// fields so state is inspectable without going through the index.
 	sessions   map[string]*sessionState
-	bindings   map[string]netip.Addr // AOR -> registered contact IP
-	ims        map[string]imRecord   // "AOR|dstIP" -> last IM source on that delivery path
-	seqs       map[netip.AddrPort]*seqTrack
 	pendingReg map[string]string // Call-ID -> AOR awaiting 200
+
+	bindings map[string]netip.Addr // AOR -> registered contact IP
+	ims      map[string]imRecord   // "AOR|dstIP" -> last IM source on that delivery path
+	seqs     map[netip.AddrPort]*seqTrack
 }
 
 // NewEventGenerator returns a generator storing footprints into trails.
 func NewEventGenerator(cfg GenConfig, trails *TrailStore) *EventGenerator {
+	idx := newSessionIndex(false)
 	return &EventGenerator{
 		cfg:        cfg.withDefaults(),
 		trails:     trails,
-		sessions:   make(map[string]*sessionState),
+		idx:        idx,
+		sessions:   idx.sessions,
+		pendingReg: idx.pendingReg,
 		bindings:   make(map[string]netip.Addr),
 		ims:        make(map[string]imRecord),
 		seqs:       make(map[netip.AddrPort]*seqTrack),
-		pendingReg: make(map[string]string),
 	}
 }
 
@@ -147,21 +117,22 @@ func (g *EventGenerator) Bindings() map[string]netip.Addr {
 	return out
 }
 
+// ApplyBinding installs a registration binding learned elsewhere. The
+// sharded router replicates each observed binding to every shard so that
+// cross-session checks (billing fraud's registered-location comparison)
+// see a consistent directory regardless of which shard learned it.
+func (g *EventGenerator) ApplyBinding(aor string, ip netip.Addr) {
+	g.bindings[aor] = ip
+}
+
 // session returns the state for a Call-ID, creating it if needed.
 func (g *EventGenerator) session(callID string) *sessionState {
-	st, ok := g.sessions[callID]
-	if !ok {
-		st = &sessionState{callID: callID, guessResponses: make(map[string]struct{})}
-		g.sessions[callID] = st
-	}
-	return st
+	return g.idx.core(callID)
 }
 
 // touch records session activity for expiry bookkeeping.
 func (g *EventGenerator) touch(session string, at time.Duration) {
-	if st, ok := g.sessions[session]; ok {
-		st.lastSeen = at
-	}
+	g.idx.touch(session, at)
 }
 
 // ExpireSessions drops per-session state (and the session's trails) for
@@ -169,14 +140,7 @@ func (g *EventGenerator) touch(session string, at time.Duration) {
 // sessions were evicted. Registration bindings and IM histories have
 // their own windows and are kept.
 func (g *EventGenerator) ExpireSessions(now, timeout time.Duration) int {
-	evicted := 0
-	for id, st := range g.sessions {
-		if now-st.lastSeen > timeout {
-			delete(g.sessions, id)
-			g.trails.Drop(id)
-			evicted++
-		}
-	}
+	evicted := g.idx.expire(now, timeout, func(id string) { g.trails.Drop(id) })
 	if evicted > 0 {
 		// Sequence trackers for media endpoints of dead sessions would leak
 		// too; they are keyed by endpoint, so sweep any tracker not
@@ -192,23 +156,31 @@ func (g *EventGenerator) ExpireSessions(now, timeout time.Duration) int {
 // Process folds one footprint into the trails and state, returning any
 // events it completes.
 func (g *EventGenerator) Process(f Footprint) []Event {
+	return g.ProcessHinted(f, RouteHints{})
+}
+
+// ProcessHinted is Process with router-supplied hints. A zero RouteHints
+// reproduces the serial engine exactly; non-zero hints replace the local
+// cross-session lookups with verdicts the sharded router computed in
+// global frame order.
+func (g *EventGenerator) ProcessHinted(f Footprint, h RouteHints) []Event {
 	switch fp := f.(type) {
 	case *SIPFootprint:
 		g.trails.Get(fp.Msg.CallID(), ProtoSIP).Append(fp)
 		defer g.touch(fp.Msg.CallID(), fp.At)
-		return g.processSIP(fp)
+		return g.processSIP(fp, h)
 	case *RTPFootprint:
-		session := g.sessionForFlow(fp.Src, fp.Dst)
+		session := h.Session
 		if session == "" {
-			session = "rtp:" + fp.Dst.String()
+			session = g.idx.SessionKey(f)
 		}
 		g.trails.Get(session, ProtoRTP).Append(fp)
 		defer g.touch(session, fp.At)
-		return g.processRTP(fp, session)
+		return g.processRTP(fp, session, h)
 	case *RTCPFootprint:
-		session := g.sessionForRTCPFlow(fp.Src, fp.Dst)
+		session := h.Session
 		if session == "" {
-			session = "rtcp:" + fp.Dst.String()
+			session = g.idx.SessionKey(f)
 		}
 		g.trails.Get(session, ProtoRTCP).Append(fp)
 		defer g.touch(session, fp.At)
@@ -221,11 +193,15 @@ func (g *EventGenerator) Process(f Footprint) []Event {
 		g.trails.Get(session, ProtoOther).Append(fp)
 		if fp.OnPort == ProtoRTP {
 			// Garbage on a media port: the Figure 8 attack signature.
-			if s := g.sessionForMediaDst(fp.Dst); s != "" {
-				session = s
+			eventSession := h.Session
+			if eventSession == "" {
+				eventSession = session
+				if s := g.idx.mediaDstSession(fp.Dst); s != "" {
+					eventSession = s
+				}
 			}
 			return []Event{{
-				At: fp.At, Type: EvRTPGarbage, Session: session,
+				At: fp.At, Type: EvRTPGarbage, Session: eventSession,
 				Detail:    fmt.Sprintf("undecodable %d bytes on RTP port from %v: %s", fp.Len, fp.Src, fp.Reason),
 				Footprint: fp,
 			}}
@@ -237,106 +213,54 @@ func (g *EventGenerator) Process(f Footprint) []Event {
 }
 
 // sessionForFlow maps a media flow to the SIP session that negotiated
-// either endpoint. Sessions whose media is still unknown (zero-valued)
-// never match. Consecutive calls frequently renegotiate the same media
-// ports, so among candidates the live (not torn down), most recently
-// active session wins; ties break on the session id for determinism.
+// either endpoint (see sessionIndex.flowSession).
 func (g *EventGenerator) sessionForFlow(src, dst netip.AddrPort) string {
-	match := func(negotiated, ep netip.AddrPort) bool {
-		return negotiated.IsValid() && ep.IsValid() && negotiated == ep
-	}
-	var bestID string
-	var best *sessionState
-	for id, st := range g.sessions {
-		if !(match(st.callerMedia, dst) || match(st.calleeMedia, dst) ||
-			match(st.callerMedia, src) || match(st.calleeMedia, src)) {
-			continue
-		}
-		if best == nil || flowSessionLess(best, bestID, st, id) {
-			best, bestID = st, id
-		}
-	}
-	return bestID
-}
-
-// flowSessionLess reports whether candidate (b, bID) should replace the
-// current best (a, aID) when attributing a media flow.
-func flowSessionLess(a *sessionState, aID string, b *sessionState, bID string) bool {
-	// Live sessions outrank torn-down ones: an old call's BYE must not
-	// capture the media of the call that replaced it (it still matches
-	// within its own monitoring window via lastSeen recency below).
-	aLive, bLive := !a.byeSeen, !b.byeSeen
-	if aLive != bLive {
-		return bLive
-	}
-	if a.lastSeen != b.lastSeen {
-		return b.lastSeen > a.lastSeen
-	}
-	return bID > aID
+	return g.idx.flowSession(src, dst)
 }
 
 // sessionForRTCPFlow maps an RTCP flow (media port + 1 by convention) to
 // its session.
 func (g *EventGenerator) sessionForRTCPFlow(src, dst netip.AddrPort) string {
-	down := func(ap netip.AddrPort) netip.AddrPort {
-		if !ap.IsValid() || ap.Port() == 0 {
-			return ap
-		}
-		return netip.AddrPortFrom(ap.Addr(), ap.Port()-1)
-	}
-	return g.sessionForFlow(down(src), down(dst))
+	return g.idx.rtcpFlowSession(src, dst)
 }
 
 // sessionForMediaDst maps a destination media endpoint to its session.
 func (g *EventGenerator) sessionForMediaDst(dst netip.AddrPort) string {
-	if !dst.IsValid() {
-		return ""
-	}
-	for id, st := range g.sessions {
-		if st.callerMedia == dst || st.calleeMedia == dst {
-			return id
-		}
-	}
-	return ""
+	return g.idx.mediaDstSession(dst)
 }
 
 // --- SIP ---
 
-func (g *EventGenerator) processSIP(fp *SIPFootprint) []Event {
+func (g *EventGenerator) processSIP(fp *SIPFootprint, h RouteHints) []Event {
 	var events []Event
 	m := fp.Msg
-	callID := m.CallID()
-	st := g.session(callID)
+	st, out := g.idx.applySIP(m, fp.At, fp.Src)
 
 	if len(fp.Malformed) > 0 && !st.badFormat {
 		st.badFormat = true
 		events = append(events, Event{
-			At: fp.At, Type: EvSIPBadFormat, Session: callID,
+			At: fp.At, Type: EvSIPBadFormat, Session: st.callID,
 			Detail: fmt.Sprintf("%v", fp.Malformed), Footprint: fp,
 		})
 	}
 	if m.IsRequest() {
-		events = append(events, g.processSIPRequest(fp, st)...)
+		events = append(events, g.requestEvents(fp, st, out, h)...)
 	} else {
-		events = append(events, g.processSIPResponse(fp, st)...)
+		events = append(events, g.responseEvents(fp, st, out)...)
 	}
 	return events
 }
 
-func (g *EventGenerator) processSIPRequest(fp *SIPFootprint, st *sessionState) []Event {
+func (g *EventGenerator) requestEvents(fp *SIPFootprint, st *sessionState, out sipOutcome, h RouteHints) []Event {
 	var events []Event
-	m := fp.Msg
-	from, errF := m.From()
-	to, errT := m.To()
-	if errF != nil || errT != nil {
+	if !out.fromToOK {
 		return events
 	}
+	m := fp.Msg
 	switch m.Method {
 	case sip.MethodRegister:
-		st.isRegistration = true
-		g.pendingReg[st.callID] = to.URI.AOR()
 		events = append(events, Event{At: fp.At, Type: EvSIPRegister, Session: st.callID,
-			Detail: to.URI.AOR(), Footprint: fp})
+			Detail: out.to.URI.AOR(), Footprint: fp})
 		if authz := m.Headers.Get(sip.HdrAuthorization); authz != "" {
 			if creds, err := sip.ParseCredentials(authz); err == nil {
 				st.guessResponses[creds.Response] = struct{}{}
@@ -345,70 +269,28 @@ func (g *EventGenerator) processSIPRequest(fp *SIPFootprint, st *sessionState) [
 					events = append(events, Event{
 						At: fp.At, Type: EvPasswordGuessing, Session: st.callID,
 						Detail: fmt.Sprintf("%d distinct challenge responses for %s from %v",
-							len(st.guessResponses), to.URI.AOR(), fp.Src),
+							len(st.guessResponses), out.to.URI.AOR(), fp.Src),
 						Footprint: fp,
 					})
 				}
 			}
 		}
 	case sip.MethodInvite:
-		if to.Tag() == "" {
-			// Dialog-forming INVITE.
-			if st.callerAOR == "" {
-				st.callerAOR = from.URI.AOR()
-				st.calleeAOR = to.URI.AOR()
-				st.callerTag = from.Tag()
-				st.inviteSrcIP = fp.Src.Addr()
-				if media, ok := mediaFromBody(m); ok {
-					st.callerMedia = media
-				}
-				events = append(events, Event{At: fp.At, Type: EvSIPInvite, Session: st.callID,
-					Detail: st.callerAOR + " -> " + st.calleeAOR, Footprint: fp})
-			}
-			return events
+		if out.firstInvite {
+			events = append(events, Event{At: fp.At, Type: EvSIPInvite, Session: st.callID,
+				Detail: st.callerAOR + " -> " + st.calleeAOR, Footprint: fp})
 		}
-		// Re-INVITE: someone claims to be moving their media.
-		cseq, err := m.CSeq()
-		if err != nil || cseq.Seq <= st.lastReinviteSeq {
-			return events // duplicate sighting (e.g. the proxy-relayed copy)
+		if out.reinvite {
+			events = append(events, Event{At: fp.At, Type: EvSIPReinvite, Session: st.callID,
+				Detail: fmt.Sprintf("%s moving media from %v", out.reinviteMover, out.reinviteOld), Footprint: fp})
 		}
-		st.lastReinviteSeq = cseq.Seq
-		var oldMedia netip.AddrPort
-		mover := from.URI.AOR()
-		if from.Tag() == st.callerTag {
-			oldMedia = st.callerMedia
-			if media, ok := mediaFromBody(m); ok {
-				st.callerMedia = media
-			}
-		} else {
-			oldMedia = st.calleeMedia
-			if media, ok := mediaFromBody(m); ok {
-				st.calleeMedia = media
-			}
-		}
-		st.reinviteSeen = true
-		st.reinviteAt = fp.At
-		st.reinviteOldMedia = oldMedia
-		events = append(events, Event{At: fp.At, Type: EvSIPReinvite, Session: st.callID,
-			Detail: fmt.Sprintf("%s moving media from %v", mover, oldMedia), Footprint: fp})
 	case sip.MethodBye:
-		if st.byeSeen {
-			return events // duplicate sighting
+		if out.firstBye {
+			events = append(events, Event{At: fp.At, Type: EvSIPBye, Session: st.callID,
+				Detail: out.from.URI.AOR() + " hangs up", Footprint: fp})
 		}
-		st.byeSeen = true
-		st.byeAt = fp.At
-		// Which party claims to be hanging up? Match by tag, falling back
-		// to AOR for dialogs whose caller tag we never learned.
-		switch {
-		case from.Tag() != "" && from.Tag() == st.callerTag, from.URI.AOR() == st.callerAOR:
-			st.byeFromMedia = st.callerMedia
-		default:
-			st.byeFromMedia = st.calleeMedia
-		}
-		events = append(events, Event{At: fp.At, Type: EvSIPBye, Session: st.callID,
-			Detail: from.URI.AOR() + " hangs up", Footprint: fp})
 	case sip.MethodMessage:
-		events = append(events, g.processIM(fp, from)...)
+		events = append(events, g.processIM(fp, out.from, h)...)
 	}
 	return events
 }
@@ -417,13 +299,26 @@ func (g *EventGenerator) processSIPRequest(fp *SIPFootprint, st *sessionState) [
 // source history is keyed by (claimed sender, delivery destination): on a
 // hub tap each proxy relay leg is a distinct delivery path with its own
 // stable source, matching what the paper's per-endpoint IDS would see.
-func (g *EventGenerator) processIM(fp *SIPFootprint, from sip.Address) []Event {
+func (g *EventGenerator) processIM(fp *SIPFootprint, from sip.Address, h RouteHints) []Event {
 	var events []Event
 	aor := from.URI.AOR()
 	session := "im:" + aor
-	histKey := aor + "|" + fp.Dst.Addr().String()
 	events = append(events, Event{At: fp.At, Type: EvSIPInstantMessage, Session: session,
 		Detail: fmt.Sprintf("from %s via %v", aor, fp.Src.Addr()), Footprint: fp})
+	if h.HasIM {
+		// The router already judged this MESSAGE against the global source
+		// history; the local map stays untouched.
+		if h.IM.Mismatch {
+			events = append(events, Event{
+				At: fp.At, Type: EvIMSourceMismatch, Session: session,
+				Detail: fmt.Sprintf("IM claiming %s came from %v; recent messages to %v came from %v",
+					aor, fp.Src.Addr(), fp.Dst.Addr(), h.IM.PrevIP),
+				Footprint: fp,
+			})
+		}
+		return events
+	}
+	histKey := aor + "|" + fp.Dst.Addr().String()
 	rec, seen := g.ims[histKey]
 	switch {
 	case !seen || fp.At-rec.at > g.cfg.IMPeriod:
@@ -443,13 +338,12 @@ func (g *EventGenerator) processIM(fp *SIPFootprint, from sip.Address) []Event {
 	return events
 }
 
-func (g *EventGenerator) processSIPResponse(fp *SIPFootprint, st *sessionState) []Event {
+func (g *EventGenerator) responseEvents(fp *SIPFootprint, st *sessionState, out sipOutcome) []Event {
 	var events []Event
-	m := fp.Msg
-	cseq, err := m.CSeq()
-	if err != nil {
+	if !out.cseqOK {
 		return events
 	}
+	m := fp.Msg
 	switch {
 	case m.StatusCode == sip.StatusUnauthorized:
 		st.challenges++
@@ -463,35 +357,22 @@ func (g *EventGenerator) processSIPResponse(fp *SIPFootprint, st *sessionState) 
 				Footprint: fp,
 			})
 		}
-	case m.StatusCode == sip.StatusOK && cseq.Method == sip.MethodRegister:
-		if aor, ok := g.pendingReg[st.callID]; ok {
-			if contact, err := m.Contact(); err == nil {
-				if ip, err2 := netip.ParseAddr(contact.URI.Host); err2 == nil {
-					g.bindings[aor] = ip
-				}
-			}
-			events = append(events, Event{At: fp.At, Type: EvSIPRegisterOK, Session: st.callID,
-				Detail: aor, Footprint: fp})
+	case out.regOK:
+		if out.bindingIP.IsValid() {
+			g.bindings[out.regAOR] = out.bindingIP
 		}
-	case m.StatusCode == sip.StatusOK && cseq.Method == sip.MethodInvite:
-		if to, err := m.To(); err == nil && st.calleeTag == "" {
-			st.calleeTag = to.Tag()
-		}
-		if media, ok := mediaFromBody(m); ok && !st.established {
-			st.calleeMedia = media
-		}
-		if !st.established && st.callerAOR != "" {
-			st.established = true
-			// A fresh media session begins at these endpoints: RTP sequence
-			// numbers restart at a random value, so stale continuity
-			// trackers from earlier calls must not carry over.
-			delete(g.seqs, st.callerMedia)
-			delete(g.seqs, st.calleeMedia)
-			events = append(events, Event{At: fp.At, Type: EvSIPCallEstablished, Session: st.callID,
-				Detail:    fmt.Sprintf("%s <-> %s media %v/%v", st.callerAOR, st.calleeAOR, st.callerMedia, st.calleeMedia),
-				Footprint: fp})
-			events = append(events, g.checkUnmatchedMedia(fp, st)...)
-		}
+		events = append(events, Event{At: fp.At, Type: EvSIPRegisterOK, Session: st.callID,
+			Detail: out.regAOR, Footprint: fp})
+	case out.established:
+		// A fresh media session begins at these endpoints: RTP sequence
+		// numbers restart at a random value, so stale continuity
+		// trackers from earlier calls must not carry over.
+		delete(g.seqs, st.callerMedia)
+		delete(g.seqs, st.calleeMedia)
+		events = append(events, Event{At: fp.At, Type: EvSIPCallEstablished, Session: st.callID,
+			Detail:    fmt.Sprintf("%s <-> %s media %v/%v", st.callerAOR, st.calleeAOR, st.callerMedia, st.calleeMedia),
+			Footprint: fp})
+		events = append(events, g.checkUnmatchedMedia(fp, st)...)
 	}
 	return events
 }
@@ -517,28 +398,46 @@ func (g *EventGenerator) checkUnmatchedMedia(fp *SIPFootprint, st *sessionState)
 
 // --- RTP ---
 
-func (g *EventGenerator) processRTP(fp *RTPFootprint, session string) []Event {
+func (g *EventGenerator) processRTP(fp *RTPFootprint, session string, h RouteHints) []Event {
 	var events []Event
 	// Sequence continuity per destination endpoint (paper Section 4.2.4).
-	tr, ok := g.seqs[fp.Dst]
-	if !ok {
-		tr = &seqTrack{}
-		g.seqs[fp.Dst] = tr
-		events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
-			Detail: fmt.Sprintf("%v -> %v ssrc=%08x", fp.Src, fp.Dst, fp.Header.SSRC), Footprint: fp})
-	}
-	if tr.primed {
-		if d := rtp.SeqDiff(tr.last, fp.Header.Seq); d > g.cfg.SeqJumpThreshold || d < -g.cfg.SeqJumpThreshold {
+	if h.HasSeq {
+		// The router tracks continuity across all shards in global frame
+		// order; the local map stays untouched.
+		if h.Seq.NewFlow {
+			events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
+				Detail: fmt.Sprintf("%v -> %v ssrc=%08x", fp.Src, fp.Dst, fp.Header.SSRC), Footprint: fp})
+		}
+		if h.Seq.Jump {
+			d := rtp.SeqDiff(h.Seq.Prev, fp.Header.Seq)
 			events = append(events, Event{
 				At: fp.At, Type: EvRTPSeqJump, Session: session,
 				Detail: fmt.Sprintf("seq %d -> %d (|Δ|=%d > %d) at %v",
-					tr.last, fp.Header.Seq, abs(d), g.cfg.SeqJumpThreshold, fp.Dst),
+					h.Seq.Prev, fp.Header.Seq, abs(d), g.cfg.SeqJumpThreshold, fp.Dst),
 				Footprint: fp,
 			})
 		}
+	} else {
+		tr, ok := g.seqs[fp.Dst]
+		if !ok {
+			tr = &seqTrack{}
+			g.seqs[fp.Dst] = tr
+			events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
+				Detail: fmt.Sprintf("%v -> %v ssrc=%08x", fp.Src, fp.Dst, fp.Header.SSRC), Footprint: fp})
+		}
+		if tr.primed {
+			if d := rtp.SeqDiff(tr.last, fp.Header.Seq); d > g.cfg.SeqJumpThreshold || d < -g.cfg.SeqJumpThreshold {
+				events = append(events, Event{
+					At: fp.At, Type: EvRTPSeqJump, Session: session,
+					Detail: fmt.Sprintf("seq %d -> %d (|Δ|=%d > %d) at %v",
+						tr.last, fp.Header.Seq, abs(d), g.cfg.SeqJumpThreshold, fp.Dst),
+					Footprint: fp,
+				})
+			}
+		}
+		tr.primed = true
+		tr.last = fp.Header.Seq
 	}
-	tr.primed = true
-	tr.last = fp.Header.Seq
 
 	st, known := g.sessions[session]
 	if !known {

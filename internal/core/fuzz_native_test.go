@@ -1,8 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"net/netip"
 	"testing"
 	"time"
+
+	"scidive/internal/packet"
+	"scidive/internal/sip"
 )
 
 // FuzzDistill throws arbitrary frames at the distiller; it must never
@@ -27,6 +32,110 @@ func FuzzEngineFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, frame []byte, atMs uint32) {
 		eng := NewEngine(Config{})
 		eng.HandleFrame(time.Duration(atMs)*time.Millisecond, frame)
+	})
+}
+
+// fuzzFrameStream chops fuzz input into a stream of pseudo-frames. The
+// first byte of each chunk picks the chunk length so the fuzzer can
+// explore frame boundaries; timestamps advance monotonically.
+func fuzzFrameStream(data []byte) [][]byte {
+	var frames [][]byte
+	for len(data) > 0 && len(frames) < 64 {
+		n := 14 + int(data[0])%120
+		if n > len(data) {
+			n = len(data)
+		}
+		frames = append(frames, data[:n])
+		data = data[n:]
+	}
+	return frames
+}
+
+// fuzzSeedFrames returns valid on-the-wire traffic to seed the corpus so
+// the fuzzer starts from decodable SIP/RTP rather than pure noise.
+func fuzzSeedFrames(t testing.TB) [][]byte {
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	inv := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:bob@pbx",
+		From:       sip.Address{URI: sip.URI{User: "alice", Host: "pbx"}}.WithTag("t1"),
+		To:         sip.Address{URI: sip.URI{User: "bob", Host: "pbx"}},
+		CallID:     "fuzzcall@pbx",
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:        sip.Via{Transport: "UDP", SentBy: "10.0.0.1"},
+	})
+	var out [][]byte
+	for _, p := range []struct {
+		sp, dp  uint16
+		payload []byte
+	}{
+		{5060, 5060, inv.Marshal()},
+		{10000, 10002, []byte{0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 'h', 'i'}},
+		{10001, 10003, []byte{0x81, 0xc8, 0, 1, 0, 0, 0, 1}},
+	} {
+		frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: src, DstIP: dst, SrcPort: p.sp, DstPort: p.dp, IPID: 7, Payload: p.payload,
+		}, 0)
+		if err != nil {
+			t.Fatalf("seed frame: %v", err)
+		}
+		out = append(out, frames...)
+	}
+	return out
+}
+
+// FuzzShardedDivergence routes fuzzed frame streams through both the
+// serial Engine and a ShardedEngine and requires no panic and byte-equal
+// alert/event/stat outcomes.
+func FuzzShardedDivergence(f *testing.F) {
+	var seed []byte
+	for _, fr := range fuzzSeedFrames(f) {
+		seed = append(seed, fr...)
+	}
+	f.Add(seed, uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add(make([]byte, 300), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, nshards uint8) {
+		shards := 1 + int(nshards)%8
+		frames := fuzzFrameStream(data)
+
+		serial := NewEngine(Config{}, WithEventLog())
+		sharded := NewShardedEngine(Config{}, shards, WithEventLog())
+		defer sharded.Close()
+		at := time.Millisecond
+		for _, fr := range frames {
+			serial.HandleFrame(at, fr)
+			sharded.HandleFrame(at, fr)
+			at += 3 * time.Millisecond
+		}
+		sharded.Flush()
+
+		sEv, gEv := serial.Events(), sharded.Events()
+		if len(sEv) != len(gEv) {
+			t.Fatalf("event count diverged: serial %d, sharded %d", len(sEv), len(gEv))
+		}
+		for i := range sEv {
+			a := fmt.Sprintf("%v|%v|%s|%s", sEv[i].At, sEv[i].Type, sEv[i].Session, sEv[i].Detail)
+			b := fmt.Sprintf("%v|%v|%s|%s", gEv[i].At, gEv[i].Type, gEv[i].Session, gEv[i].Detail)
+			if a != b {
+				t.Fatalf("event %d diverged:\nserial  %s\nsharded %s", i, a, b)
+			}
+		}
+		sAl, gAl := serial.Alerts(), sharded.Alerts()
+		if len(sAl) != len(gAl) {
+			t.Fatalf("alert count diverged: serial %d, sharded %d", len(sAl), len(gAl))
+		}
+		for i := range sAl {
+			a := fmt.Sprintf("%v|%s|%s|%s|%d", sAl[i].At, sAl[i].Rule, sAl[i].Session, sAl[i].Detail, sAl[i].Count)
+			b := fmt.Sprintf("%v|%s|%s|%s|%d", gAl[i].At, gAl[i].Rule, gAl[i].Session, gAl[i].Detail, gAl[i].Count)
+			if a != b {
+				t.Fatalf("alert %d diverged:\nserial  %s\nsharded %s", i, a, b)
+			}
+		}
+		if ss, gs := serial.Stats(), sharded.Stats(); ss != gs {
+			t.Fatalf("stats diverged: serial %+v, sharded %+v", ss, gs)
+		}
 	})
 }
 

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"scidive/internal/sip"
+)
+
+// This file is the session-keying core shared by the serial Engine and the
+// ShardedEngine. Both engines must agree exactly on (a) which session key a
+// footprint is filed under and (b) how SIP sightings mutate per-session
+// state, because the sharded router uses the same logic to decide which
+// shard owns a frame: a session's SIP, RTP, RTCP and accounting traffic
+// must all land on the shard that holds its trails, or cross-protocol
+// rules silently stop firing.
+
+// sessionState is the per-call state the generator accumulates.
+type sessionState struct {
+	callID      string
+	lastSeen    time.Duration
+	established bool
+
+	callerAOR   string
+	calleeAOR   string
+	callerTag   string
+	calleeTag   string
+	callerMedia netip.AddrPort
+	calleeMedia netip.AddrPort
+	inviteSrcIP netip.Addr // network source of the first INVITE sighting
+
+	byeSeen      bool
+	byeAt        time.Duration
+	byeFromMedia netip.AddrPort // media of the purported BYE sender
+
+	lastReinviteSeq  uint32
+	reinviteSeen     bool
+	reinviteAt       time.Duration
+	reinviteOldMedia netip.AddrPort // media the "moved" party used before
+
+	badFormat     bool
+	acctStart     bool
+	unmatchedOnce bool
+
+	// RTCP BYE correlation (three-protocol chain: SIP state, RTP media,
+	// RTCP control).
+	rtcpByeAt      time.Duration
+	rtcpByePending bool
+	rtcpByeFired   bool
+
+	// Registration-session state (Section 3.3).
+	isRegistration bool
+	challenges     int
+	floodFired     bool
+	guessResponses map[string]struct{}
+	guessFired     bool
+}
+
+// sessionIndex holds the session table and the SIP transitions that feed
+// it. The serial engine's EventGenerator embeds one; the sharded router
+// owns a second, independent copy (its "directory") built from the same
+// frame stream, which is what lets it attribute media flows to sessions
+// without consulting any shard.
+//
+// With indexed=true the index additionally maintains a reverse map from
+// negotiated media endpoint to candidate sessions, turning flow
+// attribution from an O(#sessions) scan into a map lookup. Both modes
+// return identical results: the scan and the lookup pick the best
+// candidate under the same flowSessionLess total order.
+type sessionIndex struct {
+	sessions   map[string]*sessionState
+	pendingReg map[string]string // Call-ID -> AOR awaiting 200
+	byMedia    map[netip.AddrPort][]*sessionState
+}
+
+// newSessionIndex returns an empty index. indexed enables the reverse
+// media-endpoint map.
+func newSessionIndex(indexed bool) *sessionIndex {
+	x := &sessionIndex{
+		sessions:   make(map[string]*sessionState),
+		pendingReg: make(map[string]string),
+	}
+	if indexed {
+		x.byMedia = make(map[netip.AddrPort][]*sessionState)
+	}
+	return x
+}
+
+// core returns the state for a Call-ID, creating it if needed.
+func (x *sessionIndex) core(callID string) *sessionState {
+	st, ok := x.sessions[callID]
+	if !ok {
+		st = &sessionState{callID: callID, guessResponses: make(map[string]struct{})}
+		x.sessions[callID] = st
+	}
+	return st
+}
+
+// touch records session activity for expiry bookkeeping.
+func (x *sessionIndex) touch(session string, at time.Duration) {
+	if st, ok := x.sessions[session]; ok {
+		st.lastSeen = at
+	}
+}
+
+// expire drops per-session state for sessions idle longer than timeout as
+// of now, invoking onEvict (if non-nil) with each evicted session id. It
+// returns how many sessions were evicted.
+func (x *sessionIndex) expire(now, timeout time.Duration, onEvict func(id string)) int {
+	evicted := 0
+	for id, st := range x.sessions {
+		if now-st.lastSeen > timeout {
+			delete(x.sessions, id)
+			if x.byMedia != nil {
+				x.unindexMedia(st, st.callerMedia)
+				x.unindexMedia(st, st.calleeMedia)
+			}
+			if onEvict != nil {
+				onEvict(id)
+			}
+			evicted++
+		}
+	}
+	return evicted
+}
+
+func (x *sessionIndex) indexMedia(st *sessionState, media netip.AddrPort) {
+	if x.byMedia == nil || !media.IsValid() {
+		return
+	}
+	x.byMedia[media] = append(x.byMedia[media], st)
+}
+
+func (x *sessionIndex) unindexMedia(st *sessionState, media netip.AddrPort) {
+	if x.byMedia == nil || !media.IsValid() {
+		return
+	}
+	list := x.byMedia[media]
+	for i, cand := range list {
+		if cand == st {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(x.byMedia, media)
+	} else {
+		x.byMedia[media] = list
+	}
+}
+
+// setCallerMedia / setCalleeMedia update a session's negotiated media
+// endpoints, keeping the reverse index consistent. All media writes must
+// go through these.
+func (x *sessionIndex) setCallerMedia(st *sessionState, media netip.AddrPort) {
+	if st.callerMedia != media {
+		x.unindexMedia(st, st.callerMedia)
+		x.indexMedia(st, media)
+	}
+	st.callerMedia = media
+}
+
+func (x *sessionIndex) setCalleeMedia(st *sessionState, media netip.AddrPort) {
+	if st.calleeMedia != media {
+		x.unindexMedia(st, st.calleeMedia)
+		x.indexMedia(st, media)
+	}
+	st.calleeMedia = media
+}
+
+// SessionKey returns the session (trail) key a footprint is filed under:
+// Call-ID for SIP and accounting, the negotiated session for media flows
+// (with an address-derived fallback when no session matches), and a
+// destination-derived key for undecodable traffic. The sharded router
+// calls this on a footprint it reconstructs from a peeked frame, so both
+// engines key trails identically by construction.
+func (x *sessionIndex) SessionKey(f Footprint) string {
+	switch fp := f.(type) {
+	case *SIPFootprint:
+		return fp.Msg.CallID()
+	case *RTPFootprint:
+		if s := x.flowSession(fp.Src, fp.Dst); s != "" {
+			return s
+		}
+		return "rtp:" + fp.Dst.String()
+	case *RTCPFootprint:
+		if s := x.rtcpFlowSession(fp.Src, fp.Dst); s != "" {
+			return s
+		}
+		return "rtcp:" + fp.Dst.String()
+	case *AcctFootprint:
+		return fp.Txn.CallID
+	case *RawFootprint:
+		return "raw:" + fp.Dst.String()
+	default:
+		return ""
+	}
+}
+
+// flowSession maps a media flow to the SIP session that negotiated either
+// endpoint. Sessions whose media is still unknown (zero-valued) never
+// match. Consecutive calls frequently renegotiate the same media ports,
+// so among candidates the live (not torn down), most recently active
+// session wins; ties break on the session id for determinism.
+func (x *sessionIndex) flowSession(src, dst netip.AddrPort) string {
+	if x.byMedia != nil {
+		var best *sessionState
+		var bestID string
+		for _, st := range x.byMedia[dst] {
+			if best == nil || flowSessionLess(best, bestID, st, st.callID) {
+				best, bestID = st, st.callID
+			}
+		}
+		for _, st := range x.byMedia[src] {
+			if best == nil || flowSessionLess(best, bestID, st, st.callID) {
+				best, bestID = st, st.callID
+			}
+		}
+		return bestID
+	}
+	match := func(negotiated, ep netip.AddrPort) bool {
+		return negotiated.IsValid() && ep.IsValid() && negotiated == ep
+	}
+	var bestID string
+	var best *sessionState
+	for id, st := range x.sessions {
+		if !(match(st.callerMedia, dst) || match(st.calleeMedia, dst) ||
+			match(st.callerMedia, src) || match(st.calleeMedia, src)) {
+			continue
+		}
+		if best == nil || flowSessionLess(best, bestID, st, id) {
+			best, bestID = st, id
+		}
+	}
+	return bestID
+}
+
+// flowSessionLess reports whether candidate (b, bID) should replace the
+// current best (a, aID) when attributing a media flow.
+func flowSessionLess(a *sessionState, aID string, b *sessionState, bID string) bool {
+	// Live sessions outrank torn-down ones: an old call's BYE must not
+	// capture the media of the call that replaced it (it still matches
+	// within its own monitoring window via lastSeen recency below).
+	aLive, bLive := !a.byeSeen, !b.byeSeen
+	if aLive != bLive {
+		return bLive
+	}
+	if a.lastSeen != b.lastSeen {
+		return b.lastSeen > a.lastSeen
+	}
+	return bID > aID
+}
+
+// rtcpFlowSession maps an RTCP flow (media port + 1 by convention) to its
+// session.
+func (x *sessionIndex) rtcpFlowSession(src, dst netip.AddrPort) string {
+	down := func(ap netip.AddrPort) netip.AddrPort {
+		if !ap.IsValid() || ap.Port() == 0 {
+			return ap
+		}
+		return netip.AddrPortFrom(ap.Addr(), ap.Port()-1)
+	}
+	return x.flowSession(down(src), down(dst))
+}
+
+// mediaDstSession maps a destination media endpoint to its session,
+// picking the best candidate under flowSessionLess so the answer does not
+// depend on map iteration order.
+func (x *sessionIndex) mediaDstSession(dst netip.AddrPort) string {
+	if !dst.IsValid() {
+		return ""
+	}
+	if x.byMedia != nil {
+		var best *sessionState
+		var bestID string
+		for _, st := range x.byMedia[dst] {
+			if best == nil || flowSessionLess(best, bestID, st, st.callID) {
+				best, bestID = st, st.callID
+			}
+		}
+		return bestID
+	}
+	var bestID string
+	var best *sessionState
+	for id, st := range x.sessions {
+		if st.callerMedia != dst && st.calleeMedia != dst {
+			continue
+		}
+		if best == nil || flowSessionLess(best, bestID, st, id) {
+			best, bestID = st, id
+		}
+	}
+	return bestID
+}
+
+// sipOutcome reports which attribution-relevant transitions one SIP
+// sighting caused, plus the parsed fields both consumers need. The
+// generator turns it into events; the sharded router uses it to maintain
+// the routing directory and replicate cross-session state.
+type sipOutcome struct {
+	from, to sip.Address
+	fromToOK bool // request From/To parsed (requests only)
+	cseq     sip.CSeq
+	cseqOK   bool // response CSeq parsed (responses only)
+
+	firstInvite   bool
+	reinvite      bool
+	reinviteMover string
+	reinviteOld   netip.AddrPort
+	firstBye      bool
+	registered    bool       // REGISTER request recorded in pendingReg
+	regOK         bool       // 200 matched a pending registration
+	regAOR        string     // AOR of the matched registration
+	bindingIP     netip.Addr // contact IP of the 200, when it parsed
+	established   bool       // session became established on this message
+}
+
+// applySIP folds one SIP sighting into the session table and reports what
+// changed. This is the single place dialog state transitions happen; it
+// must stay free of event construction so the router can replay it
+// without an EventGenerator.
+func (x *sessionIndex) applySIP(m *sip.Message, at time.Duration, src netip.AddrPort) (*sessionState, sipOutcome) {
+	st := x.core(m.CallID())
+	var out sipOutcome
+	if m.IsRequest() {
+		from, errF := m.From()
+		to, errT := m.To()
+		if errF != nil || errT != nil {
+			return st, out
+		}
+		out.from, out.to, out.fromToOK = from, to, true
+		switch m.Method {
+		case sip.MethodRegister:
+			st.isRegistration = true
+			x.pendingReg[st.callID] = to.URI.AOR()
+			out.registered = true
+		case sip.MethodInvite:
+			if to.Tag() == "" {
+				// Dialog-forming INVITE.
+				if st.callerAOR == "" {
+					st.callerAOR = from.URI.AOR()
+					st.calleeAOR = to.URI.AOR()
+					st.callerTag = from.Tag()
+					st.inviteSrcIP = src.Addr()
+					if media, ok := mediaFromBody(m); ok {
+						x.setCallerMedia(st, media)
+					}
+					out.firstInvite = true
+				}
+				return st, out
+			}
+			// Re-INVITE: someone claims to be moving their media.
+			cseq, err := m.CSeq()
+			if err != nil || cseq.Seq <= st.lastReinviteSeq {
+				return st, out // duplicate sighting (e.g. the proxy-relayed copy)
+			}
+			st.lastReinviteSeq = cseq.Seq
+			var oldMedia netip.AddrPort
+			if from.Tag() == st.callerTag {
+				oldMedia = st.callerMedia
+				if media, ok := mediaFromBody(m); ok {
+					x.setCallerMedia(st, media)
+				}
+			} else {
+				oldMedia = st.calleeMedia
+				if media, ok := mediaFromBody(m); ok {
+					x.setCalleeMedia(st, media)
+				}
+			}
+			st.reinviteSeen = true
+			st.reinviteAt = at
+			st.reinviteOldMedia = oldMedia
+			out.reinvite = true
+			out.reinviteMover = from.URI.AOR()
+			out.reinviteOld = oldMedia
+		case sip.MethodBye:
+			if st.byeSeen {
+				return st, out // duplicate sighting
+			}
+			st.byeSeen = true
+			st.byeAt = at
+			// Which party claims to be hanging up? Match by tag, falling back
+			// to AOR for dialogs whose caller tag we never learned.
+			switch {
+			case from.Tag() != "" && from.Tag() == st.callerTag, from.URI.AOR() == st.callerAOR:
+				st.byeFromMedia = st.callerMedia
+			default:
+				st.byeFromMedia = st.calleeMedia
+			}
+			out.firstBye = true
+		}
+		return st, out
+	}
+	cseq, err := m.CSeq()
+	if err != nil {
+		return st, out
+	}
+	out.cseq, out.cseqOK = cseq, true
+	switch {
+	case m.StatusCode == sip.StatusOK && cseq.Method == sip.MethodRegister:
+		if aor, ok := x.pendingReg[st.callID]; ok {
+			out.regOK = true
+			out.regAOR = aor
+			if contact, err := m.Contact(); err == nil {
+				if ip, err2 := netip.ParseAddr(contact.URI.Host); err2 == nil {
+					out.bindingIP = ip
+				}
+			}
+		}
+	case m.StatusCode == sip.StatusOK && cseq.Method == sip.MethodInvite:
+		if to, err := m.To(); err == nil && st.calleeTag == "" {
+			st.calleeTag = to.Tag()
+		}
+		if media, ok := mediaFromBody(m); ok && !st.established {
+			x.setCalleeMedia(st, media)
+		}
+		if !st.established && st.callerAOR != "" {
+			st.established = true
+			out.established = true
+		}
+	}
+	return st, out
+}
+
+// RouteHints carries per-frame verdicts the sharded router pre-computed in
+// global arrival order. A shard's EventGenerator consumes them instead of
+// its own cross-session maps, which is how state that spans sessions (RTP
+// sequence continuity per endpoint, IM source history per sender) stays
+// exactly serial-equivalent even though frames are processed on many
+// shards. The zero value means "no hints": the generator falls back to
+// its local state, which is the serial engine's behavior.
+type RouteHints struct {
+	// Session overrides media-flow attribution for RTP/RTCP footprints and
+	// the garbage-event session for raw traffic on an RTP port. Empty
+	// means attribute locally.
+	Session string
+	// HasSeq indicates Seq carries the sequence-continuity verdict for an
+	// RTP footprint.
+	HasSeq bool
+	Seq    SeqVerdict
+	// HasIM indicates IM carries the source-stability verdict for a SIP
+	// MESSAGE footprint.
+	HasIM bool
+	IM    IMVerdict
+}
+
+// SeqVerdict is the router's RTP sequence-continuity decision for one
+// packet, computed against the globally ordered per-endpoint tracker.
+type SeqVerdict struct {
+	NewFlow bool   // first packet seen toward this endpoint
+	Jump    bool   // discontinuity beyond the threshold
+	Prev    uint16 // previous sequence number (valid when the tracker was primed)
+}
+
+// IMVerdict is the router's IM source-stability decision for one MESSAGE.
+type IMVerdict struct {
+	Mismatch bool       // source differs from recent history within the period
+	PrevIP   netip.Addr // the remembered source (valid when Mismatch)
+}

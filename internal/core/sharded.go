@@ -1,0 +1,704 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/capture"
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+	"scidive/internal/rtp"
+	"scidive/internal/sip"
+)
+
+// ShardedEngine runs the SCIDIVE pipeline across N worker shards, each
+// owning a private Distiller, TrailStore, EventGenerator and RuleEngine.
+// A single router stage peeks at every frame just deep enough to compute
+// its session key — the same key the serial engine files trails under —
+// and ships the frame to shard hash(key). Session affinity is the load-
+// bearing invariant: a call's SIP dialog, its RTP media, its RTCP control
+// and its accounting records all hash to one shard, so the stateful
+// cross-protocol rules run unchanged inside each shard.
+//
+// State that spans sessions cannot live in a shard. The router therefore
+// keeps its own session directory (a second sessionIndex fed by the same
+// applySIP transitions the shards run) for media-flow attribution, owns
+// the RTP sequence-continuity trackers and IM source histories outright
+// (shipping per-frame verdicts to the shards as RouteHints, computed in
+// global arrival order), and replicates registration bindings to every
+// shard via ordered control messages.
+//
+// Alerts and events are tagged with (frame index, within-frame ordinal)
+// on their shard and merged in that order, which reproduces the serial
+// engine's output order exactly. The differential tests in
+// sharded_diff_test.go hold the two engines to byte-identical alert and
+// event streams.
+//
+// HandleFrame may be called from multiple goroutines. The router retains
+// a shipped frame until its shard has processed it, so feeders must not
+// reuse frame buffers (netsim taps and capture replay both allocate per
+// frame). Call Close when done to stop the shard goroutines; Alerts,
+// Events and Stats remain readable after Close.
+type ShardedEngine struct {
+	cfg     Config
+	gen     GenConfig // normalized thresholds for router-side verdicts
+	timeout time.Duration
+	keepLog bool
+
+	mu       sync.Mutex // router stage: directory, reassembly, pending batches
+	closed   bool
+	frameIdx uint64
+	idx      *sessionIndex
+	reasm    *packet.Reassembler
+	frags    map[fragIdent]*fragGroup
+	seqs     map[netip.AddrPort]*seqTrack
+	ims      map[string]imRecord
+	sticky   map[string]string // Call-ID -> routing key (pinned on first sighting)
+	pending  [][]shardItem
+
+	frames atomic.Uint64
+
+	workers []*shardWorker
+
+	cbMu    sync.Mutex
+	onAlert func(Alert)
+}
+
+// fragIdent mirrors the reassembler's fragment-stream identity.
+type fragIdent struct {
+	src, dst netip.Addr
+	proto    uint8
+	id       uint16
+}
+
+// fragGroup buffers the original frames of one in-progress fragment
+// stream so the whole datagram can ship to one shard once its session
+// key is known. first mirrors the reassembler's eviction clock.
+type fragGroup struct {
+	frames []routedFrame
+	first  time.Duration
+}
+
+// routedFrame is one raw frame with its capture time.
+type routedFrame struct {
+	at    time.Duration
+	frame []byte
+}
+
+// mergeTag orders shard output globally: frame index, then the event's
+// ordinal within that frame. Frames are routed whole, so tags from
+// different shards never collide.
+type mergeTag struct {
+	idx uint64
+	sub int
+}
+
+type itemKind uint8
+
+const (
+	itemFrame itemKind = iota
+	itemGroup
+	itemBinding
+	itemExpire
+	itemFlush
+)
+
+// shardItem is one unit of work on a shard's queue: a routed frame (or
+// reassembled fragment group), a replicated binding, an expiry sweep, or
+// a flush marker.
+type shardItem struct {
+	kind  itemKind
+	idx   uint64
+	at    time.Duration
+	frame []byte
+	group []routedFrame
+	hints RouteHints
+	aor   string
+	ip    netip.Addr
+	ack   chan struct{}
+}
+
+// shardWorker owns one shard: a full serial pipeline plus the merge tags
+// aligned with its alert and event logs.
+type shardWorker struct {
+	ch   chan []shardItem
+	done chan struct{}
+
+	mu        sync.Mutex // guards eng and tags; held while processing a batch
+	eng       *Engine
+	alertTags []mergeTag
+	eventTags []mergeTag
+	curTag    mergeTag
+	sub       int
+}
+
+const (
+	// shardBatchSize frames are accumulated per shard before a channel
+	// send, amortizing synchronization on the hot path.
+	shardBatchSize = 64
+	// shardQueueDepth bounds each shard's channel; a full queue blocks
+	// the router (backpressure) rather than buffering without limit.
+	shardQueueDepth = 8
+)
+
+// NewShardedEngine builds a sharded IDS instance. shards <= 0 uses
+// runtime.GOMAXPROCS(0). The configuration is shared by every shard.
+// DirectTrailMatching is a single-store ablation and is not supported
+// sharded.
+func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngine {
+	if cfg.DirectTrailMatching {
+		panic("core: ShardedEngine does not support DirectTrailMatching; use Engine for the ablation")
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxTrailLen == 0 {
+		cfg.MaxTrailLen = 4096
+	}
+	if cfg.SessionTimeout == 0 {
+		cfg.SessionTimeout = 10 * time.Minute
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = DefaultRuleset()
+	}
+	s := &ShardedEngine{
+		cfg:     cfg,
+		gen:     cfg.Gen.withDefaults(),
+		timeout: cfg.SessionTimeout,
+		idx:     newSessionIndex(true),
+		reasm:   packet.NewReassembler(0),
+		frags:   make(map[fragIdent]*fragGroup),
+		seqs:    make(map[netip.AddrPort]*seqTrack),
+		ims:     make(map[string]imRecord),
+		sticky:  make(map[string]string),
+		pending: make([][]shardItem, shards),
+		workers: make([]*shardWorker, shards),
+	}
+	for i := range s.workers {
+		w := &shardWorker{
+			ch:   make(chan []shardItem, shardQueueDepth),
+			done: make(chan struct{}),
+			eng:  NewEngine(cfg, opts...),
+		}
+		w.eng.rules.OnAlert(func(a Alert) {
+			w.alertTags = append(w.alertTags, w.curTag)
+			s.cbMu.Lock()
+			fn := s.onAlert
+			s.cbMu.Unlock()
+			if fn != nil {
+				fn(a)
+			}
+		})
+		s.keepLog = w.eng.keepLog
+		s.pending[i] = make([]shardItem, 0, shardBatchSize)
+		s.workers[i] = w
+		go w.run()
+	}
+	return s
+}
+
+// Shards returns the number of worker shards.
+func (s *ShardedEngine) Shards() int { return len(s.workers) }
+
+// OnAlert registers a callback for new alerts. It fires from shard
+// goroutines in shard-local order; use Alerts for the merged stream.
+func (s *ShardedEngine) OnAlert(fn func(Alert)) {
+	s.cbMu.Lock()
+	s.onAlert = fn
+	s.cbMu.Unlock()
+}
+
+// HandleFrame routes one observed frame. It is netsim.Tap compatible and
+// safe for concurrent use.
+func (s *ShardedEngine) HandleFrame(at time.Duration, frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.frames.Add(1)
+	s.frameIdx++
+	if s.frameIdx%gcEvery == 0 {
+		s.expireLocked(at)
+	}
+	s.routeLocked(s.frameIdx, at, frame)
+}
+
+// AttachTap subscribes the engine to all hub traffic of a network.
+func (s *ShardedEngine) AttachTap(n *netsim.Network) {
+	n.AddTap(s.HandleFrame)
+}
+
+// ReplayCapture feeds a recorded SCAP capture through the engine. Call
+// Flush (or Alerts/Events, which flush) before reading results.
+func (s *ShardedEngine) ReplayCapture(r *capture.Reader) error {
+	if err := capture.Replay(r, s.HandleFrame); err != nil {
+		return fmt.Errorf("core: replay: %w", err)
+	}
+	return nil
+}
+
+// expireLocked mirrors the serial engine's periodic session sweep: the
+// router expires its own directory and broadcasts the sweep to every
+// shard at the same position in the frame stream, so shard-local tables
+// evict exactly when the serial table would.
+func (s *ShardedEngine) expireLocked(at time.Duration) {
+	evicted := s.idx.expire(at, s.timeout, func(id string) { delete(s.sticky, id) })
+	if evicted > 0 && len(s.idx.sessions) == 0 {
+		s.seqs = make(map[netip.AddrPort]*seqTrack)
+	}
+	for i := range s.workers {
+		s.appendItemLocked(i, shardItem{kind: itemExpire, at: at})
+	}
+}
+
+// routeLocked peeks at a frame, updates the routing directory, and ships
+// the frame (with hints) to its shard. Every drop point below matches a
+// path where the serial distiller produces no footprint, so dropped
+// frames are exactly the frames no shard needs.
+func (s *ShardedEngine) routeLocked(idx uint64, at time.Duration, frame []byte) {
+	ef, err := packet.UnmarshalEthernet(frame)
+	if err != nil || ef.Type != packet.EtherTypeIPv4 {
+		return
+	}
+	iph, ipPayload, err := packet.UnmarshalIPv4(ef.Payload)
+	if err != nil {
+		return
+	}
+	// The reassembler expires stale fragment streams at every Insert;
+	// prune the buffered frame groups on the same clock so the two can
+	// never disagree about which stream a fragment belongs to.
+	s.pruneFragsLocked(at)
+	fragmented := iph.FragOffset != 0 || iph.MoreFragments()
+	full, payload, done, err := s.reasm.Insert(iph, ipPayload, at)
+	key := fragIdent{src: iph.Src, dst: iph.Dst, proto: iph.Protocol, id: iph.ID}
+	if err != nil {
+		// The reassembler creates its buffer before the oversize check but
+		// after the alignment check; mirror that so group lifetimes track
+		// buffer lifetimes exactly. The frame itself contributed nothing.
+		alignErr := iph.FragOffset != 0 && len(ipPayload)%8 != 0 && iph.MoreFragments()
+		if fragmented && !alignErr {
+			if s.frags[key] == nil {
+				s.frags[key] = &fragGroup{first: at}
+			}
+		}
+		return
+	}
+	if !done {
+		grp := s.frags[key]
+		if grp == nil {
+			grp = &fragGroup{first: at}
+			s.frags[key] = grp
+		}
+		grp.frames = append(grp.frames, routedFrame{at: at, frame: frame})
+		return
+	}
+	var group []routedFrame
+	if fragmented {
+		if grp := s.frags[key]; grp != nil {
+			group = grp.frames
+			delete(s.frags, key)
+		}
+	}
+	if full.Protocol != packet.ProtoUDP {
+		return
+	}
+	uh, udpPayload, err := packet.PeekUDP(full.Src, full.Dst, payload)
+	if err != nil {
+		return
+	}
+	src := netip.AddrPortFrom(full.Src, uh.SrcPort)
+	dst := netip.AddrPortFrom(full.Dst, uh.DstPort)
+	routeKey, hints, ship := s.classifyLocked(at, src, dst, udpPayload)
+	if !ship {
+		return
+	}
+	shard := shardOf(routeKey, len(s.workers))
+	if group == nil {
+		s.appendItemLocked(shard, shardItem{kind: itemFrame, idx: idx, at: at, frame: frame, hints: hints})
+		return
+	}
+	group = append(group, routedFrame{at: at, frame: frame})
+	s.appendItemLocked(shard, shardItem{kind: itemGroup, idx: idx, group: group, hints: hints})
+}
+
+// pruneFragsLocked drops buffered fragment groups on the reassembler's
+// eviction schedule.
+func (s *ShardedEngine) pruneFragsLocked(now time.Duration) {
+	for k, grp := range s.frags {
+		if now-grp.first > packet.DefaultReassemblyTimeout {
+			delete(s.frags, k)
+		}
+	}
+}
+
+// classifyLocked mirrors the distiller's port classification and computes
+// the routing key plus hints. ship=false means the serial engine would
+// produce no footprint for this datagram's port class.
+func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints, bool) {
+	srcPort, dstPort := src.Port(), dst.Port()
+	switch {
+	case dstPort == sip.DefaultPort || srcPort == sip.DefaultPort:
+		key, hints := s.classifySIPLocked(at, src, dst, udpPayload)
+		return key, hints, true
+	case dstPort == accounting.DefaultPort:
+		txn, err := accounting.ParseTxn(udpPayload)
+		if err != nil {
+			return "raw:" + dst.String(), RouteHints{}, true
+		}
+		if txn.Kind == accounting.TxnStart {
+			// The generator creates session state for billing STARTs.
+			s.idx.core(txn.CallID)
+		}
+		return txn.CallID, RouteHints{}, true
+	case dstPort >= defaultMediaPortFloor:
+		if dstPort%2 == 0 {
+			key, hints := s.classifyRTPLocked(at, src, dst, udpPayload)
+			return key, hints, true
+		}
+		key, hints := s.classifyRTCPLocked(at, src, dst, udpPayload)
+		return key, hints, true
+	default:
+		return "", RouteHints{}, false
+	}
+}
+
+func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
+	m, err := sip.ParseMessage(udpPayload)
+	if err != nil {
+		return "raw:" + dst.String(), RouteHints{}
+	}
+	st, out := s.idx.applySIP(m, at, src)
+	var h RouteHints
+	isMessage := m.IsRequest() && out.fromToOK && m.Method == sip.MethodMessage
+	if isMessage {
+		// Judge the MESSAGE against the global source history here, in
+		// arrival order, exactly as the serial generator would.
+		aor := out.from.URI.AOR()
+		histKey := aor + "|" + dst.Addr().String()
+		rec, seen := s.ims[histKey]
+		switch {
+		case !seen || at-rec.at > s.gen.IMPeriod:
+			s.ims[histKey] = imRecord{ip: src.Addr(), at: at}
+		case rec.ip != src.Addr():
+			h.IM = IMVerdict{Mismatch: true, PrevIP: rec.ip}
+		default:
+			s.ims[histKey] = imRecord{ip: src.Addr(), at: at}
+		}
+		h.HasIM = true
+	}
+	if out.regOK && out.bindingIP.IsValid() {
+		// Replicate the binding to every shard, ordered with the frame
+		// stream, so each shard's directory view matches the serial one.
+		for i := range s.workers {
+			s.appendItemLocked(i, shardItem{kind: itemBinding, aor: out.regAOR, ip: out.bindingIP})
+		}
+	}
+	if out.established {
+		delete(s.seqs, st.callerMedia)
+		delete(s.seqs, st.calleeMedia)
+	}
+	s.idx.touch(st.callID, at)
+	// Pin the routing key on the dialog's first sighting. MESSAGE dialogs
+	// route by the sender's IM session ("im:" + AOR) so that fake-IM rule
+	// state for one sender colocates across Call-IDs; everything else
+	// routes by Call-ID.
+	routeKey, ok := s.sticky[st.callID]
+	if !ok {
+		routeKey = st.callID
+		if isMessage {
+			routeKey = "im:" + out.from.URI.AOR()
+		}
+		s.sticky[st.callID] = routeKey
+	}
+	return routeKey, h
+}
+
+func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
+	pkt, err := rtp.Unmarshal(udpPayload)
+	if err != nil {
+		// Garbage on a media port: the serial generator attributes the
+		// event to the session negotiating this endpoint.
+		sess := s.idx.mediaDstSession(dst)
+		if sess == "" {
+			sess = "raw:" + dst.String()
+		}
+		return sess, RouteHints{Session: sess}
+	}
+	session := s.idx.flowSession(src, dst)
+	if session == "" {
+		session = "rtp:" + dst.String()
+	}
+	var v SeqVerdict
+	tr, ok := s.seqs[dst]
+	if !ok {
+		tr = &seqTrack{}
+		s.seqs[dst] = tr
+		v.NewFlow = true
+	}
+	if tr.primed {
+		v.Prev = tr.last
+		if d := rtp.SeqDiff(tr.last, pkt.Header.Seq); d > s.gen.SeqJumpThreshold || d < -s.gen.SeqJumpThreshold {
+			v.Jump = true
+		}
+	}
+	tr.primed = true
+	tr.last = pkt.Header.Seq
+	s.idx.touch(session, at)
+	return session, RouteHints{Session: session, HasSeq: true, Seq: v}
+}
+
+func (s *ShardedEngine) classifyRTCPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
+	if _, err := rtp.UnmarshalCompound(udpPayload); err != nil {
+		// Undecodable on an RTCP port: filed raw, no session attribution.
+		return "raw:" + dst.String(), RouteHints{}
+	}
+	session := s.idx.rtcpFlowSession(src, dst)
+	if session == "" {
+		session = "rtcp:" + dst.String()
+	}
+	s.idx.touch(session, at)
+	return session, RouteHints{Session: session}
+}
+
+// appendItemLocked queues one item for a shard, flushing the batch when
+// full.
+func (s *ShardedEngine) appendItemLocked(shard int, it shardItem) {
+	s.pending[shard] = append(s.pending[shard], it)
+	if len(s.pending[shard]) >= shardBatchSize {
+		s.flushShardLocked(shard)
+	}
+}
+
+func (s *ShardedEngine) flushShardLocked(shard int) {
+	if len(s.pending[shard]) == 0 {
+		return
+	}
+	batch := s.pending[shard]
+	s.pending[shard] = make([]shardItem, 0, shardBatchSize)
+	s.workers[shard].ch <- batch
+}
+
+// Flush delivers all queued work and blocks until every shard has
+// processed everything enqueued before the call.
+func (s *ShardedEngine) Flush() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	acks := make([]chan struct{}, len(s.workers))
+	for i := range s.workers {
+		ack := make(chan struct{})
+		acks[i] = ack
+		s.pending[i] = append(s.pending[i], shardItem{kind: itemFlush, ack: ack})
+		s.flushShardLocked(i)
+	}
+	s.mu.Unlock()
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// Close flushes remaining work and stops the shard goroutines. Results
+// remain readable; subsequent HandleFrame calls are dropped.
+func (s *ShardedEngine) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for i := range s.workers {
+		s.flushShardLocked(i)
+		close(s.workers[i].ch)
+	}
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		<-w.done
+	}
+}
+
+// Stats returns a snapshot of the merged engine counters. It is safe to
+// call concurrently with HandleFrame; the snapshot reflects work shards
+// have completed, plus every frame the router has accepted.
+func (s *ShardedEngine) Stats() EngineStats {
+	st := EngineStats{Frames: int(s.frames.Load())}
+	for _, w := range s.workers {
+		w.mu.Lock()
+		es := w.eng.stats
+		w.mu.Unlock()
+		st.Footprints += es.Footprints
+		st.Events += es.Events
+		st.Alerts += es.Alerts
+		st.SessionsEvicted += es.SessionsEvicted
+	}
+	return st
+}
+
+// TrailCounts returns the number of distinct sessions and trails across
+// all shards (the sharded analogue of Trails().Sessions()/Trails()).
+func (s *ShardedEngine) TrailCounts() (sessions, trails int) {
+	s.Flush()
+	sessSet := make(map[string]struct{})
+	trailSet := make(map[trailKey]struct{})
+	for _, w := range s.workers {
+		w.mu.Lock()
+		for k := range w.eng.trails.trails {
+			sessSet[k.session] = struct{}{}
+			trailSet[k] = struct{}{}
+		}
+		w.mu.Unlock()
+	}
+	return len(sessSet), len(trailSet)
+}
+
+// Alerts flushes and returns all alerts in the serial engine's order:
+// first firing position in the frame stream. Alerts for one (rule,
+// session) pair raised on multiple shards — possible only for sessions
+// that span Call-IDs, like IM sender sessions — are merged with their
+// counts summed.
+func (s *ShardedEngine) Alerts() []Alert {
+	s.Flush()
+	type tagged struct {
+		tag mergeTag
+		a   Alert
+	}
+	var all []tagged
+	for _, w := range s.workers {
+		w.mu.Lock()
+		alerts := w.eng.rules.Alerts()
+		for j, a := range alerts {
+			all = append(all, tagged{tag: w.alertTags[j], a: a})
+		}
+		w.mu.Unlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].tag.idx != all[j].tag.idx {
+			return all[i].tag.idx < all[j].tag.idx
+		}
+		return all[i].tag.sub < all[j].tag.sub
+	})
+	out := make([]Alert, 0, len(all))
+	index := make(map[string]int, len(all))
+	for _, t := range all {
+		k := t.a.Rule + "|" + t.a.Session
+		if i, ok := index[k]; ok {
+			out[i].Count += t.a.Count
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, t.a)
+	}
+	return out
+}
+
+// AlertsFor returns merged alerts raised by one rule.
+func (s *ShardedEngine) AlertsFor(rule string) []Alert {
+	var out []Alert
+	for _, a := range s.Alerts() {
+		if a.Rule == rule {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Events flushes and returns the merged event log in serial order (empty
+// unless the engine was built WithEventLog).
+func (s *ShardedEngine) Events() []Event {
+	s.Flush()
+	type tagged struct {
+		tag mergeTag
+		ev  Event
+	}
+	var all []tagged
+	for _, w := range s.workers {
+		w.mu.Lock()
+		for j, ev := range w.eng.events {
+			all = append(all, tagged{tag: w.eventTags[j], ev: ev})
+		}
+		w.mu.Unlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].tag.idx != all[j].tag.idx {
+			return all[i].tag.idx < all[j].tag.idx
+		}
+		return all[i].tag.sub < all[j].tag.sub
+	})
+	out := make([]Event, len(all))
+	for i, t := range all {
+		out[i] = t.ev
+	}
+	return out
+}
+
+// shardOf hashes a session key onto a shard (FNV-1a).
+func shardOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// --- shard worker ---
+
+func (w *shardWorker) run() {
+	defer close(w.done)
+	for batch := range w.ch {
+		w.mu.Lock()
+		for i := range batch {
+			w.runItem(&batch[i])
+		}
+		w.mu.Unlock()
+	}
+}
+
+func (w *shardWorker) runItem(it *shardItem) {
+	e := w.eng
+	switch it.kind {
+	case itemFrame:
+		w.sub = 0
+		w.processFrame(it.idx, it.at, it.frame, it.hints)
+	case itemGroup:
+		w.sub = 0
+		for _, fr := range it.group {
+			w.processFrame(it.idx, fr.at, fr.frame, it.hints)
+		}
+	case itemBinding:
+		e.gen.ApplyBinding(it.aor, it.ip)
+	case itemExpire:
+		e.stats.SessionsEvicted += e.gen.ExpireSessions(it.at, e.cfg.SessionTimeout)
+	case itemFlush:
+		close(it.ack)
+	}
+}
+
+// processFrame is the shard-side pipeline: distill, generate (with the
+// router's hints), and feed rules. Frame counting and expiry cadence are
+// the router's job, so unlike Engine.HandleFrame neither happens here.
+func (w *shardWorker) processFrame(idx uint64, at time.Duration, frame []byte, h RouteHints) {
+	e := w.eng
+	fp := e.distiller.Distill(at, frame)
+	if fp == nil {
+		return
+	}
+	e.stats.Footprints++
+	for _, ev := range e.gen.ProcessHinted(fp, h) {
+		e.stats.Events++
+		w.curTag = mergeTag{idx: idx, sub: w.sub}
+		if e.keepLog {
+			e.events = append(e.events, ev)
+			w.eventTags = append(w.eventTags, w.curTag)
+		}
+		e.stats.Alerts += len(e.rules.Feed(ev))
+		w.sub++
+	}
+}

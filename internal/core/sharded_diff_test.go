@@ -1,0 +1,660 @@
+package core_test
+
+// Differential harness: ShardedEngine must be alert- and event-equivalent
+// to the serial Engine on every scenario the repo knows, plus a large
+// corpus of seeded random interleavings that mix concurrent calls, media
+// port reuse, attacks, fragmentation, and junk traffic.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/core"
+	"scidive/internal/experiments"
+	"scidive/internal/packet"
+	"scidive/internal/rtp"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+var diffShardCounts = []int{1, 2, 8}
+
+type rec struct {
+	at    time.Duration
+	frame []byte
+}
+
+// scenarioFrames records the hub traffic of one named scenario.
+func scenarioFrames(t *testing.T, name string, seed int64) []rec {
+	t.Helper()
+	var frames []rec
+	tap := func(at time.Duration, frame []byte) {
+		frames = append(frames, rec{at: at, frame: append([]byte(nil), frame...)})
+	}
+	if _, err := experiments.RunScenario(name, seed, tap); err != nil {
+		t.Fatalf("scenario %s: %v", name, err)
+	}
+	if len(frames) == 0 {
+		t.Fatalf("scenario %s captured no frames", name)
+	}
+	return frames
+}
+
+func runSerial(frames []rec) ([]core.Alert, []core.Event, core.EngineStats) {
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	for _, r := range frames {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	return eng.Alerts(), eng.Events(), eng.Stats()
+}
+
+func runSharded(frames []rec, shards int) ([]core.Alert, []core.Event, core.EngineStats) {
+	eng := core.NewShardedEngine(core.Config{}, shards, core.WithEventLog())
+	defer eng.Close()
+	for _, r := range frames {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	eng.Flush()
+	return eng.Alerts(), eng.Events(), eng.Stats()
+}
+
+// eventKey is the comparable identity of an event (the Footprint pointer
+// necessarily differs between engines).
+func eventKey(ev core.Event) string {
+	return fmt.Sprintf("%v|%v|%s|%s", ev.At, ev.Type, ev.Session, ev.Detail)
+}
+
+// alertKey is the comparable identity of an alert, including how many
+// times it fired and how many events witnessed it.
+func alertKey(a core.Alert) string {
+	return fmt.Sprintf("%v|%s|%v|%s|%s|n=%d|ev=%d", a.At, a.Rule, a.Severity, a.Session, a.Detail, a.Count, len(a.Events))
+}
+
+func diffRuns(t *testing.T, label string, frames []rec) {
+	t.Helper()
+	wantAlerts, wantEvents, wantStats := runSerial(frames)
+	for _, shards := range diffShardCounts {
+		gotAlerts, gotEvents, gotStats := runSharded(frames, shards)
+		if len(gotEvents) != len(wantEvents) {
+			t.Errorf("%s shards=%d: %d events, serial has %d", label, shards, len(gotEvents), len(wantEvents))
+		} else {
+			for i := range wantEvents {
+				if eventKey(gotEvents[i]) != eventKey(wantEvents[i]) {
+					t.Errorf("%s shards=%d: event %d = %s, want %s", label, shards, i, eventKey(gotEvents[i]), eventKey(wantEvents[i]))
+					break
+				}
+			}
+		}
+		if len(gotAlerts) != len(wantAlerts) {
+			t.Errorf("%s shards=%d: %d alerts, serial has %d\n got: %v\nwant: %v",
+				label, shards, len(gotAlerts), len(wantAlerts), alertKeys(gotAlerts), alertKeys(wantAlerts))
+		} else {
+			for i := range wantAlerts {
+				if alertKey(gotAlerts[i]) != alertKey(wantAlerts[i]) {
+					t.Errorf("%s shards=%d: alert %d = %s, want %s", label, shards, i, alertKey(gotAlerts[i]), alertKey(wantAlerts[i]))
+					break
+				}
+			}
+		}
+		if gotStats != wantStats {
+			t.Errorf("%s shards=%d: stats %+v, serial %+v", label, shards, gotStats, wantStats)
+		}
+	}
+}
+
+func alertKeys(alerts []core.Alert) []string {
+	out := make([]string, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertKey(a)
+	}
+	return out
+}
+
+// TestShardedDiffScenarios replays every scenario in internal/scenario
+// through both engines at 1, 2 and 8 shards.
+func TestShardedDiffScenarios(t *testing.T) {
+	for _, name := range experiments.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			diffRuns(t, name, scenarioFrames(t, name, 7))
+		})
+	}
+}
+
+// TestShardedDiffScenariosReseeded replays the scenarios under different
+// simulation seeds (different timings and IDs).
+func TestShardedDiffScenariosReseeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: primary scenario diff covers this")
+	}
+	for _, seed := range []int64{1, 99, 4242} {
+		for _, name := range experiments.ScenarioNames() {
+			name, seed := name, seed
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				t.Parallel()
+				diffRuns(t, name, scenarioFrames(t, name, seed))
+			})
+		}
+	}
+}
+
+// TestShardedDiffRandomInterleavings drives both engines with seeded
+// random workloads: overlapping calls that reuse media ports, BYE/
+// re-INVITE attacks, IM spoofing, floods, junk, and IP fragmentation.
+func TestShardedDiffRandomInterleavings(t *testing.T) {
+	seeds := 1000
+	if testing.Short() {
+		seeds = 60
+	}
+	workers := 8
+	type job struct {
+		seed   int64
+		frames []rec
+	}
+	jobs := make(chan int64, seeds)
+	for s := 0; s < seeds; s++ {
+		jobs <- int64(s)
+	}
+	close(jobs)
+	_ = job{}
+	for w := 0; w < workers; w++ {
+		t.Run(fmt.Sprintf("worker%d", w), func(t *testing.T) {
+			t.Parallel()
+			for seed := range jobs {
+				frames := synthFrames(seed)
+				diffRuns(t, fmt.Sprintf("seed %d", seed), frames)
+				if t.Failed() {
+					return
+				}
+			}
+		})
+	}
+}
+
+// --- synthetic interleaved workload ---
+
+type synthCall struct {
+	id          string
+	callerIP    netip.Addr
+	calleeIP    netip.Addr
+	callerAOR   string
+	calleeAOR   string
+	callerTag   string
+	calleeTag   string
+	callerMedia netip.AddrPort
+	calleeMedia netip.AddrPort
+	cseq        uint32
+	seqA, seqB  uint16
+	established bool
+	byed        bool
+}
+
+type synthGen struct {
+	rng    *rand.Rand
+	now    time.Duration
+	frames []rec
+	ipid   uint16
+	calls  []*synthCall
+	nCalls int
+	nIM    int
+}
+
+func synthFrames(seed int64) []rec {
+	g := &synthGen{rng: rand.New(rand.NewSource(seed)), now: time.Duration(seed%7) * time.Millisecond}
+	steps := 30 + g.rng.Intn(50)
+	for i := 0; i < steps; i++ {
+		g.now += time.Duration(g.rng.Intn(80)) * time.Millisecond
+		switch p := g.rng.Intn(100); {
+		case p < 22:
+			g.startCall()
+		case p < 50:
+			g.rtpBurst()
+		case p < 62:
+			g.endCall()
+		case p < 68:
+			g.reinvite()
+		case p < 74:
+			g.instantMessage()
+		case p < 80:
+			g.registerish()
+		case p < 86:
+			g.rtcpTraffic()
+		case p < 91:
+			g.garbage()
+		case p < 94:
+			g.accounting()
+		case p < 97:
+			g.billingFraud()
+		default:
+			g.junk()
+		}
+	}
+	return g.frames
+}
+
+func (g *synthGen) ip(n int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + n%8)})
+}
+
+func (g *synthGen) tick() { g.now += time.Duration(1+g.rng.Intn(4)) * time.Millisecond }
+
+// mediaPort draws from a small even-port pool so concurrent calls collide
+// on ports, stressing flow attribution.
+func (g *synthGen) mediaPort() uint16 { return uint16(10000 + 2*g.rng.Intn(6)) }
+
+func (g *synthGen) emit(srcIP, dstIP netip.Addr, srcPort, dstPort uint16, payload []byte) {
+	g.ipid++
+	mtu := 0
+	if len(payload) > 180 && g.rng.Intn(3) == 0 {
+		mtu = 256 // force IP fragmentation
+	}
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: macFor(srcIP), DstMAC: macFor(dstIP),
+		SrcIP: srcIP, DstIP: dstIP,
+		SrcPort: srcPort, DstPort: dstPort,
+		IPID: g.ipid, Payload: payload,
+	}, mtu)
+	if err != nil {
+		panic(err)
+	}
+	if len(frames) > 1 && g.rng.Intn(2) == 0 {
+		g.rng.Shuffle(len(frames), func(i, j int) { frames[i], frames[j] = frames[j], frames[i] })
+	}
+	for _, fr := range frames {
+		g.frames = append(g.frames, rec{at: g.now, frame: fr})
+		g.tick()
+	}
+}
+
+func macFor(ip netip.Addr) packet.MAC {
+	b := ip.As4()
+	return packet.MAC{2, 0, 0, 0, 0, b[3]}
+}
+
+func (g *synthGen) emitSIP(srcIP, dstIP netip.Addr, m *sip.Message) {
+	g.emit(srcIP, dstIP, sip.DefaultPort, sip.DefaultPort, m.Marshal())
+}
+
+func (g *synthGen) addr(user string, ip netip.Addr, tag string) sip.Address {
+	a := sip.Address{URI: sip.URI{User: user, Host: ip.String()}}
+	if tag != "" {
+		a = a.WithTag(tag)
+	}
+	return a
+}
+
+func (g *synthGen) via(ip netip.Addr) sip.Via {
+	return sip.Via{Transport: "UDP", SentBy: ip.String(), Params: map[string]string{"branch": fmt.Sprintf("z9hG4bK%08x", g.rng.Uint32())}}
+}
+
+func (g *synthGen) startCall() {
+	g.nCalls++
+	caller, callee := g.rng.Intn(8), g.rng.Intn(8)
+	c := &synthCall{
+		id:        fmt.Sprintf("call-%d-%08x@pbx", g.nCalls, g.rng.Uint32()),
+		callerIP:  g.ip(caller),
+		calleeIP:  g.ip(callee),
+		callerAOR: fmt.Sprintf("user%d@pbx", caller),
+		calleeAOR: fmt.Sprintf("user%d@pbx", callee),
+		callerTag: fmt.Sprintf("t%08x", g.rng.Uint32()),
+		cseq:      1,
+		seqA:      uint16(g.rng.Intn(1 << 16)),
+		seqB:      uint16(g.rng.Intn(1 << 16)),
+	}
+	c.callerMedia = netip.AddrPortFrom(c.callerIP, g.mediaPort())
+	body := sdp.NewAudioSession("caller", c.callerMedia.Addr(), c.callerMedia.Port()).Marshal()
+	inv := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:" + c.calleeAOR,
+		From:       g.addr("caller", c.callerIP, c.callerTag),
+		To:         g.addr("callee", c.calleeIP, ""),
+		CallID:     c.id,
+		CSeq:       sip.CSeq{Seq: c.cseq, Method: sip.MethodInvite},
+		Via:        g.via(c.callerIP),
+		Body:       body,
+		BodyType:   "application/sdp",
+	})
+	// Occasionally malform the setup (duplicate CSeq header) — the
+	// billing-fraud rule's first condition.
+	if g.rng.Intn(5) == 0 {
+		inv.Headers.Add(sip.HdrCSeq, sip.CSeq{Seq: c.cseq, Method: sip.MethodInvite}.String())
+	}
+	g.emitSIP(c.callerIP, c.calleeIP, inv)
+	if g.rng.Intn(4) == 0 {
+		// Relayed duplicate sighting from another hop.
+		g.emitSIP(g.ip(g.rng.Intn(8)), c.calleeIP, inv)
+	}
+	g.calls = append(g.calls, c)
+	if g.rng.Intn(5) == 0 {
+		return // half-open: no answer
+	}
+	g.tick()
+	c.calleeTag = fmt.Sprintf("t%08x", g.rng.Uint32())
+	c.calleeMedia = netip.AddrPortFrom(c.calleeIP, g.mediaPort())
+	ok := sip.NewResponse(inv, sip.StatusOK, c.calleeTag)
+	ok.Headers.Add(sip.HdrContentType, "application/sdp")
+	ok.Body = sdp.NewAudioSession("callee", c.calleeMedia.Addr(), c.calleeMedia.Port()).Marshal()
+	g.emitSIP(c.calleeIP, c.callerIP, ok)
+	c.established = true
+}
+
+func (g *synthGen) pickCall() *synthCall {
+	if len(g.calls) == 0 {
+		return nil
+	}
+	return g.calls[g.rng.Intn(len(g.calls))]
+}
+
+func (g *synthGen) rtpPacket(seq uint16, ssrc uint32) []byte {
+	p := rtp.Packet{
+		Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(g.now / time.Millisecond), SSRC: ssrc},
+		Payload: []byte("0123456789abcdef0123"),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+func (g *synthGen) rtpBurst() {
+	c := g.pickCall()
+	if c == nil || !c.established {
+		return
+	}
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		srcIP := c.callerIP
+		if g.rng.Intn(10) == 0 {
+			srcIP = g.ip(g.rng.Intn(8)) // wrong-source media
+		}
+		jump := uint16(1 + g.rng.Intn(3))
+		if g.rng.Intn(12) == 0 {
+			jump = 500 // discontinuity
+		}
+		if g.rng.Intn(2) == 0 {
+			c.seqA += jump
+			g.emit(srcIP, c.calleeMedia.Addr(), c.callerMedia.Port(), c.calleeMedia.Port(), g.rtpPacket(c.seqA, 0xAAAA0000))
+		} else {
+			c.seqB += jump
+			g.emit(c.calleeIP, c.callerMedia.Addr(), c.calleeMedia.Port(), c.callerMedia.Port(), g.rtpPacket(c.seqB, 0xBBBB0000))
+		}
+		g.tick()
+	}
+}
+
+func (g *synthGen) endCall() {
+	c := g.pickCall()
+	if c == nil || c.byed {
+		return
+	}
+	fromCaller := g.rng.Intn(2) == 0
+	from, to := g.addr("caller", c.callerIP, c.callerTag), g.addr("callee", c.calleeIP, c.calleeTag)
+	srcIP := c.callerIP
+	if !fromCaller {
+		from, to = to, from
+		srcIP = c.calleeIP
+	}
+	c.cseq++
+	bye := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodBye,
+		RequestURI: "sip:" + c.calleeAOR,
+		From:       from, To: to,
+		CallID: c.id,
+		CSeq:   sip.CSeq{Seq: c.cseq, Method: sip.MethodBye},
+		Via:    g.via(srcIP),
+	})
+	g.emitSIP(srcIP, c.calleeIP, bye)
+	c.byed = true
+	if g.rng.Intn(3) == 0 {
+		g.tick()
+		g.emitSIP(srcIP, c.calleeIP, bye) // duplicate BYE sighting
+	}
+	// Orphan media after BYE: the Figure 5 attack.
+	if c.established && g.rng.Intn(2) == 0 {
+		byeMedia := c.calleeMedia
+		dst := c.callerMedia
+		if fromCaller {
+			byeMedia, dst = c.callerMedia, c.calleeMedia
+		}
+		for i := 0; i < 1+g.rng.Intn(3); i++ {
+			g.tick()
+			c.seqA++
+			g.emit(byeMedia.Addr(), dst.Addr(), byeMedia.Port(), dst.Port(), g.rtpPacket(c.seqA, 0xCCCC0000))
+		}
+	}
+}
+
+func (g *synthGen) reinvite() {
+	c := g.pickCall()
+	if c == nil || !c.established || c.byed {
+		return
+	}
+	c.cseq++
+	newMedia := netip.AddrPortFrom(g.ip(g.rng.Intn(8)), g.mediaPort())
+	oldMedia := c.callerMedia
+	re := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:" + c.calleeAOR,
+		From:       g.addr("caller", c.callerIP, c.callerTag),
+		To:         g.addr("callee", c.calleeIP, c.calleeTag),
+		CallID:     c.id,
+		CSeq:       sip.CSeq{Seq: c.cseq, Method: sip.MethodInvite},
+		Via:        g.via(c.callerIP),
+		Body:       sdp.NewAudioSession("caller", newMedia.Addr(), newMedia.Port()).Marshal(),
+		BodyType:   "application/sdp",
+	})
+	g.emitSIP(c.callerIP, c.calleeIP, re)
+	c.callerMedia = newMedia
+	// Media still flowing from the abandoned address: the Figure 7 attack.
+	if g.rng.Intn(2) == 0 {
+		g.now += 300 * time.Millisecond // beyond the reinvite grace
+		for i := 0; i < 1+g.rng.Intn(3); i++ {
+			c.seqA++
+			g.emit(oldMedia.Addr(), c.calleeMedia.Addr(), oldMedia.Port(), c.calleeMedia.Port(), g.rtpPacket(c.seqA, 0xDDDD0000))
+			g.tick()
+		}
+	}
+}
+
+func (g *synthGen) instantMessage() {
+	g.nIM++
+	sender := g.rng.Intn(4)
+	aor := fmt.Sprintf("user%d@pbx", sender)
+	srcIP := g.ip(sender)
+	if g.rng.Intn(3) == 0 {
+		srcIP = g.ip(g.rng.Intn(8)) // spoofed sender source
+	}
+	dstIP := g.ip(g.rng.Intn(3))
+	msg := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodMessage,
+		RequestURI: "sip:" + aor,
+		From:       g.addr(fmt.Sprintf("user%d", sender), g.ip(sender), fmt.Sprintf("t%08x", g.rng.Uint32())),
+		To:         g.addr("peer", dstIP, ""),
+		CallID:     fmt.Sprintf("im-%d-%08x@pbx", g.nIM, g.rng.Uint32()),
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodMessage},
+		Via:        g.via(srcIP),
+		Body:       []byte("hello there"),
+		BodyType:   "text/plain",
+	})
+	// The From AOR must be stable per sender for the rule to correlate:
+	// rebuild From with the sender's canonical identity.
+	msg.Headers.Set(sip.HdrFrom, g.addr(fmt.Sprintf("user%d", sender), netip.AddrFrom4([4]byte{10, 0, 0, byte(100)}), "imtag").String())
+	g.emitSIP(srcIP, dstIP, msg)
+}
+
+func (g *synthGen) registerish() {
+	user := g.rng.Intn(4)
+	aor := fmt.Sprintf("user%d@pbx", user)
+	_ = aor
+	ip := g.ip(user)
+	callID := fmt.Sprintf("reg-%08x@pbx", g.rng.Uint32())
+	contact := g.addr(fmt.Sprintf("user%d", user), ip, "")
+	mk := func(seq uint32, withAuth bool) *sip.Message {
+		m := sip.NewRequest(sip.RequestSpec{
+			Method:     sip.MethodRegister,
+			RequestURI: "sip:pbx",
+			From:       g.addr(fmt.Sprintf("user%d", user), ip, "rtag"),
+			To:         g.addr(fmt.Sprintf("user%d", user), ip, ""),
+			CallID:     callID,
+			CSeq:       sip.CSeq{Seq: seq, Method: sip.MethodRegister},
+			Via:        g.via(ip),
+			Contact:    &contact,
+		})
+		if withAuth {
+			m.Headers.Add(sip.HdrAuthorization, sip.Credentials{
+				Username: fmt.Sprintf("user%d", user), Realm: "pbx", Nonce: "n1",
+				URI: "sip:pbx", Response: fmt.Sprintf("%08x", g.rng.Uint32()),
+			}.String())
+		}
+		return m
+	}
+	switch g.rng.Intn(3) {
+	case 0: // clean registration
+		m := mk(1, false)
+		g.emitSIP(ip, g.ip(0), m)
+		g.tick()
+		g.emitSIP(g.ip(0), ip, sip.NewResponse(m, sip.StatusOK, "srvtag"))
+	case 1: // auth flood: challenges until the DoS event fires
+		for i := 0; i < 6; i++ {
+			m := mk(uint32(i+1), false)
+			g.emitSIP(ip, g.ip(0), m)
+			g.tick()
+			g.emitSIP(g.ip(0), ip, sip.NewResponse(m, sip.StatusUnauthorized, "srvtag"))
+			g.tick()
+		}
+	default: // password guessing: distinct digest responses
+		for i := 0; i < 4; i++ {
+			m := mk(uint32(i+1), true)
+			g.emitSIP(ip, g.ip(0), m)
+			g.tick()
+		}
+	}
+}
+
+func (g *synthGen) rtcpTraffic() {
+	c := g.pickCall()
+	if c == nil || !c.established {
+		return
+	}
+	var pkts []rtp.RTCPPacket
+	pkts = append(pkts, &rtp.SenderReport{SSRC: 0xAAAA0000, PacketCount: 10, OctetCount: 1600})
+	if g.rng.Intn(2) == 0 {
+		pkts = append(pkts, &rtp.Bye{SSRCs: []uint32{0xAAAA0000}, Reason: "done"})
+	}
+	buf, err := rtp.MarshalCompound(pkts)
+	if err != nil {
+		panic(err)
+	}
+	g.emit(c.callerIP, c.calleeMedia.Addr(), c.callerMedia.Port()+1, c.calleeMedia.Port()+1, buf)
+	// Follow-on media so the packet-driven spoofed-BYE check evaluates.
+	if g.rng.Intn(2) == 0 {
+		g.now += 300 * time.Millisecond
+		c.seqB++
+		g.emit(c.calleeIP, c.callerMedia.Addr(), c.calleeMedia.Port(), c.callerMedia.Port(), g.rtpPacket(c.seqB, 0xBBBB0000))
+	}
+}
+
+func (g *synthGen) garbage() {
+	dst := netip.AddrPortFrom(g.ip(g.rng.Intn(8)), uint16(10000+2*g.rng.Intn(6)))
+	if c := g.pickCall(); c != nil && c.established && g.rng.Intn(2) == 0 {
+		dst = c.calleeMedia
+	}
+	junk := make([]byte, 4+g.rng.Intn(40))
+	g.rng.Read(junk)
+	junk[0] = 0x00 // wrong RTP version: guaranteed undecodable
+	g.emit(g.ip(g.rng.Intn(8)), dst.Addr(), 40000, dst.Port(), junk)
+}
+
+func (g *synthGen) accounting() {
+	kind := accounting.TxnStart
+	if g.rng.Intn(3) == 0 {
+		kind = accounting.TxnStop
+	}
+	callID := fmt.Sprintf("ghost-%08x@pbx", g.rng.Uint32())
+	from := fmt.Sprintf("user%d@pbx", g.rng.Intn(4))
+	fromIP := g.ip(g.rng.Intn(8))
+	if c := g.pickCall(); c != nil && g.rng.Intn(2) == 0 {
+		callID, from, fromIP = c.id, c.callerAOR, c.callerIP
+	}
+	txn := accounting.Txn{Kind: kind, CallID: callID, From: from, To: "user9@pbx", FromIP: fromIP}
+	g.emit(fromIP, g.ip(0), 30000, accounting.DefaultPort, txn.Marshal())
+}
+
+// billingFraud builds the full Section 3.2 chain on one Call-ID: a user
+// registers from one address, then a malformed INVITE negotiates media
+// elsewhere and an accounting START arrives from a third address.
+func (g *synthGen) billingFraud() {
+	n := g.rng.Intn(4)
+	fraudster := sip.Address{URI: sip.URI{User: fmt.Sprintf("fraud%d", n), Host: "pbx"}}
+	aor := fraudster.URI.AOR()
+	homeIP, awayIP := g.ip(n), g.ip((n+3)%8)
+	proxy := g.ip(0)
+
+	regContact := sip.Address{URI: sip.URI{User: fraudster.URI.User, Host: homeIP.String()}}
+	reg := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodRegister,
+		RequestURI: "sip:pbx",
+		From:       fraudster.WithTag("frtag"),
+		To:         fraudster,
+		CallID:     fmt.Sprintf("freg-%08x@pbx", g.rng.Uint32()),
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodRegister},
+		Via:        g.via(homeIP),
+		Contact:    &regContact,
+	})
+	g.emitSIP(homeIP, proxy, reg)
+	g.tick()
+	regOK := sip.NewResponse(reg, sip.StatusOK, "srvtag")
+	regOK.Headers.Add(sip.HdrContact, regContact.String())
+	g.emitSIP(proxy, homeIP, regOK)
+	g.tick()
+
+	callID := fmt.Sprintf("fraudcall-%08x@pbx", g.rng.Uint32())
+	media := netip.AddrPortFrom(awayIP, g.mediaPort())
+	inv := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:victim@pbx",
+		From:       fraudster.WithTag("fctag"),
+		To:         sip.Address{URI: sip.URI{User: "victim", Host: "pbx"}},
+		CallID:     callID,
+		CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:        g.via(awayIP),
+		Body:       sdp.NewAudioSession("fraud", media.Addr(), media.Port()).Marshal(),
+		BodyType:   "application/sdp",
+	})
+	inv.Headers.Add(sip.HdrCSeq, sip.CSeq{Seq: 1, Method: sip.MethodInvite}.String())
+	g.emitSIP(awayIP, proxy, inv)
+	g.tick()
+	ok := sip.NewResponse(inv, sip.StatusOK, "vtag")
+	ok.Headers.Add(sip.HdrContentType, "application/sdp")
+	ok.Body = sdp.NewAudioSession("victim", proxy, g.mediaPort()).Marshal()
+	g.emitSIP(proxy, awayIP, ok)
+	g.tick()
+
+	txn := accounting.Txn{Kind: accounting.TxnStart, CallID: callID, From: aor, To: "victim@pbx", FromIP: awayIP}
+	g.emit(awayIP, proxy, 30000, accounting.DefaultPort, txn.Marshal())
+	_ = aor
+}
+
+func (g *synthGen) junk() {
+	switch g.rng.Intn(4) {
+	case 0: // truncated ethernet
+		b := make([]byte, g.rng.Intn(12))
+		g.rng.Read(b)
+		g.frames = append(g.frames, rec{at: g.now, frame: b})
+	case 1: // unmonitored port
+		g.emit(g.ip(1), g.ip(2), 9, 9, []byte("nothing to see"))
+	case 2: // undecodable SIP on the SIP port
+		g.emit(g.ip(1), g.ip(2), 5060, 5060, []byte("\x00\x01\x02 not sip\r\n"))
+	default: // garbage on an RTCP (odd media) port
+		junk := make([]byte, 6+g.rng.Intn(20))
+		g.rng.Read(junk)
+		junk[0] = 0x00
+		g.emit(g.ip(3), g.ip(4), 40001, uint16(10001+2*g.rng.Intn(6)), junk)
+	}
+}

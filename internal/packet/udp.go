@@ -65,6 +65,57 @@ func MarshalUDP(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte) ([
 	return buf, nil
 }
 
+// verifyUDPChecksum reports whether dgram's stored checksum matches the
+// one computed over the pseudo-header and datagram. It treats the
+// checksum field (bytes 6..7) as zero while summing, so no scratch copy
+// of the datagram is needed.
+func verifyUDPChecksum(src, dst netip.Addr, dgram []byte, want uint16) bool {
+	sum := udpPseudoSum(src, dst, len(dgram))
+	for i := 0; i+1 < len(dgram); i += 2 {
+		if i == 6 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(dgram[i : i+2]))
+	}
+	if len(dgram)%2 == 1 {
+		sum += uint32(dgram[len(dgram)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	c := ^uint16(sum)
+	if c == 0 {
+		c = 0xffff
+	}
+	return c == want
+}
+
+// PeekUDP decodes a UDP datagram exactly like UnmarshalUDP — same header
+// validation, same checksum acceptance — but without allocating: the
+// checksum is verified in place. Callers on hot paths (the sharded
+// router's per-frame peek) use this to classify traffic cheaply; a frame
+// PeekUDP rejects is exactly a frame UnmarshalUDP would reject.
+func PeekUDP(src, dst netip.Addr, buf []byte) (UDPHeader, []byte, error) {
+	if len(buf) < UDPHeaderLen {
+		return UDPHeader{}, nil, fmt.Errorf("udp header: %w (%d bytes)", ErrTruncated, len(buf))
+	}
+	var h UDPHeader
+	h.SrcPort = binary.BigEndian.Uint16(buf[0:2])
+	h.DstPort = binary.BigEndian.Uint16(buf[2:4])
+	h.Length = binary.BigEndian.Uint16(buf[4:6])
+	h.Checksum = binary.BigEndian.Uint16(buf[6:8])
+	if int(h.Length) < UDPHeaderLen || int(h.Length) > len(buf) {
+		return UDPHeader{}, nil, fmt.Errorf("udp: length %d outside buffer of %d bytes", h.Length, len(buf))
+	}
+	dgram := buf[:h.Length]
+	if h.Checksum != 0 && src.Is4() && dst.Is4() {
+		if !verifyUDPChecksum(src, dst, dgram, h.Checksum) {
+			return UDPHeader{}, nil, fmt.Errorf("udp: bad checksum 0x%04x", h.Checksum)
+		}
+	}
+	return h, dgram[UDPHeaderLen:], nil
+}
+
 // UnmarshalUDP decodes a UDP datagram, validating the length field and,
 // when src and dst are valid, the checksum (a zero checksum means
 // "not computed" and is accepted). The returned payload aliases buf.

@@ -86,6 +86,73 @@ func TestUDPRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestPeekUDPMatchesUnmarshal pins PeekUDP to UnmarshalUDP: both must
+// accept and reject exactly the same datagrams, byte for byte, since the
+// sharded router classifies with PeekUDP while shards decode with
+// UnmarshalUDP.
+func TestPeekUDPMatchesUnmarshal(t *testing.T) {
+	base, err := MarshalUDP(testSrcIP, testDstIP, 5060, 10000, []byte("some payload x"))
+	if err != nil {
+		t.Fatalf("MarshalUDP: %v", err)
+	}
+	cases := map[string][]byte{
+		"valid":          base,
+		"truncated":      base[:4],
+		"header only":    base[:8],
+		"corrupt body":   flipLast(base),
+		"zero checksum":  zeroChecksum(base),
+		"bad length":     withBytes(base, 4, 0xff, 0xff),
+		"short length":   withBytes(base, 4, 0x00, 0x03),
+		"odd length":     append(append([]byte{}, base...), 0x7f),
+		"corrupt cksum":  withBytes(base, 6, 0x12, 0x34),
+		"empty datagram": {},
+	}
+	for name, dgram := range cases {
+		hU, pU, errU := UnmarshalUDP(testSrcIP, testDstIP, dgram)
+		hP, pP, errP := PeekUDP(testSrcIP, testDstIP, dgram)
+		if (errU == nil) != (errP == nil) {
+			t.Errorf("%s: UnmarshalUDP err=%v, PeekUDP err=%v", name, errU, errP)
+			continue
+		}
+		if errU != nil {
+			continue
+		}
+		if hU != hP || !bytes.Equal(pU, pP) {
+			t.Errorf("%s: decode mismatch: %+v/%q vs %+v/%q", name, hU, pU, hP, pP)
+		}
+	}
+}
+
+func TestPeekUDPQuickEquivalence(t *testing.T) {
+	f := func(buf []byte) bool {
+		_, pU, errU := UnmarshalUDP(testSrcIP, testDstIP, buf)
+		_, pP, errP := PeekUDP(testSrcIP, testDstIP, buf)
+		if (errU == nil) != (errP == nil) {
+			return false
+		}
+		return errU != nil || bytes.Equal(pU, pP)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func flipLast(b []byte) []byte {
+	out := append([]byte{}, b...)
+	out[len(out)-1] ^= 0xff
+	return out
+}
+
+func zeroChecksum(b []byte) []byte {
+	return withBytes(b, 6, 0, 0)
+}
+
+func withBytes(b []byte, at int, vals ...byte) []byte {
+	out := append([]byte{}, b...)
+	copy(out[at:], vals)
+	return out
+}
+
 func TestBuildUDPFramesRoundTrip(t *testing.T) {
 	spec := UDPFrameSpec{
 		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
