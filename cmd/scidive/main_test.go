@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"scidive/internal/capture"
+	"scidive/internal/core"
 	"scidive/internal/experiments"
 )
 
@@ -150,6 +151,59 @@ func TestReplayWithShippedDefaultRules(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "bye-attack") {
 		t.Errorf("shipped ruleset missed the attack:\n%s", buf.String())
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	l, err := parseLimits("sessions=4096, frags=64,ims=32,seqs=128,bindings=16,alerts=1000,events=2000")
+	if err != nil {
+		t.Fatalf("parseLimits: %v", err)
+	}
+	if l.MaxSessions != 4096 || l.MaxFragGroups != 64 || l.MaxIMHistories != 32 ||
+		l.MaxSeqTrackers != 128 || l.MaxBindings != 16 ||
+		l.MaxRetainedAlerts != 1000 || l.MaxRetainedEvents != 2000 {
+		t.Errorf("parsed limits = %+v", l)
+	}
+	if l, err := parseLimits(""); err != nil || l != (core.Limits{}) {
+		t.Errorf("empty spec = %+v, %v; want zero limits", l, err)
+	}
+	for _, bad := range []string{"sessions", "widgets=3", "sessions=x", "sessions=-1", "sessions=4,"} {
+		if _, err := parseLimits(bad); err == nil {
+			t.Errorf("parseLimits(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReplayWithLimitsReportsOverload(t *testing.T) {
+	path := writeScenarioCapture(t, "fragflood", 5)
+	// Unbounded: no degradation, so no overload line (historic output).
+	var plain strings.Builder
+	if err := run([]string{"-in", path}, &plain); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(plain.String(), "overload:") {
+		t.Errorf("unbounded run printed an overload line:\n%s", plain.String())
+	}
+	// Capped: the fragment flood overflows the budget, and the evictions
+	// must be reported, identically for serial and sharded engines.
+	var serial, sharded strings.Builder
+	args := []string{"-in", path, "-limits", "frags=8,sessions=64"}
+	if err := run(append(args, "-shards", "1"), &serial); err != nil {
+		t.Fatalf("run -limits serial: %v", err)
+	}
+	if err := run(append(args, "-shards", "4"), &sharded); err != nil {
+		t.Fatalf("run -limits -shards 4: %v", err)
+	}
+	if !strings.Contains(serial.String(), "overload:") {
+		t.Errorf("capped flood printed no overload line:\n%s", serial.String())
+	}
+	if serial.String() != sharded.String() {
+		t.Errorf("capped sharded output diverged from serial:\n--- serial ---\n%s--- sharded ---\n%s",
+			serial.String(), sharded.String())
+	}
+	// A bad spec is rejected before any engine is built.
+	if err := run([]string{"-in", path, "-limits", "bogus"}, &serial); err == nil {
+		t.Error("bad -limits spec accepted")
 	}
 }
 

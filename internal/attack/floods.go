@@ -1,0 +1,108 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"scidive/internal/packet"
+	"scidive/internal/rtp"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// InviteFlood mounts a call-setup flood: count INVITEs fired at the proxy,
+// each with a fresh Call-ID and From tag, none ever completed. Every
+// INVITE forces the IDS to allocate dialog state, so an unbounded tracker
+// is itself the attack surface — state exhaustion rather than bandwidth.
+// With core.Limits.MaxSessions set the engine sheds the oldest dialogs
+// and keeps detecting on live ones.
+func (a *Attacker) InviteFlood(proxyAddr netip.AddrPort, target sip.URI, count int, interval IntervalFunc) {
+	me := sip.URI{User: "flood", Host: a.host.IP().String(), Port: a.sipPort}
+	contact := sip.Address{URI: me}
+	for i := 0; i < count; i++ {
+		i := i
+		a.host.Sim().Schedule(interval(i), func() {
+			sess := sdp.NewAudioSession("flood", a.host.IP(), 40700)
+			req := sip.NewRequest(sip.RequestSpec{
+				Method:     sip.MethodInvite,
+				RequestURI: target.String(),
+				From:       sip.Address{URI: me}.WithTag(a.idgen.Tag()),
+				To:         sip.Address{URI: target},
+				CallID:     a.idgen.CallID(a.host.IP().String()),
+				CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+				Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+					Params: map[string]string{"branch": a.idgen.Branch()}},
+				Contact:  &contact,
+				Body:     sess.Marshal(),
+				BodyType: "application/sdp",
+			})
+			_ = a.Send(a.sipPort, proxyAddr, req.Marshal())
+		})
+	}
+}
+
+// FragmentFlood mounts an IP reassembly-exhaustion attack: count
+// first-fragments of datagrams whose remaining fragments never arrive,
+// each under a distinct IP ID so every one opens a new reassembly buffer
+// that can only die by timeout — or, with core.Limits.MaxFragGroups set,
+// by capacity eviction. fragSize controls the fragment payload size
+// (0 picks a small default).
+func (a *Attacker) FragmentFlood(dst netip.AddrPort, count, fragSize int, interval IntervalFunc) error {
+	if fragSize <= 0 {
+		fragSize = 128
+	}
+	dstMAC, ok := a.net.MACOf(dst.Addr())
+	if !ok {
+		return fmt.Errorf("attack: no route to %v", dst.Addr())
+	}
+	// A payload larger than one fragment guarantees BuildUDPFrames emits a
+	// multi-fragment train; only the first fragment is ever sent.
+	payload := make([]byte, 4*fragSize)
+	a.host.Sim().Rand().Read(payload)
+	for i := 0; i < count; i++ {
+		i := i
+		a.host.Sim().Schedule(interval(i), func() {
+			frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+				SrcMAC: a.host.MAC(), DstMAC: dstMAC,
+				SrcIP: a.host.IP(), DstIP: dst.Addr(),
+				SrcPort: 40800, DstPort: dst.Port(),
+				IPID:    a.host.NextIPID(),
+				Payload: payload,
+			}, 14+20+8+fragSize)
+			if err != nil || len(frames) < 2 {
+				return
+			}
+			a.host.SendRawFrames(frames[0])
+		})
+	}
+	return nil
+}
+
+// RTPBlast sprays well-formed RTP at a spread of media ports on the
+// victim: perPort packets to each of ports consecutive even ports
+// starting at basePort. Each previously-unseen destination port costs the
+// IDS a sequence tracker and a session entry, so the blast exercises the
+// MaxSeqTrackers and MaxSessions budgets while the decodable payload
+// keeps the packets off the garbage-RTP fast path.
+func (a *Attacker) RTPBlast(victim netip.Addr, basePort uint16, ports, perPort int, interval IntervalFunc) {
+	n := 0
+	for p := 0; p < ports; p++ {
+		dst := netip.AddrPortFrom(victim, basePort+uint16(2*p))
+		ssrc := uint32(0xB1A50000 + p)
+		for j := 0; j < perPort; j++ {
+			n++
+			seq := uint16(j + 1)
+			a.host.Sim().Schedule(interval(n), func() {
+				pkt := rtp.Packet{
+					Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(seq) * 160, SSRC: ssrc},
+					Payload: make([]byte, 160),
+				}
+				buf, err := pkt.Marshal()
+				if err != nil {
+					return
+				}
+				_ = a.Send(40900, dst, buf)
+			})
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package chaoscore provides deterministic fault injection for exercising
+// the sharded engine's failure-containment paths: worker panics, worker
+// stalls, and wire-level frame corruption. It is test infrastructure —
+// production deployments never construct an injector — but it lives in a
+// non-test package so chaos scenarios can be scripted from experiments
+// and examples as well as from tests.
+//
+// Faults are addressed by (shard, frame ordinal): the sharded router
+// assigns every routed frame item a per-shard sequence number, and an
+// injector decides the fate of each. Given the same traffic and the same
+// script, a chaos run is fully reproducible.
+package chaoscore
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"scidive/internal/core"
+)
+
+// ScriptedInjector fires faults at exact (shard, frame-ordinal) points.
+// The zero value injects nothing. It is safe for concurrent use by
+// multiple shard workers.
+type ScriptedInjector struct {
+	mu     sync.Mutex
+	panics map[point]struct{}
+	stalls map[point]time.Duration
+}
+
+type point struct {
+	shard int
+	frame uint64
+}
+
+// PanicAt schedules a worker panic when the given shard processes its
+// n-th routed frame item (0-based).
+func (si *ScriptedInjector) PanicAt(shard int, frame uint64) *ScriptedInjector {
+	si.mu.Lock()
+	if si.panics == nil {
+		si.panics = make(map[point]struct{})
+	}
+	si.panics[point{shard, frame}] = struct{}{}
+	si.mu.Unlock()
+	return si
+}
+
+// StallAt schedules a processing stall of duration d at the given shard
+// and frame ordinal. Long stalls trip the engine's watchdog when
+// Limits.StallTimeout is set.
+func (si *ScriptedInjector) StallAt(shard int, frame uint64, d time.Duration) *ScriptedInjector {
+	si.mu.Lock()
+	if si.stalls == nil {
+		si.stalls = make(map[point]time.Duration)
+	}
+	si.stalls[point{shard, frame}] = d
+	si.mu.Unlock()
+	return si
+}
+
+// At implements core.FaultInjector.
+func (si *ScriptedInjector) At(shard int, frame uint64) core.Fault {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	p := point{shard, frame}
+	var f core.Fault
+	if _, ok := si.panics[p]; ok {
+		f.Panic = true
+	}
+	if d, ok := si.stalls[p]; ok {
+		f.Stall = d
+	}
+	return f
+}
+
+var _ core.FaultInjector = (*ScriptedInjector)(nil)
+
+// CorruptingTap wraps a frame handler (e.g. Engine.HandleFrame) with a
+// deterministic corrupter: every n-th frame has one random byte flipped
+// before delivery. Decoders must treat the result as untrusted input —
+// the tap exists to prove that corrupt wire data degrades into parse
+// errors and raw footprints, never into a crashed or wedged IDS.
+func CorruptingTap(seed int64, every int, next func(at time.Duration, frame []byte)) func(at time.Duration, frame []byte) {
+	if every <= 0 {
+		every = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	count := 0
+	return func(at time.Duration, frame []byte) {
+		mu.Lock()
+		count++
+		corrupt := count%every == 0
+		var pos int
+		var flip byte
+		if corrupt && len(frame) > 0 {
+			pos = rng.Intn(len(frame))
+			flip = byte(1 + rng.Intn(255))
+		}
+		mu.Unlock()
+		if corrupt && len(frame) > 0 {
+			mangled := make([]byte, len(frame))
+			copy(mangled, frame)
+			mangled[pos] ^= flip
+			frame = mangled
+		}
+		next(at, frame)
+	}
+}

@@ -10,13 +10,37 @@ import (
 	"scidive/internal/sip"
 )
 
-// EngineStats counts end-to-end IDS activity.
+// EngineStats counts end-to-end IDS activity. The overload and eviction
+// counters make degradation under load observable: every frame shed and
+// every entry evicted to respect a Limits cap is accounted here, never
+// dropped silently.
 type EngineStats struct {
 	Frames          int
 	Footprints      int
 	Events          int
 	Alerts          int
 	SessionsEvicted int
+
+	// FramesAfterClose counts HandleFrame calls arriving after Close
+	// (sharded engine only; the serial engine has no Close).
+	FramesAfterClose int
+	// FramesShed and BatchesShed count work dropped by the sharded
+	// router's load-shedding policy (ShedAfter) or dropped because the
+	// owning shard was quarantined.
+	FramesShed  int
+	BatchesShed int
+	// Per-category Limits evictions (see Limits for each cap's policy).
+	SessionsCapEvicted int
+	FragGroupsEvicted  int
+	IMHistoriesEvicted int
+	SeqTrackersEvicted int
+	BindingsEvicted    int
+	AlertsEvicted      int
+	EventsEvicted      int
+	// ShardsFailed counts shards quarantined after a panic or a watchdog
+	// stall; ShardsRestarted counts fresh-state restarts of failed shards.
+	ShardsFailed    int
+	ShardsRestarted int
 }
 
 // Config configures an Engine.
@@ -36,6 +60,9 @@ type Config struct {
 	// the BYE-attack rule is implemented in this mode; it exists to
 	// measure what the event abstraction buys (paper Section 3.1).
 	DirectTrailMatching bool
+	// Limits is the state budget (zero value = unbounded, the historic
+	// behavior).
+	Limits Limits
 }
 
 // Engine is a deployed SCIDIVE instance: Distiller -> Trails -> Event
@@ -49,6 +76,7 @@ type Engine struct {
 	stats     EngineStats
 	events    []Event
 	keepLog   bool
+	faults    FaultInjector
 }
 
 // EngineOption customizes engine construction.
@@ -80,14 +108,27 @@ func NewEngine(cfg Config, opts ...EngineOption) *Engine {
 		gen:       NewEventGenerator(cfg.Gen, trails),
 		rules:     NewRuleEngine(rules),
 	}
+	e.distiller.reasm.SetLimit(cfg.Limits.MaxFragGroups)
+	e.gen.SetLimits(cfg.Limits)
+	e.rules.maxAlerts = cfg.Limits.MaxRetainedAlerts
 	for _, o := range opts {
 		o(e)
 	}
 	return e
 }
 
-// Stats returns a snapshot of the engine counters.
-func (e *Engine) Stats() EngineStats { return e.stats }
+// Stats returns a snapshot of the engine counters, folding in the
+// eviction counts kept by the pipeline stages.
+func (e *Engine) Stats() EngineStats {
+	st := e.stats
+	st.SessionsCapEvicted = e.gen.evictedSessions
+	st.IMHistoriesEvicted = e.gen.evictedIMs
+	st.SeqTrackersEvicted = e.gen.evictedSeqs
+	st.BindingsEvicted = e.gen.evictedBindings
+	st.FragGroupsEvicted = e.distiller.reasm.CapacityEvicted()
+	st.AlertsEvicted = e.rules.evicted
+	return st
+}
 
 // Trails exposes the trail store (read-mostly; used by reports and the
 // direct-matching ablation).
@@ -128,12 +169,24 @@ func (e *Engine) HandleFrame(at time.Duration, frame []byte) {
 	}
 	for _, ev := range e.gen.Process(fp) {
 		e.stats.Events++
-		if e.keepLog {
-			e.events = append(e.events, ev)
-		}
+		e.logEvent(ev)
 		alerts := e.rules.Feed(ev)
 		e.stats.Alerts += len(alerts)
 	}
+}
+
+// logEvent appends ev to the retained log (when WithEventLog is on),
+// evicting the oldest entry to respect MaxRetainedEvents.
+func (e *Engine) logEvent(ev Event) {
+	if !e.keepLog {
+		return
+	}
+	if max := e.cfg.Limits.MaxRetainedEvents; max > 0 && len(e.events) >= max {
+		drop := len(e.events) - max + 1
+		e.events = append(e.events[:0], e.events[drop:]...)
+		e.stats.EventsEvicted += drop
+	}
+	e.events = append(e.events, ev)
 }
 
 // AttachTap subscribes the engine to all hub traffic of a network,

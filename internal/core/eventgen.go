@@ -67,6 +67,49 @@ type imRecord struct {
 type seqTrack struct {
 	last   uint16
 	primed bool
+	at     time.Duration // last packet toward this endpoint (LRU eviction)
+}
+
+// evictStalestIM removes the least-recently-seen IM history entry (ties
+// broken by the smaller key) and returns its key, or "" when empty. The
+// serial generator and the sharded router both call this so capped IM
+// state evicts identical victims.
+func evictStalestIM(ims map[string]imRecord) string {
+	var vk string
+	found := false
+	for k, r := range ims {
+		if !found || r.at < ims[vk].at || (r.at == ims[vk].at && k < vk) {
+			vk, found = k, true
+		}
+	}
+	if found {
+		delete(ims, vk)
+	}
+	return vk
+}
+
+// evictStalestSeq removes the sequence tracker with the oldest last
+// packet (ties broken by endpoint address, then port) and reports whether
+// one was removed. Shared by the serial generator and the sharded router.
+func evictStalestSeq(seqs map[netip.AddrPort]*seqTrack) bool {
+	var vk netip.AddrPort
+	found := false
+	for k, tr := range seqs {
+		if !found || tr.at < seqs[vk].at || (tr.at == seqs[vk].at && seqLess(k, vk)) {
+			vk, found = k, true
+		}
+	}
+	if found {
+		delete(seqs, vk)
+	}
+	return found
+}
+
+func seqLess(a, b netip.AddrPort) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Port() < b.Port()
 }
 
 // EventGenerator folds footprints into events, keeping per-session state
@@ -91,6 +134,18 @@ type EventGenerator struct {
 	bindings map[string]netip.Addr // AOR -> registered contact IP
 	ims      map[string]imRecord   // "AOR|dstIP" -> last IM source on that delivery path
 	seqs     map[netip.AddrPort]*seqTrack
+
+	// limits caps the maps above; the counters account every eviction.
+	limits          Limits
+	evictedSessions int
+	evictedIMs      int
+	evictedSeqs     int
+	evictedBindings int
+	// bindingAge orders bindings for LRU eviction without changing the
+	// shape of the bindings map itself; entries missing from it rank
+	// oldest. bindingClock advances on every set/refresh.
+	bindingAge   map[string]int
+	bindingClock int
 }
 
 // NewEventGenerator returns a generator storing footprints into trails.
@@ -105,7 +160,32 @@ func NewEventGenerator(cfg GenConfig, trails *TrailStore) *EventGenerator {
 		bindings:   make(map[string]netip.Addr),
 		ims:        make(map[string]imRecord),
 		seqs:       make(map[netip.AddrPort]*seqTrack),
+		bindingAge: make(map[string]int),
 	}
+}
+
+// SetLimits installs the generator's share of the state budget. Must be
+// called before traffic flows (NewEngine does).
+func (g *EventGenerator) SetLimits(l Limits) {
+	g.limits = l
+	g.idx.maxSessions = l.MaxSessions
+	g.idx.onCapEvict = func(id string) {
+		g.trails.Drop(id)
+		g.evictedSessions++
+	}
+}
+
+// EvictSession drops one session's dialog state, pending registration,
+// and trails, reporting whether it existed. The sharded engine broadcasts
+// router-side capacity evictions to shards through this.
+func (g *EventGenerator) EvictSession(id string) bool {
+	st, ok := g.sessions[id]
+	if !ok {
+		return false
+	}
+	g.idx.dropSession(id, st)
+	g.trails.Drop(id)
+	return true
 }
 
 // Bindings returns the registration bindings learned from traffic.
@@ -122,7 +202,32 @@ func (g *EventGenerator) Bindings() map[string]netip.Addr {
 // cross-session checks (billing fraud's registered-location comparison)
 // see a consistent directory regardless of which shard learned it.
 func (g *EventGenerator) ApplyBinding(aor string, ip netip.Addr) {
+	g.setBinding(aor, ip)
+}
+
+// setBinding installs or refreshes a binding, evicting the least-recently
+// refreshed one (ties: smaller AOR; entries predating age tracking rank
+// oldest) when MaxBindings would be exceeded.
+func (g *EventGenerator) setBinding(aor string, ip netip.Addr) {
+	if _, exists := g.bindings[aor]; !exists &&
+		g.limits.MaxBindings > 0 && len(g.bindings) >= g.limits.MaxBindings {
+		var vk string
+		found := false
+		for k := range g.bindings {
+			if !found || g.bindingAge[k] < g.bindingAge[vk] ||
+				(g.bindingAge[k] == g.bindingAge[vk] && k < vk) {
+				vk, found = k, true
+			}
+		}
+		if found {
+			delete(g.bindings, vk)
+			delete(g.bindingAge, vk)
+			g.evictedBindings++
+		}
+	}
 	g.bindings[aor] = ip
+	g.bindingClock++
+	g.bindingAge[aor] = g.bindingClock
 }
 
 // session returns the state for a Call-ID, creating it if needed.
@@ -324,6 +429,11 @@ func (g *EventGenerator) processIM(fp *SIPFootprint, from sip.Address, h RouteHi
 	case !seen || fp.At-rec.at > g.cfg.IMPeriod:
 		// First sighting, or beyond the mobility allowance: accept and
 		// remember the source.
+		if !seen && g.limits.MaxIMHistories > 0 && len(g.ims) >= g.limits.MaxIMHistories {
+			if evictStalestIM(g.ims) != "" {
+				g.evictedIMs++
+			}
+		}
 		g.ims[histKey] = imRecord{ip: fp.Src.Addr(), at: fp.At}
 	case rec.ip != fp.Src.Addr():
 		events = append(events, Event{
@@ -359,7 +469,7 @@ func (g *EventGenerator) responseEvents(fp *SIPFootprint, st *sessionState, out 
 		}
 	case out.regOK:
 		if out.bindingIP.IsValid() {
-			g.bindings[out.regAOR] = out.bindingIP
+			g.setBinding(out.regAOR, out.bindingIP)
 		}
 		events = append(events, Event{At: fp.At, Type: EvSIPRegisterOK, Session: st.callID,
 			Detail: out.regAOR, Footprint: fp})
@@ -420,6 +530,11 @@ func (g *EventGenerator) processRTP(fp *RTPFootprint, session string, h RouteHin
 	} else {
 		tr, ok := g.seqs[fp.Dst]
 		if !ok {
+			if g.limits.MaxSeqTrackers > 0 && len(g.seqs) >= g.limits.MaxSeqTrackers {
+				if evictStalestSeq(g.seqs) {
+					g.evictedSeqs++
+				}
+			}
 			tr = &seqTrack{}
 			g.seqs[fp.Dst] = tr
 			events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
@@ -437,6 +552,7 @@ func (g *EventGenerator) processRTP(fp *RTPFootprint, session string, h RouteHin
 		}
 		tr.primed = true
 		tr.last = fp.Header.Seq
+		tr.at = fp.At
 	}
 
 	st, known := g.sessions[session]

@@ -1,0 +1,27 @@
+package core
+
+import "time"
+
+// Fault is one injected failure: an artificial stall, a panic, or both
+// (stall first, then panic).
+type Fault struct {
+	Panic bool
+	Stall time.Duration
+}
+
+// FaultInjector decides, per shard and per frame ordinal within that
+// shard, whether to inject a fault. Implementations must be safe for
+// concurrent use: every shard worker consults the injector.
+//
+// Injection points sit inside the shard workers' frame processing, so
+// the injector exercises the panic-containment and watchdog paths of the
+// ShardedEngine; the serial Engine ignores it.
+type FaultInjector interface {
+	At(shard int, frame uint64) Fault
+}
+
+// WithFaultInjector wires a fault injector into the engine (chaos
+// testing only).
+func WithFaultInjector(fi FaultInjector) EngineOption {
+	return func(e *Engine) { e.faults = fi }
+}

@@ -98,6 +98,16 @@ type RuleEngine struct {
 	dedup    map[string]int // ruleName|session -> index into alerts
 	onAlert  func(Alert)
 
+	// maxAlerts caps the retained alert list (0 = unbounded); evicted
+	// counts alerts dropped to respect it. Evicting an alert forgets its
+	// dedup suppression, so the same (rule, session) may re-fire later.
+	maxAlerts int
+	evicted   int
+	// version increments on every raise, including suppressed repeats
+	// that only bump a Count; snapshot publishers use it to detect any
+	// change to the alert list.
+	version int
+
 	// EventsSeen counts events fed to the engine.
 	EventsSeen int
 }
@@ -249,10 +259,14 @@ func removePartial(parts []*partial, target *partial) []*partial {
 
 // raise records an alert, suppressing repeats per (rule, session).
 func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
+	re.version++
 	key := r.Name + "|" + e.Session
 	if idx, seen := re.dedup[key]; seen {
 		re.alerts[idx].Count++
 		return re.alerts[idx]
+	}
+	if re.maxAlerts > 0 && len(re.alerts) >= re.maxAlerts {
+		re.evictOldestAlert()
 	}
 	a := Alert{
 		At:       e.At,
@@ -269,4 +283,16 @@ func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
 		re.onAlert(a)
 	}
 	return a
+}
+
+// evictOldestAlert drops the front (oldest) retained alert, shifting the
+// rest down and rewriting the dedup index.
+func (re *RuleEngine) evictOldestAlert() {
+	victim := re.alerts[0]
+	re.alerts = append(re.alerts[:0], re.alerts[1:]...)
+	re.evicted++
+	delete(re.dedup, victim.Rule+"|"+victim.Session)
+	for k, idx := range re.dedup {
+		re.dedup[k] = idx - 1
+	}
 }

@@ -14,6 +14,18 @@ const (
 	RuleRTCPByeSpoof  = "rtcp-bye-spoof"
 )
 
+// Self-monitoring alert names raised by the sharded engine about its own
+// health, so degradation under overload or shard failure is itself a
+// detectable event rather than a silent gap in coverage.
+const (
+	// RuleIDSOverload fires when the router sheds frames because a shard
+	// queue stayed full past ShedAfter or the shard was quarantined.
+	RuleIDSOverload = "ids-overload"
+	// RuleShardFailure fires when a shard worker panics or the watchdog
+	// finds it stalled past StallTimeout.
+	RuleShardFailure = "shard-failure"
+)
+
 // DefaultRuleset returns the rules for the paper's four demonstrated
 // attacks (Table 1) plus the Section 3.2/3.3 synthetic scenarios.
 func DefaultRuleset() []Rule {

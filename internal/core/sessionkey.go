@@ -71,6 +71,13 @@ type sessionIndex struct {
 	sessions   map[string]*sessionState
 	pendingReg map[string]string // Call-ID -> AOR awaiting 200
 	byMedia    map[netip.AddrPort][]*sessionState
+
+	// maxSessions caps the table (0 = unbounded): creating a session at
+	// the cap first evicts the least-recently-touched one (ties: smaller
+	// Call-ID), reporting it via onCapEvict so the owner can drop the
+	// victim's trails and count the eviction.
+	maxSessions int
+	onCapEvict  func(id string)
 }
 
 // newSessionIndex returns an empty index. indexed enables the reverse
@@ -90,10 +97,45 @@ func newSessionIndex(indexed bool) *sessionIndex {
 func (x *sessionIndex) core(callID string) *sessionState {
 	st, ok := x.sessions[callID]
 	if !ok {
+		if x.maxSessions > 0 && len(x.sessions) >= x.maxSessions {
+			x.evictLRU()
+		}
 		st = &sessionState{callID: callID, guessResponses: make(map[string]struct{})}
 		x.sessions[callID] = st
 	}
 	return st
+}
+
+// evictLRU drops the least-recently-touched session (ties broken by the
+// smaller Call-ID, so eviction order never depends on map iteration).
+func (x *sessionIndex) evictLRU() {
+	var vid string
+	var vst *sessionState
+	for id, st := range x.sessions {
+		if vst == nil || st.lastSeen < vst.lastSeen ||
+			(st.lastSeen == vst.lastSeen && id < vid) {
+			vid, vst = id, st
+		}
+	}
+	if vst == nil {
+		return
+	}
+	x.dropSession(vid, vst)
+	if x.onCapEvict != nil {
+		x.onCapEvict(vid)
+	}
+}
+
+// dropSession removes one session and every index entry that points at
+// it, including a pending registration keyed by the same Call-ID (left
+// dangling by earlier versions of expire).
+func (x *sessionIndex) dropSession(id string, st *sessionState) {
+	delete(x.sessions, id)
+	delete(x.pendingReg, id)
+	if x.byMedia != nil {
+		x.unindexMedia(st, st.callerMedia)
+		x.unindexMedia(st, st.calleeMedia)
+	}
 }
 
 // touch records session activity for expiry bookkeeping.
@@ -110,11 +152,7 @@ func (x *sessionIndex) expire(now, timeout time.Duration, onEvict func(id string
 	evicted := 0
 	for id, st := range x.sessions {
 		if now-st.lastSeen > timeout {
-			delete(x.sessions, id)
-			if x.byMedia != nil {
-				x.unindexMedia(st, st.callerMedia)
-				x.unindexMedia(st, st.calleeMedia)
-			}
+			x.dropSession(id, st)
 			if onEvict != nil {
 				onEvict(id)
 			}

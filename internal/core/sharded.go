@@ -40,6 +40,19 @@ import (
 // sharded_diff_test.go hold the two engines to byte-identical alert and
 // event streams.
 //
+// Failure containment: each worker is an actor that exclusively owns its
+// pipeline and publishes results into a snapshot after every batch, so a
+// panicking or stalled shard can never wedge readers. A panic quarantines
+// the shard (its published alerts survive, subsequent frames are counted
+// as shed, a shard-failure self-alert is raised) or, with
+// Limits.RestartFailedShards, restarts it with fresh detection state.
+// With Limits.ShedAfter set, a full shard queue sheds whole batches after
+// a bounded wait instead of blocking the router, and with
+// Limits.StallTimeout a watchdog quarantines shards that accept work but
+// stop making progress. Every shed frame is accounted in Stats and
+// ShardHealth and raises an ids-overload self-alert — degradation is a
+// detectable event, never silent.
+//
 // HandleFrame may be called from multiple goroutines. The router retains
 // a shipped frame until its shard has processed it, so feeders must not
 // reuse frame buffers (netsim taps and capture replay both allocate per
@@ -50,6 +63,7 @@ type ShardedEngine struct {
 	gen     GenConfig // normalized thresholds for router-side verdicts
 	timeout time.Duration
 	keepLog bool
+	opts    []EngineOption // retained for shard restarts
 
 	mu       sync.Mutex // router stage: directory, reassembly, pending batches
 	closed   bool
@@ -62,7 +76,29 @@ type ShardedEngine struct {
 	sticky   map[string]string // Call-ID -> routing key (pinned on first sighting)
 	pending  [][]shardItem
 
-	frames atomic.Uint64
+	frames           atomic.Uint64
+	framesAfterClose atomic.Uint64
+
+	// Router-side Limits eviction counters (incremented under mu, read
+	// lock-free by Stats).
+	capSessions atomic.Uint64
+	capFrags    atomic.Uint64
+	capIMs      atomic.Uint64
+	capSeqs     atomic.Uint64
+
+	shardsFailed    atomic.Uint64
+	shardsRestarted atomic.Uint64
+
+	// Self-monitoring alerts (ids-overload, shard-failure). selfMu nests
+	// inside mu (router-side sheds raise while routing) and is taken bare
+	// by workers and the watchdog; nothing locks mu after selfMu.
+	selfMu    sync.Mutex
+	selfAlert []Alert
+	selfTags  []mergeTag
+	selfDedup map[string]int
+	selfSeq   int
+
+	watchStop chan struct{}
 
 	workers []*shardWorker
 
@@ -93,11 +129,15 @@ type routedFrame struct {
 
 // mergeTag orders shard output globally: frame index, then the event's
 // ordinal within that frame. Frames are routed whole, so tags from
-// different shards never collide.
+// different shards never collide. Self-monitoring alerts use a sub far
+// above any per-frame ordinal so they sort after detections at the same
+// frame.
 type mergeTag struct {
 	idx uint64
 	sub int
 }
+
+const selfAlertSub = 1 << 30
 
 type itemKind uint8
 
@@ -105,37 +145,91 @@ const (
 	itemFrame itemKind = iota
 	itemGroup
 	itemBinding
+	itemEvict
 	itemExpire
 	itemFlush
+	itemInspect
 )
 
 // shardItem is one unit of work on a shard's queue: a routed frame (or
-// reassembled fragment group), a replicated binding, an expiry sweep, or
-// a flush marker.
+// reassembled fragment group), a replicated binding, a capacity-eviction
+// or expiry broadcast, or a flush/inspect marker.
 type shardItem struct {
-	kind  itemKind
-	idx   uint64
-	at    time.Duration
-	frame []byte
-	group []routedFrame
-	hints RouteHints
-	aor   string
-	ip    netip.Addr
-	ack   chan struct{}
+	kind    itemKind
+	idx     uint64
+	at      time.Duration
+	frame   []byte
+	group   []routedFrame
+	hints   RouteHints
+	aor     string
+	ip      netip.Addr
+	session string
+	ack     chan struct{}
 }
 
-// shardWorker owns one shard: a full serial pipeline plus the merge tags
-// aligned with its alert and event logs.
-type shardWorker struct {
-	ch   chan []shardItem
-	done chan struct{}
+// Worker health states.
+const (
+	stateHealthy uint32 = iota
+	statePanicked
+	stateStalled
+)
 
-	mu        sync.Mutex // guards eng and tags; held while processing a batch
+func stateName(s uint32) string {
+	switch s {
+	case statePanicked:
+		return "panicked"
+	case stateStalled:
+		return "stalled"
+	default:
+		return "healthy"
+	}
+}
+
+// shardResults is a worker's published snapshot. Readers see only this,
+// never the worker's live pipeline, so a stuck worker cannot block them.
+type shardResults struct {
+	stats     EngineStats
+	alerts    []Alert
+	alertTags []mergeTag
+	events    []Event
+	eventTags []mergeTag
+	trails    []trailKey
+}
+
+// shardWorker owns one shard. The pipeline fields below resMu are
+// private to the worker goroutine (actor model); everyone else reads the
+// published snapshot under resMu and the atomics.
+type shardWorker struct {
+	id    int
+	owner *ShardedEngine
+	ch    chan []shardItem
+	done  chan struct{}
+
+	// Worker-private pipeline state.
 	eng       *Engine
 	alertTags []mergeTag
 	eventTags []mergeTag
 	curTag    mergeTag
 	sub       int
+	faultSeq  uint64
+	trimmedA  int // rule-engine alert evictions mirrored into alertTags
+	trimmedE  int // event-log evictions mirrored into eventTags
+	base      shardResults
+	pubVer    int // rules.version at last alert publish
+	pubEvict  int // engine EventsEvicted mirrored into pub
+
+	resMu sync.Mutex
+	pub   shardResults
+
+	state       atomic.Uint32
+	beat        atomic.Int64 // wall-clock heartbeat (UnixNano)
+	trackBeat   bool
+	enqueuedB   atomic.Uint64
+	completedB  atomic.Uint64
+	routedF     atomic.Uint64
+	processedF  atomic.Uint64
+	shedFrames  atomic.Uint64
+	shedBatches atomic.Uint64
 }
 
 const (
@@ -143,7 +237,7 @@ const (
 	// send, amortizing synchronization on the hot path.
 	shardBatchSize = 64
 	// shardQueueDepth bounds each shard's channel; a full queue blocks
-	// the router (backpressure) rather than buffering without limit.
+	// the router (backpressure) or, with Limits.ShedAfter, sheds.
 	shardQueueDepth = 8
 )
 
@@ -168,46 +262,95 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		cfg.Rules = DefaultRuleset()
 	}
 	s := &ShardedEngine{
-		cfg:     cfg,
-		gen:     cfg.Gen.withDefaults(),
-		timeout: cfg.SessionTimeout,
-		idx:     newSessionIndex(true),
-		reasm:   packet.NewReassembler(0),
-		frags:   make(map[fragIdent]*fragGroup),
-		seqs:    make(map[netip.AddrPort]*seqTrack),
-		ims:     make(map[string]imRecord),
-		sticky:  make(map[string]string),
-		pending: make([][]shardItem, shards),
-		workers: make([]*shardWorker, shards),
+		cfg:       cfg,
+		gen:       cfg.Gen.withDefaults(),
+		timeout:   cfg.SessionTimeout,
+		opts:      opts,
+		idx:       newSessionIndex(true),
+		reasm:     packet.NewReassembler(0),
+		frags:     make(map[fragIdent]*fragGroup),
+		seqs:      make(map[netip.AddrPort]*seqTrack),
+		ims:       make(map[string]imRecord),
+		sticky:    make(map[string]string),
+		selfDedup: make(map[string]int),
+		pending:   make([][]shardItem, shards),
+		workers:   make([]*shardWorker, shards),
 	}
+	// The router enforces the global caps itself; session evictions are
+	// broadcast so shard tables drop the same victim at the same stream
+	// position the serial generator would.
+	s.idx.maxSessions = cfg.Limits.MaxSessions
+	s.idx.onCapEvict = func(id string) {
+		s.capSessions.Add(1)
+		delete(s.sticky, id)
+		for i := range s.workers {
+			s.appendItemLocked(i, shardItem{kind: itemEvict, session: id})
+		}
+	}
+	s.reasm.SetLimit(cfg.Limits.MaxFragGroups)
+	s.reasm.OnEvict(func(id packet.FragID) {
+		s.capFrags.Add(1)
+		delete(s.frags, fragIdent{src: id.Src, dst: id.Dst, proto: id.Proto, id: id.ID})
+	})
+	now := time.Now().UnixNano()
 	for i := range s.workers {
 		w := &shardWorker{
-			ch:   make(chan []shardItem, shardQueueDepth),
-			done: make(chan struct{}),
-			eng:  NewEngine(cfg, opts...),
+			id:        i,
+			owner:     s,
+			ch:        make(chan []shardItem, shardQueueDepth),
+			done:      make(chan struct{}),
+			eng:       s.newShardEngine(),
+			trackBeat: cfg.Limits.StallTimeout > 0,
 		}
-		w.eng.rules.OnAlert(func(a Alert) {
-			w.alertTags = append(w.alertTags, w.curTag)
-			s.cbMu.Lock()
-			fn := s.onAlert
-			s.cbMu.Unlock()
-			if fn != nil {
-				fn(a)
-			}
-		})
+		w.beat.Store(now)
+		s.wireWorker(w)
 		s.keepLog = w.eng.keepLog
 		s.pending[i] = make([]shardItem, 0, shardBatchSize)
 		s.workers[i] = w
 		go w.run()
 	}
+	if cfg.Limits.StallTimeout > 0 {
+		s.watchStop = make(chan struct{})
+		go s.watchdog(cfg.Limits.StallTimeout)
+	}
 	return s
+}
+
+// newShardEngine builds one shard's private engine, with the router-owned
+// caps zeroed out (see Limits.shardLocal).
+func (s *ShardedEngine) newShardEngine() *Engine {
+	wcfg := s.cfg
+	wcfg.Limits = wcfg.Limits.shardLocal()
+	return NewEngine(wcfg, s.opts...)
+}
+
+// wireWorker hooks a (possibly fresh) shard engine's alert stream to the
+// worker's merge tags and the user callback.
+func (s *ShardedEngine) wireWorker(w *shardWorker) {
+	w.eng.rules.OnAlert(func(a Alert) {
+		w.alertTags = append(w.alertTags, w.curTag)
+		s.cbMu.Lock()
+		fn := s.onAlert
+		s.cbMu.Unlock()
+		if fn != nil {
+			fn(a)
+		}
+	})
 }
 
 // Shards returns the number of worker shards.
 func (s *ShardedEngine) Shards() int { return len(s.workers) }
 
+// ShardOf reports which shard the given routing key maps to with n
+// shards. Exported so chaos tests and capacity planning can predict
+// frame placement; for calls the routing key is the Call-ID, for IM
+// sender sessions "im:" + AOR.
+func ShardOf(key string, n int) int { return shardOf(key, n) }
+
 // OnAlert registers a callback for new alerts. It fires from shard
-// goroutines in shard-local order; use Alerts for the merged stream.
+// goroutines (and the router, for self-monitoring alerts) in shard-local
+// order; use Alerts for the merged stream. The callback must not call
+// back into the engine.
 func (s *ShardedEngine) OnAlert(fn func(Alert)) {
 	s.cbMu.Lock()
 	s.onAlert = fn
@@ -215,11 +358,13 @@ func (s *ShardedEngine) OnAlert(fn func(Alert)) {
 }
 
 // HandleFrame routes one observed frame. It is netsim.Tap compatible and
-// safe for concurrent use.
+// safe for concurrent use. Frames arriving after Close are dropped and
+// counted in Stats().FramesAfterClose.
 func (s *ShardedEngine) HandleFrame(at time.Duration, frame []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.framesAfterClose.Add(1)
 		return
 	}
 	s.frames.Add(1)
@@ -273,7 +418,8 @@ func (s *ShardedEngine) routeLocked(idx uint64, at time.Duration, frame []byte) 
 	}
 	// The reassembler expires stale fragment streams at every Insert;
 	// prune the buffered frame groups on the same clock so the two can
-	// never disagree about which stream a fragment belongs to.
+	// never disagree about which stream a fragment belongs to. Capacity
+	// evictions are mirrored through the OnEvict hook.
 	s.pruneFragsLocked(at)
 	fragmented := iph.FragOffset != 0 || iph.MoreFragments()
 	full, payload, done, err := s.reasm.Insert(iph, ipPayload, at)
@@ -385,6 +531,11 @@ func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrP
 		rec, seen := s.ims[histKey]
 		switch {
 		case !seen || at-rec.at > s.gen.IMPeriod:
+			if !seen && s.cfg.Limits.MaxIMHistories > 0 && len(s.ims) >= s.cfg.Limits.MaxIMHistories {
+				if evictStalestIM(s.ims) != "" {
+					s.capIMs.Add(1)
+				}
+			}
 			s.ims[histKey] = imRecord{ip: src.Addr(), at: at}
 		case rec.ip != src.Addr():
 			h.IM = IMVerdict{Mismatch: true, PrevIP: rec.ip}
@@ -438,6 +589,11 @@ func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrP
 	var v SeqVerdict
 	tr, ok := s.seqs[dst]
 	if !ok {
+		if s.cfg.Limits.MaxSeqTrackers > 0 && len(s.seqs) >= s.cfg.Limits.MaxSeqTrackers {
+			if evictStalestSeq(s.seqs) {
+				s.capSeqs.Add(1)
+			}
+		}
 		tr = &seqTrack{}
 		s.seqs[dst] = tr
 		v.NewFlow = true
@@ -450,6 +606,7 @@ func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrP
 	}
 	tr.primed = true
 	tr.last = pkt.Header.Seq
+	tr.at = at
 	s.idx.touch(session, at)
 	return session, RouteHints{Session: session, HasSeq: true, Seq: v}
 }
@@ -470,23 +627,173 @@ func (s *ShardedEngine) classifyRTCPLocked(at time.Duration, src, dst netip.Addr
 // appendItemLocked queues one item for a shard, flushing the batch when
 // full.
 func (s *ShardedEngine) appendItemLocked(shard int, it shardItem) {
+	w := s.workers[shard]
+	switch it.kind {
+	case itemFrame:
+		w.routedF.Add(1)
+	case itemGroup:
+		w.routedF.Add(uint64(len(it.group)))
+	}
 	s.pending[shard] = append(s.pending[shard], it)
 	if len(s.pending[shard]) >= shardBatchSize {
 		s.flushShardLocked(shard)
 	}
 }
 
+// flushShardLocked hands a shard its pending batch. Quarantined shards
+// shed immediately; healthy shards get a non-blocking send, then either
+// the historic blocking send (ShedAfter == 0) or a bounded wait that
+// sheds the whole batch on expiry.
 func (s *ShardedEngine) flushShardLocked(shard int) {
 	if len(s.pending[shard]) == 0 {
 		return
 	}
 	batch := s.pending[shard]
 	s.pending[shard] = make([]shardItem, 0, shardBatchSize)
-	s.workers[shard].ch <- batch
+	w := s.workers[shard]
+	if w.state.Load() != stateHealthy {
+		s.shedBatchLocked(shard, batch)
+		return
+	}
+	select {
+	case w.ch <- batch:
+		w.noteEnqueued()
+		return
+	default:
+	}
+	if s.cfg.Limits.ShedAfter <= 0 {
+		w.ch <- batch // historic backpressure: block until the shard drains
+		w.noteEnqueued()
+		return
+	}
+	t := time.NewTimer(s.cfg.Limits.ShedAfter)
+	defer t.Stop()
+	select {
+	case w.ch <- batch:
+		w.noteEnqueued()
+	case <-t.C:
+		s.shedBatchLocked(shard, batch)
+	}
+}
+
+// noteEnqueued accounts a successful batch send. It also refreshes the
+// heartbeat: the stall clock for newly accepted work starts at enqueue,
+// so an idle worker that simply hasn't been scheduled yet is not
+// mistaken for a stalled one. A genuinely stuck shard stops accepting
+// sends once its queue fills, after which the beat goes stale and the
+// watchdog fires.
+func (w *shardWorker) noteEnqueued() {
+	w.enqueuedB.Add(1)
+	if w.trackBeat {
+		w.beat.Store(time.Now().UnixNano())
+	}
+}
+
+// shedBatchLocked drops a whole batch: frames are counted as shed, flush
+// and inspect markers are acked so no reader waits on dropped work, and
+// an ids-overload self-alert records the loss. Control items (bindings,
+// expiries, evictions) in a shed batch are lost too — acceptable
+// degradation for an already-overloaded or failed shard.
+func (s *ShardedEngine) shedBatchLocked(shard int, batch []shardItem) {
+	w := s.workers[shard]
+	n, at := shedItems(batch)
+	w.shedBatches.Add(1)
+	if n > 0 {
+		w.shedFrames.Add(uint64(n))
+		s.raiseSelf(RuleIDSOverload, fmt.Sprintf("shard:%d", shard),
+			fmt.Sprintf("shed %d frames bound for shard %d (queue stalled or shard quarantined)", n, shard), at)
+	}
+}
+
+// shedItems counts the frames in a run of items and acks its markers,
+// returning the frame count and the timestamp of the last dropped frame.
+func shedItems(items []shardItem) (frames int, at time.Duration) {
+	for i := range items {
+		switch items[i].kind {
+		case itemFrame:
+			frames++
+			at = items[i].at
+		case itemGroup:
+			frames += len(items[i].group)
+			if n := len(items[i].group); n > 0 {
+				at = items[i].group[n-1].at
+			}
+		case itemFlush, itemInspect:
+			close(items[i].ack)
+		}
+	}
+	return frames, at
+}
+
+// raiseSelf records a self-monitoring alert, deduplicated per (rule,
+// session) like RuleEngine.raise. Safe from the router (under mu), the
+// watchdog, and shard workers.
+func (s *ShardedEngine) raiseSelf(rule, session, detail string, at time.Duration) {
+	s.selfMu.Lock()
+	key := rule + "|" + session
+	if i, ok := s.selfDedup[key]; ok {
+		s.selfAlert[i].Count++
+		s.selfMu.Unlock()
+		return
+	}
+	a := Alert{At: at, Rule: rule, Severity: SeverityCritical, Session: session, Detail: detail, Count: 1}
+	s.selfDedup[key] = len(s.selfAlert)
+	s.selfAlert = append(s.selfAlert, a)
+	s.selfTags = append(s.selfTags, mergeTag{idx: s.frames.Load(), sub: selfAlertSub + s.selfSeq})
+	s.selfSeq++
+	s.selfMu.Unlock()
+	s.cbMu.Lock()
+	fn := s.onAlert
+	s.cbMu.Unlock()
+	if fn != nil {
+		fn(a)
+	}
+}
+
+// noteShardPanic quarantine-accounts a worker panic.
+func (s *ShardedEngine) noteShardPanic(w *shardWorker, at time.Duration, failure any) {
+	s.shardsFailed.Add(1)
+	s.raiseSelf(RuleShardFailure, fmt.Sprintf("shard:%d", w.id),
+		fmt.Sprintf("worker panic: %v (published alerts retained, subsequent frames shed)", failure), at)
+}
+
+// watchdog quarantines shards that accepted work but stopped making
+// progress for longer than timeout (wall clock). Detects stalls —
+// infinite loops, blocking decoders — that recover() never sees.
+func (s *ShardedEngine) watchdog(timeout time.Duration) {
+	period := timeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-tick.C:
+			now := time.Now().UnixNano()
+			for _, w := range s.workers {
+				if w.state.Load() != stateHealthy {
+					continue
+				}
+				if w.enqueuedB.Load() <= w.completedB.Load() {
+					continue
+				}
+				if now-w.beat.Load() > int64(timeout) {
+					w.state.Store(stateStalled)
+					s.shardsFailed.Add(1)
+					s.raiseSelf(RuleShardFailure, fmt.Sprintf("shard:%d", w.id),
+						fmt.Sprintf("no progress for %v with work queued; quarantined", timeout), 0)
+				}
+			}
+		}
+	}
 }
 
 // Flush delivers all queued work and blocks until every shard has
-// processed everything enqueued before the call.
+// processed (or shed) everything enqueued before the call. Shards the
+// watchdog quarantined as stalled are not waited for.
 func (s *ShardedEngine) Flush() {
 	s.mu.Lock()
 	if s.closed {
@@ -501,13 +808,30 @@ func (s *ShardedEngine) Flush() {
 		s.flushShardLocked(i)
 	}
 	s.mu.Unlock()
-	for _, ack := range acks {
-		<-ack
+	for i, ack := range acks {
+		awaitAck(s.workers[i], ack)
+	}
+}
+
+// awaitAck waits for a worker to ack a marker, giving up if the worker
+// is quarantined as stalled (its marker may be stuck behind the stall).
+func awaitAck(w *shardWorker, ack chan struct{}) {
+	for {
+		select {
+		case <-ack:
+			return
+		case <-time.After(200 * time.Microsecond):
+			if w.state.Load() == stateStalled {
+				return
+			}
+		}
 	}
 }
 
 // Close flushes remaining work and stops the shard goroutines. Results
-// remain readable; subsequent HandleFrame calls are dropped.
+// remain readable; subsequent HandleFrame calls are dropped and counted.
+// Stalled shards are abandoned, not awaited (their goroutines exit when
+// the stall clears, since the queue is closed).
 func (s *ShardedEngine) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -515,46 +839,116 @@ func (s *ShardedEngine) Close() {
 		return
 	}
 	s.closed = true
+	if s.watchStop != nil {
+		close(s.watchStop)
+	}
 	for i := range s.workers {
 		s.flushShardLocked(i)
 		close(s.workers[i].ch)
 	}
 	s.mu.Unlock()
 	for _, w := range s.workers {
+		if w.state.Load() == stateStalled {
+			continue
+		}
 		<-w.done
 	}
 }
 
 // Stats returns a snapshot of the merged engine counters. It is safe to
-// call concurrently with HandleFrame; the snapshot reflects work shards
-// have completed, plus every frame the router has accepted.
+// call concurrently with HandleFrame and never blocks on a shard: it
+// reads each worker's last published snapshot, so it reflects batches
+// shards have completed, plus every frame the router has accepted.
 func (s *ShardedEngine) Stats() EngineStats {
-	st := EngineStats{Frames: int(s.frames.Load())}
+	st := EngineStats{
+		Frames:             int(s.frames.Load()),
+		FramesAfterClose:   int(s.framesAfterClose.Load()),
+		SessionsCapEvicted: int(s.capSessions.Load()),
+		FragGroupsEvicted:  int(s.capFrags.Load()),
+		IMHistoriesEvicted: int(s.capIMs.Load()),
+		SeqTrackersEvicted: int(s.capSeqs.Load()),
+		ShardsFailed:       int(s.shardsFailed.Load()),
+		ShardsRestarted:    int(s.shardsRestarted.Load()),
+	}
+	maxBind := 0
 	for _, w := range s.workers {
-		w.mu.Lock()
-		es := w.eng.stats
-		w.mu.Unlock()
+		w.resMu.Lock()
+		es := w.pub.stats
+		w.resMu.Unlock()
 		st.Footprints += es.Footprints
 		st.Events += es.Events
 		st.Alerts += es.Alerts
 		st.SessionsEvicted += es.SessionsEvicted
+		st.EventsEvicted += es.EventsEvicted
+		st.AlertsEvicted += es.AlertsEvicted
+		// Bindings are replicated to every shard and evicted identically
+		// everywhere: the count is the max, not the sum.
+		if es.BindingsEvicted > maxBind {
+			maxBind = es.BindingsEvicted
+		}
+		st.FramesShed += int(w.shedFrames.Load())
+		st.BatchesShed += int(w.shedBatches.Load())
 	}
+	st.BindingsEvicted = maxBind
 	return st
+}
+
+// ShardHealth reports per-shard liveness and drop accounting. After a
+// Flush, FramesRouted == FramesProcessed + FramesShed for every shard
+// that is not mid-stall.
+type ShardHealth struct {
+	Shard           int
+	State           string // "healthy", "panicked", or "stalled"
+	FramesRouted    uint64 // frames the router assigned to this shard
+	FramesProcessed uint64 // frames fully processed by the worker
+	FramesShed      uint64 // frames dropped (overload shed or failure)
+	BatchesShed     uint64 // whole batches dropped
+}
+
+// ShardHealth returns the per-shard health and accounting snapshot.
+func (s *ShardedEngine) ShardHealth() []ShardHealth {
+	out := make([]ShardHealth, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = ShardHealth{
+			Shard:           i,
+			State:           stateName(w.state.Load()),
+			FramesRouted:    w.routedF.Load(),
+			FramesProcessed: w.processedF.Load(),
+			FramesShed:      w.shedFrames.Load(),
+			BatchesShed:     w.shedBatches.Load(),
+		}
+	}
+	return out
 }
 
 // TrailCounts returns the number of distinct sessions and trails across
 // all shards (the sharded analogue of Trails().Sessions()/Trails()).
 func (s *ShardedEngine) TrailCounts() (sessions, trails int) {
-	s.Flush()
+	s.mu.Lock()
+	if !s.closed {
+		acks := make([]chan struct{}, len(s.workers))
+		for i := range s.workers {
+			ack := make(chan struct{})
+			acks[i] = ack
+			s.pending[i] = append(s.pending[i], shardItem{kind: itemInspect, ack: ack})
+			s.flushShardLocked(i)
+		}
+		s.mu.Unlock()
+		for i, ack := range acks {
+			awaitAck(s.workers[i], ack)
+		}
+	} else {
+		s.mu.Unlock()
+	}
 	sessSet := make(map[string]struct{})
 	trailSet := make(map[trailKey]struct{})
 	for _, w := range s.workers {
-		w.mu.Lock()
-		for k := range w.eng.trails.trails {
+		w.resMu.Lock()
+		for _, k := range w.pub.trails {
 			sessSet[k.session] = struct{}{}
 			trailSet[k] = struct{}{}
 		}
-		w.mu.Unlock()
+		w.resMu.Unlock()
 	}
 	return len(sessSet), len(trailSet)
 }
@@ -563,7 +957,8 @@ func (s *ShardedEngine) TrailCounts() (sessions, trails int) {
 // first firing position in the frame stream. Alerts for one (rule,
 // session) pair raised on multiple shards — possible only for sessions
 // that span Call-IDs, like IM sender sessions — are merged with their
-// counts summed.
+// counts summed. Self-monitoring alerts (ids-overload, shard-failure)
+// are merged in at the frame position where they fired.
 func (s *ShardedEngine) Alerts() []Alert {
 	s.Flush()
 	type tagged struct {
@@ -572,13 +967,17 @@ func (s *ShardedEngine) Alerts() []Alert {
 	}
 	var all []tagged
 	for _, w := range s.workers {
-		w.mu.Lock()
-		alerts := w.eng.rules.Alerts()
-		for j, a := range alerts {
-			all = append(all, tagged{tag: w.alertTags[j], a: a})
+		w.resMu.Lock()
+		for j, a := range w.pub.alerts {
+			all = append(all, tagged{tag: w.pub.alertTags[j], a: a})
 		}
-		w.mu.Unlock()
+		w.resMu.Unlock()
 	}
+	s.selfMu.Lock()
+	for j, a := range s.selfAlert {
+		all = append(all, tagged{tag: s.selfTags[j], a: a})
+	}
+	s.selfMu.Unlock()
 	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].tag.idx != all[j].tag.idx {
 			return all[i].tag.idx < all[j].tag.idx
@@ -620,11 +1019,11 @@ func (s *ShardedEngine) Events() []Event {
 	}
 	var all []tagged
 	for _, w := range s.workers {
-		w.mu.Lock()
-		for j, ev := range w.eng.events {
-			all = append(all, tagged{tag: w.eventTags[j], ev: ev})
+		w.resMu.Lock()
+		for j, ev := range w.pub.events {
+			all = append(all, tagged{tag: w.pub.eventTags[j], ev: ev})
 		}
-		w.mu.Unlock()
+		w.resMu.Unlock()
 	}
 	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].tag.idx != all[j].tag.idx {
@@ -653,11 +1052,78 @@ func shardOf(key string, n int) int {
 func (w *shardWorker) run() {
 	defer close(w.done)
 	for batch := range w.ch {
-		w.mu.Lock()
-		for i := range batch {
-			w.runItem(&batch[i])
+		if w.state.Load() != stateHealthy {
+			// Quarantined: drain the backlog, accounting every frame as
+			// shed and acking markers so readers never wait on a dead
+			// shard. Inspect markers still publish (the engine is
+			// quiescent — "alerts flushed" outlives the failure).
+			w.drainBatch(batch)
+			w.completedB.Add(1)
+			continue
 		}
-		w.mu.Unlock()
+		pos, failure := w.runBatch(batch)
+		if failure != nil {
+			at := batch[pos].at
+			if pos < len(batch) && batch[pos].kind == itemGroup && len(batch[pos].group) > 0 {
+				at = batch[pos].group[0].at
+			}
+			w.owner.noteShardPanic(w, at, failure)
+			w.publish()
+			n, _ := shedItems(batch[pos:])
+			if n > 0 {
+				w.shedFrames.Add(uint64(n))
+			}
+			if w.eng.cfg.Limits.RestartFailedShards {
+				w.restartEngine()
+			} else {
+				w.state.Store(statePanicked)
+			}
+		} else {
+			w.publish()
+		}
+		w.completedB.Add(1)
+		if w.trackBeat {
+			w.beat.Store(time.Now().UnixNano())
+		}
+	}
+	w.publish()
+	w.publishTrails()
+}
+
+// runBatch processes one batch under recover. On panic it reports the
+// index of the failing item; items before it completed normally.
+func (w *shardWorker) runBatch(batch []shardItem) (pos int, failure any) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = r
+		}
+	}()
+	for pos = 0; pos < len(batch); pos++ {
+		w.runItem(&batch[pos])
+		if w.trackBeat {
+			w.beat.Store(time.Now().UnixNano())
+		}
+	}
+	return len(batch), nil
+}
+
+// drainBatch sheds a quarantined shard's backlog, answering inspect
+// markers from the (quiescent) engine so trail counts stay available.
+func (w *shardWorker) drainBatch(batch []shardItem) {
+	for i := range batch {
+		if batch[i].kind == itemInspect {
+			w.publishTrails()
+		}
+	}
+	n, at := shedItems(batch)
+	w.shedBatches.Add(1)
+	if n > 0 {
+		w.shedFrames.Add(uint64(n))
+		w.owner.raiseSelf(RuleIDSOverload, fmt.Sprintf("shard:%d", w.id),
+			fmt.Sprintf("shed %d frames bound for shard %d (queue stalled or shard quarantined)", n, w.id), at)
+	}
+	if w.trackBeat {
+		w.beat.Store(time.Now().UnixNano())
 	}
 }
 
@@ -665,19 +1131,47 @@ func (w *shardWorker) runItem(it *shardItem) {
 	e := w.eng
 	switch it.kind {
 	case itemFrame:
+		w.injectFault()
 		w.sub = 0
 		w.processFrame(it.idx, it.at, it.frame, it.hints)
+		w.processedF.Add(1)
 	case itemGroup:
+		w.injectFault()
 		w.sub = 0
 		for _, fr := range it.group {
 			w.processFrame(it.idx, fr.at, fr.frame, it.hints)
 		}
+		w.processedF.Add(uint64(len(it.group)))
 	case itemBinding:
 		e.gen.ApplyBinding(it.aor, it.ip)
+	case itemEvict:
+		e.gen.EvictSession(it.session)
 	case itemExpire:
 		e.stats.SessionsEvicted += e.gen.ExpireSessions(it.at, e.cfg.SessionTimeout)
 	case itemFlush:
+		w.publish()
 		close(it.ack)
+	case itemInspect:
+		w.publish()
+		w.publishTrails()
+		close(it.ack)
+	}
+}
+
+// injectFault consults the configured fault injector (chaos tests) with
+// this shard's frame-item ordinal.
+func (w *shardWorker) injectFault() {
+	if w.eng.faults == nil {
+		return
+	}
+	n := w.faultSeq
+	w.faultSeq++
+	f := w.eng.faults.At(w.id, n)
+	if f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	if f.Panic {
+		panic(fmt.Sprintf("chaoscore: injected panic (shard %d frame %d)", w.id, n))
 	}
 }
 
@@ -695,10 +1189,113 @@ func (w *shardWorker) processFrame(idx uint64, at time.Duration, frame []byte, h
 		e.stats.Events++
 		w.curTag = mergeTag{idx: idx, sub: w.sub}
 		if e.keepLog {
-			e.events = append(e.events, ev)
+			e.logEvent(ev)
 			w.eventTags = append(w.eventTags, w.curTag)
 		}
 		e.stats.Alerts += len(e.rules.Feed(ev))
 		w.sub++
 	}
+}
+
+// syncTags mirrors the engine's front-evictions (retention caps) into
+// the worker's tag slices so tags stay index-aligned with the retained
+// alerts and events.
+func (w *shardWorker) syncTags() {
+	e := w.eng
+	if d := e.rules.evicted - w.trimmedA; d > 0 {
+		w.alertTags = append(w.alertTags[:0], w.alertTags[d:]...)
+		w.trimmedA = e.rules.evicted
+	}
+	if d := e.stats.EventsEvicted - w.trimmedE; d > 0 {
+		w.eventTags = append(w.eventTags[:0], w.eventTags[d:]...)
+		w.trimmedE = e.stats.EventsEvicted
+	}
+}
+
+// publish snapshots the worker's pipeline into pub. Stats are rebuilt
+// every time; alerts are rebuilt only when the rule engine's version
+// moved (covering in-place Count bumps); events are maintained as a
+// delta (evictions drop from the front, new events append at the back).
+func (w *shardWorker) publish() {
+	e := w.eng
+	w.syncTags()
+	w.resMu.Lock()
+	defer w.resMu.Unlock()
+	w.pub.stats = addStats(w.base.stats, e.Stats())
+	if v := e.rules.version; v != w.pubVer {
+		w.pubVer = v
+		w.pub.alerts = append(append(w.pub.alerts[:0], w.base.alerts...), e.rules.alerts...)
+		w.pub.alertTags = append(append(w.pub.alertTags[:0], w.base.alertTags...), w.alertTags...)
+	}
+	baseLen := len(w.base.events)
+	if d := e.stats.EventsEvicted - w.pubEvict; d > 0 {
+		w.pub.events = append(w.pub.events[:baseLen], w.pub.events[baseLen+d:]...)
+		w.pub.eventTags = append(w.pub.eventTags[:baseLen], w.pub.eventTags[baseLen+d:]...)
+		w.pubEvict = e.stats.EventsEvicted
+	}
+	if d := len(e.events) - (len(w.pub.events) - baseLen); d > 0 {
+		w.pub.events = append(w.pub.events, e.events[len(e.events)-d:]...)
+		w.pub.eventTags = append(w.pub.eventTags, w.eventTags[len(e.events)-d:]...)
+	}
+}
+
+// publishTrails snapshots the trail keys (for TrailCounts).
+func (w *shardWorker) publishTrails() {
+	keys := make([]trailKey, 0, len(w.eng.trails.trails))
+	for k := range w.eng.trails.trails {
+		keys = append(keys, k)
+	}
+	w.resMu.Lock()
+	w.pub.trails = keys
+	w.resMu.Unlock()
+}
+
+// restartEngine folds the failed engine's published results into the
+// worker's base and starts a fresh pipeline (Limits.RestartFailedShards).
+// Prior detections survive; prior state does not.
+func (w *shardWorker) restartEngine() {
+	w.syncTags()
+	e := w.eng
+	w.base.stats = addStats(w.base.stats, e.Stats())
+	w.base.alerts = append(w.base.alerts, e.rules.alerts...)
+	w.base.alertTags = append(w.base.alertTags, w.alertTags...)
+	w.base.events = append(w.base.events, e.events...)
+	w.base.eventTags = append(w.base.eventTags, w.eventTags...)
+	w.alertTags, w.eventTags = nil, nil
+	w.trimmedA, w.trimmedE = 0, 0
+	w.eng = w.owner.newShardEngine()
+	w.owner.wireWorker(w)
+	w.owner.shardsRestarted.Add(1)
+	w.resMu.Lock()
+	w.pubVer = 0
+	w.pubEvict = 0
+	w.pub.stats = w.base.stats
+	w.pub.alerts = append([]Alert(nil), w.base.alerts...)
+	w.pub.alertTags = append([]mergeTag(nil), w.base.alertTags...)
+	w.pub.events = append([]Event(nil), w.base.events...)
+	w.pub.eventTags = append([]mergeTag(nil), w.base.eventTags...)
+	w.pub.trails = nil
+	w.resMu.Unlock()
+}
+
+// addStats sums two stat snapshots field by field.
+func addStats(a, b EngineStats) EngineStats {
+	a.Frames += b.Frames
+	a.Footprints += b.Footprints
+	a.Events += b.Events
+	a.Alerts += b.Alerts
+	a.SessionsEvicted += b.SessionsEvicted
+	a.FramesAfterClose += b.FramesAfterClose
+	a.FramesShed += b.FramesShed
+	a.BatchesShed += b.BatchesShed
+	a.SessionsCapEvicted += b.SessionsCapEvicted
+	a.FragGroupsEvicted += b.FragGroupsEvicted
+	a.IMHistoriesEvicted += b.IMHistoriesEvicted
+	a.SeqTrackersEvicted += b.SeqTrackersEvicted
+	a.BindingsEvicted += b.BindingsEvicted
+	a.AlertsEvicted += b.AlertsEvicted
+	a.EventsEvicted += b.EventsEvicted
+	a.ShardsFailed += b.ShardsFailed
+	a.ShardsRestarted += b.ShardsRestarted
+	return a
 }

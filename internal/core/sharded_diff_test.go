@@ -45,7 +45,11 @@ func scenarioFrames(t *testing.T, name string, seed int64) []rec {
 }
 
 func runSerial(frames []rec) ([]core.Alert, []core.Event, core.EngineStats) {
-	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	return runSerialCfg(frames, core.Config{})
+}
+
+func runSerialCfg(frames []rec, cfg core.Config) ([]core.Alert, []core.Event, core.EngineStats) {
+	eng := core.NewEngine(cfg, core.WithEventLog())
 	for _, r := range frames {
 		eng.HandleFrame(r.at, r.frame)
 	}
@@ -53,7 +57,11 @@ func runSerial(frames []rec) ([]core.Alert, []core.Event, core.EngineStats) {
 }
 
 func runSharded(frames []rec, shards int) ([]core.Alert, []core.Event, core.EngineStats) {
-	eng := core.NewShardedEngine(core.Config{}, shards, core.WithEventLog())
+	return runShardedCfg(frames, shards, core.Config{})
+}
+
+func runShardedCfg(frames []rec, shards int, cfg core.Config) ([]core.Alert, []core.Event, core.EngineStats) {
+	eng := core.NewShardedEngine(cfg, shards, core.WithEventLog())
 	defer eng.Close()
 	for _, r := range frames {
 		eng.HandleFrame(r.at, r.frame)
@@ -76,9 +84,19 @@ func alertKey(a core.Alert) string {
 
 func diffRuns(t *testing.T, label string, frames []rec) {
 	t.Helper()
-	wantAlerts, wantEvents, wantStats := runSerial(frames)
+	diffRunsCfg(t, label, frames, core.Config{})
+}
+
+// diffRunsCfg is diffRuns with a shared engine configuration. State
+// budgets (MaxSessions, MaxFragGroups, ...) are designed to evict
+// deterministically at identical stream positions in both engines and may
+// be set here; the per-shard retention caps (MaxRetainedAlerts/Events)
+// are intentionally not serial-equivalent and must stay zero.
+func diffRunsCfg(t *testing.T, label string, frames []rec, cfg core.Config) {
+	t.Helper()
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, cfg)
 	for _, shards := range diffShardCounts {
-		gotAlerts, gotEvents, gotStats := runSharded(frames, shards)
+		gotAlerts, gotEvents, gotStats := runShardedCfg(frames, shards, cfg)
 		if len(gotEvents) != len(wantEvents) {
 			t.Errorf("%s shards=%d: %d events, serial has %d", label, shards, len(gotEvents), len(wantEvents))
 		} else {
@@ -656,5 +674,103 @@ func (g *synthGen) junk() {
 		g.rng.Read(junk)
 		junk[0] = 0x00
 		g.emit(g.ip(3), g.ip(4), 40001, uint16(10001+2*g.rng.Intn(6)), junk)
+	}
+}
+
+// TestShardedDiffFragmentFloodWithLimits replays the reassembly-
+// exhaustion flood with tight state budgets: both engines must evict the
+// same fragment groups (and sessions, histories, trackers) at the same
+// stream positions and stay alert-, event- and stats-identical.
+func TestShardedDiffFragmentFloodWithLimits(t *testing.T) {
+	frames := scenarioFrames(t, "fragflood", 7)
+	cfg := core.Config{Limits: core.Limits{
+		MaxSessions:    32,
+		MaxFragGroups:  8,
+		MaxIMHistories: 4,
+		MaxSeqTrackers: 8,
+		MaxBindings:    4,
+	}}
+	diffRunsCfg(t, "fragflood+limits", frames, cfg)
+	// The flood must actually exercise the fragment budget, or the test
+	// proves nothing.
+	_, _, stats := runSerialCfg(frames, cfg)
+	if stats.FragGroupsEvicted == 0 {
+		t.Fatalf("fragment flood evicted no fragment groups; stats %+v", stats)
+	}
+}
+
+// TestShardedDiffFloodScenariosWithLimits replays the other flood
+// scenarios under the same budgets.
+func TestShardedDiffFloodScenariosWithLimits(t *testing.T) {
+	cfg := core.Config{Limits: core.Limits{
+		MaxSessions:    24,
+		MaxFragGroups:  8,
+		MaxIMHistories: 4,
+		MaxSeqTrackers: 8,
+	}}
+	// Each flood must exhaust the budget it targets: inviteflood the
+	// session directory, rtpblast the sequence trackers (spray RTP never
+	// opens dialog state, so the session cap is not its pressure point).
+	exercised := map[string]func(core.EngineStats) int{
+		"inviteflood": func(s core.EngineStats) int { return s.SessionsCapEvicted },
+		"rtpblast":    func(s core.EngineStats) int { return s.SeqTrackersEvicted },
+	}
+	for _, name := range []string{"inviteflood", "rtpblast"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			frames := scenarioFrames(t, name, 7)
+			diffRunsCfg(t, name+"+limits", frames, cfg)
+			_, _, stats := runSerialCfg(frames, cfg)
+			if exercised[name](stats) == 0 {
+				t.Fatalf("%s evicted nothing from its target budget; stats %+v", name, stats)
+			}
+		})
+	}
+}
+
+// expiryFrames generates a long synthetic workload (over the engine's gc
+// cadence) with periodic idle gaps, so ExpireSessions sweeps interleave
+// with mid-dialog traffic: calls started before a gap expire while calls
+// started after it keep exchanging SIP and RTP.
+func expiryFrames(seed int64) []rec {
+	g := &synthGen{rng: rand.New(rand.NewSource(seed))}
+	// The sweep runs every gcEvery (4096) frames; generate comfortably
+	// more so at least one sweep lands mid-workload.
+	for i := 0; i < 3200; i++ {
+		g.now += time.Duration(g.rng.Intn(40)) * time.Millisecond
+		if i%100 == 99 {
+			g.now += 5 * time.Second // idle gap: everything open goes stale
+		}
+		switch p := g.rng.Intn(100); {
+		case p < 30:
+			g.startCall()
+		case p < 70:
+			g.rtpBurst()
+		case p < 85:
+			g.endCall()
+		case p < 92:
+			g.reinvite()
+		default:
+			g.instantMessage()
+		}
+	}
+	return g.frames
+}
+
+// TestShardedDiffExpiryInterleaved pins serial/sharded equivalence when
+// the periodic session-expiry sweep interleaves with mid-dialog traffic:
+// the broadcast sweep must evict shard tables at exactly the stream
+// position the serial engine's sweep runs at.
+func TestShardedDiffExpiryInterleaved(t *testing.T) {
+	cfg := core.Config{SessionTimeout: 2 * time.Second}
+	for _, seed := range []int64{3, 11} {
+		frames := expiryFrames(seed)
+		label := fmt.Sprintf("expiry seed %d", seed)
+		diffRunsCfg(t, label, frames, cfg)
+		_, _, stats := runSerialCfg(frames, cfg)
+		if stats.SessionsEvicted == 0 {
+			t.Fatalf("%s: no sessions expired (frames=%d); the test exercises nothing", label, len(frames))
+		}
 	}
 }

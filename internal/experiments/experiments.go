@@ -293,7 +293,8 @@ func PhoneEventSummary(p *endpoint.Phone) string {
 
 // ScenarioNames lists the scenarios runnable via RunScenario.
 func ScenarioNames() []string {
-	return []string{"benign", "bye", "fakeim", "hijack", "rtp", "rtp-crash", "flood", "guess", "billing", "rtcpbye"}
+	return []string{"benign", "bye", "fakeim", "hijack", "rtp", "rtp-crash", "flood", "guess", "billing", "rtcpbye",
+		"inviteflood", "fragflood", "rtpblast"}
 }
 
 // RunScenario dispatches a named scenario, attaching taps (e.g. a capture
@@ -320,6 +321,12 @@ func RunScenario(name string, seed int64, taps ...netsim.Tap) (Outcome, error) {
 		return RunBillingFraud(seed, taps...)
 	case "rtcpbye":
 		return RunRTCPByeSpoof(seed, taps...)
+	case "inviteflood":
+		return RunInviteFlood(seed, core.Config{}, taps...)
+	case "fragflood":
+		return RunFragmentFlood(seed, core.Config{}, taps...)
+	case "rtpblast":
+		return RunRTPBlast(seed, core.Config{}, taps...)
 	default:
 		return Outcome{}, fmt.Errorf("experiments: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+// The flood scenarios target the IDS itself rather than a victim phone:
+// each one grows a different category of detection state (dialogs,
+// reassembly buffers, sequence trackers) to exercise the engine's state
+// budgets and overload behaviour. Run with core.Limits set they
+// demonstrate bounded-memory survival; run unbounded they are ordinary
+// scenarios and the sharded differential harness holds both engines to
+// identical output on them.
+
+// RunInviteFlood floods the proxy with never-completed INVITEs, each
+// carrying a fresh Call-ID, while a legitimate call rides through and is
+// then BYE-attacked. Detection of the real attack amid the flood is the
+// outcome that matters.
+func RunInviteFlood(seed int64, ecfg core.Config, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, ecfg, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	if _, err := d.tb.EstablishCall(); err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	dlg := d.tb.Sniffer.ConfirmedDialog()
+	if dlg == nil {
+		return Outcome{}, fmt.Errorf("experiments: sniffer learned no dialog")
+	}
+	target := sip.URI{User: "alice", Host: scenario.AddrProxy.String()}
+	attackAt := d.tb.Sim.Now()
+	d.tb.Attacker.InviteFlood(d.tb.Proxy.Addr(), target, 150, attack.FixedInterval(10*time.Millisecond))
+	// Mid-flood, the real attack the flood is trying to hide.
+	d.tb.Sim.Schedule(800*time.Millisecond, func() { _ = d.tb.Attacker.ForgedBye(dlg, true) })
+	d.tb.Run(4 * time.Second)
+	impact := fmt.Sprintf("proxy absorbed a %d-INVITE setup flood", 150)
+	return d.outcome("invite-flood", attackAt, impact), nil
+}
+
+// RunFragmentFlood floods the wire with orphan first-fragments, each
+// opening a reassembly buffer that never completes, then runs a fake-IM
+// attack the IDS must still catch.
+func RunFragmentFlood(seed int64, ecfg core.Config, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, ecfg, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	dst := netip.AddrPortFrom(scenario.AddrClientA, sip.DefaultPort)
+	attackAt := d.tb.Sim.Now()
+	if err := d.tb.Attacker.FragmentFlood(dst, 200, 128, attack.FixedInterval(5*time.Millisecond)); err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Sim.Schedule(500*time.Millisecond, func() { d.tb.Bob.SendIM("alice", "pre-attack baseline") })
+	d.tb.Sim.Schedule(1200*time.Millisecond, func() {
+		_ = d.tb.Attacker.FakeIM(
+			dst,
+			sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+			"wire transfer please",
+		)
+	})
+	d.tb.Run(3 * time.Second)
+	impact := "200 orphan fragments held reassembly buffers open"
+	return d.outcome("fragment-flood", attackAt, impact), nil
+}
+
+// RunRTPBlast sprays decodable RTP across a spread of media ports, each
+// new port costing the IDS a sequence tracker and session entry, with a
+// call hijack launched mid-blast.
+func RunRTPBlast(seed int64, ecfg core.Config, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, ecfg, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	if _, err := d.tb.EstablishCall(); err != nil {
+		return Outcome{}, err
+	}
+	d.tb.Run(2 * time.Second)
+	dlg := d.tb.Sniffer.ConfirmedDialog()
+	if dlg == nil {
+		return Outcome{}, fmt.Errorf("experiments: sniffer learned no dialog")
+	}
+	attackAt := d.tb.Sim.Now()
+	d.tb.Attacker.RTPBlast(scenario.AddrClientA, 30000, 40, 4, attack.FixedInterval(5*time.Millisecond))
+	sink := netip.AddrPortFrom(scenario.AddrAttacker, 46000)
+	d.tb.Sim.Schedule(500*time.Millisecond, func() { _ = d.tb.Attacker.Hijack(dlg, true, sink) })
+	d.tb.Run(3 * time.Second)
+	impact := "160 RTP packets sprayed over 40 ports"
+	return d.outcome("rtp-blast", attackAt, impact), nil
+}

@@ -14,6 +14,34 @@ type fragKey struct {
 	id       uint16
 }
 
+// FragID is the exported identity of a fragment stream, handed to
+// eviction callbacks so callers mirroring reassembly state can drop the
+// same stream.
+type FragID struct {
+	Src, Dst netip.Addr
+	Proto    uint8
+	ID       uint16
+}
+
+func (k fragKey) exported() FragID {
+	return FragID{Src: k.src, Dst: k.dst, Proto: k.proto, ID: k.id}
+}
+
+// less orders fragment streams deterministically (oldest-eviction
+// tie-break): by source, destination, protocol, then identification.
+func (k fragKey) less(o fragKey) bool {
+	if c := k.src.Compare(o.src); c != 0 {
+		return c < 0
+	}
+	if c := k.dst.Compare(o.dst); c != 0 {
+		return c < 0
+	}
+	if k.proto != o.proto {
+		return k.proto < o.proto
+	}
+	return k.id < o.id
+}
+
 // fragBuf accumulates the fragments of one packet.
 type fragBuf struct {
 	data     []byte // reassembled payload, grown as fragments arrive
@@ -31,6 +59,9 @@ type fragBuf struct {
 type Reassembler struct {
 	timeout time.Duration
 	bufs    map[fragKey]*fragBuf
+	limit   int // max incomplete streams retained; 0 means unbounded
+	evicted int // streams dropped to respect limit (not timeouts)
+	onEvict func(FragID)
 }
 
 // DefaultReassemblyTimeout is how long an incomplete packet is retained.
@@ -48,6 +79,44 @@ func NewReassembler(timeout time.Duration) *Reassembler {
 // Pending returns the number of incomplete packets currently buffered.
 func (r *Reassembler) Pending() int { return len(r.bufs) }
 
+// SetLimit caps the number of incomplete fragment streams retained at
+// once. When a new stream would exceed the cap, the oldest incomplete
+// stream is evicted (ties broken by stream identity). A non-positive
+// limit means unbounded.
+func (r *Reassembler) SetLimit(n int) { r.limit = n }
+
+// OnEvict registers a callback invoked with the identity of every stream
+// dropped to respect the capacity limit (timeout expiry does not fire
+// it: callers track timeouts themselves via the shared virtual clock).
+func (r *Reassembler) OnEvict(fn func(FragID)) { r.onEvict = fn }
+
+// CapacityEvicted reports how many incomplete streams were dropped to
+// respect the capacity limit.
+func (r *Reassembler) CapacityEvicted() int { return r.evicted }
+
+// evictOldest drops the oldest incomplete stream other than keep.
+func (r *Reassembler) evictOldest(keep fragKey) {
+	var victim fragKey
+	found := false
+	for k, fb := range r.bufs {
+		if k == keep {
+			continue
+		}
+		if !found || fb.first < r.bufs[victim].first ||
+			(fb.first == r.bufs[victim].first && k.less(victim)) {
+			victim, found = k, true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(r.bufs, victim)
+	r.evicted++
+	if r.onEvict != nil {
+		r.onEvict(victim.exported())
+	}
+}
+
 // Insert adds one IPv4 packet (possibly a fragment) observed at the given
 // virtual time. If the packet is unfragmented, or completes a fragment
 // set, Insert returns the header and full payload with done=true. The
@@ -64,6 +133,9 @@ func (r *Reassembler) Insert(h IPv4Header, payload []byte, now time.Duration) (I
 	key := fragKey{src: h.Src, dst: h.Dst, proto: h.Protocol, id: h.ID}
 	fb, ok := r.bufs[key]
 	if !ok {
+		if r.limit > 0 && len(r.bufs) >= r.limit {
+			r.evictOldest(key)
+		}
 		fb = &fragBuf{totalLen: -1, first: now}
 		r.bufs[key] = fb
 	}

@@ -1,0 +1,121 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// firstFragment builds the opening fragment of a stream that will stay
+// incomplete, opening (and holding) one reassembly buffer on Insert.
+func firstFragment(t *testing.T, id uint16) (IPv4Header, []byte) {
+	t.Helper()
+	payload := bytes.Repeat([]byte{0x5c}, 1200)
+	frags := fragmentsFor(t, id, payload, 576)
+	if len(frags) < 2 {
+		t.Fatalf("payload did not fragment (got %d pieces)", len(frags))
+	}
+	return frags[0].h, frags[0].p
+}
+
+func TestReassemblerCapacityEvictsOldest(t *testing.T) {
+	r := NewReassembler(time.Hour)
+	r.SetLimit(2)
+	var evicted []FragID
+	r.OnEvict(func(id FragID) { evicted = append(evicted, id) })
+
+	for i, at := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		h, p := firstFragment(t, uint16(i+1))
+		if _, _, done, err := r.Insert(h, p, at); err != nil || done {
+			t.Fatalf("Insert stream %d: done=%v err=%v", i+1, done, err)
+		}
+	}
+	if r.Pending() != 2 {
+		t.Errorf("Pending() = %d at the cap, want 2", r.Pending())
+	}
+	if r.CapacityEvicted() != 1 {
+		t.Errorf("CapacityEvicted() = %d, want 1", r.CapacityEvicted())
+	}
+	if len(evicted) != 1 || evicted[0].ID != 1 {
+		t.Errorf("OnEvict saw %v, want exactly the oldest stream (ID 1)", evicted)
+	}
+}
+
+func TestReassemblerCapacityTieBreaksOnIdentity(t *testing.T) {
+	r := NewReassembler(time.Hour)
+	r.SetLimit(2)
+	var evicted []FragID
+	r.OnEvict(func(id FragID) { evicted = append(evicted, id) })
+
+	// Two streams opened at the same instant: identity order (here the
+	// smaller ID, all else equal) picks the victim, not map iteration.
+	for _, id := range []uint16{9, 4} {
+		h, p := firstFragment(t, id)
+		if _, _, _, err := r.Insert(h, p, 0); err != nil {
+			t.Fatalf("Insert stream %d: %v", id, err)
+		}
+	}
+	h, p := firstFragment(t, 7)
+	if _, _, _, err := r.Insert(h, p, 5*time.Millisecond); err != nil {
+		t.Fatalf("Insert stream 7: %v", err)
+	}
+	if len(evicted) != 1 || evicted[0].ID != 4 {
+		t.Errorf("OnEvict saw %v, want the tie broken toward ID 4", evicted)
+	}
+}
+
+func TestReassemblerCapAllowsExistingStreamsToComplete(t *testing.T) {
+	r := NewReassembler(time.Hour)
+	r.SetLimit(2)
+	r.OnEvict(func(id FragID) { t.Errorf("unexpected eviction of %v", id) })
+
+	payload := bytes.Repeat([]byte{0xab}, 1200)
+	frags := fragmentsFor(t, 1, payload, 576)
+	if _, _, _, err := r.Insert(frags[0].h, frags[0].p, 0); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	h2, p2 := firstFragment(t, 2)
+	if _, _, _, err := r.Insert(h2, p2, 0); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// At the cap: later fragments of an open stream must flow through
+	// without evicting anyone.
+	for _, fr := range frags[1:] {
+		_, got, done, err := r.Insert(fr.h, fr.p, time.Millisecond)
+		if err != nil {
+			t.Fatalf("Insert continuation: %v", err)
+		}
+		if done && !bytes.Equal(got, payload) {
+			t.Error("reassembled payload differs at the cap")
+		}
+	}
+	if r.Pending() != 1 {
+		t.Errorf("Pending() = %d after completion, want 1", r.Pending())
+	}
+	if r.CapacityEvicted() != 0 {
+		t.Errorf("CapacityEvicted() = %d, want 0", r.CapacityEvicted())
+	}
+}
+
+func TestReassemblerTimeoutIsNotCapacityEviction(t *testing.T) {
+	r := NewReassembler(time.Second)
+	r.SetLimit(8)
+	r.OnEvict(func(id FragID) { t.Errorf("timeout expiry fired OnEvict for %v", id) })
+
+	h, p := firstFragment(t, 1)
+	if _, _, _, err := r.Insert(h, p, 0); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// A later insert sweeps expired streams; that is timeout accounting,
+	// not the capacity counter.
+	h2, p2 := firstFragment(t, 2)
+	if _, _, _, err := r.Insert(h2, p2, time.Minute); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if r.Pending() != 1 {
+		t.Errorf("Pending() = %d after expiry, want 1", r.Pending())
+	}
+	if r.CapacityEvicted() != 0 {
+		t.Errorf("CapacityEvicted() = %d after a timeout, want 0", r.CapacityEvicted())
+	}
+}
