@@ -15,6 +15,7 @@
 package scidive_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -319,6 +320,30 @@ func BenchmarkAblation_Reassembly(b *testing.B) {
 // BenchmarkRuleEngine_Feed measures pure rule-matching cost.
 func BenchmarkRuleEngine_Feed(b *testing.B) {
 	re := core.NewRuleEngine(core.DefaultRuleset())
+	ev := core.Event{Type: core.EvRTPNewFlow, Session: "s"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.At = time.Duration(i)
+		re.Feed(ev)
+	}
+}
+
+// BenchmarkRuleEngine_FeedWideRuleset measures matching cost when the
+// ruleset is much wider than the set of rules any one event can advance.
+// The engine's event-type index keeps per-event cost proportional to the
+// rules that can actually consume the event, not to the ruleset size, so
+// this should stay close to BenchmarkRuleEngine_Feed despite 64 extra
+// rules that never match.
+func BenchmarkRuleEngine_FeedWideRuleset(b *testing.B) {
+	rules := core.DefaultRuleset()
+	for i := 0; i < 64; i++ {
+		rules = append(rules, core.Rule{
+			Name:     fmt.Sprintf("synthetic-%d", i),
+			Severity: core.SeverityInfo,
+			Steps:    []core.Step{{Type: core.EvAcctStart}, {Type: core.EvAcctStop}},
+		})
+	}
+	re := core.NewRuleEngine(rules)
 	ev := core.Event{Type: core.EvRTPNewFlow, Session: "s"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

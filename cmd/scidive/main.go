@@ -6,6 +6,7 @@
 //
 //	scidive -in bye.scap [-events] [-window 1s] [-direct] [-rules FILE] [-json] [-shards N]
 //	scidive -scenario bye [-seed 7] [-limits sessions=4096,frags=64] [-shed 5ms] [-stall 2s] [-restart-shards]
+//	scidive -scenario bye [-correlators sip,rtp,rtcp]   (subset of protocol correlators; -correlators help lists them)
 package main
 
 import (
@@ -52,12 +53,20 @@ func run(args []string, out io.Writer) error {
 	scenarioName := fs.String("scenario", "", "run a live simulated scenario instead of reading a capture")
 	seed := fs.Int64("seed", 1, "seed for -scenario runs")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "detection worker shards; 1 runs the serial engine")
+	correlatorsSpec := fs.String("correlators", "", "comma-separated protocol correlators to enable (default: all); see -correlators help")
 	limitsSpec := fs.String("limits", "", "state budget caps as k=v pairs: sessions,frags,ims,seqs,bindings,alerts,events (0 or absent = unbounded)")
 	shed := fs.Duration("shed", 0, "shed (never block) frames bound for a shard whose queue stays full this long; 0 blocks")
 	stall := fs.Duration("stall", 0, "quarantine a shard making no progress for this long (wall clock); 0 disables the watchdog")
 	restartShards := fs.Bool("restart-shards", false, "restart a panicked shard with fresh detection state instead of quarantining it")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	correlators, err := parseCorrelators(*correlatorsSpec, out)
+	if err != nil {
+		return err
+	}
+	if *correlatorsSpec == "help" {
+		return nil
 	}
 	if *inPath == "" && *scenarioName == "" {
 		fs.Usage()
@@ -103,6 +112,7 @@ func run(args []string, out io.Writer) error {
 		Rules:               rules,
 		DirectTrailMatching: *direct,
 		Limits:              limits,
+		Correlators:         correlators,
 	}
 	var eng idsEngine
 	var sessionCount func() (sessions, trails int)
@@ -179,6 +189,54 @@ func overloaded(st core.EngineStats) bool {
 		st.IMHistoriesEvicted != 0 || st.SeqTrackersEvicted != 0 ||
 		st.BindingsEvicted != 0 || st.AlertsEvicted != 0 || st.EventsEvicted != 0 ||
 		st.ShardsFailed != 0 || st.ShardsRestarted != 0 || st.FramesAfterClose != 0
+}
+
+// parseCorrelators parses the -correlators flag: a comma-separated subset
+// of the registered correlator names. The selection keeps registry order
+// (which fixes event order and port-claim priority) regardless of the
+// order names were given in. "" selects everything; "help" lists the
+// registry and returns nil correlators.
+func parseCorrelators(spec string, out io.Writer) ([]core.Registration, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	registry := core.DefaultCorrelators()
+	if spec == "help" {
+		fmt.Fprintln(out, "registered correlators (in dispatch order):")
+		for _, reg := range registry {
+			fmt.Fprintf(out, "  %s\n", reg.Name)
+		}
+		return nil, nil
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-correlators: empty name in %q", spec)
+		}
+		known := false
+		for _, reg := range registry {
+			if reg.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			names := make([]string, len(registry))
+			for i, reg := range registry {
+				names[i] = reg.Name
+			}
+			return nil, fmt.Errorf("-correlators: unknown correlator %q (registered: %s)", name, strings.Join(names, ", "))
+		}
+		want[name] = true
+	}
+	var selected []core.Registration
+	for _, reg := range registry {
+		if want[reg.Name] {
+			selected = append(selected, reg)
+		}
+	}
+	return selected, nil
 }
 
 // parseLimits parses the -limits flag: comma-separated k=v pairs with

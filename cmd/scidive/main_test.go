@@ -174,6 +174,67 @@ func TestParseLimits(t *testing.T) {
 	}
 }
 
+func TestParseCorrelators(t *testing.T) {
+	var buf strings.Builder
+	// Empty spec selects the full default registry (nil = defaults).
+	if regs, err := parseCorrelators("", &buf); err != nil || regs != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", regs, err)
+	}
+	// A subset is honored, but in registry order regardless of input order.
+	regs, err := parseCorrelators("rtp,sip", &buf)
+	if err != nil {
+		t.Fatalf("parseCorrelators: %v", err)
+	}
+	if len(regs) != 2 || regs[0].Name != "sip" || regs[1].Name != "rtp" {
+		names := make([]string, len(regs))
+		for i, r := range regs {
+			names[i] = r.Name
+		}
+		t.Errorf("subset = %v, want registry order [sip rtp]", names)
+	}
+	for _, bad := range []string{"bogus", "sip,,rtp", ",", "sip,widget"} {
+		if _, err := parseCorrelators(bad, &buf); err == nil {
+			t.Errorf("parseCorrelators(%q) accepted", bad)
+		}
+	}
+	// "help" lists the registry and selects nothing.
+	buf.Reset()
+	if regs, err := parseCorrelators("help", &buf); err != nil || regs != nil {
+		t.Errorf("help = %v, %v; want nil, nil", regs, err)
+	}
+	if !strings.Contains(buf.String(), "options-scan") {
+		t.Errorf("help output missing a registered correlator:\n%s", buf.String())
+	}
+}
+
+func TestCorrelatorSelectionGatesDetection(t *testing.T) {
+	path := writeScenarioCapture(t, "optionsscan", 7)
+	// Full registry: the cross-dialog OPTIONS sweep is detected.
+	var all strings.Builder
+	if err := run([]string{"-in", path}, &all); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(all.String(), "sip-options-scan") {
+		t.Errorf("full registry missed the scan:\n%s", all.String())
+	}
+	// Without the options-scan correlator the same capture is quiet.
+	var subset strings.Builder
+	if err := run([]string{"-in", path, "-correlators", "sip,im,rtp,rtcp,acct"}, &subset); err != nil {
+		t.Fatalf("run -correlators: %v", err)
+	}
+	if strings.Contains(subset.String(), "sip-options-scan") {
+		t.Errorf("disabled correlator still fired:\n%s", subset.String())
+	}
+	// -correlators help works without -in and prints the registry.
+	var help strings.Builder
+	if err := run([]string{"-correlators", "help"}, &help); err != nil {
+		t.Fatalf("run -correlators help: %v", err)
+	}
+	if !strings.Contains(help.String(), "dispatch order") {
+		t.Errorf("help output = %q", help.String())
+	}
+}
+
 func TestReplayWithLimitsReportsOverload(t *testing.T) {
 	path := writeScenarioCapture(t, "fragflood", 5)
 	// Unbounded: no degradation, so no overload line (historic output).

@@ -41,6 +41,32 @@ func (a *Attacker) InviteFlood(proxyAddr netip.AddrPort, target sip.URI, count i
 	}
 }
 
+// OptionsScan mounts a capability sweep: count OPTIONS probes fired at
+// the proxy, each under a fresh Call-ID, walking through invented target
+// users. Individually each probe is legitimate SIP; the attack signature
+// is one source opening many dialogs in a short window, which is
+// cross-dialog state no per-session detector sees.
+func (a *Attacker) OptionsScan(proxyAddr netip.AddrPort, domain string, count int, interval IntervalFunc) {
+	me := sip.URI{User: "scanner", Host: a.host.IP().String(), Port: a.sipPort}
+	for i := 0; i < count; i++ {
+		i := i
+		a.host.Sim().Schedule(interval(i), func() {
+			target := sip.URI{User: fmt.Sprintf("probe%d", i), Host: domain}
+			req := sip.NewRequest(sip.RequestSpec{
+				Method:     sip.MethodOptions,
+				RequestURI: target.String(),
+				From:       sip.Address{URI: me}.WithTag(a.idgen.Tag()),
+				To:         sip.Address{URI: target},
+				CallID:     a.idgen.CallID(a.host.IP().String()),
+				CSeq:       sip.CSeq{Seq: 1, Method: sip.MethodOptions},
+				Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+					Params: map[string]string{"branch": a.idgen.Branch()}},
+			})
+			_ = a.Send(a.sipPort, proxyAddr, req.Marshal())
+		})
+	}
+}
+
 // FragmentFlood mounts an IP reassembly-exhaustion attack: count
 // first-fragments of datagrams whose remaining fragments never arrive,
 // each under a distinct IP ID so every one opens a new reassembly buffer

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"scidive/internal/accounting"
+)
+
+// acctCorrelator correlates billing transactions with the SIP state other
+// correlators accumulated: a billing START must match a registration, a
+// call setup, and the caller's registered location (the Section 3.2
+// billing-fraud conditions). It reads the shared session table and the
+// registration-binding directory through SessionContext and keeps no
+// cross-session state of its own.
+type acctCorrelator struct{}
+
+func newAcctCorrelator() *acctCorrelator { return &acctCorrelator{} }
+
+func (c *acctCorrelator) Name() string          { return "acct" }
+func (c *acctCorrelator) Protocols() []Protocol { return []Protocol{ProtoAccounting} }
+
+// claimPort claims the accounting feed's port.
+func (c *acctCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
+	if dstPort == accounting.DefaultPort {
+		return ProtoAccounting, true
+	}
+	return ProtoOther, false
+}
+
+func (c *acctCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
+	fp, ok := f.(*AcctFootprint)
+	if !ok {
+		return nil
+	}
+	var events []Event
+	txn := fp.Txn
+	switch txn.Kind {
+	case accounting.TxnStart:
+		st := ctx.OpenSession(txn.CallID)
+		st.acctStart = true
+		events = append(events, Event{At: fp.At, Type: EvAcctStart, Session: txn.CallID,
+			Detail: fmt.Sprintf("%s -> %s from %v", txn.From, txn.To, txn.FromIP), Footprint: fp})
+		// The Section 3.2 check: the billed caller must have initiated the
+		// call from their registered location.
+		binding, registered := ctx.Binding(txn.From)
+		switch {
+		case !registered, !st.established && st.callerAOR == "":
+			events = append(events, c.unmatchedAcct(fp, st,
+				fmt.Sprintf("billing START for %s with no matching registration/call setup", txn.From))...)
+		case txn.FromIP != binding:
+			events = append(events, c.unmatchedAcct(fp, st,
+				fmt.Sprintf("billing START for %s from %v but %s is registered at %v",
+					txn.From, txn.FromIP, txn.From, binding))...)
+		case st.inviteSrcIP.IsValid() && st.inviteSrcIP != binding:
+			events = append(events, c.unmatchedAcct(fp, st,
+				fmt.Sprintf("INVITE for billed call came from %v, not %s's registered %v",
+					st.inviteSrcIP, txn.From, binding))...)
+		}
+	case accounting.TxnStop:
+		events = append(events, Event{At: fp.At, Type: EvAcctStop, Session: txn.CallID, Footprint: fp})
+	}
+	return events
+}
+
+func (c *acctCorrelator) unmatchedAcct(fp *AcctFootprint, st *sessionState, detail string) []Event {
+	if st.unmatchedOnce {
+		return nil
+	}
+	st.unmatchedOnce = true
+	return []Event{{At: fp.At, Type: EvAcctUnmatched, Session: st.callID, Detail: detail, Footprint: fp}}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"scidive/internal/sip"
+)
+
+// This file defines the pluggable protocol-correlator architecture that
+// replaced the monolithic Event Generator. Each protocol's footprint→event
+// correlation lives in its own module implementing Correlator; the Event
+// Generator is a thin dispatcher over an ordered registry of them, and the
+// Distiller and the ShardedEngine's router derive their port
+// classification, routing keys, state budgets and per-frame hints from the
+// same registry through the capability interfaces below. Adding a protocol
+// means adding one file that implements Correlator (plus whichever
+// capabilities it needs) and registering it — no existing module changes
+// (see options_scan.go for the worked example, and README.md for the
+// walkthrough).
+
+// Correlator is one protocol's footprint→event module. Process receives
+// every footprint whose protocol is listed in Protocols (for RawFootprints
+// the port's expected protocol, not ProtoOther) together with the router's
+// per-frame hints and the shared cross-protocol SessionContext, and
+// returns the events the footprint completes. Correlators run in registry
+// order; within one frame, the event stream is the concatenation of each
+// correlator's output in that order.
+type Correlator interface {
+	// Name identifies the module (CLI -correlators selection, docs).
+	Name() string
+	// Protocols lists the footprint protocols this correlator consumes.
+	Protocols() []Protocol
+	// Process folds one footprint into the correlator's state.
+	Process(f Footprint, h RouteHints, ctx *SessionContext) []Event
+}
+
+// Registration names a correlator constructor. Every pipeline (the serial
+// generator, each shard's generator, and the sharded router) builds its
+// own private instances from the registered constructors.
+type Registration struct {
+	Name string
+	New  func() Correlator
+}
+
+// DefaultCorrelators returns the built-in registry in dispatch order. The
+// order is part of the engine's observable behavior: it fixes the event
+// order within a frame (e.g. a MESSAGE's bad-format event precedes its
+// instant-message events) and the priority of port claims and routing
+// keys.
+func DefaultCorrelators() []Registration {
+	return []Registration{
+		{Name: "sip", New: func() Correlator { return newSIPCorrelator() }},
+		{Name: "im", New: func() Correlator { return newIMCorrelator() }},
+		{Name: "rtp", New: func() Correlator { return newRTPCorrelator() }},
+		{Name: "rtcp", New: func() Correlator { return newRTCPCorrelator() }},
+		{Name: "acct", New: func() Correlator { return newAcctCorrelator() }},
+		{Name: "options-scan", New: func() Correlator { return newOptionsScanCorrelator() }},
+	}
+}
+
+// buildCorrelators instantiates a registry (nil = DefaultCorrelators) and
+// configures each instance with the normalized generator config.
+func buildCorrelators(regs []Registration, cfg GenConfig) []Correlator {
+	if regs == nil {
+		regs = DefaultCorrelators()
+	}
+	out := make([]Correlator, len(regs))
+	for i, reg := range regs {
+		out[i] = reg.New()
+		if c, ok := out[i].(configurable); ok {
+			c.configure(cfg)
+		}
+	}
+	return out
+}
+
+// --- Capability interfaces ---
+//
+// A correlator implements only the capabilities it needs; the dispatcher,
+// distiller and router probe with type assertions. All capabilities are
+// package-internal: correlators live in this package (they share the
+// session-state machinery), so nothing outside can or should implement
+// them.
+
+// configurable correlators receive the normalized GenConfig once, at
+// pipeline construction, before any traffic flows.
+type configurable interface {
+	configure(cfg GenConfig)
+}
+
+// portClaimer correlators claim UDP port ranges for their protocol. The
+// Distiller (and the sharded router's frame peek, which must classify
+// identically) asks each registered claimer in registry order; the first
+// claim wins and selects the protocol decoder. Traffic no correlator
+// claims is ignored.
+type portClaimer interface {
+	claimPort(srcPort, dstPort uint16) (Protocol, bool)
+}
+
+// budgeted correlators own capped cross-session state (see Limits). They
+// receive the budget before traffic flows, report which of their caps the
+// sharded router enforces globally (so shard-local copies run uncapped),
+// and fold their eviction counters into stats snapshots. Counters must be
+// atomics: the router reads them lock-free while the routing lock is held
+// elsewhere.
+type budgeted interface {
+	setLimits(l Limits)
+	shardLocalLimits(l *Limits)
+	contributeStats(st *EngineStats)
+}
+
+// expirer correlators hold state tied to the session table's lifetime and
+// are notified after every periodic expiry sweep that evicted something.
+type expirer interface {
+	onExpire(now time.Duration, sessionsRemaining int)
+}
+
+// establishObserver correlators react to a session becoming established
+// (the SIP 200-INVITE transition). The dispatcher and the router both
+// deliver the notification immediately after applySIP reports it, so
+// serial and sharded state move in lockstep.
+type establishObserver interface {
+	onEstablished(st *sessionState)
+}
+
+// sipRouteKeyer correlators override the sharded router's sticky routing
+// key for a SIP dialog's first sighting. Returning ok pins the dialog
+// (and everything filed under its Call-ID) to shard hash(key) instead of
+// hash(Call-ID), which is how a correlator with cross-dialog state keeps
+// that state shard-local and serial-equivalent. First claimer in registry
+// order wins.
+type sipRouteKeyer interface {
+	sipRouteKey(m *sip.Message, out sipOutcome, src netip.AddrPort) (string, bool)
+}
+
+// sipHinter correlators compute a per-frame verdict for a SIP message at
+// the router, in global arrival order, against router-owned state; the
+// owning shard's correlator instance consumes the verdict from RouteHints
+// instead of its local state.
+type sipHinter interface {
+	sipHint(at time.Duration, src, dst netip.AddrPort, m *sip.Message, out sipOutcome, h *RouteHints)
+}
+
+// rtpHinter is sipHinter's RTP analogue (sequence continuity per
+// destination endpoint, which spans sessions and therefore shards).
+type rtpHinter interface {
+	rtpHint(at time.Duration, dst netip.AddrPort, seq uint16, h *RouteHints)
+}
+
+// claimPortOf classifies a datagram against a correlator set, returning
+// the first claim in registry order.
+func claimPortOf(correlators []Correlator, srcPort, dstPort uint16) (Protocol, bool) {
+	for _, c := range correlators {
+		if pc, ok := c.(portClaimer); ok {
+			if proto, claimed := pc.claimPort(srcPort, dstPort); claimed {
+				return proto, true
+			}
+		}
+	}
+	return ProtoOther, false
+}
+
+// dispatchProto is the protocol a footprint is dispatched under: the
+// declared protocol, except RawFootprints dispatch under the protocol
+// expected on their port (so e.g. the RTP correlator sees garbage on RTP
+// ports).
+func dispatchProto(f Footprint) Protocol {
+	if raw, ok := f.(*RawFootprint); ok {
+		return raw.OnPort
+	}
+	return f.Proto()
+}
+
+// handlesProto reports whether a correlator subscribed to a protocol.
+func handlesProto(c Correlator, p Protocol) bool {
+	for _, cp := range c.Protocols() {
+		if cp == p {
+			return true
+		}
+	}
+	return false
+}

@@ -32,20 +32,29 @@ type Distiller struct {
 	reasm *packet.Reassembler
 	stats DistillerStats
 
-	// mediaPortFloor is the lowest UDP port treated as media traffic.
-	mediaPortFloor uint16
+	// claimers is the correlator set whose port claims drive protocol
+	// classification (first claim in registry order wins).
+	claimers []Correlator
 }
 
-// defaultMediaPortFloor is the lowest UDP port treated as media traffic.
-// The sharded router's port classification must match the distiller's, so
-// both read this constant.
+// defaultMediaPortFloor is the lowest UDP port treated as media traffic
+// by the rtp and rtcp correlators' port claims.
 const defaultMediaPortFloor = 10000
 
-// NewDistiller returns a Distiller with a fresh reassembly buffer.
+// NewDistiller returns a Distiller classifying ports against the default
+// correlator registry.
 func NewDistiller() *Distiller {
+	return NewDistillerFor(buildCorrelators(nil, GenConfig{}.withDefaults()))
+}
+
+// NewDistillerFor returns a Distiller whose port classification derives
+// from the given correlators' port claims. NewEngine shares one
+// correlator set between its distiller and its generator so the two can
+// never disagree about a port's protocol.
+func NewDistillerFor(correlators []Correlator) *Distiller {
 	return &Distiller{
-		reasm:          packet.NewReassembler(0),
-		mediaPortFloor: defaultMediaPortFloor,
+		reasm:    packet.NewReassembler(0),
+		claimers: correlators,
 	}
 }
 
@@ -95,15 +104,19 @@ func (d *Distiller) Distill(at time.Duration, frame []byte) Footprint {
 }
 
 func (d *Distiller) classify(base FootprintBase, uh packet.UDPHeader, payload []byte) Footprint {
-	switch {
-	case uh.DstPort == sip.DefaultPort || uh.SrcPort == sip.DefaultPort:
+	proto, claimed := claimPortOf(d.claimers, uh.SrcPort, uh.DstPort)
+	if !claimed {
+		d.stats.Ignored++
+		return nil
+	}
+	switch proto {
+	case ProtoSIP:
 		return d.distillSIP(base, payload)
-	case uh.DstPort == accounting.DefaultPort:
+	case ProtoAccounting:
 		return d.distillAcct(base, payload)
-	case uh.DstPort >= d.mediaPortFloor:
-		if uh.DstPort%2 == 0 {
-			return d.distillRTP(base, payload)
-		}
+	case ProtoRTP:
+		return d.distillRTP(base, payload)
+	case ProtoRTCP:
 		return d.distillRTCP(base, payload)
 	default:
 		d.stats.Ignored++

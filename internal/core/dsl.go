@@ -34,6 +34,7 @@ var eventTypeNames = func() map[string]EventType {
 		EvIMSourceMismatch, EvRTPAfterBye, EvRTPAfterReinvite, EvRTPSeqJump,
 		EvRTPBadSource, EvRTPGarbage, EvAuthFlood, EvPasswordGuessing,
 		EvAcctUnmatched, EvRTPUnmatchedMedia, EvRTCPSpoofedBye,
+		EvOptionsScan,
 	}
 	m := make(map[string]EventType, len(all))
 	for _, t := range all {

@@ -47,6 +47,10 @@ type EngineStats struct {
 type Config struct {
 	// Gen tunes the Event Generator.
 	Gen GenConfig
+	// Correlators is the protocol-correlator registry, in dispatch order
+	// (nil = DefaultCorrelators). Port classification, routing and event
+	// generation all derive from it.
+	Correlators []Registration
 	// Rules is the ruleset (nil = DefaultRuleset).
 	Rules []Rule
 	// MaxTrailLen bounds per-trail memory (default 4096 footprints).
@@ -101,11 +105,14 @@ func NewEngine(cfg Config, opts ...EngineOption) *Engine {
 		rules = DefaultRuleset()
 	}
 	trails := NewTrailStore(cfg.MaxTrailLen)
+	// One correlator set serves the whole pipeline: the distiller asks it
+	// for port claims, the generator dispatches footprints to it.
+	correlators := buildCorrelators(cfg.Correlators, cfg.Gen.withDefaults())
 	e := &Engine{
 		cfg:       cfg,
-		distiller: NewDistiller(),
+		distiller: NewDistillerFor(correlators),
 		trails:    trails,
-		gen:       NewEventGenerator(cfg.Gen, trails),
+		gen:       newEventGeneratorFrom(cfg.Gen, trails, correlators),
 		rules:     NewRuleEngine(rules),
 	}
 	e.distiller.reasm.SetLimit(cfg.Limits.MaxFragGroups)
@@ -121,10 +128,13 @@ func NewEngine(cfg Config, opts ...EngineOption) *Engine {
 // eviction counts kept by the pipeline stages.
 func (e *Engine) Stats() EngineStats {
 	st := e.stats
-	st.SessionsCapEvicted = e.gen.evictedSessions
-	st.IMHistoriesEvicted = e.gen.evictedIMs
-	st.SeqTrackersEvicted = e.gen.evictedSeqs
-	st.BindingsEvicted = e.gen.evictedBindings
+	st.SessionsCapEvicted = e.gen.ctx.evictedSessions
+	st.BindingsEvicted = e.gen.ctx.evictedBindings
+	for _, c := range e.gen.correlators {
+		if b, ok := c.(budgeted); ok {
+			b.contributeStats(&st)
+		}
+	}
 	st.FragGroupsEvicted = e.distiller.reasm.CapacityEvicted()
 	st.AlertsEvicted = e.rules.evicted
 	return st

@@ -40,6 +40,7 @@ const (
 	EvAcctUnmatched     // accounting transaction without matching call setup
 	EvRTPUnmatchedMedia // session media negotiated away from the caller's registered location
 	EvRTCPSpoofedBye    // RTCP BYE with no corresponding SIP BYE (three-protocol chain)
+	EvOptionsScan       // one source probing many dialogs with OPTIONS (cross-dialog sweep)
 )
 
 // String returns the event type name.
@@ -91,6 +92,8 @@ func (t EventType) String() string {
 		return "rtp-unmatched-media"
 	case EvRTCPSpoofedBye:
 		return "rtcp-spoofed-bye"
+	case EvOptionsScan:
+		return "sip-options-scan"
 	default:
 		return fmt.Sprintf("event-type-%d", int(t))
 	}

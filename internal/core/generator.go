@@ -1,0 +1,230 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"scidive/internal/sip"
+)
+
+// GenConfig tunes the correlators' stateful checks.
+type GenConfig struct {
+	// MonitorWindow is "m": how long after a BYE/REINVITE the orphan-flow
+	// monitor stays armed (Section 4.3). Default 1s.
+	MonitorWindow time.Duration
+	// ReinviteGrace delays the REINVITE orphan monitor: a legitimately
+	// migrating phone keeps transmitting from its old socket until its
+	// re-INVITE transaction completes, so media from the old address is
+	// only suspicious after this grace period. Default 250ms.
+	ReinviteGrace time.Duration
+	// SeqJumpThreshold is the paper's empirically chosen sequence-number
+	// discontinuity bound. Default 100.
+	SeqJumpThreshold int
+	// AuthFloodThreshold is how many 401s one session may draw before the
+	// DoS event fires. Default 5.
+	AuthFloodThreshold int
+	// GuessThreshold is how many distinct challenge responses one session
+	// may try before the password-guessing event fires. Default 3.
+	GuessThreshold int
+	// IMPeriod is how long a sender's source IP is expected to stay
+	// stable (the rule's mobility allowance). Default 60s.
+	IMPeriod time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MonitorWindow == 0 {
+		c.MonitorWindow = time.Second
+	}
+	if c.ReinviteGrace == 0 {
+		c.ReinviteGrace = 250 * time.Millisecond
+	}
+	if c.SeqJumpThreshold == 0 {
+		c.SeqJumpThreshold = 100
+	}
+	if c.AuthFloodThreshold == 0 {
+		c.AuthFloodThreshold = 5
+	}
+	if c.GuessThreshold == 0 {
+		c.GuessThreshold = 3
+	}
+	if c.IMPeriod == 0 {
+		c.IMPeriod = 60 * time.Second
+	}
+	return c
+}
+
+// EventGenerator folds footprints into events. It is a thin dispatcher
+// over the ordered correlator registry: per footprint it prepares the
+// shared SessionContext (trail filing, session key, the single applySIP
+// application), then runs every correlator subscribed to the footprint's
+// protocol, concatenating their events in registry order. All protocol
+// logic lives in the correlator modules (sip_correlator.go and friends);
+// what remains here is session lifecycle plumbing shared by the serial
+// engine and every shard.
+type EventGenerator struct {
+	cfg         GenConfig
+	trails      *TrailStore
+	ctx         *SessionContext
+	correlators []Correlator
+	idx         *sessionIndex
+	limits      Limits
+
+	// sessions, pendingReg, bindings and seqs alias maps inside the
+	// context and the correlators; they are kept as fields so state is
+	// inspectable without walking the registry.
+	sessions   map[string]*sessionState
+	pendingReg map[string]string // Call-ID -> AOR awaiting 200
+	bindings   map[string]netip.Addr
+	seqs       map[netip.AddrPort]*seqTrack
+}
+
+// seqOwner is implemented by the correlator owning the sequence trackers
+// (for the generator's inspection alias).
+type seqOwner interface {
+	seqTrackers() map[netip.AddrPort]*seqTrack
+}
+
+// NewEventGenerator returns a generator over the default correlator
+// registry, storing footprints into trails.
+func NewEventGenerator(cfg GenConfig, trails *TrailStore) *EventGenerator {
+	return newEventGeneratorFrom(cfg, trails, buildCorrelators(nil, cfg.withDefaults()))
+}
+
+// newEventGeneratorFrom wires a generator to already-built (and
+// configured) correlator instances; NewEngine shares the instances with
+// its distiller's port classification.
+func newEventGeneratorFrom(cfg GenConfig, trails *TrailStore, correlators []Correlator) *EventGenerator {
+	cfg = cfg.withDefaults()
+	ctx := newSessionContext(cfg, trails)
+	g := &EventGenerator{
+		cfg:         cfg,
+		trails:      trails,
+		ctx:         ctx,
+		correlators: correlators,
+		idx:         ctx.idx,
+		sessions:    ctx.idx.sessions,
+		pendingReg:  ctx.idx.pendingReg,
+		bindings:    ctx.bindings,
+	}
+	for _, c := range correlators {
+		if o, ok := c.(establishObserver); ok {
+			ctx.observers = append(ctx.observers, o)
+		}
+		if so, ok := c.(seqOwner); ok {
+			g.seqs = so.seqTrackers()
+		}
+	}
+	return g
+}
+
+// SetLimits installs the generator's share of the state budget. Must be
+// called before traffic flows (NewEngine does).
+func (g *EventGenerator) SetLimits(l Limits) {
+	g.limits = l
+	g.ctx.limits = l
+	g.idx.maxSessions = l.MaxSessions
+	g.idx.onCapEvict = func(id string) {
+		g.trails.Drop(id)
+		g.ctx.evictedSessions++
+	}
+	for _, c := range g.correlators {
+		if b, ok := c.(budgeted); ok {
+			b.setLimits(l)
+		}
+	}
+}
+
+// EvictSession drops one session's dialog state, pending registration,
+// and trails, reporting whether it existed. The sharded engine broadcasts
+// router-side capacity evictions to shards through this.
+func (g *EventGenerator) EvictSession(id string) bool {
+	st, ok := g.sessions[id]
+	if !ok {
+		return false
+	}
+	g.idx.dropSession(id, st)
+	g.trails.Drop(id)
+	return true
+}
+
+// Bindings returns the registration bindings learned from traffic.
+func (g *EventGenerator) Bindings() map[string]netip.Addr {
+	out := make(map[string]netip.Addr, len(g.bindings))
+	for k, v := range g.bindings {
+		out[k] = v
+	}
+	return out
+}
+
+// ApplyBinding installs a registration binding learned elsewhere. The
+// sharded router replicates each observed binding to every shard so that
+// cross-session checks (billing fraud's registered-location comparison)
+// see a consistent directory regardless of which shard learned it.
+func (g *EventGenerator) ApplyBinding(aor string, ip netip.Addr) {
+	g.ctx.SetBinding(aor, ip)
+}
+
+// session returns the state for a Call-ID, creating it if needed.
+func (g *EventGenerator) session(callID string) *sessionState {
+	return g.idx.core(callID)
+}
+
+// touch records session activity for expiry bookkeeping.
+func (g *EventGenerator) touch(session string, at time.Duration) {
+	g.idx.touch(session, at)
+}
+
+// ExpireSessions drops per-session state (and the session's trails) for
+// sessions idle longer than timeout as of now, then notifies expirer
+// correlators so state tied to the session table's lifetime is swept too.
+// It returns how many sessions were evicted. Registration bindings and IM
+// histories have their own windows and are kept.
+func (g *EventGenerator) ExpireSessions(now, timeout time.Duration) int {
+	evicted := g.idx.expire(now, timeout, func(id string) { g.trails.Drop(id) })
+	if evicted > 0 {
+		for _, c := range g.correlators {
+			if ex, ok := c.(expirer); ok {
+				ex.onExpire(now, len(g.sessions))
+			}
+		}
+	}
+	return evicted
+}
+
+// Process folds one footprint into the trails and state, returning any
+// events it completes.
+func (g *EventGenerator) Process(f Footprint) []Event {
+	return g.ProcessHinted(f, RouteHints{})
+}
+
+// ProcessHinted is Process with router-supplied hints. A zero RouteHints
+// reproduces the serial engine exactly; non-zero hints replace the local
+// cross-session lookups with verdicts the sharded router computed in
+// global frame order.
+func (g *EventGenerator) ProcessHinted(f Footprint, h RouteHints) []Event {
+	if !g.ctx.beginFrame(f, h) {
+		return nil
+	}
+	defer g.ctx.endFrame(f)
+	p := dispatchProto(f)
+	var events []Event
+	for _, c := range g.correlators {
+		if handlesProto(c, p) {
+			events = append(events, c.Process(f, h, g.ctx)...)
+		}
+	}
+	return events
+}
+
+// mediaFromBody extracts the audio endpoint from a message's SDP body.
+func mediaFromBody(m *sip.Message) (netip.AddrPort, bool) {
+	if len(m.Body) == 0 {
+		return netip.AddrPort{}, false
+	}
+	sess, err := parseSDP(m.Body)
+	if err != nil {
+		return netip.AddrPort{}, false
+	}
+	return sess.MediaEndpoint("audio")
+}

@@ -1,0 +1,81 @@
+package core_test
+
+// Golden event streams: the exact []Event each scenario produces through
+// the serial engine, pinned to files under testdata/golden_events. The
+// correlator decomposition (and any future pipeline refactor) must be
+// event-identical to the recorded streams — not merely alert-equivalent —
+// or these tests fail with the first diverging event.
+//
+// Regenerate intentionally with:
+//
+//	go test ./internal/core -run TestGoldenEventStreams -update
+//
+// and review the diff like any other behavior change.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scidive/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden event-stream files")
+
+// goldenSeed fixes the traffic for every scenario; it matches the seed the
+// differential harness uses so the two suites witness the same streams.
+const goldenSeed = 7
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_events", name+".golden")
+}
+
+func TestGoldenEventStreams(t *testing.T) {
+	for _, name := range experiments.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			frames := scenarioFrames(t, name, goldenSeed)
+			_, events, _ := runSerial(frames)
+			var b strings.Builder
+			for _, ev := range events {
+				fmt.Fprintf(&b, "%v|%v|%s|%s\n", ev.At, ev.Type, ev.Session, ev.Detail)
+			}
+			got := b.String()
+			path := goldenPath(name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden stream for %s (run with -update to record): %v", name, err)
+			}
+			if got == string(want) {
+				return
+			}
+			gotLines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+			wantLines := strings.Split(strings.TrimSuffix(string(want), "\n"), "\n")
+			for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+				switch {
+				case i >= len(gotLines):
+					t.Errorf("event %d missing, want %s", i, wantLines[i])
+					return
+				case i >= len(wantLines):
+					t.Errorf("event %d extra: %s", i, gotLines[i])
+					return
+				case gotLines[i] != wantLines[i]:
+					t.Errorf("event %d:\n got %s\nwant %s", i, gotLines[i], wantLines[i])
+					return
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"scidive/internal/sip"
+)
+
+// imCorrelator applies the fake-IM source-stability rule (Figure 6) to
+// SIP MESSAGE requests. The source history is keyed by (claimed sender,
+// delivery destination): on a hub tap each proxy relay leg is a distinct
+// delivery path with its own stable source, matching what the paper's
+// per-endpoint IDS would see.
+//
+// The history spans SIP dialogs, so in sharded mode it is router-owned:
+// the router's instance judges every MESSAGE in global arrival order
+// (sipHint) and pins each MESSAGE dialog to the sender's shard
+// (sipRouteKey); the shard instances consume the verdict from RouteHints
+// and leave their own maps untouched.
+type imCorrelator struct {
+	cfg    GenConfig
+	limits Limits
+	ims    map[string]imRecord // "AOR|dstIP" -> last IM source on that delivery path
+	// evicted is atomic: the sharded router reads it for lock-free stats
+	// while the routing lock is held elsewhere.
+	evicted atomic.Uint64
+}
+
+func newIMCorrelator() *imCorrelator {
+	return &imCorrelator{ims: make(map[string]imRecord)}
+}
+
+func (c *imCorrelator) Name() string            { return "im" }
+func (c *imCorrelator) Protocols() []Protocol   { return []Protocol{ProtoSIP} }
+func (c *imCorrelator) configure(cfg GenConfig) { c.cfg = cfg }
+
+func (c *imCorrelator) setLimits(l Limits)         { c.limits = l }
+func (c *imCorrelator) shardLocalLimits(l *Limits) { l.MaxIMHistories = 0 }
+func (c *imCorrelator) contributeStats(st *EngineStats) {
+	st.IMHistoriesEvicted += int(c.evicted.Load())
+}
+
+// isIM reports whether a sighting is a judgeable MESSAGE request.
+func isIM(m *sip.Message, out sipOutcome) bool {
+	return m.IsRequest() && out.fromToOK && m.Method == sip.MethodMessage
+}
+
+// sipRouteKey pins MESSAGE dialogs to the sender's IM session ("im:" +
+// AOR) so that fake-IM rule state for one sender colocates across
+// Call-IDs.
+func (c *imCorrelator) sipRouteKey(m *sip.Message, out sipOutcome, src netip.AddrPort) (string, bool) {
+	if !isIM(m, out) {
+		return "", false
+	}
+	return "im:" + out.from.URI.AOR(), true
+}
+
+// sipHint judges a MESSAGE against the router-owned source history, in
+// arrival order, exactly as the serial correlator would.
+func (c *imCorrelator) sipHint(at time.Duration, src, dst netip.AddrPort, m *sip.Message, out sipOutcome, h *RouteHints) {
+	if !isIM(m, out) {
+		return
+	}
+	if mismatch, prev := c.judge(out.from.URI.AOR(), src.Addr(), dst.Addr(), at); mismatch {
+		h.IM = IMVerdict{Mismatch: true, PrevIP: prev}
+	}
+	h.HasIM = true
+}
+
+// judge folds one MESSAGE sighting into the source history, reporting a
+// source mismatch (and the previously seen source) when the claimed
+// sender's source changed within the mobility allowance.
+func (c *imCorrelator) judge(aor string, src, dst netip.Addr, at time.Duration) (mismatch bool, prev netip.Addr) {
+	histKey := aor + "|" + dst.String()
+	rec, seen := c.ims[histKey]
+	switch {
+	case !seen || at-rec.at > c.cfg.IMPeriod:
+		// First sighting, or beyond the mobility allowance: accept and
+		// remember the source.
+		if !seen && c.limits.MaxIMHistories > 0 && len(c.ims) >= c.limits.MaxIMHistories {
+			if evictStalestIM(c.ims) != "" {
+				c.evicted.Add(1)
+			}
+		}
+		c.ims[histKey] = imRecord{ip: src, at: at}
+	case rec.ip != src:
+		return true, rec.ip
+	default:
+		c.ims[histKey] = imRecord{ip: src, at: at}
+	}
+	return false, netip.Addr{}
+}
+
+func (c *imCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
+	fp, ok := f.(*SIPFootprint)
+	if !ok {
+		return nil
+	}
+	_, out := ctx.SIP()
+	if !isIM(fp.Msg, out) {
+		return nil
+	}
+	var events []Event
+	aor := out.from.URI.AOR()
+	session := "im:" + aor
+	events = append(events, Event{At: fp.At, Type: EvSIPInstantMessage, Session: session,
+		Detail: fmt.Sprintf("from %s via %v", aor, fp.Src.Addr()), Footprint: fp})
+	mismatch, prev := false, netip.Addr{}
+	if h.HasIM {
+		// The router already judged this MESSAGE against the global source
+		// history; the local map stays untouched.
+		mismatch, prev = h.IM.Mismatch, h.IM.PrevIP
+	} else {
+		mismatch, prev = c.judge(aor, fp.Src.Addr(), fp.Dst.Addr(), fp.At)
+	}
+	if mismatch {
+		events = append(events, Event{
+			At: fp.At, Type: EvIMSourceMismatch, Session: session,
+			Detail: fmt.Sprintf("IM claiming %s came from %v; recent messages to %v came from %v",
+				aor, fp.Src.Addr(), fp.Dst.Addr(), prev),
+			Footprint: fp,
+		})
+	}
+	return events
+}
+
+// imRecord tracks the last source of instant messages per claimed sender.
+type imRecord struct {
+	ip netip.Addr
+	at time.Duration
+}
+
+// evictStalestIM removes the least-recently-seen IM history entry (ties
+// broken by the smaller key) and returns its key, or "" when empty. The
+// serial correlator and the sharded router's instance both call this so
+// capped IM state evicts identical victims.
+func evictStalestIM(ims map[string]imRecord) string {
+	var vk string
+	found := false
+	for k, r := range ims {
+		if !found || r.at < ims[vk].at || (r.at == ims[vk].at && k < vk) {
+			vk, found = k, true
+		}
+	}
+	if found {
+		delete(ims, vk)
+	}
+	return vk
+}

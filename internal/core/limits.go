@@ -52,16 +52,20 @@ type Limits struct {
 	RestartFailedShards bool
 }
 
-// shardLocal returns the limits a per-shard engine should enforce
-// locally. Router-owned structures (sessions, fragment groups, IM
-// histories, sequence trackers) are capped once at the router, so the
-// shard copies run uncapped; bindings are replicated to every shard in
-// identical order, so the per-shard cap evicts identically everywhere;
-// retention caps are inherently per-shard.
-func (l Limits) shardLocal() Limits {
+// shardLocalLimits returns the limits a per-shard engine should enforce
+// locally. Router-owned structures are capped once at the router:
+// sessions and fragment groups always (the router owns the session
+// directory and reassembly), plus whichever caps the budgeted correlators
+// declare router-owned (each zeroes its own). Bindings are replicated to
+// every shard in identical order, so the per-shard cap evicts identically
+// everywhere; retention caps are inherently per-shard.
+func shardLocalLimits(correlators []Correlator, l Limits) Limits {
 	l.MaxSessions = 0
 	l.MaxFragGroups = 0
-	l.MaxIMHistories = 0
-	l.MaxSeqTrackers = 0
+	for _, c := range correlators {
+		if b, ok := c.(budgeted); ok {
+			b.shardLocalLimits(&l)
+		}
+	}
 	return l
 }

@@ -28,8 +28,8 @@ func TestSessionCapEvictsLRU(t *testing.T) {
 			t.Errorf("session %s evicted, want only the LRU gone", id)
 		}
 	}
-	if g.evictedSessions != 1 {
-		t.Errorf("evictedSessions = %d, want 1", g.evictedSessions)
+	if g.ctx.evictedSessions != 1 {
+		t.Errorf("evictedSessions = %d, want 1", g.ctx.evictedSessions)
 	}
 	if trails.Lookup("a@x", ProtoSIP) != nil {
 		t.Error("evicted session's trails survived")
@@ -124,8 +124,8 @@ func TestBindingCapEvictsLeastRecentlyRefreshed(t *testing.T) {
 	if _, ok := b["alice@d"]; !ok {
 		t.Error("refreshed binding was evicted")
 	}
-	if g.evictedBindings != 1 {
-		t.Errorf("evictedBindings = %d, want 1", g.evictedBindings)
+	if g.ctx.evictedBindings != 1 {
+		t.Errorf("evictedBindings = %d, want 1", g.ctx.evictedBindings)
 	}
 }
 
@@ -187,6 +187,54 @@ func TestRuleEngineAlertCap(t *testing.T) {
 	}
 	if re.evicted != 2 {
 		t.Errorf("evicted = %d, want 2", re.evicted)
+	}
+}
+
+func TestAlertEvictionKeepsDedupAligned(t *testing.T) {
+	re := NewRuleEngine([]Rule{{
+		Name:     "jump",
+		Severity: SeverityWarning,
+		Steps:    []Step{{Type: EvRTPSeqJump}},
+	}})
+	re.maxAlerts = 3
+	fire := func(sess string, at time.Duration) { re.Feed(Event{At: at, Type: EvRTPSeqJump, Session: sess}) }
+
+	// Fill the cap, then push it over repeatedly: every new session past
+	// the third evicts the oldest survivor.
+	for i, sess := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
+		fire(sess, time.Duration(i)*time.Second)
+	}
+	alerts := re.Alerts()
+	if len(alerts) != 3 || alerts[0].Session != "s4" || alerts[2].Session != "s6" {
+		t.Fatalf("alerts after 3 evictions = %v, want s4..s6", alerts)
+	}
+	if re.evicted != 3 {
+		t.Fatalf("evicted = %d, want 3", re.evicted)
+	}
+
+	// After repeated evictions every surviving dedup entry must still
+	// point at its own alert: a repeat for each survivor bumps exactly
+	// that survivor's Count, never a neighbor's.
+	for _, sess := range []string{"s5", "s6", "s6", "s4"} {
+		fire(sess, 10*time.Second)
+	}
+	alerts = re.Alerts()
+	want := map[string]int{"s4": 2, "s5": 2, "s6": 3}
+	for _, a := range alerts {
+		if a.Count != want[a.Session] {
+			t.Errorf("session %s Count = %d, want %d", a.Session, a.Count, want[a.Session])
+		}
+	}
+
+	// Survivor bumps must not have disturbed eviction accounting, and a
+	// fresh session must still evict the current oldest (s4).
+	fire("s7", 11*time.Second)
+	alerts = re.Alerts()
+	if len(alerts) != 3 || alerts[0].Session != "s5" || alerts[2].Session != "s7" {
+		t.Fatalf("alerts after fresh fire = %v, want s5, s6, s7", alerts)
+	}
+	if re.evicted != 4 {
+		t.Errorf("evicted = %d, want 4", re.evicted)
 	}
 }
 

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/sip"
+)
+
+// Thresholds are local to this module by design: the worked example of
+// adding a correlator must not widen GenConfig or touch any other file's
+// configuration surface.
+const (
+	// optionsScanThreshold is how many distinct dialogs one source may
+	// probe with OPTIONS inside the window before the scan event fires.
+	optionsScanThreshold = 5
+	// optionsScanWindow bounds the sweep: the per-source dialog count
+	// resets when probes pause longer than this.
+	optionsScanWindow = 10 * time.Second
+)
+
+// optionsScanCorrelator detects cross-dialog SIP OPTIONS sweeps: one
+// source probing many dialogs in a short window is enumerating the
+// proxy's extensions or harvesting capability banners, the VoIP analogue
+// of a port scan. Each probe arrives on its own Call-ID, so the state is
+// per source, not per session — which makes this module the worked
+// example for correlators with cross-dialog state: it pins every OPTIONS
+// dialog to the prober's shard via sipRouteKey ("scan:" + source IP), so
+// shard-local counting remains serial-equivalent with no router-side
+// hint machinery.
+//
+// This module was added to the registry without editing any existing
+// correlator — the extensibility proof for the pluggable architecture
+// (see README.md for the walkthrough).
+type optionsScanCorrelator struct {
+	sources map[netip.Addr]*optionsScanRecord
+}
+
+// optionsScanRecord counts distinct probed dialogs per source window.
+type optionsScanRecord struct {
+	start   time.Duration
+	last    time.Duration
+	dialogs map[string]struct{}
+	fired   bool
+}
+
+func newOptionsScanCorrelator() *optionsScanCorrelator {
+	return &optionsScanCorrelator{sources: make(map[netip.Addr]*optionsScanRecord)}
+}
+
+func (c *optionsScanCorrelator) Name() string          { return "options-scan" }
+func (c *optionsScanCorrelator) Protocols() []Protocol { return []Protocol{ProtoSIP} }
+
+// sipRouteKey pins OPTIONS dialogs to the probing source so the
+// per-source sweep state colocates on one shard across Call-IDs.
+func (c *optionsScanCorrelator) sipRouteKey(m *sip.Message, out sipOutcome, src netip.AddrPort) (string, bool) {
+	if !m.IsRequest() || m.Method != sip.MethodOptions {
+		return "", false
+	}
+	return "scan:" + src.Addr().String(), true
+}
+
+// onExpire prunes sources whose window lapsed; Process would reset them
+// on their next probe anyway, so pruning never changes the event stream.
+func (c *optionsScanCorrelator) onExpire(now time.Duration, sessionsRemaining int) {
+	for src, r := range c.sources {
+		if now-r.last > optionsScanWindow {
+			delete(c.sources, src)
+		}
+	}
+}
+
+func (c *optionsScanCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
+	fp, ok := f.(*SIPFootprint)
+	if !ok || !fp.Msg.IsRequest() || fp.Msg.Method != sip.MethodOptions {
+		return nil
+	}
+	src := fp.Src.Addr()
+	r := c.sources[src]
+	if r == nil || fp.At-r.start > optionsScanWindow {
+		r = &optionsScanRecord{start: fp.At, dialogs: make(map[string]struct{})}
+		c.sources[src] = r
+	}
+	r.dialogs[fp.Msg.CallID()] = struct{}{}
+	r.last = fp.At
+	if r.fired || len(r.dialogs) < optionsScanThreshold {
+		return nil
+	}
+	r.fired = true
+	return []Event{{
+		At: fp.At, Type: EvOptionsScan, Session: "scan:" + src.String(),
+		Detail: fmt.Sprintf("%d distinct dialogs probed by OPTIONS from %v within %v",
+			len(r.dialogs), src, fp.At-r.start),
+		Footprint: fp,
+	}}
+}

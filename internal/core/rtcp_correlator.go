@@ -1,0 +1,46 @@
+package core
+
+import (
+	"scidive/internal/rtp"
+)
+
+// rtcpCorrelator watches for RTCP BYE packets that lack a corresponding
+// SIP BYE: during legitimate teardown the SIP BYE travels alongside the
+// RTCP BYE, so an RTCP BYE still unmatched after a grace period is
+// forged. The pending state lives in the shared session state; the
+// evaluation is driven by subsequent traffic (the surviving party's media
+// keeps flowing, so the RTP correlator checks the pending BYE too),
+// keeping the engine purely packet-driven.
+type rtcpCorrelator struct{}
+
+func newRTCPCorrelator() *rtcpCorrelator { return &rtcpCorrelator{} }
+
+func (c *rtcpCorrelator) Name() string          { return "rtcp" }
+func (c *rtcpCorrelator) Protocols() []Protocol { return []Protocol{ProtoRTCP} }
+
+// claimPort claims odd media ports (RTCP by convention).
+func (c *rtcpCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
+	if dstPort >= defaultMediaPortFloor && dstPort%2 == 1 {
+		return ProtoRTCP, true
+	}
+	return ProtoOther, false
+}
+
+func (c *rtcpCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
+	fp, ok := f.(*RTCPFootprint)
+	if !ok {
+		return nil
+	}
+	st, known := ctx.LookupSession(ctx.Session())
+	if !known {
+		return nil
+	}
+	events := ctx.CheckPendingRTCPBye(st, fp.At, fp)
+	for _, pkt := range fp.Packets {
+		if _, isBye := pkt.(*rtp.Bye); isBye && !st.byeSeen && !st.rtcpByePending && !st.rtcpByeFired {
+			st.rtcpByePending = true
+			st.rtcpByeAt = fp.At
+		}
+	}
+	return events
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"scidive/internal/rtp"
+)
+
+// rtpCorrelator correlates media traffic: sequence-number continuity per
+// destination endpoint (paper Section 4.2.4), garbage on media ports
+// (the Figure 8 attack signature), and the stateful cross-protocol checks
+// for media belonging to a known SIP session — orphan flows after BYE
+// (Figure 5) or REINVITE (Figure 7), and source legitimacy (Figure 8).
+//
+// The continuity trackers span sessions (they are keyed by endpoint), so
+// in sharded mode they are router-owned: the router's instance computes
+// the verdict in global frame order (rtpHint) and the shard instances
+// consume it from RouteHints, leaving their own maps untouched.
+type rtpCorrelator struct {
+	cfg    GenConfig
+	limits Limits
+	seqs   map[netip.AddrPort]*seqTrack
+	// evicted is atomic: the sharded router reads it for lock-free stats
+	// while the routing lock is held elsewhere.
+	evicted atomic.Uint64
+}
+
+func newRTPCorrelator() *rtpCorrelator {
+	return &rtpCorrelator{seqs: make(map[netip.AddrPort]*seqTrack)}
+}
+
+func (c *rtpCorrelator) Name() string            { return "rtp" }
+func (c *rtpCorrelator) Protocols() []Protocol   { return []Protocol{ProtoRTP} }
+func (c *rtpCorrelator) configure(cfg GenConfig) { c.cfg = cfg }
+
+// claimPort claims even media ports (RTP by convention).
+func (c *rtpCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
+	if dstPort >= defaultMediaPortFloor && dstPort%2 == 0 {
+		return ProtoRTP, true
+	}
+	return ProtoOther, false
+}
+
+func (c *rtpCorrelator) setLimits(l Limits)         { c.limits = l }
+func (c *rtpCorrelator) shardLocalLimits(l *Limits) { l.MaxSeqTrackers = 0 }
+func (c *rtpCorrelator) contributeStats(st *EngineStats) {
+	st.SeqTrackersEvicted += int(c.evicted.Load())
+}
+
+// seqTrackers exposes the tracker map so the generator can alias it for
+// state inspection.
+func (c *rtpCorrelator) seqTrackers() map[netip.AddrPort]*seqTrack { return c.seqs }
+
+// onEstablished clears continuity trackers for a freshly negotiated
+// session's endpoints: RTP sequence numbers restart at a random value, so
+// stale trackers from earlier calls must not carry over.
+func (c *rtpCorrelator) onEstablished(st *sessionState) {
+	delete(c.seqs, st.callerMedia)
+	delete(c.seqs, st.calleeMedia)
+}
+
+// onExpire sweeps trackers for media endpoints of dead sessions. They are
+// keyed by endpoint, not session, so the cheapest exact sweep is clearing
+// when the session table empties. The map is cleared in place — the
+// generator aliases it.
+func (c *rtpCorrelator) onExpire(now time.Duration, sessionsRemaining int) {
+	if sessionsRemaining == 0 {
+		clear(c.seqs)
+	}
+}
+
+// track folds one packet into the continuity tracker for its destination,
+// returning the verdict. The serial correlator and the sharded router's
+// instance (via rtpHint) run exactly this, so verdicts and evictions
+// match packet for packet.
+func (c *rtpCorrelator) track(at time.Duration, dst netip.AddrPort, seq uint16) SeqVerdict {
+	var v SeqVerdict
+	tr, ok := c.seqs[dst]
+	if !ok {
+		if c.limits.MaxSeqTrackers > 0 && len(c.seqs) >= c.limits.MaxSeqTrackers {
+			if evictStalestSeq(c.seqs) {
+				c.evicted.Add(1)
+			}
+		}
+		tr = &seqTrack{}
+		c.seqs[dst] = tr
+		v.NewFlow = true
+	}
+	if tr.primed {
+		v.Prev = tr.last
+		if d := rtp.SeqDiff(tr.last, seq); d > c.cfg.SeqJumpThreshold || d < -c.cfg.SeqJumpThreshold {
+			v.Jump = true
+		}
+	}
+	tr.primed = true
+	tr.last = seq
+	tr.at = at
+	return v
+}
+
+// rtpHint computes the continuity verdict at the router, in global frame
+// order, against the router-owned trackers.
+func (c *rtpCorrelator) rtpHint(at time.Duration, dst netip.AddrPort, seq uint16, h *RouteHints) {
+	h.Seq = c.track(at, dst, seq)
+	h.HasSeq = true
+}
+
+func (c *rtpCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
+	switch fp := f.(type) {
+	case *RawFootprint:
+		return c.garbageEvent(fp, h, ctx)
+	case *RTPFootprint:
+		return c.processRTP(fp, h, ctx)
+	default:
+		return nil
+	}
+}
+
+// garbageEvent reports undecodable traffic on an RTP port, attributed to
+// the session that negotiated the destination endpoint when one has.
+func (c *rtpCorrelator) garbageEvent(fp *RawFootprint, h RouteHints, ctx *SessionContext) []Event {
+	eventSession := h.Session
+	if eventSession == "" {
+		eventSession = ctx.Session()
+		if s := ctx.MediaDstSession(fp.Dst); s != "" {
+			eventSession = s
+		}
+	}
+	return []Event{{
+		At: fp.At, Type: EvRTPGarbage, Session: eventSession,
+		Detail:    fmt.Sprintf("undecodable %d bytes on RTP port from %v: %s", fp.Len, fp.Src, fp.Reason),
+		Footprint: fp,
+	}}
+}
+
+func (c *rtpCorrelator) processRTP(fp *RTPFootprint, h RouteHints, ctx *SessionContext) []Event {
+	var events []Event
+	session := ctx.Session()
+	v := h.Seq
+	if !h.HasSeq {
+		v = c.track(fp.At, fp.Dst, fp.Header.Seq)
+	}
+	if v.NewFlow {
+		events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
+			Detail: fmt.Sprintf("%v -> %v ssrc=%08x", fp.Src, fp.Dst, fp.Header.SSRC), Footprint: fp})
+	}
+	if v.Jump {
+		d := rtp.SeqDiff(v.Prev, fp.Header.Seq)
+		events = append(events, Event{
+			At: fp.At, Type: EvRTPSeqJump, Session: session,
+			Detail: fmt.Sprintf("seq %d -> %d (|Δ|=%d > %d) at %v",
+				v.Prev, fp.Header.Seq, abs(d), c.cfg.SeqJumpThreshold, fp.Dst),
+			Footprint: fp,
+		})
+	}
+	st, known := ctx.LookupSession(session)
+	if !known {
+		return events
+	}
+	events = append(events, c.checkSessionRTP(fp, st, ctx)...)
+	return events
+}
+
+// checkSessionRTP applies the stateful cross-protocol checks for media
+// belonging to a known SIP session. The pending-RTCP-BYE check runs
+// first: its event predates this packet's own findings.
+func (c *rtpCorrelator) checkSessionRTP(fp *RTPFootprint, st *sessionState, ctx *SessionContext) []Event {
+	events := ctx.CheckPendingRTCPBye(st, fp.At, fp)
+	// Orphan flow after BYE (Figure 5 rule).
+	if st.byeSeen && fp.Src == st.byeFromMedia &&
+		fp.At > st.byeAt && fp.At-st.byeAt <= c.cfg.MonitorWindow {
+		events = append(events, Event{
+			At: fp.At, Type: EvRTPAfterBye, Session: st.callID,
+			Detail:    fmt.Sprintf("RTP from %v %.1fms after its BYE", fp.Src, (fp.At-st.byeAt).Seconds()*1000),
+			Footprint: fp,
+		})
+	}
+	// Orphan flow after REINVITE (Figure 7 rule): traffic still arriving
+	// from the address the "moved" party supposedly left, once the
+	// migration transaction has had time to complete.
+	if st.reinviteSeen && fp.Src == st.reinviteOldMedia &&
+		fp.At-st.reinviteAt > c.cfg.ReinviteGrace &&
+		fp.At-st.reinviteAt <= c.cfg.ReinviteGrace+c.cfg.MonitorWindow {
+		events = append(events, Event{
+			At: fp.At, Type: EvRTPAfterReinvite, Session: st.callID,
+			Detail: fmt.Sprintf("RTP still arriving from old media address %v %.1fms after REINVITE",
+				fp.Src, (fp.At-st.reinviteAt).Seconds()*1000),
+			Footprint: fp,
+		})
+	}
+	// Source legitimacy (Figure 8 rule): media to a negotiated endpoint
+	// must come from the other negotiated endpoint.
+	if !st.byeSeen {
+		var expected netip.AddrPort
+		switch fp.Dst {
+		case st.callerMedia:
+			expected = st.calleeMedia
+		case st.calleeMedia:
+			expected = st.callerMedia
+		}
+		if expected.IsValid() && fp.Src.Addr() != expected.Addr() {
+			events = append(events, Event{
+				At: fp.At, Type: EvRTPBadSource, Session: st.callID,
+				Detail:    fmt.Sprintf("media to %v from %v; session negotiated %v", fp.Dst, fp.Src, expected),
+				Footprint: fp,
+			})
+		}
+	}
+	return events
+}
+
+// seqTrack tracks RTP sequence continuity per destination media endpoint.
+type seqTrack struct {
+	last   uint16
+	primed bool
+	at     time.Duration // last packet toward this endpoint (LRU eviction)
+}
+
+// evictStalestSeq removes the sequence tracker with the oldest last
+// packet (ties broken by endpoint address, then port) and reports whether
+// one was removed. Shared by the serial correlator and the sharded
+// router's instance.
+func evictStalestSeq(seqs map[netip.AddrPort]*seqTrack) bool {
+	var vk netip.AddrPort
+	found := false
+	for k, tr := range seqs {
+		if !found || tr.at < seqs[vk].at || (tr.at == seqs[vk].at && seqLess(k, vk)) {
+			vk, found = k, true
+		}
+	}
+	if found {
+		delete(seqs, vk)
+	}
+	return found
+}
+
+func seqLess(a, b netip.AddrPort) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Port() < b.Port()
+}
+
+func abs(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

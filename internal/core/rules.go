@@ -95,8 +95,19 @@ type RuleEngine struct {
 	rules    []Rule
 	partials map[string][]*partial // key: ruleName|session
 	alerts   []Alert
-	dedup    map[string]int // ruleName|session -> index into alerts
-	onAlert  func(Alert)
+	dedup    map[string]int // ruleName|session -> dedupBase-relative index into alerts
+	// dedupBase is added to every physical alerts index before it is
+	// stored in dedup, and subtracted on lookup. Evicting the oldest alert
+	// then only bumps the base instead of rewriting the whole map.
+	dedupBase int
+	onAlert   func(Alert)
+
+	// byType lists, per event type, the indices of rules with at least one
+	// step of that type; Feed consults it instead of scanning every rule.
+	// Rules a given event type can never advance are skipped entirely —
+	// including their partial-expiry pass, which is safe because a stale
+	// partial is always expired before the next event that could touch it.
+	byType map[EventType][]int
 
 	// maxAlerts caps the retained alert list (0 = unbounded); evicted
 	// counts alerts dropped to respect it. Evicting an alert forgets its
@@ -114,10 +125,21 @@ type RuleEngine struct {
 
 // NewRuleEngine returns an engine for the given ruleset.
 func NewRuleEngine(rules []Rule) *RuleEngine {
+	byType := make(map[EventType][]int)
+	for i := range rules {
+		seen := make(map[EventType]bool, len(rules[i].Steps))
+		for _, st := range rules[i].Steps {
+			if !seen[st.Type] {
+				seen[st.Type] = true
+				byType[st.Type] = append(byType[st.Type], i)
+			}
+		}
+	}
 	return &RuleEngine{
 		rules:    rules,
 		partials: make(map[string][]*partial),
 		dedup:    make(map[string]int),
+		byType:   byType,
 	}
 }
 
@@ -150,7 +172,7 @@ func (re *RuleEngine) AlertsFor(rule string) []Alert {
 func (re *RuleEngine) Feed(e Event) []Alert {
 	re.EventsSeen++
 	var fired []Alert
-	for i := range re.rules {
+	for _, i := range re.byType[e.Type] {
 		if a, ok := re.feedRule(&re.rules[i], e); ok {
 			fired = append(fired, a)
 		}
@@ -262,8 +284,8 @@ func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
 	re.version++
 	key := r.Name + "|" + e.Session
 	if idx, seen := re.dedup[key]; seen {
-		re.alerts[idx].Count++
-		return re.alerts[idx]
+		re.alerts[idx-re.dedupBase].Count++
+		return re.alerts[idx-re.dedupBase]
 	}
 	if re.maxAlerts > 0 && len(re.alerts) >= re.maxAlerts {
 		re.evictOldestAlert()
@@ -277,7 +299,7 @@ func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
 		Events:   append([]Event(nil), p.events...),
 		Count:    1,
 	}
-	re.dedup[key] = len(re.alerts)
+	re.dedup[key] = len(re.alerts) + re.dedupBase
 	re.alerts = append(re.alerts, a)
 	if re.onAlert != nil {
 		re.onAlert(a)
@@ -285,14 +307,13 @@ func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
 	return a
 }
 
-// evictOldestAlert drops the front (oldest) retained alert, shifting the
-// rest down and rewriting the dedup index.
+// evictOldestAlert drops the front (oldest) retained alert in O(1):
+// surviving dedup entries stay valid because they are stored relative to
+// dedupBase, which advances by one per eviction.
 func (re *RuleEngine) evictOldestAlert() {
 	victim := re.alerts[0]
 	re.alerts = append(re.alerts[:0], re.alerts[1:]...)
 	re.evicted++
+	re.dedupBase++
 	delete(re.dedup, victim.Rule+"|"+victim.Session)
-	for k, idx := range re.dedup {
-		re.dedup[k] = idx - 1
-	}
 }

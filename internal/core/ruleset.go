@@ -12,6 +12,7 @@ const (
 	RulePasswordGuess = "password-guess"
 	RuleBillingFraud  = "billing-fraud"
 	RuleRTCPByeSpoof  = "rtcp-bye-spoof"
+	RuleOptionsScan   = "sip-options-scan"
 )
 
 // Self-monitoring alert names raised by the sharded engine about its own
@@ -109,6 +110,13 @@ func DefaultRuleset() []Rule {
 			Unordered:     true,
 			CrossProtocol: true,
 			Stateful:      true,
+		},
+		{
+			Name:        RuleOptionsScan,
+			Description: "One source probing many dialogs with OPTIONS in a short window is sweeping the proxy for capabilities",
+			Severity:    SeverityWarning,
+			Steps:       []Step{{Type: EvOptionsScan}},
+			Stateful:    true, // per-source dialog counting across Call-IDs
 		},
 	}
 }

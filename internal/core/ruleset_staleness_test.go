@@ -1,0 +1,42 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// TestShippedRulesMatchDefaultRuleset pins the shipped rules/default.rules
+// file to DefaultRuleset(): the file is the deployable form of the built-in
+// rules, and the two must never drift. Anyone adding a rule to one side
+// without the other lands here. (DeepEqual is sound because neither side
+// carries Where predicates, which have no textual form.)
+func TestShippedRulesMatchDefaultRuleset(t *testing.T) {
+	text, err := os.ReadFile("../../rules/default.rules")
+	if err != nil {
+		t.Fatalf("shipped ruleset unreadable: %v", err)
+	}
+	shipped, err := ParseRules(string(text))
+	if err != nil {
+		t.Fatalf("shipped ruleset does not parse: %v", err)
+	}
+	builtin := DefaultRuleset()
+	if len(shipped) != len(builtin) {
+		shippedNames := make([]string, len(shipped))
+		for i, r := range shipped {
+			shippedNames[i] = r.Name
+		}
+		builtinNames := make([]string, len(builtin))
+		for i, r := range builtin {
+			builtinNames[i] = r.Name
+		}
+		t.Fatalf("rule count drifted: shipped %d %v, built-in %d %v",
+			len(shipped), shippedNames, len(builtin), builtinNames)
+	}
+	for i := range builtin {
+		if !reflect.DeepEqual(shipped[i], builtin[i]) {
+			t.Errorf("rule %q drifted:\nshipped:  %+v\nbuilt-in: %+v",
+				builtin[i].Name, shipped[i], builtin[i])
+		}
+	}
+}

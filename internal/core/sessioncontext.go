@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// SessionContext is the single cross-protocol state surface shared by
+// every correlator: the session/dialog table (sessionIndex), the trail
+// store, the registration-binding directory, and the per-frame scratch
+// the dispatcher prepares (session key, memoized applySIP outcome). What
+// used to be implicit struct-field coupling inside the monolithic Event
+// Generator is now explicit: a correlator that needs state another
+// protocol produced goes through a named SessionContext method (e.g.
+// CheckPendingRTCPBye, Binding), so the cross-protocol edges are visible
+// in the type system.
+type SessionContext struct {
+	cfg    GenConfig
+	trails *TrailStore
+	idx    *sessionIndex
+	limits Limits
+
+	// Registration bindings (AOR -> contact IP) are context state, not
+	// correlator state: the SIP correlator writes them, the accounting
+	// correlator reads them (billing fraud's registered-location check),
+	// and the sharded router replicates them to every shard.
+	bindings map[string]netip.Addr
+	// bindingAge orders bindings for LRU eviction without changing the
+	// shape of the bindings map itself; entries missing from it rank
+	// oldest. bindingClock advances on every set/refresh.
+	bindingAge   map[string]int
+	bindingClock int
+
+	evictedSessions int
+	evictedBindings int
+
+	// observers are the registered establishObserver correlators, notified
+	// by beginFrame the moment applySIP reports a session established.
+	observers []establishObserver
+
+	// Per-frame scratch, valid from beginFrame to endFrame.
+	session    string
+	touchOnEnd bool
+	sipSt      *sessionState
+	sipOut     sipOutcome
+}
+
+// newSessionContext builds the shared context for one pipeline instance.
+func newSessionContext(cfg GenConfig, trails *TrailStore) *SessionContext {
+	return &SessionContext{
+		cfg:        cfg,
+		trails:     trails,
+		idx:        newSessionIndex(false),
+		bindings:   make(map[string]netip.Addr),
+		bindingAge: make(map[string]int),
+	}
+}
+
+// beginFrame files the footprint into its trail and prepares the
+// per-frame scratch: the session key every correlator sees, and — for SIP
+// — the one-and-only applySIP application for this sighting, so dialog
+// state moves exactly once no matter how many correlators consume the
+// outcome. It reports whether the footprint type is known.
+func (ctx *SessionContext) beginFrame(f Footprint, h RouteHints) bool {
+	ctx.sipSt, ctx.sipOut = nil, sipOutcome{}
+	ctx.touchOnEnd = false
+	switch fp := f.(type) {
+	case *SIPFootprint:
+		ctx.session = fp.Msg.CallID()
+		ctx.trails.Get(ctx.session, ProtoSIP).Append(fp)
+		ctx.sipSt, ctx.sipOut = ctx.idx.applySIP(fp.Msg, fp.At, fp.Src)
+		if ctx.sipOut.established {
+			for _, o := range ctx.observers {
+				o.onEstablished(ctx.sipSt)
+			}
+		}
+		ctx.touchOnEnd = true
+	case *RTPFootprint:
+		session := h.Session
+		if session == "" {
+			session = ctx.idx.SessionKey(f)
+		}
+		ctx.session = session
+		ctx.trails.Get(session, ProtoRTP).Append(fp)
+		ctx.touchOnEnd = true
+	case *RTCPFootprint:
+		session := h.Session
+		if session == "" {
+			session = ctx.idx.SessionKey(f)
+		}
+		ctx.session = session
+		ctx.trails.Get(session, ProtoRTCP).Append(fp)
+		ctx.touchOnEnd = true
+	case *AcctFootprint:
+		ctx.session = fp.Txn.CallID
+		ctx.trails.Get(ctx.session, ProtoAccounting).Append(fp)
+	case *RawFootprint:
+		ctx.session = "raw:" + fp.Dst.String()
+		ctx.trails.Get(ctx.session, ProtoOther).Append(fp)
+	default:
+		return false
+	}
+	return true
+}
+
+// endFrame records session activity for expiry bookkeeping (SIP, RTP and
+// RTCP footprints touch their session; accounting and raw traffic do
+// not, preserving the generator's historic expiry behavior).
+func (ctx *SessionContext) endFrame(f Footprint) {
+	if ctx.touchOnEnd {
+		ctx.idx.touch(ctx.session, f.Time())
+	}
+}
+
+// Config returns the normalized generator configuration.
+func (ctx *SessionContext) Config() GenConfig { return ctx.cfg }
+
+// Budget returns the installed state budget.
+func (ctx *SessionContext) Budget() Limits { return ctx.limits }
+
+// Session returns the session (trail) key of the footprint being
+// processed.
+func (ctx *SessionContext) Session() string { return ctx.session }
+
+// SIP returns the memoized dialog state and transition outcome of the SIP
+// footprint being processed. Only meaningful while a SIPFootprint is in
+// flight (st is nil otherwise).
+func (ctx *SessionContext) SIP() (st *sessionState, out sipOutcome) {
+	return ctx.sipSt, ctx.sipOut
+}
+
+// LookupSession returns the dialog state for a session key without
+// creating it.
+func (ctx *SessionContext) LookupSession(id string) (*sessionState, bool) {
+	st, ok := ctx.idx.sessions[id]
+	return st, ok
+}
+
+// OpenSession returns the dialog state for a session key, creating it
+// (subject to the MaxSessions budget) if needed.
+func (ctx *SessionContext) OpenSession(id string) *sessionState {
+	return ctx.idx.core(id)
+}
+
+// MediaDstSession maps a destination media endpoint to the session that
+// negotiated it ("" when none has).
+func (ctx *SessionContext) MediaDstSession(dst netip.AddrPort) string {
+	return ctx.idx.mediaDstSession(dst)
+}
+
+// Binding returns the registered contact IP for an AOR.
+func (ctx *SessionContext) Binding(aor string) (netip.Addr, bool) {
+	ip, ok := ctx.bindings[aor]
+	return ip, ok
+}
+
+// SetBinding installs or refreshes a registration binding, evicting the
+// least-recently refreshed one (ties: smaller AOR; entries predating age
+// tracking rank oldest) when MaxBindings would be exceeded.
+func (ctx *SessionContext) SetBinding(aor string, ip netip.Addr) {
+	if _, exists := ctx.bindings[aor]; !exists &&
+		ctx.limits.MaxBindings > 0 && len(ctx.bindings) >= ctx.limits.MaxBindings {
+		var vk string
+		found := false
+		for k := range ctx.bindings {
+			if !found || ctx.bindingAge[k] < ctx.bindingAge[vk] ||
+				(ctx.bindingAge[k] == ctx.bindingAge[vk] && k < vk) {
+				vk, found = k, true
+			}
+		}
+		if found {
+			delete(ctx.bindings, vk)
+			delete(ctx.bindingAge, vk)
+			ctx.evictedBindings++
+		}
+	}
+	ctx.bindings[aor] = ip
+	ctx.bindingClock++
+	ctx.bindingAge[aor] = ctx.bindingClock
+}
+
+// CheckPendingRTCPBye fires the spoofed-RTCP-BYE event once the grace
+// period elapses without a SIP BYE appearing. This is the explicit
+// three-protocol coupling point: the RTCP correlator arms the pending
+// state, SIP dialog transitions can clear it, and whichever media or
+// control packet next observes the session drives the verdict — so both
+// the RTP and RTCP correlators call this on every sighting of a known
+// session.
+func (ctx *SessionContext) CheckPendingRTCPBye(st *sessionState, now time.Duration, fp Footprint) []Event {
+	if !st.rtcpByePending || st.rtcpByeFired {
+		return nil
+	}
+	if st.byeSeen {
+		st.rtcpByePending = false // legitimate teardown caught up
+		return nil
+	}
+	if now-st.rtcpByeAt <= ctx.cfg.ReinviteGrace {
+		return nil
+	}
+	st.rtcpByePending = false
+	st.rtcpByeFired = true
+	return []Event{{
+		At: now, Type: EvRTCPSpoofedBye, Session: st.callID,
+		Detail: fmt.Sprintf("RTCP BYE at %v with no SIP BYE after %v; media control and call signaling disagree",
+			st.rtcpByeAt, ctx.cfg.ReinviteGrace),
+		Footprint: fp,
+	}}
+}

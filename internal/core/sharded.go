@@ -29,10 +29,13 @@ import (
 // State that spans sessions cannot live in a shard. The router therefore
 // keeps its own session directory (a second sessionIndex fed by the same
 // applySIP transitions the shards run) for media-flow attribution, owns
-// the RTP sequence-continuity trackers and IM source histories outright
-// (shipping per-frame verdicts to the shards as RouteHints, computed in
-// global arrival order), and replicates registration bindings to every
-// shard via ordered control messages.
+// its own instances of the protocol correlators — the hinter correlators
+// (rtp's sequence-continuity trackers, im's source histories) judge every
+// frame here in global arrival order and ship verdicts to the shards as
+// RouteHints — and replicates registration bindings to every shard via
+// ordered control messages. Port classification, sticky routing keys and
+// shard-local budget zeroing all derive from the same correlator registry
+// the shards dispatch through (see correlator.go).
 //
 // Alerts and events are tagged with (frame index, within-frame ordinal)
 // on their shard and merged in that order, which reproduces the serial
@@ -71,10 +74,14 @@ type ShardedEngine struct {
 	idx      *sessionIndex
 	reasm    *packet.Reassembler
 	frags    map[fragIdent]*fragGroup
-	seqs     map[netip.AddrPort]*seqTrack
-	ims      map[string]imRecord
-	sticky   map[string]string // Call-ID -> routing key (pinned on first sighting)
-	pending  [][]shardItem
+	// correlators are the router's own instances of the registry: port
+	// claims, routing-key overrides, per-frame hints and router-owned
+	// budget enforcement all run against these (their cross-session state
+	// is mutated under mu; their eviction counters are atomics, read
+	// lock-free by Stats).
+	correlators []Correlator
+	sticky      map[string]string // Call-ID -> routing key (pinned on first sighting)
+	pending     [][]shardItem
 
 	frames           atomic.Uint64
 	framesAfterClose atomic.Uint64
@@ -83,8 +90,6 @@ type ShardedEngine struct {
 	// lock-free by Stats).
 	capSessions atomic.Uint64
 	capFrags    atomic.Uint64
-	capIMs      atomic.Uint64
-	capSeqs     atomic.Uint64
 
 	shardsFailed    atomic.Uint64
 	shardsRestarted atomic.Uint64
@@ -262,19 +267,25 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		cfg.Rules = DefaultRuleset()
 	}
 	s := &ShardedEngine{
-		cfg:       cfg,
-		gen:       cfg.Gen.withDefaults(),
-		timeout:   cfg.SessionTimeout,
-		opts:      opts,
-		idx:       newSessionIndex(true),
-		reasm:     packet.NewReassembler(0),
-		frags:     make(map[fragIdent]*fragGroup),
-		seqs:      make(map[netip.AddrPort]*seqTrack),
-		ims:       make(map[string]imRecord),
-		sticky:    make(map[string]string),
-		selfDedup: make(map[string]int),
-		pending:   make([][]shardItem, shards),
-		workers:   make([]*shardWorker, shards),
+		cfg:         cfg,
+		gen:         cfg.Gen.withDefaults(),
+		timeout:     cfg.SessionTimeout,
+		opts:        opts,
+		idx:         newSessionIndex(true),
+		reasm:       packet.NewReassembler(0),
+		frags:       make(map[fragIdent]*fragGroup),
+		correlators: buildCorrelators(cfg.Correlators, cfg.Gen.withDefaults()),
+		sticky:      make(map[string]string),
+		selfDedup:   make(map[string]int),
+		pending:     make([][]shardItem, shards),
+		workers:     make([]*shardWorker, shards),
+	}
+	// The router's correlator instances enforce the full (global) budget;
+	// shard instances get those caps zeroed (see shardLocalLimits).
+	for _, c := range s.correlators {
+		if b, ok := c.(budgeted); ok {
+			b.setLimits(cfg.Limits)
+		}
 	}
 	// The router enforces the global caps itself; session evictions are
 	// broadcast so shard tables drop the same victim at the same stream
@@ -317,10 +328,10 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 }
 
 // newShardEngine builds one shard's private engine, with the router-owned
-// caps zeroed out (see Limits.shardLocal).
+// caps zeroed out (see shardLocalLimits).
 func (s *ShardedEngine) newShardEngine() *Engine {
 	wcfg := s.cfg
-	wcfg.Limits = wcfg.Limits.shardLocal()
+	wcfg.Limits = shardLocalLimits(s.correlators, wcfg.Limits)
 	return NewEngine(wcfg, s.opts...)
 }
 
@@ -395,8 +406,12 @@ func (s *ShardedEngine) ReplayCapture(r *capture.Reader) error {
 // evict exactly when the serial table would.
 func (s *ShardedEngine) expireLocked(at time.Duration) {
 	evicted := s.idx.expire(at, s.timeout, func(id string) { delete(s.sticky, id) })
-	if evicted > 0 && len(s.idx.sessions) == 0 {
-		s.seqs = make(map[netip.AddrPort]*seqTrack)
+	if evicted > 0 {
+		for _, c := range s.correlators {
+			if ex, ok := c.(expirer); ok {
+				ex.onExpire(at, len(s.idx.sessions))
+			}
+		}
 	}
 	for i := range s.workers {
 		s.appendItemLocked(i, shardItem{kind: itemExpire, at: at})
@@ -484,16 +499,21 @@ func (s *ShardedEngine) pruneFragsLocked(now time.Duration) {
 	}
 }
 
-// classifyLocked mirrors the distiller's port classification and computes
-// the routing key plus hints. ship=false means the serial engine would
-// produce no footprint for this datagram's port class.
+// classifyLocked computes the routing key plus hints for a datagram. The
+// protocol comes from the registered correlators' port claims — the same
+// claims the shards' distillers consult, so router and shard can never
+// disagree about a port's protocol. ship=false means no correlator
+// claimed the port, so the serial engine would produce no footprint.
 func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints, bool) {
-	srcPort, dstPort := src.Port(), dst.Port()
-	switch {
-	case dstPort == sip.DefaultPort || srcPort == sip.DefaultPort:
+	proto, claimed := claimPortOf(s.correlators, src.Port(), dst.Port())
+	if !claimed {
+		return "", RouteHints{}, false
+	}
+	switch proto {
+	case ProtoSIP:
 		key, hints := s.classifySIPLocked(at, src, dst, udpPayload)
 		return key, hints, true
-	case dstPort == accounting.DefaultPort:
+	case ProtoAccounting:
 		txn, err := accounting.ParseTxn(udpPayload)
 		if err != nil {
 			return "raw:" + dst.String(), RouteHints{}, true
@@ -503,11 +523,10 @@ func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort
 			s.idx.core(txn.CallID)
 		}
 		return txn.CallID, RouteHints{}, true
-	case dstPort >= defaultMediaPortFloor:
-		if dstPort%2 == 0 {
-			key, hints := s.classifyRTPLocked(at, src, dst, udpPayload)
-			return key, hints, true
-		}
+	case ProtoRTP:
+		key, hints := s.classifyRTPLocked(at, src, dst, udpPayload)
+		return key, hints, true
+	case ProtoRTCP:
 		key, hints := s.classifyRTCPLocked(at, src, dst, udpPayload)
 		return key, hints, true
 	default:
@@ -521,28 +540,14 @@ func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrP
 		return "raw:" + dst.String(), RouteHints{}
 	}
 	st, out := s.idx.applySIP(m, at, src)
+	// Hinter correlators judge the sighting against their router-owned
+	// state here, in arrival order, exactly as the serial correlators
+	// would (the im correlator's source-history verdict, for one).
 	var h RouteHints
-	isMessage := m.IsRequest() && out.fromToOK && m.Method == sip.MethodMessage
-	if isMessage {
-		// Judge the MESSAGE against the global source history here, in
-		// arrival order, exactly as the serial generator would.
-		aor := out.from.URI.AOR()
-		histKey := aor + "|" + dst.Addr().String()
-		rec, seen := s.ims[histKey]
-		switch {
-		case !seen || at-rec.at > s.gen.IMPeriod:
-			if !seen && s.cfg.Limits.MaxIMHistories > 0 && len(s.ims) >= s.cfg.Limits.MaxIMHistories {
-				if evictStalestIM(s.ims) != "" {
-					s.capIMs.Add(1)
-				}
-			}
-			s.ims[histKey] = imRecord{ip: src.Addr(), at: at}
-		case rec.ip != src.Addr():
-			h.IM = IMVerdict{Mismatch: true, PrevIP: rec.ip}
-		default:
-			s.ims[histKey] = imRecord{ip: src.Addr(), at: at}
+	for _, c := range s.correlators {
+		if sh, ok := c.(sipHinter); ok {
+			sh.sipHint(at, src, dst, m, out, &h)
 		}
-		h.HasIM = true
 	}
 	if out.regOK && out.bindingIP.IsValid() {
 		// Replicate the binding to every shard, ordered with the frame
@@ -552,19 +557,28 @@ func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrP
 		}
 	}
 	if out.established {
-		delete(s.seqs, st.callerMedia)
-		delete(s.seqs, st.calleeMedia)
+		for _, c := range s.correlators {
+			if o, ok := c.(establishObserver); ok {
+				o.onEstablished(st)
+			}
+		}
 	}
 	s.idx.touch(st.callID, at)
-	// Pin the routing key on the dialog's first sighting. MESSAGE dialogs
-	// route by the sender's IM session ("im:" + AOR) so that fake-IM rule
-	// state for one sender colocates across Call-IDs; everything else
-	// routes by Call-ID.
+	// Pin the routing key on the dialog's first sighting. A correlator
+	// with cross-dialog state overrides the default Call-ID key (the im
+	// correlator routes MESSAGE dialogs by "im:" + sender AOR, the
+	// options-scan correlator routes OPTIONS probes by source) so its
+	// state colocates on one shard across Call-IDs.
 	routeKey, ok := s.sticky[st.callID]
 	if !ok {
 		routeKey = st.callID
-		if isMessage {
-			routeKey = "im:" + out.from.URI.AOR()
+		for _, c := range s.correlators {
+			if rk, isKeyer := c.(sipRouteKeyer); isKeyer {
+				if k, claimed := rk.sipRouteKey(m, out, src); claimed {
+					routeKey = k
+					break
+				}
+			}
 		}
 		s.sticky[st.callID] = routeKey
 	}
@@ -586,29 +600,16 @@ func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrP
 	if session == "" {
 		session = "rtp:" + dst.String()
 	}
-	var v SeqVerdict
-	tr, ok := s.seqs[dst]
-	if !ok {
-		if s.cfg.Limits.MaxSeqTrackers > 0 && len(s.seqs) >= s.cfg.Limits.MaxSeqTrackers {
-			if evictStalestSeq(s.seqs) {
-				s.capSeqs.Add(1)
-			}
-		}
-		tr = &seqTrack{}
-		s.seqs[dst] = tr
-		v.NewFlow = true
-	}
-	if tr.primed {
-		v.Prev = tr.last
-		if d := rtp.SeqDiff(tr.last, pkt.Header.Seq); d > s.gen.SeqJumpThreshold || d < -s.gen.SeqJumpThreshold {
-			v.Jump = true
+	// The rtp correlator's router instance tracks continuity across all
+	// shards in global frame order and ships the verdict as a hint.
+	h := RouteHints{Session: session}
+	for _, c := range s.correlators {
+		if rh, ok := c.(rtpHinter); ok {
+			rh.rtpHint(at, dst, pkt.Header.Seq, &h)
 		}
 	}
-	tr.primed = true
-	tr.last = pkt.Header.Seq
-	tr.at = at
 	s.idx.touch(session, at)
-	return session, RouteHints{Session: session, HasSeq: true, Seq: v}
+	return session, h
 }
 
 func (s *ShardedEngine) classifyRTCPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
@@ -865,10 +866,16 @@ func (s *ShardedEngine) Stats() EngineStats {
 		FramesAfterClose:   int(s.framesAfterClose.Load()),
 		SessionsCapEvicted: int(s.capSessions.Load()),
 		FragGroupsEvicted:  int(s.capFrags.Load()),
-		IMHistoriesEvicted: int(s.capIMs.Load()),
-		SeqTrackersEvicted: int(s.capSeqs.Load()),
 		ShardsFailed:       int(s.shardsFailed.Load()),
 		ShardsRestarted:    int(s.shardsRestarted.Load()),
+	}
+	// Router-owned correlator caps (IM histories, sequence trackers, …)
+	// are enforced against the router's instances; their counters are
+	// atomics, so this read is lock-free.
+	for _, c := range s.correlators {
+		if b, ok := c.(budgeted); ok {
+			b.contributeStats(&st)
+		}
 	}
 	maxBind := 0
 	for _, w := range s.workers {

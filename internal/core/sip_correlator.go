@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"scidive/internal/sip"
+)
+
+// sipCorrelator correlates SIP signaling: dialog lifecycle events
+// (REGISTER/INVITE/BYE/establishment), malformed-message detection,
+// authentication abuse (401 floods, password guessing), and — on
+// establishment — the billing-fraud check that the negotiated caller
+// media matches the caller's registered location. Instant-message
+// correlation lives in the separate im correlator; the dialog state
+// transitions themselves happen in applySIP (via the dispatcher) so they
+// occur exactly once per sighting.
+type sipCorrelator struct {
+	cfg GenConfig
+}
+
+func newSIPCorrelator() *sipCorrelator { return &sipCorrelator{} }
+
+func (c *sipCorrelator) Name() string            { return "sip" }
+func (c *sipCorrelator) Protocols() []Protocol   { return []Protocol{ProtoSIP} }
+func (c *sipCorrelator) configure(cfg GenConfig) { c.cfg = cfg }
+
+// claimPort claims the SIP well-known port in either direction; signaling
+// is recognized by source too, so proxy replies classify correctly.
+func (c *sipCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
+	if srcPort == sip.DefaultPort || dstPort == sip.DefaultPort {
+		return ProtoSIP, true
+	}
+	return ProtoOther, false
+}
+
+func (c *sipCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
+	fp, ok := f.(*SIPFootprint)
+	if !ok {
+		return nil
+	}
+	var events []Event
+	m := fp.Msg
+	st, out := ctx.SIP()
+
+	if len(fp.Malformed) > 0 && !st.badFormat {
+		st.badFormat = true
+		events = append(events, Event{
+			At: fp.At, Type: EvSIPBadFormat, Session: st.callID,
+			Detail: fmt.Sprintf("%v", fp.Malformed), Footprint: fp,
+		})
+	}
+	if m.IsRequest() {
+		events = append(events, c.requestEvents(fp, st, out)...)
+	} else {
+		events = append(events, c.responseEvents(fp, st, out, ctx)...)
+	}
+	return events
+}
+
+func (c *sipCorrelator) requestEvents(fp *SIPFootprint, st *sessionState, out sipOutcome) []Event {
+	var events []Event
+	if !out.fromToOK {
+		return events
+	}
+	m := fp.Msg
+	switch m.Method {
+	case sip.MethodRegister:
+		events = append(events, Event{At: fp.At, Type: EvSIPRegister, Session: st.callID,
+			Detail: out.to.URI.AOR(), Footprint: fp})
+		if authz := m.Headers.Get(sip.HdrAuthorization); authz != "" {
+			if creds, err := sip.ParseCredentials(authz); err == nil {
+				st.guessResponses[creds.Response] = struct{}{}
+				if len(st.guessResponses) >= c.cfg.GuessThreshold && !st.guessFired {
+					st.guessFired = true
+					events = append(events, Event{
+						At: fp.At, Type: EvPasswordGuessing, Session: st.callID,
+						Detail: fmt.Sprintf("%d distinct challenge responses for %s from %v",
+							len(st.guessResponses), out.to.URI.AOR(), fp.Src),
+						Footprint: fp,
+					})
+				}
+			}
+		}
+	case sip.MethodInvite:
+		if out.firstInvite {
+			events = append(events, Event{At: fp.At, Type: EvSIPInvite, Session: st.callID,
+				Detail: st.callerAOR + " -> " + st.calleeAOR, Footprint: fp})
+		}
+		if out.reinvite {
+			events = append(events, Event{At: fp.At, Type: EvSIPReinvite, Session: st.callID,
+				Detail: fmt.Sprintf("%s moving media from %v", out.reinviteMover, out.reinviteOld), Footprint: fp})
+		}
+	case sip.MethodBye:
+		if out.firstBye {
+			events = append(events, Event{At: fp.At, Type: EvSIPBye, Session: st.callID,
+				Detail: out.from.URI.AOR() + " hangs up", Footprint: fp})
+		}
+	}
+	return events
+}
+
+func (c *sipCorrelator) responseEvents(fp *SIPFootprint, st *sessionState, out sipOutcome, ctx *SessionContext) []Event {
+	var events []Event
+	if !out.cseqOK {
+		return events
+	}
+	m := fp.Msg
+	switch {
+	case m.StatusCode == sip.StatusUnauthorized:
+		st.challenges++
+		events = append(events, Event{At: fp.At, Type: EvSIPAuthChallenge, Session: st.callID,
+			Detail: fmt.Sprintf("challenge #%d", st.challenges), Footprint: fp})
+		if st.challenges >= c.cfg.AuthFloodThreshold && !st.floodFired {
+			st.floodFired = true
+			events = append(events, Event{
+				At: fp.At, Type: EvAuthFlood, Session: st.callID,
+				Detail:    fmt.Sprintf("%d unauthorized replies in one session", st.challenges),
+				Footprint: fp,
+			})
+		}
+	case out.regOK:
+		if out.bindingIP.IsValid() {
+			ctx.SetBinding(out.regAOR, out.bindingIP)
+		}
+		events = append(events, Event{At: fp.At, Type: EvSIPRegisterOK, Session: st.callID,
+			Detail: out.regAOR, Footprint: fp})
+	case out.established:
+		events = append(events, Event{At: fp.At, Type: EvSIPCallEstablished, Session: st.callID,
+			Detail:    fmt.Sprintf("%s <-> %s media %v/%v", st.callerAOR, st.calleeAOR, st.callerMedia, st.calleeMedia),
+			Footprint: fp})
+		events = append(events, c.checkUnmatchedMedia(fp, st, ctx)...)
+	}
+	return events
+}
+
+// checkUnmatchedMedia verifies the negotiated caller media address against
+// the caller's registered location — the third condition of the billing
+// fraud rule (Section 3.2).
+func (c *sipCorrelator) checkUnmatchedMedia(fp *SIPFootprint, st *sessionState, ctx *SessionContext) []Event {
+	binding, ok := ctx.Binding(st.callerAOR)
+	if !ok || !st.callerMedia.IsValid() {
+		return nil
+	}
+	if st.callerMedia.Addr() == binding {
+		return nil
+	}
+	return []Event{{
+		At: fp.At, Type: EvRTPUnmatchedMedia, Session: st.callID,
+		Detail: fmt.Sprintf("caller %s registered at %v but negotiated media at %v",
+			st.callerAOR, binding, st.callerMedia),
+		Footprint: fp,
+	}}
+}

@@ -282,6 +282,26 @@ func RunBillingFraud(seed int64, taps ...netsim.Tap) (Outcome, error) {
 	return d.outcome("billing-fraud", attackAt, impact), nil
 }
 
+// RunOptionsScan runs the extension attack detected by the options-scan
+// correlator: one source probes many invented users with OPTIONS, each
+// under a fresh Call-ID, sweeping the proxy for capabilities. No single
+// dialog is suspicious; only the cross-dialog view raises the alert.
+func RunOptionsScan(seed int64, taps ...netsim.Tap) (Outcome, error) {
+	d, err := deploy(seed, scenario.Config{}, core.Config{}, taps...)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := d.tb.RegisterAll(); err != nil {
+		return Outcome{}, err
+	}
+	const probes = 8
+	attackAt := d.tb.Sim.Now()
+	d.tb.Attacker.OptionsScan(d.tb.Proxy.Addr(), scenario.AddrProxy.String(), probes, attack.FixedInterval(300*time.Millisecond))
+	d.tb.Run(5 * time.Second)
+	impact := fmt.Sprintf("%d capability probes swept the proxy across distinct dialogs", probes)
+	return d.outcome("options-scan", attackAt, impact), nil
+}
+
 // PhoneEventSummary renders a phone's event log (for example programs).
 func PhoneEventSummary(p *endpoint.Phone) string {
 	var b strings.Builder
@@ -294,7 +314,7 @@ func PhoneEventSummary(p *endpoint.Phone) string {
 // ScenarioNames lists the scenarios runnable via RunScenario.
 func ScenarioNames() []string {
 	return []string{"benign", "bye", "fakeim", "hijack", "rtp", "rtp-crash", "flood", "guess", "billing", "rtcpbye",
-		"inviteflood", "fragflood", "rtpblast"}
+		"inviteflood", "fragflood", "rtpblast", "optionsscan"}
 }
 
 // RunScenario dispatches a named scenario, attaching taps (e.g. a capture
@@ -327,6 +347,8 @@ func RunScenario(name string, seed int64, taps ...netsim.Tap) (Outcome, error) {
 		return RunFragmentFlood(seed, core.Config{}, taps...)
 	case "rtpblast":
 		return RunRTPBlast(seed, core.Config{}, taps...)
+	case "optionsscan":
+		return RunOptionsScan(seed, taps...)
 	default:
 		return Outcome{}, fmt.Errorf("experiments: unknown scenario %q (have %v)", name, ScenarioNames())
 	}
