@@ -7,10 +7,13 @@
 //	scidive -in bye.scap [-events] [-window 1s] [-direct] [-rules FILE] [-json] [-shards N]
 //	scidive -scenario bye [-seed 7] [-limits sessions=4096,frags=64] [-shed 5ms] [-stall 2s] [-restart-shards]
 //	scidive -scenario bye [-correlators sip,rtp,rtcp]   (subset of protocol correlators; -correlators help lists them)
+//	scidive -in bye.scap -checkpoint ids.ckpt [-checkpoint-every 1000]   (crash recovery: checkpoint detection state)
+//	scidive -in bye.scap -resume ids.ckpt   (restore state, skip the frames the checkpoint covers, keep replaying)
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +33,8 @@ import (
 type idsEngine interface {
 	HandleFrame(at time.Duration, frame []byte)
 	ReplayCapture(r *capture.Reader) error
+	Snapshot() ([]byte, error)
+	RestoreSnapshot(data []byte) error
 	Alerts() []core.Alert
 	Events() []core.Event
 	Stats() core.EngineStats
@@ -57,7 +62,10 @@ func run(args []string, out io.Writer) error {
 	limitsSpec := fs.String("limits", "", "state budget caps as k=v pairs: sessions,frags,ims,seqs,bindings,alerts,events (0 or absent = unbounded)")
 	shed := fs.Duration("shed", 0, "shed (never block) frames bound for a shard whose queue stays full this long; 0 blocks")
 	stall := fs.Duration("stall", 0, "quarantine a shard making no progress for this long (wall clock); 0 disables the watchdog")
-	restartShards := fs.Bool("restart-shards", false, "restart a panicked shard with fresh detection state instead of quarantining it")
+	restartShards := fs.Bool("restart-shards", false, "restart a panicked shard instead of quarantining it: warm from the last checkpoint when one exists, else cold (raises shard-state-loss)")
+	checkpointPath := fs.String("checkpoint", "", "write the detection state to this file when the run ends (atomic temp+rename)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "with -checkpoint, also checkpoint after every N processed frames (0 = only at the end)")
+	resumePath := fs.String("resume", "", "restore detection state from a checkpoint before replaying; the frames it covers are skipped")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +82,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *direct && *shards > 1 {
 		return fmt.Errorf("-direct is a serial-engine ablation; use -shards 1")
+	}
+	if *checkpointEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be non-negative")
+	}
+	if *checkpointEvery > 0 && *checkpointPath == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint")
+	}
+	if *direct && (*checkpointPath != "" || *resumePath != "") {
+		return fmt.Errorf("-direct cannot be checkpointed or resumed: the direct-matching ablation rereads raw trail contents that checkpoints drop")
 	}
 	var rules []core.Rule
 	if *rulesPath != "" {
@@ -126,14 +143,75 @@ func run(args []string, out io.Writer) error {
 		sessionCount = func() (int, int) { return serial.Trails().Sessions(), serial.Trails().Trails() }
 		eng = serial
 	}
+	var resumeSkip uint64
+	if *resumePath != "" {
+		data, err := os.ReadFile(*resumePath)
+		if err != nil {
+			return err
+		}
+		info, err := core.PeekSnapshotInfo(data)
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", *resumePath, err)
+		}
+		if err := eng.RestoreSnapshot(data); err != nil {
+			return fmt.Errorf("resume %s: %w", *resumePath, err)
+		}
+		resumeSkip = info.Frames
+		fmt.Fprintf(out, "resumed from %s: skipping %d frames the checkpoint covers\n", *resumePath, resumeSkip)
+	}
+	writeCkpt := func() error {
+		snap, err := eng.Snapshot()
+		if err != nil {
+			return err
+		}
+		return core.WriteCheckpoint(*checkpointPath, snap)
+	}
+	// deliver skips the frames a resumed checkpoint already covers and
+	// cuts periodic checkpoints at exact frame boundaries.
+	var deliverErr error
+	skip, processed := resumeSkip, uint64(0)
+	deliver := func(at time.Duration, frame []byte) {
+		if deliverErr != nil {
+			return
+		}
+		if skip > 0 {
+			skip--
+			return
+		}
+		eng.HandleFrame(at, frame)
+		processed++
+		if *checkpointPath != "" && *checkpointEvery > 0 && processed%uint64(*checkpointEvery) == 0 {
+			deliverErr = writeCkpt()
+		}
+	}
 	if *scenarioName != "" {
-		outcome, err := experiments.RunScenario(*scenarioName, *seed, eng.HandleFrame)
+		outcome, err := experiments.RunScenario(*scenarioName, *seed, deliver)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "scenario %s: %s\n", *scenarioName, outcome.Impact)
+	} else if *checkpointPath != "" || *resumePath != "" {
+		rd := capture.NewReader(f)
+		for {
+			rec, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			deliver(rec.Time, rec.Frame)
+		}
 	} else if err := eng.ReplayCapture(capture.NewReader(f)); err != nil {
 		return err
+	}
+	if deliverErr != nil {
+		return deliverErr
+	}
+	if *checkpointPath != "" {
+		if err := writeCkpt(); err != nil {
+			return err
+		}
 	}
 
 	if *showEvents {

@@ -296,3 +296,195 @@ func TestLiveScenarioAndJSONOutput(t *testing.T) {
 		t.Error("unknown scenario accepted")
 	}
 }
+
+// writeSplitCaptures records one scenario into a truncated capture (the
+// frames before a crash) and a full capture (the whole trace a resumed
+// IDS replays from the start).
+func writeSplitCaptures(t *testing.T, name string, seed int64) (partial, full string) {
+	t.Helper()
+	var frames []capture.Record
+	if _, err := experiments.RunScenario(name, seed, func(at time.Duration, frame []byte) {
+		frames = append(frames, capture.Record{Time: at, Frame: append([]byte(nil), frame...)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeRecs := func(path string, recs []capture.Record) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		w := capture.NewWriter(f)
+		for _, r := range recs {
+			if err := w.WriteFrame(r.Time, r.Frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	partial = filepath.Join(dir, name+"-partial.scap")
+	full = filepath.Join(dir, name+"-full.scap")
+	writeRecs(partial, frames[:len(frames)/2])
+	writeRecs(full, frames)
+	return partial, full
+}
+
+// alertSection extracts everything from the alerts header on, so resumed
+// runs (which print an extra resume line up front) stay comparable.
+func alertSection(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "=== alerts ===")
+	if i < 0 {
+		t.Fatalf("no alerts section in output:\n%s", out)
+	}
+	return out[i:]
+}
+
+// TestCheckpointResumeCLI runs the crash-recovery walkthrough: process
+// half the capture with -checkpoint, die, then -resume over the full
+// capture. The resumed run must report exactly what an uninterrupted
+// run reports — serial and sharded alike.
+func TestCheckpointResumeCLI(t *testing.T) {
+	partial, full := writeSplitCaptures(t, "bye", 5)
+	for _, shardArgs := range [][]string{{"-shards", "1"}, {"-shards", "2"}} {
+		ckpt := filepath.Join(t.TempDir(), "ids.ckpt")
+		var first strings.Builder
+		args := append([]string{"-in", partial, "-checkpoint", ckpt}, shardArgs...)
+		if err := run(args, &first); err != nil {
+			t.Fatalf("checkpointing run %v: %v", shardArgs, err)
+		}
+		if _, err := os.Stat(ckpt); err != nil {
+			t.Fatalf("no checkpoint written: %v", err)
+		}
+
+		var resumed strings.Builder
+		args = append([]string{"-in", full, "-resume", ckpt}, shardArgs...)
+		if err := run(args, &resumed); err != nil {
+			t.Fatalf("resumed run %v: %v", shardArgs, err)
+		}
+		if !strings.Contains(resumed.String(), "resumed from") {
+			t.Errorf("resumed run did not report the resume:\n%s", resumed.String())
+		}
+
+		var uninterrupted strings.Builder
+		args = append([]string{"-in", full}, shardArgs...)
+		if err := run(args, &uninterrupted); err != nil {
+			t.Fatalf("uninterrupted run %v: %v", shardArgs, err)
+		}
+		got := alertSection(t, resumed.String())
+		want := alertSection(t, uninterrupted.String())
+		if got != want {
+			t.Errorf("resumed output %v diverged from uninterrupted:\n--- resumed ---\n%s--- uninterrupted ---\n%s",
+				shardArgs, got, want)
+		}
+		if !strings.Contains(got, "bye-attack") {
+			t.Errorf("resumed run missed the attack:\n%s", got)
+		}
+	}
+}
+
+// TestCheckpointEveryCLI checkpoints periodically; the last on-disk
+// checkpoint must cover the whole run, so resuming it and replaying the
+// same capture delivers zero new frames yet reports identical alerts.
+func TestCheckpointEveryCLI(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 5)
+	ckpt := filepath.Join(t.TempDir(), "ids.ckpt")
+	var first strings.Builder
+	if err := run([]string{"-in", path, "-shards", "2", "-checkpoint", ckpt, "-checkpoint-every", "5"}, &first); err != nil {
+		t.Fatalf("periodic checkpoint run: %v", err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := core.PeekSnapshotInfo(data)
+	if err != nil {
+		t.Fatalf("final checkpoint unreadable: %v", err)
+	}
+	if !info.Sharded || info.Shards != 2 || info.Frames == 0 {
+		t.Fatalf("final checkpoint header = %+v", info)
+	}
+	var resumed strings.Builder
+	if err := run([]string{"-in", path, "-shards", "2", "-resume", ckpt}, &resumed); err != nil {
+		t.Fatalf("resume of final checkpoint: %v", err)
+	}
+	if got, want := alertSection(t, resumed.String()), alertSection(t, first.String()); got != want {
+		t.Errorf("resume-at-end output diverged:\n--- resumed ---\n%s--- first ---\n%s", got, want)
+	}
+}
+
+// TestResumeMismatchCLI: resuming into a differently configured process
+// must fail with an error that names the mismatch.
+func TestResumeMismatchCLI(t *testing.T) {
+	partial, full := writeSplitCaptures(t, "bye", 5)
+	ckpt := filepath.Join(t.TempDir(), "ids.ckpt")
+	var buf strings.Builder
+	if err := run([]string{"-in", partial, "-shards", "2", "-checkpoint", ckpt}, &buf); err != nil {
+		t.Fatalf("checkpointing run: %v", err)
+	}
+	expectErr := func(args []string, wants ...string) {
+		t.Helper()
+		var out strings.Builder
+		err := run(args, &out)
+		if err == nil {
+			t.Errorf("run %v accepted a mismatched checkpoint", args)
+			return
+		}
+		for _, w := range wants {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("run %v error %q does not mention %q", args, err, w)
+			}
+		}
+	}
+	expectErr([]string{"-in", full, "-shards", "4", "-resume", ckpt}, "shard")
+	expectErr([]string{"-in", full, "-shards", "1", "-resume", ckpt}, "sharded engine", "serial")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-correlators", "sip,rtp"}, "correlator set")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-limits", "sessions=9"}, "config hash")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-window", "9s"}, "config hash")
+
+	// An edited ruleset is refused by its hash.
+	rulesFile := filepath.Join(t.TempDir(), "edited.rules")
+	edited := "rule custom-bye critical cross stateful {\n    seq sip-bye, rtp-after-bye\n}\n"
+	if err := os.WriteFile(rulesFile, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-rules", rulesFile}, "ruleset hash", "rules changed")
+
+	// Flag-combination errors surface before any engine runs.
+	expectErr([]string{"-in", full, "-checkpoint-every", "3"}, "-checkpoint-every requires -checkpoint")
+	expectErr([]string{"-in", full, "-direct", "-shards", "1", "-resume", ckpt}, "-direct")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", filepath.Join(t.TempDir(), "missing.ckpt")})
+
+	// A corrupt checkpoint file is rejected with the checksum error.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", bad}, "checksum")
+}
+
+// TestScenarioCheckpointResume covers the -scenario path: a live
+// scenario can checkpoint, and a second process can resume it with the
+// same scenario and seed.
+func TestScenarioCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ids.ckpt")
+	var first strings.Builder
+	if err := run([]string{"-scenario", "bye", "-seed", "4", "-shards", "2", "-checkpoint", ckpt}, &first); err != nil {
+		t.Fatalf("scenario checkpoint run: %v", err)
+	}
+	var resumed strings.Builder
+	if err := run([]string{"-scenario", "bye", "-seed", "4", "-shards", "2", "-resume", ckpt}, &resumed); err != nil {
+		t.Fatalf("scenario resume run: %v", err)
+	}
+	if got, want := alertSection(t, resumed.String()), alertSection(t, first.String()); got != want {
+		t.Errorf("scenario resume diverged:\n--- resumed ---\n%s--- first ---\n%s", got, want)
+	}
+}

@@ -75,6 +75,36 @@ func (si *ScriptedInjector) At(shard int, frame uint64) core.Fault {
 
 var _ core.FaultInjector = (*ScriptedInjector)(nil)
 
+// KillAt wraps a frame handler with an abrupt process death at the n-th
+// frame (0-based): the first n frames pass through, then onKill fires
+// exactly once and that frame plus everything after it is dropped on the
+// floor — the IDS saw nothing past the kill point, exactly like a
+// SIGKILL between two reads of the capture. onKill is where a test
+// checkpoints (or deliberately fails to checkpoint) the dying engine;
+// resuming is the caller's business, as it is for a real process.
+func KillAt(n int, onKill func(), next func(at time.Duration, frame []byte)) func(at time.Duration, frame []byte) {
+	var mu sync.Mutex
+	count := 0
+	killed := false
+	return func(at time.Duration, frame []byte) {
+		mu.Lock()
+		c := count
+		count++
+		fire := c >= n && !killed
+		if fire {
+			killed = true
+		}
+		mu.Unlock()
+		if c < n {
+			next(at, frame)
+			return
+		}
+		if fire {
+			onKill()
+		}
+	}
+}
+
 // CorruptingTap wraps a frame handler (e.g. Engine.HandleFrame) with a
 // deterministic corrupter: every n-th frame has one random byte flipped
 // before delivery. Decoders must treat the result as untrusted input —

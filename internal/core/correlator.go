@@ -110,6 +110,20 @@ type budgeted interface {
 	contributeStats(st *EngineStats)
 }
 
+// snapshotter correlators carry private state that must survive a process
+// restart, serialized through checkpoint/restore (snapshot.go). The
+// protocol is two-phase: snapshotState writes the state deterministically
+// (maps in sorted key order), and decodeState reads it back WITHOUT
+// mutating the correlator, returning an install closure. The engine runs
+// every install only after the whole snapshot has decoded cleanly, so a
+// corrupt checkpoint can never leave a correlator half-restored.
+// Correlators whose maps are aliased elsewhere (e.g. the RTP trackers the
+// generator exposes for inspection) must refill them in place.
+type snapshotter interface {
+	snapshotState(w *snapWriter)
+	decodeState(r *snapReader) (install func(), err error)
+}
+
 // expirer correlators hold state tied to the session table's lifetime and
 // are notified after every periodic expiry sweep that evicted something.
 type expirer interface {

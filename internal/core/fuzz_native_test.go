@@ -139,6 +139,90 @@ func FuzzShardedDivergence(f *testing.F) {
 	})
 }
 
+// fuzzSnapshotSeeds builds real checkpoints (serial and 2-shard) from
+// seed traffic so the fuzzer mutates valid formats, not just noise.
+func fuzzSnapshotSeeds(t testing.TB) [][]byte {
+	frames := fuzzSeedFrames(t)
+	serial := NewEngine(Config{}, WithEventLog())
+	at := time.Millisecond
+	for _, fr := range frames {
+		serial.HandleFrame(at, fr)
+		at += 3 * time.Millisecond
+	}
+	ss, err := serial.Snapshot()
+	if err != nil {
+		t.Fatalf("serial seed snapshot: %v", err)
+	}
+	sharded := NewShardedEngine(Config{}, 2, WithEventLog())
+	defer sharded.Close()
+	at = time.Millisecond
+	for _, fr := range frames {
+		sharded.HandleFrame(at, fr)
+		at += 3 * time.Millisecond
+	}
+	hs, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatalf("sharded seed snapshot: %v", err)
+	}
+	return [][]byte{ss, hs}
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes — seeded with genuine
+// checkpoints for the mutator to corrupt, truncate and bit-flip — to
+// both engines' restore paths. The contract under attack: decoding must
+// never panic, never allocate absurdly, and never partially restore — a
+// rejected checkpoint leaves the engine exactly as fresh as it was.
+func FuzzSnapshotDecode(f *testing.F) {
+	seeds := fuzzSnapshotSeeds(f)
+	for _, s := range seeds {
+		f.Add(s)
+		f.Add(s[:len(s)/2]) // truncation
+		f.Add(s[:len(s)-8]) // checksum sheared off
+		flip := append([]byte(nil), s...)
+		flip[len(flip)/3] ^= 0x10 // body bit-flip
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SCDV"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		serial := NewEngine(Config{}, WithEventLog())
+		if err := serial.RestoreSnapshot(data); err != nil {
+			if st := serial.Stats(); st != (EngineStats{}) {
+				t.Fatalf("rejected checkpoint left serial state behind: %+v", st)
+			}
+			if len(serial.Alerts()) != 0 || len(serial.Events()) != 0 {
+				t.Fatal("rejected checkpoint left alerts or events behind")
+			}
+		} else {
+			// Whatever restores must snapshot again deterministically and
+			// that snapshot must restore into another fresh engine.
+			again, err := serial.Snapshot()
+			if err != nil {
+				t.Fatalf("restored engine cannot snapshot: %v", err)
+			}
+			second := NewEngine(Config{}, WithEventLog())
+			if err := second.RestoreSnapshot(again); err != nil {
+				t.Fatalf("re-snapshot does not restore: %v", err)
+			}
+		}
+		// The engine stays usable either way.
+		serial.HandleFrame(time.Second, fuzzSeedFrames(t)[0])
+
+		sharded := NewShardedEngine(Config{}, 2, WithEventLog())
+		defer sharded.Close()
+		if err := sharded.RestoreSnapshot(data); err != nil {
+			if st := sharded.Stats(); st != (EngineStats{}) {
+				t.Fatalf("rejected checkpoint left sharded state behind: %+v", st)
+			}
+			if len(sharded.Alerts()) != 0 {
+				t.Fatal("rejected checkpoint left sharded alerts behind")
+			}
+		}
+		sharded.HandleFrame(time.Second, fuzzSeedFrames(t)[0])
+		sharded.Flush()
+	})
+}
+
 // FuzzParseRules exercises the rule DSL parser.
 func FuzzParseRules(f *testing.F) {
 	f.Add("rule x critical {\nseq sip-bye\n}\n")

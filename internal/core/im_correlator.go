@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -131,6 +132,45 @@ func (c *imCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) [
 type imRecord struct {
 	ip netip.Addr
 	at time.Duration
+}
+
+// snapshotState serializes the source histories in sorted key order.
+func (c *imCorrelator) snapshotState(w *snapWriter) {
+	keys := make([]string, 0, len(c.ims))
+	for k := range c.ims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		rec := c.ims[k]
+		w.str(k)
+		w.addr(rec.ip)
+		w.dur(rec.at)
+	}
+	w.u64(c.evicted.Load())
+}
+
+// decodeState decodes histories without touching the live map; the
+// returned closure installs them (in place — the map is shared).
+func (c *imCorrelator) decodeState(r *snapReader) (func(), error) {
+	n := r.count()
+	recs := make(map[string]imRecord, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.strv()
+		recs[k] = imRecord{ip: r.addrv(), at: r.dur()}
+	}
+	evicted := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return func() {
+		clear(c.ims)
+		for k, rec := range recs {
+			c.ims[k] = rec
+		}
+		c.evicted.Store(evicted)
+	}, nil
 }
 
 // evictStalestIM removes the least-recently-seen IM history entry (ties

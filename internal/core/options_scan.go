@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"scidive/internal/sip"
@@ -69,6 +70,62 @@ func (c *optionsScanCorrelator) onExpire(now time.Duration, sessionsRemaining in
 			delete(c.sources, src)
 		}
 	}
+}
+
+// snapshotState serializes the per-source sweep windows in source order,
+// each with its probed dialog set sorted.
+func (c *optionsScanCorrelator) snapshotState(w *snapWriter) {
+	srcs := make([]netip.Addr, 0, len(c.sources))
+	for src := range c.sources {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Compare(srcs[j]) < 0 })
+	w.u32(uint32(len(srcs)))
+	for _, src := range srcs {
+		r := c.sources[src]
+		w.addr(src)
+		w.dur(r.start)
+		w.dur(r.last)
+		w.bool(r.fired)
+		dialogs := make([]string, 0, len(r.dialogs))
+		for d := range r.dialogs {
+			dialogs = append(dialogs, d)
+		}
+		sort.Strings(dialogs)
+		w.u32(uint32(len(dialogs)))
+		for _, d := range dialogs {
+			w.str(d)
+		}
+	}
+}
+
+// decodeState decodes sweep windows; the returned closure installs them.
+func (c *optionsScanCorrelator) decodeState(r *snapReader) (func(), error) {
+	n := r.count()
+	recs := make(map[netip.Addr]*optionsScanRecord, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		src := r.addrv()
+		rec := &optionsScanRecord{
+			start:   r.dur(),
+			last:    r.dur(),
+			fired:   r.boolv(),
+			dialogs: make(map[string]struct{}),
+		}
+		nd := r.count()
+		for j := 0; j < nd && r.err == nil; j++ {
+			rec.dialogs[r.strv()] = struct{}{}
+		}
+		recs[src] = rec
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return func() {
+		clear(c.sources)
+		for src, rec := range recs {
+			c.sources[src] = rec
+		}
+	}, nil
 }
 
 func (c *optionsScanCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -217,6 +218,54 @@ type seqTrack struct {
 	last   uint16
 	primed bool
 	at     time.Duration // last packet toward this endpoint (LRU eviction)
+}
+
+// snapshotState serializes the continuity trackers in endpoint order.
+func (c *rtpCorrelator) snapshotState(w *snapWriter) {
+	keys := make([]netip.AddrPort, 0, len(c.seqs))
+	for k := range c.seqs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return seqLess(keys[i], keys[j]) })
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		tr := c.seqs[k]
+		w.addrPort(k)
+		w.u16(tr.last)
+		w.bool(tr.primed)
+		w.dur(tr.at)
+	}
+	w.u64(c.evicted.Load())
+}
+
+// decodeState decodes trackers without touching the live map; the returned
+// closure refills it in place (the generator aliases it via seqTrackers).
+func (c *rtpCorrelator) decodeState(r *snapReader) (func(), error) {
+	type entry struct {
+		key netip.AddrPort
+		tr  seqTrack
+	}
+	n := r.count()
+	entries := make([]entry, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		entries = append(entries, entry{
+			key: r.addrPortv(),
+			tr:  seqTrack{last: r.u16(), primed: r.boolv(), at: r.dur()},
+		})
+	}
+	evicted := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return func() {
+		clear(c.seqs)
+		for _, e := range entries {
+			tr := new(seqTrack)
+			*tr = e.tr
+			c.seqs[e.key] = tr
+		}
+		c.evicted.Store(evicted)
+	}, nil
 }
 
 // evictStalestSeq removes the sequence tracker with the oldest last

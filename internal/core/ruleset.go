@@ -25,6 +25,12 @@ const (
 	// RuleShardFailure fires when a shard worker panics or the watchdog
 	// finds it stalled past StallTimeout.
 	RuleShardFailure = "shard-failure"
+	// RuleShardStateLoss fires when RestartFailedShards restarts a shard
+	// with empty detection state because no checkpoint was available (or
+	// the cached one failed to decode): the shard is contained but blind —
+	// in-flight rule progress for its sessions is gone. A warm restart
+	// from a checkpoint does not raise it.
+	RuleShardStateLoss = "shard-state-loss"
 )
 
 // DefaultRuleset returns the rules for the paper's four demonstrated

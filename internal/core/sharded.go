@@ -154,6 +154,8 @@ const (
 	itemExpire
 	itemFlush
 	itemInspect
+	itemSnapshot
+	itemRestore
 )
 
 // shardItem is one unit of work on a shard's queue: a routed frame (or
@@ -170,6 +172,11 @@ type shardItem struct {
 	ip      netip.Addr
 	session string
 	ack     chan struct{}
+	// snap receives the worker's serialized state (itemSnapshot); restore
+	// carries decoded state to install (itemRestore). Both are checkpoint
+	// markers, acked like flush/inspect.
+	snap    *[]byte
+	restore *workerRestore
 }
 
 // Worker health states.
@@ -220,8 +227,13 @@ type shardWorker struct {
 	trimmedA  int // rule-engine alert evictions mirrored into alertTags
 	trimmedE  int // event-log evictions mirrored into eventTags
 	base      shardResults
-	pubVer    int // rules.version at last alert publish
-	pubEvict  int // engine EventsEvicted mirrored into pub
+	// lastEngineSnap is the engine-body blob from the most recent
+	// checkpoint (taken or restored), kept for warm restarts: when
+	// RestartFailedShards replaces a panicked engine, the fresh one is
+	// rehydrated from this instead of starting blind. Worker-private.
+	lastEngineSnap []byte
+	pubVer         int // rules.version at last alert publish
+	pubEvict       int // engine EventsEvicted mirrored into pub
 
 	resMu sync.Mutex
 	pub   shardResults
@@ -719,7 +731,7 @@ func shedItems(items []shardItem) (frames int, at time.Duration) {
 			if n := len(items[i].group); n > 0 {
 				at = items[i].group[n-1].at
 			}
-		case itemFlush, itemInspect:
+		case itemFlush, itemInspect, itemSnapshot, itemRestore:
 			close(items[i].ack)
 		}
 	}
@@ -1081,7 +1093,7 @@ func (w *shardWorker) run() {
 				w.shedFrames.Add(uint64(n))
 			}
 			if w.eng.cfg.Limits.RestartFailedShards {
-				w.restartEngine()
+				w.restartEngine(at)
 			} else {
 				w.state.Store(statePanicked)
 			}
@@ -1161,6 +1173,13 @@ func (w *shardWorker) runItem(it *shardItem) {
 	case itemInspect:
 		w.publish()
 		w.publishTrails()
+		close(it.ack)
+	case itemSnapshot:
+		w.publish()
+		*it.snap = w.snapshotWorker()
+		close(it.ack)
+	case itemRestore:
+		w.installRestore(it.restore)
 		close(it.ack)
 	}
 }
@@ -1259,8 +1278,12 @@ func (w *shardWorker) publishTrails() {
 
 // restartEngine folds the failed engine's published results into the
 // worker's base and starts a fresh pipeline (Limits.RestartFailedShards).
-// Prior detections survive; prior state does not.
-func (w *shardWorker) restartEngine() {
+// Prior detections survive. Detection state is rehydrated from the last
+// checkpoint when one is cached (warm restart: trails, sessions,
+// correlator state and partial-match progress as of the checkpoint — only
+// frames since it are lost); without a checkpoint the restart is cold and
+// a shard-state-loss self-alert records that the shard is running blind.
+func (w *shardWorker) restartEngine(at time.Duration) {
 	w.syncTags()
 	e := w.eng
 	w.base.stats = addStats(w.base.stats, e.Stats())
@@ -1273,6 +1296,17 @@ func (w *shardWorker) restartEngine() {
 	w.eng = w.owner.newShardEngine()
 	w.owner.wireWorker(w)
 	w.owner.shardsRestarted.Add(1)
+	warm := false
+	if len(w.lastEngineSnap) > 0 {
+		if snap, err := w.eng.decodeSnapBodyBytes(w.lastEngineSnap); err == nil {
+			w.eng.installSnap(snap, false)
+			warm = true
+		}
+	}
+	if !warm {
+		w.owner.raiseSelf(RuleShardStateLoss, fmt.Sprintf("shard:%d", w.id),
+			fmt.Sprintf("shard %d restarted with empty detection state (no checkpoint available); in-flight rule progress for its sessions is lost", w.id), at)
+	}
 	w.resMu.Lock()
 	w.pubVer = 0
 	w.pubEvict = 0

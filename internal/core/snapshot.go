@@ -1,0 +1,1162 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"scidive/internal/packet"
+)
+
+// This file implements deterministic checkpoint/restore for the stateful
+// detection pipeline. A snapshot is a versioned, self-describing byte
+// stream: a header binding the snapshot to the exact configuration that
+// produced it (config hash, ruleset hash, correlator list, engine kind and
+// shard count), a body holding every piece of accumulated detection state,
+// and a trailing checksum. Encoding is hand-rolled fixed-width big-endian
+// with every map walked in sorted key order, so the same engine state
+// always produces the same bytes (the snapshot-format golden test pins
+// this; gob was rejected because map iteration order leaks into its
+// output).
+//
+// Restore is strictly decode-validate-install: the entire body is decoded
+// into intermediate structures (correlator state included, via the
+// snapshotter capability's two-phase decode) and only if every section
+// decodes cleanly is any engine state mutated. A corrupt, truncated or
+// mismatched checkpoint therefore returns an error and leaves the engine
+// exactly as it was — never partially restored (FuzzSnapshotDecode holds
+// the decoder to this).
+
+const (
+	snapMagic   = "SCDV"
+	snapVersion = 1
+
+	snapKindSerial  = 0
+	snapKindSharded = 1
+)
+
+// --- deterministic writer/reader ---
+
+// snapWriter appends fixed-width big-endian fields to a buffer.
+type snapWriter struct {
+	buf []byte
+}
+
+func (w *snapWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *snapWriter) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *snapWriter) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *snapWriter) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *snapWriter) vint(v int)   { w.u64(uint64(int64(v))) }
+func (w *snapWriter) dur(d time.Duration) {
+	w.u64(uint64(int64(d)))
+}
+
+func (w *snapWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *snapWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *snapWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *snapWriter) bools(b []bool) {
+	w.u32(uint32(len(b)))
+	for _, v := range b {
+		w.bool(v)
+	}
+}
+
+func (w *snapWriter) addr(a netip.Addr) {
+	b, _ := a.MarshalBinary()
+	w.bytes(b)
+}
+
+func (w *snapWriter) addrPort(ap netip.AddrPort) {
+	b, _ := ap.MarshalBinary()
+	w.bytes(b)
+}
+
+// snapReader consumes a snapWriter's output with bounds checking. The
+// first failure sticks: every subsequent read returns a zero value, so
+// decoders can be written straight-line and check err once per section.
+type snapReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("core: snapshot truncated (need %d bytes at offset %d of %d)", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *snapReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *snapReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *snapReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *snapReader) vint() int          { return int(int64(r.u64())) }
+func (r *snapReader) dur() time.Duration { return time.Duration(int64(r.u64())) }
+func (r *snapReader) boolv() bool        { return r.u8() != 0 }
+func (r *snapReader) remaining() int     { return len(r.buf) - r.off }
+func (r *snapReader) done() bool         { return r.err == nil && r.off == len(r.buf) }
+
+// count reads a u32 element count and rejects counts that could not fit in
+// the remaining bytes, so a hostile length prefix cannot drive huge
+// allocations or long loops.
+func (r *snapReader) count() int {
+	n := int(r.u32())
+	if r.err == nil && n > r.remaining() {
+		r.fail("core: snapshot corrupt (count %d exceeds %d remaining bytes)", n, r.remaining())
+		return 0
+	}
+	return n
+}
+
+func (r *snapReader) bytesv() []byte {
+	n := r.count()
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *snapReader) strv() string {
+	n := r.count()
+	b := r.take(n)
+	return string(b)
+}
+
+func (r *snapReader) boolsv() []bool {
+	n := r.count()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]bool, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.boolv())
+	}
+	return out
+}
+
+func (r *snapReader) addrv() netip.Addr {
+	b := r.bytesv()
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if err := a.UnmarshalBinary(b); err != nil {
+		r.fail("core: snapshot corrupt (bad address: %v)", err)
+	}
+	return a
+}
+
+func (r *snapReader) addrPortv() netip.AddrPort {
+	b := r.bytesv()
+	if r.err != nil {
+		return netip.AddrPort{}
+	}
+	var ap netip.AddrPort
+	if err := ap.UnmarshalBinary(b); err != nil {
+		r.fail("core: snapshot corrupt (bad address:port: %v)", err)
+	}
+	return ap
+}
+
+// --- hashing ---
+
+// fnv64 is FNV-1a over a byte string.
+func fnv64(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+func fnv64String(s string) uint64 { return fnv64([]byte(s)) }
+
+// configFingerprint hashes every configuration knob that shapes detection
+// state, so a checkpoint can only be restored into an engine configured
+// exactly like the one that wrote it. The correlator selection and the
+// ruleset are bound separately (by name list and by rules hash) so their
+// mismatch errors can be specific.
+func configFingerprint(cfg Config, keepLog bool) uint64 {
+	g := cfg.Gen.withDefaults()
+	l := cfg.Limits
+	s := fmt.Sprintf(
+		"gen=%v/%v/%d/%d/%d/%v trail=%d timeout=%v limits=%d/%d/%d/%d/%d/%d/%d shed=%v stall=%v restart=%v keeplog=%v",
+		g.MonitorWindow, g.ReinviteGrace, g.SeqJumpThreshold, g.AuthFloodThreshold, g.GuessThreshold, g.IMPeriod,
+		cfg.MaxTrailLen, cfg.SessionTimeout,
+		l.MaxSessions, l.MaxFragGroups, l.MaxIMHistories, l.MaxSeqTrackers, l.MaxBindings,
+		l.MaxRetainedAlerts, l.MaxRetainedEvents,
+		l.ShedAfter, l.StallTimeout, l.RestartFailedShards, keepLog)
+	return fnv64String(s)
+}
+
+// rulesFingerprint hashes the canonical textual rendering of a ruleset.
+// Editing rules/default.rules (or passing a different -rules file) changes
+// this hash, which makes a stale checkpoint fail loudly at resume.
+func rulesFingerprint(rules []Rule) uint64 {
+	return fnv64String(FormatRules(rules))
+}
+
+func correlatorNames(correlators []Correlator) []string {
+	names := make([]string, len(correlators))
+	for i, c := range correlators {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// --- header ---
+
+// snapHeader binds a snapshot to the producing engine's identity.
+type snapHeader struct {
+	engineKind  uint8
+	shards      int
+	frames      uint64
+	configHash  uint64
+	rulesHash   uint64
+	correlators []string
+}
+
+func writeSnapHeader(w *snapWriter, h snapHeader) {
+	w.buf = append(w.buf, snapMagic...)
+	w.u8(snapVersion)
+	w.u8(h.engineKind)
+	w.u32(uint32(h.shards))
+	w.u64(h.frames)
+	w.u64(h.configHash)
+	w.u64(h.rulesHash)
+	w.u32(uint32(len(h.correlators)))
+	for _, name := range h.correlators {
+		w.str(name)
+	}
+}
+
+func readSnapHeader(r *snapReader) snapHeader {
+	var h snapHeader
+	magic := r.take(len(snapMagic))
+	if r.err != nil {
+		return h
+	}
+	if string(magic) != snapMagic {
+		r.fail("core: not a SCIDIVE checkpoint (bad magic %q)", magic)
+		return h
+	}
+	if v := r.u8(); r.err == nil && v != snapVersion {
+		r.fail("core: unsupported checkpoint format version %d (this build reads version %d)", v, snapVersion)
+		return h
+	}
+	h.engineKind = r.u8()
+	h.shards = int(r.u32())
+	h.frames = r.u64()
+	h.configHash = r.u64()
+	h.rulesHash = r.u64()
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		h.correlators = append(h.correlators, r.strv())
+	}
+	return h
+}
+
+// openSnapshot verifies the checksum and header framing of a snapshot and
+// returns the parsed header plus a reader positioned at the body.
+func openSnapshot(data []byte) (snapHeader, *snapReader, error) {
+	if len(data) < len(snapMagic)+8 {
+		return snapHeader{}, nil, fmt.Errorf("core: checkpoint truncated (%d bytes)", len(data))
+	}
+	sum := binary.BigEndian.Uint64(data[len(data)-8:])
+	if got := fnv64(data[:len(data)-8]); got != sum {
+		return snapHeader{}, nil, fmt.Errorf("core: checkpoint corrupt (checksum %016x, computed %016x)", sum, got)
+	}
+	r := &snapReader{buf: data[:len(data)-8]}
+	h := readSnapHeader(r)
+	if r.err != nil {
+		return snapHeader{}, nil, r.err
+	}
+	return h, r, nil
+}
+
+// validateSnapHeader checks a decoded header against the restoring
+// engine's identity. Every mismatch is a descriptive error naming both
+// sides, so a resume against the wrong configuration fails loudly.
+func validateSnapHeader(h, want snapHeader) error {
+	kindName := func(k uint8) string {
+		if k == snapKindSharded {
+			return "sharded"
+		}
+		return "serial"
+	}
+	if h.engineKind != want.engineKind {
+		return fmt.Errorf("core: checkpoint was written by the %s engine; cannot restore into the %s engine",
+			kindName(h.engineKind), kindName(want.engineKind))
+	}
+	if h.shards != want.shards {
+		return fmt.Errorf("core: checkpoint was written with %d shards; this engine runs %d (shard counts must match)",
+			h.shards, want.shards)
+	}
+	if len(h.correlators) != len(want.correlators) || strings.Join(h.correlators, ",") != strings.Join(want.correlators, ",") {
+		return fmt.Errorf("core: checkpoint correlator set [%s] does not match engine correlator set [%s]",
+			strings.Join(h.correlators, ", "), strings.Join(want.correlators, ", "))
+	}
+	if h.rulesHash != want.rulesHash {
+		return fmt.Errorf("core: checkpoint ruleset hash %016x does not match engine ruleset hash %016x (rules changed since the checkpoint)",
+			h.rulesHash, want.rulesHash)
+	}
+	if h.configHash != want.configHash {
+		return fmt.Errorf("core: checkpoint config hash %016x does not match engine config hash %016x (GenConfig, Limits, trail or timeout settings differ)",
+			h.configHash, want.configHash)
+	}
+	return nil
+}
+
+// SnapshotInfo is the peekable identity of a checkpoint, read without
+// decoding (or validating) the body.
+type SnapshotInfo struct {
+	// Sharded reports which engine kind wrote the checkpoint.
+	Sharded bool
+	// Shards is the writing engine's shard count (1 for serial).
+	Shards int
+	// Frames is how many frames the engine had processed at the
+	// checkpoint; a resuming replay skips this many frames.
+	Frames uint64
+}
+
+// PeekSnapshotInfo reads a checkpoint's header, verifying framing and
+// checksum but not configuration compatibility.
+func PeekSnapshotInfo(data []byte) (SnapshotInfo, error) {
+	h, _, err := openSnapshot(data)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Sharded: h.engineKind == snapKindSharded, Shards: h.shards, Frames: h.frames}, nil
+}
+
+// WriteCheckpoint atomically writes a snapshot to path: the bytes land in
+// a temporary file in the same directory, which is fsynced and renamed
+// over the target, so a crash mid-write can never leave a torn
+// checkpoint.
+func WriteCheckpoint(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// --- shared field codecs ---
+
+func writeEvent(w *snapWriter, ev Event) {
+	w.dur(ev.At)
+	w.vint(int(ev.Type))
+	w.str(ev.Session)
+	w.str(ev.Detail)
+}
+
+// readEvent decodes an event. The triggering footprint is deliberately
+// not checkpointed (it aliases decoded packet memory); restored events
+// carry a nil Footprint, which nothing downstream of the rule engine
+// reads.
+func readEvent(r *snapReader) Event {
+	return Event{At: r.dur(), Type: EventType(r.vint()), Session: r.strv(), Detail: r.strv()}
+}
+
+func writeEvents(w *snapWriter, evs []Event) {
+	w.u32(uint32(len(evs)))
+	for _, ev := range evs {
+		writeEvent(w, ev)
+	}
+}
+
+func readEvents(r *snapReader) []Event {
+	n := r.count()
+	out := make([]Event, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, readEvent(r))
+	}
+	return out
+}
+
+func writeAlert(w *snapWriter, a Alert) {
+	w.dur(a.At)
+	w.str(a.Rule)
+	w.vint(int(a.Severity))
+	w.str(a.Session)
+	w.str(a.Detail)
+	w.vint(a.Count)
+	writeEvents(w, a.Events)
+}
+
+func readAlert(r *snapReader) Alert {
+	return Alert{
+		At:       r.dur(),
+		Rule:     r.strv(),
+		Severity: Severity(r.vint()),
+		Session:  r.strv(),
+		Detail:   r.strv(),
+		Count:    r.vint(),
+		Events:   readEvents(r),
+	}
+}
+
+func writeAlerts(w *snapWriter, alerts []Alert) {
+	w.u32(uint32(len(alerts)))
+	for _, a := range alerts {
+		writeAlert(w, a)
+	}
+}
+
+func readAlerts(r *snapReader) []Alert {
+	n := r.count()
+	out := make([]Alert, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, readAlert(r))
+	}
+	return out
+}
+
+func writeEngineStats(w *snapWriter, st EngineStats) {
+	for _, v := range []int{
+		st.Frames, st.Footprints, st.Events, st.Alerts, st.SessionsEvicted,
+		st.FramesAfterClose, st.FramesShed, st.BatchesShed,
+		st.SessionsCapEvicted, st.FragGroupsEvicted, st.IMHistoriesEvicted,
+		st.SeqTrackersEvicted, st.BindingsEvicted, st.AlertsEvicted,
+		st.EventsEvicted, st.ShardsFailed, st.ShardsRestarted,
+	} {
+		w.vint(v)
+	}
+}
+
+func readEngineStats(r *snapReader) EngineStats {
+	var st EngineStats
+	for _, p := range []*int{
+		&st.Frames, &st.Footprints, &st.Events, &st.Alerts, &st.SessionsEvicted,
+		&st.FramesAfterClose, &st.FramesShed, &st.BatchesShed,
+		&st.SessionsCapEvicted, &st.FragGroupsEvicted, &st.IMHistoriesEvicted,
+		&st.SeqTrackersEvicted, &st.BindingsEvicted, &st.AlertsEvicted,
+		&st.EventsEvicted, &st.ShardsFailed, &st.ShardsRestarted,
+	} {
+		*p = r.vint()
+	}
+	return st
+}
+
+func writeDistillerStats(w *snapWriter, st DistillerStats) {
+	for _, v := range []int{st.Frames, st.Fragments, st.DecodeError, st.SIP, st.RTP, st.RTCP, st.Acct, st.Raw, st.Ignored} {
+		w.vint(v)
+	}
+}
+
+func readDistillerStats(r *snapReader) DistillerStats {
+	var st DistillerStats
+	for _, p := range []*int{&st.Frames, &st.Fragments, &st.DecodeError, &st.SIP, &st.RTP, &st.RTCP, &st.Acct, &st.Raw, &st.Ignored} {
+		*p = r.vint()
+	}
+	return st
+}
+
+// --- session index ---
+
+// sessionSnap is the decoded form of one sessionState.
+type sessionSnap struct {
+	st             sessionState
+	guessResponses []string
+}
+
+type indexSnap struct {
+	sessions   []sessionSnap
+	pendingReg [][2]string
+}
+
+func writeSessionIndex(w *snapWriter, x *sessionIndex) {
+	ids := make([]string, 0, len(x.sessions))
+	for id := range x.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		st := x.sessions[id]
+		w.str(st.callID)
+		w.dur(st.lastSeen)
+		w.bool(st.established)
+		w.str(st.callerAOR)
+		w.str(st.calleeAOR)
+		w.str(st.callerTag)
+		w.str(st.calleeTag)
+		w.addrPort(st.callerMedia)
+		w.addrPort(st.calleeMedia)
+		w.addr(st.inviteSrcIP)
+		w.bool(st.byeSeen)
+		w.dur(st.byeAt)
+		w.addrPort(st.byeFromMedia)
+		w.u32(st.lastReinviteSeq)
+		w.bool(st.reinviteSeen)
+		w.dur(st.reinviteAt)
+		w.addrPort(st.reinviteOldMedia)
+		w.bool(st.badFormat)
+		w.bool(st.acctStart)
+		w.bool(st.unmatchedOnce)
+		w.dur(st.rtcpByeAt)
+		w.bool(st.rtcpByePending)
+		w.bool(st.rtcpByeFired)
+		w.bool(st.isRegistration)
+		w.vint(st.challenges)
+		w.bool(st.floodFired)
+		guesses := make([]string, 0, len(st.guessResponses))
+		for g := range st.guessResponses {
+			guesses = append(guesses, g)
+		}
+		sort.Strings(guesses)
+		w.u32(uint32(len(guesses)))
+		for _, g := range guesses {
+			w.str(g)
+		}
+		w.bool(st.guessFired)
+	}
+	regs := make([]string, 0, len(x.pendingReg))
+	for id := range x.pendingReg {
+		regs = append(regs, id)
+	}
+	sort.Strings(regs)
+	w.u32(uint32(len(regs)))
+	for _, id := range regs {
+		w.str(id)
+		w.str(x.pendingReg[id])
+	}
+}
+
+func readSessionIndex(r *snapReader) indexSnap {
+	var snap indexSnap
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		var s sessionSnap
+		s.st.callID = r.strv()
+		s.st.lastSeen = r.dur()
+		s.st.established = r.boolv()
+		s.st.callerAOR = r.strv()
+		s.st.calleeAOR = r.strv()
+		s.st.callerTag = r.strv()
+		s.st.calleeTag = r.strv()
+		s.st.callerMedia = r.addrPortv()
+		s.st.calleeMedia = r.addrPortv()
+		s.st.inviteSrcIP = r.addrv()
+		s.st.byeSeen = r.boolv()
+		s.st.byeAt = r.dur()
+		s.st.byeFromMedia = r.addrPortv()
+		s.st.lastReinviteSeq = r.u32()
+		s.st.reinviteSeen = r.boolv()
+		s.st.reinviteAt = r.dur()
+		s.st.reinviteOldMedia = r.addrPortv()
+		s.st.badFormat = r.boolv()
+		s.st.acctStart = r.boolv()
+		s.st.unmatchedOnce = r.boolv()
+		s.st.rtcpByeAt = r.dur()
+		s.st.rtcpByePending = r.boolv()
+		s.st.rtcpByeFired = r.boolv()
+		s.st.isRegistration = r.boolv()
+		s.st.challenges = r.vint()
+		s.st.floodFired = r.boolv()
+		ng := r.count()
+		for j := 0; j < ng && r.err == nil; j++ {
+			s.guessResponses = append(s.guessResponses, r.strv())
+		}
+		s.st.guessFired = r.boolv()
+		snap.sessions = append(snap.sessions, s)
+	}
+	nr := r.count()
+	for i := 0; i < nr && r.err == nil; i++ {
+		id := r.strv()
+		aor := r.strv()
+		snap.pendingReg = append(snap.pendingReg, [2]string{id, aor})
+	}
+	return snap
+}
+
+// installSessionIndex replaces the index's contents in place (the maps are
+// aliased by the generator) and rebuilds the reverse media index when the
+// index maintains one.
+func installSessionIndex(x *sessionIndex, snap indexSnap) {
+	clear(x.sessions)
+	clear(x.pendingReg)
+	if x.byMedia != nil {
+		clear(x.byMedia)
+	}
+	for _, s := range snap.sessions {
+		st := new(sessionState)
+		*st = s.st
+		st.guessResponses = make(map[string]struct{}, len(s.guessResponses))
+		for _, g := range s.guessResponses {
+			st.guessResponses[g] = struct{}{}
+		}
+		x.sessions[st.callID] = st
+		x.indexMedia(st, st.callerMedia)
+		x.indexMedia(st, st.calleeMedia)
+	}
+	for _, reg := range snap.pendingReg {
+		x.pendingReg[reg[0]] = reg[1]
+	}
+}
+
+// --- reassembler ---
+
+func writeReassembly(w *snapWriter, reasm *packet.Reassembler) {
+	streams := reasm.ExportStreams()
+	w.u32(uint32(len(streams)))
+	for _, s := range streams {
+		w.addr(s.ID.Src)
+		w.addr(s.ID.Dst)
+		w.u8(s.ID.Proto)
+		w.u16(s.ID.ID)
+		w.bytes(s.Data)
+		w.bools(s.Have)
+		w.vint(s.TotalLen)
+		w.dur(s.First)
+	}
+	w.vint(reasm.CapacityEvicted())
+}
+
+func readReassembly(r *snapReader) ([]packet.FragStream, int) {
+	n := r.count()
+	var streams []packet.FragStream
+	for i := 0; i < n && r.err == nil; i++ {
+		streams = append(streams, packet.FragStream{
+			ID: packet.FragID{
+				Src:   r.addrv(),
+				Dst:   r.addrv(),
+				Proto: r.u8(),
+				ID:    r.u16(),
+			},
+			Data:     r.bytesv(),
+			Have:     r.boolsv(),
+			TotalLen: r.vint(),
+			First:    r.dur(),
+		})
+	}
+	return streams, r.vint()
+}
+
+// --- rule engine ---
+
+type partialSnap struct {
+	rule      string
+	session   string
+	startedAt time.Duration
+	events    []Event
+	next      int
+	matched   []bool
+	remaining int
+}
+
+type ruleSnap struct {
+	partials   []partialSnap
+	alerts     []Alert
+	dedupKeys  []string
+	dedupIdx   []int
+	dedupBase  int
+	evicted    int
+	version    int
+	eventsSeen int
+}
+
+func writeRuleEngine(w *snapWriter, re *RuleEngine) {
+	keys := make([]string, 0, len(re.partials))
+	for k, parts := range re.partials {
+		if len(parts) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		rule, session, _ := strings.Cut(k, "|")
+		w.str(rule)
+		w.str(session)
+		parts := re.partials[k]
+		w.u32(uint32(len(parts)))
+		for _, p := range parts {
+			w.dur(p.startedAt)
+			writeEvents(w, p.events)
+			w.vint(p.next)
+			w.bools(p.matched)
+			w.vint(p.remaining)
+		}
+	}
+	writeAlerts(w, re.alerts)
+	dk := make([]string, 0, len(re.dedup))
+	for k := range re.dedup {
+		dk = append(dk, k)
+	}
+	sort.Strings(dk)
+	w.u32(uint32(len(dk)))
+	for _, k := range dk {
+		w.str(k)
+		w.vint(re.dedup[k])
+	}
+	w.vint(re.dedupBase)
+	w.vint(re.evicted)
+	w.vint(re.version)
+	w.vint(re.EventsSeen)
+}
+
+// readRuleEngine decodes rule-matching state, validating partial-match
+// shapes against the target ruleset so a decoded snapshot can never index
+// out of a rule's step list.
+func readRuleEngine(r *snapReader, rules []Rule) ruleSnap {
+	var snap ruleSnap
+	nk := r.count()
+	for i := 0; i < nk && r.err == nil; i++ {
+		rule := r.strv()
+		session := r.strv()
+		target, known := RuleByName(rules, rule)
+		if r.err == nil && !known {
+			r.fail("core: snapshot references unknown rule %q (ruleset hash should have caught this)", rule)
+			break
+		}
+		np := r.count()
+		for j := 0; j < np && r.err == nil; j++ {
+			p := partialSnap{
+				rule:      rule,
+				session:   session,
+				startedAt: r.dur(),
+				events:    readEvents(r),
+				next:      r.vint(),
+				matched:   r.boolsv(),
+				remaining: r.vint(),
+			}
+			if r.err != nil {
+				break
+			}
+			steps := len(target.Steps)
+			if target.Unordered {
+				if len(p.matched) != steps || p.remaining < 1 || p.remaining > steps {
+					r.fail("core: snapshot corrupt (partial for rule %q has %d matched flags, remaining %d; rule has %d steps)",
+						rule, len(p.matched), p.remaining, steps)
+					break
+				}
+			} else if p.next < 1 || p.next >= steps {
+				r.fail("core: snapshot corrupt (partial for rule %q at step %d of %d)", rule, p.next, steps)
+				break
+			}
+			if len(p.events) > steps {
+				r.fail("core: snapshot corrupt (partial for rule %q holds %d events for %d steps)", rule, len(p.events), steps)
+				break
+			}
+			snap.partials = append(snap.partials, p)
+		}
+	}
+	snap.alerts = readAlerts(r)
+	nd := r.count()
+	for i := 0; i < nd && r.err == nil; i++ {
+		snap.dedupKeys = append(snap.dedupKeys, r.strv())
+		snap.dedupIdx = append(snap.dedupIdx, r.vint())
+	}
+	snap.dedupBase = r.vint()
+	snap.evicted = r.vint()
+	snap.version = r.vint()
+	snap.eventsSeen = r.vint()
+	if r.err == nil {
+		for i, k := range snap.dedupKeys {
+			idx := snap.dedupIdx[i] - snap.dedupBase
+			if idx < 0 || idx >= len(snap.alerts) {
+				r.fail("core: snapshot corrupt (dedup entry %q points at alert %d of %d)", k, idx, len(snap.alerts))
+				return snap
+			}
+			a := snap.alerts[idx]
+			if a.Rule+"|"+a.Session != k {
+				r.fail("core: snapshot corrupt (dedup entry %q points at alert for %q)", k, a.Rule+"|"+a.Session)
+				return snap
+			}
+		}
+	}
+	return snap
+}
+
+// installRuleEngine replaces rule-matching state. With outputs false only
+// the in-progress partial matches are restored (warm shard restart: the
+// failed engine's published alerts were already folded into the worker's
+// base, so restoring them here would double-count).
+func installRuleEngine(re *RuleEngine, snap ruleSnap, outputs bool) {
+	re.partials = make(map[string][]*partial)
+	for _, ps := range snap.partials {
+		key := ps.rule + "|" + ps.session
+		p := &partial{
+			startedAt: ps.startedAt,
+			events:    ps.events,
+			next:      ps.next,
+			matched:   ps.matched,
+			remaining: ps.remaining,
+		}
+		re.partials[key] = append(re.partials[key], p)
+	}
+	if !outputs {
+		return
+	}
+	re.alerts = snap.alerts
+	re.dedup = make(map[string]int, len(snap.dedupKeys))
+	for i, k := range snap.dedupKeys {
+		re.dedup[k] = snap.dedupIdx[i]
+	}
+	re.dedupBase = snap.dedupBase
+	re.evicted = snap.evicted
+	re.version = snap.version
+	re.EventsSeen = snap.eventsSeen
+}
+
+// --- engine body ---
+
+type trailSnap struct {
+	session string
+	proto   Protocol
+	length  int
+}
+
+// engineSnap is a fully decoded serial-engine body: nothing in it aliases
+// the engine, so decoding can fail at any point without touching state.
+type engineSnap struct {
+	stats           EngineStats
+	dstats          DistillerStats
+	streams         []packet.FragStream
+	reasmEvicted    int
+	trails          []trailSnap
+	index           indexSnap
+	bindings        []string
+	bindingIPs      []netip.Addr
+	bindingAges     []int
+	bindingClock    int
+	evictedSessions int
+	evictedBindings int
+	corrInstalls    []func()
+	rules           ruleSnap
+	events          []Event
+}
+
+// snapshotterNames lists the correlators that carry checkpointable private
+// state, in registry order.
+func snapshotters(correlators []Correlator) []Correlator {
+	var out []Correlator
+	for _, c := range correlators {
+		if _, ok := c.(snapshotter); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// writeCorrelators serializes every snapshotter correlator's private state
+// as a named, length-prefixed blob.
+func writeCorrelators(w *snapWriter, correlators []Correlator) {
+	snaps := snapshotters(correlators)
+	w.u32(uint32(len(snaps)))
+	for _, c := range snaps {
+		w.str(c.Name())
+		var cw snapWriter
+		c.(snapshotter).snapshotState(&cw)
+		w.bytes(cw.buf)
+	}
+}
+
+// readCorrelators decodes correlator blobs against the target correlator
+// set, returning install closures (two-phase: nothing mutates until every
+// section of the snapshot has decoded).
+func readCorrelators(r *snapReader, correlators []Correlator) []func() {
+	snaps := snapshotters(correlators)
+	n := r.count()
+	if r.err == nil && n != len(snaps) {
+		r.fail("core: snapshot holds %d correlator states; engine has %d stateful correlators", n, len(snaps))
+		return nil
+	}
+	var installs []func()
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.strv()
+		blob := r.bytesv()
+		if r.err != nil {
+			break
+		}
+		if name != snaps[i].Name() {
+			r.fail("core: snapshot correlator state %q does not match engine correlator %q", name, snaps[i].Name())
+			break
+		}
+		cr := &snapReader{buf: blob}
+		install, err := snaps[i].(snapshotter).decodeState(cr)
+		if err != nil {
+			r.fail("core: snapshot corrupt (correlator %s: %v)", name, err)
+			break
+		}
+		if !cr.done() {
+			r.fail("core: snapshot corrupt (correlator %s: %d trailing bytes)", name, cr.remaining())
+			break
+		}
+		installs = append(installs, install)
+	}
+	return installs
+}
+
+// writeSnapBody serializes the serial engine's full pipeline state. The
+// sharded engine reuses this per shard.
+func (e *Engine) writeSnapBody(w *snapWriter) {
+	writeEngineStats(w, e.stats)
+	writeDistillerStats(w, e.distiller.stats)
+	writeReassembly(w, e.distiller.reasm)
+	keys := make([]trailKey, 0, len(e.trails.trails))
+	for k := range e.trails.trails {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].session != keys[j].session {
+			return keys[i].session < keys[j].session
+		}
+		return keys[i].proto < keys[j].proto
+	})
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k.session)
+		w.vint(int(k.proto))
+		w.vint(e.trails.trails[k].Len())
+	}
+	writeSessionIndex(w, e.gen.idx)
+	ctx := e.gen.ctx
+	aors := make([]string, 0, len(ctx.bindings))
+	for aor := range ctx.bindings {
+		aors = append(aors, aor)
+	}
+	sort.Strings(aors)
+	w.u32(uint32(len(aors)))
+	for _, aor := range aors {
+		w.str(aor)
+		w.addr(ctx.bindings[aor])
+		w.vint(ctx.bindingAge[aor])
+	}
+	w.vint(ctx.bindingClock)
+	w.vint(ctx.evictedSessions)
+	w.vint(ctx.evictedBindings)
+	writeCorrelators(w, e.gen.correlators)
+	writeRuleEngine(w, e.rules)
+	writeEvents(w, e.events)
+}
+
+// decodeSnapBody decodes a serial-engine body into an engineSnap without
+// mutating the engine. The engine is consulted only for its correlator
+// instances and ruleset (shape validation and install-closure targets).
+func (e *Engine) decodeSnapBody(r *snapReader) (*engineSnap, error) {
+	snap := &engineSnap{}
+	snap.stats = readEngineStats(r)
+	snap.dstats = readDistillerStats(r)
+	snap.streams, snap.reasmEvicted = readReassembly(r)
+	nt := r.count()
+	for i := 0; i < nt && r.err == nil; i++ {
+		snap.trails = append(snap.trails, trailSnap{
+			session: r.strv(),
+			proto:   Protocol(r.vint()),
+			length:  r.vint(),
+		})
+	}
+	snap.index = readSessionIndex(r)
+	nb := r.count()
+	for i := 0; i < nb && r.err == nil; i++ {
+		snap.bindings = append(snap.bindings, r.strv())
+		snap.bindingIPs = append(snap.bindingIPs, r.addrv())
+		snap.bindingAges = append(snap.bindingAges, r.vint())
+	}
+	snap.bindingClock = r.vint()
+	snap.evictedSessions = r.vint()
+	snap.evictedBindings = r.vint()
+	snap.corrInstalls = readCorrelators(r, e.gen.correlators)
+	snap.rules = readRuleEngine(r, e.rules.rules)
+	snap.events = readEvents(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return snap, nil
+}
+
+// decodeSnapBodyBytes decodes a standalone engine-body blob (warm shard
+// restarts keep these in memory between checkpoints).
+func (e *Engine) decodeSnapBodyBytes(blob []byte) (*engineSnap, error) {
+	r := &snapReader{buf: blob}
+	snap, err := e.decodeSnapBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("core: snapshot corrupt (%d trailing bytes in engine body)", r.remaining())
+	}
+	return snap, nil
+}
+
+// installSnap installs a fully decoded body. With outputs true everything
+// is restored (process resume); with outputs false only detection state is
+// restored — stats, retained alerts/events, dedup suppression and the
+// rule-engine version stay fresh, which is what a warm shard restart needs
+// because the failed engine's outputs were already folded into the
+// worker's base.
+func (e *Engine) installSnap(snap *engineSnap, outputs bool) {
+	if outputs {
+		e.stats = snap.stats
+		e.distiller.stats = snap.dstats
+		e.distiller.reasm.ImportStreams(snap.streams, snap.reasmEvicted)
+	} else {
+		e.distiller.reasm.ImportStreams(snap.streams, 0)
+	}
+	clear(e.trails.trails)
+	for _, t := range snap.trails {
+		e.trails.trails[trailKey{session: t.session, proto: t.proto}] = &Trail{
+			Session:  t.session,
+			Protocol: t.proto,
+			maxLen:   e.trails.MaxTrailLen,
+			restored: t.length,
+		}
+	}
+	installSessionIndex(e.gen.idx, snap.index)
+	ctx := e.gen.ctx
+	clear(ctx.bindings)
+	clear(ctx.bindingAge)
+	for i, aor := range snap.bindings {
+		ctx.bindings[aor] = snap.bindingIPs[i]
+		ctx.bindingAge[aor] = snap.bindingAges[i]
+	}
+	ctx.bindingClock = snap.bindingClock
+	if outputs {
+		ctx.evictedSessions = snap.evictedSessions
+		ctx.evictedBindings = snap.evictedBindings
+	}
+	for _, install := range snap.corrInstalls {
+		install()
+	}
+	installRuleEngine(e.rules, snap.rules, outputs)
+	if outputs {
+		e.events = snap.events
+	}
+}
+
+// header returns the serial engine's snapshot identity.
+func (e *Engine) header() snapHeader {
+	return snapHeader{
+		engineKind:  snapKindSerial,
+		shards:      1,
+		frames:      uint64(e.stats.Frames),
+		configHash:  configFingerprint(e.cfg, e.keepLog),
+		rulesHash:   rulesFingerprint(e.rules.rules),
+		correlators: correlatorNames(e.gen.correlators),
+	}
+}
+
+// Snapshot serializes the engine's complete detection state into a
+// versioned, checksummed checkpoint. The DirectTrailMatching ablation is
+// not checkpointable: it re-reads raw trail contents, which snapshots
+// deliberately drop.
+func (e *Engine) Snapshot() ([]byte, error) {
+	if e.cfg.DirectTrailMatching {
+		return nil, fmt.Errorf("core: snapshot: the DirectTrailMatching ablation rereads raw trail contents and cannot be checkpointed")
+	}
+	var w snapWriter
+	writeSnapHeader(&w, e.header())
+	e.writeSnapBody(&w)
+	w.u64(fnv64(w.buf))
+	return w.buf, nil
+}
+
+// RestoreSnapshot rebuilds the engine's state from a checkpoint written by
+// Snapshot. The engine must be fresh (no frames processed) and configured
+// exactly as the writer was — engine kind, correlator set, ruleset and
+// config are all validated against the header, each mismatch yielding a
+// descriptive error. On any error the engine is left untouched.
+func (e *Engine) RestoreSnapshot(data []byte) error {
+	if e.cfg.DirectTrailMatching {
+		return fmt.Errorf("core: restore: the DirectTrailMatching ablation cannot be checkpointed")
+	}
+	if e.stats.Frames != 0 {
+		return fmt.Errorf("core: restore requires a fresh engine (this one already processed %d frames)", e.stats.Frames)
+	}
+	h, r, err := openSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if err := validateSnapHeader(h, e.header()); err != nil {
+		return err
+	}
+	snap, err := e.decodeSnapBody(r)
+	if err != nil {
+		return err
+	}
+	if !r.done() {
+		return fmt.Errorf("core: snapshot corrupt (%d trailing bytes)", r.remaining())
+	}
+	e.installSnap(snap, true)
+	return nil
+}

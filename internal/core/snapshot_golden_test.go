@@ -1,0 +1,172 @@
+package core_test
+
+// Snapshot-format golden tests: the exact checkpoint bytes a fixed
+// engine state serializes to, pinned under testdata/golden_snapshots.
+// The format is an on-disk contract — an operator's checkpoint written
+// before an upgrade must either restore cleanly or be refused loudly —
+// so an accidental encoding change must fail here first, not corrupt a
+// deployed checkpoint. Two properties are pinned per engine kind:
+//
+//  1. byte-identity: serializing the fixed state reproduces the golden
+//     file exactly (the deterministic sorted-key encoding is load-bearing);
+//  2. restorability: the committed golden file still restores into a
+//     freshly configured engine and resuming it reproduces the
+//     uninterrupted run.
+//
+// A deliberate format change bumps snapVersion and regenerates with:
+//
+//	go test ./internal/core -run TestSnapshotGolden -update
+//
+// and the diff is reviewed like any other behavior change.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scidive/internal/core"
+)
+
+// goldenSnapshotSpecs fixes the states being pinned: the bye scenario at
+// the golden seed, checkpointed mid-dialog (rule partials, dialog
+// machines, media bindings and RTP trackers all live), through the
+// serial engine and a 2-shard engine.
+const goldenSnapshotScenario = "bye"
+
+func goldenSnapshotPath(kind string) string {
+	return filepath.Join("testdata", "golden_snapshots", goldenSnapshotScenario+"_"+kind+".ckpt")
+}
+
+func goldenSnapshotState(t *testing.T) ([]rec, int) {
+	t.Helper()
+	frames := scenarioFrames(t, goldenSnapshotScenario, goldenSeed)
+	return frames, len(frames) / 2
+}
+
+// firstDiff returns the offset of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func checkGolden(t *testing.T, kind string, got []byte) {
+	t.Helper()
+	path := goldenSnapshotPath(kind)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden snapshot for %s (run with -update to record): %v", kind, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s checkpoint encoding changed: %d bytes (golden %d), first difference at offset %d\n"+
+			"a deliberate format change must bump snapVersion and regenerate with -update",
+			kind, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// TestSnapshotGoldenSerial pins the serial-engine checkpoint format.
+func TestSnapshotGoldenSerial(t *testing.T) {
+	frames, k := goldenSnapshotState(t)
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	for _, r := range frames[:k] {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	checkGolden(t, "serial", snap)
+}
+
+// TestSnapshotGoldenSharded pins the 2-shard checkpoint format.
+func TestSnapshotGoldenSharded(t *testing.T) {
+	frames, k := goldenSnapshotState(t)
+	eng := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	for _, r := range frames[:k] {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	snap, err := eng.Snapshot()
+	eng.Close()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	checkGolden(t, "sharded2", snap)
+}
+
+// TestSnapshotGoldenRestores proves the committed golden files — stand-ins
+// for checkpoints on an operator's disk — still restore and resume to the
+// uninterrupted run's exact output. Breaking this without a version bump
+// is the corruption scenario the golden files exist to prevent.
+func TestSnapshotGoldenRestores(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating goldens")
+	}
+	frames, k := goldenSnapshotState(t)
+
+	serialData, err := os.ReadFile(goldenSnapshotPath("serial"))
+	if err != nil {
+		t.Fatalf("no serial golden (run with -update to record): %v", err)
+	}
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	if err := eng.RestoreSnapshot(serialData); err != nil {
+		t.Fatalf("committed serial golden no longer restores: %v", err)
+	}
+	for _, r := range frames[k:] {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	compareToBaseline(t, "serial golden resume", eng.Alerts(), eng.Events(), eng.Stats(),
+		wantAlerts, wantEvents, wantStats)
+
+	shardedData, err := os.ReadFile(goldenSnapshotPath("sharded2"))
+	if err != nil {
+		t.Fatalf("no sharded golden (run with -update to record): %v", err)
+	}
+	wantA, wantE, wantS := runShardedCfg(frames, 2, core.Config{})
+	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh.Close()
+	if err := sh.RestoreSnapshot(shardedData); err != nil {
+		t.Fatalf("committed sharded golden no longer restores: %v", err)
+	}
+	for _, r := range frames[k:] {
+		sh.HandleFrame(r.at, r.frame)
+	}
+	sh.Flush()
+	compareToBaseline(t, "sharded golden resume", sh.Alerts(), sh.Events(), sh.Stats(),
+		wantA, wantE, wantS)
+}
+
+// TestSnapshotGoldenHeader pins the literal framing constants a reader of
+// any version must agree on: magic and version byte.
+func TestSnapshotGoldenHeader(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating goldens")
+	}
+	for _, kind := range []string{"serial", "sharded2"} {
+		data, err := os.ReadFile(goldenSnapshotPath(kind))
+		if err != nil {
+			t.Fatalf("no %s golden: %v", kind, err)
+		}
+		if len(data) < 5 || string(data[:4]) != "SCDV" {
+			t.Errorf("%s golden does not start with the SCDV magic", kind)
+			continue
+		}
+		if data[4] != 1 {
+			t.Errorf("%s golden has version %d; goldens must be regenerated when snapVersion bumps", kind, data[4])
+		}
+	}
+}

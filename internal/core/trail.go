@@ -17,20 +17,34 @@ type Trail struct {
 
 	footprints []Footprint
 	maxLen     int
+	// restored counts footprints that existed before a checkpoint restore.
+	// Their bytes are deliberately not checkpointed (the event layer never
+	// rereads trail contents); only the length survives, so Len and the
+	// eviction bound behave as if they were still present.
+	restored int
 }
 
 // Append adds a footprint, evicting the oldest when the trail exceeds its
-// bound (memory is the practical limit the paper notes).
+// bound (memory is the practical limit the paper notes). Restored phantom
+// entries are older than every real one, so they evict first.
 func (t *Trail) Append(f Footprint) {
 	t.footprints = append(t.footprints, f)
-	if t.maxLen > 0 && len(t.footprints) > t.maxLen {
-		n := copy(t.footprints, t.footprints[len(t.footprints)-t.maxLen:])
-		t.footprints = t.footprints[:n]
+	if t.maxLen > 0 && t.restored+len(t.footprints) > t.maxLen {
+		over := t.restored + len(t.footprints) - t.maxLen
+		if drop := min(over, t.restored); drop > 0 {
+			t.restored -= drop
+			over -= drop
+		}
+		if over > 0 {
+			n := copy(t.footprints, t.footprints[over:])
+			t.footprints = t.footprints[:n]
+		}
 	}
 }
 
-// Len returns the number of retained footprints.
-func (t *Trail) Len() int { return len(t.footprints) }
+// Len returns the number of retained footprints (including restored
+// phantom entries whose bytes were dropped at the last checkpoint).
+func (t *Trail) Len() int { return t.restored + len(t.footprints) }
 
 // Footprints returns the retained footprints in arrival order. The
 // returned slice is shared; callers must not mutate it.

@@ -257,3 +257,42 @@ func TestRTCPByeSpoofExtension(t *testing.T) {
 		t.Errorf("impact = %q", o.Impact)
 	}
 }
+
+// TestRestartLoss pins the experiment's claim: every mid-dialog IDS
+// death makes the cold restart miss the BYE attack, and every one of
+// them is recovered by resuming from the kill-point checkpoint.
+func TestRestartLoss(t *testing.T) {
+	res, err := RunRestartLoss(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BaselineDetected {
+		t.Fatal("uninterrupted baseline missed the bye attack")
+	}
+	if len(res.KillPoints) != 8 {
+		t.Fatalf("got %d kill points, want 8", len(res.KillPoints))
+	}
+	for _, kp := range res.KillPoints {
+		if kp.At >= res.AttackAt {
+			t.Errorf("kill point at %v is not before the attack at %v", kp.At, res.AttackAt)
+		}
+		if kp.Resumed == false {
+			t.Errorf("resumed restart at frame %d missed the attack", kp.Frame)
+		}
+	}
+	if res.ResumedMissed != 0 {
+		t.Errorf("resumed restarts missed %d alarms, want 0", res.ResumedMissed)
+	}
+	// The dialog arms early (INVITE/200); once armed, a cold restart
+	// forgets it and the attack goes unseen. At least the later kill
+	// points (established dialog) must demonstrate the miss.
+	if res.ColdMissed == 0 {
+		t.Error("no cold restart missed the attack; the experiment demonstrates nothing")
+	}
+	text := FormatRestartLoss(res)
+	for _, want := range []string{"Restart loss", "cold restart", "missed alarms:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// The restart-loss experiment quantifies what checkpoint/restore buys:
+// an IDS process that dies mid-dialog forgets the SIP state its rules
+// were armed with, so a stateful cross-protocol attack completed after
+// the restart is missed. It is the operational companion to the paper's
+// Section 4.3 Pm analysis — there the missed-alarm probability comes
+// from packet loss inside the monitoring window; here it comes from the
+// detector losing its own memory, and a checkpoint eliminates it.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scidive/internal/core"
+)
+
+// RestartKillPoint is one simulated IDS death during the BYE-attack
+// dialog: the process dies after Frame, restarts, and replays the rest
+// of the capture either cold (no checkpoint) or resumed (restored from
+// a checkpoint taken at the instant of death).
+type RestartKillPoint struct {
+	Frame   int           // last frame the dying process saw
+	At      time.Duration // virtual time of the death
+	Cold    bool          // bye-attack detected after a cold restart
+	Resumed bool          // bye-attack detected after a checkpoint resume
+}
+
+// RestartLossResult is the outcome of the restart-loss experiment.
+type RestartLossResult struct {
+	Scenario         string
+	TotalFrames      int
+	AttackAt         time.Duration // when the forged BYE hits the wire
+	BaselineDetected bool          // uninterrupted run detects the attack
+	KillPoints       []RestartKillPoint
+	ColdMissed       int // kill points where the cold restart misses
+	ResumedMissed    int // kill points where the resumed restart misses
+}
+
+// RunRestartLoss records the Figure 5 BYE attack, then replays it
+// through an IDS that is killed at a sweep of points inside the dialog
+// — after the INVITE armed the bye-attack rule, before the forged BYE
+// completes it. Each death is replayed twice: a cold restart (detection
+// state gone) and a -resume restart (state restored from a checkpoint
+// written at the kill point).
+func RunRestartLoss(seed int64, points int) (RestartLossResult, error) {
+	if points <= 0 {
+		points = 8
+	}
+	var frames []struct {
+		at    time.Duration
+		frame []byte
+	}
+	tap := func(at time.Duration, frame []byte) {
+		frames = append(frames, struct {
+			at    time.Duration
+			frame []byte
+		}{at, append([]byte(nil), frame...)})
+	}
+	o, err := RunByeAttack(seed, core.Config{}, tap)
+	if err != nil {
+		return RestartLossResult{}, err
+	}
+	if !o.Detected {
+		return RestartLossResult{}, fmt.Errorf("experiments: restartloss needs a detectable bye attack, got %s", o)
+	}
+	// The attack instant, recovered from the testbed outcome: the first
+	// firing alert minus its detection delay.
+	attackAt := o.Alerts[0].At - o.DetectDelay
+	res := RestartLossResult{
+		Scenario:    "bye",
+		TotalFrames: len(frames),
+		AttackAt:    attackAt,
+	}
+
+	detects := func(alerts []core.Alert) bool {
+		for _, a := range alerts {
+			if a.Rule == core.RuleByeAttack {
+				return true
+			}
+		}
+		return false
+	}
+	baseline := core.NewEngine(core.Config{})
+	for _, r := range frames {
+		baseline.HandleFrame(r.at, r.frame)
+	}
+	res.BaselineDetected = detects(baseline.Alerts())
+
+	// Kill points sweep the window the paper's Pm analysis cares about:
+	// the dialog is armed (INVITE seen) but the attack has not landed.
+	preAttack := 0
+	for i, r := range frames {
+		if r.at < attackAt {
+			preAttack = i
+		}
+	}
+	for p := 1; p <= points; p++ {
+		k := preAttack * p / (points + 1)
+		if k < 1 {
+			k = 1
+		}
+		dying := core.NewEngine(core.Config{})
+		for _, r := range frames[:k] {
+			dying.HandleFrame(r.at, r.frame)
+		}
+		ckpt, err := dying.Snapshot()
+		if err != nil {
+			return res, err
+		}
+
+		cold := core.NewEngine(core.Config{})
+		for _, r := range frames[k:] {
+			cold.HandleFrame(r.at, r.frame)
+		}
+		resumed := core.NewEngine(core.Config{})
+		if err := resumed.RestoreSnapshot(ckpt); err != nil {
+			return res, err
+		}
+		for _, r := range frames[k:] {
+			resumed.HandleFrame(r.at, r.frame)
+		}
+
+		kp := RestartKillPoint{
+			Frame:   k,
+			At:      frames[k-1].at,
+			Cold:    detects(cold.Alerts()),
+			Resumed: detects(resumed.Alerts()),
+		}
+		if !kp.Cold {
+			res.ColdMissed++
+		}
+		if !kp.Resumed {
+			res.ResumedMissed++
+		}
+		res.KillPoints = append(res.KillPoints, kp)
+	}
+	return res, nil
+}
+
+// FormatRestartLoss renders the experiment as a report table.
+func FormatRestartLoss(r RestartLossResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Restart loss (BYE attack, %d frames, forged BYE at %.3fs):\n",
+		r.TotalFrames, r.AttackAt.Seconds())
+	fmt.Fprintf(&b, "uninterrupted IDS: detected=%s\n", yesNo(r.BaselineDetected))
+	fmt.Fprintf(&b, "%-12s %-10s %-14s %s\n", "kill frame", "kill at", "cold restart", "resumed restart")
+	for _, kp := range r.KillPoints {
+		fmt.Fprintf(&b, "%-12d %-10s %-14s %s\n",
+			kp.Frame, fmt.Sprintf("%.3fs", kp.At.Seconds()), detStr(kp.Cold), detStr(kp.Resumed))
+	}
+	n := len(r.KillPoints)
+	fmt.Fprintf(&b, "missed alarms: cold %d/%d, resumed %d/%d\n", r.ColdMissed, n, r.ResumedMissed, n)
+	return b.String()
+}
+
+func detStr(detected bool) string {
+	if detected {
+		return "DETECTED"
+	}
+	return "MISSED"
+}

@@ -3,6 +3,7 @@ package packet
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 )
 
@@ -183,4 +184,55 @@ func (r *Reassembler) Expire(now time.Duration) {
 			delete(r.bufs, k)
 		}
 	}
+}
+
+// FragStream is the exported state of one incomplete fragment stream, used
+// by checkpoint/restore to carry reassembly buffers across a process
+// restart.
+type FragStream struct {
+	ID       FragID
+	Data     []byte
+	Have     []bool
+	TotalLen int
+	First    time.Duration
+}
+
+// ExportStreams returns every incomplete stream in deterministic order
+// (the eviction tie-break order), with buffers copied so the caller may
+// retain them.
+func (r *Reassembler) ExportStreams() []FragStream {
+	keys := make([]fragKey, 0, len(r.bufs))
+	for k := range r.bufs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	out := make([]FragStream, len(keys))
+	for i, k := range keys {
+		fb := r.bufs[k]
+		out[i] = FragStream{
+			ID:       k.exported(),
+			Data:     append([]byte(nil), fb.data...),
+			Have:     append([]bool(nil), fb.have...),
+			TotalLen: fb.totalLen,
+			First:    fb.first,
+		}
+	}
+	return out
+}
+
+// ImportStreams replaces the incomplete-stream table with the given
+// exported streams (checkpoint restore). The capacity-eviction counter is
+// set to evicted so restored stats reconcile.
+func (r *Reassembler) ImportStreams(streams []FragStream, evicted int) {
+	clear(r.bufs)
+	for _, st := range streams {
+		k := fragKey{src: st.ID.Src, dst: st.ID.Dst, proto: st.ID.Proto, id: st.ID.ID}
+		r.bufs[k] = &fragBuf{
+			data:     append([]byte(nil), st.Data...),
+			have:     append([]bool(nil), st.Have...),
+			totalLen: st.TotalLen,
+			first:    st.First,
+		}
+	}
+	r.evicted = evicted
 }
