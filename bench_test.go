@@ -265,6 +265,102 @@ func BenchmarkEngine_RTPFrame(b *testing.B) {
 	}
 }
 
+// --- Hot-path steady state (see DESIGN.md "Memory model of the hot path") ---
+
+// buildUDPFrame builds one UDP frame carrying payload between fixed hosts.
+func buildUDPFrame(b *testing.B, srcPort, dstPort uint16, payload []byte) []byte {
+	b.Helper()
+	frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+		SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: mustAddr("10.0.0.1"), DstIP: mustAddr("10.0.0.2"),
+		SrcPort: srcPort, DstPort: dstPort, IPID: 1, Payload: payload,
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return frames[0]
+}
+
+// buildRTCPFrame builds one receiver-report frame (no BYE, so replaying
+// it generates no events).
+func buildRTCPFrame(b *testing.B) []byte {
+	b.Helper()
+	buf, err := rtp.MarshalCompound([]rtp.RTCPPacket{
+		&rtp.ReceiverReport{SSRC: 7, Reports: []rtp.ReportBlock{{SSRC: 9}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buildUDPFrame(b, 40001, 40001, buf)
+}
+
+// buildSIPFrame builds an in-dialog INVITE; after the first sighting every
+// replay is a retransmission that changes no dialog state.
+func buildSIPFrame(b *testing.B) []byte {
+	b.Helper()
+	from, err := sip.ParseAddress("<sip:alice@10.0.0.1>;tag=t1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := sip.ParseAddress("<sip:bob@10.0.0.2>")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:bob@10.0.0.2",
+		From:       from, To: to,
+		CallID: "steady@bench",
+		CSeq:   sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:    sip.Via{Transport: "UDP", SentBy: "10.0.0.1:5060", Params: map[string]string{"branch": "z9hG4bKb"}},
+	})
+	return buildUDPFrame(b, 5060, 5060, m.Marshal())
+}
+
+// benchHotPath measures the steady-state per-frame cost of a warmed
+// pipeline: the trail ring is saturated (appends overwrite in place) and
+// every pool, interner and session table is populated before the clock
+// starts. Run with -benchmem; RTP and RTCP must report 0 allocs/op, SIP
+// its documented budget (see internal/core/allocs_test.go).
+func benchHotPath(b *testing.B, feed func(at time.Duration, frame []byte), frame []byte) {
+	b.Helper()
+	at, step := time.Duration(0), 20*time.Millisecond
+	for i := 0; i < 5000; i++ { // past the 4096-entry trail bound
+		feed(at, frame)
+		at += step
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed(at, frame)
+		at += step
+	}
+}
+
+func BenchmarkHotPath_RTPFrame(b *testing.B) {
+	eng := core.NewEngine(core.Config{})
+	benchHotPath(b, eng.HandleFrame, buildRTPFrame(b))
+}
+
+func BenchmarkHotPath_RTCPFrame(b *testing.B) {
+	eng := core.NewEngine(core.Config{})
+	benchHotPath(b, eng.HandleFrame, buildRTCPFrame(b))
+}
+
+func BenchmarkHotPath_SIPFrame(b *testing.B) {
+	eng := core.NewEngine(core.Config{})
+	benchHotPath(b, eng.HandleFrame, buildSIPFrame(b))
+}
+
+// BenchmarkHotPath_ShardedRTPFrame is the sharded counterpart: router
+// classification plus batch shipping to a shard worker. Replaying one
+// immutable frame is safe despite the router retaining shipped frames.
+func BenchmarkHotPath_ShardedRTPFrame(b *testing.B) {
+	eng := core.NewShardedEngine(core.Config{}, 2)
+	defer eng.Close()
+	benchHotPath(b, eng.HandleFrame, buildRTPFrame(b))
+}
+
 // BenchmarkAblation_Reassembly compares SIP distillation with and without
 // IP fragmentation on the wire.
 func BenchmarkAblation_Reassembly(b *testing.B) {

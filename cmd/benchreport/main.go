@@ -7,7 +7,7 @@
 //	benchreport -exp table1   # one artifact
 //
 // Experiments: table1, fig1, fig5, fig6, fig7, fig8, delay, pm, pf,
-// billing, stateful, sharded, restartloss.
+// billing, stateful, sharded, restartloss, hotpath.
 package main
 
 import (
@@ -27,14 +27,14 @@ func main() {
 	}
 }
 
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig7", "fig8", "delay", "wire", "pm", "pf", "billing", "stateful", "sharded", "restartloss"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig7", "fig8", "delay", "wire", "pm", "pf", "billing", "stateful", "sharded", "restartloss", "hotpath"}
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to regenerate (all, table1, fig1, fig5..fig8, delay, pm, pf, billing, stateful, sharded, restartloss)")
+	exp := fs.String("exp", "all", "experiment to regenerate (all, table1, fig1, fig5..fig8, delay, pm, pf, billing, stateful, sharded, restartloss, hotpath)")
 	seed := fs.Int64("seed", 1, "simulation random seed")
 	trials := fs.Int("trials", 100000, "Monte Carlo trials for the Section 4.3 analysis")
-	jsonPath := fs.String("json", "", "for -exp sharded: also write the scaling numbers to this JSON file")
+	jsonPath := fs.String("json", "", "for -exp sharded/hotpath: also write the measured numbers to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +99,8 @@ func runOne(name string, seed int64, trials int, jsonPath string, out io.Writer)
 		})
 	case "sharded":
 		return runSharded(out, jsonPath)
+	case "hotpath":
+		return runHotpath(out, jsonPath)
 	case "restartloss":
 		res, err := experiments.RunRestartLoss(seed, 8)
 		if err != nil {

@@ -23,6 +23,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"billing", "billing-fraud"},
 		{"stateful", "false alarms"},
 		{"sharded", "frames/sec"},
+		{"hotpath", "allocs/op"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.exp, func(t *testing.T) {

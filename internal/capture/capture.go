@@ -128,6 +128,13 @@ func (r *Reader) readHeader() error {
 // Next returns the next record, or io.EOF at end of file. The returned
 // frame is freshly allocated and owned by the caller.
 func (r *Reader) Next() (Record, error) {
+	return r.nextInto(nil)
+}
+
+// nextInto reads the next record into buf when its capacity suffices,
+// allocating only when the frame outgrows it. The returned Record's
+// Frame aliases buf on reuse.
+func (r *Reader) nextInto(buf []byte) (Record, error) {
 	if err := r.readHeader(); err != nil {
 		return Record{}, err
 	}
@@ -142,7 +149,12 @@ func (r *Reader) Next() (Record, error) {
 	if n > MaxFrameLen {
 		return Record{}, fmt.Errorf("capture: corrupt record length %d", n)
 	}
-	frame := make([]byte, n)
+	var frame []byte
+	if uint32(cap(buf)) >= n {
+		frame = buf[:n]
+	} else {
+		frame = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r.br, frame); err != nil {
 		return Record{}, fmt.Errorf("capture: read frame body: %w", err)
 	}
@@ -152,13 +164,23 @@ func (r *Reader) Next() (Record, error) {
 // FrameFunc consumes one captured frame. It is the feed signature shared
 // by netsim taps and both IDS engines (Engine.HandleFrame and
 // ShardedEngine.HandleFrame satisfy it).
+//
+// Aliasing contract: the frame slice is only valid for the duration of
+// the call — feeders (Replay in particular) reuse one buffer across
+// frames, so an implementation that retains frame bytes past its return
+// must copy them first. Both IDS engines' serial paths copy everything
+// they keep (the SIP parser copies bodies, the reassembler copies
+// fragment payloads); the sharded engine's ReplayCapture copies each
+// frame before routing because its router retains frames in flight.
 type FrameFunc func(at time.Duration, frame []byte)
 
-// Replay streams every remaining record of r into fn in capture order.
-// It returns nil at clean end-of-file.
+// Replay streams every remaining record of r into fn in capture order,
+// reusing a single frame buffer across records (see the FrameFunc
+// aliasing contract). It returns nil at clean end-of-file.
 func Replay(r *Reader, fn FrameFunc) error {
+	var buf []byte
 	for {
-		rec, err := r.Next()
+		rec, err := r.nextInto(buf)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
@@ -166,6 +188,7 @@ func Replay(r *Reader, fn FrameFunc) error {
 			return err
 		}
 		fn(rec.Time, rec.Frame)
+		buf = rec.Frame[:cap(rec.Frame)]
 	}
 }
 

@@ -27,45 +27,42 @@ func (c *acctCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
 	return ProtoOther, false
 }
 
-func (c *acctCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
-	fp, ok := f.(*AcctFootprint)
-	if !ok {
-		return nil
+func (c *acctCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+	if v.Proto != ProtoAccounting {
+		return
 	}
-	var events []Event
-	txn := fp.Txn
+	txn := v.Txn
 	switch txn.Kind {
 	case accounting.TxnStart:
 		st := ctx.OpenSession(txn.CallID)
 		st.acctStart = true
-		events = append(events, Event{At: fp.At, Type: EvAcctStart, Session: txn.CallID,
-			Detail: fmt.Sprintf("%s -> %s from %v", txn.From, txn.To, txn.FromIP), Footprint: fp})
+		*evs = append(*evs, Event{At: v.At, Type: EvAcctStart, Session: txn.CallID,
+			Detail: fmt.Sprintf("%s -> %s from %v", txn.From, txn.To, txn.FromIP), Footprint: ctx.Observation()})
 		// The Section 3.2 check: the billed caller must have initiated the
 		// call from their registered location.
 		binding, registered := ctx.Binding(txn.From)
 		switch {
 		case !registered, !st.established && st.callerAOR == "":
-			events = append(events, c.unmatchedAcct(fp, st,
-				fmt.Sprintf("billing START for %s with no matching registration/call setup", txn.From))...)
+			c.unmatchedAcct(v, st, ctx, evs,
+				fmt.Sprintf("billing START for %s with no matching registration/call setup", txn.From))
 		case txn.FromIP != binding:
-			events = append(events, c.unmatchedAcct(fp, st,
+			c.unmatchedAcct(v, st, ctx, evs,
 				fmt.Sprintf("billing START for %s from %v but %s is registered at %v",
-					txn.From, txn.FromIP, txn.From, binding))...)
+					txn.From, txn.FromIP, txn.From, binding))
 		case st.inviteSrcIP.IsValid() && st.inviteSrcIP != binding:
-			events = append(events, c.unmatchedAcct(fp, st,
+			c.unmatchedAcct(v, st, ctx, evs,
 				fmt.Sprintf("INVITE for billed call came from %v, not %s's registered %v",
-					st.inviteSrcIP, txn.From, binding))...)
+					st.inviteSrcIP, txn.From, binding))
 		}
 	case accounting.TxnStop:
-		events = append(events, Event{At: fp.At, Type: EvAcctStop, Session: txn.CallID, Footprint: fp})
+		*evs = append(*evs, Event{At: v.At, Type: EvAcctStop, Session: txn.CallID, Footprint: ctx.Observation()})
 	}
-	return events
 }
 
-func (c *acctCorrelator) unmatchedAcct(fp *AcctFootprint, st *sessionState, detail string) []Event {
+func (c *acctCorrelator) unmatchedAcct(v *FrameView, st *sessionState, ctx *SessionContext, evs *[]Event, detail string) {
 	if st.unmatchedOnce {
-		return nil
+		return
 	}
 	st.unmatchedOnce = true
-	return []Event{{At: fp.At, Type: EvAcctUnmatched, Session: st.callID, Detail: detail, Footprint: fp}}
+	*evs = append(*evs, Event{At: v.At, Type: EvAcctUnmatched, Session: st.callID, Detail: detail, Footprint: ctx.Observation()})
 }

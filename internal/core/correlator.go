@@ -20,19 +20,24 @@ import (
 // walkthrough).
 
 // Correlator is one protocol's footprint→event module. Process receives
-// every footprint whose protocol is listed in Protocols (for RawFootprints
-// the port's expected protocol, not ProtoOther) together with the router's
-// per-frame hints and the shared cross-protocol SessionContext, and
-// returns the events the footprint completes. Correlators run in registry
-// order; within one frame, the event stream is the concatenation of each
-// correlator's output in that order.
+// every frame view whose dispatch protocol is listed in Protocols (for
+// raw views the port's expected protocol, not ProtoOther) together with
+// the router's per-frame hints and the shared cross-protocol
+// SessionContext, and appends the events the frame completes to evs — the
+// caller-owned scratch slice that makes the steady-state hot path
+// allocation-free. Correlators run in registry order; within one frame,
+// the event stream is the concatenation of each correlator's appends in
+// that order. Events that need the observation attached use
+// ctx.Observation(), which boxes the view lazily (only frames that
+// actually produce events pay for a Footprint allocation).
 type Correlator interface {
 	// Name identifies the module (CLI -correlators selection, docs).
 	Name() string
 	// Protocols lists the footprint protocols this correlator consumes.
 	Protocols() []Protocol
-	// Process folds one footprint into the correlator's state.
-	Process(f Footprint, h RouteHints, ctx *SessionContext) []Event
+	// Process folds one frame view into the correlator's state, appending
+	// any completed events to evs.
+	Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event)
 }
 
 // Registration names a correlator constructor. Every pipeline (the serial
@@ -175,18 +180,9 @@ func claimPortOf(correlators []Correlator, srcPort, dstPort uint16) (Protocol, b
 	return ProtoOther, false
 }
 
-// dispatchProto is the protocol a footprint is dispatched under: the
-// declared protocol, except RawFootprints dispatch under the protocol
-// expected on their port (so e.g. the RTP correlator sees garbage on RTP
-// ports).
-func dispatchProto(f Footprint) Protocol {
-	if raw, ok := f.(*RawFootprint); ok {
-		return raw.OnPort
-	}
-	return f.Proto()
-}
-
 // handlesProto reports whether a correlator subscribed to a protocol.
+// Called only at generator construction, when the per-protocol dispatch
+// lists are precomputed; per-frame dispatch never walks Protocols().
 func handlesProto(c Correlator, p Protocol) bool {
 	for _, cp := range c.Protocols() {
 		if cp == p {

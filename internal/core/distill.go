@@ -35,6 +35,10 @@ type Distiller struct {
 	// claimers is the correlator set whose port claims drive protocol
 	// classification (first claim in registry order wins).
 	claimers []Correlator
+
+	// parser is the distiller-owned SIP parser: one per pipeline keeps
+	// its intern table warm across every message the pipeline sees.
+	parser *sip.Parser
 }
 
 // defaultMediaPortFloor is the lowest UDP port treated as media traffic
@@ -55,60 +59,68 @@ func NewDistillerFor(correlators []Correlator) *Distiller {
 	return &Distiller{
 		reasm:    packet.NewReassembler(0),
 		claimers: correlators,
+		parser:   sip.NewParser(),
 	}
 }
 
 // Stats returns a snapshot of the distiller counters.
 func (d *Distiller) Stats() DistillerStats { return d.stats }
 
-// Distill processes one frame observed at the given virtual time. It
-// returns the footprint extracted from the frame, or nil when the frame
-// is a non-final fragment, undecodable below UDP, or outside the
-// monitored ports.
-func (d *Distiller) Distill(at time.Duration, frame []byte) Footprint {
+// decodeUDP runs the protocol-independent prelude shared by Distill and
+// DistillView: Ethernet, IPv4, reassembly, and zero-copy UDP validation.
+// It returns ok=false (with stats counted) when the frame produces no
+// footprint, and otherwise the claimed protocol and UDP payload.
+func (d *Distiller) decodeUDP(at time.Duration, frame []byte) (proto Protocol, src, dst netip.AddrPort, payload []byte, ok bool) {
 	d.stats.Frames++
 	ef, err := packet.UnmarshalEthernet(frame)
 	if err != nil || ef.Type != packet.EtherTypeIPv4 {
 		d.stats.DecodeError++
-		return nil
+		return 0, src, dst, nil, false
 	}
 	iph, ipPayload, err := packet.UnmarshalIPv4(ef.Payload)
 	if err != nil {
 		d.stats.DecodeError++
-		return nil
+		return 0, src, dst, nil, false
 	}
-	full, payload, done, err := d.reasm.Insert(iph, ipPayload, at)
+	full, ipBody, done, err := d.reasm.Insert(iph, ipPayload, at)
 	if err != nil {
 		d.stats.DecodeError++
-		return nil
+		return 0, src, dst, nil, false
 	}
 	if !done {
 		d.stats.Fragments++
-		return nil
+		return 0, src, dst, nil, false
 	}
 	if full.Protocol != packet.ProtoUDP {
 		d.stats.Ignored++
-		return nil
+		return 0, src, dst, nil, false
 	}
-	uh, udpPayload, err := packet.UnmarshalUDP(full.Src, full.Dst, payload)
+	uh, udpPayload, err := packet.PeekUDP(full.Src, full.Dst, ipBody)
 	if err != nil {
 		d.stats.DecodeError++
-		return nil
+		return 0, src, dst, nil, false
 	}
-	base := FootprintBase{
-		At:  at,
-		Src: netip.AddrPortFrom(full.Src, uh.SrcPort),
-		Dst: netip.AddrPortFrom(full.Dst, uh.DstPort),
-	}
-	return d.classify(base, uh, udpPayload)
-}
-
-func (d *Distiller) classify(base FootprintBase, uh packet.UDPHeader, payload []byte) Footprint {
 	proto, claimed := claimPortOf(d.claimers, uh.SrcPort, uh.DstPort)
 	if !claimed {
 		d.stats.Ignored++
+		return 0, src, dst, nil, false
+	}
+	src = netip.AddrPortFrom(full.Src, uh.SrcPort)
+	dst = netip.AddrPortFrom(full.Dst, uh.DstPort)
+	return proto, src, dst, udpPayload, true
+}
+
+// Distill processes one frame observed at the given virtual time. It
+// returns the footprint extracted from the frame, or nil when the frame
+// is a non-final fragment, undecodable below UDP, or outside the
+// monitored ports. This is the boxed (allocating) form; the detection
+// engines use DistillView.
+func (d *Distiller) Distill(at time.Duration, frame []byte) Footprint {
+	proto, src, dst, payload, ok := d.decodeUDP(at, frame)
+	if !ok {
 		return nil
 	}
+	base := FootprintBase{At: at, Src: src, Dst: dst}
 	switch proto {
 	case ProtoSIP:
 		return d.distillSIP(base, payload)
@@ -124,8 +136,68 @@ func (d *Distiller) classify(base FootprintBase, uh packet.UDPHeader, payload []
 	}
 }
 
+// DistillView is Distill's zero-allocation form: it fills the
+// caller-owned view in place and reports whether the frame produced a
+// footprint. Media frames (RTP/RTCP) are projected through the rtp
+// package's peek decoders and never materialize packet structs; SIP
+// frames still allocate one Message (trails retain it — the documented
+// per-SIP-frame budget). Classification, validation and stats agree with
+// Distill bit for bit.
+func (d *Distiller) DistillView(at time.Duration, frame []byte, v *FrameView) bool {
+	v.reset()
+	proto, src, dst, payload, ok := d.decodeUDP(at, frame)
+	if !ok {
+		return false
+	}
+	v.At, v.Src, v.Dst = at, src, dst
+	switch proto {
+	case ProtoSIP:
+		m, err := d.parser.Parse(payload)
+		if err != nil {
+			d.stats.Raw++
+			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoSIP, err.Error(), len(payload)
+			return true
+		}
+		d.stats.SIP++
+		v.Proto, v.Msg, v.Malformed = ProtoSIP, m, CheckSIPFormat(m)
+		return true
+	case ProtoAccounting:
+		txn, err := accounting.ParseTxn(payload)
+		if err != nil {
+			d.stats.Raw++
+			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoAccounting, err.Error(), len(payload)
+			return true
+		}
+		d.stats.Acct++
+		v.Proto, v.Txn = ProtoAccounting, txn
+		return true
+	case ProtoRTP:
+		if err := rtp.PeekHeader(payload, &v.RTP); err != nil {
+			d.stats.Raw++
+			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoRTP, err.Error(), len(payload)
+			return true
+		}
+		d.stats.RTP++
+		v.Proto = ProtoRTP
+		return true
+	case ProtoRTCP:
+		if err := rtp.PeekCompound(payload, &v.RTCP); err != nil {
+			d.stats.Raw++
+			v.RTCP = rtp.CompoundView{}
+			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoRTCP, err.Error(), len(payload)
+			return true
+		}
+		d.stats.RTCP++
+		v.Proto = ProtoRTCP
+		return true
+	default:
+		d.stats.Ignored++
+		return false
+	}
+}
+
 func (d *Distiller) distillSIP(base FootprintBase, payload []byte) Footprint {
-	m, err := sip.ParseMessage(payload)
+	m, err := d.parser.Parse(payload)
 	if err != nil {
 		d.stats.Raw++
 		return &RawFootprint{FootprintBase: base, OnPort: ProtoSIP, Reason: err.Error(), Len: len(payload)}
@@ -172,7 +244,7 @@ func (d *Distiller) distillRTCP(base FootprintBase, payload []byte) Footprint {
 func CheckSIPFormat(m *sip.Message) []string {
 	var violations []string
 	for _, hdr := range []string{sip.HdrFrom, sip.HdrTo, sip.HdrCallID, sip.HdrCSeq} {
-		if n := len(m.Headers.Values(hdr)); n > 1 {
+		if n := m.Headers.Count(hdr); n > 1 {
 			violations = append(violations, fmt.Sprintf("duplicate %s header (%d occurrences)", hdr, n))
 		}
 	}

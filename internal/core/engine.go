@@ -81,6 +81,14 @@ type Engine struct {
 	events    []Event
 	keepLog   bool
 	faults    FaultInjector
+
+	// view and evScratch are the per-frame scratch of the hot path: the
+	// frame is decoded into view in place and completed events accumulate
+	// in evScratch, which is truncated (not freed) between frames. Both
+	// are engine-owned, so a steady-state frame that completes no event
+	// touches the heap zero times.
+	view      FrameView
+	evScratch []Event
 }
 
 // EngineOption customizes engine construction.
@@ -168,16 +176,17 @@ func (e *Engine) HandleFrame(at time.Duration, frame []byte) {
 	if e.stats.Frames%gcEvery == 0 {
 		e.stats.SessionsEvicted += e.gen.ExpireSessions(at, e.cfg.SessionTimeout)
 	}
-	fp := e.distiller.Distill(at, frame)
-	if fp == nil {
+	if !e.distiller.DistillView(at, frame, &e.view) {
 		return
 	}
 	e.stats.Footprints++
 	if e.cfg.DirectTrailMatching {
-		e.handleDirect(fp)
+		e.handleDirect(&e.view)
 		return
 	}
-	for _, ev := range e.gen.Process(fp) {
+	e.evScratch = e.evScratch[:0]
+	e.gen.ProcessView(&e.view, RouteHints{}, &e.evScratch)
+	for _, ev := range e.evScratch {
 		e.stats.Events++
 		e.logEvent(ev)
 		alerts := e.rules.Feed(ev)
@@ -219,17 +228,17 @@ func (e *Engine) ReplayCapture(r *capture.Reader) error {
 // session intelligence and scans trails on every media packet. This is
 // the expensive path the paper's Event Generator exists to avoid: "it
 // helps performance by hiding some computationally expensive matching".
-func (e *Engine) handleDirect(fp Footprint) {
-	switch f := fp.(type) {
-	case *SIPFootprint:
-		e.trails.Get(f.Msg.CallID(), ProtoSIP).Append(f)
-	case *RTPFootprint:
-		e.trails.Get("rtp:"+f.Dst.String(), ProtoRTP).Append(f)
-		e.directByeScan(f)
-	case *AcctFootprint:
-		e.trails.Get(f.Txn.CallID, ProtoAccounting).Append(f)
-	case *RTCPFootprint:
-		e.trails.Get("rtcp:"+f.Dst.String(), ProtoRTCP).Append(f)
+func (e *Engine) handleDirect(v *FrameView) {
+	switch v.Proto {
+	case ProtoSIP:
+		e.trails.Get(v.Msg.CallID(), ProtoSIP).AppendView(v)
+	case ProtoRTP:
+		e.trails.Get("rtp:"+v.Dst.String(), ProtoRTP).AppendView(v)
+		e.directByeScan(v)
+	case ProtoAccounting:
+		e.trails.Get(v.Txn.CallID, ProtoAccounting).AppendView(v)
+	case ProtoRTCP:
+		e.trails.Get("rtcp:"+v.Dst.String(), ProtoRTCP).AppendView(v)
 	}
 }
 
@@ -238,7 +247,7 @@ func (e *Engine) handleDirect(fp Footprint) {
 // bodies to find the session whose media endpoints match, and checks BYE
 // timing. Equivalent detection to the event path, at per-packet scan
 // cost.
-func (e *Engine) directByeScan(f *RTPFootprint) {
+func (e *Engine) directByeScan(v *FrameView) {
 	window := e.cfg.Gen.withDefaults().MonitorWindow
 	for _, trail := range e.allSIPTrails() {
 		var callerMedia, calleeMedia netip.AddrPort
@@ -246,12 +255,11 @@ func (e *Engine) directByeScan(f *RTPFootprint) {
 		var byeSeen bool
 		var byeFromCaller bool
 		var callerTag string
-		for _, tfp := range trail.Footprints() {
-			sf, ok := tfp.(*SIPFootprint)
-			if !ok {
-				continue
+		trail.eachView(func(tv *FrameView) bool {
+			if tv.Proto != ProtoSIP {
+				return true
 			}
-			m := sf.Msg
+			m := tv.Msg
 			switch {
 			case m.IsRequest() && m.Method == sip.MethodInvite:
 				if from, err := m.From(); err == nil && callerTag == "" {
@@ -269,13 +277,14 @@ func (e *Engine) directByeScan(f *RTPFootprint) {
 			case m.IsRequest() && m.Method == sip.MethodBye:
 				if !byeSeen {
 					byeSeen = true
-					byeAt = sf.At
+					byeAt = tv.At
 					if from, err := m.From(); err == nil {
 						byeFromCaller = from.Tag() == callerTag
 					}
 				}
 			}
-		}
+			return true
+		})
 		if !byeSeen {
 			continue
 		}
@@ -283,12 +292,12 @@ func (e *Engine) directByeScan(f *RTPFootprint) {
 		if byeFromCaller {
 			byeMedia = callerMedia
 		}
-		if f.Src == byeMedia && f.At > byeAt && f.At-byeAt <= window {
+		if v.Src == byeMedia && v.At > byeAt && v.At-byeAt <= window {
 			e.stats.Events++
 			ev := Event{
-				At: f.At, Type: EvRTPAfterBye, Session: trail.Session,
-				Detail:    fmt.Sprintf("direct scan: RTP from %v after BYE", f.Src),
-				Footprint: f,
+				At: v.At, Type: EvRTPAfterBye, Session: trail.Session,
+				Detail:    fmt.Sprintf("direct scan: RTP from %v after BYE", v.Src),
+				Footprint: v.box(),
 			}
 			// Feed both steps so the two-step rule completes.
 			e.stats.Alerts += len(e.rules.Feed(Event{At: byeAt, Type: EvSIPBye, Session: trail.Session}))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -111,8 +112,17 @@ type Event struct {
 	Footprint Footprint
 }
 
-// String formats the event for logs.
+// String formats the event for logs: "[%8.3fs] %-20s session=%s %s",
+// built without nested Sprintf so the only allocation is the returned
+// string.
 func (e Event) String() string {
-	return fmt.Sprintf("[%8.3fs] %-20s session=%s %s",
-		e.At.Seconds(), e.Type, e.Session, e.Detail)
+	var b strings.Builder
+	b.Grow(32 + len(e.Session) + len(e.Detail))
+	appendStamp(&b, e.At)
+	padRight(&b, e.Type.String(), 20)
+	b.WriteString(" session=")
+	b.WriteString(e.Session)
+	b.WriteByte(' ')
+	b.WriteString(e.Detail)
+	return b.String()
 }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// This file is the alert/event text-formatting path, rebuilt on
+// strings.Builder so a String call costs exactly one allocation (the
+// returned string). Nothing on the frame hot path calls these: text is
+// produced only when a sink retains it (log printing, reports, test
+// output), so stats-only runs never format at all. The output is
+// byte-identical to the historical nested fmt.Sprintf forms — the
+// differential test in format_test.go holds both String methods to the
+// fmt rendering across edge cases.
+
+// appendStamp writes "[%8.3fs] " for at (fmt right-aligns the 3-decimal
+// seconds value in an 8-column field).
+func appendStamp(b *strings.Builder, at time.Duration) {
+	var tmp [24]byte
+	num := strconv.AppendFloat(tmp[:0], at.Seconds(), 'f', 3, 64)
+	b.WriteByte('[')
+	for n := len(num); n < 8; n++ {
+		b.WriteByte(' ')
+	}
+	b.Write(num)
+	b.WriteString("s] ")
+}
+
+// padRight writes s left-justified in a width-column field ("%-*s");
+// like fmt, width counts runes, not bytes.
+func padRight(b *strings.Builder, s string, width int) {
+	b.WriteString(s)
+	for n := utf8.RuneCountInString(s); n < width; n++ {
+		b.WriteByte(' ')
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEventStringMatchesFmt holds the builder-based Event.String to the
+// historical fmt.Sprintf rendering, byte for byte, across edge cases:
+// zero/negative/large timestamps, short and overlong type names, empty
+// sessions and details, and multi-byte session text (fmt pads %-Ns by
+// runes).
+func TestEventStringMatchesFmt(t *testing.T) {
+	cases := []Event{
+		{},
+		{At: 0, Type: EvSIPInvite, Session: "call-1", Detail: "alice -> bob"},
+		{At: 1500 * time.Millisecond, Type: EvRTPSeqJump, Session: "s", Detail: "seq 1 -> 900"},
+		{At: -2 * time.Second, Type: EvSIPBye, Session: "call-1", Detail: "alice hangs up"},
+		{At: 123456789 * time.Millisecond, Type: EventType(9999), Session: "", Detail: ""},
+		{At: time.Microsecond, Type: EvRTPUnmatchedMedia, Session: "日本語セッション", Detail: "πφ"},
+		{At: 999999 * time.Hour, Type: EvSIPCallEstablished, Session: "x", Detail: "y <-> z"},
+	}
+	for _, ev := range cases {
+		want := fmt.Sprintf("[%8.3fs] %-20s session=%s %s",
+			ev.At.Seconds(), ev.Type, ev.Session, ev.Detail)
+		if got := ev.String(); got != want {
+			t.Errorf("Event.String mismatch:\n got %q\nwant %q", got, want)
+		}
+	}
+}
+
+// TestAlertStringMatchesFmt does the same for Alert.String, including
+// the repeat-count suffix.
+func TestAlertStringMatchesFmt(t *testing.T) {
+	cases := []Alert{
+		{},
+		{At: time.Second, Rule: RuleByeAttack, Severity: SeverityCritical, Session: "call-1", Detail: "orphan media", Count: 1},
+		{At: 42 * time.Millisecond, Rule: "a-rather-long-rule-name-over-16", Severity: SeverityWarning, Session: "s", Detail: "d", Count: 2},
+		{At: -time.Second, Rule: "r", Severity: SeverityInfo, Session: "", Detail: "", Count: 1000000},
+		{At: 3 * time.Hour, Rule: "règle", Severity: Severity(42), Session: "日本", Detail: "πφ", Count: 0},
+	}
+	for _, a := range cases {
+		want := fmt.Sprintf("[%8.3fs] %-8s %-16s session=%s %s",
+			a.At.Seconds(), a.Severity, a.Rule, a.Session, a.Detail)
+		if a.Count > 1 {
+			want += fmt.Sprintf(" (x%d)", a.Count)
+		}
+		if got := a.String(); got != want {
+			t.Errorf("Alert.String mismatch:\n got %q\nwant %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"scidive/internal/accounting"
+	"scidive/internal/rtp"
+	"scidive/internal/sip"
+)
+
+// FrameView is the value-typed union of all footprint kinds, the hot
+// path's replacement for the interface-typed Footprint. One FrameView per
+// pipeline (engine, shard worker) is reused for every frame: the
+// Distiller fills it in place (DistillView), the Event Generator
+// dispatches on Proto/OnPort (ProcessView), correlators read the fields
+// of their protocol, and trails retain a value copy in a contiguous
+// slab. No per-frame boxing allocation ever happens unless an event
+// actually fires and needs a Footprint attached (see SessionContext's
+// lazy Observation).
+//
+// Field validity follows Proto: Msg/Malformed for ProtoSIP, RTP for
+// ProtoRTP, RTCP for ProtoRTCP, Txn for ProtoAccounting, and
+// OnPort/Reason/RawLen for ProtoOther (a raw footprint: undecodable
+// bytes on a claimed port).
+type FrameView struct {
+	Proto Protocol
+	At    time.Duration
+	Src   netip.AddrPort
+	Dst   netip.AddrPort
+
+	// ProtoSIP
+	Msg       *sip.Message
+	Malformed []string
+
+	// ProtoRTP
+	RTP rtp.HeaderView
+
+	// ProtoRTCP
+	RTCP rtp.CompoundView
+
+	// ProtoAccounting
+	Txn accounting.Txn
+
+	// ProtoOther (raw): the protocol expected on the port, why decoding
+	// failed, and the payload length.
+	OnPort Protocol
+	Reason string
+	RawLen int
+}
+
+// reset clears the view for the next frame.
+func (v *FrameView) reset() { *v = FrameView{} }
+
+// dispatchProto is the protocol the view dispatches under: the declared
+// protocol, except raw views dispatch under the protocol expected on
+// their port (so e.g. the RTP correlator sees garbage on RTP ports).
+func (v *FrameView) dispatchProto() Protocol {
+	if v.Proto == ProtoOther {
+		return v.OnPort
+	}
+	return v.Proto
+}
+
+// box materializes the boxed Footprint equivalent of the view. This is
+// the slow path — only taken when an event fires or a legacy accessor
+// (Trail.Footprints, Trail.Last) rereads a trail. RTCP packet bodies are
+// not retained by views, so a boxed RTCPFootprint reports the compound's
+// packet count through a nil Packets slice; nothing downstream of
+// distillation rereads the bodies.
+func (v *FrameView) box() Footprint {
+	base := FootprintBase{At: v.At, Src: v.Src, Dst: v.Dst}
+	switch v.Proto {
+	case ProtoSIP:
+		return &SIPFootprint{FootprintBase: base, Msg: v.Msg, Malformed: v.Malformed}
+	case ProtoRTP:
+		return &RTPFootprint{
+			FootprintBase: base,
+			Header: rtp.Header{
+				Padding:     v.RTP.Padding,
+				Extension:   v.RTP.Extension,
+				Marker:      v.RTP.Marker,
+				PayloadType: v.RTP.PayloadType,
+				Seq:         v.RTP.Seq,
+				Timestamp:   v.RTP.Timestamp,
+				SSRC:        v.RTP.SSRC,
+			},
+			PayloadLen: v.RTP.PayloadLen,
+		}
+	case ProtoRTCP:
+		return &RTCPFootprint{FootprintBase: base}
+	case ProtoAccounting:
+		return &AcctFootprint{FootprintBase: base, Txn: v.Txn}
+	case ProtoOther:
+		return &RawFootprint{FootprintBase: base, OnPort: v.OnPort, Reason: v.Reason, Len: v.RawLen}
+	default:
+		return nil
+	}
+}
+
+// viewOf projects a boxed footprint into v, for the compat wrappers that
+// still accept Footprint values (tests, the direct-matching ablation).
+// It reports false for footprint types the union does not model.
+func viewOf(f Footprint, v *FrameView) bool {
+	v.reset()
+	switch fp := f.(type) {
+	case *SIPFootprint:
+		v.Proto, v.At, v.Src, v.Dst = ProtoSIP, fp.At, fp.Src, fp.Dst
+		v.Msg, v.Malformed = fp.Msg, fp.Malformed
+	case *RTPFootprint:
+		v.Proto, v.At, v.Src, v.Dst = ProtoRTP, fp.At, fp.Src, fp.Dst
+		v.RTP = rtp.HeaderView{
+			Padding:     fp.Header.Padding,
+			Extension:   fp.Header.Extension,
+			Marker:      fp.Header.Marker,
+			PayloadType: fp.Header.PayloadType,
+			Seq:         fp.Header.Seq,
+			Timestamp:   fp.Header.Timestamp,
+			SSRC:        fp.Header.SSRC,
+			CSRCCount:   len(fp.Header.CSRC),
+			PayloadLen:  fp.PayloadLen,
+		}
+	case *RTCPFootprint:
+		v.Proto, v.At, v.Src, v.Dst = ProtoRTCP, fp.At, fp.Src, fp.Dst
+		v.RTCP.Packets = len(fp.Packets)
+		for _, pkt := range fp.Packets {
+			if _, ok := pkt.(*rtp.Bye); ok {
+				v.RTCP.HasBye = true
+				break
+			}
+		}
+	case *AcctFootprint:
+		v.Proto, v.At, v.Src, v.Dst = ProtoAccounting, fp.At, fp.Src, fp.Dst
+		v.Txn = fp.Txn
+	case *RawFootprint:
+		v.Proto, v.At, v.Src, v.Dst = ProtoOther, fp.At, fp.Src, fp.Dst
+		v.OnPort, v.Reason, v.RawLen = fp.OnPort, fp.Reason, fp.Len
+	default:
+		return false
+	}
+	return true
+}

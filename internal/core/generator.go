@@ -70,6 +70,16 @@ type EventGenerator struct {
 	idx         *sessionIndex
 	limits      Limits
 
+	// byProto are the per-protocol dispatch lists, precomputed at
+	// construction so the per-frame loop never calls Protocols() (which
+	// returns a fresh slice — a hidden per-frame allocation in the old
+	// dispatcher).
+	byProto [ProtoOther + 1][]Correlator
+
+	// dropTrail is the expiry sweep's eviction callback, hoisted to a
+	// field so ExpireSessions does not allocate a closure per call.
+	dropTrail func(id string)
+
 	// sessions, pendingReg, bindings and seqs alias maps inside the
 	// context and the correlators; they are kept as fields so state is
 	// inspectable without walking the registry.
@@ -114,7 +124,13 @@ func newEventGeneratorFrom(cfg GenConfig, trails *TrailStore, correlators []Corr
 		if so, ok := c.(seqOwner); ok {
 			g.seqs = so.seqTrackers()
 		}
+		for p := Protocol(1); p <= ProtoOther; p++ {
+			if handlesProto(c, p) {
+				g.byProto[p] = append(g.byProto[p], c)
+			}
+		}
 	}
+	g.dropTrail = func(id string) { g.trails.Drop(id) }
 	return g
 }
 
@@ -181,7 +197,7 @@ func (g *EventGenerator) touch(session string, at time.Duration) {
 // It returns how many sessions were evicted. Registration bindings and IM
 // histories have their own windows and are kept.
 func (g *EventGenerator) ExpireSessions(now, timeout time.Duration) int {
-	evicted := g.idx.expire(now, timeout, func(id string) { g.trails.Drop(id) })
+	evicted := g.idx.expire(now, timeout, g.dropTrail)
 	if evicted > 0 {
 		for _, c := range g.correlators {
 			if ex, ok := c.(expirer); ok {
@@ -192,8 +208,30 @@ func (g *EventGenerator) ExpireSessions(now, timeout time.Duration) int {
 	return evicted
 }
 
-// Process folds one footprint into the trails and state, returning any
-// events it completes.
+// ProcessView folds one frame view into the trails and state, appending
+// any completed events to evs. This is the steady-state hot path: the
+// view, the hints and the event scratch are all caller-owned, so a frame
+// that completes no event is processed with zero heap allocations.
+func (g *EventGenerator) ProcessView(v *FrameView, h RouteHints, evs *[]Event) {
+	g.processView(v, nil, h, evs)
+}
+
+func (g *EventGenerator) processView(v *FrameView, boxed Footprint, h RouteHints, evs *[]Event) {
+	if !g.ctx.beginFrame(v, boxed, h) {
+		return
+	}
+	defer g.ctx.endFrame(v.At)
+	p := v.dispatchProto()
+	if p < 0 || int(p) >= len(g.byProto) {
+		return
+	}
+	for _, c := range g.byProto[p] {
+		c.Process(v, h, g.ctx, evs)
+	}
+}
+
+// Process folds one boxed footprint into the trails and state, returning
+// any events it completes. Compat (allocating) form of ProcessView.
 func (g *EventGenerator) Process(f Footprint) []Event {
 	return g.ProcessHinted(f, RouteHints{})
 }
@@ -203,17 +241,12 @@ func (g *EventGenerator) Process(f Footprint) []Event {
 // cross-session lookups with verdicts the sharded router computed in
 // global frame order.
 func (g *EventGenerator) ProcessHinted(f Footprint, h RouteHints) []Event {
-	if !g.ctx.beginFrame(f, h) {
+	var v FrameView
+	if !viewOf(f, &v) {
 		return nil
 	}
-	defer g.ctx.endFrame(f)
-	p := dispatchProto(f)
 	var events []Event
-	for _, c := range g.correlators {
-		if handlesProto(c, p) {
-			events = append(events, c.Process(f, h, g.ctx)...)
-		}
-	}
+	g.processView(&v, f, h, &events)
 	return events
 }
 

@@ -95,37 +95,34 @@ func (c *imCorrelator) judge(aor string, src, dst netip.Addr, at time.Duration) 
 	return false, netip.Addr{}
 }
 
-func (c *imCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
-	fp, ok := f.(*SIPFootprint)
-	if !ok {
-		return nil
+func (c *imCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+	if v.Proto != ProtoSIP {
+		return
 	}
 	_, out := ctx.SIP()
-	if !isIM(fp.Msg, out) {
-		return nil
+	if !isIM(v.Msg, out) {
+		return
 	}
-	var events []Event
 	aor := out.from.URI.AOR()
 	session := "im:" + aor
-	events = append(events, Event{At: fp.At, Type: EvSIPInstantMessage, Session: session,
-		Detail: fmt.Sprintf("from %s via %v", aor, fp.Src.Addr()), Footprint: fp})
+	*evs = append(*evs, Event{At: v.At, Type: EvSIPInstantMessage, Session: session,
+		Detail: fmt.Sprintf("from %s via %v", aor, v.Src.Addr()), Footprint: ctx.Observation()})
 	mismatch, prev := false, netip.Addr{}
 	if h.HasIM {
 		// The router already judged this MESSAGE against the global source
 		// history; the local map stays untouched.
 		mismatch, prev = h.IM.Mismatch, h.IM.PrevIP
 	} else {
-		mismatch, prev = c.judge(aor, fp.Src.Addr(), fp.Dst.Addr(), fp.At)
+		mismatch, prev = c.judge(aor, v.Src.Addr(), v.Dst.Addr(), v.At)
 	}
 	if mismatch {
-		events = append(events, Event{
-			At: fp.At, Type: EvIMSourceMismatch, Session: session,
+		*evs = append(*evs, Event{
+			At: v.At, Type: EvIMSourceMismatch, Session: session,
 			Detail: fmt.Sprintf("IM claiming %s came from %v; recent messages to %v came from %v",
-				aor, fp.Src.Addr(), fp.Dst.Addr(), prev),
-			Footprint: fp,
+				aor, v.Src.Addr(), v.Dst.Addr(), prev),
+			Footprint: ctx.Observation(),
 		})
 	}
-	return events
 }
 
 // imRecord tracks the last source of instant messages per claimed sender.

@@ -128,27 +128,26 @@ func (c *optionsScanCorrelator) decodeState(r *snapReader) (func(), error) {
 	}, nil
 }
 
-func (c *optionsScanCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
-	fp, ok := f.(*SIPFootprint)
-	if !ok || !fp.Msg.IsRequest() || fp.Msg.Method != sip.MethodOptions {
-		return nil
+func (c *optionsScanCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+	if v.Proto != ProtoSIP || !v.Msg.IsRequest() || v.Msg.Method != sip.MethodOptions {
+		return
 	}
-	src := fp.Src.Addr()
+	src := v.Src.Addr()
 	r := c.sources[src]
-	if r == nil || fp.At-r.start > optionsScanWindow {
-		r = &optionsScanRecord{start: fp.At, dialogs: make(map[string]struct{})}
+	if r == nil || v.At-r.start > optionsScanWindow {
+		r = &optionsScanRecord{start: v.At, dialogs: make(map[string]struct{})}
 		c.sources[src] = r
 	}
-	r.dialogs[fp.Msg.CallID()] = struct{}{}
-	r.last = fp.At
+	r.dialogs[v.Msg.CallID()] = struct{}{}
+	r.last = v.At
 	if r.fired || len(r.dialogs) < optionsScanThreshold {
-		return nil
+		return
 	}
 	r.fired = true
-	return []Event{{
-		At: fp.At, Type: EvOptionsScan, Session: "scan:" + src.String(),
+	*evs = append(*evs, Event{
+		At: v.At, Type: EvOptionsScan, Session: "scan:" + src.String(),
 		Detail: fmt.Sprintf("%d distinct dialogs probed by OPTIONS from %v within %v",
-			len(r.dialogs), src, fp.At-r.start),
-		Footprint: fp,
-	}}
+			len(r.dialogs), src, v.At-r.start),
+		Footprint: ctx.Observation(),
+	})
 }

@@ -1,9 +1,5 @@
 package core
 
-import (
-	"scidive/internal/rtp"
-)
-
 // rtcpCorrelator watches for RTCP BYE packets that lack a corresponding
 // SIP BYE: during legitimate teardown the SIP BYE travels alongside the
 // RTCP BYE, so an RTCP BYE still unmatched after a grace period is
@@ -26,21 +22,17 @@ func (c *rtcpCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
 	return ProtoOther, false
 }
 
-func (c *rtcpCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
-	fp, ok := f.(*RTCPFootprint)
-	if !ok {
-		return nil
+func (c *rtcpCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+	if v.Proto != ProtoRTCP {
+		return
 	}
 	st, known := ctx.LookupSession(ctx.Session())
 	if !known {
-		return nil
+		return
 	}
-	events := ctx.CheckPendingRTCPBye(st, fp.At, fp)
-	for _, pkt := range fp.Packets {
-		if _, isBye := pkt.(*rtp.Bye); isBye && !st.byeSeen && !st.rtcpByePending && !st.rtcpByeFired {
-			st.rtcpByePending = true
-			st.rtcpByeAt = fp.At
-		}
+	ctx.CheckPendingRTCPBye(st, v.At, evs)
+	if v.RTCP.HasBye && !st.byeSeen && !st.rtcpByePending && !st.rtcpByeFired {
+		st.rtcpByePending = true
+		st.rtcpByeAt = v.At
 	}
-	return events
 }

@@ -109,108 +109,103 @@ func (c *rtpCorrelator) rtpHint(at time.Duration, dst netip.AddrPort, seq uint16
 	h.HasSeq = true
 }
 
-func (c *rtpCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
-	switch fp := f.(type) {
-	case *RawFootprint:
-		return c.garbageEvent(fp, h, ctx)
-	case *RTPFootprint:
-		return c.processRTP(fp, h, ctx)
-	default:
-		return nil
+func (c *rtpCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+	switch v.Proto {
+	case ProtoOther:
+		c.garbageEvent(v, h, ctx, evs)
+	case ProtoRTP:
+		c.processRTP(v, h, ctx, evs)
 	}
 }
 
 // garbageEvent reports undecodable traffic on an RTP port, attributed to
 // the session that negotiated the destination endpoint when one has.
-func (c *rtpCorrelator) garbageEvent(fp *RawFootprint, h RouteHints, ctx *SessionContext) []Event {
+func (c *rtpCorrelator) garbageEvent(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
 	eventSession := h.Session
 	if eventSession == "" {
 		eventSession = ctx.Session()
-		if s := ctx.MediaDstSession(fp.Dst); s != "" {
+		if s := ctx.MediaDstSession(v.Dst); s != "" {
 			eventSession = s
 		}
 	}
-	return []Event{{
-		At: fp.At, Type: EvRTPGarbage, Session: eventSession,
-		Detail:    fmt.Sprintf("undecodable %d bytes on RTP port from %v: %s", fp.Len, fp.Src, fp.Reason),
-		Footprint: fp,
-	}}
+	*evs = append(*evs, Event{
+		At: v.At, Type: EvRTPGarbage, Session: eventSession,
+		Detail:    fmt.Sprintf("undecodable %d bytes on RTP port from %v: %s", v.RawLen, v.Src, v.Reason),
+		Footprint: ctx.Observation(),
+	})
 }
 
-func (c *rtpCorrelator) processRTP(fp *RTPFootprint, h RouteHints, ctx *SessionContext) []Event {
-	var events []Event
+func (c *rtpCorrelator) processRTP(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
 	session := ctx.Session()
-	v := h.Seq
+	sv := h.Seq
 	if !h.HasSeq {
-		v = c.track(fp.At, fp.Dst, fp.Header.Seq)
+		sv = c.track(v.At, v.Dst, v.RTP.Seq)
 	}
-	if v.NewFlow {
-		events = append(events, Event{At: fp.At, Type: EvRTPNewFlow, Session: session,
-			Detail: fmt.Sprintf("%v -> %v ssrc=%08x", fp.Src, fp.Dst, fp.Header.SSRC), Footprint: fp})
+	if sv.NewFlow {
+		*evs = append(*evs, Event{At: v.At, Type: EvRTPNewFlow, Session: session,
+			Detail: fmt.Sprintf("%v -> %v ssrc=%08x", v.Src, v.Dst, v.RTP.SSRC), Footprint: ctx.Observation()})
 	}
-	if v.Jump {
-		d := rtp.SeqDiff(v.Prev, fp.Header.Seq)
-		events = append(events, Event{
-			At: fp.At, Type: EvRTPSeqJump, Session: session,
+	if sv.Jump {
+		d := rtp.SeqDiff(sv.Prev, v.RTP.Seq)
+		*evs = append(*evs, Event{
+			At: v.At, Type: EvRTPSeqJump, Session: session,
 			Detail: fmt.Sprintf("seq %d -> %d (|Δ|=%d > %d) at %v",
-				v.Prev, fp.Header.Seq, abs(d), c.cfg.SeqJumpThreshold, fp.Dst),
-			Footprint: fp,
+				sv.Prev, v.RTP.Seq, abs(d), c.cfg.SeqJumpThreshold, v.Dst),
+			Footprint: ctx.Observation(),
 		})
 	}
 	st, known := ctx.LookupSession(session)
 	if !known {
-		return events
+		return
 	}
-	events = append(events, c.checkSessionRTP(fp, st, ctx)...)
-	return events
+	c.checkSessionRTP(v, st, ctx, evs)
 }
 
 // checkSessionRTP applies the stateful cross-protocol checks for media
 // belonging to a known SIP session. The pending-RTCP-BYE check runs
 // first: its event predates this packet's own findings.
-func (c *rtpCorrelator) checkSessionRTP(fp *RTPFootprint, st *sessionState, ctx *SessionContext) []Event {
-	events := ctx.CheckPendingRTCPBye(st, fp.At, fp)
+func (c *rtpCorrelator) checkSessionRTP(v *FrameView, st *sessionState, ctx *SessionContext, evs *[]Event) {
+	ctx.CheckPendingRTCPBye(st, v.At, evs)
 	// Orphan flow after BYE (Figure 5 rule).
-	if st.byeSeen && fp.Src == st.byeFromMedia &&
-		fp.At > st.byeAt && fp.At-st.byeAt <= c.cfg.MonitorWindow {
-		events = append(events, Event{
-			At: fp.At, Type: EvRTPAfterBye, Session: st.callID,
-			Detail:    fmt.Sprintf("RTP from %v %.1fms after its BYE", fp.Src, (fp.At-st.byeAt).Seconds()*1000),
-			Footprint: fp,
+	if st.byeSeen && v.Src == st.byeFromMedia &&
+		v.At > st.byeAt && v.At-st.byeAt <= c.cfg.MonitorWindow {
+		*evs = append(*evs, Event{
+			At: v.At, Type: EvRTPAfterBye, Session: st.callID,
+			Detail:    fmt.Sprintf("RTP from %v %.1fms after its BYE", v.Src, (v.At-st.byeAt).Seconds()*1000),
+			Footprint: ctx.Observation(),
 		})
 	}
 	// Orphan flow after REINVITE (Figure 7 rule): traffic still arriving
 	// from the address the "moved" party supposedly left, once the
 	// migration transaction has had time to complete.
-	if st.reinviteSeen && fp.Src == st.reinviteOldMedia &&
-		fp.At-st.reinviteAt > c.cfg.ReinviteGrace &&
-		fp.At-st.reinviteAt <= c.cfg.ReinviteGrace+c.cfg.MonitorWindow {
-		events = append(events, Event{
-			At: fp.At, Type: EvRTPAfterReinvite, Session: st.callID,
+	if st.reinviteSeen && v.Src == st.reinviteOldMedia &&
+		v.At-st.reinviteAt > c.cfg.ReinviteGrace &&
+		v.At-st.reinviteAt <= c.cfg.ReinviteGrace+c.cfg.MonitorWindow {
+		*evs = append(*evs, Event{
+			At: v.At, Type: EvRTPAfterReinvite, Session: st.callID,
 			Detail: fmt.Sprintf("RTP still arriving from old media address %v %.1fms after REINVITE",
-				fp.Src, (fp.At-st.reinviteAt).Seconds()*1000),
-			Footprint: fp,
+				v.Src, (v.At-st.reinviteAt).Seconds()*1000),
+			Footprint: ctx.Observation(),
 		})
 	}
 	// Source legitimacy (Figure 8 rule): media to a negotiated endpoint
 	// must come from the other negotiated endpoint.
 	if !st.byeSeen {
 		var expected netip.AddrPort
-		switch fp.Dst {
+		switch v.Dst {
 		case st.callerMedia:
 			expected = st.calleeMedia
 		case st.calleeMedia:
 			expected = st.callerMedia
 		}
-		if expected.IsValid() && fp.Src.Addr() != expected.Addr() {
-			events = append(events, Event{
-				At: fp.At, Type: EvRTPBadSource, Session: st.callID,
-				Detail:    fmt.Sprintf("media to %v from %v; session negotiated %v", fp.Dst, fp.Src, expected),
-				Footprint: fp,
+		if expected.IsValid() && v.Src.Addr() != expected.Addr() {
+			*evs = append(*evs, Event{
+				At: v.At, Type: EvRTPBadSource, Session: st.callID,
+				Detail:    fmt.Sprintf("media to %v from %v; session negotiated %v", v.Dst, v.Src, expected),
+				Footprint: ctx.Observation(),
 			})
 		}
 	}
-	return events
 }
 
 // seqTrack tracks RTP sequence continuity per destination media endpoint.

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -70,14 +71,26 @@ type Alert struct {
 	Count int
 }
 
-// String formats the alert for output.
+// String formats the alert for output: "[%8.3fs] %-8s %-16s
+// session=%s %s" plus " (x%d)" for repeats, built without nested
+// Sprintf so the only allocation is the returned string.
 func (a Alert) String() string {
-	s := fmt.Sprintf("[%8.3fs] %-8s %-16s session=%s %s",
-		a.At.Seconds(), a.Severity, a.Rule, a.Session, a.Detail)
+	var b strings.Builder
+	b.Grow(48 + len(a.Session) + len(a.Detail))
+	appendStamp(&b, a.At)
+	padRight(&b, a.Severity.String(), 8)
+	b.WriteByte(' ')
+	padRight(&b, a.Rule, 16)
+	b.WriteString(" session=")
+	b.WriteString(a.Session)
+	b.WriteByte(' ')
+	b.WriteString(a.Detail)
 	if a.Count > 1 {
-		s += fmt.Sprintf(" (x%d)", a.Count)
+		b.WriteString(" (x")
+		b.WriteString(strconv.Itoa(a.Count))
+		b.WriteByte(')')
 	}
-	return s
+	return b.String()
 }
 
 // partial is an in-progress multi-step match.

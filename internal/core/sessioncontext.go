@@ -39,7 +39,12 @@ type SessionContext struct {
 	// by beginFrame the moment applySIP reports a session established.
 	observers []establishObserver
 
-	// Per-frame scratch, valid from beginFrame to endFrame.
+	// Per-frame scratch, valid from beginFrame to endFrame. view is the
+	// frame in flight; boxed is its Footprint materialization, filled
+	// lazily by Observation (or up front by the compat wrappers, which
+	// already hold a boxed footprint).
+	view       *FrameView
+	boxed      Footprint
 	session    string
 	touchOnEnd bool
 	sipSt      *sessionState
@@ -57,47 +62,50 @@ func newSessionContext(cfg GenConfig, trails *TrailStore) *SessionContext {
 	}
 }
 
-// beginFrame files the footprint into its trail and prepares the
+// beginFrame files the frame view into its trail and prepares the
 // per-frame scratch: the session key every correlator sees, and — for SIP
 // — the one-and-only applySIP application for this sighting, so dialog
 // state moves exactly once no matter how many correlators consume the
-// outcome. It reports whether the footprint type is known.
-func (ctx *SessionContext) beginFrame(f Footprint, h RouteHints) bool {
+// outcome. boxed may be nil (the hot path); Observation boxes lazily when
+// an event needs the footprint attached. It reports whether the view's
+// protocol is known.
+func (ctx *SessionContext) beginFrame(v *FrameView, boxed Footprint, h RouteHints) bool {
 	ctx.sipSt, ctx.sipOut = nil, sipOutcome{}
 	ctx.touchOnEnd = false
-	switch fp := f.(type) {
-	case *SIPFootprint:
-		ctx.session = fp.Msg.CallID()
-		ctx.trails.Get(ctx.session, ProtoSIP).Append(fp)
-		ctx.sipSt, ctx.sipOut = ctx.idx.applySIP(fp.Msg, fp.At, fp.Src)
+	ctx.view, ctx.boxed = v, boxed
+	switch v.Proto {
+	case ProtoSIP:
+		ctx.session = v.Msg.CallID()
+		ctx.trails.Get(ctx.session, ProtoSIP).AppendView(v)
+		ctx.sipSt, ctx.sipOut = ctx.idx.applySIP(v.Msg, v.At, v.Src)
 		if ctx.sipOut.established {
 			for _, o := range ctx.observers {
 				o.onEstablished(ctx.sipSt)
 			}
 		}
 		ctx.touchOnEnd = true
-	case *RTPFootprint:
+	case ProtoRTP:
 		session := h.Session
 		if session == "" {
-			session = ctx.idx.SessionKey(f)
+			session = ctx.idx.sessionKeyView(v)
 		}
 		ctx.session = session
-		ctx.trails.Get(session, ProtoRTP).Append(fp)
+		ctx.trails.Get(session, ProtoRTP).AppendView(v)
 		ctx.touchOnEnd = true
-	case *RTCPFootprint:
+	case ProtoRTCP:
 		session := h.Session
 		if session == "" {
-			session = ctx.idx.SessionKey(f)
+			session = ctx.idx.sessionKeyView(v)
 		}
 		ctx.session = session
-		ctx.trails.Get(session, ProtoRTCP).Append(fp)
+		ctx.trails.Get(session, ProtoRTCP).AppendView(v)
 		ctx.touchOnEnd = true
-	case *AcctFootprint:
-		ctx.session = fp.Txn.CallID
-		ctx.trails.Get(ctx.session, ProtoAccounting).Append(fp)
-	case *RawFootprint:
-		ctx.session = "raw:" + fp.Dst.String()
-		ctx.trails.Get(ctx.session, ProtoOther).Append(fp)
+	case ProtoAccounting:
+		ctx.session = v.Txn.CallID
+		ctx.trails.Get(ctx.session, ProtoAccounting).AppendView(v)
+	case ProtoOther:
+		ctx.session = ctx.idx.endpointKey('w', "raw:", v.Dst)
+		ctx.trails.Get(ctx.session, ProtoOther).AppendView(v)
 	default:
 		return false
 	}
@@ -105,12 +113,13 @@ func (ctx *SessionContext) beginFrame(f Footprint, h RouteHints) bool {
 }
 
 // endFrame records session activity for expiry bookkeeping (SIP, RTP and
-// RTCP footprints touch their session; accounting and raw traffic do
-// not, preserving the generator's historic expiry behavior).
-func (ctx *SessionContext) endFrame(f Footprint) {
+// RTCP frames touch their session; accounting and raw traffic do not,
+// preserving the generator's historic expiry behavior).
+func (ctx *SessionContext) endFrame(at time.Duration) {
 	if ctx.touchOnEnd {
-		ctx.idx.touch(ctx.session, f.Time())
+		ctx.idx.touch(ctx.session, at)
 	}
+	ctx.view, ctx.boxed = nil, nil
 }
 
 // Config returns the normalized generator configuration.
@@ -122,6 +131,18 @@ func (ctx *SessionContext) Budget() Limits { return ctx.limits }
 // Session returns the session (trail) key of the footprint being
 // processed.
 func (ctx *SessionContext) Session() string { return ctx.session }
+
+// Observation returns the boxed Footprint of the frame in flight, for
+// attaching to events. Boxing is lazy and memoized per frame: frames that
+// complete no event never pay a Footprint allocation, and multiple events
+// from one frame share one boxed value (as the boxed pipeline always
+// did).
+func (ctx *SessionContext) Observation() Footprint {
+	if ctx.boxed == nil && ctx.view != nil {
+		ctx.boxed = ctx.view.box()
+	}
+	return ctx.boxed
+}
 
 // SIP returns the memoized dialog state and transition outcome of the SIP
 // footprint being processed. Only meaningful while a SIPFootprint is in
@@ -187,23 +208,23 @@ func (ctx *SessionContext) SetBinding(aor string, ip netip.Addr) {
 // control packet next observes the session drives the verdict — so both
 // the RTP and RTCP correlators call this on every sighting of a known
 // session.
-func (ctx *SessionContext) CheckPendingRTCPBye(st *sessionState, now time.Duration, fp Footprint) []Event {
+func (ctx *SessionContext) CheckPendingRTCPBye(st *sessionState, now time.Duration, evs *[]Event) {
 	if !st.rtcpByePending || st.rtcpByeFired {
-		return nil
+		return
 	}
 	if st.byeSeen {
 		st.rtcpByePending = false // legitimate teardown caught up
-		return nil
+		return
 	}
 	if now-st.rtcpByeAt <= ctx.cfg.ReinviteGrace {
-		return nil
+		return
 	}
 	st.rtcpByePending = false
 	st.rtcpByeFired = true
-	return []Event{{
+	*evs = append(*evs, Event{
 		At: now, Type: EvRTCPSpoofedBye, Session: st.callID,
 		Detail: fmt.Sprintf("RTCP BYE at %v with no SIP BYE after %v; media control and call signaling disagree",
 			st.rtcpByeAt, ctx.cfg.ReinviteGrace),
-		Footprint: fp,
-	}}
+		Footprint: ctx.Observation(),
+	})
 }

@@ -72,6 +72,11 @@ type sessionIndex struct {
 	pendingReg map[string]string // Call-ID -> AOR awaiting 200
 	byMedia    map[netip.AddrPort][]*sessionState
 
+	// endpointKeys interns the address-derived fallback session keys
+	// ("rtp:<ep>", "rtcp:<ep>", "raw:<ep>") so steady-state media traffic
+	// toward a known endpoint never re-formats the key string per frame.
+	endpointKeys map[endpointKeyID]string
+
 	// maxSessions caps the table (0 = unbounded): creating a session at
 	// the cap first evicts the least-recently-touched one (ties: smaller
 	// Call-ID), reporting it via onCapEvict so the owner can drop the
@@ -84,13 +89,39 @@ type sessionIndex struct {
 // media-endpoint map.
 func newSessionIndex(indexed bool) *sessionIndex {
 	x := &sessionIndex{
-		sessions:   make(map[string]*sessionState),
-		pendingReg: make(map[string]string),
+		sessions:     make(map[string]*sessionState),
+		pendingReg:   make(map[string]string),
+		endpointKeys: make(map[endpointKeyID]string),
 	}
 	if indexed {
 		x.byMedia = make(map[netip.AddrPort][]*sessionState)
 	}
 	return x
+}
+
+// endpointKeyID identifies one interned fallback key: the key kind
+// ('r' = rtp, 'c' = rtcp, 'w' = raw) plus the endpoint.
+type endpointKeyID struct {
+	kind byte
+	ap   netip.AddrPort
+}
+
+// endpointKeyCap bounds the interned-key table; an adversary spraying
+// unique endpoints only forces re-formatting, never unbounded growth.
+const endpointKeyCap = 4096
+
+// endpointKey returns the interned prefix+endpoint fallback key.
+func (x *sessionIndex) endpointKey(kind byte, prefix string, ap netip.AddrPort) string {
+	id := endpointKeyID{kind: kind, ap: ap}
+	if s, ok := x.endpointKeys[id]; ok {
+		return s
+	}
+	if len(x.endpointKeys) >= endpointKeyCap {
+		clear(x.endpointKeys)
+	}
+	s := prefix + ap.String()
+	x.endpointKeys[id] = s
+	return s
 }
 
 // core returns the state for a Call-ID, creating it if needed.
@@ -221,16 +252,42 @@ func (x *sessionIndex) SessionKey(f Footprint) string {
 		if s := x.flowSession(fp.Src, fp.Dst); s != "" {
 			return s
 		}
-		return "rtp:" + fp.Dst.String()
+		return x.endpointKey('r', "rtp:", fp.Dst)
 	case *RTCPFootprint:
 		if s := x.rtcpFlowSession(fp.Src, fp.Dst); s != "" {
 			return s
 		}
-		return "rtcp:" + fp.Dst.String()
+		return x.endpointKey('c', "rtcp:", fp.Dst)
 	case *AcctFootprint:
 		return fp.Txn.CallID
 	case *RawFootprint:
-		return "raw:" + fp.Dst.String()
+		return x.endpointKey('w', "raw:", fp.Dst)
+	default:
+		return ""
+	}
+}
+
+// sessionKeyView is SessionKey for a frame view — the hot-path form: the
+// fallback keys come from the intern table, so a steady media stream
+// computes its key with zero allocations.
+func (x *sessionIndex) sessionKeyView(v *FrameView) string {
+	switch v.Proto {
+	case ProtoSIP:
+		return v.Msg.CallID()
+	case ProtoRTP:
+		if s := x.flowSession(v.Src, v.Dst); s != "" {
+			return s
+		}
+		return x.endpointKey('r', "rtp:", v.Dst)
+	case ProtoRTCP:
+		if s := x.rtcpFlowSession(v.Src, v.Dst); s != "" {
+			return s
+		}
+		return x.endpointKey('c', "rtcp:", v.Dst)
+	case ProtoAccounting:
+		return v.Txn.CallID
+	case ProtoOther:
+		return x.endpointKey('w', "raw:", v.Dst)
 	default:
 		return ""
 	}

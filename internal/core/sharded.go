@@ -58,9 +58,11 @@ import (
 //
 // HandleFrame may be called from multiple goroutines. The router retains
 // a shipped frame until its shard has processed it, so feeders must not
-// reuse frame buffers (netsim taps and capture replay both allocate per
-// frame). Call Close when done to stop the shard goroutines; Alerts,
-// Events and Stats remain readable after Close.
+// reuse frame buffers (netsim taps allocate per frame; ReplayCapture
+// copies each frame because capture.Replay reuses one buffer — see the
+// capture.FrameFunc aliasing contract). Call Close when done to stop the
+// shard goroutines; Alerts, Events and Stats remain readable after
+// Close.
 type ShardedEngine struct {
 	cfg     Config
 	gen     GenConfig // normalized thresholds for router-side verdicts
@@ -82,6 +84,19 @@ type ShardedEngine struct {
 	correlators []Correlator
 	sticky      map[string]string // Call-ID -> routing key (pinned on first sighting)
 	pending     [][]shardItem
+
+	// Router-side decode scratch, used under mu: a pooled SIP parser with
+	// one reusable message (classify never retains the message — only
+	// interned strings flow into the directory) and peek views for
+	// RTP/RTCP, so classification allocates nothing per frame.
+	parser  *sip.Parser
+	msg     sip.Message
+	rtpHdr  rtp.HeaderView
+	rtcpCmp rtp.CompoundView
+	// hints is per-frame scratch for the hinter passes: taking the
+	// address of a local RouteHints forces a heap escape through the
+	// hinter interfaces, so classify reuses this field instead.
+	hints RouteHints
 
 	frames           atomic.Uint64
 	framesAfterClose atomic.Uint64
@@ -258,6 +273,31 @@ const (
 	shardQueueDepth = 8
 )
 
+// shardBatchPool recycles batch slices between the router (which fills
+// them) and the consumer that finishes them — a worker, or the router's
+// own shed path. Returned batches are zeroed first so no frame bytes or
+// fragment groups are retained past processing.
+var shardBatchPool = sync.Pool{
+	New: func() any {
+		b := make([]shardItem, 0, shardBatchSize)
+		return &b
+	},
+}
+
+// getBatch returns an empty batch with shardBatchSize capacity.
+func getBatch() []shardItem {
+	return (*shardBatchPool.Get().(*[]shardItem))[:0]
+}
+
+// putBatch zeroes a finished batch (dropping its frame and group
+// references) and recycles it. Safe on batches that grew past
+// shardBatchSize (markers appended by Flush/Close/TrailCounts).
+func putBatch(b []shardItem) {
+	clear(b)
+	b = b[:0]
+	shardBatchPool.Put(&b)
+}
+
 // NewShardedEngine builds a sharded IDS instance. shards <= 0 uses
 // runtime.GOMAXPROCS(0). The configuration is shared by every shard.
 // DirectTrailMatching is a single-store ablation and is not supported
@@ -287,6 +327,7 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		reasm:       packet.NewReassembler(0),
 		frags:       make(map[fragIdent]*fragGroup),
 		correlators: buildCorrelators(cfg.Correlators, cfg.Gen.withDefaults()),
+		parser:      sip.NewParser(),
 		sticky:      make(map[string]string),
 		selfDedup:   make(map[string]int),
 		pending:     make([][]shardItem, shards),
@@ -328,7 +369,7 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		w.beat.Store(now)
 		s.wireWorker(w)
 		s.keepLog = w.eng.keepLog
-		s.pending[i] = make([]shardItem, 0, shardBatchSize)
+		s.pending[i] = getBatch()
 		s.workers[i] = w
 		go w.run()
 	}
@@ -404,9 +445,15 @@ func (s *ShardedEngine) AttachTap(n *netsim.Network) {
 }
 
 // ReplayCapture feeds a recorded SCAP capture through the engine. Call
-// Flush (or Alerts/Events, which flush) before reading results.
+// Flush (or Alerts/Events, which flush) before reading results. Each
+// frame is copied before routing: capture.Replay reuses one frame buffer
+// and the router retains shipped frames until their shard processes
+// them.
 func (s *ShardedEngine) ReplayCapture(r *capture.Reader) error {
-	if err := capture.Replay(r, s.HandleFrame); err != nil {
+	err := capture.Replay(r, func(at time.Duration, frame []byte) {
+		s.HandleFrame(at, append([]byte(nil), frame...))
+	})
+	if err != nil {
 		return fmt.Errorf("core: replay: %w", err)
 	}
 	return nil
@@ -528,7 +575,7 @@ func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort
 	case ProtoAccounting:
 		txn, err := accounting.ParseTxn(udpPayload)
 		if err != nil {
-			return "raw:" + dst.String(), RouteHints{}, true
+			return s.idx.endpointKey('w', "raw:", dst), RouteHints{}, true
 		}
 		if txn.Kind == accounting.TxnStart {
 			// The generator creates session state for billing STARTs.
@@ -547,18 +594,21 @@ func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort
 }
 
 func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
-	m, err := sip.ParseMessage(udpPayload)
-	if err != nil {
-		return "raw:" + dst.String(), RouteHints{}
+	// ParseInto reuses the router's message and aliases the frame's body;
+	// neither outlives this call — applySIP and the hinters extract only
+	// interned strings and scalar verdicts.
+	if err := s.parser.ParseInto(udpPayload, &s.msg); err != nil {
+		return s.idx.endpointKey('w', "raw:", dst), RouteHints{}
 	}
+	m := &s.msg
 	st, out := s.idx.applySIP(m, at, src)
 	// Hinter correlators judge the sighting against their router-owned
 	// state here, in arrival order, exactly as the serial correlators
 	// would (the im correlator's source-history verdict, for one).
-	var h RouteHints
+	s.hints = RouteHints{}
 	for _, c := range s.correlators {
 		if sh, ok := c.(sipHinter); ok {
-			sh.sipHint(at, src, dst, m, out, &h)
+			sh.sipHint(at, src, dst, m, out, &s.hints)
 		}
 	}
 	if out.regOK && out.bindingIP.IsValid() {
@@ -594,44 +644,43 @@ func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrP
 		}
 		s.sticky[st.callID] = routeKey
 	}
-	return routeKey, h
+	return routeKey, s.hints
 }
 
 func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
-	pkt, err := rtp.Unmarshal(udpPayload)
-	if err != nil {
+	if err := rtp.PeekHeader(udpPayload, &s.rtpHdr); err != nil {
 		// Garbage on a media port: the serial generator attributes the
 		// event to the session negotiating this endpoint.
 		sess := s.idx.mediaDstSession(dst)
 		if sess == "" {
-			sess = "raw:" + dst.String()
+			sess = s.idx.endpointKey('w', "raw:", dst)
 		}
 		return sess, RouteHints{Session: sess}
 	}
 	session := s.idx.flowSession(src, dst)
 	if session == "" {
-		session = "rtp:" + dst.String()
+		session = s.idx.endpointKey('r', "rtp:", dst)
 	}
 	// The rtp correlator's router instance tracks continuity across all
 	// shards in global frame order and ships the verdict as a hint.
-	h := RouteHints{Session: session}
+	s.hints = RouteHints{Session: session}
 	for _, c := range s.correlators {
 		if rh, ok := c.(rtpHinter); ok {
-			rh.rtpHint(at, dst, pkt.Header.Seq, &h)
+			rh.rtpHint(at, dst, s.rtpHdr.Seq, &s.hints)
 		}
 	}
 	s.idx.touch(session, at)
-	return session, h
+	return session, s.hints
 }
 
 func (s *ShardedEngine) classifyRTCPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
-	if _, err := rtp.UnmarshalCompound(udpPayload); err != nil {
+	if err := rtp.PeekCompound(udpPayload, &s.rtcpCmp); err != nil {
 		// Undecodable on an RTCP port: filed raw, no session attribution.
-		return "raw:" + dst.String(), RouteHints{}
+		return s.idx.endpointKey('w', "raw:", dst), RouteHints{}
 	}
 	session := s.idx.rtcpFlowSession(src, dst)
 	if session == "" {
-		session = "rtcp:" + dst.String()
+		session = s.idx.endpointKey('c', "rtcp:", dst)
 	}
 	s.idx.touch(session, at)
 	return session, RouteHints{Session: session}
@@ -662,7 +711,7 @@ func (s *ShardedEngine) flushShardLocked(shard int) {
 		return
 	}
 	batch := s.pending[shard]
-	s.pending[shard] = make([]shardItem, 0, shardBatchSize)
+	s.pending[shard] = getBatch()
 	w := s.workers[shard]
 	if w.state.Load() != stateHealthy {
 		s.shedBatchLocked(shard, batch)
@@ -716,6 +765,7 @@ func (s *ShardedEngine) shedBatchLocked(shard int, batch []shardItem) {
 		s.raiseSelf(RuleIDSOverload, fmt.Sprintf("shard:%d", shard),
 			fmt.Sprintf("shed %d frames bound for shard %d (queue stalled or shard quarantined)", n, shard), at)
 	}
+	putBatch(batch)
 }
 
 // shedItems counts the frames in a run of items and acks its markers,
@@ -1077,6 +1127,7 @@ func (w *shardWorker) run() {
 			// shard. Inspect markers still publish (the engine is
 			// quiescent — "alerts flushed" outlives the failure).
 			w.drainBatch(batch)
+			putBatch(batch)
 			w.completedB.Add(1)
 			continue
 		}
@@ -1100,6 +1151,7 @@ func (w *shardWorker) run() {
 		} else {
 			w.publish()
 		}
+		putBatch(batch)
 		w.completedB.Add(1)
 		if w.trackBeat {
 			w.beat.Store(time.Now().UnixNano())
@@ -1206,12 +1258,13 @@ func (w *shardWorker) injectFault() {
 // the router's job, so unlike Engine.HandleFrame neither happens here.
 func (w *shardWorker) processFrame(idx uint64, at time.Duration, frame []byte, h RouteHints) {
 	e := w.eng
-	fp := e.distiller.Distill(at, frame)
-	if fp == nil {
+	if !e.distiller.DistillView(at, frame, &e.view) {
 		return
 	}
 	e.stats.Footprints++
-	for _, ev := range e.gen.ProcessHinted(fp, h) {
+	e.evScratch = e.evScratch[:0]
+	e.gen.ProcessView(&e.view, h, &e.evScratch)
+	for _, ev := range e.evScratch {
 		e.stats.Events++
 		w.curTag = mergeTag{idx: idx, sub: w.sub}
 		if e.keepLog {

@@ -33,121 +33,114 @@ func (c *sipCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
 	return ProtoOther, false
 }
 
-func (c *sipCorrelator) Process(f Footprint, h RouteHints, ctx *SessionContext) []Event {
-	fp, ok := f.(*SIPFootprint)
-	if !ok {
-		return nil
+func (c *sipCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+	if v.Proto != ProtoSIP {
+		return
 	}
-	var events []Event
-	m := fp.Msg
+	m := v.Msg
 	st, out := ctx.SIP()
 
-	if len(fp.Malformed) > 0 && !st.badFormat {
+	if len(v.Malformed) > 0 && !st.badFormat {
 		st.badFormat = true
-		events = append(events, Event{
-			At: fp.At, Type: EvSIPBadFormat, Session: st.callID,
-			Detail: fmt.Sprintf("%v", fp.Malformed), Footprint: fp,
+		*evs = append(*evs, Event{
+			At: v.At, Type: EvSIPBadFormat, Session: st.callID,
+			Detail: fmt.Sprintf("%v", v.Malformed), Footprint: ctx.Observation(),
 		})
 	}
 	if m.IsRequest() {
-		events = append(events, c.requestEvents(fp, st, out)...)
+		c.requestEvents(v, st, out, ctx, evs)
 	} else {
-		events = append(events, c.responseEvents(fp, st, out, ctx)...)
+		c.responseEvents(v, st, out, ctx, evs)
 	}
-	return events
 }
 
-func (c *sipCorrelator) requestEvents(fp *SIPFootprint, st *sessionState, out sipOutcome) []Event {
-	var events []Event
+func (c *sipCorrelator) requestEvents(v *FrameView, st *sessionState, out sipOutcome, ctx *SessionContext, evs *[]Event) {
 	if !out.fromToOK {
-		return events
+		return
 	}
-	m := fp.Msg
+	m := v.Msg
 	switch m.Method {
 	case sip.MethodRegister:
-		events = append(events, Event{At: fp.At, Type: EvSIPRegister, Session: st.callID,
-			Detail: out.to.URI.AOR(), Footprint: fp})
+		*evs = append(*evs, Event{At: v.At, Type: EvSIPRegister, Session: st.callID,
+			Detail: out.to.URI.AOR(), Footprint: ctx.Observation()})
 		if authz := m.Headers.Get(sip.HdrAuthorization); authz != "" {
 			if creds, err := sip.ParseCredentials(authz); err == nil {
 				st.guessResponses[creds.Response] = struct{}{}
 				if len(st.guessResponses) >= c.cfg.GuessThreshold && !st.guessFired {
 					st.guessFired = true
-					events = append(events, Event{
-						At: fp.At, Type: EvPasswordGuessing, Session: st.callID,
+					*evs = append(*evs, Event{
+						At: v.At, Type: EvPasswordGuessing, Session: st.callID,
 						Detail: fmt.Sprintf("%d distinct challenge responses for %s from %v",
-							len(st.guessResponses), out.to.URI.AOR(), fp.Src),
-						Footprint: fp,
+							len(st.guessResponses), out.to.URI.AOR(), v.Src),
+						Footprint: ctx.Observation(),
 					})
 				}
 			}
 		}
 	case sip.MethodInvite:
 		if out.firstInvite {
-			events = append(events, Event{At: fp.At, Type: EvSIPInvite, Session: st.callID,
-				Detail: st.callerAOR + " -> " + st.calleeAOR, Footprint: fp})
+			*evs = append(*evs, Event{At: v.At, Type: EvSIPInvite, Session: st.callID,
+				Detail: st.callerAOR + " -> " + st.calleeAOR, Footprint: ctx.Observation()})
 		}
 		if out.reinvite {
-			events = append(events, Event{At: fp.At, Type: EvSIPReinvite, Session: st.callID,
-				Detail: fmt.Sprintf("%s moving media from %v", out.reinviteMover, out.reinviteOld), Footprint: fp})
+			*evs = append(*evs, Event{At: v.At, Type: EvSIPReinvite, Session: st.callID,
+				Detail: fmt.Sprintf("%s moving media from %v", out.reinviteMover, out.reinviteOld), Footprint: ctx.Observation()})
 		}
 	case sip.MethodBye:
 		if out.firstBye {
-			events = append(events, Event{At: fp.At, Type: EvSIPBye, Session: st.callID,
-				Detail: out.from.URI.AOR() + " hangs up", Footprint: fp})
+			*evs = append(*evs, Event{At: v.At, Type: EvSIPBye, Session: st.callID,
+				Detail: out.from.URI.AOR() + " hangs up", Footprint: ctx.Observation()})
 		}
 	}
-	return events
 }
 
-func (c *sipCorrelator) responseEvents(fp *SIPFootprint, st *sessionState, out sipOutcome, ctx *SessionContext) []Event {
-	var events []Event
+func (c *sipCorrelator) responseEvents(v *FrameView, st *sessionState, out sipOutcome, ctx *SessionContext, evs *[]Event) {
 	if !out.cseqOK {
-		return events
+		return
 	}
-	m := fp.Msg
+	m := v.Msg
 	switch {
 	case m.StatusCode == sip.StatusUnauthorized:
 		st.challenges++
-		events = append(events, Event{At: fp.At, Type: EvSIPAuthChallenge, Session: st.callID,
-			Detail: fmt.Sprintf("challenge #%d", st.challenges), Footprint: fp})
+		*evs = append(*evs, Event{At: v.At, Type: EvSIPAuthChallenge, Session: st.callID,
+			Detail: fmt.Sprintf("challenge #%d", st.challenges), Footprint: ctx.Observation()})
 		if st.challenges >= c.cfg.AuthFloodThreshold && !st.floodFired {
 			st.floodFired = true
-			events = append(events, Event{
-				At: fp.At, Type: EvAuthFlood, Session: st.callID,
+			*evs = append(*evs, Event{
+				At: v.At, Type: EvAuthFlood, Session: st.callID,
 				Detail:    fmt.Sprintf("%d unauthorized replies in one session", st.challenges),
-				Footprint: fp,
+				Footprint: ctx.Observation(),
 			})
 		}
 	case out.regOK:
 		if out.bindingIP.IsValid() {
 			ctx.SetBinding(out.regAOR, out.bindingIP)
 		}
-		events = append(events, Event{At: fp.At, Type: EvSIPRegisterOK, Session: st.callID,
-			Detail: out.regAOR, Footprint: fp})
+		*evs = append(*evs, Event{At: v.At, Type: EvSIPRegisterOK, Session: st.callID,
+			Detail: out.regAOR, Footprint: ctx.Observation()})
 	case out.established:
-		events = append(events, Event{At: fp.At, Type: EvSIPCallEstablished, Session: st.callID,
+		*evs = append(*evs, Event{At: v.At, Type: EvSIPCallEstablished, Session: st.callID,
 			Detail:    fmt.Sprintf("%s <-> %s media %v/%v", st.callerAOR, st.calleeAOR, st.callerMedia, st.calleeMedia),
-			Footprint: fp})
-		events = append(events, c.checkUnmatchedMedia(fp, st, ctx)...)
+			Footprint: ctx.Observation()})
+		c.checkUnmatchedMedia(v, st, ctx, evs)
 	}
-	return events
 }
 
 // checkUnmatchedMedia verifies the negotiated caller media address against
 // the caller's registered location — the third condition of the billing
 // fraud rule (Section 3.2).
-func (c *sipCorrelator) checkUnmatchedMedia(fp *SIPFootprint, st *sessionState, ctx *SessionContext) []Event {
+func (c *sipCorrelator) checkUnmatchedMedia(v *FrameView, st *sessionState, ctx *SessionContext, evs *[]Event) {
 	binding, ok := ctx.Binding(st.callerAOR)
 	if !ok || !st.callerMedia.IsValid() {
-		return nil
+		return
 	}
 	if st.callerMedia.Addr() == binding {
-		return nil
+		return
 	}
-	return []Event{{
-		At: fp.At, Type: EvRTPUnmatchedMedia, Session: st.callID,
+	*evs = append(*evs, Event{
+		At: v.At, Type: EvRTPUnmatchedMedia, Session: st.callID,
 		Detail: fmt.Sprintf("caller %s registered at %v but negotiated media at %v",
 			st.callerAOR, binding, st.callerMedia),
-		Footprint: fp,
-	}}
+		Footprint: ctx.Observation(),
+	})
 }

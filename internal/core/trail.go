@@ -15,8 +15,14 @@ type Trail struct {
 	// Protocol is the single protocol this trail carries.
 	Protocol Protocol
 
-	footprints []Footprint
-	maxLen     int
+	// entries is a contiguous slab of value-typed frame views. It grows
+	// until the trail's bound, then becomes a ring: head indexes the
+	// oldest entry and appends overwrite in place, so a saturated trail
+	// (the steady state of a long media stream) retains footprints with
+	// zero per-frame allocation and zero copying.
+	entries []FrameView
+	head    int
+	maxLen  int
 	// restored counts footprints that existed before a checkpoint restore.
 	// Their bytes are deliberately not checkpointed (the event layer never
 	// rereads trail contents); only the length survives, so Len and the
@@ -24,49 +30,115 @@ type Trail struct {
 	restored int
 }
 
-// Append adds a footprint, evicting the oldest when the trail exceeds its
-// bound (memory is the practical limit the paper notes). Restored phantom
-// entries are older than every real one, so they evict first.
-func (t *Trail) Append(f Footprint) {
-	t.footprints = append(t.footprints, f)
-	if t.maxLen > 0 && t.restored+len(t.footprints) > t.maxLen {
-		over := t.restored + len(t.footprints) - t.maxLen
-		if drop := min(over, t.restored); drop > 0 {
-			t.restored -= drop
-			over -= drop
-		}
-		if over > 0 {
-			n := copy(t.footprints, t.footprints[over:])
-			t.footprints = t.footprints[:n]
-		}
+// AppendView adds a copy of the frame view, evicting the oldest entry
+// when the trail exceeds its bound (memory is the practical limit the
+// paper notes). Restored phantom entries are older than every real one,
+// so they evict first.
+func (t *Trail) AppendView(v *FrameView) {
+	if t.maxLen <= 0 || t.restored+len(t.entries) < t.maxLen {
+		t.entries = append(t.entries, *v)
+		return
 	}
+	if t.restored > 0 {
+		t.restored--
+		t.entries = append(t.entries, *v)
+		return
+	}
+	// Saturated: overwrite the oldest slot in place.
+	t.entries[t.head] = *v
+	t.head++
+	if t.head == len(t.entries) {
+		t.head = 0
+	}
+}
+
+// Append adds a boxed footprint (compat path for tests and callers that
+// still hold Footprint values). Footprint types outside the built-in set
+// are dropped: trails store value-typed views.
+func (t *Trail) Append(f Footprint) {
+	var v FrameView
+	if !viewOf(f, &v) {
+		return
+	}
+	t.AppendView(&v)
 }
 
 // Len returns the number of retained footprints (including restored
 // phantom entries whose bytes were dropped at the last checkpoint).
-func (t *Trail) Len() int { return t.restored + len(t.footprints) }
+func (t *Trail) Len() int { return t.restored + len(t.entries) }
 
-// Footprints returns the retained footprints in arrival order. The
-// returned slice is shared; callers must not mutate it.
-func (t *Trail) Footprints() []Footprint { return t.footprints }
-
-// Last returns the most recent footprint, or nil.
-func (t *Trail) Last() Footprint {
-	if len(t.footprints) == 0 {
-		return nil
+// eachView calls fn on every retained entry in arrival order, stopping
+// early when fn returns false. This is the allocation-free read path; the
+// Footprint-returning accessors below box on demand.
+func (t *Trail) eachView(fn func(v *FrameView) bool) {
+	n := len(t.entries)
+	for i := 0; i < n; i++ {
+		j := t.head + i
+		if j >= n {
+			j -= n
+		}
+		if !fn(&t.entries[j]) {
+			return
+		}
 	}
-	return t.footprints[len(t.footprints)-1]
 }
 
-// Since returns the footprints observed strictly after cutoff.
-func (t *Trail) Since(cutoff time.Duration) []Footprint {
-	// Footprints arrive in time order: binary search would do, but trails
-	// are short-lived; scan from the back.
-	i := len(t.footprints)
-	for i > 0 && t.footprints[i-1].Time() > cutoff {
-		i--
+// Footprints returns the retained footprints in arrival order, boxed.
+// This is a materializing (slow-path) accessor for reports, tests and the
+// direct-matching ablation; the detection hot path never calls it.
+func (t *Trail) Footprints() []Footprint {
+	if len(t.entries) == 0 {
+		return nil
 	}
-	return t.footprints[i:]
+	out := make([]Footprint, 0, len(t.entries))
+	t.eachView(func(v *FrameView) bool {
+		out = append(out, v.box())
+		return true
+	})
+	return out
+}
+
+// Last returns the most recent footprint, boxed, or nil.
+func (t *Trail) Last() Footprint {
+	n := len(t.entries)
+	if n == 0 {
+		return nil
+	}
+	j := t.head - 1
+	if j < 0 {
+		j = n - 1
+	}
+	return t.entries[j].box()
+}
+
+// Since returns the footprints observed strictly after cutoff, boxed.
+func (t *Trail) Since(cutoff time.Duration) []Footprint {
+	// Entries arrive in time order: count the suffix newer than cutoff
+	// from the back, then box it in order.
+	n := len(t.entries)
+	keep := 0
+	for keep < n {
+		j := t.head - 1 - keep
+		if j < 0 {
+			j += n
+		}
+		if t.entries[j].At <= cutoff {
+			break
+		}
+		keep++
+	}
+	if keep == 0 {
+		return nil
+	}
+	out := make([]Footprint, 0, keep)
+	for i := keep; i > 0; i-- {
+		j := t.head - i
+		if j < 0 {
+			j += n
+		}
+		out = append(out, t.entries[j].box())
+	}
+	return out
 }
 
 // trailKey identifies one trail in the store.

@@ -175,6 +175,70 @@ func MarshalCompound(pkts []RTCPPacket) ([]byte, error) {
 	return out, nil
 }
 
+// CompoundView is the allocation-free projection of a compound RTCP
+// datagram that PeekCompound produces: how many packets it holds and
+// whether any of them is a BYE — everything the detection hot path
+// consumes — instead of materialized packet structs.
+type CompoundView struct {
+	Packets int
+	HasBye  bool
+}
+
+// PeekCompound scans a compound RTCP datagram into v without allocating.
+// It applies exactly the validation UnmarshalCompound applies (per-packet
+// header, length, and body-layout checks), so a buffer is accepted by one
+// iff it is accepted by the other; errors carry the same text.
+func PeekCompound(buf []byte, v *CompoundView) error {
+	v.Packets, v.HasBye = 0, false
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return fmt.Errorf("rtcp: trailing %d bytes shorter than header", len(buf))
+		}
+		if ver := buf[0] >> 6; ver != Version {
+			return fmt.Errorf("rtcp: bad version %d", ver)
+		}
+		count := int(buf[0] & 0x1f)
+		pt := buf[1]
+		length := (int(binary.BigEndian.Uint16(buf[2:4])) + 1) * 4
+		if length > len(buf) {
+			return fmt.Errorf("rtcp: packet length %d exceeds buffer of %d", length, len(buf))
+		}
+		body := buf[4:length]
+		switch pt {
+		case RTCPSenderReport:
+			if len(body) < 24+reportBlockLen*count {
+				return fmt.Errorf("rtcp: SR too short for %d blocks", count)
+			}
+		case RTCPReceiverReport:
+			if len(body) < 4+reportBlockLen*count {
+				return fmt.Errorf("rtcp: RR too short for %d blocks", count)
+			}
+		case RTCPSourceDesc:
+			if len(body) < 6 || body[4] != 1 {
+				return fmt.Errorf("rtcp: unsupported SDES layout")
+			}
+			if n := int(body[5]); len(body) < 6+n {
+				return fmt.Errorf("rtcp: SDES CNAME overruns packet")
+			}
+		case RTCPBye:
+			if len(body) < 4*count {
+				return fmt.Errorf("rtcp: BYE too short for %d SSRCs", count)
+			}
+			if rest := body[4*count:]; len(rest) > 0 {
+				if n := int(rest[0]); len(rest) < 1+n {
+					return fmt.Errorf("rtcp: BYE reason overruns packet")
+				}
+			}
+			v.HasBye = true
+		default:
+			return fmt.Errorf("rtcp: unknown packet type %d", pt)
+		}
+		v.Packets++
+		buf = buf[length:]
+	}
+	return nil
+}
+
 // UnmarshalCompound parses a compound RTCP datagram.
 func UnmarshalCompound(buf []byte) ([]RTCPPacket, error) {
 	var pkts []RTCPPacket

@@ -100,6 +100,57 @@ func Unmarshal(buf []byte) (Packet, error) {
 	return p, nil
 }
 
+// HeaderView is the allocation-free projection of an RTP packet that
+// PeekHeader produces: the fixed header fields plus the CSRC count and
+// payload length instead of materialized slices.
+type HeaderView struct {
+	Padding     bool
+	Extension   bool
+	Marker      bool
+	PayloadType uint8
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+	CSRCCount   int
+	PayloadLen  int
+}
+
+// PeekHeader decodes an RTP packet into v without allocating. It applies
+// exactly the validation Unmarshal applies (version, CSRC bounds, padding
+// count), so a buffer is accepted by one iff it is accepted by the other;
+// errors carry the same text. Nothing in v aliases buf.
+func PeekHeader(buf []byte, v *HeaderView) error {
+	if len(buf) < HeaderLen {
+		return fmt.Errorf("rtp: packet of %d bytes shorter than header", len(buf))
+	}
+	if ver := buf[0] >> 6; ver != Version {
+		return fmt.Errorf("rtp: bad version %d", ver)
+	}
+	v.Padding = buf[0]&(1<<5) != 0
+	v.Extension = buf[0]&(1<<4) != 0
+	cc := int(buf[0] & 0x0f)
+	v.Marker = buf[1]&(1<<7) != 0
+	v.PayloadType = buf[1] & 0x7f
+	v.Seq = binary.BigEndian.Uint16(buf[2:4])
+	v.Timestamp = binary.BigEndian.Uint32(buf[4:8])
+	v.SSRC = binary.BigEndian.Uint32(buf[8:12])
+	end := HeaderLen + 4*cc
+	if len(buf) < end {
+		return fmt.Errorf("rtp: packet of %d bytes too short for %d CSRCs", len(buf), cc)
+	}
+	v.CSRCCount = cc
+	payload := buf[end:]
+	if v.Padding && len(payload) > 0 {
+		pad := int(payload[len(payload)-1])
+		if pad == 0 || pad > len(payload) {
+			return fmt.Errorf("rtp: bad padding count %d", pad)
+		}
+		payload = payload[:len(payload)-pad]
+	}
+	v.PayloadLen = len(payload)
+	return nil
+}
+
 // SeqLess reports whether a precedes b in wrap-aware RFC 1982 order.
 func SeqLess(a, b uint16) bool {
 	return a != b && int16(b-a) > 0

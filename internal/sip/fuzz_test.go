@@ -2,6 +2,7 @@ package sip
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -29,6 +30,50 @@ func FuzzParseMessage(f *testing.F) {
 		}
 		if !bytes.Equal(again.Body, m.Body) {
 			t.Fatalf("body changed on round trip: %q vs %q", m.Body, again.Body)
+		}
+	})
+}
+
+// FuzzParserReuse proves a recycled Parser never leaks state between
+// messages: one long-lived parser (its intern table and fold buffer
+// accumulating across every fuzz input) must produce exactly the result
+// a fresh parser does — same error text, same Message — and ParseInto
+// into a reused Message must match field for field.
+func FuzzParserReuse(f *testing.F) {
+	f.Add([]byte("INVITE sip:bob@example.com SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK1\r\nFrom: <sip:a@x>;tag=1\r\nTo: <sip:b@y>\r\nCall-ID: fz@x\r\nCSeq: 1 INVITE\r\n\r\nbody"))
+	f.Add([]byte("SIP/2.0 401 Unauthorized\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:a@x>\r\nTo: <sip:b@y>;tag=2\r\nCall-ID: fz@x\r\nCSeq: 1 REGISTER\r\nWWW-Authenticate: Digest realm=\"r\", nonce=\"n\"\r\n\r\n"))
+	f.Add(sampleInvite().Marshal())
+	f.Add([]byte("OPTIONS sip:x SIP/2.0\r\nSubject: folded\r\n continuation\r\nCall-ID: c\r\n\r\n"))
+	f.Add([]byte("\r\n\r\n"))
+	recycled := NewParser()
+	var into Message
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fresh := NewParser()
+		want, wantErr := fresh.Parse(raw)
+		got, gotErr := recycled.Parse(raw)
+		switch {
+		case (wantErr == nil) != (gotErr == nil):
+			t.Fatalf("recycled parser error mismatch: fresh=%v recycled=%v\ninput: %q", wantErr, gotErr, raw)
+		case wantErr != nil:
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("recycled parser error text drifted: fresh=%q recycled=%q\ninput: %q", wantErr, gotErr, raw)
+			}
+			return
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("recycled parser result drifted from fresh parse\ninput: %q\nfresh:    %+v\nrecycled: %+v", raw, want, got)
+		}
+		// ParseInto reuses both the parser and the message; everything but
+		// the (raw-aliasing) body must match the fresh parse exactly.
+		if err := recycled.ParseInto(raw, &into); err != nil {
+			t.Fatalf("ParseInto failed where Parse succeeded: %v\ninput: %q", err, raw)
+		}
+		if !bytes.Equal(into.Body, want.Body) {
+			t.Fatalf("ParseInto body mismatch: %q vs %q", into.Body, want.Body)
+		}
+		into.Body = want.Body
+		if !reflect.DeepEqual(&into, want) {
+			t.Fatalf("ParseInto result drifted from fresh parse\ninput: %q\nfresh:     %+v\nparse-into: %+v", raw, want, &into)
 		}
 	})
 }

@@ -98,9 +98,34 @@ var compactForms = map[string]string{
 	"e": "Content-Encoding",
 }
 
+// canonNames resolves the header-name spellings seen in practice
+// (canonical, all-lowercase, and compact forms) without allocating; every
+// Headers accessor canonicalizes, so this lookup keeps Get/Add off the
+// heap on the hot path. Unlisted spellings fall back to the folding code.
+var canonNames = map[string]string{}
+
+func init() {
+	for _, n := range []string{
+		HdrVia, HdrFrom, HdrTo, HdrCallID, HdrCSeq, HdrContact,
+		HdrMaxForwards, HdrContentType, HdrContentLength, HdrExpires,
+		HdrWWWAuth, HdrAuthorization, HdrRoute, HdrRecordRoute,
+		HdrUserAgent, "Subject", "Supported", "Content-Encoding",
+	} {
+		canonNames[n] = n
+		canonNames[strings.ToLower(n)] = n
+	}
+	for c, full := range compactForms {
+		canonNames[c] = full
+		canonNames[strings.ToUpper(c)] = full
+	}
+}
+
 // CanonicalHeaderName normalizes a header name: compact forms expand and
 // case is folded to the usual SIP capitalization.
 func CanonicalHeaderName(name string) string {
+	if full, ok := canonNames[name]; ok {
+		return full
+	}
 	lower := strings.ToLower(strings.TrimSpace(name))
 	if full, ok := compactForms[lower]; ok {
 		return full
@@ -180,6 +205,19 @@ func (h *Headers) Values(name string) []string {
 		}
 	}
 	return vals
+}
+
+// Count returns how many fields carry the given name, without
+// materializing their values (the allocation-free form of len(Values)).
+func (h *Headers) Count(name string) int {
+	name = CanonicalHeaderName(name)
+	n := 0
+	for _, f := range h.fields {
+		if f.name == name {
+			n++
+		}
+	}
+	return n
 }
 
 // Has reports whether at least one field with the given name exists.

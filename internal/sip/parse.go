@@ -1,9 +1,7 @@
 package sip
 
 import (
-	"bytes"
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -14,95 +12,15 @@ var crlf = []byte("\r\n")
 // line folding (continuation lines beginning with space or tab) is
 // unfolded. When Content-Length is present the body is truncated or
 // validated against it; when absent the remainder of the buffer is the
-// body.
+// body. Nothing in the returned Message aliases raw (the body is
+// copied), so the caller may recycle raw immediately.
+//
+// ParseMessage borrows a pooled Parser; callers parsing in a loop should
+// hold their own Parser (see Parser) to keep its intern table warm.
 func ParseMessage(raw []byte) (*Message, error) {
-	headerEnd := bytes.Index(raw, []byte("\r\n\r\n"))
-	sepLen := 4
-	if headerEnd < 0 {
-		headerEnd = bytes.Index(raw, []byte("\n\n"))
-		sepLen = 2
-	}
-	var head, body []byte
-	if headerEnd < 0 {
-		head = raw
-	} else {
-		head = raw[:headerEnd]
-		body = raw[headerEnd+sepLen:]
-	}
-	lines := splitLines(head)
-	if len(lines) == 0 || len(bytes.TrimSpace(lines[0])) == 0 {
-		return nil, fmt.Errorf("sip: empty message")
-	}
-	m := &Message{}
-	if err := parseStartLine(m, string(lines[0])); err != nil {
-		return nil, err
-	}
-	if err := parseHeaders(&m.Headers, lines[1:]); err != nil {
-		return nil, err
-	}
-	if clv := m.Headers.Get(HdrContentLength); clv != "" {
-		cl, err := strconv.Atoi(strings.TrimSpace(clv))
-		if err != nil || cl < 0 {
-			return nil, fmt.Errorf("sip: bad Content-Length %q", clv)
-		}
-		if cl > len(body) {
-			return nil, fmt.Errorf("sip: Content-Length %d exceeds body of %d bytes", cl, len(body))
-		}
-		body = body[:cl]
-	}
-	m.Body = body
-	if err := validateMandatory(m); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-// splitLines splits on CRLF or LF.
-func splitLines(b []byte) [][]byte {
-	var lines [][]byte
-	for len(b) > 0 {
-		i := bytes.IndexByte(b, '\n')
-		if i < 0 {
-			lines = append(lines, b)
-			break
-		}
-		line := b[:i]
-		line = bytes.TrimSuffix(line, []byte("\r"))
-		lines = append(lines, line)
-		b = b[i+1:]
-	}
-	return lines
-}
-
-func parseStartLine(m *Message, line string) error {
-	if strings.HasPrefix(line, "SIP/2.0 ") {
-		rest := line[len("SIP/2.0 "):]
-		sp := strings.IndexByte(rest, ' ')
-		codeStr, reason := rest, ""
-		if sp >= 0 {
-			codeStr, reason = rest[:sp], rest[sp+1:]
-		}
-		code, err := strconv.Atoi(codeStr)
-		if err != nil || code < 100 || code > 699 {
-			return fmt.Errorf("sip: bad status code %q", codeStr)
-		}
-		m.StatusCode = code
-		m.ReasonPhrase = reason
-		return nil
-	}
-	f := strings.SplitN(line, " ", 3)
-	if len(f) != 3 || f[2] != "SIP/2.0" {
-		return fmt.Errorf("sip: bad start line %q", line)
-	}
-	if f[0] == "" || f[1] == "" {
-		return fmt.Errorf("sip: bad start line %q", line)
-	}
-	if !isToken(f[0]) {
-		return fmt.Errorf("sip: method %q is not a valid token", f[0])
-	}
-	m.Method = Method(f[0])
-	m.RequestURI = f[1]
-	return nil
+	p := AcquireParser()
+	defer ReleaseParser(p)
+	return p.Parse(raw)
 }
 
 // isToken reports whether s is a valid RFC 3261 token (the charset for
@@ -121,38 +39,6 @@ func isToken(s string) bool {
 		}
 	}
 	return true
-}
-
-func parseHeaders(h *Headers, lines [][]byte) error {
-	var name, value string
-	flush := func() {
-		if name != "" {
-			h.Add(name, strings.TrimSpace(value))
-		}
-		name, value = "", ""
-	}
-	for _, raw := range lines {
-		line := string(raw)
-		if line == "" {
-			continue
-		}
-		if line[0] == ' ' || line[0] == '\t' {
-			if name == "" {
-				return fmt.Errorf("sip: continuation line %q without preceding header", line)
-			}
-			value += " " + strings.TrimSpace(line)
-			continue
-		}
-		flush()
-		colon := strings.IndexByte(line, ':')
-		if colon <= 0 {
-			return fmt.Errorf("sip: malformed header line %q", line)
-		}
-		name = line[:colon]
-		value = line[colon+1:]
-	}
-	flush()
-	return nil
 }
 
 // validateMandatory checks the headers every SIP message must carry
