@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"scidive/internal/capture"
@@ -12,33 +13,59 @@ import (
 	"scidive/internal/experiments"
 )
 
-// Sharded-engine scaling check: replay one mixed-call workload through the
-// serial engine and through ShardedEngine at 1, 2 and 8 shards, verify
-// every run raises exactly the expected alerts, and fail (non-zero exit)
-// if 8 shards deliver less than minShardedSpeedup x the serial
-// frames-per-second. BENCH_sharded.json in the repo root records the
-// numbers from the first run of this check.
+// Sharded-engine scaling check: replay one mixed-call workload through
+// the serial engine and through ShardedEngine over a grid of ingest
+// widths (1, 2, 4 parallel ingest routers) × worker shard counts (1, 2,
+// 8), verify every run raises exactly the expected alerts, and fail
+// (non-zero exit) if the best 8-shard configuration falls below the
+// scaling-aware speedup gate. BENCH_sharded.json in the repo root
+// records the numbers; regenerate with `benchreport -exp sharded -json
+// BENCH_sharded.json` after hot-path changes.
 
 const (
 	shardedCalls  = 256
 	shardedRounds = 24
-	// minShardedSpeedup is the regression gate for BenchmarkSharded_8
-	// versus the serial baseline on the same workload.
-	minShardedSpeedup = 2.0
+	// fullShardedSpeedup is the 8-shard regression gate on a host with at
+	// least 8 CPUs. requiredSpeedup scales it by the CPUs actually
+	// available (floor 1.0x, i.e. "no slower than serial"), so the gate
+	// measures the machine it runs on instead of demanding an 8-way
+	// speedup from a 1-core CI box.
+	fullShardedSpeedup = 5.0
 	// shardedReps: each configuration is timed this many times and the
 	// best run is kept, shedding scheduler noise.
 	shardedReps = 3
 )
 
-// ShardedReport is the JSON shape of BENCH_sharded.json.
+var (
+	shardedIngestWidths = []int{1, 2, 4}
+	shardedShardCounts  = []int{1, 2, 8}
+)
+
+// requiredSpeedup is the gate for the best 8-shard configuration versus
+// the serial baseline, scaled to the host's parallelism.
+func requiredSpeedup(cpus int) float64 {
+	if cpus >= 8 {
+		return fullShardedSpeedup
+	}
+	r := fullShardedSpeedup * float64(cpus) / 8
+	if r < 1.0 {
+		r = 1.0
+	}
+	return r
+}
+
+// ShardedReport is the JSON shape of BENCH_sharded.json. ShardedFPS is
+// keyed "IxS" — I parallel ingest routers feeding S worker shards.
 type ShardedReport struct {
-	Calls      int                `json:"calls"`
-	Rounds     int                `json:"rtp_rounds"`
-	Frames     int                `json:"frames"`
-	Alerts     int                `json:"alerts_per_run"`
-	SerialFPS  float64            `json:"serial_fps"`
-	ShardedFPS map[string]float64 `json:"sharded_fps"`
-	Speedup8   float64            `json:"speedup_8_shards"`
+	Calls           int                `json:"calls"`
+	Rounds          int                `json:"rtp_rounds"`
+	Frames          int                `json:"frames"`
+	Alerts          int                `json:"alerts_per_run"`
+	CPUs            int                `json:"cpus"`
+	SerialFPS       float64            `json:"serial_fps"`
+	ShardedFPS      map[string]float64 `json:"sharded_fps"`
+	Speedup8        float64            `json:"speedup_8_shards"`
+	RequiredSpeedup float64            `json:"required_speedup"`
 }
 
 func checkShardedAlerts(alerts []core.Alert) error {
@@ -74,11 +101,13 @@ func bestFPS(recs []capture.Record, fn func() ([]core.Alert, error)) (float64, e
 	return best, nil
 }
 
+func gridKey(ingest, shards int) string { return fmt.Sprintf("%dx%d", ingest, shards) }
+
 func measureSharded() (ShardedReport, error) {
 	recs := experiments.MixedCallWorkload(shardedCalls, shardedRounds, 1)
 	rep := ShardedReport{
 		Calls: shardedCalls, Rounds: shardedRounds, Frames: len(recs),
-		Alerts: shardedCalls, ShardedFPS: map[string]float64{},
+		Alerts: shardedCalls, CPUs: runtime.NumCPU(), ShardedFPS: map[string]float64{},
 	}
 	var err error
 	rep.SerialFPS, err = bestFPS(recs, func() ([]core.Alert, error) {
@@ -91,22 +120,29 @@ func measureSharded() (ShardedReport, error) {
 	if err != nil {
 		return rep, fmt.Errorf("serial: %w", err)
 	}
-	for _, shards := range []int{1, 2, 8} {
-		shards := shards
-		fps, err := bestFPS(recs, func() ([]core.Alert, error) {
-			eng := core.NewShardedEngine(core.Config{}, shards)
-			for _, r := range recs {
-				eng.HandleFrame(r.Time, r.Frame)
+	for _, ingest := range shardedIngestWidths {
+		for _, shards := range shardedShardCounts {
+			ingest, shards := ingest, shards
+			fps, err := bestFPS(recs, func() ([]core.Alert, error) {
+				eng := core.NewShardedEngine(core.Config{IngestRouters: ingest}, shards)
+				for _, r := range recs {
+					eng.HandleFrame(r.Time, r.Frame)
+				}
+				eng.Close()
+				return eng.Alerts(), nil
+			})
+			if err != nil {
+				return rep, fmt.Errorf("ingest-%d-sharded-%d: %w", ingest, shards, err)
 			}
-			eng.Close()
-			return eng.Alerts(), nil
-		})
-		if err != nil {
-			return rep, fmt.Errorf("sharded-%d: %w", shards, err)
+			rep.ShardedFPS[gridKey(ingest, shards)] = fps
 		}
-		rep.ShardedFPS[fmt.Sprint(shards)] = fps
 	}
-	rep.Speedup8 = rep.ShardedFPS["8"] / rep.SerialFPS
+	for _, ingest := range shardedIngestWidths {
+		if s := rep.ShardedFPS[gridKey(ingest, 8)] / rep.SerialFPS; s > rep.Speedup8 {
+			rep.Speedup8 = s
+		}
+	}
+	rep.RequiredSpeedup = requiredSpeedup(rep.CPUs)
 	return rep, nil
 }
 
@@ -115,11 +151,15 @@ func runSharded(out io.Writer, jsonPath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "Sharded engine scaling (%d concurrent calls, %d frames, %d bye-attacks expected):\n",
-		rep.Calls, rep.Frames, rep.Alerts)
-	fmt.Fprintf(out, "  serial      %10.0f frames/sec\n", rep.SerialFPS)
-	for _, s := range []string{"1", "2", "8"} {
-		fmt.Fprintf(out, "  %2s shard(s) %10.0f frames/sec (%.2fx)\n", s, rep.ShardedFPS[s], rep.ShardedFPS[s]/rep.SerialFPS)
+	fmt.Fprintf(out, "Sharded engine scaling (%d concurrent calls, %d frames, %d bye-attacks expected, %d CPUs):\n",
+		rep.Calls, rep.Frames, rep.Alerts, rep.CPUs)
+	fmt.Fprintf(out, "  serial               %10.0f frames/sec\n", rep.SerialFPS)
+	for _, ingest := range shardedIngestWidths {
+		for _, shards := range shardedShardCounts {
+			key := gridKey(ingest, shards)
+			fmt.Fprintf(out, "  ingest=%d shards=%d    %10.0f frames/sec (%.2fx)\n",
+				ingest, shards, rep.ShardedFPS[key], rep.ShardedFPS[key]/rep.SerialFPS)
+		}
 	}
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -131,9 +171,9 @@ func runSharded(out io.Writer, jsonPath string) error {
 		}
 		fmt.Fprintf(out, "  wrote %s\n", jsonPath)
 	}
-	if rep.Speedup8 < minShardedSpeedup {
-		return fmt.Errorf("sharded speedup regression: 8 shards ran %.2fx serial, gate is %.1fx",
-			rep.Speedup8, minShardedSpeedup)
+	if rep.Speedup8 < rep.RequiredSpeedup {
+		return fmt.Errorf("sharded speedup regression: best 8-shard configuration ran %.2fx serial, gate is %.2fx (%.1fx scaled to %d CPUs)",
+			rep.Speedup8, rep.RequiredSpeedup, fullShardedSpeedup, rep.CPUs)
 	}
 	return nil
 }

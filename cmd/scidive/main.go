@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	scidive -in bye.scap [-events] [-window 1s] [-direct] [-rules FILE] [-json] [-shards N]
+//	scidive -in bye.scap [-events] [-window 1s] [-direct] [-rules FILE] [-json] [-shards N] [-ingest N]
 //	scidive -scenario bye [-seed 7] [-limits sessions=4096,frags=64] [-shed 5ms] [-stall 2s] [-restart-shards]
 //	scidive -scenario bye [-correlators sip,rtp,rtcp]   (subset of protocol correlators; -correlators help lists them)
 //	scidive -in bye.scap -checkpoint ids.ckpt [-checkpoint-every 1000]   (crash recovery: checkpoint detection state)
@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	scenarioName := fs.String("scenario", "", "run a live simulated scenario instead of reading a capture")
 	seed := fs.Int64("seed", 1, "seed for -scenario runs")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "detection worker shards; 1 runs the serial engine")
+	ingest := fs.Int("ingest", 1, "parallel ingest routers partitioning capture decode (sharded engine only); 1 keeps the single synchronous router")
 	correlatorsSpec := fs.String("correlators", "", "comma-separated protocol correlators to enable (default: all); see -correlators help")
 	limitsSpec := fs.String("limits", "", "state budget caps as k=v pairs: sessions,frags,ims,seqs,bindings,alerts,events (0 or absent = unbounded)")
 	shed := fs.Duration("shed", 0, "shed (never block) frames bound for a shard whose queue stays full this long; 0 blocks")
@@ -82,6 +83,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *direct && *shards > 1 {
 		return fmt.Errorf("-direct is a serial-engine ablation; use -shards 1")
+	}
+	if *ingest < 1 {
+		return fmt.Errorf("-ingest must be at least 1")
+	}
+	if *ingest > 1 && *shards <= 1 {
+		return fmt.Errorf("-ingest %d needs the sharded engine; use -shards 2 or more", *ingest)
 	}
 	if *checkpointEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be non-negative")
@@ -130,6 +137,7 @@ func run(args []string, out io.Writer) error {
 		DirectTrailMatching: *direct,
 		Limits:              limits,
 		Correlators:         correlators,
+		IngestRouters:       *ingest,
 	}
 	var eng idsEngine
 	var sessionCount func() (sessions, trails int)

@@ -103,6 +103,29 @@ func TestReplaySharded(t *testing.T) {
 	}
 }
 
+func TestReplayParallelIngest(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 5)
+	var serial, parallel strings.Builder
+	if err := run([]string{"-in", path, "-shards", "1", "-events"}, &serial); err != nil {
+		t.Fatalf("run serial: %v", err)
+	}
+	if err := run([]string{"-in", path, "-shards", "4", "-ingest", "4", "-events"}, &parallel); err != nil {
+		t.Fatalf("run -shards 4 -ingest 4: %v", err)
+	}
+	// The partitioned front end must be output-identical to the serial engine.
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel-ingest output diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-ingest", "0"}, &buf); err == nil {
+		t.Error("-ingest 0 accepted")
+	}
+	if err := run([]string{"-in", path, "-shards", "1", "-ingest", "2"}, &buf); err == nil {
+		t.Error("-ingest 2 with the serial engine accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf strings.Builder
 	if err := run(nil, &buf); err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -146,22 +147,27 @@ func TestSteadyStateAllocs(t *testing.T) {
 	t.Run("sharded", func(t *testing.T) {
 		// The router retains shipped frames, so feeders normally must not
 		// reuse buffers; replaying one immutable frame is safe because its
-		// bytes never change.
-		for _, tc := range []struct {
-			name  string
-			frame []byte
-		}{
-			{"rtp", rtpFrame},
-			{"rtcp", rtcpFrame},
-		} {
-			t.Run(tc.name, func(t *testing.T) {
-				eng := NewShardedEngine(Config{}, 2)
-				defer eng.Close()
-				got := steadyAllocs(eng.HandleFrame, tc.frame, warmup)
-				if got > 0 {
-					t.Errorf("steady-state sharded %s frame: %.1f allocs/op, want 0", tc.name, got)
-				}
-			})
+		// bytes never change. IngestRouters > 1 adds the partitioned front
+		// end: decode lanes, digest batches and the sequencer must all run
+		// off their fixed pools. AllocsPerRun is process-wide, so a single
+		// allocating goroutine anywhere in the tier fails the zero budget.
+		for _, ing := range []int{1, 2, 4} {
+			for _, tc := range []struct {
+				name  string
+				frame []byte
+			}{
+				{"rtp", rtpFrame},
+				{"rtcp", rtcpFrame},
+			} {
+				t.Run(fmt.Sprintf("ingesters=%d/%s", ing, tc.name), func(t *testing.T) {
+					eng := NewShardedEngine(Config{IngestRouters: ing}, 2)
+					defer eng.Close()
+					got := steadyAllocs(eng.HandleFrame, tc.frame, warmup)
+					if got > 0 {
+						t.Errorf("steady-state sharded %s frame (ingesters=%d): %.1f allocs/op, want 0", tc.name, ing, got)
+					}
+				})
+			}
 		}
 	})
 }

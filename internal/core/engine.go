@@ -67,6 +67,13 @@ type Config struct {
 	// Limits is the state budget (zero value = unbounded, the historic
 	// behavior).
 	Limits Limits
+	// IngestRouters is how many parallel ingest routers the sharded
+	// engine fans capture decode across (<= 1 keeps the single
+	// synchronous router; see ingest.go for the determinism argument).
+	// The serial engine ignores it. The value is part of a checkpoint's
+	// identity: a snapshot only restores into an engine with the same
+	// ingest width.
+	IngestRouters int
 }
 
 // Engine is a deployed SCIDIVE instance: Distiller -> Trails -> Event

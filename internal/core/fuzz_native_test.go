@@ -139,6 +139,69 @@ func FuzzShardedDivergence(f *testing.F) {
 	})
 }
 
+// FuzzIngestHandoff drives the parallel ingest front end with fuzzed
+// frame streams at fuzzer-chosen (ingesters × shards) widths and holds
+// it to the serial engine's exact output. The decode lanes race freely
+// over arbitrary — often undecodable — bytes; the sequencer must still
+// reproduce the synchronous router's alerts, events and stats.
+func FuzzIngestHandoff(f *testing.F) {
+	var seed []byte
+	for _, fr := range fuzzSeedFrames(f) {
+		seed = append(seed, fr...)
+	}
+	f.Add(seed, uint8(2), uint8(3))
+	f.Add([]byte{}, uint8(4), uint8(1))
+	f.Add(make([]byte, 300), uint8(3), uint8(8))
+	f.Fuzz(func(t *testing.T, data []byte, ningest, nshards uint8) {
+		ingesters := 2 + int(ningest)%3 // 2..4: width 1 is the synchronous router
+		shards := 1 + int(nshards)%8
+		frames := fuzzFrameStream(data)
+
+		serial := NewEngine(Config{}, WithEventLog())
+		parallel := NewShardedEngine(Config{IngestRouters: ingesters}, shards, WithEventLog())
+		defer parallel.Close()
+		at := time.Millisecond
+		for _, fr := range frames {
+			serial.HandleFrame(at, fr)
+			parallel.HandleFrame(at, fr)
+			at += 3 * time.Millisecond
+		}
+		parallel.Flush()
+
+		sEv, gEv := serial.Events(), parallel.Events()
+		if len(sEv) != len(gEv) {
+			t.Fatalf("event count diverged: serial %d, parallel %d", len(sEv), len(gEv))
+		}
+		for i := range sEv {
+			a := fmt.Sprintf("%v|%v|%s|%s", sEv[i].At, sEv[i].Type, sEv[i].Session, sEv[i].Detail)
+			b := fmt.Sprintf("%v|%v|%s|%s", gEv[i].At, gEv[i].Type, gEv[i].Session, gEv[i].Detail)
+			if a != b {
+				t.Fatalf("event %d diverged:\nserial   %s\nparallel %s", i, a, b)
+			}
+		}
+		sAl, gAl := serial.Alerts(), parallel.Alerts()
+		if len(sAl) != len(gAl) {
+			t.Fatalf("alert count diverged: serial %d, parallel %d", len(sAl), len(gAl))
+		}
+		for i := range sAl {
+			a := fmt.Sprintf("%v|%s|%s|%s|%d", sAl[i].At, sAl[i].Rule, sAl[i].Session, sAl[i].Detail, sAl[i].Count)
+			b := fmt.Sprintf("%v|%s|%s|%s|%d", gAl[i].At, gAl[i].Rule, gAl[i].Session, gAl[i].Detail, gAl[i].Count)
+			if a != b {
+				t.Fatalf("alert %d diverged:\nserial   %s\nparallel %s", i, a, b)
+			}
+		}
+		if ss, gs := serial.Stats(), parallel.Stats(); ss != gs {
+			t.Fatalf("stats diverged: serial %+v, parallel %+v", ss, gs)
+		}
+		for _, h := range parallel.IngestHealth() {
+			if h.FramesFed != h.FramesSequenced {
+				t.Fatalf("lane %d ledger broken after flush: fed %d, sequenced %d",
+					h.Ingester, h.FramesFed, h.FramesSequenced)
+			}
+		}
+	})
+}
+
 // fuzzSnapshotSeeds builds real checkpoints (serial and 2-shard) from
 // seed traffic so the fuzzer mutates valid formats, not just noise.
 func fuzzSnapshotSeeds(t testing.TB) [][]byte {

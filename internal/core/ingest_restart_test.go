@@ -1,0 +1,102 @@
+package core_test
+
+// Kill/restore coverage for the parallel ingest front end: a checkpoint
+// taken while capture is partitioned across N ingest lanes must resume
+// byte-identically, and the deployment-style chaoscore.KillAt flow must
+// carry the ingest width through the checkpoint header.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scidive/internal/chaoscore"
+	"scidive/internal/core"
+)
+
+// TestKillRestoreParallelIngest sweeps kill points over stateful
+// scenarios with ingesters ∈ {2,4} × shards ∈ {2,8}. The baseline is
+// the SERIAL uninterrupted run, so the test simultaneously proves the
+// resumed engine equals the parallel run and that the parallel run
+// never diverged from the synchronous router in the first place.
+func TestKillRestoreParallelIngest(t *testing.T) {
+	scenarios := []string{"bye", "rtcpbye", "fragflood", "optionsscan"}
+	if testing.Short() {
+		scenarios = []string{"bye", "fragflood"}
+	}
+	for _, name := range scenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			frames := scenarioFrames(t, name, 7)
+			points := killPoints(len(frames), shortKillFractions)
+			wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+			for _, ing := range []int{2, 4} {
+				for _, shards := range []int{2, 8} {
+					cfg := core.Config{IngestRouters: ing}
+					for _, k := range points {
+						gotA, gotE, gotS := runShardedKillRestore(t, frames, shards, k, cfg)
+						compareToBaseline(t,
+							fmt.Sprintf("%s ingesters=%d shards=%d kill@%d/%d", name, ing, shards, k, len(frames)),
+							gotA, gotE, gotS, wantAlerts, wantEvents, wantStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKillAtCheckpointResumeParallelIngest runs the deployment flow
+// with a partitioned front end: the chaoscore kill tap fires mid-trace,
+// the checkpoint that lands on disk names its ingest width, and the
+// restarted process (same width) resumes to the uninterrupted output.
+func TestKillAtCheckpointResumeParallelIngest(t *testing.T) {
+	frames := scenarioFrames(t, "bye", 7)
+	cfg := core.Config{IngestRouters: 4}
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+
+	path := filepath.Join(t.TempDir(), "scidive.ckpt")
+	eng := core.NewShardedEngine(cfg, 2, core.WithEventLog())
+	tap := chaoscore.KillAt(len(frames)/2, func() {
+		snap, err := eng.Snapshot()
+		if err != nil {
+			t.Errorf("snapshot at kill: %v", err)
+			return
+		}
+		if err := core.WriteCheckpoint(path, snap); err != nil {
+			t.Errorf("write checkpoint: %v", err)
+		}
+	}, eng.HandleFrame)
+	for _, r := range frames {
+		tap(r.at, r.frame)
+	}
+	eng.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	info, err := core.PeekSnapshotInfo(data)
+	if err != nil {
+		t.Fatalf("peek checkpoint: %v", err)
+	}
+	if !info.Sharded || info.Shards != 2 || info.Ingesters != 4 {
+		t.Fatalf("peek = %+v, want a 2-shard checkpoint with 4 ingest routers", info)
+	}
+	if info.Frames != uint64(len(frames)/2) {
+		t.Fatalf("checkpoint covers %d frames, kill was at %d", info.Frames, len(frames)/2)
+	}
+
+	resumed := core.NewShardedEngine(cfg, 2, core.WithEventLog())
+	defer resumed.Close()
+	if err := resumed.RestoreSnapshot(data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, r := range frames[info.Frames:] {
+		resumed.HandleFrame(r.at, r.frame)
+	}
+	resumed.Flush()
+	compareToBaseline(t, "parallel-ingest kill-at resume", resumed.Alerts(), resumed.Events(), resumed.Stats(),
+		wantAlerts, wantEvents, wantStats)
+}

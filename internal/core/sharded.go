@@ -120,6 +120,14 @@ type ShardedEngine struct {
 
 	watchStop chan struct{}
 
+	// ing is the parallel ingest front end (Config.IngestRouters > 1):
+	// decode lanes that peel the per-frame decode work off the routing
+	// lock, plus a sequencer that replays their digests into the routing
+	// path above in exact arrival order (see ingest.go). nil means the
+	// historic fully synchronous router.
+	ing       *ingestTier
+	ingesters int
+
 	workers []*shardWorker
 
 	cbMu    sync.Mutex
@@ -377,6 +385,13 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		s.watchStop = make(chan struct{})
 		go s.watchdog(cfg.Limits.StallTimeout)
 	}
+	s.ingesters = cfg.IngestRouters
+	if s.ingesters < 1 {
+		s.ingesters = 1
+	}
+	if s.ingesters > 1 {
+		s.ing = newIngestTier(s, s.ingesters)
+	}
 	return s
 }
 
@@ -405,6 +420,10 @@ func (s *ShardedEngine) wireWorker(w *shardWorker) {
 // Shards returns the number of worker shards.
 func (s *ShardedEngine) Shards() int { return len(s.workers) }
 
+// Ingesters returns the number of parallel ingest routers (1 means the
+// single synchronous router).
+func (s *ShardedEngine) Ingesters() int { return s.ingesters }
+
 // ShardOf reports which shard the given routing key maps to with n
 // shards. Exported so chaos tests and capacity planning can predict
 // frame placement; for calls the routing key is the Call-ID, for IM
@@ -425,6 +444,10 @@ func (s *ShardedEngine) OnAlert(fn func(Alert)) {
 // safe for concurrent use. Frames arriving after Close are dropped and
 // counted in Stats().FramesAfterClose.
 func (s *ShardedEngine) HandleFrame(at time.Duration, frame []byte) {
+	if s.ing != nil {
+		s.ing.feed(at, frame)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -574,14 +597,7 @@ func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort
 		return key, hints, true
 	case ProtoAccounting:
 		txn, err := accounting.ParseTxn(udpPayload)
-		if err != nil {
-			return s.idx.endpointKey('w', "raw:", dst), RouteHints{}, true
-		}
-		if txn.Kind == accounting.TxnStart {
-			// The generator creates session state for billing STARTs.
-			s.idx.core(txn.CallID)
-		}
-		return txn.CallID, RouteHints{}, true
+		return s.classifyAcctLocked(dst, txn.CallID, txn.Kind == accounting.TxnStart, err == nil), RouteHints{}, true
 	case ProtoRTP:
 		key, hints := s.classifyRTPLocked(at, src, dst, udpPayload)
 		return key, hints, true
@@ -593,14 +609,40 @@ func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort
 	}
 }
 
+// classifyAcctLocked is the stateful half of accounting classification.
+// ok=false means the transaction did not parse and is filed raw.
+func (s *ShardedEngine) classifyAcctLocked(dst netip.AddrPort, callID string, start, ok bool) string {
+	if !ok {
+		return s.idx.endpointKey('w', "raw:", dst)
+	}
+	if start {
+		// The generator creates session state for billing STARTs.
+		s.idx.core(callID)
+	}
+	return callID
+}
+
 func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
 	// ParseInto reuses the router's message and aliases the frame's body;
 	// neither outlives this call — applySIP and the hinters extract only
 	// interned strings and scalar verdicts.
+	m := &s.msg
 	if err := s.parser.ParseInto(udpPayload, &s.msg); err != nil {
+		m = nil
+	}
+	return s.classifySIPMsgLocked(at, src, dst, m)
+}
+
+// classifySIPMsgLocked is the stateful half of SIP classification: it
+// takes an already-parsed message (nil for an unparseable datagram on a
+// SIP port) and runs the directory transition, hinters, binding
+// replication and sticky-key pinning. The synchronous router parses into
+// its own scratch message; the ingest sequencer passes messages the
+// ingest lanes parsed in parallel (see ingest.go).
+func (s *ShardedEngine) classifySIPMsgLocked(at time.Duration, src, dst netip.AddrPort, m *sip.Message) (string, RouteHints) {
+	if m == nil {
 		return s.idx.endpointKey('w', "raw:", dst), RouteHints{}
 	}
-	m := &s.msg
 	st, out := s.idx.applySIP(m, at, src)
 	// Hinter correlators judge the sighting against their router-owned
 	// state here, in arrival order, exactly as the serial correlators
@@ -648,7 +690,16 @@ func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrP
 }
 
 func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
-	if err := rtp.PeekHeader(udpPayload, &s.rtpHdr); err != nil {
+	ok := rtp.PeekHeader(udpPayload, &s.rtpHdr) == nil
+	return s.classifyRTPSeqLocked(at, src, dst, s.rtpHdr.Seq, ok)
+}
+
+// classifyRTPSeqLocked is the stateful half of RTP classification: only
+// the peeked sequence number (and whether the peek succeeded) is needed
+// from the datagram, so ingest lanes can do the header decode off the
+// routing lock.
+func (s *ShardedEngine) classifyRTPSeqLocked(at time.Duration, src, dst netip.AddrPort, seq uint16, ok bool) (string, RouteHints) {
+	if !ok {
 		// Garbage on a media port: the serial generator attributes the
 		// event to the session negotiating this endpoint.
 		sess := s.idx.mediaDstSession(dst)
@@ -665,8 +716,8 @@ func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrP
 	// shards in global frame order and ships the verdict as a hint.
 	s.hints = RouteHints{Session: session}
 	for _, c := range s.correlators {
-		if rh, ok := c.(rtpHinter); ok {
-			rh.rtpHint(at, dst, s.rtpHdr.Seq, &s.hints)
+		if rh, isHinter := c.(rtpHinter); isHinter {
+			rh.rtpHint(at, dst, seq, &s.hints)
 		}
 	}
 	s.idx.touch(session, at)
@@ -674,7 +725,15 @@ func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrP
 }
 
 func (s *ShardedEngine) classifyRTCPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
-	if err := rtp.PeekCompound(udpPayload, &s.rtcpCmp); err != nil {
+	ok := rtp.PeekCompound(udpPayload, &s.rtcpCmp) == nil
+	return s.classifyRTCPFlowLocked(at, src, dst, ok)
+}
+
+// classifyRTCPFlowLocked is the stateful half of RTCP classification:
+// the compound peek only validates framing, so the lookup needs nothing
+// but the verdict.
+func (s *ShardedEngine) classifyRTCPFlowLocked(at time.Duration, src, dst netip.AddrPort, ok bool) (string, RouteHints) {
+	if !ok {
 		// Undecodable on an RTCP port: filed raw, no session attribution.
 		return s.idx.endpointKey('w', "raw:", dst), RouteHints{}
 	}
@@ -855,9 +914,14 @@ func (s *ShardedEngine) watchdog(timeout time.Duration) {
 }
 
 // Flush delivers all queued work and blocks until every shard has
-// processed (or shed) everything enqueued before the call. Shards the
-// watchdog quarantined as stalled are not waited for.
+// processed (or shed) everything enqueued before the call. With a
+// parallel ingest front end, the ingest lanes are drained first so every
+// frame fed before the call has been sequenced into its shard queue.
+// Shards the watchdog quarantined as stalled are not waited for.
 func (s *ShardedEngine) Flush() {
+	if s.ing != nil {
+		s.ing.drain()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -896,6 +960,11 @@ func awaitAck(w *shardWorker, ack chan struct{}) {
 // Stalled shards are abandoned, not awaited (their goroutines exit when
 // the stall clears, since the queue is closed).
 func (s *ShardedEngine) Close() {
+	if s.ing != nil {
+		// Stop the ingest tier first: in-flight frames are sequenced into
+		// the shard queues and further feeds are counted as after-close.
+		s.ing.close()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -990,9 +1059,43 @@ func (s *ShardedEngine) ShardHealth() []ShardHealth {
 	return out
 }
 
+// IngestHealth is one ingest lane's ledger. After a Flush the three
+// stages reconcile exactly: every frame dealt to a lane was decoded by
+// it and sequenced into the routing path, so
+// FramesFed == FramesDecoded == FramesSequenced per lane, and the lane
+// totals sum to Stats().Frames. Downstream, ShardHealth's
+// routed == processed + shed ledger is unchanged.
+type IngestHealth struct {
+	Ingester        int
+	FramesFed       uint64 // frames dealt to this lane by HandleFrame
+	FramesDecoded   uint64 // frames the lane finished decoding
+	FramesSequenced uint64 // frames the sequencer replayed into routing
+}
+
+// IngestHealth returns the per-ingester ledger, or nil when the engine
+// runs the single synchronous router.
+func (s *ShardedEngine) IngestHealth() []IngestHealth {
+	if s.ing == nil {
+		return nil
+	}
+	out := make([]IngestHealth, len(s.ing.lanes))
+	for i, l := range s.ing.lanes {
+		out[i] = IngestHealth{
+			Ingester:        i,
+			FramesFed:       l.fed.Load(),
+			FramesDecoded:   l.decoded.Load(),
+			FramesSequenced: l.sequenced.Load(),
+		}
+	}
+	return out
+}
+
 // TrailCounts returns the number of distinct sessions and trails across
 // all shards (the sharded analogue of Trails().Sessions()/Trails()).
 func (s *ShardedEngine) TrailCounts() (sessions, trails int) {
+	if s.ing != nil {
+		s.ing.drain()
+	}
 	s.mu.Lock()
 	if !s.closed {
 		acks := make([]chan struct{}, len(s.workers))

@@ -34,7 +34,7 @@ import (
 
 const (
 	snapMagic   = "SCDV"
-	snapVersion = 1
+	snapVersion = 2
 
 	snapKindSerial  = 0
 	snapKindSharded = 1
@@ -272,6 +272,7 @@ func correlatorNames(correlators []Correlator) []string {
 type snapHeader struct {
 	engineKind  uint8
 	shards      int
+	ingesters   int
 	frames      uint64
 	configHash  uint64
 	rulesHash   uint64
@@ -283,6 +284,7 @@ func writeSnapHeader(w *snapWriter, h snapHeader) {
 	w.u8(snapVersion)
 	w.u8(h.engineKind)
 	w.u32(uint32(h.shards))
+	w.u32(uint32(h.ingesters))
 	w.u64(h.frames)
 	w.u64(h.configHash)
 	w.u64(h.rulesHash)
@@ -308,6 +310,7 @@ func readSnapHeader(r *snapReader) snapHeader {
 	}
 	h.engineKind = r.u8()
 	h.shards = int(r.u32())
+	h.ingesters = int(r.u32())
 	h.frames = r.u64()
 	h.configHash = r.u64()
 	h.rulesHash = r.u64()
@@ -354,6 +357,10 @@ func validateSnapHeader(h, want snapHeader) error {
 		return fmt.Errorf("core: checkpoint was written with %d shards; this engine runs %d (shard counts must match)",
 			h.shards, want.shards)
 	}
+	if h.ingesters != want.ingesters {
+		return fmt.Errorf("core: checkpoint was written with %d ingest routers; this engine runs %d (ingest widths must match)",
+			h.ingesters, want.ingesters)
+	}
 	if len(h.correlators) != len(want.correlators) || strings.Join(h.correlators, ",") != strings.Join(want.correlators, ",") {
 		return fmt.Errorf("core: checkpoint correlator set [%s] does not match engine correlator set [%s]",
 			strings.Join(h.correlators, ", "), strings.Join(want.correlators, ", "))
@@ -376,6 +383,9 @@ type SnapshotInfo struct {
 	Sharded bool
 	// Shards is the writing engine's shard count (1 for serial).
 	Shards int
+	// Ingesters is the writing engine's parallel ingest-router count
+	// (1 for serial or a synchronous-router sharded engine).
+	Ingesters int
 	// Frames is how many frames the engine had processed at the
 	// checkpoint; a resuming replay skips this many frames.
 	Frames uint64
@@ -388,7 +398,7 @@ func PeekSnapshotInfo(data []byte) (SnapshotInfo, error) {
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
-	return SnapshotInfo{Sharded: h.engineKind == snapKindSharded, Shards: h.shards, Frames: h.frames}, nil
+	return SnapshotInfo{Sharded: h.engineKind == snapKindSharded, Shards: h.shards, Ingesters: h.ingesters, Frames: h.frames}, nil
 }
 
 // WriteCheckpoint atomically writes a snapshot to path: the bytes land in
@@ -1109,6 +1119,7 @@ func (e *Engine) header() snapHeader {
 	return snapHeader{
 		engineKind:  snapKindSerial,
 		shards:      1,
+		ingesters:   1,
 		frames:      uint64(e.stats.Frames),
 		configHash:  configFingerprint(e.cfg, e.keepLog),
 		rulesHash:   rulesFingerprint(e.rules.rules),

@@ -87,6 +87,45 @@ func TestResumeRejectsWrongShardCount(t *testing.T) {
 	expectRejection(t, other, snap, "2", "8", "shard")
 }
 
+// TestResumeRejectsIngestMismatch: the ingest width is part of a
+// checkpoint's identity — a snapshot written behind 2 ingest routers
+// must not silently restore into an engine running 4 (and a parallel
+// checkpoint must not restore into the synchronous router's header).
+func TestResumeRejectsIngestMismatch(t *testing.T) {
+	e := core.NewShardedEngine(core.Config{IngestRouters: 2}, 2, core.WithEventLog())
+	frames := scenarioFrames(t, "bye", 7)
+	for _, r := range frames[:len(frames)/2] {
+		e.HandleFrame(r.at, r.frame)
+	}
+	snap, err := e.Snapshot()
+	e.Close()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	wide := core.NewShardedEngine(core.Config{IngestRouters: 4}, 2, core.WithEventLog())
+	defer wide.Close()
+	expectRejection(t, wide, snap, "ingest", "2", "4")
+
+	narrow := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer narrow.Close()
+	expectRejection(t, narrow, snap, "ingest", "2", "1")
+
+	// Same width restores and resumes byte-identically.
+	same := core.NewShardedEngine(core.Config{IngestRouters: 2}, 2, core.WithEventLog())
+	defer same.Close()
+	if err := same.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("same-width restore failed: %v", err)
+	}
+	for _, r := range frames[len(frames)/2:] {
+		same.HandleFrame(r.at, r.frame)
+	}
+	same.Flush()
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+	compareToBaseline(t, "ingest resume", same.Alerts(), same.Events(), same.Stats(),
+		wantAlerts, wantEvents, wantStats)
+}
+
 func TestResumeRejectsDifferentCorrelators(t *testing.T) {
 	snap, _ := byeSnapshot(t, core.Config{})
 	// The CLI's -correlators flag builds exactly this kind of subset.

@@ -177,6 +177,7 @@ func (s *ShardedEngine) header() snapHeader {
 	return snapHeader{
 		engineKind:  snapKindSharded,
 		shards:      len(s.workers),
+		ingesters:   s.ingesters,
 		frames:      s.frames.Load(),
 		configHash:  configFingerprint(s.cfg, s.keepLog),
 		rulesHash:   rulesFingerprint(s.cfg.Rules),
