@@ -9,6 +9,17 @@
 //	scidive -scenario bye [-correlators sip,rtp,rtcp]   (subset of protocol correlators; -correlators help lists them)
 //	scidive -in bye.scap -checkpoint ids.ckpt [-checkpoint-every 1000]   (crash recovery: checkpoint detection state)
 //	scidive -in bye.scap -resume ids.ckpt   (restore state, skip the frames the checkpoint covers, keep replaying)
+//
+// Checkpoints are portable across engine geometry: a checkpoint written at
+// any -shards/-ingest setting resumes at any other (grow 8 shards to 32 by
+// checkpointing, restarting with the new width, and resuming).
+//
+// A running process hot-reloads its ruleset on SIGHUP: the -rules file is
+// re-parsed and swapped in at a frame boundary without dropping a frame
+// (a parse error keeps the active ruleset; in-flight partial matches of
+// removed or edited rules are dropped and surfaced as a rule-reload
+// alert). -reload-rules N does the same after every N delivered frames,
+// deterministically, for tests and drills.
 package main
 
 import (
@@ -18,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"scidive/internal/capture"
@@ -35,6 +49,7 @@ type idsEngine interface {
 	ReplayCapture(r *capture.Reader) error
 	Snapshot() ([]byte, error)
 	RestoreSnapshot(data []byte) error
+	ReloadRules(rules []core.Rule) (int, error)
 	Alerts() []core.Alert
 	Events() []core.Event
 	Stats() core.EngineStats
@@ -67,6 +82,7 @@ func run(args []string, out io.Writer) error {
 	checkpointPath := fs.String("checkpoint", "", "write the detection state to this file when the run ends (atomic temp+rename)")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "with -checkpoint, also checkpoint after every N processed frames (0 = only at the end)")
 	resumePath := fs.String("resume", "", "restore detection state from a checkpoint before replaying; the frames it covers are skipped")
+	reloadEvery := fs.Int("reload-rules", 0, "hot-reload the -rules file after every N delivered frames (test hook; SIGHUP does the same on demand)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,6 +108,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *checkpointEvery < 0 {
 		return fmt.Errorf("-checkpoint-every must be non-negative")
+	}
+	if *reloadEvery < 0 {
+		return fmt.Errorf("-reload-rules must be non-negative")
+	}
+	if *reloadEvery > 0 && *direct {
+		return fmt.Errorf("-reload-rules cannot be combined with -direct: the direct-matching ablation bypasses the rule engine")
 	}
 	if *checkpointEvery > 0 && *checkpointPath == "" {
 		return fmt.Errorf("-checkpoint-every requires -checkpoint")
@@ -167,6 +189,61 @@ func run(args []string, out io.Writer) error {
 		resumeSkip = info.Frames
 		fmt.Fprintf(out, "resumed from %s: skipping %d frames the checkpoint covers\n", *resumePath, resumeSkip)
 	}
+	// reloadRules hot-swaps the ruleset: the -rules file is re-read and
+	// re-parsed through the DSL, then swapped in at a frame boundary
+	// (unchanged rules keep their in-flight partial matches; removed or
+	// edited rules drop theirs and raise a rule-reload alert). A read or
+	// parse failure keeps the active ruleset: a bad edit must never take
+	// the detector down.
+	reloadRules := func() {
+		var rules []core.Rule
+		source := "built-in ruleset"
+		if *rulesPath != "" {
+			source = *rulesPath
+			text, err := os.ReadFile(*rulesPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scidive: rule reload skipped: %v (keeping the active ruleset)\n", err)
+				return
+			}
+			rules, err = core.ParseRules(string(text))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scidive: rule reload skipped: %v (keeping the active ruleset)\n", err)
+				return
+			}
+		}
+		dropped, err := eng.ReloadRules(rules)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scidive: rule reload failed: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "rules reloaded from %s: %d in-flight partial matches dropped\n", source, dropped)
+	}
+	// SIGHUP triggers a live reload at any point in the replay; ReloadRules
+	// is safe against concurrent frame delivery, so the watcher calls it
+	// directly. It is stopped before results print so the reload notice
+	// cannot interleave with the alert listing. The -direct ablation
+	// bypasses the rule engine and takes no watcher.
+	stopHUP := func() {}
+	if !*direct {
+		sighup := make(chan os.Signal, 1)
+		signal.Notify(sighup, syscall.SIGHUP)
+		hupDone := make(chan struct{})
+		go func() {
+			defer close(hupDone)
+			for range sighup {
+				reloadRules()
+			}
+		}()
+		var hupOnce sync.Once
+		stopHUP = func() {
+			hupOnce.Do(func() {
+				signal.Stop(sighup)
+				close(sighup)
+				<-hupDone
+			})
+		}
+		defer stopHUP()
+	}
 	writeCkpt := func() error {
 		snap, err := eng.Snapshot()
 		if err != nil {
@@ -191,6 +268,9 @@ func run(args []string, out io.Writer) error {
 		if *checkpointPath != "" && *checkpointEvery > 0 && processed%uint64(*checkpointEvery) == 0 {
 			deliverErr = writeCkpt()
 		}
+		if *reloadEvery > 0 && processed%uint64(*reloadEvery) == 0 {
+			reloadRules()
+		}
 	}
 	if *scenarioName != "" {
 		outcome, err := experiments.RunScenario(*scenarioName, *seed, deliver)
@@ -198,7 +278,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "scenario %s: %s\n", *scenarioName, outcome.Impact)
-	} else if *checkpointPath != "" || *resumePath != "" {
+	} else if *checkpointPath != "" || *resumePath != "" || *reloadEvery > 0 {
 		rd := capture.NewReader(f)
 		for {
 			rec, err := rd.Next()
@@ -213,6 +293,7 @@ func run(args []string, out io.Writer) error {
 	} else if err := eng.ReplayCapture(capture.NewReader(f)); err != nil {
 		return err
 	}
+	stopHUP()
 	if deliverErr != nil {
 		return deliverErr
 	}

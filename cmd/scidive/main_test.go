@@ -3,8 +3,10 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -439,8 +441,10 @@ func TestCheckpointEveryCLI(t *testing.T) {
 	}
 }
 
-// TestResumeMismatchCLI: resuming into a differently configured process
-// must fail with an error that names the mismatch.
+// TestResumeMismatchCLI: resuming into a process with a different
+// detection configuration must fail with an error that names the mismatch
+// and says how to proceed — while geometry (shard count, engine kind) is
+// NOT a mismatch: portable checkpoints resume at any width.
 func TestResumeMismatchCLI(t *testing.T) {
 	partial, full := writeSplitCaptures(t, "bye", 5)
 	ckpt := filepath.Join(t.TempDir(), "ids.ckpt")
@@ -462,11 +466,31 @@ func TestResumeMismatchCLI(t *testing.T) {
 			}
 		}
 	}
-	expectErr([]string{"-in", full, "-shards", "4", "-resume", ckpt}, "shard")
-	expectErr([]string{"-in", full, "-shards", "1", "-resume", ckpt}, "sharded engine", "serial")
-	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-correlators", "sip,rtp"}, "correlator set")
-	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-limits", "sessions=9"}, "config hash")
-	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-window", "9s"}, "config hash")
+	// Geometry changes are accepted: the checkpoint written at 2 shards
+	// resumes serial, wider, and with parallel ingest, each reproducing the
+	// uninterrupted run's alerts exactly.
+	var uninterrupted strings.Builder
+	if err := run([]string{"-in", full, "-shards", "1"}, &uninterrupted); err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	for _, geo := range [][]string{
+		{"-shards", "1"},
+		{"-shards", "4"},
+		{"-shards", "8", "-ingest", "4"},
+	} {
+		args := append([]string{"-in", full, "-resume", ckpt}, geo...)
+		var resumed strings.Builder
+		if err := run(args, &resumed); err != nil {
+			t.Fatalf("cross-geometry resume %v: %v", geo, err)
+		}
+		if got, want := alertSection(t, resumed.String()), alertSection(t, uninterrupted.String()); got != want {
+			t.Errorf("cross-geometry resume %v diverged:\n--- resumed ---\n%s--- uninterrupted ---\n%s", geo, got, want)
+		}
+	}
+
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-correlators", "sip,rtp"}, "correlator set", "resume with -correlators")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-limits", "sessions=9"}, "config hash", "capture-time settings")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-window", "9s"}, "config hash", "capture-time settings")
 
 	// An edited ruleset is refused by its hash.
 	rulesFile := filepath.Join(t.TempDir(), "edited.rules")
@@ -474,7 +498,7 @@ func TestResumeMismatchCLI(t *testing.T) {
 	if err := os.WriteFile(rulesFile, []byte(edited), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-rules", rulesFile}, "ruleset hash", "rules changed")
+	expectErr([]string{"-in", full, "-shards", "2", "-resume", ckpt, "-rules", rulesFile}, "ruleset hash", "rules changed", "hot-reload")
 
 	// Flag-combination errors surface before any engine runs.
 	expectErr([]string{"-in", full, "-checkpoint-every", "3"}, "-checkpoint-every requires -checkpoint")
@@ -509,5 +533,111 @@ func TestScenarioCheckpointResume(t *testing.T) {
 	}
 	if got, want := alertSection(t, resumed.String()), alertSection(t, first.String()); got != want {
 		t.Errorf("scenario resume diverged:\n--- resumed ---\n%s--- first ---\n%s", got, want)
+	}
+}
+
+// TestReloadRulesCLI drives the deterministic -reload-rules hook: an
+// unchanged ruleset reloaded every few frames must report each reload and
+// leave the alert output byte-identical to a static run (the
+// reload-vs-static differential at the process boundary), for both engine
+// kinds.
+func TestReloadRulesCLI(t *testing.T) {
+	path := writeScenarioCapture(t, "bye", 5)
+	rulesFile := filepath.Join(t.TempDir(), "default.rules")
+	if err := os.WriteFile(rulesFile, []byte(core.FormatRules(core.DefaultRuleset())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []string{"1", "2"} {
+		var static strings.Builder
+		if err := run([]string{"-in", path, "-shards", shards, "-rules", rulesFile}, &static); err != nil {
+			t.Fatalf("static run: %v", err)
+		}
+		var reloaded strings.Builder
+		if err := run([]string{"-in", path, "-shards", shards, "-rules", rulesFile, "-reload-rules", "5"}, &reloaded); err != nil {
+			t.Fatalf("reloading run: %v", err)
+		}
+		if !strings.Contains(reloaded.String(), "rules reloaded from "+rulesFile+": 0 in-flight partial matches dropped") {
+			t.Errorf("shards=%s: no reload notice in output:\n%s", shards, reloaded.String())
+		}
+		if got, want := alertSection(t, reloaded.String()), alertSection(t, static.String()); got != want {
+			t.Errorf("shards=%s: reload-vs-static alerts diverged:\n--- reloaded ---\n%s--- static ---\n%s",
+				shards, got, want)
+		}
+	}
+}
+
+// TestReloadRulesSIGHUP exercises the live signal path: SIGHUPs hammer the
+// process throughout a replay while the rules file is repeatedly rewritten
+// — sometimes the identical valid ruleset, sometimes unparseable garbage.
+// Whatever lands, identical-ruleset reloads are no-ops and garbage reloads
+// are skipped with the active ruleset kept, so the run must complete
+// cleanly with the static run's exact alerts. The test registers its own
+// SIGHUP handler first so a signal arriving before run installs its
+// watcher cannot kill the test process.
+func TestReloadRulesSIGHUP(t *testing.T) {
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGHUP)
+	defer signal.Stop(guard)
+
+	path := writeScenarioCapture(t, "bye", 5)
+	valid := []byte(core.FormatRules(core.DefaultRuleset()))
+	rulesFile := filepath.Join(t.TempDir(), "default.rules")
+	if err := os.WriteFile(rulesFile, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var static strings.Builder
+	if err := run([]string{"-in", path, "-shards", "2", "-rules", rulesFile}, &static); err != nil {
+		t.Fatalf("static run: %v", err)
+	}
+
+	// swapIn replaces the rules file atomically (temp + rename) so a
+	// concurrent reload never reads a truncated file — a partial write
+	// could parse as a valid SUBSET ruleset and legitimately change
+	// behavior, which is not the failure mode under test.
+	swapIn := func(content []byte) {
+		tmp := rulesFile + ".tmp"
+		if err := os.WriteFile(tmp, content, 0o644); err == nil {
+			os.Rename(tmp, rulesFile)
+		}
+	}
+	stop := make(chan struct{})
+	hammerDone := make(chan struct{})
+	go func() {
+		defer close(hammerDone)
+		garbage := []byte("rule broken nope {\n    seq sip-bye\n")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				swapIn(valid)
+				return
+			default:
+			}
+			if i%2 == 0 {
+				swapIn(garbage)
+			} else {
+				swapIn(valid)
+			}
+			syscall.Kill(os.Getpid(), syscall.SIGHUP)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	// Startup must parse a valid file; the hammer may already have swapped
+	// garbage in, so retry until the startup parse wins the race.
+	var reloaded strings.Builder
+	var err error
+	for {
+		reloaded.Reset()
+		if err = run([]string{"-in", path, "-shards", "2", "-rules", rulesFile}, &reloaded); err == nil ||
+			!strings.Contains(err.Error(), "rules:") {
+			break
+		}
+	}
+	close(stop)
+	<-hammerDone
+	if err != nil {
+		t.Fatalf("run under SIGHUP storm: %v", err)
+	}
+	if got, want := alertSection(t, reloaded.String()), alertSection(t, static.String()); got != want {
+		t.Errorf("SIGHUP-storm alerts diverged:\n--- reloaded ---\n%s--- static ---\n%s", got, want)
 	}
 }

@@ -8,7 +8,10 @@
 // Faults are addressed by (shard, frame ordinal): the sharded router
 // assigns every routed frame item a per-shard sequence number, and an
 // injector decides the fate of each. Given the same traffic and the same
-// script, a chaos run is fully reproducible.
+// script, a chaos run is fully reproducible. Because ordinals count
+// processed frames, a scripted fault can land inside any drain point —
+// including the per-shard drain of a rolling restart sweep — not just
+// the steady-state feed path.
 package chaoscore
 
 import (

@@ -129,6 +129,21 @@ type snapshotter interface {
 	decodeState(r *snapReader) (install func(), err error)
 }
 
+// stateSharder correlators hold worker-resident cross-session state keyed
+// by routing key, and can merge and filter their serialized (snapshotter)
+// state across shard boundaries. The portable-snapshot writer merges the
+// per-shard blobs into one global blob, and restore filters the global
+// blob down to each shard's keep set — the same routing keys sipRouteKey
+// pins, so filtered state lands exactly where the router will send its
+// traffic. Snapshotter correlators WITHOUT this capability are
+// router-authoritative in the sharded engine (their hinter state sees
+// every frame in global arrival order): the global blob is the router
+// instance's state and restore installs onto the router instance.
+type stateSharder interface {
+	mergeState(blobs [][]byte) ([]byte, error)
+	filterState(blob []byte, keep func(routeKey string) bool) ([]byte, error)
+}
+
 // expirer correlators hold state tied to the session table's lifetime and
 // are notified after every periodic expiry sweep that evicted something.
 type expirer interface {

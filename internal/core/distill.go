@@ -39,6 +39,14 @@ type Distiller struct {
 	// parser is the distiller-owned SIP parser: one per pipeline keeps
 	// its intern table warm across every message the pipeline sees.
 	parser *sip.Parser
+
+	// frags buffers the raw frames of in-progress fragment groups on the
+	// same lifetime the sharded router keeps (sharded.go routeLocked), so
+	// a serial-written portable checkpoint carries everything a sharded
+	// restore needs to ship completed groups to their shards. nil on
+	// standalone and shard-local distillers (only the serial engine's own
+	// distiller mirrors; shards receive already-grouped frames).
+	frags map[fragIdent]*fragGroup
 }
 
 // defaultMediaPortFloor is the lowest UDP port treated as media traffic
@@ -66,6 +74,16 @@ func NewDistillerFor(correlators []Correlator) *Distiller {
 // Stats returns a snapshot of the distiller counters.
 func (d *Distiller) Stats() DistillerStats { return d.stats }
 
+// pruneFrags drops mirrored fragment groups on the reassembler's expiry
+// schedule (see the frags field doc).
+func (d *Distiller) pruneFrags(now time.Duration) {
+	for k, grp := range d.frags {
+		if now-grp.first > packet.DefaultReassemblyTimeout {
+			delete(d.frags, k)
+		}
+	}
+}
+
 // decodeUDP runs the protocol-independent prelude shared by Distill and
 // DistillView: Ethernet, IPv4, reassembly, and zero-copy UDP validation.
 // It returns ok=false (with stats counted) when the frame produces no
@@ -82,14 +100,49 @@ func (d *Distiller) decodeUDP(at time.Duration, frame []byte) (proto Protocol, s
 		d.stats.DecodeError++
 		return 0, src, dst, nil, false
 	}
+	// Frame-group mirror (serial engine only, d.frags != nil): keep the
+	// raw frames of in-progress fragment streams on the reassembler's
+	// lifetime, exactly as the sharded router does in routeLocked, so a
+	// portable checkpoint written here restores losslessly at any shard
+	// count. Prune on the reassembler's expiry clock before Insert so the
+	// two can never disagree about which stream a fragment belongs to.
+	var fragmented bool
+	var fkey fragIdent
+	if d.frags != nil {
+		d.pruneFrags(at)
+		fragmented = iph.FragOffset != 0 || iph.MoreFragments()
+		fkey = fragIdent{src: iph.Src, dst: iph.Dst, proto: iph.Protocol, id: iph.ID}
+	}
 	full, ipBody, done, err := d.reasm.Insert(iph, ipPayload, at)
 	if err != nil {
+		if d.frags != nil {
+			// The reassembler creates its buffer before the oversize check
+			// but after the alignment check; mirror that so group lifetimes
+			// track buffer lifetimes exactly.
+			alignErr := iph.FragOffset != 0 && len(ipPayload)%8 != 0 && iph.MoreFragments()
+			if fragmented && !alignErr && d.frags[fkey] == nil {
+				d.frags[fkey] = &fragGroup{first: at}
+			}
+		}
 		d.stats.DecodeError++
 		return 0, src, dst, nil, false
 	}
 	if !done {
+		if d.frags != nil {
+			grp := d.frags[fkey]
+			if grp == nil {
+				grp = &fragGroup{first: at}
+				d.frags[fkey] = grp
+			}
+			// Copy: capture.Replay (and other feeders) may reuse the frame
+			// buffer after this call returns.
+			grp.frames = append(grp.frames, routedFrame{at: at, frame: append([]byte(nil), frame...)})
+		}
 		d.stats.Fragments++
 		return 0, src, dst, nil, false
+	}
+	if d.frags != nil && fragmented {
+		delete(d.frags, fkey)
 	}
 	if full.Protocol != packet.ProtoUDP {
 		d.stats.Ignored++

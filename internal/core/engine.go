@@ -7,6 +7,7 @@ import (
 
 	"scidive/internal/capture"
 	"scidive/internal/netsim"
+	"scidive/internal/packet"
 	"scidive/internal/sip"
 )
 
@@ -70,9 +71,9 @@ type Config struct {
 	// IngestRouters is how many parallel ingest routers the sharded
 	// engine fans capture decode across (<= 1 keeps the single
 	// synchronous router; see ingest.go for the determinism argument).
-	// The serial engine ignores it. The value is part of a checkpoint's
-	// identity: a snapshot only restores into an engine with the same
-	// ingest width.
+	// The serial engine ignores it. Checkpoints record the width for
+	// inspection only: the portable v3 format restores at any
+	// shards x ingesters geometry.
 	IngestRouters int
 }
 
@@ -133,10 +134,42 @@ func NewEngine(cfg Config, opts ...EngineOption) *Engine {
 	e.distiller.reasm.SetLimit(cfg.Limits.MaxFragGroups)
 	e.gen.SetLimits(cfg.Limits)
 	e.rules.maxAlerts = cfg.Limits.MaxRetainedAlerts
+	// Router-state mirrors: the serial engine tracks the sticky routing
+	// keys and in-progress fragment-group frames the sharded router would,
+	// so its portable checkpoints restore at any shard count. Shard-local
+	// engines (newShardEngine) nil both — the router owns that state.
+	e.gen.sticky = make(map[string]string)
+	e.distiller.frags = make(map[fragIdent]*fragGroup)
+	e.distiller.reasm.OnEvict(func(id packet.FragID) {
+		delete(e.distiller.frags, fragIdent{src: id.Src, dst: id.Dst, proto: id.Proto, id: id.ID})
+	})
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// ReloadRules swaps the active ruleset at a frame boundary (rules hot
+// reload). In-flight partial matches are carried forward for rules whose
+// canonical text is unchanged and dropped for removed or edited rules;
+// the returned count is how many partials were dropped. nil installs
+// DefaultRuleset. The error is always nil for the serial engine (the
+// signature matches ShardedEngine.ReloadRules, which can fail after
+// Close).
+func (e *Engine) ReloadRules(rules []Rule) (int, error) {
+	if rules == nil {
+		rules = DefaultRuleset()
+	}
+	dropped := e.rules.reload(rules)
+	e.cfg.Rules = rules
+	if dropped > 0 {
+		e.rules.raiseSynthetic(Alert{
+			At: 0, Rule: RuleRuleReload, Severity: SeverityCritical, Session: "rules",
+			Detail: fmt.Sprintf("ruleset reloaded: %d in-flight partial matches dropped (rules removed or edited)", dropped),
+			Count:  1,
+		})
+	}
+	return dropped, nil
 }
 
 // Stats returns a snapshot of the engine counters, folding in the

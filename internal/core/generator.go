@@ -80,6 +80,14 @@ type EventGenerator struct {
 	// field so ExpireSessions does not allocate a closure per call.
 	dropTrail func(id string)
 
+	// sticky mirrors the sharded router's Call-ID -> routing-key pins
+	// (sharded.go classifySIPMsgLocked) on the router's exact lifecycle,
+	// so a serial-written portable checkpoint carries the keys a sharded
+	// restore needs to colocate cross-dialog state (IM sender sessions,
+	// OPTIONS probes). nil on shard-local generators — only the serial
+	// engine's own generator mirrors.
+	sticky map[string]string
+
 	// sessions, pendingReg, bindings and seqs alias maps inside the
 	// context and the correlators; they are kept as fields so state is
 	// inspectable without walking the registry.
@@ -130,7 +138,10 @@ func newEventGeneratorFrom(cfg GenConfig, trails *TrailStore, correlators []Corr
 			}
 		}
 	}
-	g.dropTrail = func(id string) { g.trails.Drop(id) }
+	g.dropTrail = func(id string) {
+		g.trails.Drop(id)
+		delete(g.sticky, id)
+	}
 	return g
 }
 
@@ -142,6 +153,7 @@ func (g *EventGenerator) SetLimits(l Limits) {
 	g.idx.maxSessions = l.MaxSessions
 	g.idx.onCapEvict = func(id string) {
 		g.trails.Drop(id)
+		delete(g.sticky, id)
 		g.ctx.evictedSessions++
 	}
 	for _, c := range g.correlators {
@@ -161,6 +173,7 @@ func (g *EventGenerator) EvictSession(id string) bool {
 	}
 	g.idx.dropSession(id, st)
 	g.trails.Drop(id)
+	delete(g.sticky, id)
 	return true
 }
 
@@ -221,6 +234,24 @@ func (g *EventGenerator) processView(v *FrameView, boxed Footprint, h RouteHints
 		return
 	}
 	defer g.ctx.endFrame(v.At)
+	// Routing-key mirror (serial engine only): pin the sticky key on the
+	// dialog's first sighting exactly as the sharded router does
+	// (classifySIPMsgLocked), so portable checkpoints restore to any
+	// shard count with cross-dialog state colocated.
+	if g.sticky != nil && v.Proto == ProtoSIP && g.ctx.sipSt != nil {
+		if _, ok := g.sticky[g.ctx.sipSt.callID]; !ok {
+			routeKey := g.ctx.sipSt.callID
+			for _, c := range g.correlators {
+				if rk, isKeyer := c.(sipRouteKeyer); isKeyer {
+					if k, claimed := rk.sipRouteKey(v.Msg, g.ctx.sipOut, v.Src); claimed {
+						routeKey = k
+						break
+					}
+				}
+			}
+			g.sticky[g.ctx.sipSt.callID] = routeKey
+		}
+	}
 	p := v.dispatchProto()
 	if p < 0 || int(p) >= len(g.byProto) {
 		return

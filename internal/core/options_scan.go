@@ -75,14 +75,34 @@ func (c *optionsScanCorrelator) onExpire(now time.Duration, sessionsRemaining in
 // snapshotState serializes the per-source sweep windows in source order,
 // each with its probed dialog set sorted.
 func (c *optionsScanCorrelator) snapshotState(w *snapWriter) {
-	srcs := make([]netip.Addr, 0, len(c.sources))
-	for src := range c.sources {
+	writeScanSources(w, c.sources)
+}
+
+// decodeState decodes sweep windows; the returned closure installs them.
+func (c *optionsScanCorrelator) decodeState(r *snapReader) (func(), error) {
+	recs := readScanSources(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return func() {
+		clear(c.sources)
+		for src, rec := range recs {
+			c.sources[src] = rec
+		}
+	}, nil
+}
+
+// writeScanSources serializes a source → sweep-record map in source order,
+// each record's probed dialog set sorted.
+func writeScanSources(w *snapWriter, sources map[netip.Addr]*optionsScanRecord) {
+	srcs := make([]netip.Addr, 0, len(sources))
+	for src := range sources {
 		srcs = append(srcs, src)
 	}
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Compare(srcs[j]) < 0 })
 	w.u32(uint32(len(srcs)))
 	for _, src := range srcs {
-		r := c.sources[src]
+		r := sources[src]
 		w.addr(src)
 		w.dur(r.start)
 		w.dur(r.last)
@@ -99,8 +119,8 @@ func (c *optionsScanCorrelator) snapshotState(w *snapWriter) {
 	}
 }
 
-// decodeState decodes sweep windows; the returned closure installs them.
-func (c *optionsScanCorrelator) decodeState(r *snapReader) (func(), error) {
+// readScanSources decodes the writeScanSources layout (errors stick to r).
+func readScanSources(r *snapReader) map[netip.Addr]*optionsScanRecord {
 	n := r.count()
 	recs := make(map[netip.Addr]*optionsScanRecord, min(n, 4096))
 	for i := 0; i < n && r.err == nil; i++ {
@@ -117,15 +137,66 @@ func (c *optionsScanCorrelator) decodeState(r *snapReader) (func(), error) {
 		}
 		recs[src] = rec
 	}
+	return recs
+}
+
+// mergeState folds shard-local sweep blobs into one global blob
+// (stateSharder). Route pinning keeps each source on one shard, so the
+// maps are disjoint in a healthy capture; overlaps — possible after a
+// degraded capture — union conservatively.
+func (c *optionsScanCorrelator) mergeState(blobs [][]byte) ([]byte, error) {
+	merged := make(map[netip.Addr]*optionsScanRecord)
+	for _, blob := range blobs {
+		r := &snapReader{buf: blob}
+		recs := readScanSources(r)
+		if r.err == nil && !r.done() {
+			r.fail("core: snapshot corrupt (%d trailing bytes in options-scan state)", r.remaining())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		for src, rec := range recs {
+			ex, ok := merged[src]
+			if !ok {
+				merged[src] = rec
+				continue
+			}
+			if rec.start < ex.start {
+				ex.start = rec.start
+			}
+			if rec.last > ex.last {
+				ex.last = rec.last
+			}
+			ex.fired = ex.fired || rec.fired
+			for d := range rec.dialogs {
+				ex.dialogs[d] = struct{}{}
+			}
+		}
+	}
+	var w snapWriter
+	writeScanSources(&w, merged)
+	return w.buf, nil
+}
+
+// filterState keeps only the sources whose routing key ("scan:" + source
+// IP — the key sipRouteKey pins) passes keep (stateSharder).
+func (c *optionsScanCorrelator) filterState(blob []byte, keep func(routeKey string) bool) ([]byte, error) {
+	r := &snapReader{buf: blob}
+	recs := readScanSources(r)
+	if r.err == nil && !r.done() {
+		r.fail("core: snapshot corrupt (%d trailing bytes in options-scan state)", r.remaining())
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
-	return func() {
-		clear(c.sources)
-		for src, rec := range recs {
-			c.sources[src] = rec
+	for src := range recs {
+		if !keep("scan:" + src.String()) {
+			delete(recs, src)
 		}
-	}, nil
+	}
+	var w snapWriter
+	writeScanSources(&w, recs)
+	return w.buf, nil
 }
 
 func (c *optionsScanCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {

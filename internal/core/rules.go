@@ -138,6 +138,17 @@ type RuleEngine struct {
 
 // NewRuleEngine returns an engine for the given ruleset.
 func NewRuleEngine(rules []Rule) *RuleEngine {
+	return &RuleEngine{
+		rules:    rules,
+		partials: make(map[string][]*partial),
+		dedup:    make(map[string]int),
+		byType:   buildByType(rules),
+	}
+}
+
+// buildByType indexes a ruleset by the event types that can advance each
+// rule (see the byType field doc).
+func buildByType(rules []Rule) map[EventType][]int {
 	byType := make(map[EventType][]int)
 	for i := range rules {
 		seen := make(map[EventType]bool, len(rules[i].Steps))
@@ -148,11 +159,60 @@ func NewRuleEngine(rules []Rule) *RuleEngine {
 			}
 		}
 	}
-	return &RuleEngine{
-		rules:    rules,
-		partials: make(map[string][]*partial),
-		dedup:    make(map[string]int),
-		byType:   byType,
+	return byType
+}
+
+// reload swaps the active ruleset at a quiescent point (between Feed
+// calls). In-flight partial matches are carried forward for rules that
+// exist in both rulesets with identical canonical text (FormatRules on
+// the single rule — Where predicates are not representable in the DSL and
+// so not part of the comparison) and dropped for removed or edited rules.
+// Raised alerts, dedup suppression and the eviction offsets are
+// untouched: detections that already fired survive a reload, exactly as
+// they survive a checkpoint restore. Returns how many partials were
+// dropped.
+func (re *RuleEngine) reload(newRules []Rule) int {
+	oldByName := make(map[string]string, len(re.rules))
+	for i := range re.rules {
+		oldByName[re.rules[i].Name] = FormatRules(re.rules[i : i+1])
+	}
+	keep := make(map[string]bool, len(newRules))
+	for i := range newRules {
+		if old, ok := oldByName[newRules[i].Name]; ok && old == FormatRules(newRules[i:i+1]) {
+			keep[newRules[i].Name] = true
+		}
+	}
+	dropped := 0
+	for key, parts := range re.partials {
+		name, _, _ := strings.Cut(key, "|")
+		if keep[name] {
+			continue
+		}
+		dropped += len(parts)
+		delete(re.partials, key)
+	}
+	re.rules = newRules
+	re.byType = buildByType(newRules)
+	return dropped
+}
+
+// raiseSynthetic records an engine-generated alert (rule-reload and
+// friends) through the same dedup, retention-cap and callback machinery
+// as rule matches, so downstream consumers cannot tell the two apart.
+func (re *RuleEngine) raiseSynthetic(a Alert) {
+	re.version++
+	key := a.Rule + "|" + a.Session
+	if idx, seen := re.dedup[key]; seen {
+		re.alerts[idx-re.dedupBase].Count++
+		return
+	}
+	if re.maxAlerts > 0 && len(re.alerts) >= re.maxAlerts {
+		re.evictOldestAlert()
+	}
+	re.dedup[key] = len(re.alerts) + re.dedupBase
+	re.alerts = append(re.alerts, a)
+	if re.onAlert != nil {
+		re.onAlert(a)
 	}
 }
 

@@ -31,6 +31,12 @@ const (
 	// in-flight rule progress for its sessions is gone. A warm restart
 	// from a checkpoint does not raise it.
 	RuleShardStateLoss = "shard-state-loss"
+	// RuleRuleReload fires when a live ruleset reload (SIGHUP /
+	// ReloadRules) drops in-flight partial matches because their rules
+	// were removed or edited: losing multi-step progress is a visible
+	// event, never a silent reset. Reloading an unchanged ruleset raises
+	// nothing.
+	RuleRuleReload = "rule-reload"
 )
 
 // DefaultRuleset returns the rules for the paper's four demonstrated

@@ -70,6 +70,19 @@ type ShardedEngine struct {
 	keepLog bool
 	opts    []EngineOption // retained for shard restarts
 
+	// liveRules is the active ruleset. ReloadRules swaps it atomically;
+	// worker goroutines read it when building fresh shard engines (warm
+	// and rolling restarts), so s.cfg stays immutable after construction.
+	liveRules atomic.Pointer[[]Rule]
+
+	// restoredStats/restoredDstats carry a restored portable checkpoint's
+	// folded counters: Stats folds restoredStats in (with the fields that
+	// live state re-counts zeroed — see RestoreSnapshot) and the next
+	// Snapshot folds restoredDstats into the mined distiller stats.
+	// Written only by RestoreSnapshot, which requires a fresh engine.
+	restoredStats  EngineStats
+	restoredDstats DistillerStats
+
 	mu       sync.Mutex // router stage: directory, reassembly, pending batches
 	closed   bool
 	frameIdx uint64
@@ -179,6 +192,8 @@ const (
 	itemInspect
 	itemSnapshot
 	itemRestore
+	itemReload
+	itemRestart
 )
 
 // shardItem is one unit of work on a shard's queue: a routed frame (or
@@ -200,6 +215,11 @@ type shardItem struct {
 	// markers, acked like flush/inspect.
 	snap    *[]byte
 	restore *workerRestore
+	// rules and dropped carry a live ruleset reload (itemReload): the new
+	// ruleset to install and the shared counter of dropped partial
+	// matches. Acked like flush/inspect.
+	rules   []Rule
+	dropped *atomic.Int64
 }
 
 // Worker health states.
@@ -341,6 +361,7 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		pending:     make([][]shardItem, shards),
 		workers:     make([]*shardWorker, shards),
 	}
+	s.liveRules.Store(&s.cfg.Rules)
 	// The router's correlator instances enforce the full (global) budget;
 	// shard instances get those caps zeroed (see shardLocalLimits).
 	for _, c := range s.correlators {
@@ -399,8 +420,16 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 // caps zeroed out (see shardLocalLimits).
 func (s *ShardedEngine) newShardEngine() *Engine {
 	wcfg := s.cfg
+	wcfg.Rules = *s.liveRules.Load()
 	wcfg.Limits = shardLocalLimits(s.correlators, wcfg.Limits)
-	return NewEngine(wcfg, s.opts...)
+	eng := NewEngine(wcfg, s.opts...)
+	// Shard engines never own router-side routing state: the router keeps
+	// the sticky routing keys and buffered fragment groups, so the serial
+	// engine's mirrors stay nil here (nil-map deletes in the eviction
+	// hooks are no-ops).
+	eng.gen.sticky = nil
+	eng.distiller.frags = nil
+	return eng
 }
 
 // wireWorker hooks a (possibly fresh) shard engine's alert stream to the
@@ -840,7 +869,7 @@ func shedItems(items []shardItem) (frames int, at time.Duration) {
 			if n := len(items[i].group); n > 0 {
 				at = items[i].group[n-1].at
 			}
-		case itemFlush, itemInspect, itemSnapshot, itemRestore:
+		case itemFlush, itemInspect, itemSnapshot, itemRestore, itemReload, itemRestart:
 			close(items[i].ack)
 		}
 	}
@@ -940,6 +969,91 @@ func (s *ShardedEngine) Flush() {
 	}
 }
 
+// ReloadRules swaps the active ruleset live, at one consistent frame
+// boundary: the reload marker is enqueued on every shard under a single
+// routing-lock hold, so no frame is ever processed under the old rules
+// on one shard and the new rules on another, and no frame is lost. nil
+// reloads the default ruleset. In-flight partial matches carry forward
+// for rules whose canonical text is unchanged and are dropped for
+// removed or edited rules; when any were dropped, a rule-reload
+// self-alert records the loss (see RuleRuleReload). Returns the dropped
+// count. Raised alerts and dedup suppression survive the reload, exactly
+// as they survive a checkpoint restore.
+func (s *ShardedEngine) ReloadRules(rules []Rule) (int, error) {
+	if rules == nil {
+		rules = DefaultRuleset()
+	}
+	if s.ing != nil {
+		s.ing.drain()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("core: reload rules: engine is closed")
+	}
+	var dropped atomic.Int64
+	acks := make([]chan struct{}, len(s.workers))
+	for i := range s.workers {
+		ack := make(chan struct{})
+		acks[i] = ack
+		s.pending[i] = append(s.pending[i], shardItem{kind: itemReload, rules: rules, dropped: &dropped, ack: ack})
+		s.flushShardLocked(i)
+	}
+	s.liveRules.Store(&rules)
+	s.mu.Unlock()
+	for i, ack := range acks {
+		awaitAck(s.workers[i], ack)
+	}
+	n := int(dropped.Load())
+	if n > 0 {
+		s.raiseSelf(RuleRuleReload, "rules",
+			fmt.Sprintf("ruleset reloaded: %d in-flight partial matches dropped (rules removed or edited)", n), 0)
+	}
+	return n, nil
+}
+
+// RollingRestart restarts every healthy shard's engine one at a time,
+// warm: each shard is drained to a quiescent point by a restart marker
+// (everything routed to it before the marker is processed first), its
+// detection state is serialized, and a fresh engine is rehydrated from
+// that state before the next shard starts. Frames keep flowing to the
+// other shards throughout, and the restarted shard's outputs are
+// indistinguishable from an uninterrupted run. After each shard comes
+// back its routed == processed + shed ledger is reconciled; shards that
+// are quarantined, or that fail mid-drain, are skipped (the failure
+// path accounts them). Restarts count in Stats().ShardsRestarted.
+func (s *ShardedEngine) RollingRestart() error {
+	if s.ing != nil {
+		s.ing.drain()
+	}
+	for i := range s.workers {
+		w := s.workers[i]
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("core: rolling restart: engine is closed")
+		}
+		if w.state.Load() != stateHealthy {
+			s.mu.Unlock()
+			continue
+		}
+		routedBefore := w.routedF.Load()
+		ack := make(chan struct{})
+		s.pending[i] = append(s.pending[i], shardItem{kind: itemRestart, ack: ack})
+		s.flushShardLocked(i)
+		s.mu.Unlock()
+		awaitAck(w, ack)
+		if w.state.Load() != stateHealthy {
+			continue // failed mid-drain: quarantined and accounted by the failure path
+		}
+		if got := w.processedF.Load() + w.shedFrames.Load(); got < routedBefore {
+			return fmt.Errorf("core: rolling restart: shard %d ledger failed to reconcile (routed %d before restart, processed+shed %d after)",
+				i, routedBefore, got)
+		}
+	}
+	return nil
+}
+
 // awaitAck waits for a worker to ack a marker, giving up if the worker
 // is quarantined as stalled (its marker may be stuck behind the stall).
 func awaitAck(w *shardWorker, ack chan struct{}) {
@@ -1028,6 +1142,9 @@ func (s *ShardedEngine) Stats() EngineStats {
 		st.BatchesShed += int(w.shedBatches.Load())
 	}
 	st.BindingsEvicted = maxBind
+	// Counters carried over from a restored portable checkpoint (fields
+	// that live state re-counts arrive zeroed — see RestoreSnapshot).
+	st = addStats(st, s.restoredStats)
 	return st
 }
 
@@ -1336,6 +1453,19 @@ func (w *shardWorker) runItem(it *shardItem) {
 	case itemRestore:
 		w.installRestore(it.restore)
 		close(it.ack)
+	case itemReload:
+		// A warm-restart blob serialized under the old ruleset would
+		// restore stale partial matches with old semantics; drop the
+		// cached blob when the ruleset text actually changed.
+		if FormatRules(e.rules.rules) != FormatRules(it.rules) {
+			w.lastEngineSnap = nil
+		}
+		it.dropped.Add(int64(e.rules.reload(it.rules)))
+		e.cfg.Rules = it.rules
+		close(it.ack)
+	case itemRestart:
+		w.rollEngine()
+		close(it.ack)
 	}
 }
 
@@ -1473,6 +1603,29 @@ func (w *shardWorker) restartEngine(at time.Duration) {
 	w.pub.eventTags = append([]mergeTag(nil), w.base.eventTags...)
 	w.pub.trails = nil
 	w.resMu.Unlock()
+}
+
+// rollEngine restarts the worker's engine warm at a quiescent point
+// (RollingRestart): the current engine body is serialized, a fresh
+// engine is built against the live ruleset and rehydrated from it, and
+// the pipelines are swapped with outputs intact — published results,
+// merge tags and the fault-injection ordinal all carry over, so the
+// shard's output stream is indistinguishable from an uninterrupted run.
+// If the body fails to decode, the old engine keeps running: a rolling
+// restart never trades a healthy shard for a cold one.
+func (w *shardWorker) rollEngine() {
+	var body snapWriter
+	w.eng.writeSnapBody(&body)
+	fresh := w.owner.newShardEngine()
+	snap, err := fresh.decodeSnapBodyBytes(body.buf)
+	if err != nil {
+		return
+	}
+	w.eng = fresh
+	w.owner.wireWorker(w)
+	w.eng.installSnap(snap, true)
+	w.lastEngineSnap = body.buf
+	w.owner.shardsRestarted.Add(1)
 }
 
 // addStats sums two stat snapshots field by field.

@@ -16,13 +16,23 @@ import (
 // This file implements deterministic checkpoint/restore for the stateful
 // detection pipeline. A snapshot is a versioned, self-describing byte
 // stream: a header binding the snapshot to the exact configuration that
-// produced it (config hash, ruleset hash, correlator list, engine kind and
-// shard count), a body holding every piece of accumulated detection state,
-// and a trailing checksum. Encoding is hand-rolled fixed-width big-endian
-// with every map walked in sorted key order, so the same engine state
-// always produces the same bytes (the snapshot-format golden test pins
-// this; gob was rejected because map iteration order leaks into its
-// output).
+// produced it (config hash, ruleset hash, correlator list), a body holding
+// every piece of accumulated detection state, and a trailing checksum.
+// Encoding is hand-rolled fixed-width big-endian with every map walked in
+// sorted key order, so the same engine state always produces the same
+// bytes (the snapshot-format golden test pins this; gob was rejected
+// because map iteration order leaks into its output).
+//
+// Format v3 is portable across engine geometry: the body is keyed by
+// session, not by shard. Both engine kinds write the same global layout —
+// one folded stats block, one session index, one rule-engine section, one
+// merged alert/event stream, plus the routing directory (sticky session →
+// route key pins) and buffered in-progress fragment groups — and restore
+// re-routes every session through the restoring engine's own router
+// config. A checkpoint captured serial or at 8 shards × 2 ingesters
+// resumes at any shards × ingest combination, in either engine kind; the
+// engine kind, shard count and ingest width recorded in the header are
+// informational only.
 //
 // Restore is strictly decode-validate-install: the entire body is decoded
 // into intermediate structures (correlator state included, via the
@@ -34,7 +44,7 @@ import (
 
 const (
 	snapMagic   = "SCDV"
-	snapVersion = 2
+	snapVersion = 3
 
 	snapKindSerial  = 0
 	snapKindSharded = 1
@@ -305,7 +315,11 @@ func readSnapHeader(r *snapReader) snapHeader {
 		return h
 	}
 	if v := r.u8(); r.err == nil && v != snapVersion {
-		r.fail("core: unsupported checkpoint format version %d (this build reads version %d)", v, snapVersion)
+		if v == 2 {
+			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only portable v3 checkpoints — re-capture a checkpoint with this build")
+		} else {
+			r.fail("core: unsupported checkpoint format version %d (this build reads version %d); re-capture a checkpoint with this build", v, snapVersion)
+		}
 		return h
 	}
 	h.engineKind = r.u8()
@@ -340,51 +354,41 @@ func openSnapshot(data []byte) (snapHeader, *snapReader, error) {
 }
 
 // validateSnapHeader checks a decoded header against the restoring
-// engine's identity. Every mismatch is a descriptive error naming both
-// sides, so a resume against the wrong configuration fails loudly.
+// engine's identity. Engine kind, shard count and ingest width are NOT
+// validated: a portable (v3) body is keyed by session, so any geometry can
+// restore it. Every remaining mismatch is a descriptive error naming both
+// sides and saying how to proceed, so a resume against the wrong
+// configuration fails loudly and actionably.
 func validateSnapHeader(h, want snapHeader) error {
-	kindName := func(k uint8) string {
-		if k == snapKindSharded {
-			return "sharded"
-		}
-		return "serial"
-	}
-	if h.engineKind != want.engineKind {
-		return fmt.Errorf("core: checkpoint was written by the %s engine; cannot restore into the %s engine",
-			kindName(h.engineKind), kindName(want.engineKind))
-	}
-	if h.shards != want.shards {
-		return fmt.Errorf("core: checkpoint was written with %d shards; this engine runs %d (shard counts must match)",
-			h.shards, want.shards)
-	}
-	if h.ingesters != want.ingesters {
-		return fmt.Errorf("core: checkpoint was written with %d ingest routers; this engine runs %d (ingest widths must match)",
-			h.ingesters, want.ingesters)
-	}
 	if len(h.correlators) != len(want.correlators) || strings.Join(h.correlators, ",") != strings.Join(want.correlators, ",") {
-		return fmt.Errorf("core: checkpoint correlator set [%s] does not match engine correlator set [%s]",
+		return fmt.Errorf("core: checkpoint correlator set [%s] does not match engine correlator set [%s]; resume with -correlators matching the capture, or re-capture a checkpoint under the new set",
 			strings.Join(h.correlators, ", "), strings.Join(want.correlators, ", "))
 	}
 	if h.rulesHash != want.rulesHash {
-		return fmt.Errorf("core: checkpoint ruleset hash %016x does not match engine ruleset hash %016x (rules changed since the checkpoint)",
+		return fmt.Errorf("core: checkpoint ruleset hash %016x does not match engine ruleset hash %016x (rules changed since the checkpoint); resume with the capture-time rules file and hot-reload the new ruleset (SIGHUP or -reload-rules), or re-capture",
 			h.rulesHash, want.rulesHash)
 	}
 	if h.configHash != want.configHash {
-		return fmt.Errorf("core: checkpoint config hash %016x does not match engine config hash %016x (GenConfig, Limits, trail or timeout settings differ)",
+		return fmt.Errorf("core: checkpoint config hash %016x does not match engine config hash %016x (GenConfig, Limits, trail or timeout settings differ); resume with the capture-time settings, or re-capture a checkpoint under the new ones",
 			h.configHash, want.configHash)
 	}
 	return nil
 }
 
 // SnapshotInfo is the peekable identity of a checkpoint, read without
-// decoding (or validating) the body.
+// decoding (or validating) the body. The writing geometry is recorded for
+// operators but does not constrain restore: a portable checkpoint resumes
+// at any shards × ingest combination, in either engine kind.
 type SnapshotInfo struct {
-	// Sharded reports which engine kind wrote the checkpoint.
+	// Sharded reports which engine kind wrote the checkpoint
+	// (informational only).
 	Sharded bool
-	// Shards is the writing engine's shard count (1 for serial).
+	// Shards is the writing engine's shard count (1 for serial;
+	// informational only).
 	Shards int
 	// Ingesters is the writing engine's parallel ingest-router count
-	// (1 for serial or a synchronous-router sharded engine).
+	// (1 for serial or a synchronous-router sharded engine;
+	// informational only).
 	Ingesters int
 	// Frames is how many frames the engine had processed at the
 	// checkpoint; a resuming replay skips this many frames.
@@ -784,19 +788,25 @@ func writeRuleEngine(w *snapWriter, re *RuleEngine) {
 	w.vint(re.EventsSeen)
 }
 
-// readRuleEngine decodes rule-matching state, validating partial-match
-// shapes against the target ruleset so a decoded snapshot can never index
-// out of a rule's step list.
+// readRuleEngine decodes rule-matching state. With a non-nil ruleset,
+// partial-match shapes are validated against it so a decoded snapshot can
+// never index out of a rule's step list; with rules nil (the sharded
+// writer mining its own workers' trusted blobs) shape validation is
+// skipped because the blobs never crossed a process boundary.
 func readRuleEngine(r *snapReader, rules []Rule) ruleSnap {
 	var snap ruleSnap
 	nk := r.count()
 	for i := 0; i < nk && r.err == nil; i++ {
 		rule := r.strv()
 		session := r.strv()
-		target, known := RuleByName(rules, rule)
-		if r.err == nil && !known {
-			r.fail("core: snapshot references unknown rule %q (ruleset hash should have caught this)", rule)
-			break
+		var target Rule
+		if rules != nil {
+			var known bool
+			target, known = RuleByName(rules, rule)
+			if r.err == nil && !known {
+				r.fail("core: snapshot references unknown rule %q (ruleset hash should have caught this)", rule)
+				break
+			}
 		}
 		np := r.count()
 		for j := 0; j < np && r.err == nil; j++ {
@@ -811,6 +821,10 @@ func readRuleEngine(r *snapReader, rules []Rule) ruleSnap {
 			}
 			if r.err != nil {
 				break
+			}
+			if rules == nil {
+				snap.partials = append(snap.partials, p)
+				continue
 			}
 			steps := len(target.Steps)
 			if target.Unordered {
@@ -896,9 +910,19 @@ type trailSnap struct {
 	length  int
 }
 
-// engineSnap is a fully decoded serial-engine body: nothing in it aliases
-// the engine, so decoding can fail at any point without touching state.
-type engineSnap struct {
+// corrBlob is one correlator's private state in serialized form, not yet
+// bound to a correlator instance.
+type corrBlob struct {
+	name string
+	blob []byte
+}
+
+// rawEngineBody is a fully decoded engine body with correlator state still
+// in blob form. Nothing in it aliases any engine, so it can be split,
+// merged and re-serialized freely — the portable-snapshot writer folds
+// per-shard bodies into one global body through this type, and restore
+// splits a global body back into per-shard bodies.
+type rawEngineBody struct {
 	stats           EngineStats
 	dstats          DistillerStats
 	streams         []packet.FragStream
@@ -911,9 +935,16 @@ type engineSnap struct {
 	bindingClock    int
 	evictedSessions int
 	evictedBindings int
-	corrInstalls    []func()
+	corrs           []corrBlob
 	rules           ruleSnap
 	events          []Event
+}
+
+// engineSnap is a rawEngineBody whose correlator blobs have been decoded
+// against a concrete engine's correlator instances: ready to install.
+type engineSnap struct {
+	rawEngineBody
+	corrInstalls []func()
 }
 
 // snapshotterNames lists the correlators that carry checkpointable private
@@ -941,46 +972,76 @@ func writeCorrelators(w *snapWriter, correlators []Correlator) {
 	}
 }
 
-// readCorrelators decodes correlator blobs against the target correlator
+// readCorrelatorBlobs reads the named correlator-state blobs without
+// binding them to correlator instances.
+func readCorrelatorBlobs(r *snapReader) []corrBlob {
+	n := r.count()
+	out := make([]corrBlob, 0, min(n, 64))
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, corrBlob{name: r.strv(), blob: r.bytesv()})
+	}
+	return out
+}
+
+// writeCorrBlobs re-serializes already-serialized correlator state.
+func writeCorrBlobs(w *snapWriter, blobs []corrBlob) {
+	w.u32(uint32(len(blobs)))
+	for _, cb := range blobs {
+		w.str(cb.name)
+		w.bytes(cb.blob)
+	}
+}
+
+// decodeCorrBlob decodes one correlator blob against one correlator
+// instance, returning the two-phase install closure.
+func decodeCorrBlob(c Correlator, blob []byte) (func(), error) {
+	cr := &snapReader{buf: blob}
+	install, err := c.(snapshotter).decodeState(cr)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot corrupt (correlator %s: %v)", c.Name(), err)
+	}
+	if !cr.done() {
+		return nil, fmt.Errorf("core: snapshot corrupt (correlator %s: %d trailing bytes)", c.Name(), cr.remaining())
+	}
+	return install, nil
+}
+
+// buildCorrInstalls decodes correlator blobs against the target correlator
 // set, returning install closures (two-phase: nothing mutates until every
 // section of the snapshot has decoded).
-func readCorrelators(r *snapReader, correlators []Correlator) []func() {
+func buildCorrInstalls(correlators []Correlator, blobs []corrBlob) ([]func(), error) {
 	snaps := snapshotters(correlators)
-	n := r.count()
-	if r.err == nil && n != len(snaps) {
-		r.fail("core: snapshot holds %d correlator states; engine has %d stateful correlators", n, len(snaps))
-		return nil
+	if len(blobs) != len(snaps) {
+		return nil, fmt.Errorf("core: snapshot holds %d correlator states; engine has %d stateful correlators", len(blobs), len(snaps))
 	}
 	var installs []func()
-	for i := 0; i < n && r.err == nil; i++ {
-		name := r.strv()
-		blob := r.bytesv()
-		if r.err != nil {
-			break
+	for i, cb := range blobs {
+		if cb.name != snaps[i].Name() {
+			return nil, fmt.Errorf("core: snapshot correlator state %q does not match engine correlator %q", cb.name, snaps[i].Name())
 		}
-		if name != snaps[i].Name() {
-			r.fail("core: snapshot correlator state %q does not match engine correlator %q", name, snaps[i].Name())
-			break
-		}
-		cr := &snapReader{buf: blob}
-		install, err := snaps[i].(snapshotter).decodeState(cr)
+		install, err := decodeCorrBlob(snaps[i], cb.blob)
 		if err != nil {
-			r.fail("core: snapshot corrupt (correlator %s: %v)", name, err)
-			break
-		}
-		if !cr.done() {
-			r.fail("core: snapshot corrupt (correlator %s: %d trailing bytes)", name, cr.remaining())
-			break
+			return nil, err
 		}
 		installs = append(installs, install)
 	}
-	return installs
+	return installs, nil
 }
 
-// writeSnapBody serializes the serial engine's full pipeline state. The
-// sharded engine reuses this per shard.
+// writeSnapBody serializes the serial engine's full pipeline state with
+// its raw (engine-local) stats block. The sharded engine reuses this per
+// shard for warm-restart blobs and as the mining source for the global
+// portable body.
 func (e *Engine) writeSnapBody(w *snapWriter) {
-	writeEngineStats(w, e.stats)
+	e.writeSnapBodyWithStats(w, e.stats)
+}
+
+// writeSnapBodyWithStats serializes the engine body with an explicit stats
+// block: the portable checkpoint writes the folded Stats() view (so the
+// block means the same thing whichever engine kind wrote it), while warm
+// shard blobs keep the raw per-shard counters.
+func (e *Engine) writeSnapBodyWithStats(w *snapWriter, st EngineStats) {
+	writeEngineStats(w, st)
 	writeDistillerStats(w, e.distiller.stats)
 	writeReassembly(w, e.distiller.reasm)
 	keys := make([]trailKey, 0, len(e.trails.trails))
@@ -1006,13 +1067,14 @@ func (e *Engine) writeSnapBody(w *snapWriter) {
 		aors = append(aors, aor)
 	}
 	sort.Strings(aors)
+	canon := canonicalBindingAges(aors, func(aor string) int { return ctx.bindingAge[aor] })
 	w.u32(uint32(len(aors)))
 	for _, aor := range aors {
 		w.str(aor)
 		w.addr(ctx.bindings[aor])
-		w.vint(ctx.bindingAge[aor])
+		w.vint(canon[aor])
 	}
-	w.vint(ctx.bindingClock)
+	w.vint(len(aors))
 	w.vint(ctx.evictedSessions)
 	w.vint(ctx.evictedBindings)
 	writeCorrelators(w, e.gen.correlators)
@@ -1020,39 +1082,65 @@ func (e *Engine) writeSnapBody(w *snapWriter) {
 	writeEvents(w, e.events)
 }
 
-// decodeSnapBody decodes a serial-engine body into an engineSnap without
-// mutating the engine. The engine is consulted only for its correlator
-// instances and ruleset (shape validation and install-closure targets).
-func (e *Engine) decodeSnapBody(r *snapReader) (*engineSnap, error) {
-	snap := &engineSnap{}
-	snap.stats = readEngineStats(r)
-	snap.dstats = readDistillerStats(r)
-	snap.streams, snap.reasmEvicted = readReassembly(r)
+// parseEngineBody decodes an engine body into a rawEngineBody without
+// binding it to any engine: correlator state stays in blob form. With a
+// non-nil ruleset the rule-engine section is shape-validated against it.
+func parseEngineBody(r *snapReader, rules []Rule) rawEngineBody {
+	var body rawEngineBody
+	body.stats = readEngineStats(r)
+	body.dstats = readDistillerStats(r)
+	body.streams, body.reasmEvicted = readReassembly(r)
 	nt := r.count()
 	for i := 0; i < nt && r.err == nil; i++ {
-		snap.trails = append(snap.trails, trailSnap{
+		body.trails = append(body.trails, trailSnap{
 			session: r.strv(),
 			proto:   Protocol(r.vint()),
 			length:  r.vint(),
 		})
 	}
-	snap.index = readSessionIndex(r)
+	body.index = readSessionIndex(r)
 	nb := r.count()
 	for i := 0; i < nb && r.err == nil; i++ {
-		snap.bindings = append(snap.bindings, r.strv())
-		snap.bindingIPs = append(snap.bindingIPs, r.addrv())
-		snap.bindingAges = append(snap.bindingAges, r.vint())
+		body.bindings = append(body.bindings, r.strv())
+		body.bindingIPs = append(body.bindingIPs, r.addrv())
+		body.bindingAges = append(body.bindingAges, r.vint())
 	}
-	snap.bindingClock = r.vint()
-	snap.evictedSessions = r.vint()
-	snap.evictedBindings = r.vint()
-	snap.corrInstalls = readCorrelators(r, e.gen.correlators)
-	snap.rules = readRuleEngine(r, e.rules.rules)
-	snap.events = readEvents(r)
+	body.bindingClock = r.vint()
+	body.evictedSessions = r.vint()
+	body.evictedBindings = r.vint()
+	body.corrs = readCorrelatorBlobs(r)
+	body.rules = readRuleEngine(r, rules)
+	body.events = readEvents(r)
+	return body
+}
+
+// parseEngineBodyBytes decodes a standalone engine-body blob into its raw
+// form, requiring every byte to be consumed.
+func parseEngineBodyBytes(blob []byte, rules []Rule) (rawEngineBody, error) {
+	r := &snapReader{buf: blob}
+	body := parseEngineBody(r, rules)
+	if r.err != nil {
+		return rawEngineBody{}, r.err
+	}
+	if !r.done() {
+		return rawEngineBody{}, fmt.Errorf("core: snapshot corrupt (%d trailing bytes in engine body)", r.remaining())
+	}
+	return body, nil
+}
+
+// decodeSnapBody decodes an engine body into an engineSnap without
+// mutating the engine. The engine is consulted only for its correlator
+// instances and ruleset (shape validation and install-closure targets).
+func (e *Engine) decodeSnapBody(r *snapReader) (*engineSnap, error) {
+	body := parseEngineBody(r, e.rules.rules)
 	if r.err != nil {
 		return nil, r.err
 	}
-	return snap, nil
+	installs, err := buildCorrInstalls(e.gen.correlators, body.corrs)
+	if err != nil {
+		return nil, err
+	}
+	return &engineSnap{rawEngineBody: body, corrInstalls: installs}, nil
 }
 
 // decodeSnapBodyBytes decodes a standalone engine-body blob (warm shard
@@ -1067,6 +1155,284 @@ func (e *Engine) decodeSnapBodyBytes(blob []byte) (*engineSnap, error) {
 		return nil, fmt.Errorf("core: snapshot corrupt (%d trailing bytes in engine body)", r.remaining())
 	}
 	return snap, nil
+}
+
+// --- neutral body writer (portable checkpoints) ---
+
+// canonicalBindingAges renumbers media-binding LRU ages to 1..n in
+// relative-order (age, then AOR) so the checkpoint carries only the LRU
+// ORDER, never the raw clock values — those are geometry-dependent (each
+// shard worker stamps with its own clock), and only the order matters
+// for eviction. The accompanying clock is written as n, so post-restore
+// insertions always age past every restored binding. This is what keeps
+// checkpoints of the same logical state byte-identical across engine
+// geometries.
+func canonicalBindingAges(aors []string, age func(aor string) int) map[string]int {
+	order := append([]string(nil), aors...)
+	sort.Slice(order, func(i, j int) bool {
+		ai, aj := age(order[i]), age(order[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return order[i] < order[j]
+	})
+	canon := make(map[string]int, len(order))
+	for i, aor := range order {
+		canon[aor] = i + 1
+	}
+	return canon
+}
+
+// writeEngineBody serializes an already-decoded rawEngineBody in exactly
+// the layout writeSnapBody produces from a live engine. The sharded
+// writer uses it to emit the folded global body; determinism comes from
+// sorting every keyed section here rather than trusting input order.
+func writeEngineBody(w *snapWriter, body *rawEngineBody) {
+	writeEngineStats(w, body.stats)
+	writeDistillerStats(w, body.dstats)
+	writeFragStreams(w, body.streams, body.reasmEvicted)
+	trails := append([]trailSnap(nil), body.trails...)
+	sort.Slice(trails, func(i, j int) bool {
+		if trails[i].session != trails[j].session {
+			return trails[i].session < trails[j].session
+		}
+		return trails[i].proto < trails[j].proto
+	})
+	w.u32(uint32(len(trails)))
+	for _, t := range trails {
+		w.str(t.session)
+		w.vint(int(t.proto))
+		w.vint(t.length)
+	}
+	writeIndexSnap(w, body.index)
+	type binding struct {
+		aor string
+		ip  netip.Addr
+		age int
+	}
+	binds := make([]binding, len(body.bindings))
+	ages := make(map[string]int, len(body.bindings))
+	aors := make([]string, len(body.bindings))
+	for i, aor := range body.bindings {
+		binds[i] = binding{aor: aor, ip: body.bindingIPs[i], age: body.bindingAges[i]}
+		ages[aor] = body.bindingAges[i]
+		aors[i] = aor
+	}
+	canon := canonicalBindingAges(aors, func(aor string) int { return ages[aor] })
+	sort.Slice(binds, func(i, j int) bool { return binds[i].aor < binds[j].aor })
+	w.u32(uint32(len(binds)))
+	for _, b := range binds {
+		w.str(b.aor)
+		w.addr(b.ip)
+		w.vint(canon[b.aor])
+	}
+	w.vint(len(binds))
+	w.vint(body.evictedSessions)
+	w.vint(body.evictedBindings)
+	writeCorrBlobs(w, body.corrs)
+	writeRuleSnap(w, body.rules)
+	writeEvents(w, body.events)
+}
+
+// writeFragStreams serializes reassembly streams in the writeReassembly
+// layout from their exported form.
+func writeFragStreams(w *snapWriter, streams []packet.FragStream, evicted int) {
+	w.u32(uint32(len(streams)))
+	for _, s := range streams {
+		w.addr(s.ID.Src)
+		w.addr(s.ID.Dst)
+		w.u8(s.ID.Proto)
+		w.u16(s.ID.ID)
+		w.bytes(s.Data)
+		w.bools(s.Have)
+		w.vint(s.TotalLen)
+		w.dur(s.First)
+	}
+	w.vint(evicted)
+}
+
+// writeIndexSnap serializes a decoded session index in the
+// writeSessionIndex layout, sorted by Call-ID.
+func writeIndexSnap(w *snapWriter, snap indexSnap) {
+	sessions := append([]sessionSnap(nil), snap.sessions...)
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].st.callID < sessions[j].st.callID })
+	w.u32(uint32(len(sessions)))
+	for _, s := range sessions {
+		st := &s.st
+		w.str(st.callID)
+		w.dur(st.lastSeen)
+		w.bool(st.established)
+		w.str(st.callerAOR)
+		w.str(st.calleeAOR)
+		w.str(st.callerTag)
+		w.str(st.calleeTag)
+		w.addrPort(st.callerMedia)
+		w.addrPort(st.calleeMedia)
+		w.addr(st.inviteSrcIP)
+		w.bool(st.byeSeen)
+		w.dur(st.byeAt)
+		w.addrPort(st.byeFromMedia)
+		w.u32(st.lastReinviteSeq)
+		w.bool(st.reinviteSeen)
+		w.dur(st.reinviteAt)
+		w.addrPort(st.reinviteOldMedia)
+		w.bool(st.badFormat)
+		w.bool(st.acctStart)
+		w.bool(st.unmatchedOnce)
+		w.dur(st.rtcpByeAt)
+		w.bool(st.rtcpByePending)
+		w.bool(st.rtcpByeFired)
+		w.bool(st.isRegistration)
+		w.vint(st.challenges)
+		w.bool(st.floodFired)
+		guesses := append([]string(nil), s.guessResponses...)
+		sort.Strings(guesses)
+		w.u32(uint32(len(guesses)))
+		for _, g := range guesses {
+			w.str(g)
+		}
+		w.bool(st.guessFired)
+	}
+	regs := append([][2]string(nil), snap.pendingReg...)
+	sort.Slice(regs, func(i, j int) bool { return regs[i][0] < regs[j][0] })
+	w.u32(uint32(len(regs)))
+	for _, reg := range regs {
+		w.str(reg[0])
+		w.str(reg[1])
+	}
+}
+
+// writeRuleSnap serializes decoded rule-engine state in the
+// writeRuleEngine layout: partials grouped by rule|session key with keys
+// sorted and within-key insertion order preserved.
+func writeRuleSnap(w *snapWriter, snap ruleSnap) {
+	byKey := make(map[string][]partialSnap)
+	keys := make([]string, 0, len(snap.partials))
+	for _, ps := range snap.partials {
+		k := ps.rule + "|" + ps.session
+		if _, seen := byKey[k]; !seen {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], ps)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		parts := byKey[k]
+		w.str(parts[0].rule)
+		w.str(parts[0].session)
+		w.u32(uint32(len(parts)))
+		for _, p := range parts {
+			w.dur(p.startedAt)
+			writeEvents(w, p.events)
+			w.vint(p.next)
+			w.bools(p.matched)
+			w.vint(p.remaining)
+		}
+	}
+	writeAlerts(w, snap.alerts)
+	type dedupEntry struct {
+		key string
+		idx int
+	}
+	dd := make([]dedupEntry, len(snap.dedupKeys))
+	for i, k := range snap.dedupKeys {
+		dd[i] = dedupEntry{key: k, idx: snap.dedupIdx[i]}
+	}
+	sort.Slice(dd, func(i, j int) bool { return dd[i].key < dd[j].key })
+	w.u32(uint32(len(dd)))
+	for _, d := range dd {
+		w.str(d.key)
+		w.vint(d.idx)
+	}
+	w.vint(snap.dedupBase)
+	w.vint(snap.evicted)
+	w.vint(snap.version)
+	w.vint(snap.eventsSeen)
+}
+
+// --- routing directory and fragment-buffer codecs ---
+
+// writeSticky serializes the session → route-key pins that make routing
+// reproducible across a restore: any geometry can re-derive every live
+// dialog's shard from these.
+func writeSticky(w *snapWriter, sticky map[string]string) {
+	ids := make([]string, 0, len(sticky))
+	for id := range sticky {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		w.str(id)
+		w.str(sticky[id])
+	}
+}
+
+func readSticky(r *snapReader) (keys, vals []string) {
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		keys = append(keys, r.strv())
+		vals = append(vals, r.strv())
+	}
+	return keys, vals
+}
+
+// writeFragGroups serializes the buffered frames of in-progress IP
+// fragment groups, so a restoring router can ship each completed group to
+// its shard exactly as an uninterrupted run would have.
+func writeFragGroups(w *snapWriter, frags map[fragIdent]*fragGroup) {
+	idents := make([]fragIdent, 0, len(frags))
+	for id := range frags {
+		idents = append(idents, id)
+	}
+	sort.Slice(idents, func(i, j int) bool {
+		a, b := idents[i], idents[j]
+		if c := a.src.Compare(b.src); c != 0 {
+			return c < 0
+		}
+		if c := a.dst.Compare(b.dst); c != 0 {
+			return c < 0
+		}
+		if a.proto != b.proto {
+			return a.proto < b.proto
+		}
+		return a.id < b.id
+	})
+	w.u32(uint32(len(idents)))
+	for _, id := range idents {
+		grp := frags[id]
+		w.addr(id.src)
+		w.addr(id.dst)
+		w.u8(id.proto)
+		w.u16(id.id)
+		w.dur(grp.first)
+		w.u32(uint32(len(grp.frames)))
+		for _, f := range grp.frames {
+			w.dur(f.at)
+			w.bytes(f.frame)
+		}
+	}
+}
+
+func readFragGroups(r *snapReader) (idents []fragIdent, firsts []time.Duration, frames [][]routedFrame) {
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		idents = append(idents, fragIdent{
+			src:   r.addrv(),
+			dst:   r.addrv(),
+			proto: r.u8(),
+			id:    r.u16(),
+		})
+		firsts = append(firsts, r.dur())
+		nf := r.count()
+		var fs []routedFrame
+		for j := 0; j < nf && r.err == nil; j++ {
+			fs = append(fs, routedFrame{at: r.dur(), frame: r.bytesv()})
+		}
+		frames = append(frames, fs)
+	}
+	return idents, firsts, frames
 }
 
 // installSnap installs a fully decoded body. With outputs true everything
@@ -1128,7 +1494,10 @@ func (e *Engine) header() snapHeader {
 }
 
 // Snapshot serializes the engine's complete detection state into a
-// versioned, checksummed checkpoint. The DirectTrailMatching ablation is
+// versioned, checksummed, geometry-portable checkpoint: the folded Stats()
+// view as the stats block, the session-keyed body, the routing directory
+// and the buffered fragment groups, so any shards × ingest geometry (or
+// the serial engine) can restore it. The DirectTrailMatching ablation is
 // not checkpointable: it re-reads raw trail contents, which snapshots
 // deliberately drop.
 func (e *Engine) Snapshot() ([]byte, error) {
@@ -1137,16 +1506,18 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	}
 	var w snapWriter
 	writeSnapHeader(&w, e.header())
-	e.writeSnapBody(&w)
+	e.writeSnapBodyWithStats(&w, e.Stats())
+	writeSticky(&w, e.gen.sticky)
+	writeFragGroups(&w, e.distiller.frags)
 	w.u64(fnv64(w.buf))
 	return w.buf, nil
 }
 
-// RestoreSnapshot rebuilds the engine's state from a checkpoint written by
-// Snapshot. The engine must be fresh (no frames processed) and configured
-// exactly as the writer was — engine kind, correlator set, ruleset and
-// config are all validated against the header, each mismatch yielding a
-// descriptive error. On any error the engine is left untouched.
+// RestoreSnapshot rebuilds the engine's state from a portable checkpoint
+// written by either engine kind at any geometry. The engine must be fresh
+// (no frames processed); correlator set, ruleset and config are validated
+// against the header, each mismatch yielding a descriptive error that says
+// how to proceed. On any error the engine is left untouched.
 func (e *Engine) RestoreSnapshot(data []byte) error {
 	if e.cfg.DirectTrailMatching {
 		return fmt.Errorf("core: restore: the DirectTrailMatching ablation cannot be checkpointed")
@@ -1165,9 +1536,28 @@ func (e *Engine) RestoreSnapshot(data []byte) error {
 	if err != nil {
 		return err
 	}
+	stickyKeys, stickyVals := readSticky(r)
+	fragIdents, fragFirsts, fragFrames := readFragGroups(r)
+	if r.err != nil {
+		return r.err
+	}
 	if !r.done() {
 		return fmt.Errorf("core: snapshot corrupt (%d trailing bytes)", r.remaining())
 	}
 	e.installSnap(snap, true)
+	// The portable stats block is the folded Stats() view, which already
+	// contains the correlator-owned eviction counters; contributeStats
+	// re-adds those from the restored correlator atomics, so zero them in
+	// the base block to count each eviction once.
+	e.stats.IMHistoriesEvicted = 0
+	e.stats.SeqTrackersEvicted = 0
+	clear(e.gen.sticky)
+	for i, id := range stickyKeys {
+		e.gen.sticky[id] = stickyVals[i]
+	}
+	clear(e.distiller.frags)
+	for i, id := range fragIdents {
+		e.distiller.frags[id] = &fragGroup{first: fragFirsts[i], frames: fragFrames[i]}
+	}
 	return nil
 }

@@ -1,13 +1,21 @@
 package core_test
 
 // Resume-rejection tests: a checkpoint must only restore into an engine
-// configured identically to the one that wrote it. Every mismatch class
-// — corrupt bytes, wrong engine kind, wrong shard count, a different
-// correlator registry, different Limits, an edited ruleset — must fail
-// loudly with an error that names what differs, and must leave the
-// target engine untouched (still able to run from scratch).
+// whose detection configuration matches the one that wrote it. Every
+// mismatch class — corrupt bytes, a different correlator registry,
+// different Limits, an edited ruleset, a pre-portable (v2) checkpoint —
+// must fail loudly with an error that names what differs and says how to
+// proceed, and must leave the target engine untouched (still able to run
+// from scratch). Geometry is deliberately NOT a mismatch class: portable
+// (v3) checkpoints are keyed by session, so engine kind, shard count and
+// ingest width may all differ between capture and resume — the
+// acceptance tests below (and snapshot_geometry_test.go) hold those
+// resumes to the uninterrupted run's exact output.
 
 import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -48,17 +56,30 @@ func expectRejection(t *testing.T, eng interface {
 	}
 }
 
-func TestResumeRejectsWrongEngineKind(t *testing.T) {
-	snap, _ := byeSnapshot(t, core.Config{})
+// TestResumeAcrossEngineKinds: portable checkpoints cross the engine-kind
+// boundary in both directions — a serial capture resumes sharded and a
+// sharded capture resumes serial, each reproducing the uninterrupted
+// serial run exactly.
+func TestResumeAcrossEngineKinds(t *testing.T) {
+	snap, frames := byeSnapshot(t, core.Config{})
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+
 	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	defer sh.Close()
-	expectRejection(t, sh, snap, "serial engine", "sharded")
+	if err := sh.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("serial checkpoint did not restore into sharded engine: %v", err)
+	}
+	for _, r := range frames[len(frames)/2:] {
+		sh.HandleFrame(r.at, r.frame)
+	}
+	sh.Flush()
+	compareToBaseline(t, "serial→sharded resume", sh.Alerts(), sh.Events(), sh.Stats(),
+		wantAlerts, wantEvents, wantStats)
 
 	shSnap := func() []byte {
 		e := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 		defer e.Close()
-		frames := scenarioFrames(t, "bye", 7)
-		for _, r := range frames[:4] {
+		for _, r := range frames[:len(frames)/2] {
 			e.HandleFrame(r.at, r.frame)
 		}
 		s, err := e.Snapshot()
@@ -68,13 +89,23 @@ func TestResumeRejectsWrongEngineKind(t *testing.T) {
 		return s
 	}()
 	serial := core.NewEngine(core.Config{}, core.WithEventLog())
-	expectRejection(t, serial, shSnap, "sharded engine", "serial")
+	if err := serial.RestoreSnapshot(shSnap); err != nil {
+		t.Fatalf("sharded checkpoint did not restore into serial engine: %v", err)
+	}
+	for _, r := range frames[len(frames)/2:] {
+		serial.HandleFrame(r.at, r.frame)
+	}
+	compareToBaseline(t, "sharded→serial resume", serial.Alerts(), serial.Events(), serial.Stats(),
+		wantAlerts, wantEvents, wantStats)
 }
 
-func TestResumeRejectsWrongShardCount(t *testing.T) {
+// TestResumeAcrossShardCounts: a 2-shard capture resumes at 8 shards —
+// the grow-the-fleet operation — with outputs identical to the
+// uninterrupted run.
+func TestResumeAcrossShardCounts(t *testing.T) {
 	e := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	frames := scenarioFrames(t, "bye", 7)
-	for _, r := range frames[:4] {
+	for _, r := range frames[:len(frames)/2] {
 		e.HandleFrame(r.at, r.frame)
 	}
 	snap, err := e.Snapshot()
@@ -84,14 +115,23 @@ func TestResumeRejectsWrongShardCount(t *testing.T) {
 	}
 	other := core.NewShardedEngine(core.Config{}, 8, core.WithEventLog())
 	defer other.Close()
-	expectRejection(t, other, snap, "2", "8", "shard")
+	if err := other.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("2-shard checkpoint did not restore at 8 shards: %v", err)
+	}
+	for _, r := range frames[len(frames)/2:] {
+		other.HandleFrame(r.at, r.frame)
+	}
+	other.Flush()
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+	compareToBaseline(t, "2→8 shard resume", other.Alerts(), other.Events(), other.Stats(),
+		wantAlerts, wantEvents, wantStats)
 }
 
-// TestResumeRejectsIngestMismatch: the ingest width is part of a
-// checkpoint's identity — a snapshot written behind 2 ingest routers
-// must not silently restore into an engine running 4 (and a parallel
-// checkpoint must not restore into the synchronous router's header).
-func TestResumeRejectsIngestMismatch(t *testing.T) {
+// TestResumeAcrossIngestWidths: the ingest width recorded in a portable
+// checkpoint is informational — a capture behind 2 ingest routers resumes
+// behind 4, behind the synchronous router, and at the same width, all
+// matching the uninterrupted run.
+func TestResumeAcrossIngestWidths(t *testing.T) {
 	e := core.NewShardedEngine(core.Config{IngestRouters: 2}, 2, core.WithEventLog())
 	frames := scenarioFrames(t, "bye", 7)
 	for _, r := range frames[:len(frames)/2] {
@@ -102,28 +142,28 @@ func TestResumeRejectsIngestMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
-
-	wide := core.NewShardedEngine(core.Config{IngestRouters: 4}, 2, core.WithEventLog())
-	defer wide.Close()
-	expectRejection(t, wide, snap, "ingest", "2", "4")
-
-	narrow := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
-	defer narrow.Close()
-	expectRejection(t, narrow, snap, "ingest", "2", "1")
-
-	// Same width restores and resumes byte-identically.
-	same := core.NewShardedEngine(core.Config{IngestRouters: 2}, 2, core.WithEventLog())
-	defer same.Close()
-	if err := same.RestoreSnapshot(snap); err != nil {
-		t.Fatalf("same-width restore failed: %v", err)
-	}
-	for _, r := range frames[len(frames)/2:] {
-		same.HandleFrame(r.at, r.frame)
-	}
-	same.Flush()
 	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
-	compareToBaseline(t, "ingest resume", same.Alerts(), same.Events(), same.Stats(),
-		wantAlerts, wantEvents, wantStats)
+	for _, tc := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"wider", core.Config{IngestRouters: 4}},
+		{"synchronous", core.Config{}},
+		{"same", core.Config{IngestRouters: 2}},
+	} {
+		eng := core.NewShardedEngine(tc.cfg, 2, core.WithEventLog())
+		if err := eng.RestoreSnapshot(snap); err != nil {
+			eng.Close()
+			t.Fatalf("%s-ingest restore failed: %v", tc.name, err)
+		}
+		for _, r := range frames[len(frames)/2:] {
+			eng.HandleFrame(r.at, r.frame)
+		}
+		eng.Flush()
+		compareToBaseline(t, tc.name+"-ingest resume", eng.Alerts(), eng.Events(), eng.Stats(),
+			wantAlerts, wantEvents, wantStats)
+		eng.Close()
+	}
 }
 
 func TestResumeRejectsDifferentCorrelators(t *testing.T) {
@@ -198,6 +238,83 @@ func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
 	if err := eng3.RestoreSnapshot(garbage); err == nil {
 		t.Error("garbage restored without error")
 	}
+}
+
+// restampChecksum recomputes the trailing FNV-1a checksum after a test
+// mutates checkpoint bytes, so the mutation reaches the body decoder
+// instead of being caught by the checksum gate.
+func restampChecksum(data []byte) []byte {
+	body := data[:len(data)-8]
+	h := uint64(14695981039346656037)
+	for _, b := range body {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return binary.BigEndian.AppendUint64(append([]byte(nil), body...), h)
+}
+
+// TestResumeRejectsV2Checkpoint: a pre-portable (v2) checkpoint — pinned
+// under testdata as a stand-in for one on an operator's disk — must be
+// refused by both engine kinds with an error naming the format gap and
+// the way forward, never mis-decoded.
+func TestResumeRejectsV2Checkpoint(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_snapshots", "bye_serial_v2.ckpt"))
+	if err != nil {
+		t.Fatalf("no preserved v2 golden: %v", err)
+	}
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	expectRejection(t, eng, data, "format v2", "portable v3", "re-capture")
+	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh.Close()
+	expectRejection(t, sh, data, "format v2", "portable v3", "re-capture")
+}
+
+// TestResumeRejectsCorruptSessionRecords: corruption INSIDE the v3
+// session-keyed body — past the checksum gate — must still be rejected by
+// both engine kinds, whether it garbles a record (a hostile length
+// prefix) or truncates the stream mid-record, and must leave the target
+// engine untouched.
+func TestResumeRejectsCorruptSessionRecords(t *testing.T) {
+	snap, frames := byeSnapshot(t, core.Config{})
+
+	garbled := append([]byte(nil), snap...)
+	// Stomp a length prefix mid-body: the bounded count/take readers must
+	// refuse it wherever it lands.
+	for i := len(garbled) / 2; i < len(garbled)/2+4; i++ {
+		garbled[i] = 0xFF
+	}
+	garbled = restampChecksum(garbled)
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	if err := eng.RestoreSnapshot(garbled); err == nil {
+		t.Error("serial: garbled session record restored without error")
+	}
+	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh.Close()
+	if err := sh.RestoreSnapshot(garbled); err == nil {
+		t.Error("sharded: garbled session record restored without error")
+	}
+
+	truncated := restampChecksum(append([]byte(nil), snap[:len(snap)-40]...))
+	eng2 := core.NewEngine(core.Config{}, core.WithEventLog())
+	if err := eng2.RestoreSnapshot(truncated); err == nil {
+		t.Error("serial: truncated session records restored without error")
+	}
+	sh2 := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh2.Close()
+	if err := sh2.RestoreSnapshot(truncated); err == nil {
+		t.Error("sharded: truncated session records restored without error")
+	}
+
+	// Both rejecting engines are still pristine and run from scratch.
+	for _, r := range frames {
+		eng.HandleFrame(r.at, r.frame)
+		sh.HandleFrame(r.at, r.frame)
+	}
+	sh.Flush()
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+	compareToBaseline(t, "serial post-corrupt-rejection run", eng.Alerts(), eng.Events(), eng.Stats(),
+		wantAlerts, wantEvents, wantStats)
+	compareToBaseline(t, "sharded post-corrupt-rejection run", sh.Alerts(), sh.Events(), sh.Stats(),
+		wantAlerts, wantEvents, wantStats)
 }
 
 // TestRejectedRestoreLeavesEngineUsable: after any rejection the target

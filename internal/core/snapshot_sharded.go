@@ -2,177 +2,99 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"time"
-
-	"scidive/internal/packet"
 )
 
-// Sharded checkpoint/restore. A sharded snapshot is a coordinated
-// quiescent-point capture: the router's state (directory, reassembly,
-// buffered fragment groups, correlator instances, sticky routing keys,
-// self-monitoring alerts) is serialized under the routing lock, and a
-// snapshot marker is enqueued to every shard behind all pending work, so
-// each worker serializes its pipeline at exactly the same cut in the
-// frame stream. Per-shard routed/processed/shed ledgers are captured
-// after every marker acks, so routed == processed + shed holds across a
-// restore. Like Snapshot/RestoreSnapshot on the serial engine, neither
-// may run concurrently with HandleFrame or Close.
+// Sharded checkpoint/restore over the portable (v3) format. A sharded
+// snapshot is a coordinated quiescent-point capture folded into the same
+// session-keyed global layout the serial engine writes: a snapshot marker
+// is enqueued to every shard behind all pending work (the consistent cut),
+// each worker serializes its pipeline body, and the writer mines those
+// bodies back into one global engine body — one folded stats block, the
+// union of the per-shard session tables, trails and partial matches, the
+// merged alert/event streams (in merge-tag order, exactly what Alerts()
+// and Events() return), the merged or router-owned correlator state, plus
+// the router's own routing directory (sticky pins) and buffered fragment
+// groups. Because the body is keyed by session, restore re-routes every
+// session through the restoring engine's router config: a checkpoint
+// captured at one shards × ingest geometry resumes at any other, or on
+// the serial engine, with identical outputs.
+//
+// Like Snapshot/RestoreSnapshot on the serial engine, neither may run
+// concurrently with HandleFrame or Close.
 
-// workerRestore is one shard's fully decoded snapshot section, ready to
-// install. For healthy shards the engine state travels to the worker
-// goroutine via an itemRestore marker (the channel send orders it before
-// any subsequent work); failed shards get their published results
-// installed directly, since their engines stay quiescent.
+// workerRestore is one shard's slice of a portable checkpoint, fully
+// decoded against that shard's fresh engine and ready to install. It
+// travels to the worker goroutine via an itemRestore marker (the channel
+// send orders the install before any subsequent work).
 type workerRestore struct {
-	state     uint32
-	routed    uint64
-	processed uint64
-	shedF     uint64
-	shedB     uint64
-
-	// Healthy-shard payload.
-	engineBlob []byte // raw engine body, cached for warm restarts
-	engine     *engineSnap
-	alertTags  []mergeTag
-	eventTags  []mergeTag
-	trimmedA   int
-	trimmedE   int
-	faultSeq   uint64
-	base       shardResults
-
-	// Failed-shard payload: the last published results, which become the
-	// restored worker's base and publication.
-	pub shardResults
+	engine    *engineSnap
+	alertTags []mergeTag
+	eventTags []mergeTag
 }
 
-// routerSnap is the decoded router-stage state.
-type routerSnap struct {
-	frameIdx        uint64
-	idx             indexSnap
-	streams         []packet.FragStream
-	reasmEvicted    int
-	fragKeys        []fragIdent
-	fragFirsts      []int64
-	fragFrames      [][]routedFrame
-	corrInstalls    []func()
-	stickyKeys      []string
-	stickyVals      []string
-	capSessions     uint64
-	capFrags        uint64
-	shardsFailed    uint64
-	shardsRestarted uint64
-	selfAlert       []Alert
-	selfTags        []mergeTag
-	selfDedupKeys   []string
-	selfDedupIdx    []int
-	selfSeq         int
-}
-
-func writeTags(w *snapWriter, tags []mergeTag) {
-	w.u32(uint32(len(tags)))
-	for _, t := range tags {
-		w.u64(t.idx)
-		w.vint(t.sub)
+// isSelfRule reports whether an alert was raised by the sharded engine's
+// self-monitoring (router-side) rather than a shard's rule engine; restore
+// routes these back to the router's self-alert list instead of a shard.
+func isSelfRule(name string) bool {
+	switch name {
+	case RuleIDSOverload, RuleShardFailure, RuleShardStateLoss, RuleRuleReload:
+		return true
 	}
+	return false
 }
 
-func readTags(r *snapReader) []mergeTag {
-	n := r.count()
-	out := make([]mergeTag, 0, min(n, 4096))
-	for i := 0; i < n && r.err == nil; i++ {
-		out = append(out, mergeTag{idx: r.u64(), sub: r.vint()})
-	}
-	return out
+// addDistillerStats sums two distiller stat snapshots field by field.
+func addDistillerStats(a, b DistillerStats) DistillerStats {
+	a.Frames += b.Frames
+	a.Fragments += b.Fragments
+	a.DecodeError += b.DecodeError
+	a.SIP += b.SIP
+	a.RTP += b.RTP
+	a.RTCP += b.RTCP
+	a.Acct += b.Acct
+	a.Raw += b.Raw
+	a.Ignored += b.Ignored
+	return a
 }
 
-func writeResults(w *snapWriter, res *shardResults) {
-	writeEngineStats(w, res.stats)
-	writeAlerts(w, res.alerts)
-	writeTags(w, res.alertTags)
-	writeEvents(w, res.events)
-	writeTags(w, res.eventTags)
-	w.u32(uint32(len(res.trails)))
-	for _, k := range res.trails {
-		w.str(k.session)
-		w.vint(int(k.proto))
-	}
-}
-
-func readResults(r *snapReader) shardResults {
-	var res shardResults
-	res.stats = readEngineStats(r)
-	res.alerts = readAlerts(r)
-	res.alertTags = readTags(r)
-	res.events = readEvents(r)
-	res.eventTags = readTags(r)
-	nt := r.count()
-	for i := 0; i < nt && r.err == nil; i++ {
-		res.trails = append(res.trails, trailKey{session: r.strv(), proto: Protocol(r.vint())})
-	}
-	if r.err == nil && (len(res.alertTags) != len(res.alerts) || len(res.eventTags) != len(res.events)) {
-		r.fail("core: snapshot corrupt (shard results: %d alert tags for %d alerts, %d event tags for %d events)",
-			len(res.alertTags), len(res.alerts), len(res.eventTags), len(res.events))
-	}
-	return res
-}
-
-func copyResults(res shardResults) shardResults {
-	return shardResults{
-		stats:     res.stats,
-		alerts:    append([]Alert(nil), res.alerts...),
-		alertTags: append([]mergeTag(nil), res.alertTags...),
-		events:    append([]Event(nil), res.events...),
-		eventTags: append([]mergeTag(nil), res.eventTags...),
-		trails:    append([]trailKey(nil), res.trails...),
-	}
-}
-
-// snapshotWorker serializes the worker's pipeline (runs on the worker
-// goroutine, after publish, so tags are synced and pub is current). It
-// also refreshes the warm-restart cache.
+// snapshotWorker serializes the worker's engine body (runs on the worker
+// goroutine, after publish, at the marker's consistent cut). It also
+// refreshes the warm-restart cache.
 func (w *shardWorker) snapshotWorker() []byte {
 	var eb snapWriter
 	w.eng.writeSnapBody(&eb)
 	w.lastEngineSnap = append([]byte(nil), eb.buf...)
-	var sw snapWriter
-	sw.bytes(eb.buf)
-	writeTags(&sw, w.alertTags)
-	writeTags(&sw, w.eventTags)
-	sw.vint(w.trimmedA)
-	sw.vint(w.trimmedE)
-	sw.u64(w.faultSeq)
-	writeResults(&sw, &w.base)
-	return sw.buf
+	return eb.buf
 }
 
-// installRestore installs a decoded shard snapshot (runs on the worker
-// goroutine; the channel send that delivered it orders the install before
-// any post-restore work). Decode already validated everything, so this
-// cannot fail.
+// installRestore installs one shard's slice of a portable checkpoint
+// (runs on the worker goroutine; the channel send that delivered it
+// orders the install before any post-restore work). Decode already
+// validated everything, so this cannot fail. The restored outputs carry
+// position tags (frame 0, global ordinal) so the merged streams reproduce
+// the capture-time order ahead of anything the resumed run appends.
 func (w *shardWorker) installRestore(p *workerRestore) {
 	w.eng.installSnap(p.engine, true)
-	w.lastEngineSnap = p.engineBlob
+	var eb snapWriter
+	w.eng.writeSnapBody(&eb)
+	w.lastEngineSnap = eb.buf
 	w.alertTags = append(w.alertTags[:0], p.alertTags...)
 	w.eventTags = append(w.eventTags[:0], p.eventTags...)
-	w.trimmedA, w.trimmedE = p.trimmedA, p.trimmedE
-	w.faultSeq = p.faultSeq
-	w.base = copyResults(p.base)
+	w.trimmedA, w.trimmedE = 0, 0
+	w.faultSeq = 0
+	w.base = shardResults{}
 	w.resMu.Lock()
 	w.pubVer = -1 // force the alert rebuild on the publish below
-	w.pubEvict = w.eng.stats.EventsEvicted
-	w.pub.stats = EngineStats{}
-	w.pub.alerts = w.pub.alerts[:0]
-	w.pub.alertTags = w.pub.alertTags[:0]
-	w.pub.events = append(w.pub.events[:0], w.base.events...)
-	w.pub.eventTags = append(w.pub.eventTags[:0], w.base.eventTags...)
-	w.pub.trails = nil
+	w.pubEvict = 0
+	w.pub = shardResults{}
 	w.resMu.Unlock()
 	w.publish()
 	w.publishTrails()
 }
 
-// header returns the sharded engine's snapshot identity.
+// header returns the sharded engine's snapshot identity. The geometry
+// fields are informational only (see validateSnapHeader); the rules hash
+// tracks the live (possibly hot-reloaded) ruleset.
 func (s *ShardedEngine) header() snapHeader {
 	return snapHeader{
 		engineKind:  snapKindSharded,
@@ -180,20 +102,31 @@ func (s *ShardedEngine) header() snapHeader {
 		ingesters:   s.ingesters,
 		frames:      s.frames.Load(),
 		configHash:  configFingerprint(s.cfg, s.keepLog),
-		rulesHash:   rulesFingerprint(s.cfg.Rules),
+		rulesHash:   rulesFingerprint(*s.liveRules.Load()),
 		correlators: correlatorNames(s.correlators),
 	}
 }
 
-// Snapshot captures the whole sharded pipeline at a quiescent point. It
-// flushes all queued work, serializes the router under the routing lock,
-// enqueues a snapshot marker to every shard behind anything still
-// pending (the consistent cut), and captures the per-shard ledgers once
-// every marker has acked. Must not run concurrently with HandleFrame or
-// Close. Shards quarantined as stalled are recorded from their last
-// published results.
+// Snapshot captures the whole sharded pipeline at a quiescent point into
+// a portable, session-keyed checkpoint. It flushes all queued work, takes
+// the merged output views, enqueues a snapshot marker to every shard
+// behind anything still pending (the consistent cut) while serializing
+// the router's own state under the routing lock, then mines the per-shard
+// bodies into one global engine body. Must not run concurrently with
+// HandleFrame or Close.
+//
+// Shards quarantined as panicked or stalled ack the marker through their
+// drain path without serializing: their published alerts, events and
+// stats survive (they are part of the merged views) but their private
+// detection state and distiller counters are not captured — a degraded
+// but well-formed checkpoint, mirroring the quarantine's own data loss.
 func (s *ShardedEngine) Snapshot() ([]byte, error) {
-	s.Flush()
+	// Merged output views first (each flushes). Snapshot never runs
+	// concurrently with HandleFrame, so the pipeline cannot advance
+	// between these reads and the markers below.
+	alerts := s.Alerts()
+	events := s.Events()
+	folded := s.Stats()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -209,273 +142,120 @@ func (s *ShardedEngine) Snapshot() ([]byte, error) {
 	}
 	var w snapWriter
 	writeSnapHeader(&w, s.header())
-	s.writeRouterLocked(&w)
+	streams := s.reasm.ExportStreams()
+	// Router correlator state, position-indexed over the snapshotters.
+	// stateSharder correlators are worker-resident: their global blob is
+	// the merge of the per-shard blobs (filled in below). The rest are
+	// router-authoritative (their hinter state judges every frame here in
+	// global order): the global blob is the router instance's state.
+	snaps := snapshotters(s.correlators)
+	routerCorrs := make([]corrBlob, len(snaps))
+	for i, c := range snaps {
+		routerCorrs[i] = corrBlob{name: c.Name()}
+		if _, ok := c.(stateSharder); ok {
+			continue
+		}
+		var cw snapWriter
+		c.(snapshotter).snapshotState(&cw)
+		routerCorrs[i].blob = cw.buf
+	}
+	var tail snapWriter
+	writeSticky(&tail, s.sticky)
+	writeFragGroups(&tail, s.frags)
 	s.mu.Unlock()
 	for i, ack := range acks {
 		awaitAck(s.workers[i], ack)
 	}
-	for i, wk := range s.workers {
-		s.writeWorkerSection(&w, wk, *blobs[i])
+	body := rawEngineBody{
+		stats:           folded,
+		dstats:          s.restoredDstats,
+		streams:         streams,
+		reasmEvicted:    folded.FragGroupsEvicted,
+		evictedSessions: folded.SessionsCapEvicted,
+		evictedBindings: folded.BindingsEvicted,
 	}
+	workerCorr := make(map[string][][]byte)
+	bestClock := -1
+	for i := range s.workers {
+		blob := *blobs[i]
+		if blob == nil {
+			// Quarantined or stalled shard: degraded capture (see doc).
+			continue
+		}
+		wb, err := parseEngineBodyBytes(blob, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: shard %d state: %w", i, err)
+		}
+		body.dstats = addDistillerStats(body.dstats, wb.dstats)
+		body.trails = append(body.trails, wb.trails...)
+		body.index.sessions = append(body.index.sessions, wb.index.sessions...)
+		body.index.pendingReg = append(body.index.pendingReg, wb.index.pendingReg...)
+		body.rules.partials = append(body.rules.partials, wb.rules.partials...)
+		// Bindings are replicated to every shard and age identically;
+		// take the most advanced replica (highest binding clock).
+		if wb.bindingClock > bestClock {
+			bestClock = wb.bindingClock
+			body.bindings = wb.bindings
+			body.bindingIPs = wb.bindingIPs
+			body.bindingAges = wb.bindingAges
+			body.bindingClock = wb.bindingClock
+		}
+		for _, cb := range wb.corrs {
+			workerCorr[cb.name] = append(workerCorr[cb.name], cb.blob)
+		}
+	}
+	body.corrs = routerCorrs
+	for i, c := range snaps {
+		sh, ok := c.(stateSharder)
+		if !ok {
+			continue
+		}
+		merged, err := sh.mergeState(workerCorr[c.Name()])
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: correlator %s: %w", c.Name(), err)
+		}
+		body.corrs[i].blob = merged
+	}
+	// The global rule-engine section: the merged alert stream (unique per
+	// rule|session, counts summed) with a dedup entry per retained alert,
+	// offset by the folded eviction count so the pointer validation and
+	// O(1) eviction arithmetic hold after a serial restore. The version is
+	// a deterministic function of the same counters (every raise bumps it
+	// once, suppressed repeats included), so re-snapshotting an idle
+	// restored engine reproduces it.
+	body.rules.alerts = alerts
+	body.rules.dedupBase = folded.AlertsEvicted
+	body.rules.evicted = folded.AlertsEvicted
+	body.rules.eventsSeen = folded.Events
+	version := folded.AlertsEvicted
+	for gi, a := range alerts {
+		body.rules.dedupKeys = append(body.rules.dedupKeys, a.Rule+"|"+a.Session)
+		body.rules.dedupIdx = append(body.rules.dedupIdx, gi+folded.AlertsEvicted)
+		version += a.Count
+	}
+	body.rules.version = version
+	body.events = events
+	writeEngineBody(&w, &body)
+	w.buf = append(w.buf, tail.buf...)
 	w.u64(fnv64(w.buf))
 	return w.buf, nil
 }
 
-func (s *ShardedEngine) writeRouterLocked(w *snapWriter) {
-	w.u64(s.frameIdx)
-	writeSessionIndex(w, s.idx)
-	writeReassembly(w, s.reasm)
-	keys := make([]fragIdent, 0, len(s.frags))
-	for k := range s.frags {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if c := a.src.Compare(b.src); c != 0 {
-			return c < 0
-		}
-		if c := a.dst.Compare(b.dst); c != 0 {
-			return c < 0
-		}
-		if a.proto != b.proto {
-			return a.proto < b.proto
-		}
-		return a.id < b.id
-	})
-	w.u32(uint32(len(keys)))
-	for _, k := range keys {
-		grp := s.frags[k]
-		w.addr(k.src)
-		w.addr(k.dst)
-		w.u8(k.proto)
-		w.u16(k.id)
-		w.dur(grp.first)
-		w.u32(uint32(len(grp.frames)))
-		for _, fr := range grp.frames {
-			w.dur(fr.at)
-			w.bytes(fr.frame)
-		}
-	}
-	writeCorrelators(w, s.correlators)
-	ids := make([]string, 0, len(s.sticky))
-	for id := range s.sticky {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	w.u32(uint32(len(ids)))
-	for _, id := range ids {
-		w.str(id)
-		w.str(s.sticky[id])
-	}
-	w.u64(s.capSessions.Load())
-	w.u64(s.capFrags.Load())
-	w.u64(s.shardsFailed.Load())
-	w.u64(s.shardsRestarted.Load())
-	s.selfMu.Lock()
-	writeAlerts(w, s.selfAlert)
-	writeTags(w, s.selfTags)
-	dk := make([]string, 0, len(s.selfDedup))
-	for k := range s.selfDedup {
-		dk = append(dk, k)
-	}
-	sort.Strings(dk)
-	w.u32(uint32(len(dk)))
-	for _, k := range dk {
-		w.str(k)
-		w.vint(s.selfDedup[k])
-	}
-	w.vint(s.selfSeq)
-	s.selfMu.Unlock()
-}
-
-func (s *ShardedEngine) writeWorkerSection(w *snapWriter, wk *shardWorker, blob []byte) {
-	// The watchdog's batch-progress pair (enqueuedB/completedB) is
-	// deliberately not serialized: markers bump it, so it would make
-	// back-to-back snapshots of an idle engine differ, and at any
-	// quiescent point the pair is equal anyway — a fresh 0/0 restores
-	// the same "idle" relation.
-	w.u8(uint8(wk.state.Load()))
-	w.u64(wk.routedF.Load())
-	w.u64(wk.processedF.Load())
-	w.u64(wk.shedFrames.Load())
-	w.u64(wk.shedBatches.Load())
-	if blob != nil {
-		w.bool(true)
-		w.bytes(blob)
-		return
-	}
-	// Quarantined (or stalled) shard: the marker was acked by the drain
-	// path without serializing, so record the last published results.
-	w.bool(false)
-	wk.resMu.Lock()
-	res := copyResults(wk.pub)
-	wk.resMu.Unlock()
-	writeResults(w, &res)
-}
-
-func (s *ShardedEngine) decodeRouter(r *snapReader) *routerSnap {
-	rs := &routerSnap{}
-	rs.frameIdx = r.u64()
-	rs.idx = readSessionIndex(r)
-	rs.streams, rs.reasmEvicted = readReassembly(r)
-	nf := r.count()
-	for i := 0; i < nf && r.err == nil; i++ {
-		key := fragIdent{src: r.addrv(), dst: r.addrv(), proto: r.u8(), id: r.u16()}
-		first := r.dur()
-		nfr := r.count()
-		frames := make([]routedFrame, 0, min(nfr, 4096))
-		for j := 0; j < nfr && r.err == nil; j++ {
-			frames = append(frames, routedFrame{at: r.dur(), frame: r.bytesv()})
-		}
-		rs.fragKeys = append(rs.fragKeys, key)
-		rs.fragFirsts = append(rs.fragFirsts, int64(first))
-		rs.fragFrames = append(rs.fragFrames, frames)
-	}
-	rs.corrInstalls = readCorrelators(r, s.correlators)
-	ns := r.count()
-	for i := 0; i < ns && r.err == nil; i++ {
-		rs.stickyKeys = append(rs.stickyKeys, r.strv())
-		rs.stickyVals = append(rs.stickyVals, r.strv())
-	}
-	rs.capSessions = r.u64()
-	rs.capFrags = r.u64()
-	rs.shardsFailed = r.u64()
-	rs.shardsRestarted = r.u64()
-	rs.selfAlert = readAlerts(r)
-	rs.selfTags = readTags(r)
-	nd := r.count()
-	for i := 0; i < nd && r.err == nil; i++ {
-		rs.selfDedupKeys = append(rs.selfDedupKeys, r.strv())
-		rs.selfDedupIdx = append(rs.selfDedupIdx, r.vint())
-	}
-	rs.selfSeq = r.vint()
-	if r.err != nil {
-		return rs
-	}
-	if len(rs.selfTags) != len(rs.selfAlert) {
-		r.fail("core: snapshot corrupt (%d self-alert tags for %d self alerts)", len(rs.selfTags), len(rs.selfAlert))
-		return rs
-	}
-	for i, k := range rs.selfDedupKeys {
-		idx := rs.selfDedupIdx[i]
-		if idx < 0 || idx >= len(rs.selfAlert) {
-			r.fail("core: snapshot corrupt (self-alert dedup %q points at %d of %d)", k, idx, len(rs.selfAlert))
-			return rs
-		}
-		a := rs.selfAlert[idx]
-		if a.Rule+"|"+a.Session != k {
-			r.fail("core: snapshot corrupt (self-alert dedup %q points at alert for %q)", k, a.Rule+"|"+a.Session)
-			return rs
-		}
-	}
-	return rs
-}
-
-func (s *ShardedEngine) installRouterLocked(rs *routerSnap) {
-	s.frameIdx = rs.frameIdx
-	s.frames.Store(rs.frameIdx)
-	installSessionIndex(s.idx, rs.idx)
-	s.reasm.ImportStreams(rs.streams, rs.reasmEvicted)
-	clear(s.frags)
-	for i, k := range rs.fragKeys {
-		s.frags[k] = &fragGroup{frames: rs.fragFrames[i], first: time.Duration(rs.fragFirsts[i])}
-	}
-	for _, install := range rs.corrInstalls {
-		install()
-	}
-	clear(s.sticky)
-	for i, id := range rs.stickyKeys {
-		s.sticky[id] = rs.stickyVals[i]
-	}
-	s.capSessions.Store(rs.capSessions)
-	s.capFrags.Store(rs.capFrags)
-	s.shardsFailed.Store(rs.shardsFailed)
-	s.shardsRestarted.Store(rs.shardsRestarted)
-	s.selfMu.Lock()
-	s.selfAlert = rs.selfAlert
-	s.selfTags = rs.selfTags
-	s.selfDedup = make(map[string]int, len(rs.selfDedupKeys))
-	for i, k := range rs.selfDedupKeys {
-		s.selfDedup[k] = rs.selfDedupIdx[i]
-	}
-	s.selfSeq = rs.selfSeq
-	s.selfMu.Unlock()
-}
-
-func (s *ShardedEngine) decodeWorker(r *snapReader, wk *shardWorker) *workerRestore {
-	wr := &workerRestore{}
-	wr.state = uint32(r.u8())
-	if r.err == nil && wr.state > stateStalled {
-		r.fail("core: snapshot corrupt (shard %d has unknown state %d)", wk.id, wr.state)
-		return wr
-	}
-	wr.routed = r.u64()
-	wr.processed = r.u64()
-	wr.shedF = r.u64()
-	wr.shedB = r.u64()
-	hasBlob := r.boolv()
-	if r.err != nil {
-		return wr
-	}
-	if hasBlob != (wr.state == stateHealthy) {
-		r.fail("core: snapshot corrupt (shard %d is %s but engine state present=%v)", wk.id, stateName(wr.state), hasBlob)
-		return wr
-	}
-	if !hasBlob {
-		wr.pub = readResults(r)
-		return wr
-	}
-	blob := r.bytesv()
-	if r.err != nil {
-		return wr
-	}
-	br := &snapReader{buf: blob}
-	engineBody := br.bytesv()
-	if br.err != nil {
-		r.fail("core: snapshot corrupt (shard %d: %v)", wk.id, br.err)
-		return wr
-	}
-	snap, err := wk.eng.decodeSnapBodyBytes(engineBody)
-	if err != nil {
-		r.fail("core: snapshot corrupt (shard %d: %v)", wk.id, err)
-		return wr
-	}
-	wr.engine = snap
-	wr.engineBlob = engineBody
-	wr.alertTags = readTags(br)
-	wr.eventTags = readTags(br)
-	wr.trimmedA = br.vint()
-	wr.trimmedE = br.vint()
-	wr.faultSeq = br.u64()
-	wr.base = readResults(br)
-	if br.err != nil {
-		r.fail("core: snapshot corrupt (shard %d: %v)", wk.id, br.err)
-		return wr
-	}
-	if !br.done() {
-		r.fail("core: snapshot corrupt (shard %d: %d trailing bytes)", wk.id, br.remaining())
-		return wr
-	}
-	if len(wr.alertTags) != len(snap.rules.alerts) || len(wr.eventTags) != len(snap.events) {
-		r.fail("core: snapshot corrupt (shard %d: %d alert tags for %d alerts, %d event tags for %d events)",
-			wk.id, len(wr.alertTags), len(snap.rules.alerts), len(wr.eventTags), len(snap.events))
-	}
-	return wr
-}
-
-// RestoreSnapshot rebuilds the whole sharded pipeline from a checkpoint
-// written by Snapshot. The engine must be fresh (no frames routed) and
-// configured exactly as the writer was — engine kind, shard count,
-// correlator set, ruleset and config are validated against the header
-// with descriptive errors. The entire checkpoint is decoded and
-// validated before anything installs, so a corrupt checkpoint leaves the
-// engine untouched. Shards recorded as healthy are rehydrated on their
-// own goroutines (the restore marker orders the install before any
-// subsequent work); shards recorded as failed come back quarantined with
-// their published results intact.
+// RestoreSnapshot rebuilds the whole sharded pipeline from a portable
+// checkpoint written by either engine kind at any geometry. The engine
+// must be fresh (no frames routed); correlator set, ruleset and config
+// are validated against the header with descriptive errors — engine
+// kind, shard count and ingest width are not, because the session-keyed
+// body re-routes through this engine's own router: every session's
+// trails, directory entries, partial matches, alerts and events are
+// split across the current shards by the same sticky-pinned routing keys
+// the router will use for the resumed traffic. The entire checkpoint is
+// decoded and validated before anything installs, so a corrupt
+// checkpoint leaves the engine untouched. Every shard comes back
+// healthy.
 func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
-	if s.frames.Load() != 0 {
-		return fmt.Errorf("core: restore requires a fresh engine (this one already routed %d frames)", s.frames.Load())
+	if n := s.frames.Load(); n != 0 {
+		return fmt.Errorf("core: restore requires a fresh engine (this one already routed %d frames)", n)
 	}
 	h, r, err := openSnapshot(data)
 	if err != nil {
@@ -484,57 +264,200 @@ func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
 	if err := validateSnapHeader(h, s.header()); err != nil {
 		return err
 	}
-	rs := s.decodeRouter(r)
-	wrs := make([]*workerRestore, len(s.workers))
-	for i := range s.workers {
-		wrs[i] = s.decodeWorker(r, s.workers[i])
-		if r.err != nil {
-			return r.err
-		}
-	}
+	body := parseEngineBody(r, *s.liveRules.Load())
+	stickyKeys, stickyVals := readSticky(r)
+	fragIdents, fragFirsts, fragFrames := readFragGroups(r)
 	if r.err != nil {
 		return r.err
 	}
 	if !r.done() {
 		return fmt.Errorf("core: snapshot corrupt (%d trailing bytes)", r.remaining())
 	}
+	n := len(s.workers)
+	sticky := make(map[string]string, len(stickyKeys))
+	for i, id := range stickyKeys {
+		sticky[id] = stickyVals[i]
+	}
+	// shardFor re-routes a session through this engine's geometry: the
+	// pinned routing key when the dialog has one, else the session key
+	// itself (exactly what the router hashes for non-pinned traffic).
+	shardFor := func(session string) int {
+		if rk, ok := sticky[session]; ok {
+			return shardOf(rk, n)
+		}
+		return shardOf(session, n)
+	}
+	shards := make([]rawEngineBody, n)
+	for j := range shards {
+		// Bindings are replicated in full to every shard, as the router
+		// replicates live registrations. Stats and eviction counters stay
+		// zero: the folded history lives in restoredStats below, and the
+		// shards re-count only what happens after the resume.
+		shards[j].bindings = body.bindings
+		shards[j].bindingIPs = body.bindingIPs
+		shards[j].bindingAges = body.bindingAges
+		shards[j].bindingClock = body.bindingClock
+	}
+	for _, t := range body.trails {
+		j := shardFor(t.session)
+		shards[j].trails = append(shards[j].trails, t)
+	}
+	for _, sess := range body.index.sessions {
+		j := shardFor(sess.st.callID)
+		shards[j].index.sessions = append(shards[j].index.sessions, sess)
+	}
+	for _, reg := range body.index.pendingReg {
+		j := shardFor(reg[0])
+		shards[j].index.pendingReg = append(shards[j].index.pendingReg, reg)
+	}
+	for _, ps := range body.rules.partials {
+		j := shardFor(ps.session)
+		shards[j].rules.partials = append(shards[j].rules.partials, ps)
+	}
+	// Split the merged output streams. Position tags (frame 0, global
+	// ordinal) keep the merged order identical to the capture; self-
+	// monitoring alerts return to the router's self-alert list.
+	var selfAlerts []Alert
+	var selfTags []mergeTag
+	alertTags := make([][]mergeTag, n)
+	for gi, a := range body.rules.alerts {
+		if isSelfRule(a.Rule) {
+			selfAlerts = append(selfAlerts, a)
+			selfTags = append(selfTags, mergeTag{idx: 0, sub: gi})
+			continue
+		}
+		j := shardFor(a.Session)
+		shards[j].rules.alerts = append(shards[j].rules.alerts, a)
+		alertTags[j] = append(alertTags[j], mergeTag{idx: 0, sub: gi})
+	}
+	for j := range shards {
+		rs := &shards[j].rules
+		for i, a := range rs.alerts {
+			rs.dedupKeys = append(rs.dedupKeys, a.Rule+"|"+a.Session)
+			rs.dedupIdx = append(rs.dedupIdx, i)
+		}
+		rs.version = len(rs.alerts)
+	}
+	eventTags := make([][]mergeTag, n)
+	for gi, ev := range body.events {
+		j := shardFor(ev.Session)
+		shards[j].events = append(shards[j].events, ev)
+		eventTags[j] = append(eventTags[j], mergeTag{idx: 0, sub: gi})
+	}
+	// Correlator state. stateSharder blobs are filtered down to each
+	// shard's keep set (the same routing keys the router pins); the rest
+	// install onto the router's instances, with each shard receiving a
+	// freshly serialized empty state — worker instances of router-
+	// authoritative correlators never accumulate state (verdicts arrive
+	// as RouteHints), so empty is exactly what an uninterrupted run holds.
+	snaps := snapshotters(s.correlators)
+	if len(body.corrs) != len(snaps) {
+		return fmt.Errorf("core: snapshot holds %d correlator states; engine has %d stateful correlators", len(body.corrs), len(snaps))
+	}
+	var routerInstalls []func()
+	var emptySnaps []Correlator
+	for ci, c := range snaps {
+		cb := body.corrs[ci]
+		if cb.name != c.Name() {
+			return fmt.Errorf("core: snapshot correlator state %q does not match engine correlator %q", cb.name, c.Name())
+		}
+		if sh, ok := c.(stateSharder); ok {
+			for j := range shards {
+				keepShard := j
+				filtered, err := sh.filterState(cb.blob, func(rk string) bool { return shardOf(rk, n) == keepShard })
+				if err != nil {
+					return fmt.Errorf("core: snapshot corrupt (correlator %s: %v)", c.Name(), err)
+				}
+				shards[j].corrs = append(shards[j].corrs, corrBlob{name: cb.name, blob: filtered})
+			}
+			continue
+		}
+		install, err := decodeCorrBlob(c, cb.blob)
+		if err != nil {
+			return err
+		}
+		routerInstalls = append(routerInstalls, install)
+		if emptySnaps == nil {
+			emptySnaps = snapshotters(buildCorrelators(s.cfg.Correlators, s.gen))
+		}
+		var ew snapWriter
+		emptySnaps[ci].(snapshotter).snapshotState(&ew)
+		for j := range shards {
+			shards[j].corrs = append(shards[j].corrs, corrBlob{name: cb.name, blob: ew.buf})
+		}
+	}
+	// Decode every shard's slice against its (fresh, quiescent) engine
+	// before anything installs. The driver may touch the worker engines
+	// here: restore requires a fresh engine and never runs concurrently
+	// with HandleFrame, so the workers are idle.
+	restores := make([]*workerRestore, n)
+	for j := range shards {
+		var bw snapWriter
+		writeEngineBody(&bw, &shards[j])
+		snap, err := s.workers[j].eng.decodeSnapBodyBytes(bw.buf)
+		if err != nil {
+			return fmt.Errorf("core: restore: shard %d: %w", j, err)
+		}
+		restores[j] = &workerRestore{engine: snap, alertTags: alertTags[j], eventTags: eventTags[j]}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return fmt.Errorf("core: restore: engine is closed")
 	}
-	s.installRouterLocked(rs)
-	acks := make([]chan struct{}, len(s.workers))
-	for i, wr := range wrs {
-		wk := s.workers[i]
-		wk.routedF.Store(wr.routed)
-		wk.processedF.Store(wr.processed)
-		wk.shedFrames.Store(wr.shedF)
-		wk.shedBatches.Store(wr.shedB)
-		if wr.state == stateHealthy {
-			acks[i] = make(chan struct{})
-			s.pending[i] = append(s.pending[i], shardItem{kind: itemRestore, restore: wr, ack: acks[i]})
-			s.flushShardLocked(i)
-			continue
-		}
-		// Failed shard: its engine is (and stays) quiescent; install the
-		// published results directly and quarantine. The idle worker
-		// goroutine synchronizes on resMu, and the state store makes it
-		// drain anything that arrives later — exactly the behavior the
-		// original quarantined shard had.
-		wk.state.Store(wr.state)
-		wk.resMu.Lock()
-		wk.base = copyResults(wr.pub)
-		wk.pubVer = 0
-		wk.pubEvict = 0
-		wk.pub = copyResults(wr.pub)
-		wk.resMu.Unlock()
+	s.frameIdx = h.frames
+	s.frames.Store(h.frames)
+	installSessionIndex(s.idx, body.index)
+	s.reasm.ImportStreams(body.streams, body.reasmEvicted)
+	clear(s.frags)
+	for i, id := range fragIdents {
+		s.frags[id] = &fragGroup{first: fragFirsts[i], frames: fragFrames[i]}
+	}
+	for _, install := range routerInstalls {
+		install()
+	}
+	clear(s.sticky)
+	for i, id := range stickyKeys {
+		s.sticky[id] = stickyVals[i]
+	}
+	s.capSessions.Store(uint64(body.evictedSessions))
+	s.capFrags.Store(uint64(body.reasmEvicted))
+	s.shardsFailed.Store(uint64(body.stats.ShardsFailed))
+	s.shardsRestarted.Store(uint64(body.stats.ShardsRestarted))
+	s.selfMu.Lock()
+	s.selfAlert = selfAlerts
+	s.selfTags = selfTags
+	s.selfDedup = make(map[string]int, len(selfAlerts))
+	for i, a := range selfAlerts {
+		s.selfDedup[a.Rule+"|"+a.Session] = i
+	}
+	s.selfSeq = len(selfAlerts)
+	s.selfMu.Unlock()
+	// restoredStats carries the folded history for the counters the live
+	// pipeline will NOT re-count. Counters that live state re-derives —
+	// the frame clock, the router-side cap atomics stored above, the
+	// shard-failure atomics, and the correlator-owned eviction counters
+	// contributeStats re-adds from the restored atomics — are zeroed so
+	// each count happens exactly once.
+	rst := body.stats
+	rst.Frames = 0
+	rst.SessionsCapEvicted = 0
+	rst.FragGroupsEvicted = 0
+	rst.ShardsFailed = 0
+	rst.ShardsRestarted = 0
+	rst.IMHistoriesEvicted = 0
+	rst.SeqTrackersEvicted = 0
+	s.restoredStats = rst
+	s.restoredDstats = body.dstats
+	acks := make([]chan struct{}, n)
+	for j, wr := range restores {
+		acks[j] = make(chan struct{})
+		s.pending[j] = append(s.pending[j], shardItem{kind: itemRestore, restore: wr, ack: acks[j]})
+		s.flushShardLocked(j)
 	}
 	s.mu.Unlock()
-	for i, ack := range acks {
-		if ack != nil {
-			awaitAck(s.workers[i], ack)
-		}
+	for j, ack := range acks {
+		awaitAck(s.workers[j], ack)
 	}
 	return nil
 }
