@@ -64,7 +64,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scidive", flag.ContinueOnError)
-	inPath := fs.String("in", "", "SCAP capture input path (required)")
+	inPath := fs.String("in", "", "capture input path: SCAP, pcap, or pcapng, auto-detected (required)")
 	showEvents := fs.Bool("events", false, "print every generated event")
 	window := fs.Duration("window", time.Second, "orphan-flow monitoring window m")
 	direct := fs.Bool("direct", false, "bypass the event layer (direct trail matching ablation)")
@@ -75,7 +75,7 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "detection worker shards; 1 runs the serial engine")
 	ingest := fs.Int("ingest", 1, "parallel ingest routers partitioning capture decode (sharded engine only); 1 keeps the single synchronous router")
 	correlatorsSpec := fs.String("correlators", "", "comma-separated protocol correlators to enable (default: all); see -correlators help")
-	limitsSpec := fs.String("limits", "", "state budget caps as k=v pairs: sessions,frags,ims,seqs,bindings,alerts,events (0 or absent = unbounded)")
+	limitsSpec := fs.String("limits", "", "state budget caps as k=v pairs: sessions,frags,streams,ims,seqs,bindings,alerts,events (0 or absent = unbounded)")
 	shed := fs.Duration("shed", 0, "shed (never block) frames bound for a shard whose queue stays full this long; 0 blocks")
 	stall := fs.Duration("stall", 0, "quarantine a shard making no progress for this long (wall clock); 0 disables the watchdog")
 	restartShards := fs.Bool("restart-shards", false, "restart a panicked shard instead of quarantining it: warm from the last checkpoint when one exists, else cold (raises shard-state-loss)")
@@ -407,7 +407,7 @@ func parseCorrelators(spec string, out io.Writer) ([]core.Registration, error) {
 }
 
 // parseLimits parses the -limits flag: comma-separated k=v pairs with
-// keys sessions, frags, ims, seqs, bindings, alerts, events.
+// keys sessions, frags, streams, ims, seqs, bindings, alerts, events.
 func parseLimits(spec string) (core.Limits, error) {
 	var l core.Limits
 	if spec == "" {
@@ -416,6 +416,7 @@ func parseLimits(spec string) (core.Limits, error) {
 	fields := map[string]*int{
 		"sessions": &l.MaxSessions,
 		"frags":    &l.MaxFragGroups,
+		"streams":  &l.MaxStreams,
 		"ims":      &l.MaxIMHistories,
 		"seqs":     &l.MaxSeqTrackers,
 		"bindings": &l.MaxBindings,
@@ -429,7 +430,7 @@ func parseLimits(spec string) (core.Limits, error) {
 		}
 		dst, known := fields[k]
 		if !known {
-			return l, fmt.Errorf("-limits: unknown cap %q (want sessions, frags, ims, seqs, bindings, alerts, or events)", k)
+			return l, fmt.Errorf("-limits: unknown cap %q (want sessions, frags, streams, ims, seqs, bindings, alerts, or events)", k)
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {

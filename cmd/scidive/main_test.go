@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"os"
 	"os/signal"
@@ -34,6 +35,56 @@ func writeScenarioCapture(t *testing.T, name string, seed int64) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// writeScenarioPcap records a scenario as a classic pcap (big-endian,
+// nanosecond magic, Ethernet linktype) for the auto-detection tests.
+func writeScenarioPcap(t *testing.T, name string, seed int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name+".pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b23c4d) // pcap nanosecond magic
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint32(hdr[16:20], capture.MaxFrameLen) // snaplen
+	binary.BigEndian.PutUint32(hdr[20:24], 1)                   // LINKTYPE_ETHERNET
+	if _, err := f.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiments.RunScenario(name, seed, func(at time.Duration, frame []byte) {
+		rec := make([]byte, 16+len(frame))
+		binary.BigEndian.PutUint32(rec[0:4], uint32(at/time.Second))
+		binary.BigEndian.PutUint32(rec[4:8], uint32(at%time.Second))
+		binary.BigEndian.PutUint32(rec[8:12], uint32(len(frame)))
+		binary.BigEndian.PutUint32(rec[12:16], uint32(len(frame)))
+		copy(rec[16:], frame)
+		_, _ = f.Write(rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReplayPcapDetectsAttack proves the README's pcap walkthrough: a
+// standard pcap of TCP SIP trunk traffic (plus its UDP media) feeds the
+// engine through -in auto-detection and raises the same alert.
+func TestReplayPcapDetectsAttack(t *testing.T) {
+	path := writeScenarioPcap(t, "tcptrunk-split", 7)
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-events"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "bye-attack") {
+		t.Errorf("pcap replay missed the attack:\n%s", out)
+	}
+	if !strings.Contains(out, "rtp-after-bye") {
+		t.Errorf("pcap replay missed the orphan-media events:\n%s", out)
+	}
 }
 
 func TestReplayDetectsAttack(t *testing.T) {
@@ -180,11 +231,11 @@ func TestReplayWithShippedDefaultRules(t *testing.T) {
 }
 
 func TestParseLimits(t *testing.T) {
-	l, err := parseLimits("sessions=4096, frags=64,ims=32,seqs=128,bindings=16,alerts=1000,events=2000")
+	l, err := parseLimits("sessions=4096, frags=64,streams=48,ims=32,seqs=128,bindings=16,alerts=1000,events=2000")
 	if err != nil {
 		t.Fatalf("parseLimits: %v", err)
 	}
-	if l.MaxSessions != 4096 || l.MaxFragGroups != 64 || l.MaxIMHistories != 32 ||
+	if l.MaxSessions != 4096 || l.MaxFragGroups != 64 || l.MaxStreams != 48 || l.MaxIMHistories != 32 ||
 		l.MaxSeqTrackers != 128 || l.MaxBindings != 16 ||
 		l.MaxRetainedAlerts != 1000 || l.MaxRetainedEvents != 2000 {
 		t.Errorf("parsed limits = %+v", l)

@@ -1,0 +1,37 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"scidive/internal/packet"
+)
+
+// SendSpoofedTCP injects a TCP segment that continues someone else's
+// stream: the source IP and port are the victim's, and seq places the
+// payload exactly where the victim's next bytes would go, so a stream
+// reassembler (the IDS's, or a real peer's) accepts it as in-order data.
+// This is the stream-transport sibling of SendSpoofed — the TCP variant
+// of the paper's forged-message attacks, launched by an on-path attacker
+// who read the sequence numbers off the wire. The Ethernet source remains
+// the attacker's NIC, as on a real LAN without MAC spoofing.
+func (a *Attacker) SendSpoofedTCP(spoofSrc, dst netip.AddrPort, seq uint32, payload []byte) error {
+	dstMAC, ok := a.net.MACOf(dst.Addr())
+	if !ok {
+		return fmt.Errorf("attack: no route to %v", dst.Addr())
+	}
+	frames, err := packet.BuildTCPFrames(packet.TCPFrameSpec{
+		SrcMAC: a.host.MAC(), DstMAC: dstMAC,
+		SrcIP: spoofSrc.Addr(), DstIP: dst.Addr(),
+		SrcPort: spoofSrc.Port(), DstPort: dst.Port(),
+		Seq:     seq,
+		Flags:   packet.TCPFlagACK | packet.TCPFlagPSH,
+		IPID:    a.host.NextIPID(),
+		Payload: payload,
+	}, a.net.MTU())
+	if err != nil {
+		return fmt.Errorf("attack: %w", err)
+	}
+	a.host.SendRawFrames(frames...)
+	return nil
+}

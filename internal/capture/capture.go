@@ -1,7 +1,10 @@
 // Package capture implements SCAP, a minimal self-describing capture file
-// format for simulated Ethernet frames. It plays the role tcpdump played
-// in the SCIDIVE testbed: scenarios record hub traffic to a file and the
-// IDS analyzes it offline.
+// format for simulated Ethernet frames, and reads standard pcap/pcapng
+// captures alongside it (see pcap.go; the container is auto-detected by
+// magic number). It plays the role tcpdump played in the SCIDIVE
+// testbed: scenarios record hub traffic to a file and the IDS analyzes
+// it offline — and a real tcpdump capture of Ethernet traffic feeds the
+// same replay paths.
 //
 // Format (all integers big-endian):
 //
@@ -97,10 +100,29 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Reader reads SCAP files.
+// fileFormat identifies which capture container a Reader is decoding.
+type fileFormat uint8
+
+const (
+	fmtSCAP fileFormat = iota
+	fmtPcap
+	fmtPcapNG
+)
+
+// Reader reads capture files: the native SCAP format, classic pcap, and
+// pcapng. The format is auto-detected from the file's magic number on
+// the first read; every consumer (Next, ReadAll, Replay,
+// ReplayPartitioned) sees the same Record stream regardless of
+// container. Only Ethernet link-layer captures are accepted — the
+// decode pipeline starts at the Ethernet header.
 type Reader struct {
 	br      *bufio.Reader
 	started bool
+	format  fileFormat
+	off     int64 // bytes consumed from the underlying stream
+	rec     int   // records returned so far
+	pcap    pcapState
+	ng      pcapngState
 }
 
 // NewReader returns a Reader consuming from r.
@@ -108,22 +130,58 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReader(r)}
 }
 
+// readFull fills p from the stream, advancing the reader's byte offset
+// by however much was actually read.
+func (r *Reader) readFull(p []byte) error {
+	n, err := io.ReadFull(r.br, p)
+	r.off += int64(n)
+	return err
+}
+
+// discard skips n bytes, advancing the byte offset.
+func (r *Reader) discard(n int) error {
+	m, err := r.br.Discard(n)
+	r.off += int64(m)
+	return err
+}
+
+// corruptf reports a malformed record with enough context to find it in
+// the file: the record's index and the byte offset its framing starts at.
+func (r *Reader) corruptf(start int64, format string, args ...any) error {
+	return fmt.Errorf("capture: record %d at offset %d: %s", r.rec, start, fmt.Sprintf(format, args...))
+}
+
 func (r *Reader) readHeader() error {
 	if r.started {
 		return nil
 	}
 	r.started = true
-	var hdr [6]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+	head, err := r.br.Peek(4)
+	if err != nil {
 		return fmt.Errorf("capture: read header: %w", err)
 	}
-	if [4]byte(hdr[0:4]) != magic {
-		return errors.New("capture: bad magic: not an SCAP file")
+	switch {
+	case [4]byte(head) == magic:
+		var hdr [6]byte
+		if err := r.readFull(hdr[:]); err != nil {
+			return fmt.Errorf("capture: read header: %w", err)
+		}
+		if v := binary.BigEndian.Uint16(hdr[4:6]); v != Version {
+			return fmt.Errorf("capture: unsupported version %d", v)
+		}
+		r.format = fmtSCAP
+		return nil
+	case isPcapMagic(head):
+		r.format = fmtPcap
+		return r.readPcapHeader()
+	case binary.BigEndian.Uint32(head) == pcapngBlockSHB:
+		// pcapng opens with a Section Header Block; the block loop in
+		// nextPcapNG parses it (and any later section boundaries).
+		r.format = fmtPcapNG
+		return nil
+	default:
+		return errors.New("capture: bad magic: not an SCAP, pcap or pcapng file")
 	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v != Version {
-		return fmt.Errorf("capture: unsupported version %d", v)
-	}
-	return nil
 }
 
 // Next returns the next record, or io.EOF at end of file. The returned
@@ -139,8 +197,27 @@ func (r *Reader) nextInto(buf []byte) (Record, error) {
 	if err := r.readHeader(); err != nil {
 		return Record{}, err
 	}
+	var rec Record
+	var err error
+	switch r.format {
+	case fmtPcap:
+		rec, err = r.nextPcap(buf)
+	case fmtPcapNG:
+		rec, err = r.nextPcapNG(buf)
+	default:
+		rec, err = r.nextSCAP(buf)
+	}
+	if err == nil {
+		r.rec++
+	}
+	return rec, err
+}
+
+// nextSCAP decodes one native SCAP record.
+func (r *Reader) nextSCAP(buf []byte) (Record, error) {
+	start := r.off
 	var hdr [12]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+	if err := r.readFull(hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
@@ -148,18 +225,22 @@ func (r *Reader) nextInto(buf []byte) (Record, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[8:12])
 	if n > MaxFrameLen {
-		return Record{}, fmt.Errorf("capture: corrupt record length %d", n)
+		return Record{}, r.corruptf(start, "corrupt record length %d exceeds maximum %d", n, MaxFrameLen)
 	}
-	var frame []byte
-	if uint32(cap(buf)) >= n {
-		frame = buf[:n]
-	} else {
-		frame = make([]byte, n)
-	}
-	if _, err := io.ReadFull(r.br, frame); err != nil {
+	frame := frameInto(buf, n)
+	if err := r.readFull(frame); err != nil {
 		return Record{}, fmt.Errorf("capture: read frame body: %w", err)
 	}
 	return Record{Time: time.Duration(binary.BigEndian.Uint64(hdr[0:8])), Frame: frame}, nil
+}
+
+// frameInto returns an n-byte frame slice, reusing buf's storage when it
+// is large enough.
+func frameInto(buf []byte, n uint32) []byte {
+	if uint32(cap(buf)) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
 }
 
 // FrameFunc consumes one captured frame. It is the feed signature shared

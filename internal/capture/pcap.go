@@ -1,0 +1,362 @@
+package capture
+
+// Standard pcap and pcapng decoding, so real captures (tcpdump, tshark,
+// Wireshark exports) can feed the engine exactly like native SCAP files.
+// Both formats are read-only here: the simulator keeps writing SCAP, and
+// NewReader auto-detects which of the three containers it was handed.
+//
+// Scope: Ethernet link layer only (LINKTYPE_ETHERNET = 1) — the decode
+// pipeline starts at the Ethernet header, so a capture taken on any
+// other link type is rejected up front with a clear error rather than
+// silently producing garbage frames. Classic pcap supports both byte
+// orders and both timestamp resolutions (microsecond and nanosecond
+// magics); pcapng supports Section Header, Interface Description,
+// Enhanced Packet and Simple Packet blocks (per-interface if_tsresol
+// honored, unknown block types skipped).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic pcap magic numbers, as they appear big-endian at offset 0.
+// The byte-swapped values mean the file was written little-endian.
+const (
+	pcapMagicMicroBE = 0xa1b2c3d4
+	pcapMagicMicroLE = 0xd4c3b2a1
+	pcapMagicNanoBE  = 0xa1b23c4d
+	pcapMagicNanoLE  = 0x4d3cb2a1
+)
+
+// pcapng block types (section-relative byte order; the SHB type is a
+// palindrome so it reads the same either way).
+const (
+	pcapngBlockSHB = 0x0a0d0d0a
+	pcapngBlockIDB = 0x00000001
+	pcapngBlockSPB = 0x00000003
+	pcapngBlockEPB = 0x00000006
+
+	pcapngByteOrderMagic = 0x1a2b3c4d
+)
+
+// linktypeEthernet is the only link layer the decode pipeline accepts.
+const linktypeEthernet = 1
+
+func isPcapMagic(head []byte) bool {
+	switch binary.BigEndian.Uint32(head) {
+	case pcapMagicMicroBE, pcapMagicMicroLE, pcapMagicNanoBE, pcapMagicNanoLE:
+		return true
+	}
+	return false
+}
+
+// pcapState is the per-file state of a classic pcap: the byte order the
+// magic announced and whether timestamps carry nanoseconds.
+type pcapState struct {
+	order binary.ByteOrder
+	nanos bool
+}
+
+// readPcapHeader consumes the 24-byte classic pcap global header.
+func (r *Reader) readPcapHeader() error {
+	var hdr [24]byte
+	if err := r.readFull(hdr[:]); err != nil {
+		return fmt.Errorf("capture: read pcap header: %w", err)
+	}
+	switch binary.BigEndian.Uint32(hdr[0:4]) {
+	case pcapMagicMicroBE:
+		r.pcap = pcapState{order: binary.BigEndian}
+	case pcapMagicMicroLE:
+		r.pcap = pcapState{order: binary.LittleEndian}
+	case pcapMagicNanoBE:
+		r.pcap = pcapState{order: binary.BigEndian, nanos: true}
+	case pcapMagicNanoLE:
+		r.pcap = pcapState{order: binary.LittleEndian, nanos: true}
+	}
+	if major := r.pcap.order.Uint16(hdr[4:6]); major != 2 {
+		return fmt.Errorf("capture: unsupported pcap version %d", major)
+	}
+	if lt := r.pcap.order.Uint32(hdr[20:24]); lt != linktypeEthernet {
+		return fmt.Errorf("capture: pcap linktype %d unsupported (Ethernet captures only)", lt)
+	}
+	return nil
+}
+
+// nextPcap decodes one classic pcap record.
+func (r *Reader) nextPcap(buf []byte) (Record, error) {
+	start := r.off
+	var hdr [16]byte
+	if err := r.readFull(hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("capture: read pcap record header: %w", err)
+	}
+	incl := r.pcap.order.Uint32(hdr[8:12])
+	if incl > MaxFrameLen {
+		return Record{}, r.corruptf(start, "corrupt record length %d exceeds maximum %d", incl, MaxFrameLen)
+	}
+	sub := time.Duration(r.pcap.order.Uint32(hdr[4:8]))
+	if !r.pcap.nanos {
+		sub *= time.Microsecond
+	}
+	ts := time.Duration(r.pcap.order.Uint32(hdr[0:4]))*time.Second + sub
+	frame := frameInto(buf, incl)
+	if err := r.readFull(frame); err != nil {
+		return Record{}, fmt.Errorf("capture: read frame body: %w", err)
+	}
+	return Record{Time: ts, Frame: frame}, nil
+}
+
+// ngIface is one pcapng interface's decode parameters: its timestamp
+// resolution (if_tsresol option; the default is microseconds) and the
+// snap length Simple Packet Blocks truncate to.
+type ngIface struct {
+	pow2    bool  // resolution is 2^-res instead of 10^-res
+	res     uint8 // negative power per pow2
+	snaplen uint32
+}
+
+// pcapngState is the per-section state of a pcapng file. A new Section
+// Header Block resets it (byte order and interfaces are section-scoped).
+type pcapngState struct {
+	order  binary.ByteOrder
+	ifaces []ngIface
+}
+
+// nanos converts an interface-resolution tick count to a Duration.
+func (ifc *ngIface) nanos(ticks uint64) time.Duration {
+	if ifc.pow2 {
+		// Split so the sub-second remainder scales without overflow.
+		shift := ifc.res
+		if shift > 63 {
+			shift = 63
+		}
+		whole := ticks >> shift
+		frac := ticks & (1<<shift - 1)
+		return time.Duration(whole)*time.Second + time.Duration(frac*uint64(time.Second)>>shift)
+	}
+	switch {
+	case ifc.res == 9:
+		return time.Duration(ticks)
+	case ifc.res < 9:
+		mult := uint64(1)
+		for i := ifc.res; i < 9; i++ {
+			mult *= 10
+		}
+		return time.Duration(ticks * mult)
+	default:
+		div := uint64(1)
+		for i := uint8(9); i < ifc.res; i++ {
+			div *= 10
+		}
+		return time.Duration(ticks / div)
+	}
+}
+
+// nextPcapNG walks pcapng blocks until one yields a packet record,
+// skipping the bookkeeping blocks (and any block types it does not
+// know) by their declared length.
+func (r *Reader) nextPcapNG(buf []byte) (Record, error) {
+	for {
+		start := r.off
+		var hdr [8]byte
+		if err := r.readFull(hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Record{}, io.EOF
+			}
+			return Record{}, fmt.Errorf("capture: read pcapng block header: %w", err)
+		}
+		if binary.BigEndian.Uint32(hdr[0:4]) == pcapngBlockSHB {
+			if err := r.readPcapNGSection(start, hdr); err != nil {
+				return Record{}, err
+			}
+			continue
+		}
+		if r.ng.order == nil {
+			return Record{}, r.corruptf(start, "pcapng block before section header")
+		}
+		btype := r.ng.order.Uint32(hdr[0:4])
+		blen := r.ng.order.Uint32(hdr[4:8])
+		if blen < 12 || blen%4 != 0 {
+			return Record{}, r.corruptf(start, "corrupt pcapng block length %d", blen)
+		}
+		body := int(blen) - 12
+		var rec Record
+		var got bool
+		var err error
+		switch btype {
+		case pcapngBlockIDB:
+			err = r.readPcapNGInterface(start, body)
+		case pcapngBlockEPB:
+			rec, got, err = r.readPcapNGPacket(start, body, buf)
+		case pcapngBlockSPB:
+			rec, got, err = r.readPcapNGSimple(start, body, buf)
+		default:
+			err = r.discard(body)
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		var trailer [4]byte
+		if err := r.readFull(trailer[:]); err != nil {
+			return Record{}, fmt.Errorf("capture: read pcapng block trailer: %w", err)
+		}
+		if r.ng.order.Uint32(trailer[:]) != blen {
+			return Record{}, r.corruptf(start, "pcapng block trailer length %d does not match header %d",
+				r.ng.order.Uint32(trailer[:]), blen)
+		}
+		if got {
+			return rec, nil
+		}
+	}
+}
+
+// readPcapNGSection finishes parsing a Section Header Block whose first
+// 8 bytes are already in hdr, establishing the section's byte order and
+// resetting the interface table.
+func (r *Reader) readPcapNGSection(start int64, hdr [8]byte) error {
+	var rest [8]byte // byte-order magic + version
+	if err := r.readFull(rest[:]); err != nil {
+		return fmt.Errorf("capture: read pcapng section header: %w", err)
+	}
+	var order binary.ByteOrder
+	switch binary.BigEndian.Uint32(rest[0:4]) {
+	case pcapngByteOrderMagic:
+		order = binary.BigEndian
+	case 0x4d3c2b1a: // pcapngByteOrderMagic byte-swapped
+		order = binary.LittleEndian
+	default:
+		return r.corruptf(start, "pcapng section has corrupt byte-order magic")
+	}
+	if major := order.Uint16(rest[4:6]); major != 1 {
+		return fmt.Errorf("capture: unsupported pcapng version %d", major)
+	}
+	blen := order.Uint32(hdr[4:8])
+	if blen < 28 || blen%4 != 0 {
+		return r.corruptf(start, "corrupt pcapng block length %d", blen)
+	}
+	// Skip section length + options, then verify the trailing length.
+	if err := r.discard(int(blen) - 20); err != nil {
+		return fmt.Errorf("capture: read pcapng section header: %w", err)
+	}
+	var trailer [4]byte
+	if err := r.readFull(trailer[:]); err != nil {
+		return fmt.Errorf("capture: read pcapng block trailer: %w", err)
+	}
+	if order.Uint32(trailer[:]) != blen {
+		return r.corruptf(start, "pcapng block trailer length %d does not match header %d",
+			order.Uint32(trailer[:]), blen)
+	}
+	r.ng = pcapngState{order: order}
+	return nil
+}
+
+// readPcapNGInterface parses an Interface Description Block body,
+// rejecting non-Ethernet link types and honoring if_tsresol.
+func (r *Reader) readPcapNGInterface(start int64, body int) error {
+	if body < 8 {
+		return r.corruptf(start, "pcapng interface block truncated (%d byte body)", body)
+	}
+	b := make([]byte, body)
+	if err := r.readFull(b); err != nil {
+		return fmt.Errorf("capture: read pcapng interface block: %w", err)
+	}
+	if lt := r.ng.order.Uint16(b[0:2]); lt != linktypeEthernet {
+		return fmt.Errorf("capture: pcapng interface %d has linktype %d unsupported (Ethernet captures only)",
+			len(r.ng.ifaces), lt)
+	}
+	ifc := ngIface{res: 6, snaplen: r.ng.order.Uint32(b[4:8])}
+	// Walk the options for if_tsresol (code 9, one byte: a negative
+	// power of 10, or of 2 when the high bit is set).
+	for opts := b[8:]; len(opts) >= 4; {
+		code := r.ng.order.Uint16(opts[0:2])
+		olen := int(r.ng.order.Uint16(opts[2:4]))
+		padded := (olen + 3) &^ 3
+		if code == 0 || len(opts) < 4+olen {
+			break
+		}
+		if code == 9 && olen == 1 {
+			v := opts[4]
+			ifc.pow2 = v&0x80 != 0
+			ifc.res = v & 0x7f
+		}
+		if len(opts) < 4+padded {
+			break
+		}
+		opts = opts[4+padded:]
+	}
+	r.ng.ifaces = append(r.ng.ifaces, ifc)
+	return nil
+}
+
+// readPcapNGPacket parses an Enhanced Packet Block body into a Record.
+func (r *Reader) readPcapNGPacket(start int64, body int, buf []byte) (Record, bool, error) {
+	if body < 20 {
+		return Record{}, false, r.corruptf(start, "pcapng packet block truncated (%d byte body)", body)
+	}
+	var fixed [20]byte
+	if err := r.readFull(fixed[:]); err != nil {
+		return Record{}, false, fmt.Errorf("capture: read pcapng packet block: %w", err)
+	}
+	ifidx := r.ng.order.Uint32(fixed[0:4])
+	if int(ifidx) >= len(r.ng.ifaces) {
+		return Record{}, false, r.corruptf(start, "pcapng packet references interface %d of %d", ifidx, len(r.ng.ifaces))
+	}
+	capl := r.ng.order.Uint32(fixed[12:16])
+	if capl > MaxFrameLen {
+		return Record{}, false, r.corruptf(start, "corrupt record length %d exceeds maximum %d", capl, MaxFrameLen)
+	}
+	padded := (int(capl) + 3) &^ 3
+	if body < 20+padded {
+		return Record{}, false, r.corruptf(start, "pcapng packet block data overruns block (%d bytes in %d byte body)", capl, body)
+	}
+	frame := frameInto(buf, capl)
+	if err := r.readFull(frame); err != nil {
+		return Record{}, false, fmt.Errorf("capture: read frame body: %w", err)
+	}
+	// Padding plus any trailing options.
+	if err := r.discard(body - 20 - int(capl)); err != nil {
+		return Record{}, false, fmt.Errorf("capture: read pcapng packet block: %w", err)
+	}
+	ticks := uint64(r.ng.order.Uint32(fixed[4:8]))<<32 | uint64(r.ng.order.Uint32(fixed[8:12]))
+	return Record{Time: r.ng.ifaces[ifidx].nanos(ticks), Frame: frame}, true, nil
+}
+
+// readPcapNGSimple parses a Simple Packet Block body. SPBs carry no
+// timestamp and implicitly use the first interface; the captured length
+// is the original length clipped to that interface's snap length.
+func (r *Reader) readPcapNGSimple(start int64, body int, buf []byte) (Record, bool, error) {
+	if len(r.ng.ifaces) == 0 {
+		return Record{}, false, r.corruptf(start, "pcapng simple packet block before any interface block")
+	}
+	if body < 4 {
+		return Record{}, false, r.corruptf(start, "pcapng simple packet block truncated (%d byte body)", body)
+	}
+	var fixed [4]byte
+	if err := r.readFull(fixed[:]); err != nil {
+		return Record{}, false, fmt.Errorf("capture: read pcapng simple packet block: %w", err)
+	}
+	capl := r.ng.order.Uint32(fixed[:])
+	if sl := r.ng.ifaces[0].snaplen; sl != 0 && capl > sl {
+		capl = sl
+	}
+	if capl > MaxFrameLen {
+		return Record{}, false, r.corruptf(start, "corrupt record length %d exceeds maximum %d", capl, MaxFrameLen)
+	}
+	padded := (int(capl) + 3) &^ 3
+	if body-4 < padded {
+		return Record{}, false, r.corruptf(start, "pcapng simple packet block data overruns block (%d bytes in %d byte body)", capl, body)
+	}
+	frame := frameInto(buf, capl)
+	if err := r.readFull(frame); err != nil {
+		return Record{}, false, fmt.Errorf("capture: read frame body: %w", err)
+	}
+	if err := r.discard(body - 4 - int(capl)); err != nil {
+		return Record{}, false, fmt.Errorf("capture: read pcapng simple packet block: %w", err)
+	}
+	return Record{Frame: frame}, true, nil
+}

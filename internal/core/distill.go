@@ -47,6 +47,14 @@ type Distiller struct {
 	// standalone and shard-local distillers (only the serial engine's own
 	// distiller mirrors; shards receive already-grouped frames).
 	frags map[fragIdent]*fragGroup
+
+	// streams is the stream-transport demux (TCP reassembly + SIP message
+	// framing). Datagram transports yield one message per payload through
+	// decodeUDP as always; stream transports land zero or more complete
+	// messages per frame on the mux queue, drained by NextStreamMessage.
+	// nil on shard-local distillers: the sharded router owns the only
+	// stream state and ships extracted messages (see sharded.go).
+	streams *streamMux
 }
 
 // defaultMediaPortFloor is the lowest UDP port treated as media traffic
@@ -144,6 +152,10 @@ func (d *Distiller) decodeUDP(at time.Duration, frame []byte) (proto Protocol, s
 	if d.frags != nil && fragmented {
 		delete(d.frags, fkey)
 	}
+	if full.Protocol == packet.ProtoTCP {
+		d.streamFrame(at, full.Src, full.Dst, ipBody)
+		return 0, src, dst, nil, false
+	}
 	if full.Protocol != packet.ProtoUDP {
 		d.stats.Ignored++
 		return 0, src, dst, nil, false
@@ -161,6 +173,64 @@ func (d *Distiller) decodeUDP(at time.Duration, frame []byte) (proto Protocol, s
 	src = netip.AddrPortFrom(full.Src, uh.SrcPort)
 	dst = netip.AddrPortFrom(full.Dst, uh.DstPort)
 	return proto, src, dst, udpPayload, true
+}
+
+// streamFrame is the stream-transport arm of the demux: it validates the
+// TCP segment, checks the port claim (only SIP is carried over streams
+// here), and feeds the segment through the mux. Complete messages land on
+// the mux queue; the frame itself produces no immediate footprint.
+func (d *Distiller) streamFrame(at time.Duration, srcIP, dstIP netip.Addr, seg []byte) {
+	if d.streams == nil {
+		d.stats.Ignored++
+		return
+	}
+	th, payload, err := packet.PeekTCP(srcIP, dstIP, seg)
+	if err != nil {
+		d.stats.DecodeError++
+		return
+	}
+	proto, claimed := claimPortOf(d.claimers, th.SrcPort, th.DstPort)
+	if !claimed || proto != ProtoSIP {
+		d.stats.Ignored++
+		return
+	}
+	src := netip.AddrPortFrom(srcIP, th.SrcPort)
+	dst := netip.AddrPortFrom(dstIP, th.DstPort)
+	d.streams.push(at, src, dst, th, payload)
+}
+
+// NextStreamMessage pops the next stream-extracted SIP message into v,
+// reporting false when none are pending. Parsing, validation and stats
+// agree with the datagram SIP arm of DistillView bit for bit; the view
+// additionally carries the flow's routing key (StreamKey) so the serial
+// engine pins the same sticky key the sharded router would.
+func (d *Distiller) NextStreamMessage(v *FrameView) bool {
+	if d.streams == nil {
+		return false
+	}
+	msg, ok := d.streams.next()
+	if !ok {
+		return false
+	}
+	d.distillStreamMessage(msg.at, msg.src, msg.dst, msg.payload, v)
+	return true
+}
+
+// distillStreamMessage fills v from one framed SIP message. Shared by the
+// serial drain above and the shard-side processing of router-shipped
+// messages (both must count stats exactly as the datagram path does).
+func (d *Distiller) distillStreamMessage(at time.Duration, src, dst netip.AddrPort, payload []byte, v *FrameView) {
+	v.reset()
+	v.At, v.Src, v.Dst = at, src, dst
+	v.StreamKey = streamFlowKey(src, dst)
+	m, err := d.parser.Parse(payload)
+	if err != nil {
+		d.stats.Raw++
+		v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoSIP, err.Error(), len(payload)
+		return
+	}
+	d.stats.SIP++
+	v.Proto, v.Msg, v.Malformed = ProtoSIP, m, CheckSIPFormat(m)
 }
 
 // Distill processes one frame observed at the given virtual time. It

@@ -33,6 +33,7 @@ type EngineStats struct {
 	// Per-category Limits evictions (see Limits for each cap's policy).
 	SessionsCapEvicted int
 	FragGroupsEvicted  int
+	StreamsEvicted     int
 	IMHistoriesEvicted int
 	SeqTrackersEvicted int
 	BindingsEvicted    int
@@ -143,6 +144,19 @@ func NewEngine(cfg Config, opts ...EngineOption) *Engine {
 	e.distiller.reasm.OnEvict(func(id packet.FragID) {
 		delete(e.distiller.frags, fragIdent{src: id.Src, dst: id.Dst, proto: id.Proto, id: id.ID})
 	})
+	// Stream-transport demux (serial engine only, like sticky/frags above:
+	// the sharded router owns the only mux at shard counts > 0). Capacity
+	// evictions lose mid-message reassembly state, so each raises an
+	// ids-overload self-alert exactly as the sharded router does.
+	e.distiller.streams = newStreamMux()
+	e.distiller.streams.reasm.SetLimit(cfg.Limits.MaxStreams)
+	e.distiller.streams.onEvict = func(id packet.StreamID, at time.Duration) {
+		e.rules.raiseSynthetic(Alert{
+			At: at, Rule: RuleIDSOverload, Severity: SeverityCritical, Session: "streams",
+			Detail: "tcp stream reassembly state evicted to respect MaxStreams (possible mid-message loss)",
+			Count:  1,
+		})
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -184,6 +198,9 @@ func (e *Engine) Stats() EngineStats {
 		}
 	}
 	st.FragGroupsEvicted = e.distiller.reasm.CapacityEvicted()
+	if e.distiller.streams != nil {
+		st.StreamsEvicted = e.distiller.streams.reasm.CapacityEvicted()
+	}
 	st.AlertsEvicted = e.rules.evicted
 	return st
 }
@@ -216,9 +233,21 @@ func (e *Engine) HandleFrame(at time.Duration, frame []byte) {
 	if e.stats.Frames%gcEvery == 0 {
 		e.stats.SessionsEvicted += e.gen.ExpireSessions(at, e.cfg.SessionTimeout)
 	}
-	if !e.distiller.DistillView(at, frame, &e.view) {
-		return
+	if e.distiller.DistillView(at, frame, &e.view) {
+		e.processView()
 	}
+	// Stream-carried messages: a TCP frame produces no view above, but may
+	// have completed any number of framed SIP messages; each is a
+	// footprint of its own. The loop's guard is a cheap queue check, so
+	// the datagram fast path stays allocation-free.
+	for e.distiller.NextStreamMessage(&e.view) {
+		e.processView()
+	}
+}
+
+// processView runs the distilled view through matching — directly against
+// trails in the ablation mode, through the event generator otherwise.
+func (e *Engine) processView() {
 	e.stats.Footprints++
 	if e.cfg.DirectTrailMatching {
 		e.handleDirect(&e.view)

@@ -1,0 +1,21 @@
+package core
+
+// Test-only accessors for the external core_test package.
+
+// StreamMuxBuffered reports whether the serial engine's stream mux is
+// holding a partially framed SIP message (bytes delivered by the
+// reassembler that do not yet form a complete message). The kill/restore
+// differential uses it to place checkpoints between the TCP segments of
+// one message, the exact state snapshot format v4 exists to carry.
+func (e *Engine) StreamMuxBuffered() bool {
+	m := e.distiller.streams
+	if m == nil {
+		return false
+	}
+	for _, fr := range m.framers {
+		if len(fr.State()) > 0 {
+			return true
+		}
+	}
+	return false
+}

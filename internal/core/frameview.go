@@ -47,6 +47,12 @@ type FrameView struct {
 	OnPort Protocol
 	Reason string
 	RawLen int
+
+	// StreamKey is set on stream-carried messages (SIP over TCP): the
+	// flow's canonical routing key. Dialogs first sighted on a stream pin
+	// their sticky routing key to it — flow affinity wins over Call-ID so
+	// a stream's messages stay shard-affine (see streamFlowKey).
+	StreamKey string
 }
 
 // reset clears the view for the next frame.

@@ -241,11 +241,17 @@ func (g *EventGenerator) processView(v *FrameView, boxed Footprint, h RouteHints
 	if g.sticky != nil && v.Proto == ProtoSIP && g.ctx.sipSt != nil {
 		if _, ok := g.sticky[g.ctx.sipSt.callID]; !ok {
 			routeKey := g.ctx.sipSt.callID
-			for _, c := range g.correlators {
-				if rk, isKeyer := c.(sipRouteKeyer); isKeyer {
-					if k, claimed := rk.sipRouteKey(v.Msg, g.ctx.sipOut, v.Src); claimed {
-						routeKey = k
-						break
+			if v.StreamKey != "" {
+				// Stream-carried message: flow affinity wins (the router
+				// routes by TCP 4-tuple, see streamFlowKey).
+				routeKey = v.StreamKey
+			} else {
+				for _, c := range g.correlators {
+					if rk, isKeyer := c.(sipRouteKeyer); isKeyer {
+						if k, claimed := rk.sipRouteKey(v.Msg, g.ctx.sipOut, v.Src); claimed {
+							routeKey = k
+							break
+						}
 					}
 				}
 			}

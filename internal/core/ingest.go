@@ -87,6 +87,11 @@ const (
 	// ingFrag: an IPv4 fragment. Reassembly is stateful, so the
 	// sequencer replays the whole frame through routeLocked.
 	ingFrag
+	// ingStream: a TCP segment. Stream transports are stateful end to end
+	// (reassembly cursors, framing buffers, flow teardown), so the
+	// sequencer replays the whole frame through routeLocked like a
+	// fragment.
+	ingStream
 	// Claimed-port digests: the lane pre-decoded the protocol payload;
 	// ok records whether the parse/peek succeeded.
 	ingSIP
@@ -318,6 +323,10 @@ func (l *ingLane) decodeOne(b *ingBatch, d *ingDigest) {
 		d.kind = ingFrag
 		return
 	}
+	if iph.Protocol == packet.ProtoTCP {
+		d.kind = ingStream
+		return
+	}
 	if iph.Protocol != packet.ProtoUDP {
 		d.kind = ingClock
 		return
@@ -407,10 +416,10 @@ func (s *ShardedEngine) sequenceDigestLocked(idx uint64, b *ingBatch, d *ingDige
 	switch d.kind {
 	case ingDrop:
 		return
-	case ingFrag:
-		// Fragments take the full synchronous path: reassembly, group
-		// buffering and the eventual whole-datagram handoff are all
-		// stateful.
+	case ingFrag, ingStream:
+		// Fragments and TCP segments take the full synchronous path:
+		// reassembly, group/stream buffering and the eventual handoff are
+		// all stateful.
 		s.routeLocked(idx, d.at, d.frame)
 		return
 	}
@@ -438,6 +447,6 @@ func (s *ShardedEngine) sequenceDigestLocked(idx uint64, b *ingBatch, d *ingDige
 	case ingRTCP:
 		routeKey, hints = s.classifyRTCPFlowLocked(d.at, d.src, d.dst, d.ok)
 	}
-	shard := shardOf(routeKey, len(s.workers))
+	shard := shardOf(s.resolveRouteLocked(routeKey), len(s.workers))
 	s.appendItemLocked(shard, shardItem{kind: itemFrame, idx: idx, at: d.at, frame: d.frame, hints: hints})
 }

@@ -21,6 +21,11 @@ type Limits struct {
 	// reassembly, in the serial distiller and the sharded router alike.
 	// The oldest stream is evicted (ties: stream identity order).
 	MaxFragGroups int
+	// MaxStreams caps tracked TCP stream directions (reassembly buffers
+	// plus SIP framing state), in the serial distiller and the sharded
+	// router alike. The oldest stream is evicted (ties: stream identity
+	// order) and an ids-overload self-alert records the loss.
+	MaxStreams int
 	// MaxIMHistories caps instant-message source histories (fake-IM
 	// detection state). Least-recently-seen AOR|destination evicted.
 	MaxIMHistories int
@@ -62,6 +67,7 @@ type Limits struct {
 func shardLocalLimits(correlators []Correlator, l Limits) Limits {
 	l.MaxSessions = 0
 	l.MaxFragGroups = 0
+	l.MaxStreams = 0
 	for _, c := range correlators {
 		if b, ok := c.(budgeted); ok {
 			b.shardLocalLimits(&l)

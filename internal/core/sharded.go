@@ -89,6 +89,12 @@ type ShardedEngine struct {
 	idx      *sessionIndex
 	reasm    *packet.Reassembler
 	frags    map[fragIdent]*fragGroup
+	// streams is the router-owned stream-transport demux (TCP reassembly +
+	// SIP framing). It is the ONLY stream state in the sharded engine:
+	// shards receive already-extracted messages, so stream expiry and
+	// eviction run once here, on the same push clock the serial distiller
+	// uses, and can never diverge across shard counts.
+	streams *streamMux
 	// correlators are the router's own instances of the registry: port
 	// claims, routing-key overrides, per-frame hints and router-owned
 	// budget enforcement all run against these (their cross-session state
@@ -118,6 +124,7 @@ type ShardedEngine struct {
 	// lock-free by Stats).
 	capSessions atomic.Uint64
 	capFrags    atomic.Uint64
+	capStreams  atomic.Uint64
 
 	shardsFailed    atomic.Uint64
 	shardsRestarted atomic.Uint64
@@ -168,6 +175,17 @@ type routedFrame struct {
 	frame []byte
 }
 
+// shippedMsg is one stream-extracted SIP message bound for a shard, with
+// the router's per-message hints. The payload is copied at ship time: the
+// router's framing buffers recycle on the flow's next segment, while the
+// shard consumes the item asynchronously.
+type shippedMsg struct {
+	at       time.Duration
+	src, dst netip.AddrPort
+	payload  []byte
+	hints    RouteHints
+}
+
 // mergeTag orders shard output globally: frame index, then the event's
 // ordinal within that frame. Frames are routed whole, so tags from
 // different shards never collide. Self-monitoring alerts use a sub far
@@ -185,6 +203,7 @@ type itemKind uint8
 const (
 	itemFrame itemKind = iota
 	itemGroup
+	itemStream
 	itemBinding
 	itemEvict
 	itemExpire
@@ -205,6 +224,7 @@ type shardItem struct {
 	at      time.Duration
 	frame   []byte
 	group   []routedFrame
+	msgs    []shippedMsg
 	hints   RouteHints
 	aor     string
 	ip      netip.Addr
@@ -385,6 +405,13 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		s.capFrags.Add(1)
 		delete(s.frags, fragIdent{src: id.Src, dst: id.Dst, proto: id.Proto, id: id.ID})
 	})
+	s.streams = newStreamMux()
+	s.streams.reasm.SetLimit(cfg.Limits.MaxStreams)
+	s.streams.onEvict = func(id packet.StreamID, at time.Duration) {
+		s.capStreams.Add(1)
+		s.raiseSelf(RuleIDSOverload, "streams",
+			"tcp stream reassembly state evicted to respect MaxStreams (possible mid-message loss)", at)
+	}
 	now := time.Now().UnixNano()
 	for i := range s.workers {
 		w := &shardWorker{
@@ -424,11 +451,12 @@ func (s *ShardedEngine) newShardEngine() *Engine {
 	wcfg.Limits = shardLocalLimits(s.correlators, wcfg.Limits)
 	eng := NewEngine(wcfg, s.opts...)
 	// Shard engines never own router-side routing state: the router keeps
-	// the sticky routing keys and buffered fragment groups, so the serial
-	// engine's mirrors stay nil here (nil-map deletes in the eviction
-	// hooks are no-ops).
+	// the sticky routing keys, buffered fragment groups and the stream
+	// mux, so the serial engine's mirrors stay nil here (nil-map deletes
+	// in the eviction hooks are no-ops).
 	eng.gen.sticky = nil
 	eng.distiller.frags = nil
+	eng.distiller.streams = nil
 	return eng
 }
 
@@ -579,6 +607,9 @@ func (s *ShardedEngine) routeLocked(idx uint64, at time.Duration, frame []byte) 
 		}
 	}
 	if full.Protocol != packet.ProtoUDP {
+		if full.Protocol == packet.ProtoTCP {
+			s.routeStreamLocked(idx, at, full.Src, full.Dst, payload)
+		}
 		return
 	}
 	uh, udpPayload, err := packet.PeekUDP(full.Src, full.Dst, payload)
@@ -591,7 +622,7 @@ func (s *ShardedEngine) routeLocked(idx uint64, at time.Duration, frame []byte) 
 	if !ship {
 		return
 	}
-	shard := shardOf(routeKey, len(s.workers))
+	shard := shardOf(s.resolveRouteLocked(routeKey), len(s.workers))
 	if group == nil {
 		s.appendItemLocked(shard, shardItem{kind: itemFrame, idx: idx, at: at, frame: frame, hints: hints})
 		return
@@ -718,6 +749,78 @@ func (s *ShardedEngine) classifySIPMsgLocked(at time.Duration, src, dst netip.Ad
 	return routeKey, s.hints
 }
 
+// routeStreamLocked is the stream-transport arm of the router: a TCP
+// segment feeds the router-owned mux, and every SIP message it completes
+// is classified here in arrival order, copied, and shipped to the flow's
+// shard as ONE item — the messages' merge ordinals stay contiguous, so
+// coalesced messages keep the serial engine's output order. TCP frames
+// that complete no message (handshakes, partial messages, unclaimed
+// ports) ship nothing, exactly the frames the serial engine produces no
+// footprint for.
+func (s *ShardedEngine) routeStreamLocked(idx uint64, at time.Duration, srcIP, dstIP netip.Addr, seg []byte) {
+	th, payload, err := packet.PeekTCP(srcIP, dstIP, seg)
+	if err != nil {
+		return
+	}
+	if proto, claimed := claimPortOf(s.correlators, th.SrcPort, th.DstPort); !claimed || proto != ProtoSIP {
+		return
+	}
+	src := netip.AddrPortFrom(srcIP, th.SrcPort)
+	dst := netip.AddrPortFrom(dstIP, th.DstPort)
+	s.streams.push(at, src, dst, th, payload)
+	msgs := s.streams.drain()
+	if len(msgs) == 0 {
+		return
+	}
+	flowKey := streamFlowKey(src, dst)
+	ship := make([]shippedMsg, len(msgs))
+	for i, sm := range msgs {
+		hints := s.classifyStreamSIPLocked(sm.at, sm.src, sm.dst, sm.payload, flowKey)
+		ship[i] = shippedMsg{at: sm.at, src: sm.src, dst: sm.dst,
+			payload: append([]byte(nil), sm.payload...), hints: hints}
+	}
+	s.appendItemLocked(shardOf(flowKey, len(s.workers)),
+		shardItem{kind: itemStream, idx: idx, at: at, msgs: ship})
+}
+
+// classifyStreamSIPLocked runs the router's directory transition, hinter
+// passes and binding replication for one stream-extracted SIP message,
+// mirroring classifySIPMsgLocked with one difference: a dialog first
+// sighted on a stream pins its sticky key to the flow's routing key
+// (every message of the stream already routes there — flow affinity wins
+// over the Call-ID and keyer overrides), so the dialog's media and
+// accounting follow the stream's shard.
+func (s *ShardedEngine) classifyStreamSIPLocked(at time.Duration, src, dst netip.AddrPort, payload []byte, flowKey string) RouteHints {
+	if err := s.parser.ParseInto(payload, &s.msg); err != nil {
+		return RouteHints{}
+	}
+	m := &s.msg
+	st, out := s.idx.applySIP(m, at, src)
+	s.hints = RouteHints{}
+	for _, c := range s.correlators {
+		if sh, ok := c.(sipHinter); ok {
+			sh.sipHint(at, src, dst, m, out, &s.hints)
+		}
+	}
+	if out.regOK && out.bindingIP.IsValid() {
+		for i := range s.workers {
+			s.appendItemLocked(i, shardItem{kind: itemBinding, aor: out.regAOR, ip: out.bindingIP})
+		}
+	}
+	if out.established {
+		for _, c := range s.correlators {
+			if o, ok := c.(establishObserver); ok {
+				o.onEstablished(st)
+			}
+		}
+	}
+	s.idx.touch(st.callID, at)
+	if _, ok := s.sticky[st.callID]; !ok {
+		s.sticky[st.callID] = flowKey
+	}
+	return s.hints
+}
+
 func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
 	ok := rtp.PeekHeader(udpPayload, &s.rtpHdr) == nil
 	return s.classifyRTPSeqLocked(at, src, dst, s.rtpHdr.Seq, ok)
@@ -779,7 +882,7 @@ func (s *ShardedEngine) classifyRTCPFlowLocked(at time.Duration, src, dst netip.
 func (s *ShardedEngine) appendItemLocked(shard int, it shardItem) {
 	w := s.workers[shard]
 	switch it.kind {
-	case itemFrame:
+	case itemFrame, itemStream:
 		w.routedF.Add(1)
 	case itemGroup:
 		w.routedF.Add(uint64(len(it.group)))
@@ -861,7 +964,7 @@ func (s *ShardedEngine) shedBatchLocked(shard int, batch []shardItem) {
 func shedItems(items []shardItem) (frames int, at time.Duration) {
 	for i := range items {
 		switch items[i].kind {
-		case itemFrame:
+		case itemFrame, itemStream:
 			frames++
 			at = items[i].at
 		case itemGroup:
@@ -1111,6 +1214,7 @@ func (s *ShardedEngine) Stats() EngineStats {
 		FramesAfterClose:   int(s.framesAfterClose.Load()),
 		SessionsCapEvicted: int(s.capSessions.Load()),
 		FragGroupsEvicted:  int(s.capFrags.Load()),
+		StreamsEvicted:     int(s.capStreams.Load()),
 		ShardsFailed:       int(s.shardsFailed.Load()),
 		ShardsRestarted:    int(s.shardsRestarted.Load()),
 	}
@@ -1327,6 +1431,20 @@ func (s *ShardedEngine) Events() []Event {
 	return out
 }
 
+// resolveRouteLocked maps a route key through the dialog's pinned
+// routing key. For datagram dialogs the pin is the Call-ID itself (or a
+// keyer override, already applied by SIP classification), so resolution
+// is the identity; for dialogs first sighted on a TCP stream the pin is
+// the flow's routing key, and resolving here is what sends the dialog's
+// media, RTCP and accounting traffic to the shard that holds the stream's
+// dialog state. Mirrors shardFor in cross-geometry snapshot restore.
+func (s *ShardedEngine) resolveRouteLocked(key string) string {
+	if rk, ok := s.sticky[key]; ok {
+		return rk
+	}
+	return key
+}
+
 // shardOf hashes a session key onto a shard (FNV-1a).
 func shardOf(key string, n int) int {
 	h := uint32(2166136261)
@@ -1433,6 +1551,13 @@ func (w *shardWorker) runItem(it *shardItem) {
 			w.processFrame(it.idx, fr.at, fr.frame, it.hints)
 		}
 		w.processedF.Add(uint64(len(it.group)))
+	case itemStream:
+		w.injectFault()
+		w.sub = 0
+		for _, sm := range it.msgs {
+			w.processStreamMessage(it.idx, sm)
+		}
+		w.processedF.Add(1)
 	case itemBinding:
 		e.gen.ApplyBinding(it.aor, it.ip)
 	case itemEvict:
@@ -1497,6 +1622,30 @@ func (w *shardWorker) processFrame(idx uint64, at time.Duration, frame []byte, h
 	e.stats.Footprints++
 	e.evScratch = e.evScratch[:0]
 	e.gen.ProcessView(&e.view, h, &e.evScratch)
+	for _, ev := range e.evScratch {
+		e.stats.Events++
+		w.curTag = mergeTag{idx: idx, sub: w.sub}
+		if e.keepLog {
+			e.logEvent(ev)
+			w.eventTags = append(w.eventTags, w.curTag)
+		}
+		e.stats.Alerts += len(e.rules.Feed(ev))
+		w.sub++
+	}
+}
+
+// processStreamMessage runs one router-extracted SIP message through the
+// shard pipeline. The shard holds no stream state: the message arrives
+// already reassembled and framed, so this is processFrame minus the
+// distillation prelude, with the same merge-tag accounting (w.sub runs
+// continuously across the messages of one item, so coalesced messages
+// keep the serial output order).
+func (w *shardWorker) processStreamMessage(idx uint64, sm shippedMsg) {
+	e := w.eng
+	e.distiller.distillStreamMessage(sm.at, sm.src, sm.dst, sm.payload, &e.view)
+	e.stats.Footprints++
+	e.evScratch = e.evScratch[:0]
+	e.gen.ProcessView(&e.view, sm.hints, &e.evScratch)
 	for _, ev := range e.evScratch {
 		e.stats.Events++
 		w.curTag = mergeTag{idx: idx, sub: w.sub}

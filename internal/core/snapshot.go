@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"scidive/internal/packet"
+	"scidive/internal/sip"
 )
 
 // This file implements deterministic checkpoint/restore for the stateful
@@ -22,6 +23,10 @@ import (
 // sorted key order, so the same engine state always produces the same
 // bytes (the snapshot-format golden test pins this; gob was rejected
 // because map iteration order leaks into its output).
+//
+// Format v4 extends v3 with the stream-transport section (TCP reassembly
+// buffers plus per-direction SIP framing prefixes) so a checkpoint taken
+// mid-message resumes byte-identically; it is otherwise the v3 layout.
 //
 // Format v3 is portable across engine geometry: the body is keyed by
 // session, not by shard. Both engine kinds write the same global layout —
@@ -44,7 +49,7 @@ import (
 
 const (
 	snapMagic   = "SCDV"
-	snapVersion = 3
+	snapVersion = 4
 
 	snapKindSerial  = 0
 	snapKindSharded = 1
@@ -252,10 +257,10 @@ func configFingerprint(cfg Config, keepLog bool) uint64 {
 	g := cfg.Gen.withDefaults()
 	l := cfg.Limits
 	s := fmt.Sprintf(
-		"gen=%v/%v/%d/%d/%d/%v trail=%d timeout=%v limits=%d/%d/%d/%d/%d/%d/%d shed=%v stall=%v restart=%v keeplog=%v",
+		"gen=%v/%v/%d/%d/%d/%v trail=%d timeout=%v limits=%d/%d/%d/%d/%d/%d/%d/%d shed=%v stall=%v restart=%v keeplog=%v",
 		g.MonitorWindow, g.ReinviteGrace, g.SeqJumpThreshold, g.AuthFloodThreshold, g.GuessThreshold, g.IMPeriod,
 		cfg.MaxTrailLen, cfg.SessionTimeout,
-		l.MaxSessions, l.MaxFragGroups, l.MaxIMHistories, l.MaxSeqTrackers, l.MaxBindings,
+		l.MaxSessions, l.MaxFragGroups, l.MaxStreams, l.MaxIMHistories, l.MaxSeqTrackers, l.MaxBindings,
 		l.MaxRetainedAlerts, l.MaxRetainedEvents,
 		l.ShedAfter, l.StallTimeout, l.RestartFailedShards, keepLog)
 	return fnv64String(s)
@@ -316,7 +321,9 @@ func readSnapHeader(r *snapReader) snapHeader {
 	}
 	if v := r.u8(); r.err == nil && v != snapVersion {
 		if v == 2 {
-			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only portable v3 checkpoints — re-capture a checkpoint with this build")
+			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only v4 checkpoints — re-capture a checkpoint with this build")
+		} else if v == 3 {
+			r.fail("core: checkpoint is format v3 (pre-stream-transport); this build reads only v4 checkpoints — re-capture a checkpoint with this build")
 		} else {
 			r.fail("core: unsupported checkpoint format version %d (this build reads version %d); re-capture a checkpoint with this build", v, snapVersion)
 		}
@@ -508,7 +515,8 @@ func writeEngineStats(w *snapWriter, st EngineStats) {
 	for _, v := range []int{
 		st.Frames, st.Footprints, st.Events, st.Alerts, st.SessionsEvicted,
 		st.FramesAfterClose, st.FramesShed, st.BatchesShed,
-		st.SessionsCapEvicted, st.FragGroupsEvicted, st.IMHistoriesEvicted,
+		st.SessionsCapEvicted, st.FragGroupsEvicted, st.StreamsEvicted,
+		st.IMHistoriesEvicted,
 		st.SeqTrackersEvicted, st.BindingsEvicted, st.AlertsEvicted,
 		st.EventsEvicted, st.ShardsFailed, st.ShardsRestarted,
 	} {
@@ -521,7 +529,8 @@ func readEngineStats(r *snapReader) EngineStats {
 	for _, p := range []*int{
 		&st.Frames, &st.Footprints, &st.Events, &st.Alerts, &st.SessionsEvicted,
 		&st.FramesAfterClose, &st.FramesShed, &st.BatchesShed,
-		&st.SessionsCapEvicted, &st.FragGroupsEvicted, &st.IMHistoriesEvicted,
+		&st.SessionsCapEvicted, &st.FragGroupsEvicted, &st.StreamsEvicted,
+		&st.IMHistoriesEvicted,
 		&st.SeqTrackersEvicted, &st.BindingsEvicted, &st.AlertsEvicted,
 		&st.EventsEvicted, &st.ShardsFailed, &st.ShardsRestarted,
 	} {
@@ -1435,6 +1444,80 @@ func readFragGroups(r *snapReader) (idents []fragIdent, firsts []time.Duration, 
 	return idents, firsts, frames
 }
 
+// writeStreamMux serializes the stream-transport demux (serial distiller
+// or sharded router — shards hold no stream state): every tracked TCP
+// stream direction's reassembly state (delivery cursor, FIN bookkeeping,
+// buffered out-of-order segments), that direction's SIP framing buffer
+// (the incomplete message prefix), and the capacity-eviction counter.
+// ExportStreams sorts by stream identity, so the encoding is
+// deterministic. A nil mux (shard-local engine) writes an empty section.
+func writeStreamMux(w *snapWriter, m *streamMux) {
+	if m == nil {
+		w.u32(0)
+		w.vint(0)
+		return
+	}
+	streams := m.reasm.ExportStreams()
+	w.u32(uint32(len(streams)))
+	for _, st := range streams {
+		w.addrPort(st.ID.Src)
+		w.addrPort(st.ID.Dst)
+		w.u32(st.Next)
+		w.bool(st.Fin)
+		w.u32(st.FinSeq)
+		w.dur(st.First)
+		w.dur(st.Last)
+		w.u32(uint32(len(st.Segs)))
+		for _, sg := range st.Segs {
+			w.u32(sg.Seq)
+			w.bytes(sg.Data)
+		}
+		if fr := m.framers[st.ID]; fr != nil {
+			w.bytes(fr.State())
+		} else {
+			w.bytes(nil)
+		}
+	}
+	w.vint(m.reasm.CapacityEvicted())
+}
+
+func readStreamMux(r *snapReader) (streams []packet.TCPStreamState, framerBufs [][]byte, evicted int) {
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		st := packet.TCPStreamState{
+			ID: packet.StreamID{Src: r.addrPortv(), Dst: r.addrPortv()},
+		}
+		st.Next = r.u32()
+		st.Fin = r.boolv()
+		st.FinSeq = r.u32()
+		st.First = r.dur()
+		st.Last = r.dur()
+		ns := r.count()
+		for j := 0; j < ns && r.err == nil; j++ {
+			st.Segs = append(st.Segs, packet.TCPStreamSeg{Seq: r.u32(), Data: r.bytesv()})
+		}
+		streams = append(streams, st)
+		framerBufs = append(framerBufs, r.bytesv())
+	}
+	evicted = r.vint()
+	return streams, framerBufs, evicted
+}
+
+// install replaces the mux's state with a decoded checkpoint section. The
+// pending-message queue is always empty at snapshot time (both engines
+// drain extracted messages before the next frame), so only reassembly and
+// framing state carry over.
+func (m *streamMux) install(streams []packet.TCPStreamState, framerBufs [][]byte, evicted int) {
+	m.reasm.ImportStreams(streams, evicted)
+	clear(m.framers)
+	for i, st := range streams {
+		fr := new(sip.StreamFramer)
+		fr.SetState(framerBufs[i])
+		m.framers[st.ID] = fr
+	}
+	m.queue, m.qhead = m.queue[:0], 0
+}
+
 // installSnap installs a fully decoded body. With outputs true everything
 // is restored (process resume); with outputs false only detection state is
 // restored — stats, retained alerts/events, dedup suppression and the
@@ -1509,6 +1592,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	e.writeSnapBodyWithStats(&w, e.Stats())
 	writeSticky(&w, e.gen.sticky)
 	writeFragGroups(&w, e.distiller.frags)
+	writeStreamMux(&w, e.distiller.streams)
 	w.u64(fnv64(w.buf))
 	return w.buf, nil
 }
@@ -1538,6 +1622,7 @@ func (e *Engine) RestoreSnapshot(data []byte) error {
 	}
 	stickyKeys, stickyVals := readSticky(r)
 	fragIdents, fragFirsts, fragFrames := readFragGroups(r)
+	tcpStreams, framerBufs, tcpEvicted := readStreamMux(r)
 	if r.err != nil {
 		return r.err
 	}
@@ -1558,6 +1643,9 @@ func (e *Engine) RestoreSnapshot(data []byte) error {
 	clear(e.distiller.frags)
 	for i, id := range fragIdents {
 		e.distiller.frags[id] = &fragGroup{first: fragFirsts[i], frames: fragFrames[i]}
+	}
+	if e.distiller.streams != nil {
+		e.distiller.streams.install(tcpStreams, framerBufs, tcpEvicted)
 	}
 	return nil
 }

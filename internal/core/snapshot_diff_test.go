@@ -179,6 +179,46 @@ func TestKillRestoreDifferential(t *testing.T) {
 	}
 }
 
+// TestKillRestoreMidStream pins the checkpoint between the two TCP
+// segments of one SIP message: the tcptrunk-split scenario cuts every
+// message mid-header across segments, so after the first segment the
+// stream mux holds bytes that are not yet a message. A checkpoint taken
+// there must carry the partial framing state (snapshot v4's stream
+// section) for the resumed engine to complete the message — this is the
+// state a fraction-sweep kill point is not guaranteed to land on, so
+// every such index is exercised explicitly, serial and sharded.
+func TestKillRestoreMidStream(t *testing.T) {
+	frames := scenarioFrames(t, "tcptrunk-split", 7)
+
+	// Locate every frame boundary where a partial message is buffered.
+	probe := core.NewEngine(core.Config{})
+	var points []int
+	for i, r := range frames {
+		probe.HandleFrame(r.at, r.frame)
+		if i+1 < len(frames) && probe.StreamMuxBuffered() {
+			points = append(points, i+1)
+		}
+	}
+	if len(points) == 0 {
+		t.Fatal("tcptrunk-split never left a partial message buffered; the scenario no longer splits messages")
+	}
+
+	wantAlerts, wantEvents, wantStats := runSerialCfg(frames, core.Config{})
+	for _, k := range points {
+		gotAlerts, gotEvents, gotStats := runSerialKillRestore(t, frames, k, core.Config{})
+		compareToBaseline(t, fmt.Sprintf("mid-stream serial kill@%d/%d", k, len(frames)),
+			gotAlerts, gotEvents, gotStats, wantAlerts, wantEvents, wantStats)
+	}
+	for _, shards := range diffShardCounts {
+		wantA, wantE, wantS := runShardedCfg(frames, shards, core.Config{})
+		for _, k := range points {
+			gotA, gotE, gotS := runShardedKillRestore(t, frames, shards, k, core.Config{})
+			compareToBaseline(t, fmt.Sprintf("mid-stream shards=%d kill@%d/%d", shards, k, len(frames)),
+				gotA, gotE, gotS, wantA, wantE, wantS)
+		}
+	}
+}
+
 // TestKillRestoreSynthetic drives the kill/restore sweep over the
 // seeded random workload (concurrent calls, port reuse, fragmentation,
 // junk) so checkpoint coverage is not limited to the curated scenarios.

@@ -262,10 +262,27 @@ func TestResumeRejectsV2Checkpoint(t *testing.T) {
 		t.Fatalf("no preserved v2 golden: %v", err)
 	}
 	eng := core.NewEngine(core.Config{}, core.WithEventLog())
-	expectRejection(t, eng, data, "format v2", "portable v3", "re-capture")
+	expectRejection(t, eng, data, "format v2", "only v4", "re-capture")
 	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	defer sh.Close()
-	expectRejection(t, sh, data, "format v2", "portable v3", "re-capture")
+	expectRejection(t, sh, data, "format v2", "only v4", "re-capture")
+}
+
+// TestResumeRejectsV3Checkpoint: a pre-stream-transport (v3) checkpoint —
+// pinned under testdata as a stand-in for one on an operator's disk — must
+// be refused by both engine kinds with an error naming the format gap and
+// the way forward. v3 lacks the TCP stream reassembly/framing section, so
+// mis-decoding it would silently resume with stream state dropped.
+func TestResumeRejectsV3Checkpoint(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_snapshots", "bye_serial_v3.ckpt"))
+	if err != nil {
+		t.Fatalf("no preserved v3 golden: %v", err)
+	}
+	eng := core.NewEngine(core.Config{}, core.WithEventLog())
+	expectRejection(t, eng, data, "format v3", "only v4", "re-capture")
+	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
+	defer sh.Close()
+	expectRejection(t, sh, data, "format v3", "only v4", "re-capture")
 }
 
 // TestResumeRejectsCorruptSessionRecords: corruption INSIDE the v3

@@ -162,6 +162,7 @@ func (s *ShardedEngine) Snapshot() ([]byte, error) {
 	var tail snapWriter
 	writeSticky(&tail, s.sticky)
 	writeFragGroups(&tail, s.frags)
+	writeStreamMux(&tail, s.streams)
 	s.mu.Unlock()
 	for i, ack := range acks {
 		awaitAck(s.workers[i], ack)
@@ -267,6 +268,7 @@ func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
 	body := parseEngineBody(r, *s.liveRules.Load())
 	stickyKeys, stickyVals := readSticky(r)
 	fragIdents, fragFirsts, fragFrames := readFragGroups(r)
+	tcpStreams, framerBufs, tcpEvicted := readStreamMux(r)
 	if r.err != nil {
 		return r.err
 	}
@@ -413,6 +415,7 @@ func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
 	for i, id := range fragIdents {
 		s.frags[id] = &fragGroup{first: fragFirsts[i], frames: fragFrames[i]}
 	}
+	s.streams.install(tcpStreams, framerBufs, tcpEvicted)
 	for _, install := range routerInstalls {
 		install()
 	}
@@ -422,6 +425,7 @@ func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
 	}
 	s.capSessions.Store(uint64(body.evictedSessions))
 	s.capFrags.Store(uint64(body.reasmEvicted))
+	s.capStreams.Store(uint64(tcpEvicted))
 	s.shardsFailed.Store(uint64(body.stats.ShardsFailed))
 	s.shardsRestarted.Store(uint64(body.stats.ShardsRestarted))
 	s.selfMu.Lock()
@@ -443,6 +447,7 @@ func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
 	rst.Frames = 0
 	rst.SessionsCapEvicted = 0
 	rst.FragGroupsEvicted = 0
+	rst.StreamsEvicted = 0
 	rst.ShardsFailed = 0
 	rst.ShardsRestarted = 0
 	rst.IMHistoriesEvicted = 0

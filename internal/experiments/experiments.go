@@ -314,7 +314,8 @@ func PhoneEventSummary(p *endpoint.Phone) string {
 // ScenarioNames lists the scenarios runnable via RunScenario.
 func ScenarioNames() []string {
 	return []string{"benign", "bye", "fakeim", "hijack", "rtp", "rtp-crash", "flood", "guess", "billing", "rtcpbye",
-		"inviteflood", "fragflood", "rtpblast", "optionsscan"}
+		"inviteflood", "fragflood", "rtpblast", "optionsscan",
+		"tcptrunk", "tcptrunk-split", "tcptrunk-coalesce", "tcptrunk-rst", "udptrunk"}
 }
 
 // RunScenario dispatches a named scenario, attaching taps (e.g. a capture
@@ -349,6 +350,16 @@ func RunScenario(name string, seed int64, taps ...netsim.Tap) (Outcome, error) {
 		return RunRTPBlast(seed, core.Config{}, taps...)
 	case "optionsscan":
 		return RunOptionsScan(seed, taps...)
+	case "tcptrunk":
+		return RunTCPTrunk(seed, "whole", taps...)
+	case "tcptrunk-split":
+		return RunTCPTrunk(seed, "split", taps...)
+	case "tcptrunk-coalesce":
+		return RunTCPTrunk(seed, "coalesce", taps...)
+	case "tcptrunk-rst":
+		return RunTCPTrunk(seed, "rst", taps...)
+	case "udptrunk":
+		return RunTCPTrunk(seed, "udp", taps...)
 	default:
 		return Outcome{}, fmt.Errorf("experiments: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

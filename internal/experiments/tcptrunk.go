@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/rtp"
+	"scidive/internal/scenario"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// The TCP-trunk scenarios replay the paper's Figure 5 forged-BYE attack
+// over a SIP trunk that signals over TCP while media stays on UDP/RTP —
+// the deployment the stream-transport layer exists for. The dialog is
+// fully scripted (no phone endpoints; the simulator has no TCP stack), so
+// the same message exchange can be driven over TCP in several framings or
+// over UDP, and the IDS must raise the same alerts regardless of
+// transport:
+//
+//	whole     one SIP message per TCP segment
+//	split     every message cut mid-header across two segments
+//	coalesce  the 180 Ringing and 200 OK delivered in one segment
+//	rst       the trunk connection RST mid-dialog and re-established
+//	          before the attack
+//	udp       the identical dialog as UDP datagrams (the equivalence
+//	          baseline)
+var (
+	addrTrunkA = netip.MustParseAddr("10.0.0.21")
+	addrTrunkB = netip.MustParseAddr("10.0.0.22")
+)
+
+// trunkWire abstracts how the scripted dialog's SIP messages reach the
+// wire. Messages passed together in one call are a same-direction burst:
+// the coalesce variant ships them in a single TCP segment.
+type trunkWire struct {
+	variant string // "whole", "split", "coalesce", "rst", "udp"
+	flow    *netsim.TCPFlow
+}
+
+func (w *trunkWire) send(from *netsim.Host, to *netsim.Host, msgs ...*sip.Message) error {
+	if w.variant == "udp" {
+		for _, m := range msgs {
+			dst := netip.AddrPortFrom(to.IP(), sip.DefaultPort)
+			if err := from.SendUDP(sip.DefaultPort, dst, m.Marshal()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch w.variant {
+	case "split":
+		for _, m := range msgs {
+			b := m.Marshal()
+			cut := len(b) / 3 // lands mid-header: neither segment parses alone
+			if err := w.flow.Send(from, b[:cut]); err != nil {
+				return err
+			}
+			if err := w.flow.Send(from, b[cut:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "coalesce":
+		var burst []byte
+		for _, m := range msgs {
+			burst = append(burst, m.Marshal()...)
+		}
+		return w.flow.Send(from, burst)
+	default: // whole, rst
+		for _, m := range msgs {
+			if err := w.flow.Send(from, m.Marshal()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// RunTCPTrunk runs the scripted trunk dialog with the given SIP framing
+// variant ("whole", "split", "coalesce", "rst", or "udp" for the
+// datagram baseline) and reports whether the forged trunk BYE was
+// detected.
+func RunTCPTrunk(seed int64, variant string, taps ...netsim.Tap) (Outcome, error) {
+	sim := netsim.NewSimulator(seed)
+	net := netsim.NewNetwork(sim)
+	pbxA := net.MustAddHost("pbx-a", addrTrunkA)
+	pbxB := net.MustAddHost("pbx-b", addrTrunkB)
+	atkHost := net.MustAddHost("attacker", scenario.AddrAttacker)
+	atk, err := attack.NewAttacker(atkHost, net)
+	if err != nil {
+		return Outcome{}, err
+	}
+	eng := core.NewEngine(core.Config{})
+	eng.AttachTap(net)
+	for _, tap := range taps {
+		net.AddTap(tap)
+	}
+
+	wire := &trunkWire{variant: variant}
+	if variant != "udp" {
+		wire.flow = netsim.NewTCPFlow(net, pbxA, sip.DefaultPort, pbxB, sip.DefaultPort)
+	}
+
+	mediaA := netip.AddrPortFrom(addrTrunkA, 41000)
+	mediaB := netip.AddrPortFrom(addrTrunkB, 42000)
+	from := sip.Address{URI: sip.URI{User: "alice", Host: "trunk"}}.WithTag("a-tag-1")
+	to := sip.Address{URI: sip.URI{User: "bob", Host: "trunk"}}
+	const callID = "trunk-call-1@trunk"
+	via := func(ip netip.Addr) sip.Via {
+		return sip.Via{Transport: "TCP", SentBy: ip.String()}
+	}
+
+	inv := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:bob@trunk",
+		From:       from, To: to,
+		CallID:   callID,
+		CSeq:     sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:      via(addrTrunkA),
+		Body:     sdp.NewAudioSession("caller", mediaA.Addr(), mediaA.Port()).Marshal(),
+		BodyType: "application/sdp",
+	})
+	ringing := sip.NewResponse(inv, sip.StatusRinging, "b-tag-1")
+	ok200 := sip.NewResponse(inv, sip.StatusOK, "b-tag-1")
+	ok200.Headers.Add(sip.HdrContentType, "application/sdp")
+	ok200.Body = sdp.NewAudioSession("callee", mediaB.Addr(), mediaB.Port()).Marshal()
+	ack := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodAck,
+		RequestURI: "sip:bob@trunk",
+		From:       from, To: to.WithTag("b-tag-1"),
+		CallID: callID,
+		CSeq:   sip.CSeq{Seq: 1, Method: sip.MethodAck},
+		Via:    via(addrTrunkA),
+	})
+	forgedBye := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodBye,
+		RequestURI: "sip:bob@trunk",
+		From:       from, To: to.WithTag("b-tag-1"),
+		CallID: callID,
+		CSeq:   sip.CSeq{Seq: 2, Method: sip.MethodBye},
+		Via:    via(addrTrunkA),
+	})
+
+	seqA, seqB := uint16(100), uint16(5000)
+	rtpPkt := func(seq uint16, ssrc uint32) []byte {
+		p := rtp.Packet{
+			Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(sim.Now() / time.Millisecond), SSRC: ssrc},
+			Payload: make([]byte, 160),
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			panic(err) // deterministic inputs; cannot fail
+		}
+		return buf
+	}
+	var scriptErr error
+	step := func(fn func() error) func() {
+		return func() {
+			if err := fn(); err != nil && scriptErr == nil {
+				scriptErr = err
+			}
+		}
+	}
+
+	if variant != "udp" {
+		sim.Schedule(0, step(wire.flow.Open))
+	}
+	sim.Schedule(10*time.Millisecond, step(func() error { return wire.send(pbxA, pbxB, inv) }))
+	// The callee's 180 and 200 are a same-direction burst: one segment in
+	// the coalesce variant, separate sends otherwise.
+	sim.Schedule(50*time.Millisecond, step(func() error { return wire.send(pbxB, pbxA, ringing, ok200) }))
+	sim.Schedule(70*time.Millisecond, step(func() error { return wire.send(pbxA, pbxB, ack) }))
+	// Two-way media.
+	for i := 0; i < 25; i++ {
+		at := 100*time.Millisecond + time.Duration(i)*20*time.Millisecond
+		sim.Schedule(at, step(func() error {
+			seqA++
+			if err := pbxA.SendUDP(mediaA.Port(), mediaB, rtpPkt(seqA, 0xAAAA0001)); err != nil {
+				return err
+			}
+			seqB++
+			return pbxB.SendUDP(mediaB.Port(), mediaA, rtpPkt(seqB, 0xBBBB0001))
+		}))
+	}
+	if variant == "rst" {
+		// Mid-dialog the trunk connection aborts and is re-established:
+		// the IDS must tear down stream state on the RST and adopt the
+		// fresh connection, keeping the dialog's detection state.
+		sim.Schedule(620*time.Millisecond, step(func() error { return wire.flow.Reset(pbxA) }))
+		sim.Schedule(640*time.Millisecond, step(wire.flow.Open))
+	}
+	// The attack: a forged BYE continuing the caller's side of the trunk,
+	// then media keeps flowing from the "hung-up" caller — Figure 5 over
+	// a stream transport.
+	sim.Schedule(700*time.Millisecond, step(func() error {
+		payload := forgedBye.Marshal()
+		if variant == "udp" {
+			return atk.SendSpoofed(
+				netip.AddrPortFrom(addrTrunkA, sip.DefaultPort),
+				netip.AddrPortFrom(addrTrunkB, sip.DefaultPort), payload)
+		}
+		if err := atk.SendSpoofedTCP(
+			netip.AddrPortFrom(addrTrunkA, sip.DefaultPort),
+			netip.AddrPortFrom(addrTrunkB, sip.DefaultPort),
+			wire.flow.Seq(pbxA), payload); err != nil {
+			return err
+		}
+		wire.flow.SkipSeq(pbxA, len(payload))
+		return nil
+	}))
+	attackAt := 700 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		at := 720*time.Millisecond + time.Duration(i)*20*time.Millisecond
+		sim.Schedule(at, step(func() error {
+			seqA++
+			return pbxA.SendUDP(mediaA.Port(), mediaB, rtpPkt(seqA, 0xAAAA0001))
+		}))
+	}
+	sim.RunUntil(2 * time.Second)
+	if scriptErr != nil {
+		return Outcome{}, fmt.Errorf("experiments: tcp trunk script: %w", scriptErr)
+	}
+
+	name := "tcptrunk-" + variant
+	o := Outcome{Name: name, Impact: "trunk peer tore down the dialog; caller media orphaned",
+		Alerts: eng.Alerts(), Stats: eng.Stats()}
+	seen := map[string]bool{}
+	for _, a := range o.Alerts {
+		if a.At >= attackAt && !seen[a.Rule] {
+			seen[a.Rule] = true
+			o.RulesFired = append(o.RulesFired, a.Rule)
+			if !o.Detected || a.At-attackAt < o.DetectDelay {
+				o.Detected = true
+				o.DetectDelay = a.At - attackAt
+			}
+		}
+	}
+	return o, nil
+}

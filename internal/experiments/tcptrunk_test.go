@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTrunkTransportEquivalence is the acceptance test for the stream
+// transport layer: the identical forged-BYE dialog must produce the same
+// detection outcome whether SIP rides UDP datagrams or a TCP stream, and
+// regardless of how the stream slices messages into segments. The UDP
+// run is the baseline; every TCP framing variant must match its fired
+// rule set and detection delay.
+func TestTrunkTransportEquivalence(t *testing.T) {
+	base, err := RunTCPTrunk(7, "udp")
+	if err != nil {
+		t.Fatalf("udp baseline: %v", err)
+	}
+	if !base.Detected {
+		t.Fatalf("udp baseline did not detect the forged BYE: %+v", base)
+	}
+	if len(base.RulesFired) == 0 {
+		t.Fatal("udp baseline fired no rules")
+	}
+	for _, variant := range []string{"whole", "split", "coalesce", "rst"} {
+		o, err := RunTCPTrunk(7, variant)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if !o.Detected {
+			t.Errorf("%s: forged BYE over TCP not detected", variant)
+			continue
+		}
+		if !reflect.DeepEqual(o.RulesFired, base.RulesFired) {
+			t.Errorf("%s: rules fired %v over TCP, want %v as over UDP",
+				variant, o.RulesFired, base.RulesFired)
+		}
+		if o.DetectDelay != base.DetectDelay {
+			t.Errorf("%s: detection delay %v over TCP, want %v as over UDP",
+				variant, o.DetectDelay, base.DetectDelay)
+		}
+		if len(o.Alerts) != len(base.Alerts) {
+			t.Errorf("%s: %d alerts over TCP, want %d as over UDP",
+				variant, len(o.Alerts), len(base.Alerts))
+		}
+	}
+}
+
+// TestTrunkBenignPrefixIsClean confirms the scripted dialog itself is
+// unremarkable: every alert the scenarios raise comes at or after the
+// forged BYE, so the stream framing (splits, coalescing, even the RST
+// and reconnect) introduces no false positives.
+func TestTrunkBenignPrefixIsClean(t *testing.T) {
+	for _, variant := range []string{"whole", "split", "coalesce", "rst", "udp"} {
+		o, err := RunTCPTrunk(7, variant)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		for _, a := range o.Alerts {
+			if a.At < 700e6 { // attack is scheduled at 700ms
+				t.Errorf("%s: alert %q at %v precedes the attack", variant, a.Rule, a.At)
+			}
+		}
+	}
+}

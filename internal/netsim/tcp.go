@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"fmt"
+
+	"scidive/internal/packet"
+)
+
+// TCPFlow scripts the wire image of one TCP connection between two hosts.
+// The simulator has no TCP stack — hosts ignore TCP segments on receive —
+// so the flow fabricates exactly what an established connection would put
+// on the hub: SYN, data segments with advancing sequence numbers, FIN and
+// RST. That is all a hub-tapped IDS observes; acknowledgment,
+// retransmission and flow control have no wire-visible effect in a
+// lossless scripted exchange and are not modeled. Each side's sequence
+// state advances with every send, so segments from either endpoint (or an
+// attacker who learned the numbers, see Seq) land in-window at the IDS's
+// stream reassembler.
+type TCPFlow struct {
+	net  *Network
+	a, b *Host
+	ends [2]tcpEnd
+}
+
+// tcpEnd is one direction's transmit state.
+type tcpEnd struct {
+	host *Host
+	port uint16
+	seq  uint32 // next sequence number to send
+	open bool
+}
+
+// NewTCPFlow prepares a connection between a:aPort and b:bPort with
+// deterministic initial sequence numbers drawn from the simulation RNG.
+// Call Open to put the SYN exchange on the wire.
+func NewTCPFlow(net *Network, a *Host, aPort uint16, b *Host, bPort uint16) *TCPFlow {
+	rng := net.Sim().Rand()
+	return &TCPFlow{
+		net: net,
+		a:   a, b: b,
+		ends: [2]tcpEnd{
+			{host: a, port: aPort, seq: rng.Uint32()},
+			{host: b, port: bPort, seq: rng.Uint32()},
+		},
+	}
+}
+
+// end resolves which direction from transmits on.
+func (f *TCPFlow) end(from *Host) *tcpEnd {
+	switch from {
+	case f.a:
+		return &f.ends[0]
+	case f.b:
+		return &f.ends[1]
+	default:
+		panic(fmt.Sprintf("netsim: host %s is not an endpoint of this TCP flow", from.Name()))
+	}
+}
+
+// peer returns the opposite direction's state.
+func (f *TCPFlow) peer(e *tcpEnd) *tcpEnd {
+	if e == &f.ends[0] {
+		return &f.ends[1]
+	}
+	return &f.ends[0]
+}
+
+// Seq returns the sequence number from's next payload byte will carry.
+// Attack tooling uses this to forge in-window segments.
+func (f *TCPFlow) Seq(from *Host) uint32 { return f.end(from).seq }
+
+// SkipSeq advances from's sequence state by n bytes without sending,
+// accounting for payload injected by a third party (a spoofed segment)
+// so the genuine endpoint's subsequent traffic stays in sequence.
+func (f *TCPFlow) SkipSeq(from *Host, n int) { f.end(from).seq += uint32(n) }
+
+// Open puts both directions' SYN segments on the wire. Reopening after a
+// Reset starts fresh streams at new sequence numbers.
+func (f *TCPFlow) Open() error {
+	rng := f.net.Sim().Rand()
+	for i := range f.ends {
+		e := &f.ends[i]
+		if e.open {
+			continue
+		}
+		e.seq = rng.Uint32()
+		if err := f.emit(e, packet.TCPFlagSYN, nil); err != nil {
+			return err
+		}
+		e.seq++ // SYN consumes one sequence number
+		e.open = true
+	}
+	return nil
+}
+
+// Send transmits payload from one endpoint as TCP segments (split at the
+// network MTU if needed). Call it once per application message for
+// one-message-per-segment traffic, with a concatenation of messages for a
+// coalesced segment, or with pieces of one message for a split delivery.
+func (f *TCPFlow) Send(from *Host, payload []byte) error {
+	e := f.end(from)
+	if !e.open {
+		return fmt.Errorf("netsim: tcp flow from %s is not open", from.Name())
+	}
+	if err := f.emit(e, packet.TCPFlagACK|packet.TCPFlagPSH, payload); err != nil {
+		return err
+	}
+	e.seq += uint32(len(payload))
+	return nil
+}
+
+// Close sends from's FIN, ending that direction.
+func (f *TCPFlow) Close(from *Host) error {
+	e := f.end(from)
+	if !e.open {
+		return nil
+	}
+	if err := f.emit(e, packet.TCPFlagACK|packet.TCPFlagFIN, nil); err != nil {
+		return err
+	}
+	e.seq++ // FIN consumes one sequence number
+	e.open = false
+	return nil
+}
+
+// Reset aborts the connection: from emits an RST and both directions are
+// considered gone (a conforming peer discards all connection state).
+func (f *TCPFlow) Reset(from *Host) error {
+	e := f.end(from)
+	if err := f.emit(e, packet.TCPFlagRST, nil); err != nil {
+		return err
+	}
+	// The peer's direction dies silently with the connection; emit its RST
+	// too so stream observers tear down both directions, as they would on
+	// seeing the peer's own abort or timeout.
+	p := f.peer(e)
+	if p.open {
+		if err := f.emit(p, packet.TCPFlagRST, nil); err != nil {
+			return err
+		}
+	}
+	e.open, p.open = false, false
+	return nil
+}
+
+// emit frames one segment run and puts it on the wire.
+func (f *TCPFlow) emit(e *tcpEnd, flags uint8, payload []byte) error {
+	p := f.peer(e)
+	dstMAC, ok := f.net.MACOf(p.host.IP())
+	if !ok {
+		return fmt.Errorf("netsim: tcp flow: no route to %v", p.host.IP())
+	}
+	frames, err := packet.BuildTCPFrames(packet.TCPFrameSpec{
+		SrcMAC: e.host.MAC(), DstMAC: dstMAC,
+		SrcIP: e.host.IP(), DstIP: p.host.IP(),
+		SrcPort: e.port, DstPort: p.port,
+		Seq: e.seq, Ack: p.seq,
+		Flags:   flags,
+		IPID:    e.host.NextIPID(),
+		Payload: payload,
+	}, f.net.MTU())
+	if err != nil {
+		return fmt.Errorf("netsim: tcp flow: %w", err)
+	}
+	e.host.SendRawFrames(frames...)
+	return nil
+}

@@ -1,0 +1,167 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+var (
+	tcpSrcIP = netip.MustParseAddr("10.0.0.1")
+	tcpDstIP = netip.MustParseAddr("10.0.0.2")
+)
+
+func TestMarshalPeekTCPRoundTrip(t *testing.T) {
+	payload := []byte("INVITE sip:bob@example.com SIP/2.0\r\n")
+	h := TCPHeader{
+		SrcPort: 5060, DstPort: 40000,
+		Seq: 0xdeadbeef, Ack: 0x1234,
+		Flags: TCPFlagACK | TCPFlagPSH, Window: 8192,
+	}
+	seg := MarshalTCP(tcpSrcIP, tcpDstIP, h, payload)
+	got, body, err := PeekTCP(tcpSrcIP, tcpDstIP, seg)
+	if err != nil {
+		t.Fatalf("PeekTCP: %v", err)
+	}
+	if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort || got.Seq != h.Seq ||
+		got.Ack != h.Ack || got.Flags != h.Flags || got.Window != h.Window {
+		t.Errorf("header mismatch: got %+v want %+v", got, h)
+	}
+	if got.DataOffset != 5 {
+		t.Errorf("data offset = %d, want 5", got.DataOffset)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Errorf("payload mismatch: %q", body)
+	}
+}
+
+func TestPeekTCPRejectsCorruption(t *testing.T) {
+	seg := MarshalTCP(tcpSrcIP, tcpDstIP, TCPHeader{SrcPort: 1, DstPort: 2}, []byte("hello"))
+
+	if _, _, err := PeekTCP(tcpSrcIP, tcpDstIP, seg[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+
+	bad := append([]byte(nil), seg...)
+	bad[TCPHeaderLen] ^= 0xff // flip a payload byte
+	if _, _, err := PeekTCP(tcpSrcIP, tcpDstIP, bad); err == nil {
+		t.Error("corrupt payload passed checksum")
+	}
+
+	short := append([]byte(nil), seg...)
+	short[12] = 4 << 4 // data offset below minimum
+	if _, _, err := PeekTCP(tcpSrcIP, tcpDstIP, short); err == nil {
+		t.Error("data offset below minimum accepted")
+	}
+
+	long := append([]byte(nil), seg...)
+	long[12] = 15 << 4 // data offset beyond the segment
+	if _, _, err := PeekTCP(tcpSrcIP, tcpDstIP, long); err == nil {
+		t.Error("data offset beyond segment accepted")
+	}
+}
+
+func TestPeekTCPSkipsOptions(t *testing.T) {
+	// Hand-build a segment with 4 bytes of options (data offset 6).
+	payload := []byte("data")
+	seg := MarshalTCP(tcpSrcIP, tcpDstIP, TCPHeader{SrcPort: 9, DstPort: 10, Flags: TCPFlagACK}, nil)
+	withOpts := make([]byte, 0, len(seg)+4+len(payload))
+	withOpts = append(withOpts, seg...)
+	withOpts = append(withOpts, 1, 1, 1, 0) // NOP NOP NOP EOL
+	withOpts = append(withOpts, payload...)
+	withOpts[12] = 6 << 4
+	withOpts[16], withOpts[17] = 0, 0
+	sum := tcpChecksum(tcpSrcIP, tcpDstIP, withOpts)
+	withOpts[16], withOpts[17] = byte(sum>>8), byte(sum)
+
+	h, body, err := PeekTCP(tcpSrcIP, tcpDstIP, withOpts)
+	if err != nil {
+		t.Fatalf("PeekTCP with options: %v", err)
+	}
+	if h.DataOffset != 6 {
+		t.Errorf("data offset = %d, want 6", h.DataOffset)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Errorf("payload = %q, want %q", body, payload)
+	}
+}
+
+// decodeTCPFrame unwraps Ethernet/IPv4/TCP and returns header + payload.
+func decodeTCPFrame(t *testing.T, frame []byte) (TCPHeader, []byte) {
+	t.Helper()
+	ef, err := UnmarshalEthernet(frame)
+	if err != nil {
+		t.Fatalf("ethernet: %v", err)
+	}
+	iph, ipp, err := UnmarshalIPv4(ef.Payload)
+	if err != nil {
+		t.Fatalf("ipv4: %v", err)
+	}
+	if iph.Protocol != ProtoTCP {
+		t.Fatalf("protocol = %d, want TCP", iph.Protocol)
+	}
+	th, body, err := PeekTCP(iph.Src, iph.Dst, ipp)
+	if err != nil {
+		t.Fatalf("tcp: %v", err)
+	}
+	return th, body
+}
+
+func TestBuildTCPFramesSegmentsPayload(t *testing.T) {
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	spec := TCPFrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: tcpSrcIP, DstIP: tcpDstIP,
+		SrcPort: 40000, DstPort: 5060,
+		Seq: 1000, Flags: TCPFlagACK | TCPFlagPSH | TCPFlagFIN,
+		IPID: 7, Payload: payload,
+	}
+	frames, err := BuildTCPFrames(spec, 1500)
+	if err != nil {
+		t.Fatalf("BuildTCPFrames: %v", err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3", len(frames))
+	}
+	var rebuilt []byte
+	next := spec.Seq
+	for i, f := range frames {
+		h, body := decodeTCPFrame(t, f)
+		if h.Seq != next {
+			t.Errorf("frame %d: seq %d, want %d", i, h.Seq, next)
+		}
+		last := i == len(frames)-1
+		if got := h.Flags&TCPFlagFIN != 0; got != last {
+			t.Errorf("frame %d: FIN = %v, want %v", i, got, last)
+		}
+		if h.Flags&TCPFlagACK == 0 {
+			t.Errorf("frame %d: ACK cleared", i)
+		}
+		next += uint32(len(body))
+		rebuilt = append(rebuilt, body...)
+	}
+	if !bytes.Equal(rebuilt, payload) {
+		t.Error("reassembled payload differs from input")
+	}
+}
+
+func TestBuildTCPFramesControlSegment(t *testing.T) {
+	spec := TCPFrameSpec{
+		SrcIP: tcpSrcIP, DstIP: tcpDstIP,
+		SrcPort: 1, DstPort: 2, Seq: 500, Flags: TCPFlagSYN,
+	}
+	frames, err := BuildTCPFrames(spec, 0)
+	if err != nil {
+		t.Fatalf("BuildTCPFrames: %v", err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1 for empty payload", len(frames))
+	}
+	h, body := decodeTCPFrame(t, frames[0])
+	if !h.SYN() || len(body) != 0 || h.Seq != 500 {
+		t.Errorf("control segment decoded as %+v payload %q", h, body)
+	}
+}

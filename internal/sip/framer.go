@@ -1,0 +1,147 @@
+package sip
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+)
+
+// Framer buffer bounds. A header block larger than framerMaxHeader with
+// no separator, or a framed message larger than framerMaxMessage, marks
+// the stream position unframeable: the buffered bytes are dropped and
+// framing re-synchronizes on whatever follows.
+const (
+	framerMaxHeader  = 16 << 10
+	framerMaxMessage = 256 << 10
+)
+
+// StreamFramer extracts complete SIP messages from a reassembled byte
+// stream, as SIP over TCP requires (RFC 3261 §18.3: the message ends
+// where Content-Length says it does). It is incremental: Push feeds it
+// the next chunk of in-order stream bytes and emits zero or more complete
+// messages, tolerating messages split across segments and several
+// messages coalesced into one segment. CRLF keep-alives between messages
+// are skipped.
+//
+// Framing never invents data: an emitted message is always a verbatim
+// byte range of the stream, delimited by the header/body separator and
+// the declared Content-Length (absent or unparsable Content-Length
+// frames a zero-length body and leaves the dispute to the parser).
+type StreamFramer struct {
+	buf     []byte
+	off     int // consumed prefix of buf, compacted on the next Push
+	dropped int // unframeable stretches discarded (buffer overflows)
+}
+
+// PendingBytes reports how many buffered bytes await completion.
+func (f *StreamFramer) PendingBytes() int { return len(f.buf) - f.off }
+
+// Dropped reports how many unframeable buffer stretches were discarded.
+func (f *StreamFramer) Dropped() int { return f.dropped }
+
+// Push appends data to the framing buffer and emits every complete
+// message now available, in stream order. Emitted slices alias the
+// internal buffer and are only valid until the next Push; callers that
+// retain bytes must copy.
+func (f *StreamFramer) Push(data []byte, emit func(msg []byte)) {
+	if f.off > 0 {
+		// Compact the consumed prefix (invalidates previously emitted
+		// slices, per the contract).
+		n := copy(f.buf, f.buf[f.off:])
+		f.buf = f.buf[:n]
+		f.off = 0
+	}
+	f.buf = append(f.buf, data...)
+	for {
+		// Skip leading CRLF keep-alives.
+		for f.off < len(f.buf) && (f.buf[f.off] == '\r' || f.buf[f.off] == '\n') {
+			f.off++
+		}
+		rest := f.buf[f.off:]
+		if len(rest) == 0 {
+			return
+		}
+		headerEnd, sepLen := findSeparator(rest)
+		if headerEnd < 0 {
+			if len(rest) > framerMaxHeader {
+				f.dropped++
+				f.off = len(f.buf)
+			}
+			return
+		}
+		cl, ok := scanContentLength(rest[:headerEnd])
+		if !ok || headerEnd+sepLen+cl > framerMaxMessage {
+			// Unframeable at this position; drop through the separator
+			// and re-synchronize.
+			f.dropped++
+			f.off += headerEnd + sepLen
+			continue
+		}
+		total := headerEnd + sepLen + cl
+		if len(rest) < total {
+			return
+		}
+		f.off += total
+		emit(rest[:total])
+	}
+}
+
+// findSeparator locates the earliest header/body separator, returning its
+// offset and length, or (-1, 0) when none is present yet.
+func findSeparator(b []byte) (int, int) {
+	iCRLF := bytes.Index(b, sepCRLFCRLF)
+	iLF := bytes.Index(b, sepLFLF)
+	switch {
+	case iCRLF < 0 && iLF < 0:
+		return -1, 0
+	case iCRLF < 0 || (iLF >= 0 && iLF < iCRLF):
+		return iLF, len(sepLFLF)
+	default:
+		return iCRLF, len(sepCRLFCRLF)
+	}
+}
+
+// scanContentLength extracts the first Content-Length (canonical or
+// compact "l") value from a raw header block. It returns (0, true) when
+// the header is absent — a zero-length body, matching the parser — and
+// (0, false) when a value is present but unusable for framing (negative,
+// non-numeric, or folded beyond recognition).
+func scanContentLength(head []byte) (int, bool) {
+	for len(head) > 0 {
+		line := head
+		if i := bytes.IndexByte(head, '\n'); i >= 0 {
+			line = head[:i]
+			head = head[i+1:]
+		} else {
+			head = nil
+		}
+		line = bytes.TrimRight(line, "\r")
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			continue
+		}
+		name := strings.TrimSpace(string(line[:colon]))
+		if !strings.EqualFold(name, HdrContentLength) && !strings.EqualFold(name, "l") {
+			continue
+		}
+		cl, err := strconv.Atoi(strings.TrimSpace(string(line[colon+1:])))
+		if err != nil || cl < 0 {
+			return 0, false
+		}
+		return cl, true
+	}
+	return 0, true
+}
+
+// State returns the framer's buffered bytes (the incomplete message
+// prefix) for checkpointing. The slice is a copy.
+func (f *StreamFramer) State() []byte {
+	return append([]byte(nil), f.buf[f.off:]...)
+}
+
+// SetState replaces the framer's buffered bytes from a checkpoint.
+func (f *StreamFramer) SetState(b []byte) {
+	f.buf = append(f.buf[:0], b...)
+	f.off = 0
+	f.dropped = 0
+}
