@@ -24,6 +24,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"stateful", "false alarms"},
 		{"sharded", "frames/sec"},
 		{"hotpath", "allocs/op"},
+		{"evasion", "mismatched="},
 	}
 	for _, tt := range tests {
 		t.Run(tt.exp, func(t *testing.T) {

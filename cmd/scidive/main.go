@@ -53,6 +53,7 @@ type idsEngine interface {
 	Alerts() []core.Alert
 	Events() []core.Event
 	Stats() core.EngineStats
+	DistillerStats() core.DistillerStats
 }
 
 func main() {
@@ -337,6 +338,14 @@ func run(args []string, out io.Writer) error {
 	sessions, trails := sessionCount()
 	fmt.Fprintf(out, "=== stats ===\nframes=%d footprints=%d events=%d alerts=%d sessions=%d trails=%d\n",
 		st.Frames, st.Footprints, st.Events, st.Alerts, sessions, trails)
+	// Classification ledger: how the distiller filed what it saw. On the
+	// sharded engine these cover the frames shipped to shards (the router
+	// pre-drops unclaimed traffic, so ignored stays 0 there); mismatched
+	// counts content-confirmed reclassifications — nonzero means something
+	// on the wire contradicted its port's claimed protocol.
+	ds := eng.DistillerStats()
+	fmt.Fprintf(out, "classified: sip=%d rtp=%d rtcp=%d acct=%d raw=%d ignored=%d mismatched=%d\n",
+		ds.SIP, ds.RTP, ds.RTCP, ds.Acct, ds.Raw, ds.Ignored, ds.Mismatched)
 	// The overload line appears only when degradation actually happened,
 	// so unstressed runs keep their historic byte-identical output.
 	if overloaded(st) {

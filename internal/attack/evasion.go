@@ -1,0 +1,91 @@
+package attack
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/rtp"
+)
+
+// Evasion attacks: traffic shaped so a port-only classifier files it
+// under the wrong protocol decoder (or none at all), hiding the payload
+// from the rules that would match it. Each helper forges the wire bytes
+// of one evasion family; SCIDIVE's content-confirmed classification is
+// the countermeasure (the protocol-mismatch and evasion-suspect rules).
+
+// TunnelRTPPacket builds one well-formed RTP packet for tunneling over a
+// signaling port or stream: plausible payload type, non-zero SSRC, and
+// size bytes of silence payload.
+func TunnelRTPPacket(seq uint16, ts time.Duration, ssrc uint32, size int) []byte {
+	p := rtp.Packet{
+		Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(ts / time.Millisecond), SSRC: ssrc},
+		Payload: make([]byte, size),
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		panic(err) // deterministic inputs; cannot fail
+	}
+	return buf
+}
+
+// TunnelRTP sends count RTP packets as UDP datagrams to a SIP signaling
+// port, spoofing spoofSrc. A port-only classifier hands them to the SIP
+// parser, which rejects them, and the media stream flows unwatched; a
+// content-confirming classifier recognizes the RTP framing and flags the
+// port/content contradiction.
+func (a *Attacker) TunnelRTP(spoofSrc, dst netip.AddrPort, count int, startSeq uint16, ssrc uint32) error {
+	for i := 0; i < count; i++ {
+		pkt := TunnelRTPPacket(startSeq+uint16(i), a.host.Sim().Now(), ssrc, 160)
+		if err := a.SendSpoofed(spoofSrc, dst, pkt); err != nil {
+			return fmt.Errorf("attack: tunnel rtp: %w", err)
+		}
+	}
+	return nil
+}
+
+// SmuggleSIPInRTP wraps a SIP message inside a well-formed RTP packet
+// and sends it to the victim's media port, spoofing spoofSrc. The outer
+// packet decodes cleanly as RTP, so a classifier that stops at the media
+// header never inspects the smuggled signaling.
+func (a *Attacker) SmuggleSIPInRTP(spoofSrc, dst netip.AddrPort, seq uint16, ssrc uint32, sipMsg []byte) error {
+	p := rtp.Packet{
+		Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(a.host.Sim().Now() / time.Millisecond), SSRC: ssrc},
+		Payload: sipMsg,
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		return fmt.Errorf("attack: smuggle sip: %w", err)
+	}
+	if err := a.SendSpoofed(spoofSrc, dst, buf); err != nil {
+		return fmt.Errorf("attack: smuggle sip: %w", err)
+	}
+	return nil
+}
+
+// SmuggledSIPInRTP returns the wire bytes of one RTP-wrapped SIP message
+// without sending it, for injection into a TCP stream (SendSpoofedTCP).
+func SmuggledSIPInRTP(seq uint16, ts time.Duration, ssrc uint32, sipMsg []byte) ([]byte, error) {
+	p := rtp.Packet{
+		Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(ts / time.Millisecond), SSRC: ssrc},
+		Payload: sipMsg,
+	}
+	buf, err := p.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("attack: smuggle sip: %w", err)
+	}
+	return buf, nil
+}
+
+// TortureReplay fires a corpus of hostile signaling messages at dst as
+// UDP datagrams, spoofing spoofSrc — RFC 4475-style torture input aimed
+// at whatever decoder the port selects. The IDS must classify, account,
+// and survive every one of them.
+func (a *Attacker) TortureReplay(spoofSrc, dst netip.AddrPort, corpus [][]byte) error {
+	for _, raw := range corpus {
+		if err := a.SendSpoofed(spoofSrc, dst, raw); err != nil {
+			return fmt.Errorf("attack: torture replay: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"scidive/internal/rtp"
+)
+
+// This file implements content-confirmed protocol classification: the
+// layer between port claims and protocol decoding that catches traffic
+// whose content contradicts its port. Port claims still pick the
+// candidate protocol (paper Section 3.1); when the candidate's decoder
+// rejects the payload, the reclassification ladder below asks each
+// correlator that can recognize its protocol's wire shape (the
+// contentConfirmer capability) whether the bytes look like *its*
+// traffic, in registry order, skipping the protocol the port claimed.
+// The first confirming protocol whose full decoder also accepts the
+// payload wins, and the resulting view is flagged with the port's
+// expected protocol (FrameView.PortProto) so the evasion correlator can
+// raise protocol-mismatch / evasion-suspect self-alerts. If no step
+// confirms, the frame falls through to the raw footprint path exactly
+// as before — the ladder never changes the fate of traffic that decodes
+// under its port's protocol, which is what keeps the pre-existing
+// scenario goldens byte-identical.
+
+// contentConfirmer correlators can recognize their protocol's wire
+// shape from payload bytes alone, independent of ports. confirmContent
+// must be cheap, allocation-free, and conservative: a confirmation only
+// nominates the protocol for full decoding, so false positives waste a
+// decode attempt but false negatives hide evasion. The distiller, the
+// sharded router, and the parallel-ingest lanes all build their ladder
+// from the same registry, so every classification site reclassifies
+// identically.
+type contentConfirmer interface {
+	// contentProto is the protocol the confirmer recognizes.
+	contentProto() Protocol
+	// confirmContent reports whether the payload plausibly carries the
+	// protocol. Must not retain or mutate the payload.
+	confirmContent(payload []byte) bool
+}
+
+// ladderStep is one rung of the reclassification ladder.
+type ladderStep struct {
+	proto   Protocol
+	confirm func(payload []byte) bool
+}
+
+// classifyLadder is the ordered reclassification ladder: the
+// contentConfirmer correlators of a registry, in registry order.
+type classifyLadder []ladderStep
+
+// ladderOf builds the ladder for a correlator set. Registry order is
+// part of the engine's observable behavior (a payload that confirms as
+// both SIP and RTP reclassifies to whichever correlator registers
+// first), matching how port claims already resolve ties.
+func ladderOf(correlators []Correlator) classifyLadder {
+	var ladder classifyLadder
+	for _, c := range correlators {
+		if cc, ok := c.(contentConfirmer); ok {
+			ladder = append(ladder, ladderStep{proto: cc.contentProto(), confirm: cc.confirmContent})
+		}
+	}
+	return ladder
+}
+
+// sniffLineMax bounds the start-line scan: a SIP start line longer than
+// this is not worth reclassifying toward.
+const sniffLineMax = 256
+
+// sniffSIPStart reports whether the buffer begins with a plausible SIP
+// start line: either a status line ("SIP/2.0 ...") or a request line
+// (token method, a space, and a line ending in " SIP/2.0"). Zero
+// allocation; rejects binary payloads on the first non-token byte.
+func sniffSIPStart(b []byte) bool {
+	if len(b) >= 8 && string(b[:8]) == "SIP/2.0 " {
+		return true
+	}
+	// Request line: Method SP Request-URI SP SIP/2.0 CRLF.
+	i := 0
+	for i < len(b) && i < sniffLineMax && isSIPTokenByte(b[i]) {
+		i++
+	}
+	if i == 0 || i >= len(b) || b[i] != ' ' {
+		return false
+	}
+	j := i + 1
+	for j < len(b) && j < sniffLineMax && b[j] != '\r' && b[j] != '\n' {
+		j++
+	}
+	if j >= len(b) || j >= sniffLineMax {
+		return false
+	}
+	const ver = " SIP/2.0"
+	if j < i+1+len(ver) {
+		return false
+	}
+	return string(b[j-len(ver):j]) == ver
+}
+
+// isSIPTokenByte reports whether c is an RFC 3261 token character (the
+// alphabet of method names).
+func isSIPTokenByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	switch c {
+	case '-', '.', '!', '%', '*', '_', '+', '`', '\'', '~':
+		return true
+	}
+	return false
+}
+
+// RTP payload types 72-76 collide with the RTCP packet-type range
+// (200-204 with the marker bit folded in, RFC 3550 Section 5.1); a
+// "header" carrying one is an RTCP packet misread as RTP, so content
+// confirmation rejects it.
+const (
+	rtcpConflictPTLo = 72
+	rtcpConflictPTHi = 76
+)
+
+// confirmRTPContent reports whether the payload plausibly is an RTP
+// packet: the peek decoder accepts it, the payload type avoids the RTCP
+// conflict range, and the SSRC is nonzero (every real stream in this
+// simulation — and almost every real implementation — picks a random
+// nonzero SSRC, while zeroed garbage trivially passes the version
+// check). Stack-local scratch; never allocates.
+func confirmRTPContent(payload []byte) bool {
+	var hv rtp.HeaderView
+	if rtp.PeekHeader(payload, &hv) != nil {
+		return false
+	}
+	if hv.PayloadType >= rtcpConflictPTLo && hv.PayloadType <= rtcpConflictPTHi {
+		return false
+	}
+	return hv.SSRC != 0
+}
+
+// confirmRTCPContent reports whether the payload is a well-formed RTCP
+// compound: the peek decoder's validation (version, known packet types,
+// lengths tiling the buffer exactly) is already a strong content check.
+func confirmRTCPContent(payload []byte) bool {
+	var cv rtp.CompoundView
+	return rtp.PeekCompound(payload, &cv) == nil
+}
+
+// rtpPayloadHasSIP reports whether a successfully decoded RTP packet's
+// media payload begins with a SIP start line — the SIP-smuggled-in-RTP
+// evasion. hv must be the PeekHeader result for payload. Extension
+// headers are not modeled by the decoder, so packets flagged with one
+// are not inspected.
+func rtpPayloadHasSIP(payload []byte, hv *rtp.HeaderView) bool {
+	if hv.Extension || hv.PayloadLen == 0 {
+		return false
+	}
+	off := rtp.HeaderLen + 4*hv.CSRCCount
+	if off+hv.PayloadLen > len(payload) {
+		return false
+	}
+	return sniffSIPStart(payload[off : off+hv.PayloadLen])
+}
+
+// tunnelSniff is the stream-arm analogue of the ladder: given a chunk
+// of reassembled TCP bytes on a SIP-claimed stream with no partial SIP
+// message pending, it reports whether the chunk is a media packet
+// tunneled over the trunk (RTP or RTCP content confirmation). The SIP
+// rung is skipped — SIP is what the stream is *supposed* to carry.
+func (l classifyLadder) tunnelSniff(b []byte) (Protocol, bool) {
+	for _, step := range l {
+		if step.proto != ProtoRTP && step.proto != ProtoRTCP {
+			continue
+		}
+		if step.confirm(b) {
+			return step.proto, true
+		}
+	}
+	return ProtoOther, false
+}

@@ -61,6 +61,7 @@ func DefaultCorrelators() []Registration {
 		{Name: "rtcp", New: func() Correlator { return newRTCPCorrelator() }},
 		{Name: "acct", New: func() Correlator { return newAcctCorrelator() }},
 		{Name: "options-scan", New: func() Correlator { return newOptionsScanCorrelator() }},
+		{Name: "evasion", New: func() Correlator { return newEvasionCorrelator() }},
 	}
 }
 

@@ -12,7 +12,13 @@ import (
 	"scidive/internal/sip"
 )
 
-// DistillerStats counts distillation activity.
+// DistillerStats counts distillation activity. Every input — each frame
+// plus each stream-extracted message — lands in exactly one terminal
+// counter, the never-silently-dropped ledger the hostile-input tests
+// check:
+//
+//	Frames + StreamMsgs == DecodeError + Fragments + Ignored + Streamed
+//	                     + SIP + RTP + RTCP + Acct + Raw + Mismatched
 type DistillerStats struct {
 	Frames      int
 	Fragments   int // IP fragments buffered toward reassembly
@@ -23,6 +29,9 @@ type DistillerStats struct {
 	Acct        int
 	Raw         int // VoIP-port traffic that failed protocol decode
 	Ignored     int // traffic outside the monitored port set
+	Mismatched  int // frames reclassified by content confirmation (classify.go)
+	Streamed    int // TCP segments accepted into the stream arm (terminal for the segment)
+	StreamMsgs  int // stream-extracted messages distilled (each lands in SIP/RTP/RTCP/Raw/Mismatched)
 }
 
 // Distiller translates raw frames into Footprints: Ethernet and IPv4
@@ -55,6 +64,11 @@ type Distiller struct {
 	// nil on shard-local distillers: the sharded router owns the only
 	// stream state and ships extracted messages (see sharded.go).
 	streams *streamMux
+
+	// ladder is the content-confirmation reclassification ladder derived
+	// from the same correlator set as the port claims (classify.go), run
+	// when a claimed protocol's decoder rejects the payload.
+	ladder classifyLadder
 }
 
 // defaultMediaPortFloor is the lowest UDP port treated as media traffic
@@ -76,6 +90,7 @@ func NewDistillerFor(correlators []Correlator) *Distiller {
 		reasm:    packet.NewReassembler(0),
 		claimers: correlators,
 		parser:   sip.NewParser(),
+		ladder:   ladderOf(correlators),
 	}
 }
 
@@ -194,6 +209,7 @@ func (d *Distiller) streamFrame(at time.Duration, srcIP, dstIP netip.Addr, seg [
 		d.stats.Ignored++
 		return
 	}
+	d.stats.Streamed++
 	src := netip.AddrPortFrom(srcIP, th.SrcPort)
 	dst := netip.AddrPortFrom(dstIP, th.DstPort)
 	d.streams.push(at, src, dst, th, payload)
@@ -212,19 +228,38 @@ func (d *Distiller) NextStreamMessage(v *FrameView) bool {
 	if !ok {
 		return false
 	}
-	d.distillStreamMessage(msg.at, msg.src, msg.dst, msg.payload, v)
+	d.distillStreamMessage(msg.at, msg.src, msg.dst, msg.payload, msg.kind, v)
 	return true
 }
 
-// distillStreamMessage fills v from one framed SIP message. Shared by the
-// serial drain above and the shard-side processing of router-shipped
-// messages (both must count stats exactly as the datagram path does).
-func (d *Distiller) distillStreamMessage(at time.Duration, src, dst netip.AddrPort, payload []byte, v *FrameView) {
+// distillStreamMessage fills v from one stream-extracted message. Shared
+// by the serial drain above and the shard-side processing of
+// router-shipped messages (both must count stats exactly as the datagram
+// path does). Framed SIP messages that fail to parse run the same
+// content-confirmation ladder as datagrams; tunnel chunks (media content
+// sniffed on the SIP-claimed stream) reuse the ladder with SIP as the
+// contradicted claim.
+func (d *Distiller) distillStreamMessage(at time.Duration, src, dst netip.AddrPort, payload []byte, kind streamKind, v *FrameView) {
+	d.stats.StreamMsgs++
 	v.reset()
 	v.At, v.Src, v.Dst = at, src, dst
 	v.StreamKey = streamFlowKey(src, dst)
+	if kind == streamKindTunnel {
+		if d.reclassifyView(ProtoSIP, payload, v) {
+			return
+		}
+		// Unreachable when the queueing sniff and this decode see the
+		// same bytes; kept so a divergence degrades to a raw footprint
+		// instead of a dropped frame.
+		d.stats.Raw++
+		v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoSIP, "unclassifiable stream chunk", len(payload)
+		return
+	}
 	m, err := d.parser.Parse(payload)
 	if err != nil {
+		if d.reclassifyView(ProtoSIP, payload, v) {
+			return
+		}
 		d.stats.Raw++
 		v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoSIP, err.Error(), len(payload)
 		return
@@ -277,6 +312,9 @@ func (d *Distiller) DistillView(at time.Duration, frame []byte, v *FrameView) bo
 	case ProtoSIP:
 		m, err := d.parser.Parse(payload)
 		if err != nil {
+			if d.reclassifyView(ProtoSIP, payload, v) {
+				return true
+			}
 			d.stats.Raw++
 			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoSIP, err.Error(), len(payload)
 			return true
@@ -287,6 +325,9 @@ func (d *Distiller) DistillView(at time.Duration, frame []byte, v *FrameView) bo
 	case ProtoAccounting:
 		txn, err := accounting.ParseTxn(payload)
 		if err != nil {
+			if d.reclassifyView(ProtoAccounting, payload, v) {
+				return true
+			}
 			d.stats.Raw++
 			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoAccounting, err.Error(), len(payload)
 			return true
@@ -296,17 +337,25 @@ func (d *Distiller) DistillView(at time.Duration, frame []byte, v *FrameView) bo
 		return true
 	case ProtoRTP:
 		if err := rtp.PeekHeader(payload, &v.RTP); err != nil {
+			v.RTP = rtp.HeaderView{}
+			if d.reclassifyView(ProtoRTP, payload, v) {
+				return true
+			}
 			d.stats.Raw++
 			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoRTP, err.Error(), len(payload)
 			return true
 		}
 		d.stats.RTP++
 		v.Proto = ProtoRTP
+		v.EmbeddedSIP = rtpPayloadHasSIP(payload, &v.RTP)
 		return true
 	case ProtoRTCP:
 		if err := rtp.PeekCompound(payload, &v.RTCP); err != nil {
-			d.stats.Raw++
 			v.RTCP = rtp.CompoundView{}
+			if d.reclassifyView(ProtoRTCP, payload, v) {
+				return true
+			}
+			d.stats.Raw++
 			v.Proto, v.OnPort, v.Reason, v.RawLen = ProtoOther, ProtoRTCP, err.Error(), len(payload)
 			return true
 		}
@@ -319,9 +368,58 @@ func (d *Distiller) DistillView(at time.Duration, frame []byte, v *FrameView) bo
 	}
 }
 
+// reclassifyView runs the content-confirmation ladder after the claimed
+// protocol's decoder rejected the payload. Ladder steps run in registry
+// order, skipping the claimed protocol (its decoder already said no);
+// the first step whose cheap confirmation AND full decode both accept
+// the payload wins. On success the view carries the content protocol's
+// decoded fields with PortProto recording the contradicted claim, and
+// the frame counts as Mismatched. On failure the view is untouched and
+// the caller falls through to the raw path — so traffic that reclassifies
+// under no protocol is accounted exactly as before the ladder existed.
+func (d *Distiller) reclassifyView(claimed Protocol, payload []byte, v *FrameView) bool {
+	for _, step := range d.ladder {
+		if step.proto == claimed || !step.confirm(payload) {
+			continue
+		}
+		switch step.proto {
+		case ProtoSIP:
+			m, err := d.parser.Parse(payload)
+			if err != nil {
+				continue
+			}
+			d.stats.Mismatched++
+			v.Proto, v.PortProto = ProtoSIP, claimed
+			v.Msg, v.Malformed = m, CheckSIPFormat(m)
+			return true
+		case ProtoRTP:
+			if rtp.PeekHeader(payload, &v.RTP) != nil {
+				v.RTP = rtp.HeaderView{}
+				continue
+			}
+			d.stats.Mismatched++
+			v.Proto, v.PortProto = ProtoRTP, claimed
+			v.EmbeddedSIP = rtpPayloadHasSIP(payload, &v.RTP)
+			return true
+		case ProtoRTCP:
+			if rtp.PeekCompound(payload, &v.RTCP) != nil {
+				v.RTCP = rtp.CompoundView{}
+				continue
+			}
+			d.stats.Mismatched++
+			v.Proto, v.PortProto = ProtoRTCP, claimed
+			return true
+		}
+	}
+	return false
+}
+
 func (d *Distiller) distillSIP(base FootprintBase, payload []byte) Footprint {
 	m, err := d.parser.Parse(payload)
 	if err != nil {
+		if f, ok := d.reclassifyBoxed(base, ProtoSIP, payload); ok {
+			return f
+		}
 		d.stats.Raw++
 		return &RawFootprint{FootprintBase: base, OnPort: ProtoSIP, Reason: err.Error(), Len: len(payload)}
 	}
@@ -332,6 +430,9 @@ func (d *Distiller) distillSIP(base FootprintBase, payload []byte) Footprint {
 func (d *Distiller) distillAcct(base FootprintBase, payload []byte) Footprint {
 	txn, err := accounting.ParseTxn(payload)
 	if err != nil {
+		if f, ok := d.reclassifyBoxed(base, ProtoAccounting, payload); ok {
+			return f
+		}
 		d.stats.Raw++
 		return &RawFootprint{FootprintBase: base, OnPort: ProtoAccounting, Reason: err.Error(), Len: len(payload)}
 	}
@@ -342,21 +443,40 @@ func (d *Distiller) distillAcct(base FootprintBase, payload []byte) Footprint {
 func (d *Distiller) distillRTP(base FootprintBase, payload []byte) Footprint {
 	p, err := rtp.Unmarshal(payload)
 	if err != nil {
+		if f, ok := d.reclassifyBoxed(base, ProtoRTP, payload); ok {
+			return f
+		}
 		d.stats.Raw++
 		return &RawFootprint{FootprintBase: base, OnPort: ProtoRTP, Reason: err.Error(), Len: len(payload)}
 	}
 	d.stats.RTP++
-	return &RTPFootprint{FootprintBase: base, Header: p.Header, PayloadLen: len(p.Payload)}
+	embedded := !p.Header.Extension && len(p.Payload) > 0 && sniffSIPStart(p.Payload)
+	return &RTPFootprint{FootprintBase: base, Header: p.Header, PayloadLen: len(p.Payload), EmbeddedSIP: embedded}
 }
 
 func (d *Distiller) distillRTCP(base FootprintBase, payload []byte) Footprint {
 	pkts, err := rtp.UnmarshalCompound(payload)
 	if err != nil {
+		if f, ok := d.reclassifyBoxed(base, ProtoRTCP, payload); ok {
+			return f
+		}
 		d.stats.Raw++
 		return &RawFootprint{FootprintBase: base, OnPort: ProtoRTCP, Reason: err.Error(), Len: len(payload)}
 	}
 	d.stats.RTCP++
 	return &RTCPFootprint{FootprintBase: base, Packets: pkts}
+}
+
+// reclassifyBoxed is reclassifyView's boxed-footprint form, used by the
+// allocating Distill path so both forms classify — and count — every
+// payload identically.
+func (d *Distiller) reclassifyBoxed(base FootprintBase, claimed Protocol, payload []byte) (Footprint, bool) {
+	var v FrameView
+	if !d.reclassifyView(claimed, payload, &v) {
+		return nil, false
+	}
+	v.At, v.Src, v.Dst = base.At, base.Src, base.Dst
+	return v.box(), true
 }
 
 // CheckSIPFormat applies the strict well-formedness checks the IDS uses

@@ -34,7 +34,7 @@ var eventTypeNames = func() map[string]EventType {
 		EvIMSourceMismatch, EvRTPAfterBye, EvRTPAfterReinvite, EvRTPSeqJump,
 		EvRTPBadSource, EvRTPGarbage, EvAuthFlood, EvPasswordGuessing,
 		EvAcctUnmatched, EvRTPUnmatchedMedia, EvRTCPSpoofedBye,
-		EvOptionsScan,
+		EvOptionsScan, EvProtocolMismatch, EvEvasionSuspect,
 	}
 	m := make(map[string]EventType, len(all))
 	for _, t := range all {

@@ -149,6 +149,7 @@ func NewEngine(cfg Config, opts ...EngineOption) *Engine {
 	// evictions lose mid-message reassembly state, so each raises an
 	// ids-overload self-alert exactly as the sharded router does.
 	e.distiller.streams = newStreamMux()
+	e.distiller.streams.sniff = e.distiller.ladder.tunnelSniff
 	e.distiller.streams.reasm.SetLimit(cfg.Limits.MaxStreams)
 	e.distiller.streams.onEvict = func(id packet.StreamID, at time.Duration) {
 		e.rules.raiseSynthetic(Alert{
@@ -204,6 +205,11 @@ func (e *Engine) Stats() EngineStats {
 	st.AlertsEvicted = e.rules.evicted
 	return st
 }
+
+// DistillerStats returns the distiller's classification counters,
+// including the Mismatched count of content-confirmed reclassifications
+// (see DistillerStats for the conservation ledger they satisfy).
+func (e *Engine) DistillerStats() DistillerStats { return e.distiller.stats }
 
 // Trails exposes the trail store (read-mostly; used by reports and the
 // direct-matching ablation).

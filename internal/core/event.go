@@ -42,6 +42,8 @@ const (
 	EvRTPUnmatchedMedia // session media negotiated away from the caller's registered location
 	EvRTCPSpoofedBye    // RTCP BYE with no corresponding SIP BYE (three-protocol chain)
 	EvOptionsScan       // one source probing many dialogs with OPTIONS (cross-dialog sweep)
+	EvProtocolMismatch  // payload content contradicted the port's claimed protocol (classify.go)
+	EvEvasionSuspect    // the contradiction matches a known evasion shape (tunneling/smuggling)
 )
 
 // String returns the event type name.
@@ -95,6 +97,10 @@ func (t EventType) String() string {
 		return "rtcp-spoofed-bye"
 	case EvOptionsScan:
 		return "sip-options-scan"
+	case EvProtocolMismatch:
+		return "protocol-mismatch"
+	case EvEvasionSuspect:
+		return "evasion-suspect"
 	default:
 		return fmt.Sprintf("event-type-%d", int(t))
 	}

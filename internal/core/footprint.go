@@ -58,11 +58,14 @@ type Footprint interface {
 	Flow() (src, dst netip.AddrPort)
 }
 
-// FootprintBase carries the fields common to all footprints.
+// FootprintBase carries the fields common to all footprints. PortProto
+// is nonzero only on reclassified footprints: the protocol the port
+// claimed before content confirmation overrode it (see classify.go).
 type FootprintBase struct {
-	At  time.Duration
-	Src netip.AddrPort
-	Dst netip.AddrPort
+	At        time.Duration
+	Src       netip.AddrPort
+	Dst       netip.AddrPort
+	PortProto Protocol
 }
 
 // Time implements Footprint.
@@ -89,11 +92,14 @@ func (f *SIPFootprint) String() string {
 }
 
 // RTPFootprint is one observed RTP packet (header only; payload is
-// dropped after distillation to bound memory).
+// dropped after distillation to bound memory). EmbeddedSIP flags a
+// media payload that begins with a SIP start line — the
+// SIP-smuggled-in-RTP evasion.
 type RTPFootprint struct {
 	FootprintBase
-	Header     rtp.Header
-	PayloadLen int
+	Header      rtp.Header
+	PayloadLen  int
+	EmbeddedSIP bool
 }
 
 // Proto implements Footprint.

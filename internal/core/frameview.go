@@ -53,6 +53,16 @@ type FrameView struct {
 	// their sticky routing key to it — flow affinity wins over Call-ID so
 	// a stream's messages stay shard-affine (see streamFlowKey).
 	StreamKey string
+
+	// PortProto is nonzero on reclassified frames: the protocol the port
+	// claimed before content confirmation overrode it (classify.go). The
+	// view's decoded fields belong to Proto; PortProto records the
+	// contradiction for the evasion correlator's self-alerts.
+	PortProto Protocol
+
+	// EmbeddedSIP is set on RTP views whose media payload begins with a
+	// SIP start line — the SIP-smuggled-in-RTP evasion.
+	EmbeddedSIP bool
 }
 
 // reset clears the view for the next frame.
@@ -75,7 +85,7 @@ func (v *FrameView) dispatchProto() Protocol {
 // packet count through a nil Packets slice; nothing downstream of
 // distillation rereads the bodies.
 func (v *FrameView) box() Footprint {
-	base := FootprintBase{At: v.At, Src: v.Src, Dst: v.Dst}
+	base := FootprintBase{At: v.At, Src: v.Src, Dst: v.Dst, PortProto: v.PortProto}
 	switch v.Proto {
 	case ProtoSIP:
 		return &SIPFootprint{FootprintBase: base, Msg: v.Msg, Malformed: v.Malformed}
@@ -91,7 +101,8 @@ func (v *FrameView) box() Footprint {
 				Timestamp:   v.RTP.Timestamp,
 				SSRC:        v.RTP.SSRC,
 			},
-			PayloadLen: v.RTP.PayloadLen,
+			PayloadLen:  v.RTP.PayloadLen,
+			EmbeddedSIP: v.EmbeddedSIP,
 		}
 	case ProtoRTCP:
 		return &RTCPFootprint{FootprintBase: base}
@@ -112,9 +123,11 @@ func viewOf(f Footprint, v *FrameView) bool {
 	switch fp := f.(type) {
 	case *SIPFootprint:
 		v.Proto, v.At, v.Src, v.Dst = ProtoSIP, fp.At, fp.Src, fp.Dst
+		v.PortProto = fp.PortProto
 		v.Msg, v.Malformed = fp.Msg, fp.Malformed
 	case *RTPFootprint:
 		v.Proto, v.At, v.Src, v.Dst = ProtoRTP, fp.At, fp.Src, fp.Dst
+		v.PortProto, v.EmbeddedSIP = fp.PortProto, fp.EmbeddedSIP
 		v.RTP = rtp.HeaderView{
 			Padding:     fp.Header.Padding,
 			Extension:   fp.Header.Extension,
@@ -128,6 +141,7 @@ func viewOf(f Footprint, v *FrameView) bool {
 		}
 	case *RTCPFootprint:
 		v.Proto, v.At, v.Src, v.Dst = ProtoRTCP, fp.At, fp.Src, fp.Dst
+		v.PortProto = fp.PortProto
 		v.RTCP.Packets = len(fp.Packets)
 		for _, pkt := range fp.Packets {
 			if _, ok := pkt.(*rtp.Bye); ok {

@@ -25,6 +25,64 @@ func FuzzDistill(f *testing.F) {
 	})
 }
 
+// fuzzClassifyPorts are the port pairs FuzzDistillerClassify cycles
+// through: each claimed protocol plus an unmonitored port, so the fuzzer
+// exercises every arm of the reclassification ladder.
+var fuzzClassifyPorts = []struct{ src, dst uint16 }{
+	{5060, 5060},   // SIP claim
+	{40666, 40000}, // RTP claim (even media port)
+	{40666, 40001}, // RTCP claim (odd media port)
+	{40666, 7009},  // accounting claim
+	{1234, 80},     // unmonitored
+}
+
+// FuzzDistillerClassify throws hostile payloads at every port-claim arm
+// of the content-confirmed classifier — seeded with the torture corpus
+// and the evasion shapes (RTP on signaling ports, SIP smuggled in RTP
+// payloads). The distiller must never panic, the boxed and view forms
+// must account identically, and every frame must land in exactly one
+// terminal ledger counter.
+func FuzzDistillerClassify(f *testing.F) {
+	for _, e := range sip.TortureCorpus() {
+		f.Add(e.Raw, uint8(0))
+		f.Add(e.Raw, uint8(1))
+	}
+	rtpPkt := []byte{0x80, 0, 0x23, 0x28, 0, 0, 0x10, 0, 0xde, 0xad, 0, 1, 'm', 'e', 'd', 'i', 'a'}
+	f.Add(rtpPkt, uint8(0)) // RTP tunneled at the SIP port
+	smuggled := append(append([]byte(nil), rtpPkt...), []byte("BYE sip:bob@pbx SIP/2.0\r\n\r\n")...)
+	f.Add(smuggled, uint8(1)) // SIP smuggled inside an RTP payload
+	f.Add([]byte{}, uint8(4))
+	f.Fuzz(func(t *testing.T, payload []byte, portSel uint8) {
+		ports := fuzzClassifyPorts[int(portSel)%len(fuzzClassifyPorts)]
+		frames, err := packet.BuildUDPFrames(packet.UDPFrameSpec{
+			SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: netip.MustParseAddr("10.0.0.1"), DstIP: netip.MustParseAddr("10.0.0.2"),
+			SrcPort: ports.src, DstPort: ports.dst, IPID: 3, Payload: payload,
+		}, 0)
+		if err != nil {
+			t.Skip() // payload exceeds what UDP can carry
+		}
+		boxed, viewed := NewDistiller(), NewDistiller()
+		var v FrameView
+		for i, frame := range frames {
+			_ = boxed.Distill(time.Duration(i)*time.Millisecond, frame)
+			_ = viewed.DistillView(time.Duration(i)*time.Millisecond, frame, &v)
+		}
+		bs, vs := boxed.Stats(), viewed.Stats()
+		if bs != vs {
+			t.Fatalf("boxed and view forms diverged:\nboxed %+v\nview  %+v", bs, vs)
+		}
+		if bs.Frames != len(frames) {
+			t.Fatalf("Frames = %d, fed %d", bs.Frames, len(frames))
+		}
+		terminal := bs.DecodeError + bs.Fragments + bs.Ignored + bs.Streamed +
+			bs.SIP + bs.RTP + bs.RTCP + bs.Acct + bs.Raw + bs.Mismatched
+		if terminal != bs.Frames+bs.StreamMsgs {
+			t.Fatalf("ledger broken: terminal %d, inputs %d (%+v)", terminal, bs.Frames+bs.StreamMsgs, bs)
+		}
+	})
+}
+
 // FuzzEngineFrame drives the full pipeline with arbitrary frames.
 func FuzzEngineFrame(f *testing.F) {
 	f.Add([]byte{}, uint32(0))

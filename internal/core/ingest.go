@@ -349,24 +349,75 @@ func (l *ingLane) decodeOne(b *ingBatch, d *ingDigest) {
 		d.msg = b.nmsg
 		d.ok = l.parser.ParseInto(udpPayload, &b.msgs[b.nmsg]) == nil
 		b.nmsg++
+		if !d.ok {
+			l.reclassify(b, d, ProtoSIP, udpPayload)
+		}
 	case ProtoAccounting:
 		d.kind = ingAcct
 		txn, perr := accounting.ParseTxn(udpPayload)
 		d.ok = perr == nil
 		d.callID = txn.CallID
 		d.start = txn.Kind == accounting.TxnStart
+		if !d.ok {
+			l.reclassify(b, d, ProtoAccounting, udpPayload)
+		}
 	case ProtoRTP:
 		d.kind = ingRTP
 		d.ok = rtp.PeekHeader(udpPayload, &l.rtpHdr) == nil
 		d.seq = l.rtpHdr.Seq
+		if !d.ok {
+			l.reclassify(b, d, ProtoRTP, udpPayload)
+		}
 	case ProtoRTCP:
 		d.kind = ingRTCP
 		d.ok = rtp.PeekCompound(udpPayload, &l.rtcpCmp) == nil
+		if !d.ok {
+			l.reclassify(b, d, ProtoRTCP, udpPayload)
+		}
 	default:
 		// A claimed port with no routing rule ships nowhere — the
 		// synchronous classifyLocked returns ship=false after the clocks
 		// advanced.
 		d.kind = ingClock
+	}
+}
+
+// reclassify runs the content-confirmation ladder (classify.go) after a
+// claimed decode failed, rewriting the digest to the content protocol's
+// kind (with ok=true) when a rung's confirmation and full decode both
+// accept the payload. Like claimPortOf, the ladder is stateless — the
+// confirm functions and decoders touch only lane-owned scratch — so
+// lanes reclassify in parallel and the sequencer then routes the digest
+// exactly as the synchronous router's ladderRouteLocked would have.
+// Reclassification toward SIP consumes one of the batch's message slots,
+// like a natively claimed SIP frame (at most one slot per frame either
+// way: a failed claimed-SIP parse never reclassifies back to SIP).
+func (l *ingLane) reclassify(b *ingBatch, d *ingDigest, claimed Protocol, udpPayload []byte) {
+	for _, step := range l.owner.ladder {
+		if step.proto == claimed || !step.confirm(udpPayload) {
+			continue
+		}
+		switch step.proto {
+		case ProtoSIP:
+			if l.parser.ParseInto(udpPayload, &b.msgs[b.nmsg]) != nil {
+				continue
+			}
+			d.kind, d.ok, d.msg = ingSIP, true, b.nmsg
+			b.nmsg++
+			return
+		case ProtoRTP:
+			if rtp.PeekHeader(udpPayload, &l.rtpHdr) != nil {
+				continue
+			}
+			d.kind, d.ok, d.seq = ingRTP, true, l.rtpHdr.Seq
+			return
+		case ProtoRTCP:
+			if rtp.PeekCompound(udpPayload, &l.rtcpCmp) != nil {
+				continue
+			}
+			d.kind, d.ok = ingRTCP, true
+			return
+		}
 	}
 }
 

@@ -22,6 +22,12 @@ func (c *rtcpCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
 	return ProtoOther, false
 }
 
+// contentConfirmer: a well-formed RTCP compound (known packet types,
+// lengths tiling the buffer) nominates payloads on non-RTCP ports for
+// reclassification (classify.go).
+func (c *rtcpCorrelator) contentProto() Protocol             { return ProtoRTCP }
+func (c *rtcpCorrelator) confirmContent(payload []byte) bool { return confirmRTCPContent(payload) }
+
 func (c *rtcpCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
 	if v.Proto != ProtoRTCP {
 		return

@@ -45,6 +45,12 @@ func (c *rtpCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
 	return ProtoOther, false
 }
 
+// contentConfirmer: RTP's wire shape (version bits, payload type outside
+// the RTCP conflict range, nonzero SSRC) nominates payloads tunneled over
+// non-media ports for reclassification (classify.go).
+func (c *rtpCorrelator) contentProto() Protocol             { return ProtoRTP }
+func (c *rtpCorrelator) confirmContent(payload []byte) bool { return confirmRTPContent(payload) }
+
 func (c *rtpCorrelator) setLimits(l Limits)         { c.limits = l }
 func (c *rtpCorrelator) shardLocalLimits(l *Limits) { l.MaxSeqTrackers = 0 }
 func (c *rtpCorrelator) contributeStats(st *EngineStats) {

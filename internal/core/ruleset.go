@@ -13,6 +13,13 @@ const (
 	RuleBillingFraud  = "billing-fraud"
 	RuleRTCPByeSpoof  = "rtcp-bye-spoof"
 	RuleOptionsScan   = "sip-options-scan"
+	// RuleProtocolMismatch fires when content-confirmed classification
+	// reclassified a frame away from its port's protocol (classify.go).
+	RuleProtocolMismatch = "protocol-mismatch"
+	// RuleEvasionSuspect fires when the contradiction matches a known
+	// evasion shape: RTP tunneled on signaling ports, SIP smuggled inside
+	// RTP payloads, or signaling found on media ports.
+	RuleEvasionSuspect = "evasion-suspect"
 )
 
 // Self-monitoring alert names raised by the sharded engine about its own
@@ -129,6 +136,20 @@ func DefaultRuleset() []Rule {
 			Severity:    SeverityWarning,
 			Steps:       []Step{{Type: EvOptionsScan}},
 			Stateful:    true, // per-source dialog counting across Call-IDs
+		},
+		{
+			Name:          RuleProtocolMismatch,
+			Description:   "Payload content contradicts the protocol its port claims: the traffic decodes cleanly, just not as what the port promised",
+			Severity:      SeverityWarning,
+			Steps:         []Step{{Type: EvProtocolMismatch}},
+			CrossProtocol: true, // port-layer claim vs payload-layer content
+		},
+		{
+			Name:          RuleEvasionSuspect,
+			Description:   "Port/content contradiction in a known evasion shape: RTP tunneled over signaling ports, SIP smuggled in RTP payloads, or signaling on media ports",
+			Severity:      SeverityCritical,
+			Steps:         []Step{{Type: EvEvasionSuspect}},
+			CrossProtocol: true,
 		},
 	}
 }

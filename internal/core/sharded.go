@@ -101,8 +101,14 @@ type ShardedEngine struct {
 	// is mutated under mu; their eviction counters are atomics, read
 	// lock-free by Stats).
 	correlators []Correlator
-	sticky      map[string]string // Call-ID -> routing key (pinned on first sighting)
-	pending     [][]shardItem
+	// ladder is the content-confirmation reclassification ladder derived
+	// from the same correlator registry (classify.go): when a claimed
+	// protocol's decode fails here, the router reclassifies exactly as the
+	// shard's distiller will, so a reclassified frame still routes to the
+	// session its content belongs to.
+	ladder  classifyLadder
+	sticky  map[string]string // Call-ID -> routing key (pinned on first sighting)
+	pending [][]shardItem
 
 	// Router-side decode scratch, used under mu: a pooled SIP parser with
 	// one reusable message (classify never retains the message — only
@@ -175,15 +181,17 @@ type routedFrame struct {
 	frame []byte
 }
 
-// shippedMsg is one stream-extracted SIP message bound for a shard, with
-// the router's per-message hints. The payload is copied at ship time: the
-// router's framing buffers recycle on the flow's next segment, while the
-// shard consumes the item asynchronously.
+// shippedMsg is one stream-extracted SIP message (or tunneled media
+// chunk, see streamKind) bound for a shard, with the router's
+// per-message hints. The payload is copied at ship time: the router's
+// framing buffers recycle on the flow's next segment, while the shard
+// consumes the item asynchronously.
 type shippedMsg struct {
 	at       time.Duration
 	src, dst netip.AddrPort
 	payload  []byte
 	hints    RouteHints
+	kind     streamKind
 }
 
 // mergeTag orders shard output globally: frame index, then the event's
@@ -264,6 +272,7 @@ func stateName(s uint32) string {
 // never the worker's live pipeline, so a stuck worker cannot block them.
 type shardResults struct {
 	stats     EngineStats
+	dstats    DistillerStats
 	alerts    []Alert
 	alertTags []mergeTag
 	events    []Event
@@ -381,6 +390,7 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		pending:     make([][]shardItem, shards),
 		workers:     make([]*shardWorker, shards),
 	}
+	s.ladder = ladderOf(s.correlators)
 	s.liveRules.Store(&s.cfg.Rules)
 	// The router's correlator instances enforce the full (global) budget;
 	// shard instances get those caps zeroed (see shardLocalLimits).
@@ -406,6 +416,7 @@ func NewShardedEngine(cfg Config, shards int, opts ...EngineOption) *ShardedEngi
 		delete(s.frags, fragIdent{src: id.Src, dst: id.Dst, proto: id.Proto, id: id.ID})
 	})
 	s.streams = newStreamMux()
+	s.streams.sniff = s.ladder.tunnelSniff
 	s.streams.reasm.SetLimit(cfg.Limits.MaxStreams)
 	s.streams.onEvict = func(id packet.StreamID, at time.Duration) {
 		s.capStreams.Add(1)
@@ -657,6 +668,11 @@ func (s *ShardedEngine) classifyLocked(at time.Duration, src, dst netip.AddrPort
 		return key, hints, true
 	case ProtoAccounting:
 		txn, err := accounting.ParseTxn(udpPayload)
+		if err != nil {
+			if key, hints, ok := s.ladderRouteLocked(ProtoAccounting, at, src, dst, udpPayload); ok {
+				return key, hints, true
+			}
+		}
 		return s.classifyAcctLocked(dst, txn.CallID, txn.Kind == accounting.TxnStart, err == nil), RouteHints{}, true
 	case ProtoRTP:
 		key, hints := s.classifyRTPLocked(at, src, dst, udpPayload)
@@ -688,9 +704,50 @@ func (s *ShardedEngine) classifySIPLocked(at time.Duration, src, dst netip.AddrP
 	// interned strings and scalar verdicts.
 	m := &s.msg
 	if err := s.parser.ParseInto(udpPayload, &s.msg); err != nil {
+		if key, hints, ok := s.ladderRouteLocked(ProtoSIP, at, src, dst, udpPayload); ok {
+			return key, hints
+		}
 		m = nil
 	}
 	return s.classifySIPMsgLocked(at, src, dst, m)
+}
+
+// ladderRouteLocked is the router's half of content-confirmed
+// reclassification (classify.go): after the claimed protocol's decode
+// failed, it walks the same ladder the shard's distiller will walk and,
+// on the first protocol whose confirmation and full decode both accept
+// the payload, runs that protocol's normal stateful classification — so
+// a reclassified frame lands on the shard of the session its content
+// belongs to, with the same hints a natively classified frame would
+// carry. ok=false means no rung accepted and the caller falls through to
+// its raw path, exactly as before the ladder existed.
+func (s *ShardedEngine) ladderRouteLocked(claimed Protocol, at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints, bool) {
+	for _, step := range s.ladder {
+		if step.proto == claimed || !step.confirm(udpPayload) {
+			continue
+		}
+		switch step.proto {
+		case ProtoSIP:
+			if s.parser.ParseInto(udpPayload, &s.msg) != nil {
+				continue
+			}
+			key, hints := s.classifySIPMsgLocked(at, src, dst, &s.msg)
+			return key, hints, true
+		case ProtoRTP:
+			if rtp.PeekHeader(udpPayload, &s.rtpHdr) != nil {
+				continue
+			}
+			key, hints := s.classifyRTPSeqLocked(at, src, dst, s.rtpHdr.Seq, true)
+			return key, hints, true
+		case ProtoRTCP:
+			if rtp.PeekCompound(udpPayload, &s.rtcpCmp) != nil {
+				continue
+			}
+			key, hints := s.classifyRTCPFlowLocked(at, src, dst, true)
+			return key, hints, true
+		}
+	}
+	return "", RouteHints{}, false
 }
 
 // classifySIPMsgLocked is the stateful half of SIP classification: it
@@ -775,9 +832,14 @@ func (s *ShardedEngine) routeStreamLocked(idx uint64, at time.Duration, srcIP, d
 	flowKey := streamFlowKey(src, dst)
 	ship := make([]shippedMsg, len(msgs))
 	for i, sm := range msgs {
-		hints := s.classifyStreamSIPLocked(sm.at, sm.src, sm.dst, sm.payload, flowKey)
+		var hints RouteHints
+		if sm.kind == streamKindTunnel {
+			hints = s.classifyStreamTunnelLocked(sm.at, sm.src, sm.dst, sm.payload)
+		} else {
+			hints = s.classifyStreamSIPLocked(sm.at, sm.src, sm.dst, sm.payload, flowKey)
+		}
 		ship[i] = shippedMsg{at: sm.at, src: sm.src, dst: sm.dst,
-			payload: append([]byte(nil), sm.payload...), hints: hints}
+			payload: append([]byte(nil), sm.payload...), hints: hints, kind: sm.kind}
 	}
 	s.appendItemLocked(shardOf(flowKey, len(s.workers)),
 		shardItem{kind: itemStream, idx: idx, at: at, msgs: ship})
@@ -821,8 +883,43 @@ func (s *ShardedEngine) classifyStreamSIPLocked(at time.Duration, src, dst netip
 	return s.hints
 }
 
+// classifyStreamTunnelLocked runs the stateful classification for a
+// media chunk tunneled over a SIP-claimed TCP stream. The chunk still
+// routes with its flow (stream order and the shipped payload's merge
+// ordinal must hold), so only the hints matter here — but the directory
+// transitions (session touch, rtp continuity hint) run exactly as they
+// would for the equivalent datagram, in global arrival order. Mirrors
+// the shard-side decode in distillStreamMessage's tunnel arm.
+func (s *ShardedEngine) classifyStreamTunnelLocked(at time.Duration, src, dst netip.AddrPort, payload []byte) RouteHints {
+	for _, step := range s.ladder {
+		if step.proto == ProtoSIP || !step.confirm(payload) {
+			continue
+		}
+		switch step.proto {
+		case ProtoRTP:
+			if rtp.PeekHeader(payload, &s.rtpHdr) != nil {
+				continue
+			}
+			_, hints := s.classifyRTPSeqLocked(at, src, dst, s.rtpHdr.Seq, true)
+			return hints
+		case ProtoRTCP:
+			if rtp.PeekCompound(payload, &s.rtcpCmp) != nil {
+				continue
+			}
+			_, hints := s.classifyRTCPFlowLocked(at, src, dst, true)
+			return hints
+		}
+	}
+	return RouteHints{}
+}
+
 func (s *ShardedEngine) classifyRTPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
 	ok := rtp.PeekHeader(udpPayload, &s.rtpHdr) == nil
+	if !ok {
+		if key, hints, lok := s.ladderRouteLocked(ProtoRTP, at, src, dst, udpPayload); lok {
+			return key, hints
+		}
+	}
 	return s.classifyRTPSeqLocked(at, src, dst, s.rtpHdr.Seq, ok)
 }
 
@@ -858,6 +955,11 @@ func (s *ShardedEngine) classifyRTPSeqLocked(at time.Duration, src, dst netip.Ad
 
 func (s *ShardedEngine) classifyRTCPLocked(at time.Duration, src, dst netip.AddrPort, udpPayload []byte) (string, RouteHints) {
 	ok := rtp.PeekCompound(udpPayload, &s.rtcpCmp) == nil
+	if !ok {
+		if key, hints, lok := s.ladderRouteLocked(ProtoRTCP, at, src, dst, udpPayload); lok {
+			return key, hints
+		}
+	}
 	return s.classifyRTCPFlowLocked(at, src, dst, ok)
 }
 
@@ -1252,6 +1354,25 @@ func (s *ShardedEngine) Stats() EngineStats {
 	return st
 }
 
+// DistillerStats returns the summed classification counters of every
+// shard's distiller (plus any restored checkpoint's folded history). The
+// router drops traffic no correlator claims and frames that fail
+// link/IP/UDP decode before any shard distiller sees them, so Ignored
+// and DecodeError cover only shipped traffic here; the classification
+// counters (SIP/RTP/RTCP/Acct/Raw/Mismatched) account every frame that
+// reached a shard, matching the serial engine's counts for the same
+// input. Like Stats, it reads published snapshots and never blocks on a
+// shard.
+func (s *ShardedEngine) DistillerStats() DistillerStats {
+	var st DistillerStats
+	for _, w := range s.workers {
+		w.resMu.Lock()
+		st = addDistillerStats(st, w.pub.dstats)
+		w.resMu.Unlock()
+	}
+	return addDistillerStats(st, s.restoredDstats)
+}
+
 // ShardHealth reports per-shard liveness and drop accounting. After a
 // Flush, FramesRouted == FramesProcessed + FramesShed for every shard
 // that is not mid-stall.
@@ -1642,7 +1763,7 @@ func (w *shardWorker) processFrame(idx uint64, at time.Duration, frame []byte, h
 // keep the serial output order).
 func (w *shardWorker) processStreamMessage(idx uint64, sm shippedMsg) {
 	e := w.eng
-	e.distiller.distillStreamMessage(sm.at, sm.src, sm.dst, sm.payload, &e.view)
+	e.distiller.distillStreamMessage(sm.at, sm.src, sm.dst, sm.payload, sm.kind, &e.view)
 	e.stats.Footprints++
 	e.evScratch = e.evScratch[:0]
 	e.gen.ProcessView(&e.view, sm.hints, &e.evScratch)
@@ -1683,6 +1804,7 @@ func (w *shardWorker) publish() {
 	w.resMu.Lock()
 	defer w.resMu.Unlock()
 	w.pub.stats = addStats(w.base.stats, e.Stats())
+	w.pub.dstats = addDistillerStats(w.base.dstats, e.distiller.stats)
 	if v := e.rules.version; v != w.pubVer {
 		w.pubVer = v
 		w.pub.alerts = append(append(w.pub.alerts[:0], w.base.alerts...), e.rules.alerts...)
@@ -1722,6 +1844,7 @@ func (w *shardWorker) restartEngine(at time.Duration) {
 	w.syncTags()
 	e := w.eng
 	w.base.stats = addStats(w.base.stats, e.Stats())
+	w.base.dstats = addDistillerStats(w.base.dstats, e.distiller.stats)
 	w.base.alerts = append(w.base.alerts, e.rules.alerts...)
 	w.base.alertTags = append(w.base.alertTags, w.alertTags...)
 	w.base.events = append(w.base.events, e.events...)

@@ -33,6 +33,13 @@ func (c *sipCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
 	return ProtoOther, false
 }
 
+// contentConfirmer: a plausible SIP start line nominates the payload for
+// reclassification off ports that claimed another protocol. The sniff is
+// only the nomination — the reclassification ladder still requires a
+// full parse before the frame counts as SIP (classify.go).
+func (c *sipCorrelator) contentProto() Protocol             { return ProtoSIP }
+func (c *sipCorrelator) confirmContent(payload []byte) bool { return sniffSIPStart(payload) }
+
 func (c *sipCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
 	if v.Proto != ProtoSIP {
 		return

@@ -49,7 +49,7 @@ import (
 
 const (
 	snapMagic   = "SCDV"
-	snapVersion = 4
+	snapVersion = 5
 
 	snapKindSerial  = 0
 	snapKindSharded = 1
@@ -321,9 +321,11 @@ func readSnapHeader(r *snapReader) snapHeader {
 	}
 	if v := r.u8(); r.err == nil && v != snapVersion {
 		if v == 2 {
-			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only v4 checkpoints — re-capture a checkpoint with this build")
+			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only v5 checkpoints — re-capture a checkpoint with this build")
 		} else if v == 3 {
-			r.fail("core: checkpoint is format v3 (pre-stream-transport); this build reads only v4 checkpoints — re-capture a checkpoint with this build")
+			r.fail("core: checkpoint is format v3 (pre-stream-transport); this build reads only v5 checkpoints — re-capture a checkpoint with this build")
+		} else if v == 4 {
+			r.fail("core: checkpoint is format v4 (pre-classification-ledger); this build reads only v5 checkpoints — re-capture a checkpoint with this build")
 		} else {
 			r.fail("core: unsupported checkpoint format version %d (this build reads version %d); re-capture a checkpoint with this build", v, snapVersion)
 		}
@@ -540,14 +542,14 @@ func readEngineStats(r *snapReader) EngineStats {
 }
 
 func writeDistillerStats(w *snapWriter, st DistillerStats) {
-	for _, v := range []int{st.Frames, st.Fragments, st.DecodeError, st.SIP, st.RTP, st.RTCP, st.Acct, st.Raw, st.Ignored} {
+	for _, v := range []int{st.Frames, st.Fragments, st.DecodeError, st.SIP, st.RTP, st.RTCP, st.Acct, st.Raw, st.Ignored, st.Mismatched, st.Streamed, st.StreamMsgs} {
 		w.vint(v)
 	}
 }
 
 func readDistillerStats(r *snapReader) DistillerStats {
 	var st DistillerStats
-	for _, p := range []*int{&st.Frames, &st.Fragments, &st.DecodeError, &st.SIP, &st.RTP, &st.RTCP, &st.Acct, &st.Raw, &st.Ignored} {
+	for _, p := range []*int{&st.Frames, &st.Fragments, &st.DecodeError, &st.SIP, &st.RTP, &st.RTCP, &st.Acct, &st.Raw, &st.Ignored, &st.Mismatched, &st.Streamed, &st.StreamMsgs} {
 		*p = r.vint()
 	}
 	return st

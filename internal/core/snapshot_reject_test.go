@@ -262,10 +262,10 @@ func TestResumeRejectsV2Checkpoint(t *testing.T) {
 		t.Fatalf("no preserved v2 golden: %v", err)
 	}
 	eng := core.NewEngine(core.Config{}, core.WithEventLog())
-	expectRejection(t, eng, data, "format v2", "only v4", "re-capture")
+	expectRejection(t, eng, data, "format v2", "only v5", "re-capture")
 	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	defer sh.Close()
-	expectRejection(t, sh, data, "format v2", "only v4", "re-capture")
+	expectRejection(t, sh, data, "format v2", "only v5", "re-capture")
 }
 
 // TestResumeRejectsV3Checkpoint: a pre-stream-transport (v3) checkpoint —
@@ -279,10 +279,10 @@ func TestResumeRejectsV3Checkpoint(t *testing.T) {
 		t.Fatalf("no preserved v3 golden: %v", err)
 	}
 	eng := core.NewEngine(core.Config{}, core.WithEventLog())
-	expectRejection(t, eng, data, "format v3", "only v4", "re-capture")
+	expectRejection(t, eng, data, "format v3", "only v5", "re-capture")
 	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	defer sh.Close()
-	expectRejection(t, sh, data, "format v3", "only v4", "re-capture")
+	expectRejection(t, sh, data, "format v3", "only v5", "re-capture")
 }
 
 // TestResumeRejectsCorruptSessionRecords: corruption INSIDE the v3
@@ -295,8 +295,10 @@ func TestResumeRejectsCorruptSessionRecords(t *testing.T) {
 
 	garbled := append([]byte(nil), snap...)
 	// Stomp a length prefix mid-body: the bounded count/take readers must
-	// refuse it wherever it lands.
-	for i := len(garbled) / 2; i < len(garbled)/2+4; i++ {
+	// refuse it. The offset targets the session-keyed records (retune it
+	// when a format change moves raw frame bytes — the one region where a
+	// stomp alters content without breaking structure — under it).
+	for i := len(garbled)/2 + 8; i < len(garbled)/2+12; i++ {
 		garbled[i] = 0xFF
 	}
 	garbled = restampChecksum(garbled)

@@ -54,6 +54,9 @@ func addDistillerStats(a, b DistillerStats) DistillerStats {
 	a.Acct += b.Acct
 	a.Raw += b.Raw
 	a.Ignored += b.Ignored
+	a.Mismatched += b.Mismatched
+	a.Streamed += b.Streamed
+	a.StreamMsgs += b.StreamMsgs
 	return a
 }
 

@@ -8,14 +8,29 @@ import (
 	"scidive/internal/sip"
 )
 
-// streamMsg is one complete SIP message extracted from a TCP stream. The
-// payload aliases the flow framer's internal buffer, so it is only valid
-// until that framer's next Push — consumers that retain bytes (the
-// sharded router shipping to a worker) must copy.
+// streamKind distinguishes what a stream-extracted queue entry carries.
+type streamKind uint8
+
+const (
+	// streamKindMsg is a complete framed SIP message.
+	streamKindMsg streamKind = iota
+	// streamKindTunnel is a reassembled chunk whose content confirmed as
+	// a media packet (RTP/RTCP) tunneled over the SIP-claimed stream —
+	// the chunk bypassed SIP framing entirely (see classifyLadder's
+	// tunnelSniff).
+	streamKindTunnel
+)
+
+// streamMsg is one complete SIP message (or tunneled media chunk)
+// extracted from a TCP stream. The payload aliases the flow framer's (or
+// reassembler's) internal buffer, so it is only valid until that flow's
+// next Push — consumers that retain bytes (the sharded router shipping
+// to a worker) must copy.
 type streamMsg struct {
 	at       time.Duration
 	src, dst netip.AddrPort
 	payload  []byte
+	kind     streamKind
 }
 
 // streamMux is the stream-transport demux: a TCP stream reassembler plus
@@ -35,6 +50,13 @@ type streamMux struct {
 	// eviction callback can stamp self-alerts with the eviction time.
 	now     time.Duration
 	onEvict func(id packet.StreamID, at time.Duration)
+
+	// sniff, when set, inspects each reassembled chunk arriving while the
+	// direction's framer holds no partial message: a chunk confirming as
+	// media content (RTP/RTCP tunneled over the SIP stream) is queued as a
+	// streamKindTunnel entry instead of being fed to the SIP framer, where
+	// its binary bytes would only poison the framing buffer.
+	sniff func(chunk []byte) (Protocol, bool)
 }
 
 func newStreamMux() *streamMux {
@@ -71,6 +93,12 @@ func (m *streamMux) push(at time.Duration, src, dst netip.AddrPort, h packet.TCP
 		m.framers[id] = fr
 	}
 	closed := m.reasm.Push(id, h, payload, at, func(b []byte) {
+		if m.sniff != nil && fr.PendingBytes() == 0 {
+			if _, ok := m.sniff(b); ok {
+				m.queue = append(m.queue, streamMsg{at: at, src: src, dst: dst, payload: b, kind: streamKindTunnel})
+				return
+			}
+		}
 		fr.Push(b, func(msg []byte) {
 			m.queue = append(m.queue, streamMsg{at: at, src: src, dst: dst, payload: msg})
 		})

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/attack"
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/rtp"
+	"scidive/internal/scenario"
+	"scidive/internal/sdp"
+	"scidive/internal/sip"
+)
+
+// The evasion scenarios attack the classifier itself: traffic shaped so
+// a port-only protocol classifier files it under the wrong decoder and
+// the rules that would match it never see it. Each runs over a scripted
+// trunk dialog (the tcptrunk.go deployment) in both transports, and the
+// IDS's content-confirmed classification must raise protocol-mismatch /
+// evasion-suspect self-alerts identically on the serial and sharded
+// engines:
+//
+//	rtptunnel  RTP media sent at the SIP signaling port (UDP datagrams,
+//	           or injected into the TCP trunk stream) — the media flow a
+//	           port-only classifier would hand to the SIP parser and drop
+//	sipinrtp   a forged BYE smuggled as the payload of well-formed RTP
+//	           packets on the media path — the outer header decodes
+//	           cleanly, so only payload inspection sees the signaling
+//	torture    the RFC 4475-style torture corpus (internal/sip) fired at
+//	           the signaling port AND at the media port — hostile input
+//	           the pipeline must classify, account, and survive exactly
+
+// RunEvasion runs one evasion scenario. kind selects the attack family
+// ("rtptunnel", "sipinrtp", "torture"); stream selects the trunk's
+// signaling transport (true = TCP with the evasion payloads injected
+// into the stream, false = UDP datagrams).
+func RunEvasion(seed int64, kind string, stream bool, taps ...netsim.Tap) (Outcome, error) {
+	sim := netsim.NewSimulator(seed)
+	net := netsim.NewNetwork(sim)
+	pbxA := net.MustAddHost("pbx-a", addrTrunkA)
+	pbxB := net.MustAddHost("pbx-b", addrTrunkB)
+	atkHost := net.MustAddHost("attacker", scenario.AddrAttacker)
+	atk, err := attack.NewAttacker(atkHost, net)
+	if err != nil {
+		return Outcome{}, err
+	}
+	eng := core.NewEngine(core.Config{})
+	eng.AttachTap(net)
+	for _, tap := range taps {
+		net.AddTap(tap)
+	}
+
+	wire := &trunkWire{variant: "udp"}
+	if stream {
+		wire.variant = "whole"
+		wire.flow = netsim.NewTCPFlow(net, pbxA, sip.DefaultPort, pbxB, sip.DefaultPort)
+	}
+	sigA := netip.AddrPortFrom(addrTrunkA, sip.DefaultPort)
+	sigB := netip.AddrPortFrom(addrTrunkB, sip.DefaultPort)
+	mediaA := netip.AddrPortFrom(addrTrunkA, 41000)
+	mediaB := netip.AddrPortFrom(addrTrunkB, 42000)
+	from := sip.Address{URI: sip.URI{User: "alice", Host: "trunk"}}.WithTag("a-tag-1")
+	to := sip.Address{URI: sip.URI{User: "bob", Host: "trunk"}}
+	const callID = "evasion-call-1@trunk"
+	via := sip.Via{Transport: "TCP", SentBy: addrTrunkA.String()}
+
+	inv := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodInvite,
+		RequestURI: "sip:bob@trunk",
+		From:       from, To: to,
+		CallID:   callID,
+		CSeq:     sip.CSeq{Seq: 1, Method: sip.MethodInvite},
+		Via:      via,
+		Body:     sdp.NewAudioSession("caller", mediaA.Addr(), mediaA.Port()).Marshal(),
+		BodyType: "application/sdp",
+	})
+	ringing := sip.NewResponse(inv, sip.StatusRinging, "b-tag-1")
+	ok200 := sip.NewResponse(inv, sip.StatusOK, "b-tag-1")
+	ok200.Headers.Add(sip.HdrContentType, "application/sdp")
+	ok200.Body = sdp.NewAudioSession("callee", mediaB.Addr(), mediaB.Port()).Marshal()
+	ack := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodAck,
+		RequestURI: "sip:bob@trunk",
+		From:       from, To: to.WithTag("b-tag-1"),
+		CallID: callID,
+		CSeq:   sip.CSeq{Seq: 1, Method: sip.MethodAck},
+		Via:    via,
+	})
+	// The signaling a sipinrtp attacker smuggles: an in-dialog BYE the
+	// monitor must never see as SIP.
+	smuggledBye := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodBye,
+		RequestURI: "sip:bob@trunk",
+		From:       from, To: to.WithTag("b-tag-1"),
+		CallID: callID,
+		CSeq:   sip.CSeq{Seq: 2, Method: sip.MethodBye},
+		Via:    via,
+	}).Marshal()
+
+	seqA, seqB := uint16(100), uint16(5000)
+	rtpPkt := func(seq uint16, ssrc uint32) []byte {
+		p := rtp.Packet{
+			Header:  rtp.Header{PayloadType: rtp.PayloadTypePCMU, Seq: seq, Timestamp: uint32(sim.Now() / time.Millisecond), SSRC: ssrc},
+			Payload: make([]byte, 160),
+		}
+		buf, err := p.Marshal()
+		if err != nil {
+			panic(err) // deterministic inputs; cannot fail
+		}
+		return buf
+	}
+	var scriptErr error
+	step := func(fn func() error) func() {
+		return func() {
+			if err := fn(); err != nil && scriptErr == nil {
+				scriptErr = err
+			}
+		}
+	}
+	// inject places attacker bytes on the signaling path: spoofed UDP
+	// datagrams at the trunk's SIP port, or spoofed in-sequence TCP
+	// segments continuing the caller's side of the stream.
+	inject := func(payload []byte) error {
+		if !stream {
+			return atk.SendSpoofed(sigA, sigB, payload)
+		}
+		if err := atk.SendSpoofedTCP(sigA, sigB, wire.flow.Seq(pbxA), payload); err != nil {
+			return err
+		}
+		wire.flow.SkipSeq(pbxA, len(payload))
+		return nil
+	}
+
+	if stream {
+		sim.Schedule(0, step(wire.flow.Open))
+	}
+	sim.Schedule(10*time.Millisecond, step(func() error { return wire.send(pbxA, pbxB, inv) }))
+	sim.Schedule(50*time.Millisecond, step(func() error { return wire.send(pbxB, pbxA, ringing, ok200) }))
+	sim.Schedule(70*time.Millisecond, step(func() error { return wire.send(pbxA, pbxB, ack) }))
+	// Two-way media establishes the legitimate flows the evasion traffic
+	// hides amongst.
+	for i := 0; i < 25; i++ {
+		at := 100*time.Millisecond + time.Duration(i)*20*time.Millisecond
+		sim.Schedule(at, step(func() error {
+			seqA++
+			if err := pbxA.SendUDP(mediaA.Port(), mediaB, rtpPkt(seqA, 0xAAAA0001)); err != nil {
+				return err
+			}
+			seqB++
+			return pbxB.SendUDP(mediaB.Port(), mediaA, rtpPkt(seqB, 0xBBBB0001))
+		}))
+	}
+
+	const attackAt = 700 * time.Millisecond
+	var impact string
+	switch kind {
+	case "rtptunnel":
+		// Six RTP packets on the signaling path: datagrams at port 5060, or
+		// in-sequence segments on the TCP trunk the framer would otherwise
+		// swallow as garbled SIP.
+		for i := 0; i < 6; i++ {
+			seq := uint16(9000 + i)
+			at := attackAt + time.Duration(i)*20*time.Millisecond
+			sim.Schedule(at, step(func() error {
+				return inject(attack.TunnelRTPPacket(seq, sim.Now(), 0xDEAD0001, 160))
+			}))
+		}
+		impact = "covert media rode the signaling port past a port-only classifier"
+	case "sipinrtp":
+		// Three well-formed RTP packets on the media path, each carrying the
+		// smuggled BYE as its payload. Over the TCP trunk the same wrapped
+		// packets are injected into the signaling stream.
+		for i := 0; i < 3; i++ {
+			seq := uint16(9100 + i)
+			at := attackAt + time.Duration(i)*20*time.Millisecond
+			if stream {
+				sim.Schedule(at, step(func() error {
+					buf, err := attack.SmuggledSIPInRTP(seq, sim.Now(), 0xBEEF0001, smuggledBye)
+					if err != nil {
+						return err
+					}
+					return inject(buf)
+				}))
+			} else {
+				sim.Schedule(at, step(func() error {
+					return atk.SmuggleSIPInRTP(mediaA, mediaB, seq, 0xBEEF0001, smuggledBye)
+				}))
+			}
+		}
+		impact = "signaling smuggled inside RTP payloads dodged the signaling monitor"
+	case "torture":
+		// The full torture corpus at the signaling path, then the same
+		// corpus at the media port — hostile signaling aimed wherever a
+		// port-only classifier least expects it.
+		corpus := sip.TortureCorpus()
+		for i, e := range corpus {
+			raw := e.Raw
+			at := attackAt + time.Duration(i)*10*time.Millisecond
+			sim.Schedule(at, step(func() error { return inject(raw) }))
+		}
+		mediaAt := attackAt + time.Duration(len(corpus))*10*time.Millisecond
+		sim.Schedule(mediaAt, step(func() error {
+			raws := make([][]byte, len(corpus))
+			for i, e := range corpus {
+				raws[i] = e.Raw
+			}
+			return atk.TortureReplay(mediaA, mediaB, raws)
+		}))
+		impact = "torture corpus replayed at signaling and media ports; pipeline survived"
+	default:
+		return Outcome{}, fmt.Errorf("experiments: unknown evasion kind %q", kind)
+	}
+
+	sim.RunUntil(2 * time.Second)
+	if scriptErr != nil {
+		return Outcome{}, fmt.Errorf("experiments: evasion script: %w", scriptErr)
+	}
+
+	name := "evasion-" + kind
+	if stream {
+		name += "-tcp"
+	}
+	o := Outcome{Name: name, Impact: impact, Alerts: eng.Alerts(), Stats: eng.Stats(), Distill: eng.DistillerStats()}
+	seen := map[string]bool{}
+	for _, a := range o.Alerts {
+		if a.At >= attackAt && !seen[a.Rule] {
+			seen[a.Rule] = true
+			o.RulesFired = append(o.RulesFired, a.Rule)
+			if !o.Detected || a.At-attackAt < o.DetectDelay {
+				o.Detected = true
+				o.DetectDelay = a.At - attackAt
+			}
+		}
+	}
+	return o, nil
+}

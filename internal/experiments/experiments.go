@@ -29,6 +29,7 @@ type Outcome struct {
 	Impact      string        // what happened to the victim
 	Alerts      []core.Alert
 	Stats       core.EngineStats
+	Distill     core.DistillerStats // classification ledger (incl. mismatches)
 }
 
 // String formats the outcome as a report line.
@@ -63,7 +64,7 @@ func deploy(seed int64, scfg scenario.Config, ecfg core.Config, taps ...netsim.T
 
 // outcome collects rule firings after a run.
 func (d *deployed) outcome(name string, attackAt time.Duration, impact string) Outcome {
-	o := Outcome{Name: name, Impact: impact, Alerts: d.eng.Alerts(), Stats: d.eng.Stats()}
+	o := Outcome{Name: name, Impact: impact, Alerts: d.eng.Alerts(), Stats: d.eng.Stats(), Distill: d.eng.DistillerStats()}
 	seen := map[string]bool{}
 	for _, a := range o.Alerts {
 		if a.At >= attackAt && !seen[a.Rule] {
@@ -315,7 +316,9 @@ func PhoneEventSummary(p *endpoint.Phone) string {
 func ScenarioNames() []string {
 	return []string{"benign", "bye", "fakeim", "hijack", "rtp", "rtp-crash", "flood", "guess", "billing", "rtcpbye",
 		"inviteflood", "fragflood", "rtpblast", "optionsscan",
-		"tcptrunk", "tcptrunk-split", "tcptrunk-coalesce", "tcptrunk-rst", "udptrunk"}
+		"tcptrunk", "tcptrunk-split", "tcptrunk-coalesce", "tcptrunk-rst", "udptrunk",
+		"evasion-rtptunnel", "evasion-rtptunnel-tcp", "evasion-sipinrtp", "evasion-sipinrtp-tcp",
+		"evasion-torture", "evasion-torture-tcp"}
 }
 
 // RunScenario dispatches a named scenario, attaching taps (e.g. a capture
@@ -360,6 +363,18 @@ func RunScenario(name string, seed int64, taps ...netsim.Tap) (Outcome, error) {
 		return RunTCPTrunk(seed, "rst", taps...)
 	case "udptrunk":
 		return RunTCPTrunk(seed, "udp", taps...)
+	case "evasion-rtptunnel":
+		return RunEvasion(seed, "rtptunnel", false, taps...)
+	case "evasion-rtptunnel-tcp":
+		return RunEvasion(seed, "rtptunnel", true, taps...)
+	case "evasion-sipinrtp":
+		return RunEvasion(seed, "sipinrtp", false, taps...)
+	case "evasion-sipinrtp-tcp":
+		return RunEvasion(seed, "sipinrtp", true, taps...)
+	case "evasion-torture":
+		return RunEvasion(seed, "torture", false, taps...)
+	case "evasion-torture-tcp":
+		return RunEvasion(seed, "torture", true, taps...)
 	default:
 		return Outcome{}, fmt.Errorf("experiments: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

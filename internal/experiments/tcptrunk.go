@@ -228,7 +228,7 @@ func RunTCPTrunk(seed int64, variant string, taps ...netsim.Tap) (Outcome, error
 
 	name := "tcptrunk-" + variant
 	o := Outcome{Name: name, Impact: "trunk peer tore down the dialog; caller media orphaned",
-		Alerts: eng.Alerts(), Stats: eng.Stats()}
+		Alerts: eng.Alerts(), Stats: eng.Stats(), Distill: eng.DistillerStats()}
 	seen := map[string]bool{}
 	for _, a := range o.Alerts {
 		if a.At >= attackAt && !seen[a.Rule] {

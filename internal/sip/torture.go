@@ -1,0 +1,88 @@
+package sip
+
+// Torture corpus in the spirit of RFC 4475: wire messages that are legal
+// but unusual (a conforming parser must accept them) and messages that
+// are subtly broken (a conforming parser must reject them, never panic,
+// never silently mangle). The parser's own torture tests run against
+// this set, and the IDS replays it end to end — over UDP datagrams and
+// TCP trunks — to prove the whole pipeline survives hostile signaling
+// with exact accounting (internal/experiments evasion-torture scenarios,
+// the core fuzz seeds, and the chaoscore hostile-replay suite).
+
+// TortureEntry is one torture message: its raw wire bytes and whether a
+// conforming parser must accept it.
+type TortureEntry struct {
+	Name  string
+	Raw   []byte
+	Legal bool
+}
+
+// TortureCorpus returns the torture message set. The returned entries
+// are freshly allocated on each call, so callers may mutate the Raw
+// slices freely (fuzz seeds do).
+func TortureCorpus() []TortureEntry {
+	legal := []struct{ name, raw string }{
+		{
+			"exotic display name and spacing",
+			"INVITE sip:bob@b.example SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKa\r\n" +
+				"Max-Forwards:    68   \r\n" +
+				"From:    \"J. \\\"Rock\\\" Star\"   <sip:jrs@a.example>;tag=12\r\n" +
+				"To: <sip:bob@b.example>\r\n" +
+				"Call-ID: oddspace@a\r\n" +
+				"CSeq:    1     INVITE\r\n\r\n",
+		},
+		{
+			"all compact headers",
+			"MESSAGE sip:u@h SIP/2.0\r\n" +
+				"v: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKb\r\n" +
+				"f: <sip:x@y>;tag=c\r\n" +
+				"t: <sip:u@h>\r\n" +
+				"i: compact2@t\r\n" +
+				"CSeq: 9 MESSAGE\r\n" +
+				"s: Greetings\r\n" +
+				"l: 2\r\n\r\nok",
+		},
+		{
+			"unknown method passes through",
+			"NEWFANGLED sip:u@h SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKc\r\nFrom: <sip:x@y>;tag=q\r\n" +
+				"To: <sip:u@h>\r\nCall-ID: nf@t\r\nCSeq: 1 NEWFANGLED\r\n\r\n",
+		},
+		{
+			"response with empty reason phrase",
+			"SIP/2.0 200 \r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKd\r\nFrom: <sip:x@y>;tag=q\r\n" +
+				"To: <sip:u@h>;tag=r\r\nCall-ID: er@t\r\nCSeq: 2 BYE\r\n\r\n",
+		},
+		{
+			"uri with many params",
+			"OPTIONS sip:u@h;transport=udp;lr;maddr=10.0.0.9 SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKe\r\nFrom: <sip:x@y>;tag=q\r\n" +
+				"To: <sip:u@h>\r\nCall-ID: up@t\r\nCSeq: 3 OPTIONS\r\n\r\n",
+		},
+		{
+			"multiple via hops",
+			"INVITE sip:b@h SIP/2.0\r\n" +
+				"Via: SIP/2.0/UDP proxy2:5060;branch=z9hG4bKf2\r\n" +
+				"Via: SIP/2.0/UDP proxy1:5060;branch=z9hG4bKf1\r\n" +
+				"Via: SIP/2.0/UDP ua:5060;branch=z9hG4bKf0\r\n" +
+				"From: <sip:x@y>;tag=q\r\nTo: <sip:b@h>\r\nCall-ID: mv@t\r\nCSeq: 1 INVITE\r\n\r\n",
+		},
+	}
+	broken := []struct{ name, raw string }{
+		{"null bytes in start line", "INV\x00ITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: n@t\r\nCSeq: 1 INV\x00ITE\r\n\r\n"},
+		{"negative content length", "OPTIONS sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: ncl@t\r\nCSeq: 1 OPTIONS\r\nContent-Length: -5\r\n\r\n"},
+		{"response code overflow", "SIP/2.0 2000000 OK\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: o@t\r\nCSeq: 1 INVITE\r\n\r\n"},
+		{"missing via entirely", "OPTIONS sip:a@b SIP/2.0\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: nv@t\r\nCSeq: 1 OPTIONS\r\n\r\n"},
+		{"via garbage", "OPTIONS sip:a@b SIP/2.0\r\nVia: %%%%\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: vg@t\r\nCSeq: 1 OPTIONS\r\n\r\n"},
+	}
+	out := make([]TortureEntry, 0, len(legal)+len(broken))
+	for _, e := range legal {
+		out = append(out, TortureEntry{Name: e.name, Raw: []byte(e.raw), Legal: true})
+	}
+	for _, e := range broken {
+		out = append(out, TortureEntry{Name: e.name, Raw: []byte(e.raw), Legal: false})
+	}
+	return out
+}

@@ -9,139 +9,113 @@ import (
 // Torture tests in the spirit of RFC 4475: messages that are legal but
 // unusual must parse; messages that are subtly broken must be rejected or
 // surfaced faithfully. The IDS depends on this parser never panicking and
-// never silently mangling header values.
+// never silently mangling header values. The raw messages live in the
+// exported TortureCorpus (torture.go) so the full pipeline can replay the
+// same set; the per-message semantic checks stay here.
+
+// tortureEntry fetches one corpus entry by name.
+func tortureEntry(t *testing.T, name string) TortureEntry {
+	t.Helper()
+	for _, e := range TortureCorpus() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("torture corpus has no entry %q", name)
+	return TortureEntry{}
+}
 
 func TestTortureLegalButUnusual(t *testing.T) {
-	tests := []struct {
-		name  string
-		raw   string
-		check func(t *testing.T, m *Message)
-	}{
-		{
-			name: "exotic display name and spacing",
-			raw: "INVITE sip:bob@b.example SIP/2.0\r\n" +
-				"Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKa\r\n" +
-				"Max-Forwards:    68   \r\n" +
-				"From:    \"J. \\\"Rock\\\" Star\"   <sip:jrs@a.example>;tag=12\r\n" +
-				"To: <sip:bob@b.example>\r\n" +
-				"Call-ID: oddspace@a\r\n" +
-				"CSeq:    1     INVITE\r\n\r\n",
-			check: func(t *testing.T, m *Message) {
-				if got := m.Headers.Get(HdrMaxForwards); got != "68" {
-					t.Errorf("Max-Forwards = %q", got)
-				}
-				cseq, err := m.CSeq()
-				if err != nil || cseq.Seq != 1 {
-					t.Errorf("CSeq = %+v err=%v", cseq, err)
-				}
-			},
+	checks := map[string]func(t *testing.T, m *Message){
+		"exotic display name and spacing": func(t *testing.T, m *Message) {
+			if got := m.Headers.Get(HdrMaxForwards); got != "68" {
+				t.Errorf("Max-Forwards = %q", got)
+			}
+			cseq, err := m.CSeq()
+			if err != nil || cseq.Seq != 1 {
+				t.Errorf("CSeq = %+v err=%v", cseq, err)
+			}
 		},
-		{
-			name: "all compact headers",
-			raw: "MESSAGE sip:u@h SIP/2.0\r\n" +
-				"v: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKb\r\n" +
-				"f: <sip:x@y>;tag=c\r\n" +
-				"t: <sip:u@h>\r\n" +
-				"i: compact2@t\r\n" +
-				"CSeq: 9 MESSAGE\r\n" +
-				"s: Greetings\r\n" +
-				"l: 2\r\n\r\nok",
-			check: func(t *testing.T, m *Message) {
-				if m.Headers.Get("Subject") != "Greetings" {
-					t.Errorf("Subject = %q", m.Headers.Get("Subject"))
-				}
-				if string(m.Body) != "ok" {
-					t.Errorf("Body = %q", m.Body)
-				}
-			},
+		"all compact headers": func(t *testing.T, m *Message) {
+			if m.Headers.Get("Subject") != "Greetings" {
+				t.Errorf("Subject = %q", m.Headers.Get("Subject"))
+			}
+			if string(m.Body) != "ok" {
+				t.Errorf("Body = %q", m.Body)
+			}
 		},
-		{
-			name: "unknown method passes through",
-			raw: "NEWFANGLED sip:u@h SIP/2.0\r\n" +
-				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKc\r\nFrom: <sip:x@y>;tag=q\r\n" +
-				"To: <sip:u@h>\r\nCall-ID: nf@t\r\nCSeq: 1 NEWFANGLED\r\n\r\n",
-			check: func(t *testing.T, m *Message) {
-				if m.Method != "NEWFANGLED" {
-					t.Errorf("Method = %q", m.Method)
-				}
-			},
+		"unknown method passes through": func(t *testing.T, m *Message) {
+			if m.Method != "NEWFANGLED" {
+				t.Errorf("Method = %q", m.Method)
+			}
 		},
-		{
-			name: "response with empty reason phrase",
-			raw: "SIP/2.0 200 \r\n" +
-				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKd\r\nFrom: <sip:x@y>;tag=q\r\n" +
-				"To: <sip:u@h>;tag=r\r\nCall-ID: er@t\r\nCSeq: 2 BYE\r\n\r\n",
-			check: func(t *testing.T, m *Message) {
-				if m.StatusCode != 200 || m.ReasonPhrase != "" {
-					t.Errorf("status = %d %q", m.StatusCode, m.ReasonPhrase)
-				}
-			},
+		"response with empty reason phrase": func(t *testing.T, m *Message) {
+			if m.StatusCode != 200 || m.ReasonPhrase != "" {
+				t.Errorf("status = %d %q", m.StatusCode, m.ReasonPhrase)
+			}
 		},
-		{
-			name: "uri with many params",
-			raw: "OPTIONS sip:u@h;transport=udp;lr;maddr=10.0.0.9 SIP/2.0\r\n" +
-				"Via: SIP/2.0/UDP 10.0.0.1;branch=z9hG4bKe\r\nFrom: <sip:x@y>;tag=q\r\n" +
-				"To: <sip:u@h>\r\nCall-ID: up@t\r\nCSeq: 3 OPTIONS\r\n\r\n",
-			check: func(t *testing.T, m *Message) {
-				u, err := ParseURI(m.RequestURI)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if u.Params["transport"] != "udp" || u.Params["maddr"] != "10.0.0.9" {
-					t.Errorf("params = %v", u.Params)
-				}
-				if _, ok := u.Params["lr"]; !ok {
-					t.Error("lr param lost")
-				}
-			},
+		"uri with many params": func(t *testing.T, m *Message) {
+			u, err := ParseURI(m.RequestURI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u.Params["transport"] != "udp" || u.Params["maddr"] != "10.0.0.9" {
+				t.Errorf("params = %v", u.Params)
+			}
+			if _, ok := u.Params["lr"]; !ok {
+				t.Error("lr param lost")
+			}
 		},
-		{
-			name: "multiple via hops",
-			raw: "INVITE sip:b@h SIP/2.0\r\n" +
-				"Via: SIP/2.0/UDP proxy2:5060;branch=z9hG4bKf2\r\n" +
-				"Via: SIP/2.0/UDP proxy1:5060;branch=z9hG4bKf1\r\n" +
-				"Via: SIP/2.0/UDP ua:5060;branch=z9hG4bKf0\r\n" +
-				"From: <sip:x@y>;tag=q\r\nTo: <sip:b@h>\r\nCall-ID: mv@t\r\nCSeq: 1 INVITE\r\n\r\n",
-			check: func(t *testing.T, m *Message) {
-				vias := m.Headers.Values(HdrVia)
-				if len(vias) != 3 {
-					t.Fatalf("via count = %d", len(vias))
-				}
-				top, err := m.TopVia()
-				if err != nil || top.SentBy != "proxy2:5060" {
-					t.Errorf("top via = %+v err=%v", top, err)
-				}
-			},
+		"multiple via hops": func(t *testing.T, m *Message) {
+			vias := m.Headers.Values(HdrVia)
+			if len(vias) != 3 {
+				t.Fatalf("via count = %d", len(vias))
+			}
+			top, err := m.TopVia()
+			if err != nil || top.SentBy != "proxy2:5060" {
+				t.Errorf("top via = %+v err=%v", top, err)
+			}
 		},
 	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			m, err := ParseMessage([]byte(tt.raw))
+	seen := 0
+	for _, e := range TortureCorpus() {
+		if !e.Legal {
+			continue
+		}
+		seen++
+		check, ok := checks[e.Name]
+		if !ok {
+			t.Errorf("legal corpus entry %q has no semantic check", e.Name)
+			continue
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			m, err := ParseMessage(e.Raw)
 			if err != nil {
 				t.Fatalf("ParseMessage: %v", err)
 			}
-			tt.check(t, m)
+			check(t, m)
 		})
+	}
+	if seen != len(checks) {
+		t.Errorf("corpus has %d legal entries, checks cover %d", seen, len(checks))
 	}
 }
 
 func TestTortureBroken(t *testing.T) {
-	tests := []struct {
-		name string
-		raw  string
-	}{
-		{"null bytes in start line", "INV\x00ITE sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: n@t\r\nCSeq: 1 INV\x00ITE\r\n\r\n"},
-		{"negative content length", "OPTIONS sip:a@b SIP/2.0\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: ncl@t\r\nCSeq: 1 OPTIONS\r\nContent-Length: -5\r\n\r\n"},
-		{"response code overflow", "SIP/2.0 2000000 OK\r\nVia: SIP/2.0/UDP h\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: o@t\r\nCSeq: 1 INVITE\r\n\r\n"},
-		{"missing via entirely", "OPTIONS sip:a@b SIP/2.0\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: nv@t\r\nCSeq: 1 OPTIONS\r\n\r\n"},
-		{"via garbage", "OPTIONS sip:a@b SIP/2.0\r\nVia: %%%%\r\nFrom: <sip:x@y>\r\nTo: <sip:a@b>\r\nCall-ID: vg@t\r\nCSeq: 1 OPTIONS\r\n\r\n"},
-	}
-	for _, tt := range tests {
-		t.Run(tt.name, func(t *testing.T) {
-			if _, err := ParseMessage([]byte(tt.raw)); err == nil {
-				t.Errorf("parser accepted %s", tt.name)
+	seen := 0
+	for _, e := range TortureCorpus() {
+		if e.Legal {
+			continue
+		}
+		seen++
+		t.Run(e.Name, func(t *testing.T) {
+			if _, err := ParseMessage(e.Raw); err == nil {
+				t.Errorf("parser accepted %s", e.Name)
 			}
 		})
+	}
+	if seen == 0 {
+		t.Fatal("torture corpus has no broken entries")
 	}
 }
 
