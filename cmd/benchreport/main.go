@@ -7,7 +7,7 @@
 //	benchreport -exp table1   # one artifact
 //
 // Experiments: table1, fig1, fig5, fig6, fig7, fig8, delay, pm, pf,
-// billing, stateful, sharded, restartloss, hotpath, evasion.
+// billing, stateful, sharded, restartloss, hotpath, evasion, coop.
 package main
 
 import (
@@ -27,11 +27,11 @@ func main() {
 	}
 }
 
-var order = []string{"table1", "fig1", "fig5", "fig6", "fig7", "fig8", "delay", "wire", "pm", "pf", "billing", "stateful", "sharded", "restartloss", "hotpath", "evasion"}
+var order = []string{"table1", "fig1", "fig5", "fig6", "fig7", "fig8", "delay", "wire", "pm", "pf", "billing", "stateful", "sharded", "restartloss", "hotpath", "evasion", "coop"}
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to regenerate (all, table1, fig1, fig5..fig8, delay, pm, pf, billing, stateful, sharded, restartloss, hotpath, evasion)")
+	exp := fs.String("exp", "all", "experiment to regenerate (all, table1, fig1, fig5..fig8, delay, pm, pf, billing, stateful, sharded, restartloss, hotpath, evasion, coop)")
 	seed := fs.Int64("seed", 1, "simulation random seed")
 	trials := fs.Int("trials", 100000, "Monte Carlo trials for the Section 4.3 analysis")
 	jsonPath := fs.String("json", "", "for -exp sharded/hotpath: also write the measured numbers to this JSON file")
@@ -115,6 +115,8 @@ func runOne(name string, seed int64, trials int, jsonPath string, out io.Writer)
 		fmt.Fprint(out, experiments.FormatStatefulComparison(cmp))
 	case "evasion":
 		return runEvasion(out, seed)
+	case "coop":
+		return runCoop(out, seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"scidive/internal/coop"
+	"scidive/internal/core"
+)
+
+// Digest stream files (-digest-out / -aggregate) hold a probe's exported
+// evidence: a fixed header followed by length-prefixed digest frames in
+// the exact wire encoding probes ship over the control port.
+const (
+	digestFileMagic   = "SCDF"
+	digestFileVersion = 1
+	// digestChunkEvents caps how many events ride in one digest frame;
+	// the probe cuts a new frame past it so single frames stay small
+	// enough to ship (and budgets never silently shed in file mode).
+	digestChunkEvents = 64
+)
+
+// probeExporter adapts the core Exporter to the CLI: it observes the
+// engine's event stream, cuts digests in fixed-size chunks, and spools
+// the encoded frames for the end-of-run file write.
+type probeExporter struct {
+	point    string
+	exporter *core.Exporter
+	frames   [][]byte
+}
+
+// newProbeExporter parses the -export spec ("" = every event type) and
+// hooks the exporter into the engine's event callback.
+func newProbeExporter(point, exportSpec string, limits core.Limits, eng idsEngine) (*probeExporter, error) {
+	var types []core.EventType
+	if exportSpec != "" {
+		for _, name := range strings.Split(exportSpec, ",") {
+			name = strings.TrimSpace(name)
+			t, ok := core.EventTypeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("-export: unknown event type %q", name)
+			}
+			types = append(types, t)
+		}
+	}
+	p := &probeExporter{point: point, exporter: core.NewExporter(limits, types...)}
+	eng.OnEvent(func(ev core.Event) {
+		p.exporter.Observe(ev)
+		if p.exporter.Pending() >= digestChunkEvents {
+			p.cut()
+		}
+	})
+	return p, nil
+}
+
+// cut flushes pending events into one encoded digest frame.
+func (p *probeExporter) cut() {
+	if d := p.exporter.Flush(p.point); d != nil {
+		p.frames = append(p.frames, core.EncodeDigest(d))
+	}
+}
+
+// WriteFile cuts the final digest and writes the stream file.
+func (p *probeExporter) WriteFile(path string) error {
+	p.cut()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header := append([]byte(digestFileMagic), digestFileVersion)
+	if _, err := f.Write(header); err != nil {
+		return err
+	}
+	var lenbuf [4]byte
+	for _, frame := range p.frames {
+		binary.BigEndian.PutUint32(lenbuf[:], uint32(len(frame)))
+		if _, err := f.Write(lenbuf[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(frame); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// readDigestFile parses a digest stream file into its frames.
+func readDigestFile(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	header := len(digestFileMagic) + 1
+	if len(data) < header || string(data[:4]) != digestFileMagic {
+		return nil, fmt.Errorf("%s: not a digest stream file", path)
+	}
+	if data[4] != digestFileVersion {
+		return nil, fmt.Errorf("%s: digest stream version %d (this build reads only v%d)", path, data[4], digestFileVersion)
+	}
+	var frames [][]byte
+	rest := data[header:]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%s: truncated frame length", path)
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, fmt.Errorf("%s: truncated digest frame", path)
+		}
+		frames = append(frames, rest[:n])
+		rest = rest[n:]
+	}
+	return frames, nil
+}
+
+// runAggregate merges digest stream files from several probes through
+// the cross-point ruleset and reports the alerts only the combined
+// evidence can raise. The merge is deterministic: alerts depend on the
+// digests' content, not on file order or arrival interleaving.
+func runAggregate(paths []string, rules []core.Rule, jsonOut bool, out io.Writer) error {
+	if len(paths) == 0 {
+		return errors.New("-aggregate needs digest stream files as arguments")
+	}
+	if rules == nil {
+		rules = core.CrossPointRuleset()
+	}
+	agg := coop.NewAggregator(coop.AggregatorConfig{Rules: rules})
+	var src netip.AddrPort // ack-less: no transport, zero source
+	var last time.Duration
+	for _, path := range paths {
+		frames, err := readDigestFile(path)
+		if err != nil {
+			return err
+		}
+		for _, frame := range frames {
+			if d, err := core.DecodeDigest(frame); err == nil {
+				for _, ev := range d.Events {
+					if ev.At > last {
+						last = ev.At
+					}
+				}
+			}
+			agg.HandleDigest(src, frame)
+		}
+	}
+	agg.Finalize(last)
+	alerts := agg.Alerts()
+	if jsonOut {
+		return writeAlertsJSON(out, alerts)
+	}
+	fmt.Fprintln(out, "=== cross-point alerts ===")
+	if len(alerts) == 0 {
+		fmt.Fprintln(out, "(none)")
+	}
+	for _, a := range alerts {
+		fmt.Fprintln(out, a)
+	}
+	st := agg.Stats()
+	points := agg.Points()
+	sort.Strings(points)
+	fmt.Fprintf(out, "=== aggregator ===\ndigests=%d buffered=%d duplicates=%d corrupt=%d events=%d probes=%s\n",
+		st.DigestsAccepted, st.DigestsBuffered, st.DuplicatesDropped, st.CorruptDropped,
+		st.EventsMerged, strings.Join(points, ","))
+	return nil
+}

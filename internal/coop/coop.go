@@ -1,288 +1,65 @@
 // Package coop implements the cooperative detection architecture the
-// SCIDIVE paper sketches in Sections 3.3 and 6: SCIDIVE instances
-// deployed on each VoIP endpoint that "exchange event objects ... to
-// enhance the overall detection accuracy".
+// SCIDIVE paper sketches in Sections 3.3 and 6: multiple SCIDIVE
+// instances at different observation points that "exchange event objects
+// ... to enhance the overall detection accuracy".
 //
-// Each Detector wraps a core.Engine fed only with its own host's traffic
-// (the end-point deployment of Figure 3, unlike the hub-tap appliance),
-// and broadcasts a compact summary of selected events to its peers over
-// the same network, as real control traffic. A correlator combines local
-// observations with peer events to catch attacks a single endpoint
-// cannot — the canonical case being a fake instant message whose source
-// IP is spoofed to the impersonated sender's address: the victim's local
-// rule sees a consistent source, but the impersonated endpoint's detector
-// never observed an outgoing message, and the absence is the evidence.
+// The package has two layers:
+//
+//   - Probe / Aggregator are the cluster-scale building blocks. A Probe
+//     wraps any engine's event-export surface (core.Exporter over the
+//     OnEvent hook) and ships selected events to one or more aggregators
+//     as sequence-numbered digests — real control traffic on the digest
+//     port, with retransmission until acknowledged. An Aggregator
+//     receives digest streams from many probes, tracks per-probe
+//     sequence cursors (duplicates dropped, gaps raised as self-alerts),
+//     and feeds the merged stream to a standard core.RuleEngine running
+//     cross-point rules (core.CrossPointRuleset) — patterns that qualify
+//     steps by observation point and so catch attacks no single probe
+//     can see.
+//
+//   - Detector is the endpoint-resident deployment built from those
+//     blocks: one engine per VoIP endpoint fed only with its own host's
+//     traffic, a probe exporting the events its user's actions produce,
+//     and an aggregator running the cross-point fake-IM rule. The
+//     canonical catch is a fake instant message whose source IP is
+//     spoofed to the impersonated sender's address: the victim's local
+//     rule sees a consistent source, but the impersonated endpoint's
+//     detector never observed an outgoing message, and the absence is
+//     the evidence.
 package coop
 
 import (
-	"fmt"
 	"net/netip"
-	"strconv"
-	"strings"
-	"time"
 
 	"scidive/internal/core"
 	"scidive/internal/netsim"
-	"scidive/internal/packet"
-	"scidive/internal/sip"
 )
 
-// DefaultPort is the UDP port detectors exchange events on.
-const DefaultPort = 7100
+// DefaultPort is the UDP control port probes, aggregators and detectors
+// exchange digests and acknowledgements on. It aliases
+// core.DefaultDigestPort: the engine's control correlator claims the
+// same port, so monitored links carrying digest traffic raise nothing.
+const DefaultPort = core.DefaultDigestPort
 
-// wire message kinds.
-const (
-	msgIMSent = "IMSENT" // this endpoint's user sent an instant message
-)
-
-// PeerEvent is one event received from a peer detector.
-type PeerEvent struct {
-	At   time.Duration // sender's virtual timestamp
-	Kind string
-	From string // claimed sender AOR
-	To   string // recipient user
-}
-
-// Alert is a cooperative detection result.
-type Alert struct {
-	At     time.Duration
-	Rule   string
-	Detail string
-}
-
-// Cooperative rule names.
-const (
-	// RuleCoopFakeIM fires when a received IM has no matching send event
-	// from the impersonated sender's detector.
-	RuleCoopFakeIM = "coop-fake-im"
-	// RuleCoopSelfSpoof fires when a frame claiming this host's own source
-	// address arrives inbound on its NIC — on a switched or hub LAN a host
-	// never hears its own transmissions echoed, so such a frame is forged.
-	RuleCoopSelfSpoof = "coop-self-spoof"
-)
-
-// Config configures a Detector.
-type Config struct {
-	// Host is the endpoint this detector protects.
-	Host *netsim.Host
-	// User is the AOR of the protected endpoint's user.
-	User string
-	// Peers are the exchange addresses of the other detectors.
-	Peers []netip.AddrPort
-	// Port is the local exchange port (default DefaultPort).
-	Port uint16
-	// CorrelationGrace is how long the correlator waits for a matching
-	// peer event before raising an alarm (covers exchange latency).
-	// Default 250ms.
-	CorrelationGrace time.Duration
-	// Engine tunes the wrapped SCIDIVE engine.
-	Engine core.Config
-}
-
-// Detector is one endpoint-resident SCIDIVE instance with an event
-// exchange channel.
-type Detector struct {
-	cfg    Config
-	engine *core.Engine
-	sim    *netsim.Simulator
-
-	peerEvents []PeerEvent
-	alerts     []Alert
-	alerted    map[string]bool
-
-	// Stats.
-	ControlSent int // exchange messages transmitted
-	ControlRecv int // exchange messages received
-}
-
-// NewDetector deploys a detector on cfg.Host, capturing both directions
-// of the host's traffic (receive via promiscuous mode, transmit via the
-// NIC transmit tap). Frames not addressed to or from the host are
-// discarded before the engine (end-point IDS semantics: the paper's
-// prototype "does not look into" other hosts' traffic).
-func NewDetector(cfg Config) (*Detector, error) {
-	if cfg.Host == nil {
-		return nil, fmt.Errorf("coop: nil host")
+// Bind attaches a probe and/or an aggregator to a host's control port,
+// muxing the two control-plane frame kinds: digests go to the
+// aggregator, acknowledgements to the probe. Either may be nil. A
+// Detector (or any deployment co-locating both on one host) must share
+// the port this way; a standalone probe or aggregator can use it too.
+func Bind(host *netsim.Host, port uint16, p *Probe, a *Aggregator) error {
+	if port == 0 {
+		port = DefaultPort
 	}
-	if cfg.Port == 0 {
-		cfg.Port = DefaultPort
-	}
-	if cfg.CorrelationGrace == 0 {
-		cfg.CorrelationGrace = 250 * time.Millisecond
-	}
-	d := &Detector{
-		cfg:     cfg,
-		engine:  core.NewEngine(cfg.Engine, core.WithEventLog()),
-		sim:     cfg.Host.Sim(),
-		alerted: make(map[string]bool),
-	}
-	cfg.Host.SetPromiscuous(d.handleRxFrame)
-	cfg.Host.SetTransmitTap(d.handleTxFrame)
-	if err := cfg.Host.BindUDP(cfg.Port, d.handleExchange); err != nil {
-		return nil, fmt.Errorf("coop: %w", err)
-	}
-	return d, nil
-}
-
-// Engine exposes the wrapped SCIDIVE engine.
-func (d *Detector) Engine() *core.Engine { return d.engine }
-
-// Alerts returns cooperative alerts raised so far.
-func (d *Detector) Alerts() []Alert { return append([]Alert(nil), d.alerts...) }
-
-// AlertsFor returns cooperative alerts for one rule.
-func (d *Detector) AlertsFor(rule string) []Alert {
-	var out []Alert
-	for _, a := range d.alerts {
-		if a.Rule == rule {
-			out = append(out, a)
-		}
-	}
-	return out
-}
-
-// PeerEvents returns the events received from peers.
-func (d *Detector) PeerEvents() []PeerEvent { return append([]PeerEvent(nil), d.peerEvents...) }
-
-// handleRxFrame processes frames arriving at the NIC.
-func (d *Detector) handleRxFrame(frame []byte) {
-	iph, ipPayload, ok := d.decodeIP(frame)
-	if !ok {
-		return
-	}
-	me := d.cfg.Host.IP()
-	if iph.Src != me && iph.Dst != me {
-		return // end-point IDS: not our traffic
-	}
-	if iph.Src == me {
-		// Inbound frame claiming our own address: forged. A host never
-		// hears its own transmissions echoed back.
-		d.raise(RuleCoopSelfSpoof, "self",
-			fmt.Sprintf("inbound frame spoofing our address %v (to %v)", me, iph.Dst))
-		// Fall through: the traffic still feeds the engine so the local
-		// rules can work on it too.
-	}
-	d.engine.HandleFrame(d.sim.Now(), frame)
-	if m := d.sipMessage(iph, ipPayload); m != nil && iph.Dst == me {
-		d.observeReceivedIM(m)
-	}
-}
-
-// handleTxFrame processes frames this host transmits.
-func (d *Detector) handleTxFrame(frame []byte) {
-	iph, ipPayload, ok := d.decodeIP(frame)
-	if !ok {
-		return
-	}
-	d.engine.HandleFrame(d.sim.Now(), frame)
-	m := d.sipMessage(iph, ipPayload)
-	if m == nil {
-		return
-	}
-	from, err := m.From()
-	if err != nil || from.URI.User != d.cfg.User {
-		return
-	}
-	to, err := m.To()
-	if err != nil {
-		return
-	}
-	// Our user really sent an instant message: tell the peers.
-	d.broadcast(fmt.Sprintf("%s %d %s %s", msgIMSent, d.sim.Now().Nanoseconds(),
-		from.URI.AOR(), to.URI.User))
-}
-
-// decodeIP decodes the Ethernet/IPv4 layers of a frame.
-func (d *Detector) decodeIP(frame []byte) (packet.IPv4Header, []byte, bool) {
-	ef, err := packet.UnmarshalEthernet(frame)
-	if err != nil || ef.Type != packet.EtherTypeIPv4 {
-		return packet.IPv4Header{}, nil, false
-	}
-	iph, ipPayload, err := packet.UnmarshalIPv4(ef.Payload)
-	if err != nil {
-		return packet.IPv4Header{}, nil, false
-	}
-	return iph, ipPayload, true
-}
-
-// sipMessage extracts a SIP MESSAGE request from a decoded IP packet, or
-// nil.
-func (d *Detector) sipMessage(iph packet.IPv4Header, ipPayload []byte) *sip.Message {
-	if iph.Protocol != packet.ProtoUDP {
-		return nil
-	}
-	uh, udpPayload, err := packet.UnmarshalUDP(iph.Src, iph.Dst, ipPayload)
-	if err != nil || (uh.SrcPort != sip.DefaultPort && uh.DstPort != sip.DefaultPort) {
-		return nil
-	}
-	m, err := sip.ParseMessage(udpPayload)
-	if err != nil || !m.IsRequest() || m.Method != sip.MethodMessage {
-		return nil
-	}
-	return m
-}
-
-// observeReceivedIM schedules cross-detector correlation for an incoming
-// instant message.
-func (d *Detector) observeReceivedIM(m *sip.Message) {
-	from, err1 := m.From()
-	to, err2 := m.To()
-	if err1 != nil || err2 != nil {
-		return
-	}
-	d.scheduleIMCorrelation(from.URI.AOR(), to.URI.User, d.sim.Now())
-}
-
-// raise records a deduplicated cooperative alert.
-func (d *Detector) raise(rule, key, detail string) {
-	k := rule + "|" + key
-	if d.alerted[k] {
-		return
-	}
-	d.alerted[k] = true
-	d.alerts = append(d.alerts, Alert{At: d.sim.Now(), Rule: rule, Detail: detail})
-}
-
-// broadcast sends one control message to every peer.
-func (d *Detector) broadcast(line string) {
-	for _, peer := range d.cfg.Peers {
-		if err := d.cfg.Host.SendUDP(d.cfg.Port, peer, []byte(line)); err == nil {
-			d.ControlSent++
-		}
-	}
-}
-
-// handleExchange receives control messages from peers.
-func (d *Detector) handleExchange(_ netip.AddrPort, payload []byte) {
-	f := strings.Fields(string(payload))
-	if len(f) != 4 || f[0] != msgIMSent {
-		return
-	}
-	ns, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return
-	}
-	d.ControlRecv++
-	d.peerEvents = append(d.peerEvents, PeerEvent{
-		At: time.Duration(ns), Kind: msgIMSent, From: f[2], To: f[3],
-	})
-}
-
-// scheduleIMCorrelation waits out the exchange grace, then checks whether
-// any peer vouched for the message.
-func (d *Detector) scheduleIMCorrelation(fromAOR, toUser string, receivedAt time.Duration) {
-	d.sim.Schedule(d.cfg.CorrelationGrace, func() {
-		for _, pe := range d.peerEvents {
-			if pe.Kind != msgIMSent || pe.From != fromAOR || pe.To != toUser {
-				continue
+	return host.BindUDP(port, func(src netip.AddrPort, payload []byte) {
+		switch {
+		case core.IsDigest(payload):
+			if a != nil {
+				a.HandleDigest(src, payload)
 			}
-			// A peer saw its user send this message near the receive time.
-			if delta := receivedAt - pe.At; delta > -d.cfg.CorrelationGrace && delta < d.cfg.CorrelationGrace {
-				return
+		case core.IsDigestAck(payload):
+			if p != nil {
+				p.HandleAck(src, payload)
 			}
 		}
-		d.raise(RuleCoopFakeIM, fromAOR,
-			fmt.Sprintf("IM claiming %s received at %v, but %s's detector reported no matching send",
-				fromAOR, receivedAt, fromAOR))
 	})
 }

@@ -1,0 +1,296 @@
+package coop
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+)
+
+// wire message kinds (PeerEvent.Kind values).
+const (
+	msgIMSent = "IMSENT" // a peer's user sent an instant message
+)
+
+// PeerEvent is one event received from a peer detector, reconstructed
+// from its digests.
+type PeerEvent struct {
+	At   time.Duration // sender's virtual timestamp
+	Kind string
+	From string // claimed sender AOR
+	To   string // recipient user (no longer carried on the wire; empty)
+}
+
+// Alert is a cooperative detection result.
+type Alert struct {
+	At     time.Duration
+	Rule   string
+	Detail string
+}
+
+// Cooperative rule names.
+const (
+	// RuleCoopFakeIM fires when a received IM has no matching send event
+	// from the impersonated sender's detector.
+	RuleCoopFakeIM = "coop-fake-im"
+	// RuleCoopSelfSpoof fires when a frame claiming this host's own source
+	// address arrives inbound on its NIC — on a switched or hub LAN a host
+	// never hears its own transmissions echoed, so such a frame is forged.
+	RuleCoopSelfSpoof = "coop-self-spoof"
+)
+
+// Config configures a Detector.
+type Config struct {
+	// Host is the endpoint this detector protects.
+	Host *netsim.Host
+	// User is the AOR of the protected endpoint's user.
+	User string
+	// Peers are the exchange addresses of the other detectors.
+	Peers []netip.AddrPort
+	// Port is the local exchange port (default DefaultPort).
+	Port uint16
+	// CorrelationGrace is how long the correlator waits for a matching
+	// peer event before raising an alarm (covers exchange latency).
+	// Default 250ms.
+	CorrelationGrace time.Duration
+	// Engine tunes the wrapped SCIDIVE engine.
+	Engine core.Config
+}
+
+// frame provenance, set around each HandleFrame call so the engine's
+// OnEvent callback knows which direction produced an event.
+type provenance int
+
+const (
+	provNone     provenance = iota
+	provRxForMe             // received, addressed to this host
+	provRxOther             // received, merely overheard (src claims us, or promiscuous)
+	provTransmit            // this host's own transmission
+)
+
+// Detector is one endpoint-resident SCIDIVE instance with a cooperative
+// exchange channel. It is the Probe/Aggregator machinery deployed at an
+// endpoint: the probe exports the instant-message events this host's
+// user really transmits (transmit provenance only, so the detector
+// never vouches for traffic it merely overheard), and the aggregator
+// runs one cross-point absence rule — an IM received here with no
+// matching send event from the impersonated sender's detector within
+// the correlation grace is a fake.
+type Detector struct {
+	cfg    Config
+	engine *core.Engine
+	sim    *netsim.Simulator
+	probe  *Probe // nil without peers
+	agg    *Aggregator
+	point  string
+
+	feeding    provenance
+	peerEvents []PeerEvent
+	alerts     []Alert
+	alerted    map[string]bool
+
+	// Stats.
+	ControlSent int // digests transmitted (excluding retries and acks)
+	ControlRecv int // digests received from peers
+}
+
+// NewDetector deploys a detector on cfg.Host, capturing both directions
+// of the host's traffic (receive via promiscuous mode, transmit via the
+// NIC transmit tap). Frames not addressed to or from the host are
+// discarded before the engine (end-point IDS semantics: the paper's
+// prototype "does not look into" other hosts' traffic).
+func NewDetector(cfg Config) (*Detector, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("coop: nil host")
+	}
+	if cfg.Port == 0 {
+		cfg.Port = DefaultPort
+	}
+	if cfg.CorrelationGrace == 0 {
+		cfg.CorrelationGrace = 250 * time.Millisecond
+	}
+	if cfg.Engine.Gen.DigestPort == 0 {
+		// The wrapped engine must classify the exchange port as control
+		// traffic even when the deployment moved it off the default.
+		cfg.Engine.Gen.DigestPort = cfg.Port
+	}
+	d := &Detector{
+		cfg:     cfg,
+		engine:  core.NewEngine(cfg.Engine, core.WithEventLog()),
+		sim:     cfg.Host.Sim(),
+		point:   cfg.User,
+		alerted: make(map[string]bool),
+	}
+	d.agg = NewAggregator(AggregatorConfig{
+		Host:      cfg.Host,
+		Port:      cfg.Port,
+		Rules:     []core.Rule{fakeIMRule(d.point, cfg.CorrelationGrace)},
+		Immediate: true,
+	})
+	d.agg.RuleEngine().OnAlert(func(a core.Alert) {
+		d.alerts = append(d.alerts, Alert{At: a.At, Rule: a.Rule, Detail: a.Detail})
+	})
+	d.agg.OnDigest(func(dg *core.Digest) {
+		d.ControlRecv++
+		for _, ev := range dg.Events {
+			d.peerEvents = append(d.peerEvents, PeerEvent{
+				At: ev.At, Kind: msgIMSent, From: strings.TrimPrefix(ev.Session, "im:"),
+			})
+		}
+	})
+	if len(cfg.Peers) > 0 {
+		probe, err := NewProbe(ProbeConfig{
+			Host:        cfg.Host,
+			Point:       d.point,
+			Aggregators: cfg.Peers,
+			Port:        cfg.Port,
+			Export:      []core.EventType{core.EvSIPInstantMessage},
+			Limits:      cfg.Engine.Limits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.probe = probe
+	}
+	d.engine.OnEvent(d.onEvent)
+	cfg.Host.SetPromiscuous(d.handleRxFrame)
+	cfg.Host.SetTransmitTap(d.handleTxFrame)
+	if err := Bind(cfg.Host, cfg.Port, d.probe, d.agg); err != nil {
+		return nil, fmt.Errorf("coop: %w", err)
+	}
+	return d, nil
+}
+
+// fakeIMRule is the cross-point re-expression of the original
+// cooperative fake-IM check: an instant message observed at this
+// endpoint (the positive step) with no matching instant-message event
+// from any other observation point (the absent step) within the grace
+// is an impersonation. The correlation key is the event session —
+// "im:<sender AOR>" — so the vouch matches regardless of which Call-ID
+// each vantage saw.
+func fakeIMRule(selfPoint string, grace time.Duration) core.Rule {
+	return core.Rule{
+		Name:        RuleCoopFakeIM,
+		Description: "A received IM must be matched by a send event from the claimed sender's own detector",
+		Severity:    core.SeverityCritical,
+		Steps:       []core.Step{{Type: core.EvSIPInstantMessage, Point: selfPoint}},
+		Absent: []core.Step{{
+			Type:  core.EvSIPInstantMessage,
+			Where: func(e core.Event) bool { return e.Point != selfPoint },
+		}},
+		AbsentGrace:   grace,
+		CrossProtocol: true,
+		Stateful:      true,
+	}
+}
+
+// Engine exposes the wrapped SCIDIVE engine.
+func (d *Detector) Engine() *core.Engine { return d.engine }
+
+// Aggregator exposes the cross-point matcher (inspection, checkpoints).
+func (d *Detector) Aggregator() *Aggregator { return d.agg }
+
+// Alerts returns cooperative alerts raised so far.
+func (d *Detector) Alerts() []Alert { return append([]Alert(nil), d.alerts...) }
+
+// AlertsFor returns cooperative alerts for one rule.
+func (d *Detector) AlertsFor(rule string) []Alert {
+	var out []Alert
+	for _, a := range d.alerts {
+		if a.Rule == rule {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// PeerEvents returns the events received from peers.
+func (d *Detector) PeerEvents() []PeerEvent { return append([]PeerEvent(nil), d.peerEvents...) }
+
+// onEvent routes the wrapped engine's events by frame provenance: IMs
+// received for this host feed the cross-point matcher as this point's
+// observations; IMs this host's own user transmitted are exported to
+// the peers. Overheard traffic does neither — a detector must not vouch
+// for a frame somebody else may have forged.
+func (d *Detector) onEvent(ev core.Event) {
+	if ev.Type != core.EvSIPInstantMessage {
+		return
+	}
+	switch d.feeding {
+	case provRxForMe:
+		ev.Point = d.point
+		d.agg.Feed(ev)
+		// Mature the absence window once the grace passes with no vouch.
+		d.sim.Schedule(d.cfg.CorrelationGrace, func() { d.agg.Flush(d.sim.Now()) })
+	case provTransmit:
+		if d.probe != nil && strings.HasPrefix(ev.Session, "im:"+d.cfg.User+"@") {
+			d.probe.Observe(ev)
+			d.ControlSent = d.probe.Stats().Sent
+		}
+	}
+}
+
+// handleRxFrame processes frames arriving at the NIC.
+func (d *Detector) handleRxFrame(frame []byte) {
+	iph, ok := d.decodeIP(frame)
+	if !ok {
+		return
+	}
+	me := d.cfg.Host.IP()
+	if iph.Src != me && iph.Dst != me {
+		return // end-point IDS: not our traffic
+	}
+	if iph.Src == me {
+		// Inbound frame claiming our own address: forged. A host never
+		// hears its own transmissions echoed back.
+		d.raise(RuleCoopSelfSpoof, "self",
+			fmt.Sprintf("inbound frame spoofing our address %v (to %v)", me, iph.Dst))
+		// Fall through: the traffic still feeds the engine so the local
+		// rules can work on it too.
+	}
+	if iph.Dst == me {
+		d.feeding = provRxForMe
+	} else {
+		d.feeding = provRxOther
+	}
+	d.engine.HandleFrame(d.sim.Now(), frame)
+	d.feeding = provNone
+}
+
+// handleTxFrame processes frames this host transmits.
+func (d *Detector) handleTxFrame(frame []byte) {
+	if _, ok := d.decodeIP(frame); !ok {
+		return
+	}
+	d.feeding = provTransmit
+	d.engine.HandleFrame(d.sim.Now(), frame)
+	d.feeding = provNone
+}
+
+// decodeIP decodes the Ethernet/IPv4 layers of a frame.
+func (d *Detector) decodeIP(frame []byte) (packet.IPv4Header, bool) {
+	ef, err := packet.UnmarshalEthernet(frame)
+	if err != nil || ef.Type != packet.EtherTypeIPv4 {
+		return packet.IPv4Header{}, false
+	}
+	iph, _, err := packet.UnmarshalIPv4(ef.Payload)
+	if err != nil {
+		return packet.IPv4Header{}, false
+	}
+	return iph, true
+}
+
+// raise records a deduplicated cooperative alert (the frame-level
+// self-spoof path; rule alerts arrive via the aggregator's callback).
+func (d *Detector) raise(rule, key, detail string) {
+	k := rule + "|" + key
+	if d.alerted[k] {
+		return
+	}
+	d.alerted[k] = true
+	d.alerts = append(d.alerts, Alert{At: d.sim.Now(), Rule: rule, Detail: detail})
+}

@@ -1,0 +1,247 @@
+package coop
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+)
+
+// ProbeConfig configures a Probe.
+type ProbeConfig struct {
+	// Host is the control-plane transport: digests are sent from this
+	// host's control port. Required.
+	Host *netsim.Host
+	// Point names the observation point the probe reports as (stamped on
+	// every exported event). Required.
+	Point string
+	// Aggregators are the digest destinations (at least one).
+	Aggregators []netip.AddrPort
+	// Port is the local control port digests are sent from and
+	// acknowledgements return to (default DefaultPort). The probe does
+	// not bind it — see Bind.
+	Port uint16
+	// Export lists the event types to export (empty = every type).
+	Export []core.EventType
+	// Filter, when set, is an additional per-event predicate; events
+	// failing it are not exported. Probes use it to ship only evidence
+	// they can vouch for (e.g. transmit-provenance events).
+	Filter func(core.Event) bool
+	// FlushDelay batches exports: the digest is sent this long after the
+	// first pending event. 0 sends one digest per exported event
+	// immediately — the lowest-latency mode the endpoint detectors use.
+	FlushDelay time.Duration
+	// RetryEvery is the retransmission cadence for unacknowledged
+	// digests (default 500ms). An unacked digest is resent up to
+	// MaxRetries times, then abandoned (counted in Stats().GaveUp) so a
+	// dead aggregator cannot keep the probe busy forever.
+	RetryEvery time.Duration
+	// MaxRetries bounds retransmissions per digest per destination
+	// (default 8).
+	MaxRetries int
+	// Limits supplies the export budget (MaxDigestEvents).
+	Limits core.Limits
+}
+
+// ProbeStats counts a probe's control-plane activity.
+type ProbeStats struct {
+	Digests int    // digests built (sequence numbers spent)
+	Sent    int    // first transmissions (per destination, excluding retries)
+	Retries int    // retransmissions of unacked digests
+	Acked   int    // digests confirmed by an aggregator
+	GaveUp  int    // digests abandoned after MaxRetries
+	Dropped uint64 // events shed under the MaxDigestEvents budget
+}
+
+// Probe is the export side of the cooperative layer: it observes an
+// engine's events (attach via Engine.OnEvent/ShardedEngine.OnEvent, or
+// feed Observe directly), selects the exportable ones, and ships them to
+// its aggregators as sequence-numbered digests with retransmission until
+// acknowledged.
+type Probe struct {
+	cfg      ProbeConfig
+	sim      *netsim.Simulator
+	exporter *core.Exporter
+
+	// unacked holds encoded digests awaiting acknowledgement, per
+	// destination, keyed by sequence number.
+	unacked map[netip.AddrPort]map[uint64][]byte
+	// tries counts transmissions per destination and sequence.
+	tries      map[netip.AddrPort]map[uint64]int
+	flushArmed bool
+	retryArmed bool
+
+	stats ProbeStats
+}
+
+// NewProbe builds a probe. It does not bind the control port — call Bind
+// (or deliver acks to HandleAck yourself) to receive acknowledgements;
+// an unbound probe still works, it just retries every digest MaxRetries
+// times.
+func NewProbe(cfg ProbeConfig) (*Probe, error) {
+	if cfg.Host == nil {
+		return nil, fmt.Errorf("coop: probe needs a host")
+	}
+	if cfg.Point == "" {
+		return nil, fmt.Errorf("coop: probe needs an observation-point name")
+	}
+	if len(cfg.Aggregators) == 0 {
+		return nil, fmt.Errorf("coop: probe needs at least one aggregator address")
+	}
+	if cfg.Port == 0 {
+		cfg.Port = DefaultPort
+	}
+	if cfg.RetryEvery == 0 {
+		cfg.RetryEvery = 500 * time.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+	return &Probe{
+		cfg:      cfg,
+		sim:      cfg.Host.Sim(),
+		exporter: core.NewExporter(cfg.Limits, cfg.Export...),
+		unacked:  make(map[netip.AddrPort]map[uint64][]byte),
+		tries:    make(map[netip.AddrPort]map[uint64]int),
+	}, nil
+}
+
+// Point returns the probe's observation-point name.
+func (p *Probe) Point() string { return p.cfg.Point }
+
+// Stats returns the control-plane counters.
+func (p *Probe) Stats() ProbeStats {
+	st := p.stats
+	st.Dropped = p.exporter.Dropped()
+	return st
+}
+
+// Observe offers one event for export (the engine OnEvent hook
+// signature). In immediate mode (FlushDelay 0) the digest leaves before
+// Observe returns; otherwise the flush timer is armed.
+func (p *Probe) Observe(ev core.Event) {
+	if p.cfg.Filter != nil && !p.cfg.Filter(ev) {
+		return
+	}
+	before := p.exporter.Pending()
+	p.exporter.Observe(ev)
+	if p.exporter.Pending() == before {
+		return // type-filtered out
+	}
+	if p.cfg.FlushDelay <= 0 {
+		p.flush()
+		return
+	}
+	if before == 0 && !p.flushArmed {
+		p.flushArmed = true
+		p.sim.Schedule(p.cfg.FlushDelay, func() {
+			p.flushArmed = false
+			p.flush()
+		})
+	}
+}
+
+// AttachEngine subscribes the probe to an engine's event stream. Source
+// is either *core.Engine or *core.ShardedEngine (both expose OnEvent).
+func (p *Probe) AttachEngine(src interface{ OnEvent(func(core.Event)) }) {
+	src.OnEvent(p.Observe)
+}
+
+// flush packages the pending events into a digest and transmits it to
+// every aggregator.
+func (p *Probe) flush() {
+	d := p.exporter.Flush(p.cfg.Point)
+	if d == nil {
+		return
+	}
+	d.Dropped = p.exporter.Dropped()
+	data := core.EncodeDigest(d)
+	p.stats.Digests++
+	for _, dst := range p.cfg.Aggregators {
+		if err := p.cfg.Host.SendUDP(p.cfg.Port, dst, data); err != nil {
+			continue
+		}
+		p.stats.Sent++
+		if p.unacked[dst] == nil {
+			p.unacked[dst] = make(map[uint64][]byte)
+			p.tries[dst] = make(map[uint64]int)
+		}
+		p.unacked[dst][d.Seq] = data
+		p.tries[dst][d.Seq] = 1
+	}
+	p.armRetry()
+}
+
+// HandleAck processes an aggregator's acknowledgement: every digest up
+// to the acked sequence is confirmed for that destination.
+func (p *Probe) HandleAck(src netip.AddrPort, payload []byte) {
+	point, seq, err := core.DecodeDigestAck(payload)
+	if err != nil || point != p.cfg.Point {
+		return
+	}
+	pend := p.unacked[src]
+	for s := range pend {
+		if s <= seq {
+			delete(pend, s)
+			delete(p.tries[src], s)
+			p.stats.Acked++
+		}
+	}
+}
+
+// armRetry schedules the retransmission sweep if one is not already
+// pending. The timer self-cancels when nothing is unacked, so the
+// simulator's queue drains once every digest is confirmed (or
+// abandoned).
+func (p *Probe) armRetry() {
+	if p.retryArmed || !p.hasUnacked() {
+		return
+	}
+	p.retryArmed = true
+	p.sim.Schedule(p.cfg.RetryEvery, p.retrySweep)
+}
+
+func (p *Probe) hasUnacked() bool {
+	for _, m := range p.unacked {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// retrySweep resends every unacked digest in deterministic (destination,
+// sequence) order, abandoning digests that exhausted MaxRetries.
+func (p *Probe) retrySweep() {
+	p.retryArmed = false
+	dsts := make([]netip.AddrPort, 0, len(p.unacked))
+	for dst := range p.unacked {
+		if len(p.unacked[dst]) > 0 {
+			dsts = append(dsts, dst)
+		}
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i].Compare(dsts[j]) < 0 })
+	for _, dst := range dsts {
+		seqs := make([]uint64, 0, len(p.unacked[dst]))
+		for s := range p.unacked[dst] {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			if p.tries[dst][s] >= p.cfg.MaxRetries {
+				delete(p.unacked[dst], s)
+				delete(p.tries[dst], s)
+				p.stats.GaveUp++
+				continue
+			}
+			if err := p.cfg.Host.SendUDP(p.cfg.Port, dst, p.unacked[dst][s]); err == nil {
+				p.stats.Retries++
+				p.tries[dst][s]++
+			}
+		}
+	}
+	p.armRetry()
+}

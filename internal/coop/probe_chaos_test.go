@@ -1,0 +1,111 @@
+package coop_test
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"scidive/internal/coop"
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+)
+
+// probeBed stands up a minimal control plane: one probe host, one
+// aggregator host, with the probe's link dropping frames at the given
+// probability (acks traverse it too).
+func probeBed(t *testing.T, seed int64, loss float64) (*netsim.Simulator, *coop.Probe, *coop.Aggregator) {
+	t.Helper()
+	sim := netsim.NewSimulator(seed)
+	net := netsim.NewNetwork(sim)
+	probeHost, err := net.AddHost("probe", netip.MustParseAddr("10.0.0.30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggHost, err := net.AddHost("agg", netip.MustParseAddr("10.0.0.40"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeHost.SetLink(netsim.Link{Delay: netsim.Deterministic{D: time.Millisecond}, Loss: loss})
+	agg := coop.NewAggregator(coop.AggregatorConfig{Host: aggHost})
+	if err := coop.Bind(aggHost, 0, nil, agg); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := coop.NewProbe(coop.ProbeConfig{
+		Host:        probeHost,
+		Point:       core.PointEdge,
+		Aggregators: []netip.AddrPort{netip.AddrPortFrom(aggHost.IP(), coop.DefaultPort)},
+		RetryEvery:  100 * time.Millisecond,
+		MaxRetries:  40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coop.Bind(probeHost, 0, probe, nil); err != nil {
+		t.Fatal(err)
+	}
+	return sim, probe, agg
+}
+
+// feedAndFinish ships n events through the probe, lets the control plane
+// settle, and finalizes the merge.
+func feedAndFinish(sim *netsim.Simulator, probe *coop.Probe, agg *coop.Aggregator, n int) string {
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Schedule(time.Duration(i)*50*time.Millisecond, func() {
+			probe.Observe(core.Event{
+				At:      sim.Now(),
+				Type:    core.EvSIPBye,
+				Session: fmt.Sprintf("call-%d", i),
+				Detail:  "hangs up",
+			})
+		})
+	}
+	sim.RunUntil(time.Minute)
+	alerts := agg.Finalize(time.Minute)
+	_ = alerts
+	var b strings.Builder
+	for _, me := range agg.Alerts() {
+		fmt.Fprintf(&b, "%s|%s|%s\n", me.Rule, me.Session, me.Detail)
+	}
+	// Alerts carry nothing here (single-vantage evidence); fingerprint the
+	// merged evidence through the rule engine's view instead: counts.
+	st := agg.Stats()
+	fmt.Fprintf(&b, "accepted=%d merged=%d\n", st.DigestsAccepted, st.EventsMerged)
+	return b.String()
+}
+
+// TestProbeRetransmissionSurvivesLoss pins the control plane's delivery
+// guarantee: over a link dropping a third of all frames (digests AND
+// acks), retransmission still lands every digest exactly once, in
+// sequence, with no gap self-alerts — across several loss patterns.
+func TestProbeRetransmissionSurvivesLoss(t *testing.T) {
+	const events = 20
+	sim, probe, agg := probeBed(t, 1, 0)
+	want := feedAndFinish(sim, probe, agg, events)
+	if st := probe.Stats(); st.Acked != st.Digests || st.GaveUp != 0 {
+		t.Fatalf("lossless baseline did not confirm everything: %+v", st)
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		sim, probe, agg := probeBed(t, seed, 0.33)
+		got := feedAndFinish(sim, probe, agg, events)
+		if got != want {
+			t.Errorf("seed %d: lossy run diverged from lossless:\nwant:\n%s\ngot:\n%s", seed, want, got)
+		}
+		st := probe.Stats()
+		if st.Retries == 0 {
+			t.Errorf("seed %d: a 33%% lossy link caused no retransmissions; the chaos is vacuous", seed)
+		}
+		if st.GaveUp != 0 {
+			t.Errorf("seed %d: probe abandoned %d digest(s) despite retries remaining", seed, st.GaveUp)
+		}
+		if st.Acked != st.Digests {
+			t.Errorf("seed %d: %d digests built but %d confirmed", seed, st.Digests, st.Acked)
+		}
+		if gaps := agg.AlertsFor(coop.RuleCoopDigestGap); len(gaps) != 0 {
+			t.Errorf("seed %d: gap self-alerts despite full recovery: %v", seed, gaps)
+		}
+	}
+}

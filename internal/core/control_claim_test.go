@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// digestFrameFor wraps an encoded digest in Ethernet/IP/UDP framing
+// bound for the digest port.
+func digestFrameFor(t *testing.T, srcPort, dstPort uint16) []byte {
+	t.Helper()
+	d := &Digest{Point: "edge", Seq: 1, Events: []Event{
+		{At: time.Second, Type: EvSIPBye, Session: "call-1", Detail: "alice hangs up"},
+	}}
+	frames := frameFor(t, srcPort, dstPort, EncodeDigest(d), 1500)
+	if len(frames) != 1 {
+		t.Fatalf("digest did not fit one frame (%d)", len(frames))
+	}
+	return frames[0]
+}
+
+// TestDigestPortClaimedAsControl pins satellite behavior of the
+// cooperative layer: a monitored link carrying the IDS's own digest
+// traffic must raise nothing. The control correlator claims the digest
+// port, so the distiller files the frames as ignored control traffic —
+// never as an RTP/SIP protocol mismatch or an evasion suspect.
+func TestDigestPortClaimedAsControl(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		srcPort, dstPort uint16
+	}{
+		{"digest to aggregator", 7100, 7100},
+		{"digest from ephemeral source", 40123, 7100},
+		{"ack back to probe", 7100, 40123},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := NewEngine(Config{}, WithEventLog())
+			eng.HandleFrame(time.Second, digestFrameFor(t, tc.srcPort, tc.dstPort))
+			ds := eng.DistillerStats()
+			if ds.Ignored != 1 {
+				t.Errorf("digest frame not filed as ignored control traffic: %+v", ds)
+			}
+			if ds.Mismatched != 0 || ds.RTP != 0 || ds.SIP != 0 || ds.Raw != 0 {
+				t.Errorf("digest frame leaked into a protocol classification: %+v", ds)
+			}
+			if evs := eng.Events(); len(evs) != 0 {
+				t.Errorf("digest frame generated events: %v", evs)
+			}
+			for _, a := range eng.Alerts() {
+				t.Errorf("digest frame raised alert: %v", a)
+			}
+		})
+	}
+}
+
+// TestDigestPortConfigOverride moves the claim with GenConfig.DigestPort:
+// the configured port is control, and the default port is no longer
+// special (the digest payload then rides through the content classifier
+// like any unknown binary traffic — whatever it classifies as, the claim
+// must follow the config, not the constant).
+func TestDigestPortConfigOverride(t *testing.T) {
+	eng := NewEngine(Config{Gen: GenConfig{DigestPort: 7200}}, WithEventLog())
+	eng.HandleFrame(time.Second, digestFrameFor(t, 40123, 7200))
+	if ds := eng.DistillerStats(); ds.Ignored != 1 {
+		t.Errorf("configured digest port 7200 not claimed as control: %+v", ds)
+	}
+
+}
+
+// TestDigestOffClaimedPortFilesAsRaw is the negative control for the
+// port claim: the same digest bytes sent at a SIP-claimed port fail the
+// SIP parser (and confirm as no other protocol), so they are recorded as
+// undecodable raw traffic on that port — the classification noise the
+// control claim exists to keep digests out of.
+func TestDigestOffClaimedPortFilesAsRaw(t *testing.T) {
+	eng := NewEngine(Config{}, WithEventLog())
+	eng.HandleFrame(time.Second, digestFrameFor(t, 40123, 5060))
+	ds := eng.DistillerStats()
+	if ds.Raw != 1 || ds.Ignored != 0 {
+		t.Errorf("digest bytes on the SIP port should file as raw, got %+v", ds)
+	}
+}

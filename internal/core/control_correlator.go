@@ -1,0 +1,43 @@
+package core
+
+// The control correlator is the cooperative layer's port claim: it marks
+// the probe→aggregator digest port (GenConfig.DigestPort, default
+// DefaultDigestPort) as IDS-internal control traffic so a monitored link
+// that carries it raises nothing. It registers FIRST in
+// DefaultCorrelators so its claim outranks every protocol claimer — in
+// particular the RTP correlator's even-port media range, which would
+// otherwise nominate ProtoRTP for a digest port configured inside it and
+// send binary digests through the content classifier's mismatch ladder.
+//
+// It subscribes to no dispatch protocol: ProtoControl sits past
+// ProtoOther, outside the generator's dispatch tables, so claimed
+// control frames are counted by the distiller as ignored and never reach
+// a correlator. The module is pure classification — no state, no events.
+type controlCorrelator struct {
+	port uint16
+}
+
+func newControlCorrelator() *controlCorrelator { return &controlCorrelator{} }
+
+// Name implements Correlator.
+func (c *controlCorrelator) Name() string { return "control" }
+
+// Protocols implements Correlator: the control plane feeds no events.
+func (c *controlCorrelator) Protocols() []Protocol { return nil }
+
+// Process implements Correlator; never called (no subscribed protocols).
+func (c *controlCorrelator) Process(v *FrameView, h RouteHints, ctx *SessionContext, evs *[]Event) {
+}
+
+// configure implements configurable: the claim follows GenConfig.
+func (c *controlCorrelator) configure(cfg GenConfig) { c.port = cfg.DigestPort }
+
+// claimPort implements portClaimer: either endpoint on the digest port
+// marks the datagram as control traffic (digests flow probe→aggregator,
+// acks flow back).
+func (c *controlCorrelator) claimPort(srcPort, dstPort uint16) (Protocol, bool) {
+	if c.port != 0 && (srcPort == c.port || dstPort == c.port) {
+		return ProtoControl, true
+	}
+	return ProtoOther, false
+}

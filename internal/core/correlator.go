@@ -55,6 +55,10 @@ type Registration struct {
 // keys.
 func DefaultCorrelators() []Registration {
 	return []Registration{
+		// control registers first so the digest port claim outranks the
+		// protocol claimers (see control_correlator.go); it emits no
+		// events, so its position cannot affect per-frame event order.
+		{Name: "control", New: func() Correlator { return newControlCorrelator() }},
 		{Name: "sip", New: func() Correlator { return newSIPCorrelator() }},
 		{Name: "im", New: func() Correlator { return newIMCorrelator() }},
 		{Name: "rtp", New: func() Correlator { return newRTPCorrelator() }},

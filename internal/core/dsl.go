@@ -24,6 +24,29 @@ import (
 // `seq` matches events in order; `all` in any order. Event names are the
 // EventType strings (sip-bye, rtp-after-bye, ...). Severities: info,
 // warning, critical.
+//
+// Cross-point rules (fed by the cooperative aggregator, see
+// internal/coop) add four constructs:
+//
+//	rule bye-teardown-split critical cross stateful {
+//	    describe BYE at the edge while the gateway still carries media
+//	    seq sip-bye@edge, rtp-activity@gateway, rtp-activity@gateway
+//	    window 5s
+//	}
+//
+//	rule im-unvouched critical cross stateful {
+//	    seq sip-instant-message@ep-alice
+//	    absent sip-instant-message@ep-bob
+//	    grace 250ms
+//	}
+//
+// "name@point" requires the event to carry that capture point
+// (Event.Point). `absent` + `grace` invert the tail: the rule fires only
+// if no absent-matching event lands within the grace window of the
+// positive pattern completing. `keyby detail` correlates on Event.Detail
+// instead of Event.Session (for identities, like an AOR, that span
+// Call-IDs). Rules without these constructs format exactly as before, so
+// existing rule files and reload carry-forward are untouched.
 
 // eventTypeNames maps DSL event names to types.
 var eventTypeNames = func() map[string]EventType {
@@ -35,6 +58,7 @@ var eventTypeNames = func() map[string]EventType {
 		EvRTPBadSource, EvRTPGarbage, EvAuthFlood, EvPasswordGuessing,
 		EvAcctUnmatched, EvRTPUnmatchedMedia, EvRTCPSpoofedBye,
 		EvOptionsScan, EvProtocolMismatch, EvEvasionSuspect,
+		EvRTPActivity,
 	}
 	m := make(map[string]EventType, len(all))
 	for _, t := range all {
@@ -108,6 +132,12 @@ func ParseRules(text string) ([]Rule, error) {
 			if len(cur.Steps) == 0 {
 				return nil, errf("rule %q has no seq/all clause", cur.Name)
 			}
+			if len(cur.Absent) > 0 && cur.AbsentGrace <= 0 {
+				return nil, errf("rule %q has an absent clause but no grace", cur.Name)
+			}
+			if cur.AbsentGrace > 0 && len(cur.Absent) == 0 {
+				return nil, errf("rule %q has a grace but no absent clause", cur.Name)
+			}
 			rules = append(rules, *cur)
 			cur = nil
 		case cur == nil:
@@ -119,15 +149,32 @@ func ParseRules(text string) ([]Rule, error) {
 				return nil, errf("rule %q already has a pattern clause", cur.Name)
 			}
 			cur.Unordered = strings.HasPrefix(line, "all ")
-			list := strings.TrimSpace(line[4:])
-			for _, name := range strings.Split(list, ",") {
-				name = strings.TrimSpace(name)
-				t, ok := EventTypeByName(name)
-				if !ok {
-					return nil, errf("unknown event type %q", name)
-				}
-				cur.Steps = append(cur.Steps, Step{Type: t})
+			steps, err := parseStepList(strings.TrimSpace(line[4:]))
+			if err != nil {
+				return nil, errf("%v", err)
 			}
+			cur.Steps = steps
+		case strings.HasPrefix(line, "absent "):
+			if len(cur.Absent) > 0 {
+				return nil, errf("rule %q already has an absent clause", cur.Name)
+			}
+			steps, err := parseStepList(strings.TrimSpace(strings.TrimPrefix(line, "absent ")))
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			cur.Absent = steps
+		case strings.HasPrefix(line, "grace "):
+			d, err := time.ParseDuration(strings.TrimSpace(strings.TrimPrefix(line, "grace ")))
+			if err != nil {
+				return nil, errf("bad grace: %v", err)
+			}
+			cur.AbsentGrace = d
+		case strings.HasPrefix(line, "keyby "):
+			key := strings.TrimSpace(strings.TrimPrefix(line, "keyby "))
+			if key != KeyByDetail {
+				return nil, errf("unknown keyby %q (only %q is supported)", key, KeyByDetail)
+			}
+			cur.KeyBy = key
 		case strings.HasPrefix(line, "window "):
 			d, err := time.ParseDuration(strings.TrimSpace(strings.TrimPrefix(line, "window ")))
 			if err != nil {
@@ -145,6 +192,36 @@ func ParseRules(text string) ([]Rule, error) {
 		return nil, fmt.Errorf("rules: no rules defined")
 	}
 	return rules, nil
+}
+
+// parseStepList parses a comma-separated list of "event[@point]" names.
+func parseStepList(list string) ([]Step, error) {
+	var steps []Step
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		evName, point, hasPoint := strings.Cut(name, "@")
+		t, ok := EventTypeByName(evName)
+		if !ok {
+			return nil, fmt.Errorf("unknown event type %q", evName)
+		}
+		if hasPoint && point == "" {
+			return nil, fmt.Errorf("empty point in %q", name)
+		}
+		steps = append(steps, Step{Type: t, Point: point})
+	}
+	return steps, nil
+}
+
+// formatStepList renders steps back into "event[@point]" names.
+func formatStepList(steps []Step) string {
+	names := make([]string, len(steps))
+	for j, st := range steps {
+		names[j] = st.Type.String()
+		if st.Point != "" {
+			names[j] += "@" + st.Point
+		}
+	}
+	return strings.Join(names, ", ")
 }
 
 // FormatRules renders rules back into the rule description language
@@ -176,11 +253,16 @@ func FormatRules(rules []Rule) string {
 		if r.Unordered {
 			kw = "all"
 		}
-		names := make([]string, len(r.Steps))
-		for j, st := range r.Steps {
-			names[j] = st.Type.String()
+		fmt.Fprintf(&b, "    %s %s\n", kw, formatStepList(r.Steps))
+		if len(r.Absent) > 0 {
+			fmt.Fprintf(&b, "    absent %s\n", formatStepList(r.Absent))
 		}
-		fmt.Fprintf(&b, "    %s %s\n", kw, strings.Join(names, ", "))
+		if r.AbsentGrace > 0 {
+			fmt.Fprintf(&b, "    grace %s\n", r.AbsentGrace)
+		}
+		if r.KeyBy != "" {
+			fmt.Fprintf(&b, "    keyby %s\n", r.KeyBy)
+		}
 		if r.Window > 0 {
 			fmt.Fprintf(&b, "    window %s\n", r.Window)
 		}

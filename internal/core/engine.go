@@ -89,6 +89,7 @@ type Engine struct {
 	stats     EngineStats
 	events    []Event
 	keepLog   bool
+	onEvent   func(Event)
 	faults    FaultInjector
 
 	// view and evScratch are the per-frame scratch of the hot path: the
@@ -227,6 +228,22 @@ func (e *Engine) AlertsFor(rule string) []Alert { return e.rules.AlertsFor(rule)
 // OnAlert registers a callback for new alerts.
 func (e *Engine) OnAlert(fn func(Alert)) { e.rules.OnAlert(fn) }
 
+// OnEvent registers a callback invoked for every generated event, in
+// emission order, after the event is logged and before rule matching.
+// This is the cooperative layer's export surface: a probe attaches an
+// Exporter here to select events for its aggregator. The callback runs
+// on the frame-processing path — keep it cheap and non-blocking.
+func (e *Engine) OnEvent(fn func(Event)) { e.onEvent = fn }
+
+// FlushRules advances the rule engine's clock to now without feeding an
+// event, maturing any absence-rule completions whose grace window has
+// passed (see RuleEngine.Flush). Returns the alerts raised.
+func (e *Engine) FlushRules(now time.Duration) []Alert {
+	alerts := e.rules.Flush(now)
+	e.stats.Alerts += len(alerts)
+	return alerts
+}
+
 // Events returns the retained event log (empty unless WithEventLog).
 func (e *Engine) Events() []Event { return append([]Event(nil), e.events...) }
 
@@ -264,6 +281,9 @@ func (e *Engine) processView() {
 	for _, ev := range e.evScratch {
 		e.stats.Events++
 		e.logEvent(ev)
+		if e.onEvent != nil {
+			e.onEvent(ev)
+		}
 		alerts := e.rules.Feed(ev)
 		e.stats.Alerts += len(alerts)
 	}

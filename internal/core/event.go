@@ -44,6 +44,13 @@ const (
 	EvOptionsScan       // one source probing many dialogs with OPTIONS (cross-dialog sweep)
 	EvProtocolMismatch  // payload content contradicted the port's claimed protocol (classify.go)
 	EvEvasionSuspect    // the contradiction matches a known evasion shape (tunneling/smuggling)
+
+	// Informational media liveness heartbeat (GenConfig.RTPActivityEvery;
+	// off by default so existing event streams are untouched). Emitted at
+	// most once per interval per session, it is the positive evidence the
+	// cross-point BYE-teardown rule needs: media still flowing at the
+	// gateway after the edge saw a BYE.
+	EvRTPActivity
 )
 
 // String returns the event type name.
@@ -101,6 +108,8 @@ func (t EventType) String() string {
 		return "protocol-mismatch"
 	case EvEvasionSuspect:
 		return "evasion-suspect"
+	case EvRTPActivity:
+		return "rtp-activity"
 	default:
 		return fmt.Sprintf("event-type-%d", int(t))
 	}
@@ -113,6 +122,12 @@ type Event struct {
 	Type    EventType
 	Session string // correlation key: Call-ID for calls, "im:<aor>" for IM, flow string otherwise
 	Detail  string
+	// Point names the capture point (probe) that observed the event.
+	// Empty for a single-tap engine; stamped by the cooperative layer
+	// (coop.Probe / digest decode) so cross-point rules can require a
+	// specific vantage (the DSL's "@point" qualifier). Not part of the
+	// log format: String() and the golden event streams ignore it.
+	Point string
 	// Footprint is the observation that completed the event (may be nil
 	// for purely state-derived events).
 	Footprint Footprint

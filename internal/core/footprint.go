@@ -27,6 +27,14 @@ const (
 	ProtoRTCP
 	ProtoAccounting
 	ProtoOther
+	// ProtoControl is the IDS's own probe→aggregator digest traffic
+	// (core/digest.go). It sits after ProtoOther on purpose: the
+	// generator's dispatch tables are sized by ProtoOther, and the
+	// control correlator claims the digest port without subscribing to
+	// any dispatch protocol, so control frames are classified (and
+	// dropped as IDS-internal) rather than tripping the content
+	// classifier's mismatch alerts.
+	ProtoControl
 )
 
 // String returns the protocol name.
@@ -42,6 +50,8 @@ func (p Protocol) String() string {
 		return "ACCT"
 	case ProtoOther:
 		return "OTHER"
+	case ProtoControl:
+		return "CTRL"
 	default:
 		return "UNKNOWN"
 	}

@@ -29,6 +29,17 @@ type GenConfig struct {
 	// IMPeriod is how long a sender's source IP is expected to stay
 	// stable (the rule's mobility allowance). Default 60s.
 	IMPeriod time.Duration
+	// DigestPort is the UDP port the cooperative layer's probe→aggregator
+	// digest traffic runs on. The control correlator claims it so the
+	// IDS's own control plane on a monitored link is classified (and
+	// ignored) instead of raising protocol-mismatch/evasion alerts.
+	// Default DefaultDigestPort.
+	DigestPort uint16
+	// RTPActivityEvery, when >0, makes the RTP correlator emit an
+	// EvRTPActivity heartbeat at most once per interval per session —
+	// the positive media-liveness evidence cross-point rules consume.
+	// Default 0 (off), so single-tap event streams are unchanged.
+	RTPActivityEvery time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -50,6 +61,9 @@ func (c GenConfig) withDefaults() GenConfig {
 	}
 	if c.IMPeriod == 0 {
 		c.IMPeriod = 60 * time.Second
+	}
+	if c.DigestPort == 0 {
+		c.DigestPort = DefaultDigestPort
 	}
 	return c
 }

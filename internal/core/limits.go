@@ -43,6 +43,12 @@ type Limits struct {
 	// MaxRetainedEvents caps the retained event log (WithEventLog); the
 	// oldest event is dropped. Per shard in sharded mode, like alerts.
 	MaxRetainedEvents int
+	// MaxDigestEvents caps the cooperative exporter's per-probe backlog:
+	// events selected for export but not yet flushed into a digest. The
+	// oldest pending event is dropped and counted (Exporter.Dropped), so
+	// a probe cut off from its aggregator degrades by forgetting the
+	// oldest evidence instead of growing without bound.
+	MaxDigestEvents int
 
 	// ShedAfter bounds how long the sharded router waits on a full shard
 	// queue before shedding the whole batch (counted per shard, raised as

@@ -102,6 +102,12 @@ func (c *rtpCorrelator) track(at time.Duration, dst netip.AddrPort, seq uint16) 
 			v.Jump = true
 		}
 	}
+	if every := c.cfg.RTPActivityEvery; every > 0 {
+		if v.NewFlow || at-tr.lastAct >= every {
+			v.Activity = true
+			tr.lastAct = at
+		}
+	}
 	tr.primed = true
 	tr.last = seq
 	tr.at = at
@@ -161,6 +167,17 @@ func (c *rtpCorrelator) processRTP(v *FrameView, h RouteHints, ctx *SessionConte
 		})
 	}
 	st, known := ctx.LookupSession(session)
+	// Media-liveness heartbeat for cross-point rules (see GenConfig.
+	// RTPActivityEvery): at most one event per interval per endpoint, so a
+	// remote aggregator can prove media kept flowing without shipping
+	// per-packet evidence. Suppressed once this tap has seen the session's
+	// BYE — post-teardown media is orphan evidence (EvRTPAfterBye), not
+	// liveness, and a vantage that witnessed a legitimate hangup must not
+	// report the last in-flight packets as the call still being up.
+	if sv.Activity && !(known && st.byeSeen) {
+		*evs = append(*evs, Event{At: v.At, Type: EvRTPActivity, Session: session,
+			Detail: fmt.Sprintf("media flowing to %v", v.Dst), Footprint: ctx.Observation()})
+	}
 	if !known {
 		return
 	}
@@ -216,9 +233,10 @@ func (c *rtpCorrelator) checkSessionRTP(v *FrameView, st *sessionState, ctx *Ses
 
 // seqTrack tracks RTP sequence continuity per destination media endpoint.
 type seqTrack struct {
-	last   uint16
-	primed bool
-	at     time.Duration // last packet toward this endpoint (LRU eviction)
+	last    uint16
+	primed  bool
+	at      time.Duration // last packet toward this endpoint (LRU eviction)
+	lastAct time.Duration // last activity heartbeat (RTPActivityEvery cadence)
 }
 
 // snapshotState serializes the continuity trackers in endpoint order.
@@ -235,6 +253,7 @@ func (c *rtpCorrelator) snapshotState(w *snapWriter) {
 		w.u16(tr.last)
 		w.bool(tr.primed)
 		w.dur(tr.at)
+		w.dur(tr.lastAct)
 	}
 	w.u64(c.evicted.Load())
 }
@@ -251,7 +270,7 @@ func (c *rtpCorrelator) decodeState(r *snapReader) (func(), error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		entries = append(entries, entry{
 			key: r.addrPortv(),
-			tr:  seqTrack{last: r.u16(), primed: r.boolv(), at: r.dur()},
+			tr:  seqTrack{last: r.u16(), primed: r.boolv(), at: r.dur(), lastAct: r.dur()},
 		})
 	}
 	evicted := r.u64()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,9 +35,30 @@ func (s Severity) String() string {
 type Step struct {
 	// Type is the event type this step matches.
 	Type EventType
+	// Point, when non-empty, requires the event to carry this capture
+	// point (Event.Point) — the DSL's "@point" qualifier. Cross-point
+	// rules use it to demand evidence from a specific vantage.
+	Point string
 	// Where, when non-nil, further constrains the event.
 	Where func(e Event) bool
 }
+
+// stepMatches reports whether one event satisfies one step.
+func stepMatches(step Step, e Event) bool {
+	if step.Type != e.Type {
+		return false
+	}
+	if step.Point != "" && step.Point != e.Point {
+		return false
+	}
+	return step.Where == nil || step.Where(e)
+}
+
+// KeyByDetail is the Rule.KeyBy value that correlates on Event.Detail
+// instead of Event.Session (the DSL's "keyby detail"). Cross-point rules
+// use it when the shared identity lives in the detail — e.g. the AOR of
+// a REGISTER 200, whose Call-ID differs per vantage.
+const KeyByDetail = "detail"
 
 // Rule is a detection rule: a pattern of events within one session. Rules
 // with one step are simple triggers; multi-step rules express the paper's
@@ -56,6 +78,22 @@ type Rule struct {
 	// classification.
 	CrossProtocol bool
 	Stateful      bool
+	// Absent, when non-empty, inverts the rule's tail: completing Steps
+	// does not fire immediately but holds a pending alert, which an event
+	// matching any Absent step (same correlation key) within AbsentGrace
+	// of the completion cancels. The pending alert fires once the
+	// engine's clock (any fed event, or an explicit Flush) passes the
+	// grace deadline — "A happened here AND NOT B happened there". The
+	// cancellation window is symmetric (|Δt| < AbsentGrace), so the
+	// outcome does not depend on whether the cancelling event was merged
+	// before or after the completion.
+	Absent []Step
+	// AbsentGrace bounds how far from the pattern's completion an Absent
+	// event may land and still cancel. Required (>0) when Absent is set.
+	AbsentGrace time.Duration
+	// KeyBy selects the correlation key events are matched under:
+	// "" = Event.Session (the default), KeyByDetail = Event.Detail.
+	KeyBy string
 }
 
 // Alert is a rule match.
@@ -102,6 +140,15 @@ type partial struct {
 	remaining int
 }
 
+// pendingAlert is an absence rule whose positive pattern completed and
+// is now waiting out its grace period: cancelled by a matching Absent
+// event, raised when the clock passes deadline.
+type pendingAlert struct {
+	completedAt time.Duration
+	deadline    time.Duration // completedAt + AbsentGrace
+	alert       Alert         // prebuilt at completion so maturing is a plain raise
+}
+
 // RuleEngine matches events against a ruleset, tracking partial matches
 // per (rule, session).
 type RuleEngine struct {
@@ -121,6 +168,19 @@ type RuleEngine struct {
 	// including their partial-expiry pass, which is safe because a stale
 	// partial is always expired before the next event that could touch it.
 	byType map[EventType][]int
+	// byAbsent is byType's mirror for Absent steps: per event type, the
+	// rules whose pending alerts that type can cancel.
+	byAbsent map[EventType][]int
+
+	// pendings holds completed-but-graced absence matches per
+	// ruleName|corrKey; lastAbsent remembers the latest Absent-matching
+	// event time per the same key, so a cancelling event that was merged
+	// BEFORE the completion still cancels (the symmetric window).
+	// lastAbsent is not bounded by Limits: only absence rules populate
+	// it, and their correlation keys are the same session/AOR universe
+	// the partial table already holds.
+	pendings   map[string][]*pendingAlert
+	lastAbsent map[string]time.Duration
 
 	// maxAlerts caps the retained alert list (0 = unbounded); evicted
 	// counts alerts dropped to respect it. Evicting an alert forgets its
@@ -139,10 +199,13 @@ type RuleEngine struct {
 // NewRuleEngine returns an engine for the given ruleset.
 func NewRuleEngine(rules []Rule) *RuleEngine {
 	return &RuleEngine{
-		rules:    rules,
-		partials: make(map[string][]*partial),
-		dedup:    make(map[string]int),
-		byType:   buildByType(rules),
+		rules:      rules,
+		partials:   make(map[string][]*partial),
+		dedup:      make(map[string]int),
+		byType:     buildByType(rules),
+		byAbsent:   buildByAbsent(rules),
+		pendings:   make(map[string][]*pendingAlert),
+		lastAbsent: make(map[string]time.Duration),
 	}
 }
 
@@ -160,6 +223,30 @@ func buildByType(rules []Rule) map[EventType][]int {
 		}
 	}
 	return byType
+}
+
+// buildByAbsent indexes a ruleset by the event types that can cancel each
+// rule's pending alerts (see the byAbsent field doc).
+func buildByAbsent(rules []Rule) map[EventType][]int {
+	byAbsent := make(map[EventType][]int)
+	for i := range rules {
+		seen := make(map[EventType]bool, len(rules[i].Absent))
+		for _, st := range rules[i].Absent {
+			if !seen[st.Type] {
+				seen[st.Type] = true
+				byAbsent[st.Type] = append(byAbsent[st.Type], i)
+			}
+		}
+	}
+	return byAbsent
+}
+
+// corrKey returns the correlation key the rule files state under.
+func corrKey(r *Rule, e Event) string {
+	if r.KeyBy == KeyByDetail {
+		return e.Detail
+	}
+	return e.Session
 }
 
 // reload swaps the active ruleset at a quiescent point (between Feed
@@ -191,20 +278,44 @@ func (re *RuleEngine) reload(newRules []Rule) int {
 		dropped += len(parts)
 		delete(re.partials, key)
 	}
+	// Pending absence alerts are in-flight state too: a removed or edited
+	// rule's pendings drop with its partials (the absent lookback table
+	// is only consulted through a live rule, so stale entries are inert).
+	for key, pend := range re.pendings {
+		name, _, _ := strings.Cut(key, "|")
+		if keep[name] {
+			continue
+		}
+		dropped += len(pend)
+		delete(re.pendings, key)
+	}
 	re.rules = newRules
 	re.byType = buildByType(newRules)
+	re.byAbsent = buildByAbsent(newRules)
 	return dropped
 }
 
 // raiseSynthetic records an engine-generated alert (rule-reload and
 // friends) through the same dedup, retention-cap and callback machinery
 // as rule matches, so downstream consumers cannot tell the two apart.
-func (re *RuleEngine) raiseSynthetic(a Alert) {
+func (re *RuleEngine) raiseSynthetic(a Alert) { re.raiseAlert(a) }
+
+// RaiseSynthetic records an externally generated self-alert — the
+// cooperative aggregator's digest-gap reports — through the same dedup,
+// retention-cap and callback machinery as rule matches, returning the
+// retained (possibly Count-bumped) entry.
+func (re *RuleEngine) RaiseSynthetic(a Alert) Alert { return re.raiseAlert(a) }
+
+// raiseAlert records one alert through the shared dedup, retention-cap
+// and callback machinery, returning the retained (possibly Count-bumped)
+// entry. All three raise paths — rule matches, matured absence pendings
+// and synthetic self-alerts — funnel through here.
+func (re *RuleEngine) raiseAlert(a Alert) Alert {
 	re.version++
 	key := a.Rule + "|" + a.Session
 	if idx, seen := re.dedup[key]; seen {
 		re.alerts[idx-re.dedupBase].Count++
-		return
+		return re.alerts[idx-re.dedupBase]
 	}
 	if re.maxAlerts > 0 && len(re.alerts) >= re.maxAlerts {
 		re.evictOldestAlert()
@@ -214,6 +325,7 @@ func (re *RuleEngine) raiseSynthetic(a Alert) {
 	if re.onAlert != nil {
 		re.onAlert(a)
 	}
+	return a
 }
 
 // OnAlert registers a callback invoked for each new alert (not for
@@ -241,10 +353,13 @@ func (re *RuleEngine) AlertsFor(rule string) []Alert {
 	return out
 }
 
-// Feed matches one event, returning any alerts it completes.
+// Feed matches one event, returning any alerts it completes (including
+// pending absence alerts the event's timestamp matures).
 func (re *RuleEngine) Feed(e Event) []Alert {
 	re.EventsSeen++
 	var fired []Alert
+	re.matureAbsent(e.At, &fired)
+	re.observeAbsent(e)
 	for _, i := range re.byType[e.Type] {
 		if a, ok := re.feedRule(&re.rules[i], e); ok {
 			fired = append(fired, a)
@@ -253,8 +368,18 @@ func (re *RuleEngine) Feed(e Event) []Alert {
 	return fired
 }
 
+// Flush matures pending absence alerts whose grace deadline has passed
+// as of now, returning any alerts raised. Feeding an event matures
+// implicitly; owners with quiet periods (the cooperative aggregator's
+// merge boundary, end of a replay) call this to drain the tail.
+func (re *RuleEngine) Flush(now time.Duration) []Alert {
+	var fired []Alert
+	re.matureAbsent(now, &fired)
+	return fired
+}
+
 func (re *RuleEngine) feedRule(r *Rule, e Event) (Alert, bool) {
-	key := r.Name + "|" + e.Session
+	key := r.Name + "|" + corrKey(r, e)
 	parts := re.partials[key]
 	// Expire stale partials.
 	if r.Window > 0 {
@@ -276,14 +401,144 @@ func (re *RuleEngine) feedRule(r *Rule, e Event) (Alert, bool) {
 	if completed == nil {
 		return Alert{}, false
 	}
+	if len(r.Absent) > 0 {
+		re.holdPending(r, e, completed, key)
+		return Alert{}, false
+	}
 	return re.raise(r, e, completed), true
+}
+
+// holdPending files a completed absence match for its grace period —
+// unless the lookback table shows a cancelling event already inside the
+// symmetric window, in which case the match dies silently.
+func (re *RuleEngine) holdPending(r *Rule, e Event, p *partial, key string) {
+	if t, ok := re.lastAbsent[key]; ok && absDur(e.At-t) < r.AbsentGrace {
+		return
+	}
+	re.pendings[key] = append(re.pendings[key], &pendingAlert{
+		completedAt: e.At,
+		deadline:    e.At + r.AbsentGrace,
+		alert: Alert{
+			At:       e.At,
+			Rule:     r.Name,
+			Severity: r.Severity,
+			Session:  corrKey(r, e),
+			Detail:   e.Detail + "; no " + absentDesc(r) + " within " + r.AbsentGrace.String(),
+			Events:   append([]Event(nil), p.events...),
+			Count:    1,
+		},
+	})
+}
+
+// absentDesc names a rule's absent pattern for alert details.
+func absentDesc(r *Rule) string {
+	var b strings.Builder
+	for i, st := range r.Absent {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		b.WriteString(st.Type.String())
+		if st.Point != "" {
+			b.WriteByte('@')
+			b.WriteString(st.Point)
+		}
+	}
+	return b.String()
+}
+
+// observeAbsent runs one event against every rule whose Absent steps it
+// could satisfy: it records the lookback timestamp and cancels pendings
+// inside the symmetric grace window.
+func (re *RuleEngine) observeAbsent(e Event) {
+	for _, i := range re.byAbsent[e.Type] {
+		r := &re.rules[i]
+		matched := false
+		for _, st := range r.Absent {
+			if stepMatches(st, e) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		key := r.Name + "|" + corrKey(r, e)
+		if t, ok := re.lastAbsent[key]; !ok || e.At > t {
+			re.lastAbsent[key] = e.At
+		}
+		pend, ok := re.pendings[key]
+		if !ok {
+			continue
+		}
+		live := pend[:0]
+		for _, p := range pend {
+			if absDur(e.At-p.completedAt) < r.AbsentGrace {
+				continue // cancelled: the absent evidence arrived
+			}
+			live = append(live, p)
+		}
+		if len(live) == 0 {
+			delete(re.pendings, key)
+		} else {
+			re.pendings[key] = live
+		}
+	}
+}
+
+// matureAbsent raises every pending alert whose grace deadline has
+// passed, in deterministic (deadline, rule, key) order.
+func (re *RuleEngine) matureAbsent(now time.Duration, fired *[]Alert) {
+	if len(re.pendings) == 0 {
+		return
+	}
+	var due []*pendingAlert
+	for key, pend := range re.pendings {
+		live := pend[:0]
+		for _, p := range pend {
+			if p.deadline <= now {
+				due = append(due, p)
+			} else {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(re.pendings, key)
+		} else {
+			re.pendings[key] = live
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].deadline != due[j].deadline {
+			return due[i].deadline < due[j].deadline
+		}
+		if due[i].alert.Rule != due[j].alert.Rule {
+			return due[i].alert.Rule < due[j].alert.Rule
+		}
+		if due[i].alert.Session != due[j].alert.Session {
+			return due[i].alert.Session < due[j].alert.Session
+		}
+		return due[i].completedAt < due[j].completedAt
+	})
+	for _, p := range due {
+		*fired = append(*fired, re.raiseAlert(p.alert))
+	}
+}
+
+// absDur is |d| for durations.
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 func (re *RuleEngine) advanceOrdered(r *Rule, e Event, parts *[]*partial) *partial {
 	// Advance existing partials first.
 	for _, p := range *parts {
-		step := r.Steps[p.next]
-		if step.Type != e.Type || (step.Where != nil && !step.Where(e)) {
+		if !stepMatches(r.Steps[p.next], e) {
 			continue
 		}
 		p.events = append(p.events, e)
@@ -295,8 +550,7 @@ func (re *RuleEngine) advanceOrdered(r *Rule, e Event, parts *[]*partial) *parti
 		return nil // one partial consumes the event
 	}
 	// Start a new partial if the event matches step 0.
-	step := r.Steps[0]
-	if step.Type != e.Type || (step.Where != nil && !step.Where(e)) {
+	if !stepMatches(r.Steps[0], e) {
 		return nil
 	}
 	p := &partial{startedAt: e.At, events: []Event{e}, next: 1}
@@ -310,10 +564,7 @@ func (re *RuleEngine) advanceOrdered(r *Rule, e Event, parts *[]*partial) *parti
 func (re *RuleEngine) advanceUnordered(r *Rule, e Event, parts *[]*partial) *partial {
 	match := func(p *partial) bool {
 		for i, step := range r.Steps {
-			if p.matched[i] || step.Type != e.Type {
-				continue
-			}
-			if step.Where != nil && !step.Where(e) {
+			if p.matched[i] || !stepMatches(step, e) {
 				continue
 			}
 			p.matched[i] = true
@@ -352,32 +603,25 @@ func removePartial(parts []*partial, target *partial) []*partial {
 	return parts
 }
 
-// raise records an alert, suppressing repeats per (rule, session).
+// raise records an alert, suppressing repeats per (rule, correlation
+// key). The dedup check runs before the alert is materialized so a
+// suppressed repeat never copies the partial's event list.
 func (re *RuleEngine) raise(r *Rule, e Event, p *partial) Alert {
-	re.version++
-	key := r.Name + "|" + e.Session
+	key := r.Name + "|" + corrKey(r, e)
 	if idx, seen := re.dedup[key]; seen {
+		re.version++
 		re.alerts[idx-re.dedupBase].Count++
 		return re.alerts[idx-re.dedupBase]
 	}
-	if re.maxAlerts > 0 && len(re.alerts) >= re.maxAlerts {
-		re.evictOldestAlert()
-	}
-	a := Alert{
+	return re.raiseAlert(Alert{
 		At:       e.At,
 		Rule:     r.Name,
 		Severity: r.Severity,
-		Session:  e.Session,
+		Session:  corrKey(r, e),
 		Detail:   e.Detail,
 		Events:   append([]Event(nil), p.events...),
 		Count:    1,
-	}
-	re.dedup[key] = len(re.alerts) + re.dedupBase
-	re.alerts = append(re.alerts, a)
-	if re.onAlert != nil {
-		re.onAlert(a)
-	}
-	return a
+	})
 }
 
 // evictOldestAlert drops the front (oldest) retained alert in O(1):

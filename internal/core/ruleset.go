@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Rule names used by the default ruleset (and referenced by experiments).
 const (
 	RuleByeAttack     = "bye-attack"
@@ -150,6 +152,68 @@ func DefaultRuleset() []Rule {
 			Severity:      SeverityCritical,
 			Steps:         []Step{{Type: EvEvasionSuspect}},
 			CrossProtocol: true,
+		},
+	}
+}
+
+// Observation-point names used by the cross-point ruleset and the
+// cooperative scenarios: the edge proxy tap, the media gateway tap, and
+// the two access-network endpoint taps. Points are free-form strings —
+// these constants just keep the rules, scenarios and docs in agreement.
+const (
+	PointEdge    = "edge"
+	PointGateway = "gateway"
+	PointAccessA = "access-a"
+	PointAccessB = "access-b"
+)
+
+// Rule names used by the cross-point (aggregator) ruleset.
+const (
+	// RuleByeTeardownSplit is the paper's BYE attack split across
+	// vantages: the edge proxy saw the BYE, yet the media gateway keeps
+	// reporting RTP activity for the same call afterwards. Neither probe
+	// alone can tell — the edge tap never sees media, the gateway tap
+	// never sees the forged signaling.
+	RuleByeTeardownSplit = "bye-teardown-split"
+	// RuleRegisterHijackSplit fires when the same AOR registers
+	// successfully from both access networks within a short window: a
+	// registration hijack racing the legitimate binding. Correlated by
+	// Detail (the AOR) because each vantage sees a different Call-ID.
+	RuleRegisterHijackSplit = "register-hijack-split"
+)
+
+// CrossPointRuleset returns the aggregator's cross-point rules: patterns
+// over the merged multi-probe event stream that qualify steps by
+// observation point, so they can express "seen at A but not (or also) at
+// B" — invisible to any single probe. Canonical DSL rendering lives in
+// rules/crosspoint.rules.
+func CrossPointRuleset() []Rule {
+	return []Rule{
+		{
+			Name:        RuleByeTeardownSplit,
+			Description: "A BYE at the edge proxy must tear the call's media down at the gateway: two media-activity heartbeats after the BYE prove the teardown never happened",
+			Severity:    SeverityCritical,
+			Steps: []Step{
+				{Type: EvSIPBye, Point: PointEdge},
+				{Type: EvRTPActivity, Point: PointGateway},
+				{Type: EvRTPActivity, Point: PointGateway},
+			},
+			Window:        5 * time.Second,
+			CrossProtocol: true,
+			Stateful:      true,
+		},
+		{
+			Name:        RuleRegisterHijackSplit,
+			Description: "One AOR successfully registering from both access networks within a short window is a registration hijack racing the legitimate binding",
+			Severity:    SeverityCritical,
+			Steps: []Step{
+				{Type: EvSIPRegisterOK, Point: PointAccessA},
+				{Type: EvSIPRegisterOK, Point: PointAccessB},
+			},
+			Unordered: true,
+			Window:    30 * time.Second,
+			KeyBy:     KeyByDetail,
+			Stateful:  true,
 		},
 	}
 }

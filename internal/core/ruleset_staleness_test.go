@@ -12,7 +12,19 @@ import (
 // without the other lands here. (DeepEqual is sound because neither side
 // carries Where predicates, which have no textual form.)
 func TestShippedRulesMatchDefaultRuleset(t *testing.T) {
-	text, err := os.ReadFile("../../rules/default.rules")
+	checkShippedRules(t, "../../rules/default.rules", DefaultRuleset())
+}
+
+// TestShippedCrossPointRulesMatch pins rules/crosspoint.rules — the
+// deployable form of the aggregator's cross-point ruleset — to
+// CrossPointRuleset() the same way.
+func TestShippedCrossPointRulesMatch(t *testing.T) {
+	checkShippedRules(t, "../../rules/crosspoint.rules", CrossPointRuleset())
+}
+
+func checkShippedRules(t *testing.T, path string, builtin []Rule) {
+	t.Helper()
+	text, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("shipped ruleset unreadable: %v", err)
 	}
@@ -20,7 +32,6 @@ func TestShippedRulesMatchDefaultRuleset(t *testing.T) {
 	if err != nil {
 		t.Fatalf("shipped ruleset does not parse: %v", err)
 	}
-	builtin := DefaultRuleset()
 	if len(shipped) != len(builtin) {
 		shippedNames := make([]string, len(shipped))
 		for i, r := range shipped {

@@ -546,6 +546,11 @@ type SeqVerdict struct {
 	NewFlow bool   // first packet seen toward this endpoint
 	Jump    bool   // discontinuity beyond the threshold
 	Prev    uint16 // previous sequence number (valid when the tracker was primed)
+	// Activity marks the packet as an RTP activity heartbeat: the first
+	// packet toward the endpoint, or the first after RTPActivityEvery has
+	// elapsed since the last heartbeat. Always false when
+	// GenConfig.RTPActivityEvery is 0 (the default).
+	Activity bool
 }
 
 // IMVerdict is the router's IM source-stability decision for one MESSAGE.

@@ -158,6 +158,7 @@ type ShardedEngine struct {
 
 	cbMu    sync.Mutex
 	onAlert func(Alert)
+	onEvent func(Event)
 }
 
 // fragIdent mirrors the reassembler's fragment-stream identity.
@@ -483,6 +484,14 @@ func (s *ShardedEngine) wireWorker(w *shardWorker) {
 			fn(a)
 		}
 	})
+	w.eng.OnEvent(func(ev Event) {
+		s.cbMu.Lock()
+		fn := s.onEvent
+		s.cbMu.Unlock()
+		if fn != nil {
+			fn(ev)
+		}
+	})
 }
 
 // Shards returns the number of worker shards.
@@ -505,6 +514,18 @@ func ShardOf(key string, n int) int { return shardOf(key, n) }
 func (s *ShardedEngine) OnAlert(fn func(Alert)) {
 	s.cbMu.Lock()
 	s.onAlert = fn
+	s.cbMu.Unlock()
+}
+
+// OnEvent registers a callback for generated events. Like OnAlert it
+// fires from shard goroutines in shard-local order — the merged global
+// order is only available from Events() after Flush. A cooperative
+// exporter attached here must therefore tolerate inter-shard reordering
+// (the aggregator's deterministic merge re-sorts by timestamp). The
+// callback must be fast and must not call back into the engine.
+func (s *ShardedEngine) OnEvent(fn func(Event)) {
+	s.cbMu.Lock()
+	s.onEvent = fn
 	s.cbMu.Unlock()
 }
 

@@ -47,9 +47,15 @@ import (
 // exactly as it was — never partially restored (FuzzSnapshotDecode holds
 // the decoder to this).
 
+// Format v6 extends v5 with the cooperative layer: events carry their
+// capture point, and the rule-engine section adds the absence machinery
+// (pending graced alerts plus the absent-event lookback table) so an
+// aggregator checkpoint taken mid-grace matures or cancels identically
+// after restore.
+
 const (
 	snapMagic   = "SCDV"
-	snapVersion = 5
+	snapVersion = 6
 
 	snapKindSerial  = 0
 	snapKindSharded = 1
@@ -257,11 +263,12 @@ func configFingerprint(cfg Config, keepLog bool) uint64 {
 	g := cfg.Gen.withDefaults()
 	l := cfg.Limits
 	s := fmt.Sprintf(
-		"gen=%v/%v/%d/%d/%d/%v trail=%d timeout=%v limits=%d/%d/%d/%d/%d/%d/%d/%d shed=%v stall=%v restart=%v keeplog=%v",
+		"gen=%v/%v/%d/%d/%d/%v/%d/%v trail=%d timeout=%v limits=%d/%d/%d/%d/%d/%d/%d/%d/%d shed=%v stall=%v restart=%v keeplog=%v",
 		g.MonitorWindow, g.ReinviteGrace, g.SeqJumpThreshold, g.AuthFloodThreshold, g.GuessThreshold, g.IMPeriod,
+		g.DigestPort, g.RTPActivityEvery,
 		cfg.MaxTrailLen, cfg.SessionTimeout,
 		l.MaxSessions, l.MaxFragGroups, l.MaxStreams, l.MaxIMHistories, l.MaxSeqTrackers, l.MaxBindings,
-		l.MaxRetainedAlerts, l.MaxRetainedEvents,
+		l.MaxRetainedAlerts, l.MaxRetainedEvents, l.MaxDigestEvents,
 		l.ShedAfter, l.StallTimeout, l.RestartFailedShards, keepLog)
 	return fnv64String(s)
 }
@@ -321,11 +328,13 @@ func readSnapHeader(r *snapReader) snapHeader {
 	}
 	if v := r.u8(); r.err == nil && v != snapVersion {
 		if v == 2 {
-			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only v5 checkpoints — re-capture a checkpoint with this build")
+			r.fail("core: checkpoint is format v2 (fixed-geometry, pre-portable); this build reads only v6 checkpoints — re-capture a checkpoint with this build")
 		} else if v == 3 {
-			r.fail("core: checkpoint is format v3 (pre-stream-transport); this build reads only v5 checkpoints — re-capture a checkpoint with this build")
+			r.fail("core: checkpoint is format v3 (pre-stream-transport); this build reads only v6 checkpoints — re-capture a checkpoint with this build")
 		} else if v == 4 {
-			r.fail("core: checkpoint is format v4 (pre-classification-ledger); this build reads only v5 checkpoints — re-capture a checkpoint with this build")
+			r.fail("core: checkpoint is format v4 (pre-classification-ledger); this build reads only v6 checkpoints — re-capture a checkpoint with this build")
+		} else if v == 5 {
+			r.fail("core: checkpoint is format v5 (pre-cooperative); this build reads only v6 checkpoints — re-capture a checkpoint with this build")
 		} else {
 			r.fail("core: unsupported checkpoint format version %d (this build reads version %d); re-capture a checkpoint with this build", v, snapVersion)
 		}
@@ -449,6 +458,7 @@ func writeEvent(w *snapWriter, ev Event) {
 	w.vint(int(ev.Type))
 	w.str(ev.Session)
 	w.str(ev.Detail)
+	w.str(ev.Point)
 }
 
 // readEvent decodes an event. The triggering footprint is deliberately
@@ -456,7 +466,7 @@ func writeEvent(w *snapWriter, ev Event) {
 // carry a nil Footprint, which nothing downstream of the rule engine
 // reads.
 func readEvent(r *snapReader) Event {
-	return Event{At: r.dur(), Type: EventType(r.vint()), Session: r.strv(), Detail: r.strv()}
+	return Event{At: r.dur(), Type: EventType(r.vint()), Session: r.strv(), Detail: r.strv(), Point: r.strv()}
 }
 
 func writeEvents(w *snapWriter, evs []Event) {
@@ -748,6 +758,13 @@ type partialSnap struct {
 	remaining int
 }
 
+type pendingSnap struct {
+	key         string // ruleName|corrKey
+	completedAt time.Duration
+	deadline    time.Duration
+	alert       Alert
+}
+
 type ruleSnap struct {
 	partials   []partialSnap
 	alerts     []Alert
@@ -757,6 +774,9 @@ type ruleSnap struct {
 	evicted    int
 	version    int
 	eventsSeen int
+	pendings   []pendingSnap
+	lastKeys   []string // absent-lookback keys, sorted
+	lastAt     []time.Duration
 }
 
 func writeRuleEngine(w *snapWriter, re *RuleEngine) {
@@ -797,6 +817,40 @@ func writeRuleEngine(w *snapWriter, re *RuleEngine) {
 	w.vint(re.evicted)
 	w.vint(re.version)
 	w.vint(re.EventsSeen)
+	writeAbsentState(w, re)
+}
+
+// writeAbsentState serializes the absence machinery (v6): pending graced
+// alerts grouped by rule|key, then the absent-event lookback table.
+func writeAbsentState(w *snapWriter, re *RuleEngine) {
+	pk := make([]string, 0, len(re.pendings))
+	for k, pend := range re.pendings {
+		if len(pend) > 0 {
+			pk = append(pk, k)
+		}
+	}
+	sort.Strings(pk)
+	w.u32(uint32(len(pk)))
+	for _, k := range pk {
+		w.str(k)
+		pend := re.pendings[k]
+		w.u32(uint32(len(pend)))
+		for _, p := range pend {
+			w.dur(p.completedAt)
+			w.dur(p.deadline)
+			writeAlert(w, p.alert)
+		}
+	}
+	lk := make([]string, 0, len(re.lastAbsent))
+	for k := range re.lastAbsent {
+		lk = append(lk, k)
+	}
+	sort.Strings(lk)
+	w.u32(uint32(len(lk)))
+	for _, k := range lk {
+		w.str(k)
+		w.dur(re.lastAbsent[k])
+	}
 }
 
 // readRuleEngine decodes rule-matching state. With a non-nil ruleset,
@@ -865,6 +919,36 @@ func readRuleEngine(r *snapReader, rules []Rule) ruleSnap {
 	snap.evicted = r.vint()
 	snap.version = r.vint()
 	snap.eventsSeen = r.vint()
+	np := r.count()
+	for i := 0; i < np && r.err == nil; i++ {
+		key := r.strv()
+		if rules != nil && r.err == nil {
+			name, _, _ := strings.Cut(key, "|")
+			target, known := RuleByName(rules, name)
+			if !known {
+				r.fail("core: snapshot references unknown rule %q (ruleset hash should have caught this)", name)
+				break
+			}
+			if len(target.Absent) == 0 {
+				r.fail("core: snapshot corrupt (pending absence alert for rule %q, which has no absent clause)", name)
+				break
+			}
+		}
+		nn := r.count()
+		for j := 0; j < nn && r.err == nil; j++ {
+			ps := pendingSnap{key: key, completedAt: r.dur(), deadline: r.dur(), alert: readAlert(r)}
+			if r.err == nil && ps.deadline < ps.completedAt {
+				r.fail("core: snapshot corrupt (pending absence alert for %q matures before it completed)", key)
+				break
+			}
+			snap.pendings = append(snap.pendings, ps)
+		}
+	}
+	nl := r.count()
+	for i := 0; i < nl && r.err == nil; i++ {
+		snap.lastKeys = append(snap.lastKeys, r.strv())
+		snap.lastAt = append(snap.lastAt, r.dur())
+	}
 	if r.err == nil {
 		for i, k := range snap.dedupKeys {
 			idx := snap.dedupIdx[i] - snap.dedupBase
@@ -898,6 +982,20 @@ func installRuleEngine(re *RuleEngine, snap ruleSnap, outputs bool) {
 			remaining: ps.remaining,
 		}
 		re.partials[key] = append(re.partials[key], p)
+	}
+	// The absence machinery is in-flight state like the partials, so it
+	// installs on the warm-restart path too.
+	re.pendings = make(map[string][]*pendingAlert)
+	for _, ps := range snap.pendings {
+		re.pendings[ps.key] = append(re.pendings[ps.key], &pendingAlert{
+			completedAt: ps.completedAt,
+			deadline:    ps.deadline,
+			alert:       ps.alert,
+		})
+	}
+	re.lastAbsent = make(map[string]time.Duration, len(snap.lastKeys))
+	for i, k := range snap.lastKeys {
+		re.lastAbsent[k] = snap.lastAt[i]
 	}
 	if !outputs {
 		return
@@ -1360,6 +1458,48 @@ func writeRuleSnap(w *snapWriter, snap ruleSnap) {
 	w.vint(snap.evicted)
 	w.vint(snap.version)
 	w.vint(snap.eventsSeen)
+	// Absence machinery, writeAbsentState layout: pendings grouped by key
+	// (keys sorted, within-key order preserved), then the lookback table.
+	type pendGroup struct {
+		key  string
+		pend []pendingSnap
+	}
+	pendIdx := make(map[string]int)
+	var groups []pendGroup
+	for _, ps := range snap.pendings {
+		i, seen := pendIdx[ps.key]
+		if !seen {
+			i = len(groups)
+			pendIdx[ps.key] = i
+			groups = append(groups, pendGroup{key: ps.key})
+		}
+		groups[i].pend = append(groups[i].pend, ps)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	w.u32(uint32(len(groups)))
+	for _, g := range groups {
+		w.str(g.key)
+		w.u32(uint32(len(g.pend)))
+		for _, p := range g.pend {
+			w.dur(p.completedAt)
+			w.dur(p.deadline)
+			writeAlert(w, p.alert)
+		}
+	}
+	type lastEntry struct {
+		key string
+		at  time.Duration
+	}
+	la := make([]lastEntry, len(snap.lastKeys))
+	for i, k := range snap.lastKeys {
+		la[i] = lastEntry{key: k, at: snap.lastAt[i]}
+	}
+	sort.Slice(la, func(i, j int) bool { return la[i].key < la[j].key })
+	w.u32(uint32(len(la)))
+	for _, e := range la {
+		w.str(e.key)
+		w.dur(e.at)
+	}
 }
 
 // --- routing directory and fragment-buffer codecs ---

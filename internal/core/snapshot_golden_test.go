@@ -165,7 +165,7 @@ func TestSnapshotGoldenHeader(t *testing.T) {
 			t.Errorf("%s golden does not start with the SCDV magic", kind)
 			continue
 		}
-		if data[4] != 5 {
+		if data[4] != 6 {
 			t.Errorf("%s golden has version %d; goldens must be regenerated when snapVersion bumps", kind, data[4])
 		}
 	}

@@ -262,10 +262,10 @@ func TestResumeRejectsV2Checkpoint(t *testing.T) {
 		t.Fatalf("no preserved v2 golden: %v", err)
 	}
 	eng := core.NewEngine(core.Config{}, core.WithEventLog())
-	expectRejection(t, eng, data, "format v2", "only v5", "re-capture")
+	expectRejection(t, eng, data, "format v2", "only v6", "re-capture")
 	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	defer sh.Close()
-	expectRejection(t, sh, data, "format v2", "only v5", "re-capture")
+	expectRejection(t, sh, data, "format v2", "only v6", "re-capture")
 }
 
 // TestResumeRejectsV3Checkpoint: a pre-stream-transport (v3) checkpoint —
@@ -279,10 +279,10 @@ func TestResumeRejectsV3Checkpoint(t *testing.T) {
 		t.Fatalf("no preserved v3 golden: %v", err)
 	}
 	eng := core.NewEngine(core.Config{}, core.WithEventLog())
-	expectRejection(t, eng, data, "format v3", "only v5", "re-capture")
+	expectRejection(t, eng, data, "format v3", "only v6", "re-capture")
 	sh := core.NewShardedEngine(core.Config{}, 2, core.WithEventLog())
 	defer sh.Close()
-	expectRejection(t, sh, data, "format v3", "only v5", "re-capture")
+	expectRejection(t, sh, data, "format v3", "only v6", "re-capture")
 }
 
 // TestResumeRejectsCorruptSessionRecords: corruption INSIDE the v3

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"time"
 )
 
 // Sharded checkpoint/restore over the portable (v3) format. A sharded
@@ -179,6 +182,7 @@ func (s *ShardedEngine) Snapshot() ([]byte, error) {
 		evictedBindings: folded.BindingsEvicted,
 	}
 	workerCorr := make(map[string][][]byte)
+	lastSeen := make(map[string]time.Duration)
 	bestClock := -1
 	for i := range s.workers {
 		blob := *blobs[i]
@@ -195,6 +199,12 @@ func (s *ShardedEngine) Snapshot() ([]byte, error) {
 		body.index.sessions = append(body.index.sessions, wb.index.sessions...)
 		body.index.pendingReg = append(body.index.pendingReg, wb.index.pendingReg...)
 		body.rules.partials = append(body.rules.partials, wb.rules.partials...)
+		body.rules.pendings = append(body.rules.pendings, wb.rules.pendings...)
+		for li, k := range wb.rules.lastKeys {
+			if at, seen := lastSeen[k]; !seen || wb.rules.lastAt[li] > at {
+				lastSeen[k] = wb.rules.lastAt[li]
+			}
+		}
 		// Bindings are replicated to every shard and age identically;
 		// take the most advanced replica (highest binding clock).
 		if wb.bindingClock > bestClock {
@@ -238,6 +248,15 @@ func (s *ShardedEngine) Snapshot() ([]byte, error) {
 		version += a.Count
 	}
 	body.rules.version = version
+	lk := make([]string, 0, len(lastSeen))
+	for k := range lastSeen {
+		lk = append(lk, k)
+	}
+	sort.Strings(lk)
+	for _, k := range lk {
+		body.rules.lastKeys = append(body.rules.lastKeys, k)
+		body.rules.lastAt = append(body.rules.lastAt, lastSeen[k])
+	}
 	body.events = events
 	writeEngineBody(&w, &body)
 	w.buf = append(w.buf, tail.buf...)
@@ -318,6 +337,20 @@ func (s *ShardedEngine) RestoreSnapshot(data []byte) error {
 	for _, ps := range body.rules.partials {
 		j := shardFor(ps.session)
 		shards[j].rules.partials = append(shards[j].rules.partials, ps)
+	}
+	// Absence machinery travels with its correlation key (the part of
+	// rule|key after the separator), exactly as partials travel with
+	// their session.
+	for _, ps := range body.rules.pendings {
+		_, ck, _ := strings.Cut(ps.key, "|")
+		j := shardFor(ck)
+		shards[j].rules.pendings = append(shards[j].rules.pendings, ps)
+	}
+	for li, k := range body.rules.lastKeys {
+		_, ck, _ := strings.Cut(k, "|")
+		j := shardFor(ck)
+		shards[j].rules.lastKeys = append(shards[j].rules.lastKeys, k)
+		shards[j].rules.lastAt = append(shards[j].rules.lastAt, body.rules.lastAt[li])
 	}
 	// Split the merged output streams. Position tags (frame 0, global
 	// ordinal) keep the merged order identical to the capture; self-

@@ -1,0 +1,480 @@
+package experiments
+
+// Multi-point (cooperative) experiments: several probes with partial
+// vantages ship event digests to aggregators running the cross-point
+// ruleset. Each scenario here is built so that every single probe stays
+// silent — the attack's evidence only exists in the merged stream. The
+// benchreport `-exp coop` gate quantifies exactly that: solo aggregators
+// (fed one probe each) detect 0/N, the combined aggregator detects N/N.
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"scidive/internal/coop"
+	"scidive/internal/core"
+	"scidive/internal/netsim"
+	"scidive/internal/packet"
+	"scidive/internal/scenario"
+	"scidive/internal/sip"
+)
+
+// Cooperative-deployment addresses: monitor (probe) hosts and the
+// aggregator appliances live outside the client/proxy address range so
+// vantage filters never confuse control traffic with monitored traffic.
+var (
+	AddrAggregator = netip.MustParseAddr("10.0.0.40")
+	addrMonBase    = netip.MustParseAddr("10.0.0.30") // probes: .30, .31, ...
+	addrSoloBase   = netip.MustParseAddr("10.0.0.41") // solo aggregators
+)
+
+// coopVantage describes one observation point: which frames its tap
+// sees, how its engine is tuned, and which event types its probe exports.
+type coopVantage struct {
+	point  string
+	sees   func(src, dst netip.Addr) bool
+	cfg    core.Config
+	export []core.EventType
+}
+
+// CoopProbeReport is one probe's view after a cooperative run.
+type CoopProbeReport struct {
+	Point string
+	// LocalAlerts are the probe's own engine's alerts — the single-point
+	// detection capability at this vantage.
+	LocalAlerts []core.Alert
+	// SoloCrossAlerts are the cross-point alerts of an aggregator fed by
+	// this probe ALONE — what the cross-point rules can do with one
+	// vantage's evidence.
+	SoloCrossAlerts []core.Alert
+	// Stats counts the probe's control-plane activity.
+	Stats coop.ProbeStats
+}
+
+// CoopOutcome is the result of one multi-point scenario run.
+type CoopOutcome struct {
+	Name     string
+	AttackAt time.Duration
+	Probes   []CoopProbeReport
+	// CrossAlerts are the combined aggregator's alerts (all probes merged).
+	CrossAlerts []core.Alert
+	// Detected reports whether the combined aggregator fired a cross-point
+	// rule at or after AttackAt. SoloDetected reports whether ANY
+	// single-probe aggregator (or, for detector deployments, any local
+	// engine) did — the paper's claim is Detected && !SoloDetected.
+	Detected     bool
+	SoloDetected bool
+	Impact       string
+	AggStats     coop.AggregatorStats
+}
+
+// String formats the outcome as a report line.
+func (o CoopOutcome) String() string {
+	status := "MISSED"
+	if o.Detected {
+		var rules []string
+		seen := map[string]bool{}
+		for _, a := range o.CrossAlerts {
+			if a.At >= o.AttackAt && !seen[a.Rule] {
+				seen[a.Rule] = true
+				rules = append(rules, a.Rule)
+			}
+		}
+		status = fmt.Sprintf("DETECTED cross-point via %v", rules)
+	}
+	solo := "all probes silent alone"
+	if o.SoloDetected {
+		solo = "a single probe also detected it"
+	}
+	return fmt.Sprintf("%-18s %s (%s); impact: %s", o.Name, status, solo, o.Impact)
+}
+
+// frameAddrs extracts the IPv4 endpoints of a wire frame.
+func frameAddrs(frame []byte) (src, dst netip.Addr, ok bool) {
+	ef, err := packet.UnmarshalEthernet(frame)
+	if err != nil || ef.Type != packet.EtherTypeIPv4 {
+		return src, dst, false
+	}
+	iph, _, err := packet.UnmarshalIPv4(ef.Payload)
+	if err != nil {
+		return src, dst, false
+	}
+	return iph.Src, iph.Dst, true
+}
+
+// coopDeployment is a set of vantage-filtered probes plus a combined
+// aggregator and one solo aggregator per probe.
+type coopDeployment struct {
+	engines  []*core.Engine
+	probes   []*coop.Probe
+	combined *coop.Aggregator
+	solos    []*coop.Aggregator
+	points   []string
+}
+
+// deployCoop attaches one engine+probe per vantage to the testbed's hub
+// and stands up the aggregators. Every probe ships its digests to both
+// the combined aggregator and its own solo aggregator, so a single run
+// yields the merged and the per-probe detection answers.
+func deployCoop(tb *scenario.Testbed, vantages []coopVantage) (*coopDeployment, error) {
+	d := &coopDeployment{}
+	aggHost, err := tb.Net.AddHost("aggregator", AddrAggregator)
+	if err != nil {
+		return nil, err
+	}
+	d.combined = coop.NewAggregator(coop.AggregatorConfig{
+		Host: aggHost, Rules: core.CrossPointRuleset(), Immediate: true,
+	})
+	if err := coop.Bind(aggHost, 0, nil, d.combined); err != nil {
+		return nil, err
+	}
+	combinedAddr := netip.AddrPortFrom(AddrAggregator, coop.DefaultPort)
+
+	mon := addrMonBase.As4()
+	solo := addrSoloBase.As4()
+	for i, v := range vantages {
+		monAddr := netip.AddrFrom4([4]byte{mon[0], mon[1], mon[2], mon[3] + byte(i)})
+		soloAddr := netip.AddrFrom4([4]byte{solo[0], solo[1], solo[2], solo[3] + byte(i)})
+		monHost, err := tb.Net.AddHost("mon-"+v.point, monAddr)
+		if err != nil {
+			return nil, err
+		}
+		soloHost, err := tb.Net.AddHost("agg-"+v.point, soloAddr)
+		if err != nil {
+			return nil, err
+		}
+		soloAgg := coop.NewAggregator(coop.AggregatorConfig{
+			Host: soloHost, Rules: core.CrossPointRuleset(), Immediate: true,
+		})
+		if err := coop.Bind(soloHost, 0, nil, soloAgg); err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(v.cfg, core.WithEventLog())
+		probe, err := coop.NewProbe(coop.ProbeConfig{
+			Host:        monHost,
+			Point:       v.point,
+			Aggregators: []netip.AddrPort{combinedAddr, netip.AddrPortFrom(soloAddr, coop.DefaultPort)},
+			Export:      v.export,
+			Limits:      v.cfg.Limits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := coop.Bind(monHost, 0, probe, nil); err != nil {
+			return nil, err
+		}
+		probe.AttachEngine(eng)
+		sees := v.sees
+		tb.Net.AddTap(func(at time.Duration, frame []byte) {
+			src, dst, ok := frameAddrs(frame)
+			if !ok || !sees(src, dst) {
+				return
+			}
+			eng.HandleFrame(at, frame)
+		})
+		d.engines = append(d.engines, eng)
+		d.probes = append(d.probes, probe)
+		d.solos = append(d.solos, soloAgg)
+		d.points = append(d.points, v.point)
+	}
+	return d, nil
+}
+
+// outcome assembles the cooperative run's result.
+func (d *coopDeployment) outcome(name string, attackAt time.Duration, impact string) CoopOutcome {
+	o := CoopOutcome{
+		Name:        name,
+		AttackAt:    attackAt,
+		CrossAlerts: d.combined.Alerts(),
+		Impact:      impact,
+		AggStats:    d.combined.Stats(),
+	}
+	for _, a := range o.CrossAlerts {
+		if a.At >= attackAt {
+			o.Detected = true
+		}
+	}
+	for i, eng := range d.engines {
+		rep := CoopProbeReport{
+			Point:           d.points[i],
+			LocalAlerts:     eng.Alerts(),
+			SoloCrossAlerts: d.solos[i].Alerts(),
+			Stats:           d.probes[i].Stats(),
+		}
+		for _, a := range rep.SoloCrossAlerts {
+			if a.At >= attackAt {
+				o.SoloDetected = true
+			}
+		}
+		for _, a := range rep.LocalAlerts {
+			if a.At >= attackAt {
+				o.SoloDetected = true
+			}
+		}
+		o.Probes = append(o.Probes, rep)
+	}
+	return o
+}
+
+// Vantage filter helpers over the standard topology.
+func isProxy(a netip.Addr) bool  { return a == scenario.AddrProxy }
+func isClient(a netip.Addr) bool { return a == scenario.AddrClientA || a == scenario.AddrClientB }
+
+// edgeVantage sees every frame touching the proxy: all signaling legs,
+// but never the endpoint-to-endpoint media path.
+func edgeVantage() coopVantage {
+	return coopVantage{
+		point:  core.PointEdge,
+		sees:   func(src, dst netip.Addr) bool { return isProxy(src) || isProxy(dst) },
+		export: []core.EventType{core.EvSIPBye},
+	}
+}
+
+// gatewayVantage sees every frame touching a client: the media trunk and
+// the client-side signaling legs (so its engine can map media flows to
+// Call-IDs) — but not traffic between third parties and the proxy, such
+// as a forged BYE injected straight at the proxy.
+func gatewayVantage() coopVantage {
+	return coopVantage{
+		point: core.PointGateway,
+		sees:  func(src, dst netip.Addr) bool { return isClient(src) || isClient(dst) },
+		cfg: core.Config{
+			Gen: core.GenConfig{RTPActivityEvery: 500 * time.Millisecond},
+		},
+		export: []core.EventType{core.EvRTPActivity},
+	}
+}
+
+// accessVantage sees one access network's frames: the named endpoints'
+// traffic only.
+func accessVantage(point string, members ...netip.Addr) coopVantage {
+	in := func(a netip.Addr) bool {
+		for _, m := range members {
+			if a == m {
+				return true
+			}
+		}
+		return false
+	}
+	return coopVantage{
+		point:  point,
+		sees:   func(src, dst netip.Addr) bool { return in(src) || in(dst) },
+		export: []core.EventType{core.EvSIPRegisterOK},
+	}
+}
+
+// RunCoopByeSplit runs the split-vantage BYE attack: a forged BYE with
+// the live call's identifiers is sent straight to the proxy with an
+// unroutable target, so the proxy 404s it and the endpoints keep
+// streaming. The edge probe sees a teardown but never media; the gateway
+// probe sees media flowing but never the forged BYE. Only the aggregator,
+// holding both, can prove the teardown never happened
+// (bye-teardown-split).
+func RunCoopByeSplit(seed int64, taps ...netsim.Tap) (CoopOutcome, error) {
+	tb, err := scenario.New(scenario.Config{Seed: seed})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	d, err := deployCoop(tb, []coopVantage{edgeVantage(), gatewayVantage()})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	for _, tap := range taps {
+		tb.Net.AddTap(tap)
+	}
+	if err := tb.RegisterAll(); err != nil {
+		return CoopOutcome{}, err
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	tb.Run(2 * time.Second)
+	dlg := tb.Sniffer.ConfirmedDialog()
+	if dlg == nil {
+		return CoopOutcome{}, fmt.Errorf("experiments: sniffer learned no dialog")
+	}
+	var attackAt time.Duration
+	tb.Sim.Schedule(0, func() {
+		attackAt = tb.Sim.Now()
+		_ = tb.Attacker.ForgedByeToProxy(dlg, tb.Proxy.Addr())
+	})
+	tb.Run(4 * time.Second)
+	impact := "proxy absorbed the forged BYE"
+	if call.Established() {
+		impact = fmt.Sprintf("proxy absorbed the forged BYE (%d not-found); call still streaming",
+			tb.Proxy.Stats().NotFound)
+	}
+	return d.outcome("coop-bye-split", attackAt, impact), nil
+}
+
+// RunCoopRegHijack runs the split-vantage registration hijack: the
+// attacker, holding stolen credentials, re-registers the victim's AOR
+// from the other access network. Each access probe sees one perfectly
+// valid registration; only the aggregator sees the same AOR bound from
+// two networks within the window (register-hijack-split).
+func RunCoopRegHijack(seed int64, taps ...netsim.Tap) (CoopOutcome, error) {
+	tb, err := scenario.New(scenario.Config{Seed: seed})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	d, err := deployCoop(tb, []coopVantage{
+		accessVantage(core.PointAccessA, scenario.AddrClientA),
+		accessVantage(core.PointAccessB, scenario.AddrClientB, scenario.AddrAttacker),
+	})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	for _, tap := range taps {
+		tb.Net.AddTap(tap)
+	}
+	if err := tb.RegisterAll(); err != nil {
+		return CoopOutcome{}, err
+	}
+	var attackAt time.Duration
+	tb.Sim.Schedule(0, func() {
+		attackAt = tb.Sim.Now()
+		tb.Attacker.HijackRegister(tb.Proxy.Addr(),
+			sip.URI{User: "alice", Host: scenario.AddrProxy.String()},
+			scenario.Users["alice"])
+	})
+	tb.Run(3 * time.Second)
+	impact := "registrar still points at the victim"
+	if b := tb.Proxy.BindingFor("alice@" + scenario.AddrProxy.String()); b != nil && b.Source.Addr() == scenario.AddrAttacker {
+		impact = "victim's AOR rebound to the attacker's address; their calls now route to the attacker"
+	}
+	return d.outcome("coop-reg-hijack", attackAt, impact), nil
+}
+
+// RunCoopBenign runs the full four-point deployment over benign traffic —
+// registrations, a call, a legitimate hangup — and reports any (false)
+// cross-point alarms. The legitimate BYE is seen at the edge, but the
+// media gateway also witnesses the teardown, so no liveness heartbeats
+// follow it and bye-teardown-split stays quiet.
+func RunCoopBenign(seed int64, taps ...netsim.Tap) (CoopOutcome, error) {
+	tb, err := scenario.New(scenario.Config{Seed: seed})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	d, err := deployCoop(tb, []coopVantage{
+		edgeVantage(),
+		gatewayVantage(),
+		accessVantage(core.PointAccessA, scenario.AddrClientA),
+		accessVantage(core.PointAccessB, scenario.AddrClientB),
+	})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	for _, tap := range taps {
+		tb.Net.AddTap(tap)
+	}
+	if err := tb.RegisterAll(); err != nil {
+		return CoopOutcome{}, err
+	}
+	call, err := tb.EstablishCall()
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	tb.Run(10 * time.Second)
+	tb.Sim.Schedule(0, func() { _ = tb.Alice.Hangup(call) })
+	tb.Run(3 * time.Second)
+	o := d.outcome("coop-benign", 0, "normal call completed across four vantages")
+	o.Detected = len(o.CrossAlerts) > 0 // any cross-point alert on benign traffic is a false alarm
+	return o, nil
+}
+
+// RunCoopFakeIMSplit runs the endpoint-detector deployment (the
+// Probe/Aggregator machinery at the endpoints themselves) against the
+// source-spoofed fake-IM attack: the forged message carries the
+// impersonated sender's own IP, so the victim's local engine sees nothing
+// wrong — only the absence of a matching send event from the real
+// sender's detector exposes it (coop-fake-im).
+func RunCoopFakeIMSplit(seed int64, taps ...netsim.Tap) (CoopOutcome, error) {
+	tb, err := scenario.New(scenario.Config{Seed: seed})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	da, err := coop.NewDetector(coop.Config{
+		Host: tb.Net.HostByIP(scenario.AddrClientA), User: "alice",
+		Peers: []netip.AddrPort{netip.AddrPortFrom(scenario.AddrClientB, coop.DefaultPort)},
+	})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	db, err := coop.NewDetector(coop.Config{
+		Host: tb.Net.HostByIP(scenario.AddrClientB), User: "bob",
+		Peers: []netip.AddrPort{netip.AddrPortFrom(scenario.AddrClientA, coop.DefaultPort)},
+	})
+	if err != nil {
+		return CoopOutcome{}, err
+	}
+	for _, tap := range taps {
+		tb.Net.AddTap(tap)
+	}
+	if err := tb.RegisterAll(); err != nil {
+		return CoopOutcome{}, err
+	}
+	tb.Run(2 * time.Second)
+	var attackAt time.Duration
+	tb.Sim.Schedule(0, func() {
+		attackAt = tb.Sim.Now()
+		_ = tb.Attacker.FakeIMSpoofed(
+			netip.AddrPortFrom(scenario.AddrClientA, sip.DefaultPort),
+			sip.URI{User: "bob", Host: scenario.AddrProxy.String()},
+			netip.AddrPortFrom(scenario.AddrClientB, sip.DefaultPort),
+			"please wire $5k to acct 12345",
+		)
+	})
+	tb.Run(2 * time.Second)
+
+	o := CoopOutcome{
+		Name:     "coop-fakeim-split",
+		AttackAt: attackAt,
+		Impact:   fmt.Sprintf("victim accepted %d instant messages claiming to be bob", len(tb.Alice.Messages())),
+		AggStats: da.Aggregator().Stats(),
+	}
+	for _, a := range da.Alerts() {
+		o.CrossAlerts = append(o.CrossAlerts, core.Alert{At: a.At, Rule: a.Rule, Detail: a.Detail})
+		if a.At >= attackAt {
+			o.Detected = true
+		}
+	}
+	// "Solo" here means the endpoints' local engines: the spoofed source
+	// defeats the single-point fake-im rule, so any local firing counts as
+	// solo detection.
+	for _, dp := range []struct {
+		point string
+		det   *coop.Detector
+	}{{"alice", da}, {"bob", db}} {
+		rep := CoopProbeReport{Point: dp.point, LocalAlerts: dp.det.Engine().Alerts()}
+		for _, a := range dp.det.Engine().AlertsFor(core.RuleFakeIM) {
+			if a.At >= attackAt {
+				o.SoloDetected = true
+			}
+		}
+		o.Probes = append(o.Probes, rep)
+	}
+	return o, nil
+}
+
+// coopOutcomeAsOutcome adapts a cooperative result to the standard
+// Outcome shape so RunScenario (goldens, differential harnesses, capture)
+// can drive multi-point scenarios like any other.
+func coopOutcomeAsOutcome(co CoopOutcome, err error) (Outcome, error) {
+	if err != nil {
+		return Outcome{}, err
+	}
+	o := Outcome{Name: co.Name, Alerts: co.CrossAlerts, Impact: co.Impact, Detected: co.Detected}
+	seen := map[string]bool{}
+	for _, a := range co.CrossAlerts {
+		if a.At >= co.AttackAt && !seen[a.Rule] {
+			seen[a.Rule] = true
+			o.RulesFired = append(o.RulesFired, a.Rule)
+			if !o.Detected || a.At-co.AttackAt < o.DetectDelay {
+				o.DetectDelay = a.At - co.AttackAt
+			}
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"scidive/internal/core"
+)
+
+// crossRules extracts the distinct rule names among cross-point alerts
+// raised at or after the attack.
+func crossRules(o CoopOutcome) map[string]int {
+	rules := map[string]int{}
+	for _, a := range o.CrossAlerts {
+		if a.At >= o.AttackAt {
+			rules[a.Rule]++
+		}
+	}
+	return rules
+}
+
+func TestCoopByeSplitOnlyAggregatorDetects(t *testing.T) {
+	o, err := RunCoopByeSplit(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected {
+		t.Fatalf("combined aggregator missed the split BYE attack: %+v", o)
+	}
+	if got := crossRules(o); got[core.RuleByeTeardownSplit] == 0 {
+		t.Errorf("expected %s, got rules %v", core.RuleByeTeardownSplit, got)
+	}
+	if o.SoloDetected {
+		for _, p := range o.Probes {
+			t.Logf("probe %s: local=%v solo-cross=%v", p.Point, p.LocalAlerts, p.SoloCrossAlerts)
+		}
+		t.Error("a single probe detected the attack alone; the scenario must require the merge")
+	}
+	// The probes really shipped evidence as control traffic.
+	for _, p := range o.Probes {
+		if p.Stats.Sent == 0 || p.Stats.Acked == 0 {
+			t.Errorf("probe %s shipped nothing (sent=%d acked=%d)", p.Point, p.Stats.Sent, p.Stats.Acked)
+		}
+	}
+	if o.AggStats.DigestsAccepted == 0 {
+		t.Error("combined aggregator accepted no digests")
+	}
+}
+
+func TestCoopRegHijackOnlyAggregatorDetects(t *testing.T) {
+	o, err := RunCoopRegHijack(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected {
+		t.Fatalf("combined aggregator missed the registration hijack: %+v", o)
+	}
+	if got := crossRules(o); got[core.RuleRegisterHijackSplit] == 0 {
+		t.Errorf("expected %s, got rules %v", core.RuleRegisterHijackSplit, got)
+	}
+	if o.SoloDetected {
+		t.Error("a single probe detected the hijack alone; the scenario must require the merge")
+	}
+}
+
+func TestCoopFakeIMSplitDetectedCooperatively(t *testing.T) {
+	o, err := RunCoopFakeIMSplit(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Detected {
+		t.Fatalf("cooperative detectors missed the spoofed fake IM: %+v", o)
+	}
+	if o.SoloDetected {
+		t.Error("a local engine caught the spoofed IM alone; the spoof should defeat single-point rules")
+	}
+}
+
+func TestCoopBenignNoFalseAlarms(t *testing.T) {
+	o, err := RunCoopBenign(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Detected || len(o.CrossAlerts) != 0 {
+		t.Errorf("benign multi-point run raised cross-point alerts: %v", o.CrossAlerts)
+	}
+	for _, p := range o.Probes {
+		if len(p.SoloCrossAlerts) != 0 {
+			t.Errorf("solo aggregator %s raised alerts on benign traffic: %v", p.Point, p.SoloCrossAlerts)
+		}
+		if len(p.LocalAlerts) != 0 {
+			t.Errorf("probe %s local engine raised alerts on benign traffic: %v", p.Point, p.LocalAlerts)
+		}
+	}
+}

@@ -318,7 +318,8 @@ func ScenarioNames() []string {
 		"inviteflood", "fragflood", "rtpblast", "optionsscan",
 		"tcptrunk", "tcptrunk-split", "tcptrunk-coalesce", "tcptrunk-rst", "udptrunk",
 		"evasion-rtptunnel", "evasion-rtptunnel-tcp", "evasion-sipinrtp", "evasion-sipinrtp-tcp",
-		"evasion-torture", "evasion-torture-tcp"}
+		"evasion-torture", "evasion-torture-tcp",
+		"coop-bye-split", "coop-reg-hijack", "coop-fakeim-split", "coop-benign"}
 }
 
 // RunScenario dispatches a named scenario, attaching taps (e.g. a capture
@@ -375,6 +376,14 @@ func RunScenario(name string, seed int64, taps ...netsim.Tap) (Outcome, error) {
 		return RunEvasion(seed, "torture", false, taps...)
 	case "evasion-torture-tcp":
 		return RunEvasion(seed, "torture", true, taps...)
+	case "coop-bye-split":
+		return coopOutcomeAsOutcome(RunCoopByeSplit(seed, taps...))
+	case "coop-reg-hijack":
+		return coopOutcomeAsOutcome(RunCoopRegHijack(seed, taps...))
+	case "coop-fakeim-split":
+		return coopOutcomeAsOutcome(RunCoopFakeIMSplit(seed, taps...))
+	case "coop-benign":
+		return coopOutcomeAsOutcome(RunCoopBenign(seed, taps...))
 	default:
 		return Outcome{}, fmt.Errorf("experiments: unknown scenario %q (have %v)", name, ScenarioNames())
 	}
